@@ -1,0 +1,72 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace gbkmv {
+namespace bench {
+
+std::vector<PaperDataset> BenchOptions::Datasets() const {
+  if (dataset_filter.empty()) return AllPaperDatasets();
+  for (PaperDataset d : AllPaperDatasets()) {
+    if (PaperDatasetName(d) == dataset_filter) return {d};
+  }
+  std::fprintf(stderr, "unknown dataset '%s'\n", dataset_filter.c_str());
+  std::exit(2);
+}
+
+BenchOptions ParseArgs(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      options.scale = std::atof(arg + 8);
+    } else if (std::strncmp(arg, "--queries=", 10) == 0) {
+      options.num_queries = static_cast<size_t>(std::atoi(arg + 10));
+    } else if (std::strncmp(arg, "--dataset=", 10) == 0) {
+      options.dataset_filter = arg + 10;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf(
+          "usage: %s [--scale=F] [--queries=N] [--dataset=NAME]\n", argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg);
+      std::exit(2);
+    }
+  }
+  if (options.scale <= 0 || options.num_queries == 0) {
+    std::fprintf(stderr, "invalid --scale/--queries\n");
+    std::exit(2);
+  }
+  return options;
+}
+
+void PrintHeader(const std::string& experiment, const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", experiment.c_str(), what.c_str());
+  std::printf("(real datasets replaced by Table II-calibrated synthetic\n");
+  std::printf(" proxies; compare shapes, not absolute values — DESIGN.md §4)\n");
+  std::printf("==============================================================\n");
+}
+
+Dataset LoadProxy(PaperDataset d, double scale) {
+  Result<Dataset> ds = GenerateProxy(d, scale);
+  GBKMV_CHECK(ds.ok());
+  const DatasetStats& s = ds->stats();
+  std::printf("[%s] m=%zu n=%zu N=%llu avg=%.1f a1=%.2f a2=%.2f\n",
+              ds->name().c_str(), s.num_records, s.num_distinct,
+              static_cast<unsigned long long>(s.total_elements),
+              s.avg_record_size, s.alpha_element_freq, s.alpha_record_size);
+  return std::move(ds).value();
+}
+
+ExperimentResult RunMethod(const Dataset& dataset, const SearcherConfig& config,
+                           double threshold,
+                           const std::vector<RecordId>& queries,
+                           const std::vector<std::vector<RecordId>>& truth) {
+  return RunExperimentWithTruth(dataset, config, threshold, queries, truth);
+}
+
+}  // namespace bench
+}  // namespace gbkmv

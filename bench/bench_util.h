@@ -1,0 +1,51 @@
+// Shared plumbing for the experiment harnesses (one binary per paper
+// figure/table). Each harness prints the same rows/series the paper reports;
+// see DESIGN.md §3 for the experiment index and §4 for the dataset-proxy
+// substitutions.
+
+#ifndef GBKMV_BENCH_BENCH_UTIL_H_
+#define GBKMV_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "data/proxies.h"
+#include "eval/experiment.h"
+#include "eval/table.h"
+
+namespace gbkmv {
+namespace bench {
+
+// Command-line options shared by every harness:
+//   --scale=<f>     proxy scale factor (default 1.0; smaller = faster)
+//   --queries=<n>   queries per experiment (default 100)
+//   --dataset=<ab>  restrict to one proxy (NETFLIX, DELIC, COD, ENRON,
+//                   REUTERS, WEBSPAM, WDC); default: all
+struct BenchOptions {
+  double scale = 1.0;
+  size_t num_queries = 100;
+  std::string dataset_filter;
+
+  // Datasets selected by the filter (all seven when empty).
+  std::vector<PaperDataset> Datasets() const;
+};
+
+// Parses argv; exits with a usage message on unknown flags.
+BenchOptions ParseArgs(int argc, char** argv);
+
+// Prints the standard harness banner: experiment id + substitution note.
+void PrintHeader(const std::string& experiment, const std::string& what);
+
+// Generates a proxy and prints its Table II-style summary line.
+Dataset LoadProxy(PaperDataset d, double scale);
+
+// Runs one method over a prepared workload and returns the result.
+ExperimentResult RunMethod(const Dataset& dataset, const SearcherConfig& config,
+                           double threshold,
+                           const std::vector<RecordId>& queries,
+                           const std::vector<std::vector<RecordId>>& truth);
+
+}  // namespace bench
+}  // namespace gbkmv
+
+#endif  // GBKMV_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,72 @@
+// Fig. 5 — Effect of Buffer Size.
+//
+// For the NETFLIX and ENRON proxies, sweeps the GB-KMV buffer size r at the
+// default 10% space budget and reports (a) the F1 score of the resulting
+// index and (b) the modelled average variance from the §IV-C6 cost model.
+// The paper's claim: the variance model's minimum lands near the F1-optimal
+// buffer size, so the model is a reliable guide for choosing r.
+
+#include "bench_util.h"
+#include "eval/ground_truth.h"
+#include "sketch/cost_model.h"
+
+namespace gbkmv {
+namespace bench {
+namespace {
+
+void RunDataset(PaperDataset which, const BenchOptions& options) {
+  const Dataset dataset = LoadProxy(which, options.scale);
+  const uint64_t budget =
+      static_cast<uint64_t>(0.10 * dataset.total_elements());
+  const auto queries =
+      SampleQueries(dataset, options.num_queries, /*seed=*/0xf15);
+  const auto truth = ComputeGroundTruth(dataset, queries, /*threshold=*/0.5);
+
+  Table table({"buffer_r", "F1", "precision", "recall", "model_avg_var"});
+  double best_f1 = -1, best_var = 1e300;
+  size_t best_f1_r = 0, best_var_r = 0;
+  for (size_t r = 0; r <= 640; r += 64) {
+    // Skip buffer sizes whose bitmap cost alone exceeds the budget.
+    const uint64_t buffer_cost =
+        static_cast<uint64_t>(dataset.size()) * ((r + 31) / 32);
+    if (buffer_cost >= budget) break;
+    SearcherConfig config;
+    config.method = SearchMethod::kGbKmv;
+    config.space_ratio = 0.10;
+    config.buffer_bits = r;
+    const ExperimentResult res =
+        RunMethod(dataset, config, 0.5, queries, truth);
+    const double model_var = EstimateGbKmvVariance(dataset, budget, r);
+    table.AddRow({Table::Int(r), Table::Num(res.accuracy.f1, 3),
+                  Table::Num(res.accuracy.precision, 3),
+                  Table::Num(res.accuracy.recall, 3),
+                  Table::Num(model_var, 6)});
+    if (res.accuracy.f1 > best_f1) {
+      best_f1 = res.accuracy.f1;
+      best_f1_r = r;
+    }
+    if (model_var < best_var) {
+      best_var = model_var;
+      best_var_r = r;
+    }
+  }
+  table.Print();
+  std::printf("best F1 at r=%zu; model variance minimised at r=%zu\n\n",
+              best_f1_r, best_var_r);
+}
+
+void Main(int argc, char** argv) {
+  const BenchOptions options = ParseArgs(argc, argv);
+  PrintHeader("Fig. 5", "effect of buffer size (F1 vs modelled variance)");
+  RunDataset(PaperDataset::kNetflix, options);
+  RunDataset(PaperDataset::kEnron, options);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gbkmv
+
+int main(int argc, char** argv) {
+  gbkmv::bench::Main(argc, argv);
+  return 0;
+}

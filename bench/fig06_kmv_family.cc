@@ -1,0 +1,54 @@
+// Fig. 6 — KMV vs G-KMV vs GB-KMV (F1 score versus space used).
+//
+// Reproduces the ablation of §V-B on all seven dataset proxies: at each
+// space budget, GB-KMV (global threshold + cost-model buffer) should
+// dominate G-KMV (global threshold only), which in turn should dominate the
+// plain equal-allocation KMV sketch.
+
+#include "bench_util.h"
+#include "eval/ground_truth.h"
+
+namespace gbkmv {
+namespace bench {
+namespace {
+
+void RunDataset(PaperDataset which, const BenchOptions& options) {
+  const Dataset dataset = LoadProxy(which, options.scale);
+  const auto queries =
+      SampleQueries(dataset, options.num_queries, /*seed=*/0xf16);
+  const auto truth = ComputeGroundTruth(dataset, queries, 0.5);
+
+  Table table({"space", "KMV_F1", "GKMV_F1", "GBKMV_F1"});
+  for (double ratio : {0.05, 0.10, 0.15, 0.20, 0.25}) {
+    SearcherConfig config;
+    config.space_ratio = ratio;
+    config.method = SearchMethod::kKmv;
+    const double f1_kmv =
+        RunMethod(dataset, config, 0.5, queries, truth).accuracy.f1;
+    config.method = SearchMethod::kGKmv;
+    const double f1_gkmv =
+        RunMethod(dataset, config, 0.5, queries, truth).accuracy.f1;
+    config.method = SearchMethod::kGbKmv;
+    const double f1_gbkmv =
+        RunMethod(dataset, config, 0.5, queries, truth).accuracy.f1;
+    table.AddRow({Table::Num(ratio * 100, 0) + "%", Table::Num(f1_kmv, 3),
+                  Table::Num(f1_gkmv, 3), Table::Num(f1_gbkmv, 3)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void Main(int argc, char** argv) {
+  const BenchOptions options = ParseArgs(argc, argv);
+  PrintHeader("Fig. 6", "KMV / G-KMV / GB-KMV comparison (F1 vs space)");
+  for (PaperDataset d : options.Datasets()) RunDataset(d, options);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gbkmv
+
+int main(int argc, char** argv) {
+  gbkmv::bench::Main(argc, argv);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figs. 7–13 — Accuracy versus Space, GB-KMV vs LSH-E.
+//
+// One figure per dataset in the paper (Fig. 7 = COD, 8 = DELIC, 9 = ENRON,
+// 10 = NETFLIX, 11 = REUTERS, 12 = WEBSPAM, 13 = WDC); this harness runs all
+// seven (or one, with --dataset=...). For each space configuration it
+// reports F1, precision, recall and F0.5 for both methods. GB-KMV's space is
+// set by the budget ratio; LSH-E's by the number of hash functions (the
+// paper's tuning knob), with the *actual* space ratio printed.
+
+#include "bench_util.h"
+#include "eval/ground_truth.h"
+
+namespace gbkmv {
+namespace bench {
+namespace {
+
+void AddRow(Table& table, const ExperimentResult& r) {
+  table.AddRow({r.method, Table::Num(r.space_ratio * 100, 1) + "%",
+                Table::Num(r.accuracy.f1, 3),
+                Table::Num(r.accuracy.precision, 3),
+                Table::Num(r.accuracy.recall, 3),
+                Table::Num(r.accuracy.f05, 3)});
+}
+
+void RunDataset(PaperDataset which, const BenchOptions& options) {
+  const Dataset dataset = LoadProxy(which, options.scale);
+  const auto queries =
+      SampleQueries(dataset, options.num_queries, /*seed=*/0xf17);
+  const auto truth = ComputeGroundTruth(dataset, queries, 0.5);
+
+  Table table({"method", "space", "F1", "precision", "recall", "F0.5"});
+  for (double ratio : {0.05, 0.10}) {
+    SearcherConfig config;
+    config.method = SearchMethod::kGbKmv;
+    config.space_ratio = ratio;
+    AddRow(table, RunMethod(dataset, config, 0.5, queries, truth));
+  }
+  for (size_t hashes : {64, 128, 256}) {
+    SearcherConfig config;
+    config.method = SearchMethod::kLshEnsemble;
+    config.lshe_num_hashes = hashes;
+    AddRow(table, RunMethod(dataset, config, 0.5, queries, truth));
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void Main(int argc, char** argv) {
+  const BenchOptions options = ParseArgs(argc, argv);
+  PrintHeader("Figs. 7–13", "accuracy vs space, GB-KMV vs LSH-E");
+  for (PaperDataset d : options.Datasets()) RunDataset(d, options);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gbkmv
+
+int main(int argc, char** argv) {
+  gbkmv::bench::Main(argc, argv);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 14 — distribution of accuracy (min / avg / max per-query F1) for
+// GB-KMV and LSH-E on every dataset proxy at the default settings.
+
+#include <algorithm>
+
+#include "bench_util.h"
+#include "eval/ground_truth.h"
+
+namespace gbkmv {
+namespace bench {
+namespace {
+
+struct Distribution {
+  double min = 0, avg = 0, max = 0;
+};
+
+Distribution Summarise(const std::vector<double>& values) {
+  Distribution d;
+  if (values.empty()) return d;
+  d.min = *std::min_element(values.begin(), values.end());
+  d.max = *std::max_element(values.begin(), values.end());
+  double sum = 0;
+  for (double v : values) sum += v;
+  d.avg = sum / static_cast<double>(values.size());
+  return d;
+}
+
+void Main(int argc, char** argv) {
+  const BenchOptions options = ParseArgs(argc, argv);
+  PrintHeader("Fig. 14", "per-query F1 distribution (min/avg/max)");
+  Table table({"dataset", "method", "min_F1", "avg_F1", "max_F1"});
+  for (PaperDataset which : options.Datasets()) {
+    const Dataset dataset = LoadProxy(which, options.scale);
+    const auto queries =
+        SampleQueries(dataset, options.num_queries, /*seed=*/0xf18);
+    const auto truth = ComputeGroundTruth(dataset, queries, 0.5);
+    for (SearchMethod method :
+         {SearchMethod::kGbKmv, SearchMethod::kLshEnsemble}) {
+      SearcherConfig config;
+      config.method = method;
+      const ExperimentResult r =
+          RunMethod(dataset, config, 0.5, queries, truth);
+      const Distribution d = Summarise(r.per_query_f1);
+      table.AddRow({dataset.name(), r.method, Table::Num(d.min, 3),
+                    Table::Num(d.avg, 3), Table::Num(d.max, 3)});
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gbkmv
+
+int main(int argc, char** argv) {
+  gbkmv::bench::Main(argc, argv);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 15 — Accuracy versus similarity threshold.
+//
+// F1 of GB-KMV and LSH-E for t* in {0.2, 0.4, 0.5, 0.6, 0.8} on every
+// dataset proxy at the default space settings. Each method's index is built
+// once per dataset and reused across thresholds (as in the paper's setup).
+
+#include "bench_util.h"
+#include "eval/ground_truth.h"
+
+namespace gbkmv {
+namespace bench {
+namespace {
+
+void RunDataset(PaperDataset which, const BenchOptions& options) {
+  const Dataset dataset = LoadProxy(which, options.scale);
+  const auto queries =
+      SampleQueries(dataset, options.num_queries, /*seed=*/0xf19);
+
+  SearcherConfig gb_config;
+  gb_config.method = SearchMethod::kGbKmv;
+  auto gb = BuildSearcher(dataset, gb_config);
+  GBKMV_CHECK(gb.ok());
+  SearcherConfig lshe_config;
+  lshe_config.method = SearchMethod::kLshEnsemble;
+  auto lshe = BuildSearcher(dataset, lshe_config);
+  GBKMV_CHECK(lshe.ok());
+
+  Table table({"t*", "GB-KMV_F1", "LSH-E_F1"});
+  for (double t : {0.2, 0.4, 0.5, 0.6, 0.8}) {
+    const auto truth = ComputeGroundTruth(dataset, queries, t);
+    const double f1_gb =
+        EvaluateSearcher(dataset, **gb, t, queries, truth).accuracy.f1;
+    const double f1_lshe =
+        EvaluateSearcher(dataset, **lshe, t, queries, truth).accuracy.f1;
+    table.AddRow(
+        {Table::Num(t, 1), Table::Num(f1_gb, 3), Table::Num(f1_lshe, 3)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void Main(int argc, char** argv) {
+  const BenchOptions options = ParseArgs(argc, argv);
+  PrintHeader("Fig. 15", "F1 vs containment similarity threshold");
+  for (PaperDataset d : options.Datasets()) RunDataset(d, options);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gbkmv
+
+int main(int argc, char** argv) {
+  gbkmv::bench::Main(argc, argv);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Fig. 16 — Accuracy on synthetic data with varying skew.
+//
+// Left panel: element-frequency Zipf exponent (eleFreq z-value) swept over
+// {0.4, 0.6, 0.8, 1.0, 1.2} with recSize z-value 1.0.
+// Right panel: record-size exponent (recSize z-value) swept over
+// {0.8, 0.9, 1.0, 1.2, 1.4} with eleFreq z-value 0.8.
+// The paper uses 100K records; the default here is scaled down by the
+// --scale flag (records = 100000 * scale / 5, capped for laptop runs).
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "eval/ground_truth.h"
+
+namespace gbkmv {
+namespace bench {
+namespace {
+
+Dataset MakeZipf(double alpha1, double alpha2, size_t num_records,
+                 uint64_t seed) {
+  SyntheticConfig c;
+  c.name = "zipf";
+  c.num_records = num_records;
+  c.universe_size = 50000;
+  c.min_record_size = 10;
+  c.max_record_size = 500;
+  c.alpha_element_freq = alpha1;
+  c.alpha_record_size = alpha2;
+  c.seed = seed;
+  Result<Dataset> ds = GenerateSynthetic(c);
+  GBKMV_CHECK(ds.ok());
+  return std::move(ds).value();
+}
+
+void RunPoint(const Dataset& dataset, const BenchOptions& options,
+              const std::string& label, Table& table) {
+  const auto queries =
+      SampleQueries(dataset, options.num_queries, /*seed=*/0xf20);
+  const auto truth = ComputeGroundTruth(dataset, queries, 0.5);
+  SearcherConfig config;
+  config.method = SearchMethod::kGbKmv;
+  const double f1_gb =
+      RunMethod(dataset, config, 0.5, queries, truth).accuracy.f1;
+  config.method = SearchMethod::kLshEnsemble;
+  config.lshe_num_hashes = 128;
+  const double f1_lshe =
+      RunMethod(dataset, config, 0.5, queries, truth).accuracy.f1;
+  table.AddRow({label, Table::Num(f1_gb, 3), Table::Num(f1_lshe, 3)});
+}
+
+void Main(int argc, char** argv) {
+  const BenchOptions options = ParseArgs(argc, argv);
+  PrintHeader("Fig. 16", "F1 on synthetic Zipf data (skew sweeps)");
+  const size_t num_records =
+      std::max<size_t>(1000, static_cast<size_t>(8000 * options.scale));
+
+  std::printf("eleFreq z-value sweep (recSize z-value = 1.0):\n");
+  Table left({"eleFreq_z", "GB-KMV_F1", "LSH-E_F1"});
+  for (double a1 : {0.4, 0.6, 0.8, 1.0, 1.2}) {
+    const Dataset ds = MakeZipf(a1, 1.0, num_records, 7001);
+    RunPoint(ds, options, Table::Num(a1, 1), left);
+  }
+  left.Print();
+
+  std::printf("\nrecSize z-value sweep (eleFreq z-value = 0.8):\n");
+  Table right({"recSize_z", "GB-KMV_F1", "LSH-E_F1"});
+  for (double a2 : {0.8, 0.9, 1.0, 1.2, 1.4}) {
+    const Dataset ds = MakeZipf(0.8, a2, num_records, 7002);
+    RunPoint(ds, options, Table::Num(a2, 1), right);
+  }
+  right.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gbkmv
+
+int main(int argc, char** argv) {
+  gbkmv::bench::Main(argc, argv);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 17 — Time versus Accuracy trade-off.
+//
+// For every dataset proxy: GB-KMV's index size is swept (2–20% budget) and
+// LSH-E's hash-function count is swept (32–256); each point reports
+// (average query time, F1). The paper's claim: at matched F1, GB-KMV
+// answers queries orders of magnitude faster, and LSH-E's F1 saturates low
+// because its precision stays poor.
+
+#include "bench_util.h"
+#include "eval/ground_truth.h"
+
+namespace gbkmv {
+namespace bench {
+namespace {
+
+void RunDataset(PaperDataset which, const BenchOptions& options) {
+  const Dataset dataset = LoadProxy(which, options.scale);
+  const auto queries =
+      SampleQueries(dataset, options.num_queries, /*seed=*/0xf21);
+  const auto truth = ComputeGroundTruth(dataset, queries, 0.5);
+
+  Table table({"method", "config", "avg_query_ms", "F1"});
+  for (double ratio : {0.02, 0.05, 0.10, 0.20}) {
+    SearcherConfig config;
+    config.method = SearchMethod::kGbKmv;
+    config.space_ratio = ratio;
+    const ExperimentResult r = RunMethod(dataset, config, 0.5, queries, truth);
+    table.AddRow({r.method, Table::Num(ratio * 100, 0) + "% space",
+                  Table::Num(r.avg_query_seconds * 1e3, 3),
+                  Table::Num(r.accuracy.f1, 3)});
+  }
+  for (size_t hashes : {32, 64, 128, 256}) {
+    SearcherConfig config;
+    config.method = SearchMethod::kLshEnsemble;
+    config.lshe_num_hashes = hashes;
+    const ExperimentResult r = RunMethod(dataset, config, 0.5, queries, truth);
+    table.AddRow({r.method, Table::Int(hashes) + " hashes",
+                  Table::Num(r.avg_query_seconds * 1e3, 3),
+                  Table::Num(r.accuracy.f1, 3)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void Main(int argc, char** argv) {
+  const BenchOptions options = ParseArgs(argc, argv);
+  PrintHeader("Fig. 17", "time vs accuracy trade-off, GB-KMV vs LSH-E");
+  for (PaperDataset d : options.Datasets()) RunDataset(d, options);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gbkmv
+
+int main(int argc, char** argv) {
+  gbkmv::bench::Main(argc, argv);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Fig. 18 — Sketch construction time, GB-KMV vs LSH-E.
+//
+// GB-KMV hashes every element once (one hash function, global threshold);
+// LSH-E hashes every element `num_hashes` times (256 by default). The
+// construction-time gap should therefore be roughly the hash-count ratio.
+
+#include "bench_util.h"
+#include "common/timer.h"
+
+namespace gbkmv {
+namespace bench {
+namespace {
+
+void Main(int argc, char** argv) {
+  const BenchOptions options = ParseArgs(argc, argv);
+  PrintHeader("Fig. 18", "index construction time (seconds)");
+  Table table({"dataset", "GB-KMV_s", "LSH-E_s", "ratio"});
+  for (PaperDataset which : options.Datasets()) {
+    const Dataset dataset = LoadProxy(which, options.scale);
+
+    SearcherConfig gb_config;
+    gb_config.method = SearchMethod::kGbKmv;
+    WallTimer gb_timer;
+    auto gb = BuildSearcher(dataset, gb_config);
+    GBKMV_CHECK(gb.ok());
+    const double gb_seconds = gb_timer.ElapsedSeconds();
+
+    SearcherConfig lshe_config;
+    lshe_config.method = SearchMethod::kLshEnsemble;
+    WallTimer lshe_timer;
+    auto lshe = BuildSearcher(dataset, lshe_config);
+    GBKMV_CHECK(lshe.ok());
+    const double lshe_seconds = lshe_timer.ElapsedSeconds();
+
+    table.AddRow({dataset.name(), Table::Num(gb_seconds, 3),
+                  Table::Num(lshe_seconds, 3),
+                  Table::Num(lshe_seconds / std::max(gb_seconds, 1e-9), 1) +
+                      "x"});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gbkmv
+
+int main(int argc, char** argv) {
+  gbkmv::bench::Main(argc, argv);
+  return 0;
+}

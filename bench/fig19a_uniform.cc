@@ -1,0 +1,68 @@
+// Fig. 19(a) — Time versus accuracy on uniformly distributed data.
+//
+// The paper generates 100K records with sizes uniform in [10, 5000] and
+// elements drawn uniformly from 100,000 distinct values, then compares the
+// time-accuracy trade-off of GB-KMV and LSH-E (Theorem 5 predicts GB-KMV
+// wins even at α1 = α2 = 0). Scaled down via --scale for laptop runs.
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "eval/ground_truth.h"
+
+namespace gbkmv {
+namespace bench {
+namespace {
+
+void Main(int argc, char** argv) {
+  const BenchOptions options = ParseArgs(argc, argv);
+  PrintHeader("Fig. 19(a)", "time vs accuracy on uniform data");
+
+  SyntheticConfig c;
+  c.name = "UNIFORM";
+  c.num_records = std::max<size_t>(1000, static_cast<size_t>(5000 * options.scale));
+  c.universe_size = 100000;
+  c.min_record_size = 10;
+  c.max_record_size = 1000;  // paper: 5000; scaled with the record count
+  c.alpha_element_freq = 0.0;
+  c.alpha_record_size = 0.0;
+  c.seed = 1900;
+  Result<Dataset> ds = GenerateSynthetic(c);
+  GBKMV_CHECK(ds.ok());
+  const Dataset& dataset = *ds;
+  std::printf("[UNIFORM] m=%zu N=%llu\n", dataset.size(),
+              static_cast<unsigned long long>(dataset.total_elements()));
+
+  const auto queries =
+      SampleQueries(dataset, options.num_queries, /*seed=*/0xf22);
+  const auto truth = ComputeGroundTruth(dataset, queries, 0.5);
+
+  Table table({"method", "config", "avg_query_ms", "F1"});
+  for (double ratio : {0.02, 0.05, 0.10, 0.20}) {
+    SearcherConfig config;
+    config.method = SearchMethod::kGbKmv;
+    config.space_ratio = ratio;
+    const ExperimentResult r = RunMethod(dataset, config, 0.5, queries, truth);
+    table.AddRow({r.method, Table::Num(ratio * 100, 0) + "% space",
+                  Table::Num(r.avg_query_seconds * 1e3, 3),
+                  Table::Num(r.accuracy.f1, 3)});
+  }
+  for (size_t hashes : {32, 64, 128, 256}) {
+    SearcherConfig config;
+    config.method = SearchMethod::kLshEnsemble;
+    config.lshe_num_hashes = hashes;
+    const ExperimentResult r = RunMethod(dataset, config, 0.5, queries, truth);
+    table.AddRow({r.method, Table::Int(hashes) + " hashes",
+                  Table::Num(r.avg_query_seconds * 1e3, 3),
+                  Table::Num(r.accuracy.f1, 3)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gbkmv
+
+int main(int argc, char** argv) {
+  gbkmv::bench::Main(argc, argv);
+  return 0;
+}

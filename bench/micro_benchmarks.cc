@@ -1,0 +1,135 @@
+// Component micro-benchmarks (google-benchmark): hashing, sketch
+// construction, pairwise estimation, bitmap ops, and end-to-end search.
+// Not a paper figure — used to track the substrate's performance.
+
+#include <benchmark/benchmark.h>
+
+#include "common/bitmap.h"
+#include "common/hash.h"
+#include "data/synthetic.h"
+#include "index/gbkmv_index.h"
+#include "sketch/gbkmv.h"
+#include "sketch/gkmv.h"
+#include "sketch/kmv.h"
+#include "sketch/minhash.h"
+
+namespace gbkmv {
+namespace {
+
+Record SequentialRecord(ElementId start, size_t count) {
+  Record r;
+  for (size_t i = 0; i < count; ++i) r.push_back(start + static_cast<ElementId>(i));
+  return r;
+}
+
+const Dataset& BenchDataset() {
+  static const Dataset* dataset = [] {
+    SyntheticConfig c;
+    c.num_records = 2000;
+    c.universe_size = 20000;
+    c.min_record_size = 50;
+    c.max_record_size = 500;
+    c.alpha_element_freq = 1.2;
+    c.alpha_record_size = 2.5;
+    c.seed = 4242;
+    return new Dataset(std::move(GenerateSynthetic(c).value()));
+  }();
+  return *dataset;
+}
+
+void BM_HashElement(benchmark::State& state) {
+  uint32_t e = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashElement(e++, kDefaultSketchSeed));
+  }
+}
+BENCHMARK(BM_HashElement);
+
+void BM_KmvBuild(benchmark::State& state) {
+  const Record r = SequentialRecord(0, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KmvSketch::Build(r, 64));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KmvBuild)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_GkmvBuild(benchmark::State& state) {
+  const Record r = SequentialRecord(0, state.range(0));
+  const uint64_t tau = UnitToHashThreshold(0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GkmvSketch::Build(r, tau));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GkmvBuild)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_MinHashBuild(benchmark::State& state) {
+  const Record r = SequentialRecord(0, 1000);
+  const HashFamily family(state.range(0), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinHashSignature::Build(r, family));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000 * state.range(0));
+}
+BENCHMARK(BM_MinHashBuild)->Arg(64)->Arg(256);
+
+void BM_GkmvPairEstimate(benchmark::State& state) {
+  const uint64_t tau = UnitToHashThreshold(0.1);
+  const GkmvSketch a = GkmvSketch::Build(SequentialRecord(0, 2000), tau);
+  const GkmvSketch b = GkmvSketch::Build(SequentialRecord(1000, 2000), tau);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateGkmvPair(a, b));
+  }
+}
+BENCHMARK(BM_GkmvPairEstimate);
+
+void BM_BitmapIntersect(benchmark::State& state) {
+  Bitmap a(state.range(0)), b(state.range(0));
+  for (int i = 0; i < state.range(0); i += 3) a.Set(i);
+  for (int i = 0; i < state.range(0); i += 5) b.Set(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Bitmap::IntersectCount(a, b));
+  }
+}
+BENCHMARK(BM_BitmapIntersect)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_GbKmvSketch(benchmark::State& state) {
+  const Dataset& ds = BenchDataset();
+  GbKmvOptions opts;
+  opts.budget_units = ds.total_elements() / 10;
+  opts.buffer_bits = 128;
+  const auto sketcher = GbKmvSketcher::Create(ds, opts);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketcher->Sketch(ds.record(i++ % ds.size())));
+  }
+}
+BENCHMARK(BM_GbKmvSketch);
+
+void BM_GbKmvSearch(benchmark::State& state) {
+  const Dataset& ds = BenchDataset();
+  GbKmvIndexOptions opts;
+  opts.space_ratio = 0.10;
+  const auto searcher = GbKmvIndexSearcher::Create(ds, opts);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        (*searcher)->Search(ds.record(i++ % ds.size()), 0.5));
+  }
+}
+BENCHMARK(BM_GbKmvSearch);
+
+void BM_ExactIntersect(benchmark::State& state) {
+  const Record a = SequentialRecord(0, state.range(0));
+  const Record b = SequentialRecord(state.range(0) / 2, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectSize(a, b));
+  }
+}
+BENCHMARK(BM_ExactIntersect)->Arg(100)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace gbkmv
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Domain search over Open Data (the scenario of Zhu et al. [44], which the
+// paper uses as its headline application): given a query column of values,
+// find data-lake columns that contain most of the query's values — i.e.
+// containment similarity search where records are columns.
+//
+// The example builds a synthetic "data lake" of columns with skewed value
+// frequencies, then compares GB-KMV against exact search for quality and
+// speed.
+
+#include <cstdio>
+
+#include "common/timer.h"
+#include "core/containment.h"
+#include "data/synthetic.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace gbkmv;
+
+  // A data lake of 5,000 columns over 200,000 distinct values; column
+  // cardinalities follow a power law like real open-data catalogues.
+  SyntheticConfig lake_config;
+  lake_config.name = "open-data-lake";
+  lake_config.num_records = 5000;
+  lake_config.universe_size = 200000;
+  lake_config.min_record_size = 50;
+  lake_config.max_record_size = 2000;
+  lake_config.alpha_element_freq = 1.1;
+  lake_config.alpha_record_size = 1.8;
+  lake_config.seed = 20260612;
+  Result<Dataset> lake = GenerateSynthetic(lake_config);
+  GBKMV_CHECK(lake.ok());
+  std::printf("data lake: %zu columns, %llu total values\n", lake->size(),
+              static_cast<unsigned long long>(lake->total_elements()));
+
+  // Index the lake once with a 10% sketch budget.
+  SearcherConfig config;
+  config.method = SearchMethod::kGbKmv;
+  config.space_ratio = 0.10;
+  WallTimer build_timer;
+  Result<std::unique_ptr<ContainmentSearcher>> index =
+      BuildSearcher(*lake, config);
+  GBKMV_CHECK(index.ok());
+  std::printf("GB-KMV index built in %.2fs (%.1f%% of the data)\n",
+              build_timer.ElapsedSeconds(),
+              100.0 * (*index)->SpaceUnits() / lake->total_elements());
+
+  // Domain search: the analyst has a column (say, "country codes used in my
+  // table") and wants joinable columns covering >= 70% of it.
+  const double threshold = 0.7;
+  const auto query_ids = SampleQueries(*lake, 50, /*seed=*/99);
+
+  SearcherConfig exact_config;
+  exact_config.method = SearchMethod::kPPJoin;
+  Result<std::unique_ptr<ContainmentSearcher>> exact =
+      BuildSearcher(*lake, exact_config);
+  GBKMV_CHECK(exact.ok());
+
+  double sketch_seconds = 0, exact_seconds = 0;
+  std::vector<AccuracyMetrics> per_query;
+  for (RecordId qid : query_ids) {
+    const Record& q = lake->record(qid);
+    WallTimer t1;
+    const auto approx = (*index)->Search(q, threshold);
+    sketch_seconds += t1.ElapsedSeconds();
+    WallTimer t2;
+    const auto truth = (*exact)->Search(q, threshold);
+    exact_seconds += t2.ElapsedSeconds();
+    per_query.push_back(ComputeAccuracy(approx, truth));
+  }
+  const AccuracyMetrics avg = AverageAccuracy(per_query);
+  std::printf(
+      "\n%zu domain-search queries at containment >= %.1f:\n"
+      "  GB-KMV: %.3f ms/query, F1 %.3f (precision %.3f, recall %.3f)\n"
+      "  exact : %.3f ms/query\n",
+      query_ids.size(), threshold, 1e3 * sketch_seconds / query_ids.size(),
+      avg.f1, avg.precision, avg.recall,
+      1e3 * exact_seconds / query_ids.size());
+
+  // Show one concrete query's answers.
+  const Record& q = lake->record(query_ids[0]);
+  const auto answers = (*index)->Search(q, threshold);
+  std::printf("\nexample: column %u (|Q|=%zu) is covered by %zu columns:\n",
+              query_ids[0], q.size(), answers.size());
+  size_t shown = 0;
+  for (RecordId id : answers) {
+    if (shown++ == 5) break;
+    std::printf("  column %u: exact containment %.3f, |X|=%zu\n", id,
+                ContainmentSimilarity(q, lake->record(id)),
+                lake->record(id).size());
+  }
+  return 0;
+}

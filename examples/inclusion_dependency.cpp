@@ -1,0 +1,123 @@
+// Inclusion-dependency discovery (data profiling, §I): find column pairs
+// (A, B) where the values of A are (almost) all contained in B — candidate
+// foreign-key relationships. With containment similarity search this is one
+// query per column at a high threshold, instead of O(n²) exact column
+// comparisons.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+#include "core/containment.h"
+
+int main() {
+  using namespace gbkmv;
+
+  // Build a schema of "columns": 30 primary-key-like columns with distinct
+  // value ranges, each with 3 dependent columns sampling ~95% of the parent
+  // (foreign keys with a few dangling values), plus noise columns.
+  Rng rng(2026);
+  std::vector<Record> columns;
+  std::vector<std::string> names;
+  std::vector<int> parent_of;  // index of the parent column or -1
+
+  for (int table = 0; table < 30; ++table) {
+    const ElementId base = static_cast<ElementId>(table) * 100000;
+    const size_t pk_size = 500 + rng.NextBounded(1500);
+    Record pk;
+    for (size_t i = 0; i < pk_size; ++i) pk.push_back(base + static_cast<ElementId>(i));
+    names.push_back("t" + std::to_string(table) + ".id");
+    parent_of.push_back(-1);
+    const int pk_index = static_cast<int>(columns.size());
+    columns.push_back(pk);
+
+    for (int fk = 0; fk < 3; ++fk) {
+      Record child;
+      for (ElementId v : pk) {
+        if (rng.NextUnit() < 0.6) child.push_back(v);  // subset of the PK
+      }
+      // ~3% dangling references (data-quality errors).
+      const size_t dangling = child.size() / 32;
+      for (size_t i = 0; i < dangling; ++i) {
+        child.push_back(base + static_cast<ElementId>(pk_size + i));
+      }
+      names.push_back("t" + std::to_string(table) + ".fk" + std::to_string(fk));
+      parent_of.push_back(pk_index);
+      columns.push_back(MakeRecord(std::move(child)));
+    }
+  }
+  // Noise columns over a shared low-value domain.
+  for (int n = 0; n < 40; ++n) {
+    Record noise;
+    const size_t size = 200 + rng.NextBounded(800);
+    for (size_t i = 0; i < size; ++i) {
+      noise.push_back(3000000 + static_cast<ElementId>(rng.NextBounded(50000)));
+    }
+    names.push_back("noise" + std::to_string(n));
+    parent_of.push_back(-1);
+    columns.push_back(MakeRecord(std::move(noise)));
+  }
+
+  Result<Dataset> schema = Dataset::Create(std::move(columns), "schema");
+  GBKMV_CHECK(schema.ok());
+  std::printf("profiling %zu columns (%llu values total)\n", schema->size(),
+              static_cast<unsigned long long>(schema->total_elements()));
+
+  // Index once, then one containment query per column: C(A, B) >= 0.9
+  // flags "A is (almost) included in B".
+  SearcherConfig config;
+  config.method = SearchMethod::kGbKmv;
+  config.space_ratio = 0.15;
+  Result<std::unique_ptr<ContainmentSearcher>> index =
+      BuildSearcher(*schema, config);
+  GBKMV_CHECK(index.ok());
+
+  // Search at a slightly lower threshold than the report threshold so that
+  // sketch noise cannot drop true inclusions; the exact verification below
+  // restores precision.
+  const double threshold = 0.9;
+  const double search_threshold = 0.8;
+  size_t true_positives = 0, false_positives = 0, missed = 0;
+  std::vector<std::pair<RecordId, RecordId>> discovered;
+  for (size_t a = 0; a < schema->size(); ++a) {
+    const Record& col = schema->record(a);
+    for (RecordId b : (*index)->Search(col, search_threshold)) {
+      if (b == a) continue;  // trivial self-inclusion
+      // Verify the candidate exactly before reporting (cheap: one merge).
+      if (ContainmentSimilarity(col, schema->record(b)) >= threshold) {
+        discovered.emplace_back(static_cast<RecordId>(a), b);
+      }
+    }
+  }
+
+  // Score against the planted foreign keys.
+  for (const auto& [a, b] : discovered) {
+    if (parent_of[a] == static_cast<int>(b)) {
+      ++true_positives;
+    } else {
+      ++false_positives;  // includes legitimate transitive inclusions
+    }
+  }
+  size_t planted = 0;
+  for (size_t a = 0; a < parent_of.size(); ++a) {
+    if (parent_of[a] < 0) continue;
+    ++planted;
+    const bool found =
+        std::any_of(discovered.begin(), discovered.end(), [&](const auto& p) {
+          return p.first == a && p.second == static_cast<RecordId>(parent_of[a]);
+        });
+    if (!found) ++missed;
+  }
+
+  std::printf(
+      "discovered %zu inclusion dependencies (threshold %.2f)\n"
+      "planted FKs found: %zu/%zu, extra (non-planted) inclusions: %zu\n",
+      discovered.size(), threshold, true_positives, planted, false_positives);
+  size_t shown = 0;
+  for (const auto& [a, b] : discovered) {
+    if (shown++ == 8) break;
+    std::printf("  %s  ⊑  %s\n", names[a].c_str(), names[b].c_str());
+  }
+  return missed == planted ? 1 : 0;  // fail loudly if nothing was found
+}

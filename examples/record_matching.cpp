@@ -1,0 +1,87 @@
+// Record matching (the paper's §I motivation): match short user queries
+// against text records represented as sets of words. Shows why containment
+// similarity orders results better than Jaccard for short queries, and runs
+// the GB-KMV searcher over a word-set corpus.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/containment.h"
+#include "data/tokenize.h"
+
+int main() {
+  using namespace gbkmv;
+
+  Dictionary dict;
+  const std::vector<std::string> listings = {
+      "five guys burgers and fries downtown brooklyn new york",
+      "five kitchen berkeley",
+      "shake shack madison square park new york",
+      "joes pizza carmine street new york",
+      "five guys washington dc original location",
+      "in n out burger california classic fries",
+      "burgers and beers brooklyn craft house",
+      "new york style pizza and fries takeaway",
+  };
+
+  std::vector<Record> records;
+  records.reserve(listings.size());
+  for (const std::string& text : listings) {
+    records.push_back(EncodeWords(text, dict));
+  }
+  Result<Dataset> dataset = Dataset::Create(std::move(records), "listings");
+  GBKMV_CHECK(dataset.ok());
+
+  // The paper's query: "five guys". Jaccard prefers the short record
+  // ("five kitchen berkeley", J = 1/4) over the true match (J = 2/9);
+  // containment gets it right (1.0 vs 0.5). The query is encoded against
+  // the frozen vocabulary so unseen words are dropped.
+  const Record query = EncodeWordsFrozen("Five Guys", dict);
+
+  std::printf("query: \"five guys\"\n\n%-60s %8s %12s\n", "record", "jaccard",
+              "containment");
+  for (size_t i = 0; i < listings.size(); ++i) {
+    std::printf("%-60s %8.3f %12.3f\n", listings[i].c_str(),
+                JaccardSimilarity(query, dataset->record(i)),
+                ContainmentSimilarity(query, dataset->record(i)));
+  }
+
+  // Containment similarity search over the corpus: every record containing
+  // at least 80% of the query's words. On corpora of millions of listings
+  // the same call runs against the GB-KMV sketch instead of raw data.
+  SearcherConfig config;
+  config.method = SearchMethod::kGbKmv;
+  // This demo corpus is a handful of short records, so keep the full sketch
+  // (100% budget = exact). Production corpora use 5–10% and queries of more
+  // than a couple of tokens.
+  config.space_ratio = 1.0;
+  config.buffer_bits = 0;  // vocabulary too small to need a buffer
+  Result<std::unique_ptr<ContainmentSearcher>> searcher =
+      BuildSearcher(*dataset, config);
+  GBKMV_CHECK(searcher.ok());
+
+  const std::vector<RecordId> matches = (*searcher)->Search(query, 0.8);
+  std::printf("\ncontainment >= 0.8 via %s:\n", (*searcher)->name().c_str());
+  for (RecordId id : matches) {
+    std::printf("  [%u] %s\n", id, listings[id].c_str());
+  }
+
+  // Error-tolerant variant: 3-gram shingles survive typos. "fvie guys"
+  // still retrieves the right listings via q-gram containment.
+  Dictionary gram_dict;
+  std::vector<Record> gram_records;
+  for (const std::string& text : listings) {
+    gram_records.push_back(EncodeShingles(text, 3, gram_dict));
+  }
+  Result<Dataset> gram_dataset =
+      Dataset::Create(std::move(gram_records), "listings-3gram");
+  GBKMV_CHECK(gram_dataset.ok());
+  const Record typo_query = EncodeShinglesFrozen("fvie guys", 3, gram_dict);
+  std::printf("\nerror-tolerant search for \"fvie guys\" (3-gram sets):\n");
+  for (size_t i = 0; i < listings.size(); ++i) {
+    const double c = ContainmentSimilarity(typo_query, gram_dataset->record(i));
+    if (c >= 0.5) std::printf("  [%zu] %.2f %s\n", i, c, listings[i].c_str());
+  }
+  return 0;
+}

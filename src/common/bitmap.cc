@@ -1,0 +1,64 @@
+#include "common/bitmap.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/status.h"
+
+namespace gbkmv {
+
+Bitmap::Bitmap(size_t num_bits)
+    : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+void Bitmap::Set(size_t i) {
+  GBKMV_CHECK(i < num_bits_);
+  words_[i >> 6] |= (1ULL << (i & 63));
+}
+
+void Bitmap::Clear(size_t i) {
+  GBKMV_CHECK(i < num_bits_);
+  words_[i >> 6] &= ~(1ULL << (i & 63));
+}
+
+bool Bitmap::Test(size_t i) const {
+  GBKMV_CHECK(i < num_bits_);
+  return (words_[i >> 6] >> (i & 63)) & 1ULL;
+}
+
+size_t Bitmap::Count() const {
+  size_t total = 0;
+  for (uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+size_t Bitmap::IntersectCount(const Bitmap& a, const Bitmap& b) {
+  const size_t n = std::min(a.words_.size(), b.words_.size());
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += std::popcount(a.words_[i] & b.words_[i]);
+  }
+  return total;
+}
+
+size_t Bitmap::UnionCount(const Bitmap& a, const Bitmap& b) {
+  const size_t n = std::min(a.words_.size(), b.words_.size());
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += std::popcount(a.words_[i] | b.words_[i]);
+  }
+  for (size_t i = n; i < a.words_.size(); ++i) total += std::popcount(a.words_[i]);
+  for (size_t i = n; i < b.words_.size(); ++i) total += std::popcount(b.words_[i]);
+  return total;
+}
+
+bool Bitmap::Empty() const {
+  return std::all_of(words_.begin(), words_.end(),
+                     [](uint64_t w) { return w == 0; });
+}
+
+bool Bitmap::operator==(const Bitmap& other) const {
+  if (num_bits_ != other.num_bits_) return false;
+  return words_ == other.words_;
+}
+
+}  // namespace gbkmv

@@ -1,0 +1,54 @@
+// Fixed-width bitmap used for the GB-KMV high-frequency buffer.
+//
+// Each record keeps an r-bit bitmap (bit i set iff the record contains the
+// i-th most frequent element); |H_Q ∩ H_X| is a word-wise AND + popcount.
+
+#ifndef GBKMV_COMMON_BITMAP_H_
+#define GBKMV_COMMON_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gbkmv {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  // Creates an all-zero bitmap with `num_bits` addressable bits.
+  explicit Bitmap(size_t num_bits);
+
+  size_t num_bits() const { return num_bits_; }
+  size_t num_words() const { return words_.size(); }
+
+  // Sets / clears / reads bit `i`; i < num_bits().
+  void Set(size_t i);
+  void Clear(size_t i);
+  bool Test(size_t i) const;
+
+  // Number of set bits.
+  size_t Count() const;
+
+  // Number of bits set in both `a` and `b`. The bitmaps may have different
+  // widths; bits beyond the shorter one count as zero.
+  static size_t IntersectCount(const Bitmap& a, const Bitmap& b);
+
+  // Number of bits set in either bitmap.
+  static size_t UnionCount(const Bitmap& a, const Bitmap& b);
+
+  // True if no bit is set.
+  bool Empty() const;
+
+  bool operator==(const Bitmap& other) const;
+
+  // Bytes of heap storage (space accounting).
+  size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_COMMON_BITMAP_H_

@@ -1,0 +1,26 @@
+#include "common/hash.h"
+
+#include <cmath>
+
+namespace gbkmv {
+
+uint64_t UnitToHashThreshold(double u) {
+  if (u <= 0.0) return 0;
+  if (u >= 1.0) return ~0ULL;
+  // HashToUnit(h) = (h >> 11) * 2^-53 <= u  <=>  (h >> 11) <= u * 2^53.
+  const double scaled = std::floor(u * 0x1.0p53);
+  uint64_t top = static_cast<uint64_t>(scaled);
+  if (top > (1ULL << 53) - 1) top = (1ULL << 53) - 1;
+  return (top << 11) | 0x7ffULL;
+}
+
+HashFamily::HashFamily(size_t size, uint64_t master_seed) {
+  seeds_.reserve(size);
+  uint64_t state = master_seed;
+  for (size_t i = 0; i < size; ++i) {
+    state = SplitMix64(state + 0x632be59bd9b4e019ULL);
+    seeds_.push_back(state);
+  }
+}
+
+}  // namespace gbkmv

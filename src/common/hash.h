@@ -1,0 +1,78 @@
+// Hash primitives used by every sketch in the library.
+//
+// All sketches hash 32-bit element ids to 64-bit values; the KMV-family
+// estimators then interpret a hash as a point on the unit interval via
+// HashToUnit (53-bit mantissa, so the mapping is injective enough for the
+// no-collision assumption of Beyer et al. to hold in practice).
+//
+// MinHash needs a *family* of independent hash functions; HashFamily derives
+// per-function seeds from one master seed with splitmix64 so signatures are
+// reproducible across runs.
+
+#ifndef GBKMV_COMMON_HASH_H_
+#define GBKMV_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gbkmv {
+
+// splitmix64: fast, well-distributed 64-bit mixer (Steele et al.). Used both
+// as a standalone hash of small integers and as a seed sequencer.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Murmur3-style 64-bit finalizer; a second independent mixer used to build
+// seeded hash functions (seed XORed in before mixing).
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// Seeded hash of a 32-bit element id. Different seeds give (empirically)
+// independent hash functions.
+inline uint64_t HashElement(uint32_t element, uint64_t seed) {
+  return Mix64(static_cast<uint64_t>(element) ^ SplitMix64(seed));
+}
+
+// Maps a 64-bit hash to the unit interval [0, 1). Uses the top 53 bits so the
+// result is exactly representable as a double.
+inline double HashToUnit(uint64_t hash) {
+  return static_cast<double>(hash >> 11) * 0x1.0p-53;
+}
+
+// Inverse of HashToUnit for thresholds: the largest uint64 hash whose unit
+// value is <= u. Clamps u to [0, 1].
+uint64_t UnitToHashThreshold(double u);
+
+// A reproducible family of k hash functions over element ids.
+class HashFamily {
+ public:
+  // Creates `size` hash functions derived from `master_seed`.
+  HashFamily(size_t size, uint64_t master_seed);
+
+  size_t size() const { return seeds_.size(); }
+
+  // Value of the i-th hash function on `element`.
+  uint64_t Hash(size_t i, uint32_t element) const {
+    return HashElement(element, seeds_[i]);
+  }
+
+  const std::vector<uint64_t>& seeds() const { return seeds_; }
+
+ private:
+  std::vector<uint64_t> seeds_;
+};
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_COMMON_HASH_H_

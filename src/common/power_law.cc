@@ -1,0 +1,106 @@
+#include "common/power_law.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace gbkmv {
+
+double GeneralizedHarmonic(uint64_t n, double alpha) {
+  return GeneralizedHarmonicRange(1, n, alpha);
+}
+
+double GeneralizedHarmonicRange(uint64_t lo, uint64_t hi, double alpha) {
+  GBKMV_CHECK(lo >= 1 && lo <= hi);
+  // Exact summation below a cutoff; Euler–Maclaurin tail above it so the
+  // function stays cheap for universes of hundreds of millions.
+  constexpr uint64_t kExactCutoff = 1u << 20;
+  double sum = 0.0;
+  const uint64_t exact_hi = std::min(hi, lo + std::min<uint64_t>(kExactCutoff, hi - lo));
+  for (uint64_t x = lo; x <= exact_hi; ++x) sum += std::pow(static_cast<double>(x), -alpha);
+  if (exact_hi < hi) {
+    // ∫_{exact_hi+0.5}^{hi+0.5} x^{-alpha} dx approximates the remaining sum.
+    const double a = static_cast<double>(exact_hi) + 0.5;
+    const double b = static_cast<double>(hi) + 0.5;
+    if (std::abs(alpha - 1.0) < 1e-12) {
+      sum += std::log(b / a);
+    } else {
+      sum += (std::pow(b, 1.0 - alpha) - std::pow(a, 1.0 - alpha)) / (1.0 - alpha);
+    }
+  }
+  return sum;
+}
+
+ZipfDistribution::ZipfDistribution(uint64_t min_value, uint64_t max_value,
+                                   double alpha)
+    : min_value_(min_value), max_value_(max_value), alpha_(alpha) {
+  GBKMV_CHECK(min_value >= 1 && min_value <= max_value);
+  GBKMV_CHECK(alpha >= 0.0);
+  const uint64_t support = max_value_ - min_value_ + 1;
+  cdf_.resize(support);
+  double acc = 0.0;
+  for (uint64_t i = 0; i < support; ++i) {
+    acc += std::pow(static_cast<double>(min_value_ + i), -alpha_);
+    cdf_[i] = acc;
+  }
+  norm_ = acc;
+  for (double& c : cdf_) c /= norm_;
+  cdf_.back() = 1.0;  // Guard against round-off at the top.
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextUnit();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const size_t idx = static_cast<size_t>(it - cdf_.begin());
+  return min_value_ + std::min<uint64_t>(idx, cdf_.size() - 1);
+}
+
+double ZipfDistribution::Pmf(uint64_t x) const {
+  if (x < min_value_ || x > max_value_) return 0.0;
+  return std::pow(static_cast<double>(x), -alpha_) / norm_;
+}
+
+double ZipfDistribution::Mean() const {
+  double mean = 0.0;
+  for (uint64_t x = min_value_; x <= max_value_; ++x) {
+    mean += static_cast<double>(x) * Pmf(x);
+  }
+  return mean;
+}
+
+double FitPowerLawExponent(const std::vector<uint64_t>& observations,
+                           uint64_t x_min) {
+  GBKMV_CHECK(x_min >= 1);
+  double log_sum = 0.0;
+  size_t n = 0;
+  uint64_t x_max = x_min;
+  for (uint64_t x : observations) {
+    if (x < x_min) continue;
+    log_sum += std::log(static_cast<double>(x));
+    x_max = std::max(x_max, x);
+    ++n;
+  }
+  if (n < 2 || x_max == x_min) return 0.0;
+
+  // Truncated discrete power-law log-likelihood (up to a constant).
+  const auto log_likelihood = [&](double alpha) {
+    return -static_cast<double>(n) *
+               std::log(GeneralizedHarmonicRange(x_min, x_max, alpha)) -
+           alpha * log_sum;
+  };
+  // Concave in alpha: ternary search on [0, 10].
+  double lo = 0.0, hi = 10.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double m1 = lo + (hi - lo) / 3.0;
+    const double m2 = hi - (hi - lo) / 3.0;
+    if (log_likelihood(m1) < log_likelihood(m2)) {
+      lo = m1;
+    } else {
+      hi = m2;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace gbkmv

@@ -1,0 +1,67 @@
+// Power-law (Zipf) utilities.
+//
+// The paper's data model (§IV-C1) assumes element frequency follows
+// p1(x) = c1·x^{-α1} and record size follows p2(x) = c2·x^{-α2}. This module
+// provides:
+//   * ZipfDistribution — exact sampling from a truncated discrete power law
+//     via a precomputed CDF table (used by the synthetic generator);
+//   * FitPowerLawExponent — discrete MLE exponent estimate (Clauset et al.,
+//     SIAM Rev. 2009), used to report each dataset's α1/α2 like Table II;
+//   * GeneralizedHarmonic — Σ_{x=1..n} x^{-α}, the normalising constant and
+//     the building block of the closed-form cost model of §IV-C6.
+
+#ifndef GBKMV_COMMON_POWER_LAW_H_
+#define GBKMV_COMMON_POWER_LAW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace gbkmv {
+
+// Σ_{x=1..n} x^{-alpha}. alpha may be any real (alpha=0 gives n).
+double GeneralizedHarmonic(uint64_t n, double alpha);
+
+// Σ_{x=lo..hi} x^{-alpha} for 1 <= lo <= hi.
+double GeneralizedHarmonicRange(uint64_t lo, uint64_t hi, double alpha);
+
+// Discrete power law over {min_value, ..., max_value} with
+// P(x) ∝ x^{-alpha}. alpha >= 0 (alpha = 0 is uniform).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t min_value, uint64_t max_value, double alpha);
+
+  uint64_t min_value() const { return min_value_; }
+  uint64_t max_value() const { return max_value_; }
+  double alpha() const { return alpha_; }
+
+  // Draws one sample.
+  uint64_t Sample(Rng& rng) const;
+
+  // P(X = x); 0 outside the support.
+  double Pmf(uint64_t x) const;
+
+  // E[X].
+  double Mean() const;
+
+ private:
+  uint64_t min_value_;
+  uint64_t max_value_;
+  double alpha_;
+  double norm_;                  // Σ x^{-alpha} over the support.
+  std::vector<double> cdf_;      // cdf_[i] = P(X <= min_value_ + i).
+};
+
+// Discrete MLE power-law exponent for observations >= x_min (Clauset et al.
+// style, exact truncated likelihood): maximises
+//   L(α) = −n·log Σ_{x=x_min..x_max} x^{-α} − α·Σ log x_i
+// over α ∈ [0, 10] by ternary search (the likelihood is concave in α), with
+// x_max the largest observation. Observations below x_min are ignored.
+// Returns 0 if fewer than 2 usable observations or all observations equal.
+double FitPowerLawExponent(const std::vector<uint64_t>& observations,
+                           uint64_t x_min);
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_COMMON_POWER_LAW_H_

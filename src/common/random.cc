@@ -1,0 +1,80 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace gbkmv {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // Seed the four lanes with splitmix64 per the xoshiro authors' guidance.
+  uint64_t state = seed;
+  for (auto& lane : s_) {
+    state = SplitMix64(state);
+    lane = state;
+  }
+  // All-zero state is invalid; splitmix64 never produces four zero outputs
+  // from distinct inputs, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextUnit() { return HashToUnit(Next()); }
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  GBKMV_CHECK(bound > 0);
+  // Lemire's multiply-shift with rejection to remove modulo bias.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    const uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  GBKMV_CHECK(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextGaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextUnit();
+  } while (u1 <= 0.0);
+  const double u2 = NextUnit();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  spare_gaussian_ = radius * std::sin(theta);
+  has_spare_gaussian_ = true;
+  return radius * std::cos(theta);
+}
+
+}  // namespace gbkmv

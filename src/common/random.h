@@ -1,0 +1,41 @@
+// Reproducible pseudo-random number generation (xoshiro256**).
+//
+// All data generators and query samplers in the library take an explicit
+// seed so every experiment is deterministic.
+
+#ifndef GBKMV_COMMON_RANDOM_H_
+#define GBKMV_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace gbkmv {
+
+// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform double in [0, 1).
+  double NextUnit();
+
+  // Uniform integer in [0, bound) using Lemire's rejection method; bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Standard normal variate (Box-Muller).
+  double NextGaussian();
+
+ private:
+  uint64_t s_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_COMMON_RANDOM_H_

@@ -1,0 +1,144 @@
+// Lightweight Status / Result<T> error-handling primitives.
+//
+// The library does not throw exceptions on its regular paths (RocksDB/Arrow
+// idiom): fallible operations return a Status, or a Result<T> when they also
+// produce a value. Programmer errors (violated preconditions) use GBKMV_CHECK,
+// which aborts with a message.
+
+#ifndef GBKMV_COMMON_STATUS_H_
+#define GBKMV_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gbkmv {
+
+// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIOError,
+  kInternal,
+};
+
+// Returns a short human-readable name, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+// A Status is either OK or carries an error code plus message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "InvalidArgument: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> is either a value or an error Status. Accessing the value of an
+// errored Result is a checked programmer error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {    // NOLINT(runtime/explicit)
+    if (std::get<Status>(repr_).ok()) {
+      std::fprintf(stderr, "Result constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  T& value() & {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(repr_));
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   std::get<Status>(repr_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> repr_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
+}  // namespace internal
+
+// Aborts with location info if `cond` is false. Used for preconditions that
+// indicate a bug in the caller, not a recoverable runtime error.
+#define GBKMV_CHECK(cond)                                          \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::gbkmv::internal::CheckFailed(__FILE__, __LINE__, #cond);   \
+    }                                                              \
+  } while (0)
+
+// Propagates a non-OK Status from the current function.
+#define GBKMV_RETURN_IF_ERROR(expr)              \
+  do {                                           \
+    ::gbkmv::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_COMMON_STATUS_H_

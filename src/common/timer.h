@@ -1,0 +1,31 @@
+// Monotonic wall-clock timer for experiment harnesses.
+
+#ifndef GBKMV_COMMON_TIMER_H_
+#define GBKMV_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace gbkmv {
+
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_COMMON_TIMER_H_

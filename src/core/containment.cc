@@ -1,0 +1,88 @@
+#include "core/containment.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "index/asymmetric_minhash.h"
+#include "index/brute_force.h"
+#include "index/freqset.h"
+#include "index/ppjoin.h"
+
+namespace gbkmv {
+
+Result<SearchMethod> ParseSearchMethod(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "gb-kmv" || lower == "gbkmv") return SearchMethod::kGbKmv;
+  if (lower == "g-kmv" || lower == "gkmv") return SearchMethod::kGKmv;
+  if (lower == "kmv") return SearchMethod::kKmv;
+  if (lower == "lsh-e" || lower == "lshe" || lower == "lsh-ensemble") {
+    return SearchMethod::kLshEnsemble;
+  }
+  if (lower == "a-mh" || lower == "amh" || lower == "asymmetric-minhash") {
+    return SearchMethod::kAsymmetricMinHash;
+  }
+  if (lower == "ppjoin" || lower == "ppjoin*") return SearchMethod::kPPJoin;
+  if (lower == "freqset") return SearchMethod::kFreqSet;
+  if (lower == "brute-force" || lower == "bruteforce" || lower == "exact") {
+    return SearchMethod::kBruteForce;
+  }
+  return Status::InvalidArgument("unknown search method: " + name);
+}
+
+Result<std::unique_ptr<ContainmentSearcher>> BuildSearcher(
+    const Dataset& dataset, const SearcherConfig& config) {
+  switch (config.method) {
+    case SearchMethod::kGbKmv:
+    case SearchMethod::kGKmv: {
+      GbKmvIndexOptions options;
+      options.space_ratio = config.space_ratio;
+      options.buffer_bits = config.method == SearchMethod::kGKmv
+                                ? 0
+                                : config.buffer_bits;
+      options.seed = config.seed;
+      Result<std::unique_ptr<GbKmvIndexSearcher>> s =
+          GbKmvIndexSearcher::Create(dataset, options);
+      if (!s.ok()) return s.status();
+      return std::unique_ptr<ContainmentSearcher>(std::move(s.value()));
+    }
+    case SearchMethod::kKmv: {
+      Result<std::unique_ptr<KmvSearcher>> s =
+          KmvSearcher::Create(dataset, config.space_ratio, config.seed);
+      if (!s.ok()) return s.status();
+      return std::unique_ptr<ContainmentSearcher>(std::move(s.value()));
+    }
+    case SearchMethod::kLshEnsemble: {
+      LshEnsembleOptions options;
+      options.num_hashes = config.lshe_num_hashes;
+      options.num_partitions = config.lshe_num_partitions;
+      options.seed = config.seed;
+      Result<std::unique_ptr<LshEnsembleSearcher>> s =
+          LshEnsembleSearcher::Create(dataset, options);
+      if (!s.ok()) return s.status();
+      return std::unique_ptr<ContainmentSearcher>(std::move(s.value()));
+    }
+    case SearchMethod::kAsymmetricMinHash: {
+      AsymmetricMinHashOptions options;
+      options.num_hashes = config.lshe_num_hashes;
+      options.seed = config.seed;
+      Result<std::unique_ptr<AsymmetricMinHashSearcher>> s =
+          AsymmetricMinHashSearcher::Create(dataset, options);
+      if (!s.ok()) return s.status();
+      return std::unique_ptr<ContainmentSearcher>(std::move(s.value()));
+    }
+    case SearchMethod::kPPJoin:
+      return std::unique_ptr<ContainmentSearcher>(
+          std::make_unique<PPJoinSearcher>(dataset));
+    case SearchMethod::kFreqSet:
+      return std::unique_ptr<ContainmentSearcher>(
+          std::make_unique<FreqSetSearcher>(dataset));
+    case SearchMethod::kBruteForce:
+      return std::unique_ptr<ContainmentSearcher>(
+          std::make_unique<BruteForceSearcher>(dataset));
+  }
+  return Status::InvalidArgument("unhandled search method");
+}
+
+}  // namespace gbkmv

@@ -1,0 +1,59 @@
+// Public facade: build any containment-similarity search method over a
+// dataset with one call. This is the API the examples and the experiment
+// harnesses use.
+//
+// Typical usage:
+//
+//   auto dataset = gbkmv::Dataset::Create(std::move(records));
+//   gbkmv::SearcherConfig config;                 // GB-KMV, 10% space
+//   auto searcher = gbkmv::BuildSearcher(*dataset, config);
+//   auto ids = (*searcher)->Search(query, /*threshold=*/0.5);
+
+#ifndef GBKMV_CORE_CONTAINMENT_H_
+#define GBKMV_CORE_CONTAINMENT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "index/gbkmv_index.h"
+#include "index/lsh_ensemble.h"
+#include "index/searcher.h"
+
+namespace gbkmv {
+
+enum class SearchMethod {
+  kGbKmv,         // the paper's method, cost-model buffer (default)
+  kGKmv,          // GB-KMV with buffer disabled (ablation)
+  kKmv,           // plain KMV with Theorem-1 allocation (ablation)
+  kLshEnsemble,   // Zhu et al. baseline
+  kAsymmetricMinHash,  // Shrivastava & Li padding baseline
+  kPPJoin,        // exact (prefix + positional filtering)
+  kFreqSet,       // exact (inverted-list ScanCount)
+  kBruteForce,    // exact (linear scan), ground-truth oracle
+};
+
+// Parses "gb-kmv", "g-kmv", "kmv", "lsh-e", "ppjoin", "freqset",
+// "brute-force" (case-insensitive). Returns InvalidArgument otherwise.
+Result<SearchMethod> ParseSearchMethod(const std::string& name);
+
+struct SearcherConfig {
+  SearchMethod method = SearchMethod::kGbKmv;
+  // Sketch budget as a fraction of total elements (GB-KMV/G-KMV/KMV).
+  double space_ratio = 0.10;
+  // Buffer width for GB-KMV; kAutoBuffer = use the cost model.
+  size_t buffer_bits = GbKmvIndexOptions::kAutoBuffer;
+  // LSH-E knobs (paper defaults).
+  size_t lshe_num_hashes = 256;
+  size_t lshe_num_partitions = 32;
+  uint64_t seed = kDefaultSketchSeed;
+};
+
+// Builds the configured searcher. The dataset must outlive the searcher.
+Result<std::unique_ptr<ContainmentSearcher>> BuildSearcher(
+    const Dataset& dataset, const SearcherConfig& config);
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_CORE_CONTAINMENT_H_

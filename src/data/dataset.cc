@@ -1,0 +1,113 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/power_law.h"
+
+namespace gbkmv {
+
+Result<Dataset> Dataset::Create(std::vector<Record> records, std::string name) {
+  Dataset ds;
+  ds.name_ = std::move(name);
+
+  ElementId max_id = 0;
+  bool any = false;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (!IsNormalized(records[i])) {
+      return Status::InvalidArgument("record " + std::to_string(i) +
+                                     " is not sorted/unique");
+    }
+    if (!records[i].empty()) {
+      max_id = std::max(max_id, records[i].back());
+      any = true;
+    }
+  }
+
+  ds.records_ = std::move(records);
+  ds.frequency_.assign(any ? static_cast<size_t>(max_id) + 1 : 0, 0);
+  for (const Record& r : ds.records_) {
+    ds.total_elements_ += r.size();
+    for (ElementId e : r) ++ds.frequency_[e];
+  }
+  ds.num_distinct_ = static_cast<size_t>(
+      std::count_if(ds.frequency_.begin(), ds.frequency_.end(),
+                    [](uint64_t f) { return f > 0; }));
+
+  ds.by_frequency_.resize(ds.frequency_.size());
+  std::iota(ds.by_frequency_.begin(), ds.by_frequency_.end(), 0);
+  std::stable_sort(ds.by_frequency_.begin(), ds.by_frequency_.end(),
+                   [&ds](ElementId a, ElementId b) {
+                     return ds.frequency_[a] > ds.frequency_[b];
+                   });
+  // Drop zero-frequency tail so the buffer never wastes bits on unseen ids.
+  while (!ds.by_frequency_.empty() &&
+         ds.frequency_[ds.by_frequency_.back()] == 0) {
+    ds.by_frequency_.pop_back();
+  }
+
+  ds.prefix_freq_.resize(ds.by_frequency_.size() + 1, 0);
+  ds.prefix_freq_sq_.resize(ds.by_frequency_.size() + 1, 0.0);
+  for (size_t i = 0; i < ds.by_frequency_.size(); ++i) {
+    const double f = static_cast<double>(ds.frequency_[ds.by_frequency_[i]]);
+    ds.prefix_freq_[i + 1] = ds.prefix_freq_[i] + ds.frequency_[ds.by_frequency_[i]];
+    ds.prefix_freq_sq_[i + 1] = ds.prefix_freq_sq_[i] + f * f;
+  }
+  return ds;
+}
+
+uint64_t Dataset::TopFrequencySum(size_t r) const {
+  r = std::min(r, by_frequency_.size());
+  return prefix_freq_[r];
+}
+
+double Dataset::FrequencySecondMoment() const {
+  if (total_elements_ == 0) return 0.0;
+  const double n2 = static_cast<double>(total_elements_) *
+                    static_cast<double>(total_elements_);
+  return prefix_freq_sq_.back() / n2;
+}
+
+double Dataset::TopFrequencySecondMoment(size_t r) const {
+  if (total_elements_ == 0) return 0.0;
+  r = std::min(r, by_frequency_.size());
+  const double n2 = static_cast<double>(total_elements_) *
+                    static_cast<double>(total_elements_);
+  return prefix_freq_sq_[r] / n2;
+}
+
+const DatasetStats& Dataset::stats() const {
+  if (stats_ready_) return stats_;
+  DatasetStats s;
+  s.num_records = records_.size();
+  s.num_distinct = num_distinct_;
+  s.total_elements = total_elements_;
+  if (!records_.empty()) {
+    s.min_record_size = records_[0].size();
+    s.max_record_size = records_[0].size();
+    for (const Record& r : records_) {
+      s.min_record_size = std::min(s.min_record_size, r.size());
+      s.max_record_size = std::max(s.max_record_size, r.size());
+    }
+    s.avg_record_size = static_cast<double>(total_elements_) /
+                        static_cast<double>(records_.size());
+  }
+  // α1: fit over element frequencies; α2: fit over record sizes.
+  std::vector<uint64_t> freqs;
+  freqs.reserve(num_distinct_);
+  for (uint64_t f : frequency_) {
+    if (f > 0) freqs.push_back(f);
+  }
+  s.alpha_element_freq = FitPowerLawExponent(freqs, 1);
+  std::vector<uint64_t> sizes;
+  sizes.reserve(records_.size());
+  for (const Record& r : records_) sizes.push_back(r.size());
+  const uint64_t size_xmin = s.min_record_size > 0 ? s.min_record_size : 1;
+  s.alpha_record_size = FitPowerLawExponent(sizes, size_xmin);
+  stats_ = s;
+  stats_ready_ = true;
+  return stats_;
+}
+
+}  // namespace gbkmv

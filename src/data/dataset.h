@@ -1,0 +1,92 @@
+// Dataset: an immutable collection of records plus the global statistics the
+// GB-KMV machinery needs (element frequencies, frequency ranking, total
+// element count N, power-law exponents).
+
+#ifndef GBKMV_DATA_DATASET_H_
+#define GBKMV_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/record.h"
+
+namespace gbkmv {
+
+// Summary statistics in the shape of the paper's Table II.
+struct DatasetStats {
+  size_t num_records = 0;         // m
+  size_t num_distinct = 0;        // n (elements with frequency > 0)
+  uint64_t total_elements = 0;    // N = Σ |X_i|
+  double avg_record_size = 0.0;
+  size_t min_record_size = 0;
+  size_t max_record_size = 0;
+  double alpha_element_freq = 0.0;  // α1 (MLE fit)
+  double alpha_record_size = 0.0;   // α2 (MLE fit)
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  // Takes ownership of `records`; every record must be normalised
+  // (sorted unique). Computes frequency statistics eagerly.
+  static Result<Dataset> Create(std::vector<Record> records,
+                                std::string name = "dataset");
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const Record& record(size_t i) const { return records_[i]; }
+  const std::vector<Record>& records() const { return records_; }
+
+  // Total number of element occurrences, N = Σ|X_i|.
+  uint64_t total_elements() const { return total_elements_; }
+
+  // Largest element id + 1 (ids are dense but may have gaps with freq 0).
+  size_t universe_size() const { return frequency_.size(); }
+
+  // Number of elements with frequency > 0.
+  size_t num_distinct() const { return num_distinct_; }
+
+  // Frequency of element `e` (0 for unseen ids).
+  uint64_t frequency(ElementId e) const {
+    return e < frequency_.size() ? frequency_[e] : 0;
+  }
+  const std::vector<uint64_t>& frequencies() const { return frequency_; }
+
+  // Element ids sorted by decreasing frequency (ties by id); the first r
+  // entries are the GB-KMV buffer universe E_H.
+  const std::vector<ElementId>& elements_by_frequency() const {
+    return by_frequency_;
+  }
+
+  // Σ of the top-r frequencies (N1 in §IV-C6). r is clamped to num_distinct.
+  uint64_t TopFrequencySum(size_t r) const;
+
+  // Σ f_i² over *all* elements divided by N² (fn2 in the paper's analysis).
+  double FrequencySecondMoment() const;
+
+  // Σ f_i² over the top-r elements divided by N² (fr2).
+  double TopFrequencySecondMoment(size_t r) const;
+
+  // Full Table II-style stats (fits power-law exponents on demand; cached).
+  const DatasetStats& stats() const;
+
+ private:
+  std::string name_;
+  std::vector<Record> records_;
+  std::vector<uint64_t> frequency_;
+  std::vector<ElementId> by_frequency_;
+  std::vector<uint64_t> prefix_freq_;     // prefix sums over by_frequency_.
+  std::vector<double> prefix_freq_sq_;    // prefix sums of f².
+  uint64_t total_elements_ = 0;
+  size_t num_distinct_ = 0;
+  mutable DatasetStats stats_;
+  mutable bool stats_ready_ = false;
+};
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_DATA_DATASET_H_

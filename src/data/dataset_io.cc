@@ -1,0 +1,59 @@
+#include "data/dataset_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace gbkmv {
+
+Result<Dataset> LoadDataset(const std::string& path, size_t min_record_size,
+                            const std::string& name) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::vector<Record> records;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::vector<ElementId> elems;
+    long long value = 0;
+    while (ss >> value) {
+      if (value < 0 || value > static_cast<long long>(~ElementId{0})) {
+        return Status::InvalidArgument("element id out of range at line " +
+                                       std::to_string(line_no));
+      }
+      elems.push_back(static_cast<ElementId>(value));
+    }
+    if (!ss.eof()) {
+      return Status::InvalidArgument("non-integer token at line " +
+                                     std::to_string(line_no));
+    }
+    Record r = MakeRecord(std::move(elems));
+    if (r.size() >= min_record_size) records.push_back(std::move(r));
+  }
+  return Dataset::Create(std::move(records),
+                         name.empty() ? path : name);
+}
+
+Status SaveDataset(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  for (const Record& r : dataset.records()) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      if (i) out << ' ';
+      out << r[i];
+    }
+    out << '\n';
+  }
+  if (!out) {
+    return Status::IOError("write failed for " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace gbkmv

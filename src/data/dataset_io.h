@@ -1,0 +1,28 @@
+// Text I/O for datasets.
+//
+// Format: one record per line, whitespace-separated non-negative integer
+// element ids. Lines starting with '#' and blank lines are skipped. This is
+// the standard format of set-similarity benchmark dumps, so real datasets
+// (e.g. dictionary-encoded NETFLIX/ENRON) can be dropped in directly.
+
+#ifndef GBKMV_DATA_DATASET_IO_H_
+#define GBKMV_DATA_DATASET_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace gbkmv {
+
+// Loads a dataset from `path`. Records are normalised; records with fewer
+// than `min_record_size` elements are discarded (the paper drops |X| < 10).
+Result<Dataset> LoadDataset(const std::string& path,
+                            size_t min_record_size = 1,
+                            const std::string& name = "");
+
+// Writes `dataset` to `path` in the same format.
+Status SaveDataset(const Dataset& dataset, const std::string& path);
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_DATA_DATASET_IO_H_

@@ -1,0 +1,58 @@
+// Scaled synthetic proxies for the seven real datasets of Table II.
+//
+// The real datasets (NETFLIX, DELIC, COD, ENRON, REUTERS, WEBSPAM, WDC) are
+// not redistributable / not available offline, so each is replaced by a
+// synthetic dataset matched to its published characteristics: the power-law
+// exponents α1 (element frequency) and α2 (record size) from Table II, and a
+// record count / average length / universe scaled down uniformly so that each
+// experiment harness finishes in seconds on one machine. The paper's analysis
+// (§IV-C) models a dataset only through (m, n, N, α1, α2), so matched-moment
+// proxies exercise the same accuracy regimes. See DESIGN.md §4.
+
+#ifndef GBKMV_DATA_PROXIES_H_
+#define GBKMV_DATA_PROXIES_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/synthetic.h"
+
+namespace gbkmv {
+
+enum class PaperDataset {
+  kNetflix,
+  kDelicious,
+  kCanadianOpenData,
+  kEnron,
+  kReuters,
+  kWebspam,
+  kWdcWebTable,
+};
+
+// All seven, in the order of Table II.
+const std::vector<PaperDataset>& AllPaperDatasets();
+
+// Table II abbreviation ("NETFLIX", "DELIC", ...).
+std::string PaperDatasetName(PaperDataset d);
+
+// The published characteristics from Table II (for documentation output).
+struct PublishedStats {
+  size_t num_records;
+  double avg_length;
+  size_t num_distinct;
+  double alpha1;  // element frequency exponent
+  double alpha2;  // record size exponent
+};
+PublishedStats PaperDatasetPublishedStats(PaperDataset d);
+
+// Synthetic generator configuration for the proxy. `scale` multiplies the
+// record count (1.0 = default laptop-scale proxy).
+SyntheticConfig ProxyConfig(PaperDataset d, double scale = 1.0);
+
+// Generates the proxy dataset (deterministic per dataset).
+Result<Dataset> GenerateProxy(PaperDataset d, double scale = 1.0);
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_DATA_PROXIES_H_

@@ -1,0 +1,58 @@
+#include "data/record.h"
+
+#include <algorithm>
+
+namespace gbkmv {
+
+Record MakeRecord(std::vector<ElementId> elements) {
+  std::sort(elements.begin(), elements.end());
+  elements.erase(std::unique(elements.begin(), elements.end()), elements.end());
+  return elements;
+}
+
+bool IsNormalized(const Record& r) {
+  for (size_t i = 1; i < r.size(); ++i) {
+    if (r[i - 1] >= r[i]) return false;
+  }
+  return true;
+}
+
+size_t IntersectSize(const Record& a, const Record& b) {
+  size_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+size_t UnionSize(const Record& a, const Record& b) {
+  return a.size() + b.size() - IntersectSize(a, b);
+}
+
+double JaccardSimilarity(const Record& a, const Record& b) {
+  const size_t inter = IntersectSize(a, b);
+  const size_t uni = a.size() + b.size() - inter;
+  if (uni == 0) return 0.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double ContainmentSimilarity(const Record& q, const Record& x) {
+  if (q.empty()) return 0.0;
+  return static_cast<double>(IntersectSize(q, x)) /
+         static_cast<double>(q.size());
+}
+
+bool Contains(const Record& a, ElementId element) {
+  return std::binary_search(a.begin(), a.end(), element);
+}
+
+}  // namespace gbkmv

@@ -1,0 +1,45 @@
+// Record: a set of dictionary-encoded elements.
+//
+// A record is stored as a sorted vector of unique uint32 element ids, which
+// makes exact intersections/unions linear merges and keeps the memory layout
+// flat. `MakeRecord` normalises arbitrary input (sorts + dedups).
+
+#ifndef GBKMV_DATA_RECORD_H_
+#define GBKMV_DATA_RECORD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gbkmv {
+
+using ElementId = uint32_t;
+
+// Sorted, duplicate-free element ids.
+using Record = std::vector<ElementId>;
+
+// Normalises `elements` into a Record (sorted unique).
+Record MakeRecord(std::vector<ElementId> elements);
+
+// True if `r` is sorted and duplicate-free.
+bool IsNormalized(const Record& r);
+
+// Exact |a ∩ b| by linear merge.
+size_t IntersectSize(const Record& a, const Record& b);
+
+// Exact |a ∪ b|.
+size_t UnionSize(const Record& a, const Record& b);
+
+// Exact Jaccard similarity |a∩b| / |a∪b|; 0 when both are empty.
+double JaccardSimilarity(const Record& a, const Record& b);
+
+// Exact containment similarity C(q, x) = |q∩x| / |q| (Definition 2);
+// 0 when q is empty.
+double ContainmentSimilarity(const Record& q, const Record& x);
+
+// True iff `a` contains `element` (binary search).
+bool Contains(const Record& a, ElementId element);
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_DATA_RECORD_H_

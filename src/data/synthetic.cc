@@ -1,0 +1,70 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/power_law.h"
+#include "common/random.h"
+
+namespace gbkmv {
+
+Result<Dataset> GenerateSynthetic(const SyntheticConfig& config) {
+  if (config.num_records == 0) {
+    return Status::InvalidArgument("num_records must be positive");
+  }
+  if (config.universe_size == 0) {
+    return Status::InvalidArgument("universe_size must be positive");
+  }
+  if (config.min_record_size == 0 ||
+      config.min_record_size > config.max_record_size) {
+    return Status::InvalidArgument("invalid record size range");
+  }
+  if (config.max_record_size > config.universe_size) {
+    return Status::InvalidArgument(
+        "max_record_size exceeds universe_size; records are sets");
+  }
+  if (config.alpha_element_freq < 0 || config.alpha_record_size < 0) {
+    return Status::InvalidArgument("power-law exponents must be >= 0");
+  }
+
+  Rng rng(config.seed);
+  const ZipfDistribution size_dist(config.min_record_size,
+                                   config.max_record_size,
+                                   config.alpha_record_size);
+  // Element popularity: rank i (0-based) has probability ∝ (i+1)^{-α1}.
+  // Identity mapping rank -> element id keeps generated ids interpretable
+  // (id 0 is the most frequent element).
+  const ZipfDistribution elem_dist(1, config.universe_size,
+                                   config.alpha_element_freq);
+
+  std::vector<Record> records;
+  records.reserve(config.num_records);
+  std::vector<ElementId> scratch;
+  std::unordered_set<ElementId> seen;
+  for (size_t i = 0; i < config.num_records; ++i) {
+    const size_t target = static_cast<size_t>(size_dist.Sample(rng));
+    scratch.clear();
+    seen.clear();
+    // Rejection sampling without replacement. For highly skewed universes a
+    // record may saturate the head of the distribution; cap the attempts and
+    // fall back to sequential ids to guarantee progress.
+    size_t attempts = 0;
+    const size_t max_attempts = 64 * target + 1024;
+    while (scratch.size() < target && attempts < max_attempts) {
+      ++attempts;
+      const ElementId e = static_cast<ElementId>(elem_dist.Sample(rng) - 1);
+      if (seen.insert(e).second) scratch.push_back(e);
+    }
+    ElementId fill = 0;
+    while (scratch.size() < target &&
+           fill < static_cast<ElementId>(config.universe_size)) {
+      if (seen.insert(fill).second) scratch.push_back(fill);
+      ++fill;
+    }
+    records.push_back(MakeRecord(std::move(scratch)));
+    scratch = {};
+  }
+  return Dataset::Create(std::move(records), config.name);
+}
+
+}  // namespace gbkmv

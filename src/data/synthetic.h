@@ -1,0 +1,36 @@
+// Synthetic set-valued data generation.
+//
+// Reproduces the workloads of §V: record sizes drawn from a truncated power
+// law with exponent α2 (recSize z-value), elements drawn from a Zipf
+// distribution over the universe with exponent α1 (eleFreq z-value), sampled
+// without replacement within a record. α = 0 yields the uniform workloads of
+// Fig. 19(a).
+
+#ifndef GBKMV_DATA_SYNTHETIC_H_
+#define GBKMV_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace gbkmv {
+
+struct SyntheticConfig {
+  std::string name = "synthetic";
+  size_t num_records = 10000;       // m
+  size_t universe_size = 100000;    // n (element ids 0..n-1)
+  size_t min_record_size = 10;      // paper discards records smaller than 10
+  size_t max_record_size = 1000;
+  double alpha_element_freq = 1.0;  // α1; 0 = uniform element popularity
+  double alpha_record_size = 2.0;   // α2; 0 = uniform sizes
+  uint64_t seed = 42;
+};
+
+// Generates a dataset according to `config`. Returns InvalidArgument for
+// inconsistent parameters (e.g. min size > universe).
+Result<Dataset> GenerateSynthetic(const SyntheticConfig& config);
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_DATA_SYNTHETIC_H_

@@ -1,0 +1,111 @@
+#include "data/tokenize.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/status.h"
+
+namespace gbkmv {
+
+ElementId Dictionary::Encode(std::string_view token) {
+  const auto it = ids_.find(std::string(token));
+  if (it != ids_.end()) return it->second;
+  const ElementId id = static_cast<ElementId>(tokens_.size());
+  tokens_.emplace_back(token);
+  ids_.emplace(tokens_.back(), id);
+  return id;
+}
+
+int64_t Dictionary::Lookup(std::string_view token) const {
+  const auto it = ids_.find(std::string(token));
+  return it == ids_.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+const std::string& Dictionary::Decode(ElementId id) const {
+  GBKMV_CHECK(id < tokens_.size());
+  return tokens_[id];
+}
+
+namespace {
+
+std::string LowerCase(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> SplitWords(std::string_view text) {
+  std::vector<std::string> words;
+  std::string current;
+  auto flush = [&] {
+    // Strip non-alphanumeric edges ("burgers!" -> "burgers").
+    size_t b = 0, e = current.size();
+    while (b < e && !std::isalnum(static_cast<unsigned char>(current[b]))) ++b;
+    while (e > b && !std::isalnum(static_cast<unsigned char>(current[e - 1]))) --e;
+    if (e > b) words.push_back(current.substr(b, e - b));
+    current.clear();
+  };
+  for (char raw : LowerCase(text)) {
+    if (std::isspace(static_cast<unsigned char>(raw))) {
+      flush();
+    } else {
+      current.push_back(raw);
+    }
+  }
+  flush();
+  return words;
+}
+
+std::vector<std::string> CharacterShingles(std::string_view text, size_t q) {
+  GBKMV_CHECK(q >= 1);
+  const std::string lower = LowerCase(text);
+  std::vector<std::string> grams;
+  if (lower.empty()) return grams;
+  if (lower.size() <= q) {
+    grams.push_back(lower);
+    return grams;
+  }
+  grams.reserve(lower.size() - q + 1);
+  for (size_t i = 0; i + q <= lower.size(); ++i) {
+    grams.push_back(lower.substr(i, q));
+  }
+  return grams;
+}
+
+Record EncodeWords(std::string_view text, Dictionary& dict) {
+  std::vector<ElementId> ids;
+  for (const std::string& w : SplitWords(text)) ids.push_back(dict.Encode(w));
+  return MakeRecord(std::move(ids));
+}
+
+Record EncodeShingles(std::string_view text, size_t q, Dictionary& dict) {
+  std::vector<ElementId> ids;
+  for (const std::string& g : CharacterShingles(text, q)) {
+    ids.push_back(dict.Encode(g));
+  }
+  return MakeRecord(std::move(ids));
+}
+
+Record EncodeWordsFrozen(std::string_view text, const Dictionary& dict) {
+  std::vector<ElementId> ids;
+  for (const std::string& w : SplitWords(text)) {
+    const int64_t id = dict.Lookup(w);
+    if (id >= 0) ids.push_back(static_cast<ElementId>(id));
+  }
+  return MakeRecord(std::move(ids));
+}
+
+Record EncodeShinglesFrozen(std::string_view text, size_t q,
+                            const Dictionary& dict) {
+  std::vector<ElementId> ids;
+  for (const std::string& g : CharacterShingles(text, q)) {
+    const int64_t id = dict.Lookup(g);
+    if (id >= 0) ids.push_back(static_cast<ElementId>(id));
+  }
+  return MakeRecord(std::move(ids));
+}
+
+}  // namespace gbkmv

@@ -1,0 +1,60 @@
+// Text-to-record substrate: dictionary encoding plus the two tokenizations
+// the paper's application domains use — word sets (record matching, emails)
+// and character q-gram shingles (error-tolerant search, where higher-order
+// shingles blow up the vocabulary; §I "Challenges").
+
+#ifndef GBKMV_DATA_TOKENIZE_H_
+#define GBKMV_DATA_TOKENIZE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "data/record.h"
+
+namespace gbkmv {
+
+// Bidirectional string <-> dense element id mapping.
+class Dictionary {
+ public:
+  // Returns the id of `token`, assigning the next free id on first sight.
+  ElementId Encode(std::string_view token);
+
+  // Id of `token` if known, otherwise -1 (queries against a frozen
+  // vocabulary must not grow it).
+  int64_t Lookup(std::string_view token) const;
+
+  // Inverse mapping; id must have been issued by Encode.
+  const std::string& Decode(ElementId id) const;
+
+  size_t size() const { return tokens_.size(); }
+
+ private:
+  std::unordered_map<std::string, ElementId> ids_;
+  std::vector<std::string> tokens_;
+};
+
+// Splits on whitespace, lower-cases, strips non-alphanumeric edges.
+// "Five Guys, Burgers!" -> {"five", "guys", "burgers"}.
+std::vector<std::string> SplitWords(std::string_view text);
+
+// Character q-grams of the lower-cased text (q >= 1); texts shorter than q
+// yield one gram (the whole text). "abcd", q=2 -> {"ab", "bc", "cd"}.
+std::vector<std::string> CharacterShingles(std::string_view text, size_t q);
+
+// Encodes the word set of `text` as a record.
+Record EncodeWords(std::string_view text, Dictionary& dict);
+
+// Encodes the q-gram set of `text` as a record.
+Record EncodeShingles(std::string_view text, size_t q, Dictionary& dict);
+
+// Query-side variants against a frozen dictionary: unknown tokens are
+// dropped (they cannot occur in any indexed record).
+Record EncodeWordsFrozen(std::string_view text, const Dictionary& dict);
+Record EncodeShinglesFrozen(std::string_view text, size_t q,
+                            const Dictionary& dict);
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_DATA_TOKENIZE_H_

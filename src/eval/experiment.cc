@@ -1,0 +1,65 @@
+#include "eval/experiment.h"
+
+#include "common/timer.h"
+#include "eval/ground_truth.h"
+
+namespace gbkmv {
+
+ExperimentResult EvaluateSearcher(
+    const Dataset& dataset, const ContainmentSearcher& searcher,
+    double threshold, const std::vector<RecordId>& queries,
+    const std::vector<std::vector<RecordId>>& truth) {
+  GBKMV_CHECK(queries.size() == truth.size());
+  ExperimentResult result;
+  result.threshold = threshold;
+  result.method = searcher.name();
+  result.space_ratio =
+      dataset.total_elements() == 0
+          ? 0.0
+          : static_cast<double>(searcher.SpaceUnits()) /
+                static_cast<double>(dataset.total_elements());
+
+  std::vector<AccuracyMetrics> per_query;
+  per_query.reserve(queries.size());
+  double total_query_seconds = 0.0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Record& q = dataset.record(queries[i]);
+    WallTimer query_timer;
+    const std::vector<RecordId> returned = searcher.Search(q, threshold);
+    total_query_seconds += query_timer.ElapsedSeconds();
+    per_query.push_back(ComputeAccuracy(returned, truth[i]));
+    result.per_query_f1.push_back(per_query.back().f1);
+  }
+  result.accuracy = AverageAccuracy(per_query);
+  result.avg_query_seconds =
+      queries.empty() ? 0.0 : total_query_seconds / queries.size();
+  return result;
+}
+
+ExperimentResult RunExperimentWithTruth(
+    const Dataset& dataset, const SearcherConfig& config, double threshold,
+    const std::vector<RecordId>& queries,
+    const std::vector<std::vector<RecordId>>& truth) {
+  WallTimer build_timer;
+  Result<std::unique_ptr<ContainmentSearcher>> searcher =
+      BuildSearcher(dataset, config);
+  GBKMV_CHECK(searcher.ok());
+  const double build_seconds = build_timer.ElapsedSeconds();
+  ExperimentResult result =
+      EvaluateSearcher(dataset, **searcher, threshold, queries, truth);
+  result.build_seconds = build_seconds;
+  return result;
+}
+
+ExperimentResult RunExperiment(const Dataset& dataset,
+                               const SearcherConfig& config,
+                               const ExperimentOptions& options) {
+  const std::vector<RecordId> queries =
+      SampleQueries(dataset, options.num_queries, options.query_seed);
+  const std::vector<std::vector<RecordId>> truth =
+      ComputeGroundTruth(dataset, queries, options.threshold);
+  return RunExperimentWithTruth(dataset, config, options.threshold, queries,
+                                truth);
+}
+
+}  // namespace gbkmv

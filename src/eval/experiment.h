@@ -1,0 +1,54 @@
+// Experiment runner shared by all bench harnesses: builds a method over a
+// dataset, runs a sampled query workload against exact ground truth, and
+// reports the paper's measurements (accuracy, space ratio, build time,
+// per-query search time).
+
+#ifndef GBKMV_EVAL_EXPERIMENT_H_
+#define GBKMV_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/containment.h"
+#include "eval/metrics.h"
+
+namespace gbkmv {
+
+struct ExperimentResult {
+  std::string method;
+  double threshold = 0.0;
+  double space_ratio = 0.0;        // SpaceUnits / N
+  double build_seconds = 0.0;
+  double avg_query_seconds = 0.0;
+  AccuracyMetrics accuracy;        // averaged over queries
+  std::vector<double> per_query_f1;  // for distribution plots (Fig. 14)
+};
+
+struct ExperimentOptions {
+  size_t num_queries = 200;  // paper default
+  double threshold = 0.5;    // paper default t*
+  uint64_t query_seed = 0xbeefcafeULL;
+};
+
+// Ground truth computed internally (exact oracle) for the sampled queries.
+ExperimentResult RunExperiment(const Dataset& dataset,
+                               const SearcherConfig& config,
+                               const ExperimentOptions& options);
+
+// Variant with precomputed queries/truth so several methods share one
+// workload (and the ground-truth cost is paid once).
+ExperimentResult RunExperimentWithTruth(
+    const Dataset& dataset, const SearcherConfig& config, double threshold,
+    const std::vector<RecordId>& queries,
+    const std::vector<std::vector<RecordId>>& truth);
+
+// Evaluates an already-built searcher (build_seconds reported as 0); use
+// when one index serves several thresholds or workloads.
+ExperimentResult EvaluateSearcher(
+    const Dataset& dataset, const ContainmentSearcher& searcher,
+    double threshold, const std::vector<RecordId>& queries,
+    const std::vector<std::vector<RecordId>>& truth);
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_EVAL_EXPERIMENT_H_

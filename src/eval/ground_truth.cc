@@ -1,0 +1,32 @@
+#include "eval/ground_truth.h"
+
+#include "common/random.h"
+#include "index/freqset.h"
+
+namespace gbkmv {
+
+std::vector<RecordId> SampleQueries(const Dataset& dataset, size_t num_queries,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RecordId> queries;
+  queries.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    queries.push_back(
+        static_cast<RecordId>(rng.NextBounded(dataset.size())));
+  }
+  return queries;
+}
+
+std::vector<std::vector<RecordId>> ComputeGroundTruth(
+    const Dataset& dataset, const std::vector<RecordId>& queries,
+    double threshold) {
+  const FreqSetSearcher oracle(dataset);  // exact ScanCount
+  std::vector<std::vector<RecordId>> truth;
+  truth.reserve(queries.size());
+  for (RecordId q : queries) {
+    truth.push_back(oracle.Search(dataset.record(q), threshold));
+  }
+  return truth;
+}
+
+}  // namespace gbkmv

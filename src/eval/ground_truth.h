@@ -1,0 +1,28 @@
+// Ground-truth computation for the experiment harnesses: exact result sets
+// for a batch of queries, via the inverted-index ScanCount oracle (fast) —
+// equivalent to brute force, verified against it in tests.
+
+#ifndef GBKMV_EVAL_GROUND_TRUTH_H_
+#define GBKMV_EVAL_GROUND_TRUTH_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "index/searcher.h"
+
+namespace gbkmv {
+
+// Samples `num_queries` record ids uniformly (with a fixed seed) to act as
+// the query workload, as in §V-A ("200 queries randomly chosen").
+std::vector<RecordId> SampleQueries(const Dataset& dataset, size_t num_queries,
+                                    uint64_t seed);
+
+// Exact result sets: truth[i] = ids of records X with C(Q_i, X) >= threshold
+// where Q_i = dataset.record(queries[i]).
+std::vector<std::vector<RecordId>> ComputeGroundTruth(
+    const Dataset& dataset, const std::vector<RecordId>& queries,
+    double threshold);
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_EVAL_GROUND_TRUTH_H_

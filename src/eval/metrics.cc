@@ -1,0 +1,63 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace gbkmv {
+
+double FScore(double precision, double recall, double alpha) {
+  const double a2 = alpha * alpha;
+  const double denom = a2 * precision + recall;
+  if (denom <= 0.0) return 0.0;
+  return (1.0 + a2) * precision * recall / denom;
+}
+
+AccuracyMetrics ComputeAccuracy(const std::vector<RecordId>& returned,
+                                const std::vector<RecordId>& truth) {
+  std::vector<RecordId> a = returned;
+  std::vector<RecordId> t = truth;
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  std::sort(t.begin(), t.end());
+  t.erase(std::unique(t.begin(), t.end()), t.end());
+
+  AccuracyMetrics m;
+  m.returned = a.size();
+  m.relevant = t.size();
+  std::vector<RecordId> tp;
+  std::set_intersection(a.begin(), a.end(), t.begin(), t.end(),
+                        std::back_inserter(tp));
+  m.true_positives = tp.size();
+
+  m.precision = a.empty() ? 1.0
+                          : static_cast<double>(m.true_positives) /
+                                static_cast<double>(a.size());
+  m.recall = t.empty() ? 1.0
+                       : static_cast<double>(m.true_positives) /
+                             static_cast<double>(t.size());
+  m.f1 = FScore(m.precision, m.recall, 1.0);
+  m.f05 = FScore(m.precision, m.recall, 0.5);
+  return m;
+}
+
+AccuracyMetrics AverageAccuracy(
+    const std::vector<AccuracyMetrics>& per_query) {
+  AccuracyMetrics avg;
+  if (per_query.empty()) return avg;
+  for (const AccuracyMetrics& m : per_query) {
+    avg.precision += m.precision;
+    avg.recall += m.recall;
+    avg.f1 += m.f1;
+    avg.f05 += m.f05;
+    avg.true_positives += m.true_positives;
+    avg.returned += m.returned;
+    avg.relevant += m.relevant;
+  }
+  const double n = static_cast<double>(per_query.size());
+  avg.precision /= n;
+  avg.recall /= n;
+  avg.f1 /= n;
+  avg.f05 /= n;
+  return avg;
+}
+
+}  // namespace gbkmv

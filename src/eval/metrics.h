@@ -1,0 +1,38 @@
+// Accuracy metrics of §V-A: precision, recall and the Fα score (Eq. 35).
+
+#ifndef GBKMV_EVAL_METRICS_H_
+#define GBKMV_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "index/searcher.h"
+
+namespace gbkmv {
+
+struct AccuracyMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double f05 = 0.0;
+
+  size_t true_positives = 0;
+  size_t returned = 0;      // |A|
+  size_t relevant = 0;      // |T|
+};
+
+// Fα = (1+α²)·P·R / (α²·P + R); 0 when the denominator vanishes.
+double FScore(double precision, double recall, double alpha);
+
+// Compares a result set A against the ground truth T (both unsorted id
+// lists; duplicates are ignored). Conventions for degenerate cases follow
+// the evaluation in [44]: empty T and empty A count as perfect (1.0);
+// empty A with non-empty T gives precision 1, recall 0.
+AccuracyMetrics ComputeAccuracy(const std::vector<RecordId>& returned,
+                                const std::vector<RecordId>& truth);
+
+// Averages metrics over queries (field-wise mean).
+AccuracyMetrics AverageAccuracy(const std::vector<AccuracyMetrics>& per_query);
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_EVAL_METRICS_H_

@@ -1,0 +1,56 @@
+#include "eval/table.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace gbkmv {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::Num(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::string Table::Int(uint64_t value) { return std::to_string(value); }
+
+std::string Table::ToString() const {
+  size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<size_t> width(cols, 0);
+  auto widen = [&width](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream os;
+  auto emit = [&os, &width, cols](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      os << cell << std::string(width[c] - cell.size(), ' ');
+      if (c + 1 < cols) os << "  ";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < cols; ++c) total += width[c] + (c + 1 < cols ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace gbkmv

@@ -1,0 +1,36 @@
+// Aligned ASCII table printer for the experiment harnesses, so every bench
+// binary prints the paper's rows/series in a uniform format.
+
+#ifndef GBKMV_EVAL_TABLE_H_
+#define GBKMV_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace gbkmv {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Adds one row; missing cells print empty, extra cells are kept.
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: formats doubles with `precision` digits.
+  static std::string Num(double value, int precision = 4);
+  static std::string Int(uint64_t value);
+
+  // Renders with column alignment and a separator under the header.
+  std::string ToString() const;
+
+  // Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_EVAL_TABLE_H_

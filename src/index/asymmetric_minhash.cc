@@ -1,0 +1,79 @@
+#include "index/asymmetric_minhash.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gbkmv {
+
+namespace {
+
+// Dummy element ids live above the real universe; each record gets its own
+// disjoint range so dummies never collide across records (padding must not
+// create artificial overlap).
+ElementId DummyBase(size_t universe_size, RecordId record, size_t padded_size) {
+  return static_cast<ElementId>(universe_size +
+                                static_cast<size_t>(record) * padded_size);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<AsymmetricMinHashSearcher>>
+AsymmetricMinHashSearcher::Create(const Dataset& dataset,
+                                  const AsymmetricMinHashOptions& options) {
+  if (options.num_hashes == 0) {
+    return Status::InvalidArgument("num_hashes must be positive");
+  }
+  if (dataset.empty()) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  std::unique_ptr<AsymmetricMinHashSearcher> s(
+      new AsymmetricMinHashSearcher(dataset, options));
+  for (const Record& r : dataset.records()) {
+    s->padded_size_ = std::max(s->padded_size_, r.size());
+  }
+
+  std::vector<MinHashSignature> signatures;
+  std::vector<RecordId> ids;
+  signatures.reserve(dataset.size());
+  Record padded;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    padded = dataset.record(i);
+    const ElementId base = DummyBase(dataset.universe_size(),
+                                     static_cast<RecordId>(i),
+                                     s->padded_size_);
+    for (size_t pad = padded.size(); pad < s->padded_size_; ++pad) {
+      padded.push_back(base + static_cast<ElementId>(pad));
+    }
+    signatures.push_back(MinHashSignature::Build(padded, s->family_));
+    ids.push_back(static_cast<RecordId>(i));
+  }
+  s->index_ = std::make_unique<MinHashLshIndex>(
+      signatures, ids, options.num_hashes,
+      DefaultRowChoices(options.num_hashes));
+  return s;
+}
+
+std::vector<RecordId> AsymmetricMinHashSearcher::Search(
+    const Record& query, double threshold) const {
+  std::vector<RecordId> out;
+  if (query.empty()) return out;
+  const double q = static_cast<double>(query.size());
+  const double theta = threshold * q;
+  // J(Q, X_pad) at the θ boundary; clamp into (0, 1].
+  const double denom = q + static_cast<double>(padded_size_) - theta;
+  if (denom <= 0.0) return out;
+  const double s_star = std::clamp(theta / denom, 1e-6, 1.0);
+
+  const MinHashSignature query_sig = MinHashSignature::Build(query, family_);
+  const BandParams params = OptimalBandParams(options_.num_hashes, s_star,
+                                              index_->row_choices());
+  out = index_->Query(query_sig, params);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t AsymmetricMinHashSearcher::SpaceUnits() const {
+  return static_cast<uint64_t>(dataset_.size()) * options_.num_hashes;
+}
+
+}  // namespace gbkmv

@@ -1,0 +1,62 @@
+// Asymmetric minwise hashing (Shrivastava & Li, WWW 2015) — the
+// data-independent baseline that preceded LSH-E (§VI of the paper).
+//
+// Containment has no LSH family, but padding makes Jaccard a monotone proxy:
+// every record X is padded with |X_max| − |X| record-specific dummy elements
+// so all records have size M = |X_max|. For an unpadded query Q,
+//   J(Q, X_pad) = |Q∩X| / (|Q| + M − |Q∩X|)
+// is monotone in |Q∩X| for fixed |Q|, so a MinHash LSH over the padded
+// records retrieves high-containment records. A containment threshold t*
+// maps to the Jaccard threshold s* = θ / (q + M − θ), θ = t*·q.
+//
+// Like LSH-E, the candidates are the answer (no verification), which is why
+// the method favours recall; unlike LSH-E there is no size partitioning, so
+// heavily padded short records dilute the signatures — the weakness [44]
+// demonstrated and the reason the paper compares against LSH-E instead.
+
+#ifndef GBKMV_INDEX_ASYMMETRIC_MINHASH_H_
+#define GBKMV_INDEX_ASYMMETRIC_MINHASH_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "index/minhash_lsh.h"
+#include "index/searcher.h"
+
+namespace gbkmv {
+
+struct AsymmetricMinHashOptions {
+  size_t num_hashes = 256;
+  uint64_t seed = 0x5eedca5e;
+};
+
+class AsymmetricMinHashSearcher : public ContainmentSearcher {
+ public:
+  static Result<std::unique_ptr<AsymmetricMinHashSearcher>> Create(
+      const Dataset& dataset, const AsymmetricMinHashOptions& options);
+
+  std::vector<RecordId> Search(const Record& query,
+                               double threshold) const override;
+  std::string name() const override { return "A-MH"; }
+  uint64_t SpaceUnits() const override;
+
+  size_t padded_size() const { return padded_size_; }
+
+ private:
+  AsymmetricMinHashSearcher(const Dataset& dataset,
+                            const AsymmetricMinHashOptions& options)
+      : dataset_(dataset), options_(options),
+        family_(options.num_hashes, options.seed) {}
+
+  const Dataset& dataset_;
+  AsymmetricMinHashOptions options_;
+  HashFamily family_;
+  size_t padded_size_ = 0;  // M = size of the largest record
+  std::unique_ptr<MinHashLshIndex> index_;
+};
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_INDEX_ASYMMETRIC_MINHASH_H_

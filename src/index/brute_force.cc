@@ -1,0 +1,30 @@
+#include "index/brute_force.h"
+
+#include <cmath>
+
+namespace gbkmv {
+
+std::vector<RecordId> BruteForceSearcher::Search(const Record& query,
+                                                 double threshold) const {
+  std::vector<RecordId> out;
+  if (query.empty()) return out;
+  // |Q∩X| >= t*·|Q| (Eq. 23). Use a half-ulp slack so thresholds like 0.5
+  // with |Q∩X|/|Q| == exactly t* are included (>=, Definition 3).
+  const double theta = threshold * static_cast<double>(query.size());
+  const size_t min_overlap =
+      static_cast<size_t>(std::ceil(theta - 1e-9));
+  for (size_t i = 0; i < dataset_.size(); ++i) {
+    const Record& x = dataset_.record(i);
+    if (x.size() < min_overlap) continue;  // Size lower bound.
+    if (IntersectSize(query, x) >= min_overlap) {
+      out.push_back(static_cast<RecordId>(i));
+    }
+  }
+  return out;
+}
+
+uint64_t BruteForceSearcher::SpaceUnits() const {
+  return dataset_.total_elements();  // The "index" is the raw data.
+}
+
+}  // namespace gbkmv

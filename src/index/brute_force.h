@@ -1,0 +1,30 @@
+// Exact brute-force containment search: merge-intersect the query with every
+// record. O(m · (|Q| + |X|)) per query — the ground-truth oracle for tests
+// and experiment harnesses.
+
+#ifndef GBKMV_INDEX_BRUTE_FORCE_H_
+#define GBKMV_INDEX_BRUTE_FORCE_H_
+
+#include "data/dataset.h"
+#include "index/searcher.h"
+
+namespace gbkmv {
+
+class BruteForceSearcher : public ContainmentSearcher {
+ public:
+  // Keeps a reference to `dataset`; the dataset must outlive the searcher.
+  explicit BruteForceSearcher(const Dataset& dataset) : dataset_(dataset) {}
+
+  std::vector<RecordId> Search(const Record& query,
+                               double threshold) const override;
+  std::string name() const override { return "BruteForce"; }
+  uint64_t SpaceUnits() const override;
+  bool exact() const override { return true; }
+
+ private:
+  const Dataset& dataset_;
+};
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_INDEX_BRUTE_FORCE_H_

@@ -1,0 +1,237 @@
+#include "index/dynamic_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+#include "sketch/gkmv.h"
+
+namespace gbkmv {
+
+namespace {
+
+// O(1) G-KMV pair estimate from summary counts (same derivation as the
+// static index: k = |L_Q| + |L_X| − K∩, U(k) = max of the two maxima).
+double GkmvEstimateFromCounts(size_t k_intersect, size_t q_size, size_t x_size,
+                              uint64_t q_max, uint64_t x_max) {
+  if (q_size == 0 || x_size == 0) return 0.0;
+  const size_t k = q_size + x_size - k_intersect;
+  if (k < 2) return 0.0;
+  const double u_k = HashToUnit(std::max(q_max, x_max));
+  if (u_k <= 0.0) return 0.0;
+  const double kd = static_cast<double>(k);
+  return static_cast<double>(k_intersect) / kd * (kd - 1.0) / u_k;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DynamicGbKmvIndex>> DynamicGbKmvIndex::Create(
+    const Dataset& initial, const DynamicGbKmvOptions& options) {
+  if (options.budget_units == 0) {
+    return Status::InvalidArgument("budget_units must be positive");
+  }
+  if (options.shrink_fill <= 0.0 || options.shrink_fill > 1.0) {
+    return Status::InvalidArgument("shrink_fill must be in (0, 1]");
+  }
+  if (options.buffer_bits > 0 &&
+      options.buffer_bits > initial.elements_by_frequency().size()) {
+    return Status::InvalidArgument(
+        "buffer_bits exceeds the initial dataset's distinct elements");
+  }
+
+  std::unique_ptr<DynamicGbKmvIndex> index(new DynamicGbKmvIndex());
+  index->options_ = options;
+  index->buffer_elements_.assign(
+      initial.elements_by_frequency().begin(),
+      initial.elements_by_frequency().begin() + options.buffer_bits);
+  index->RebuildBufferMap(initial.universe_size());
+
+  for (const Record& r : initial.records()) {
+    if (!IsNormalized(r)) {
+      return Status::InvalidArgument("initial dataset has unnormalised records");
+    }
+  }
+  for (const Record& r : initial.records()) index->Insert(r);
+  return index;
+}
+
+void DynamicGbKmvIndex::RebuildBufferMap(size_t universe_size) {
+  size_t needed = universe_size;
+  for (ElementId e : buffer_elements_) {
+    needed = std::max<size_t>(needed, static_cast<size_t>(e) + 1);
+  }
+  element_to_bit_.assign(needed, -1);
+  for (size_t bit = 0; bit < buffer_elements_.size(); ++bit) {
+    element_to_bit_[buffer_elements_[bit]] = static_cast<int32_t>(bit);
+  }
+}
+
+GbKmvSketch DynamicGbKmvIndex::MakeSketch(const Record& record) const {
+  GbKmvSketch sketch;
+  sketch.buffer = Bitmap(options_.buffer_bits);
+  Record non_buffered;
+  non_buffered.reserve(record.size());
+  for (ElementId e : record) {
+    const int32_t bit =
+        e < element_to_bit_.size() ? element_to_bit_[e] : -1;
+    if (bit >= 0) {
+      sketch.buffer.Set(static_cast<size_t>(bit));
+    } else {
+      non_buffered.push_back(e);
+    }
+  }
+  sketch.gkmv = GkmvSketch::Build(non_buffered, threshold_, options_.seed);
+  return sketch;
+}
+
+RecordId DynamicGbKmvIndex::Insert(Record record) {
+  GBKMV_CHECK(IsNormalized(record));
+  const RecordId id = static_cast<RecordId>(records_.size());
+  GbKmvSketch sketch = MakeSketch(record);
+  used_units_ += sketch.SpaceUnits(options_.buffer_bits);
+  for (uint64_t h : sketch.gkmv.values()) hash_postings_[h].push_back(id);
+  records_.push_back(std::move(record));
+  sketches_.push_back(std::move(sketch));
+  scan_counter_.push_back(0);
+  if (used_units_ > options_.budget_units) Shrink();
+  return id;
+}
+
+void DynamicGbKmvIndex::Shrink() {
+  const uint64_t target_total = std::max<uint64_t>(
+      1, static_cast<uint64_t>(options_.shrink_fill *
+                               static_cast<double>(options_.budget_units)));
+
+  // If the bitmaps alone outgrow the target (the record count keeps rising
+  // under a fixed budget), halve the buffer width until they fit in at most
+  // half the target; the freed elements fall back into the G-KMV pool.
+  auto bitmap_cost = [this]() {
+    return static_cast<uint64_t>(records_.size()) *
+           ((options_.buffer_bits + 31) / 32);
+  };
+  while (options_.buffer_bits > 0 && bitmap_cost() > target_total / 2) {
+    options_.buffer_bits /= 2;
+    buffer_elements_.resize(options_.buffer_bits);
+    RebuildBufferMap(element_to_bit_.size());
+  }
+
+  // Choose the largest τ' whose kept-hash volume fits the remaining
+  // allowance. Hashes are recomputed from the records so a buffer-width
+  // change is handled by the same path as a plain truncation.
+  const uint64_t hash_allowance = target_total - bitmap_cost();
+  std::vector<uint64_t> all_hashes;
+  all_hashes.reserve(used_units_);
+  for (const Record& r : records_) {
+    for (ElementId e : r) {
+      const int32_t bit = e < element_to_bit_.size() ? element_to_bit_[e] : -1;
+      if (bit >= 0) continue;
+      const uint64_t h = HashElement(e, options_.seed);
+      if (h <= threshold_) all_hashes.push_back(h);
+    }
+  }
+  std::sort(all_hashes.begin(), all_hashes.end());
+  if (all_hashes.size() > hash_allowance) {
+    // Cut strictly below the first dropped value (equal hashes mean the
+    // same element across records and must share fate).
+    const uint64_t first_dropped = all_hashes[hash_allowance];
+    threshold_ =
+        std::min(threshold_, first_dropped == 0 ? 0 : first_dropped - 1);
+  }
+
+  // Re-sketch everything under the new τ / buffer width.
+  hash_postings_.clear();
+  used_units_ = 0;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    sketches_[i] = MakeSketch(records_[i]);
+    used_units_ += sketches_[i].SpaceUnits(options_.buffer_bits);
+    for (uint64_t h : sketches_[i].gkmv.values()) {
+      hash_postings_[h].push_back(static_cast<RecordId>(i));
+    }
+  }
+}
+
+Status DynamicGbKmvIndex::Rebuild() {
+  Result<Dataset> dataset = Dataset::Create(records_, "dynamic-rebuild");
+  if (!dataset.ok()) return dataset.status();
+  const size_t r = std::min<size_t>(options_.buffer_bits,
+                                    dataset->elements_by_frequency().size());
+  buffer_elements_.assign(dataset->elements_by_frequency().begin(),
+                          dataset->elements_by_frequency().begin() + r);
+  RebuildBufferMap(dataset->universe_size());
+
+  threshold_ = ~0ULL;
+  hash_postings_.clear();
+  used_units_ = 0;
+  std::vector<Record> records = std::move(records_);
+  records_.clear();
+  sketches_.clear();
+  scan_counter_.clear();
+  for (Record& rec : records) Insert(std::move(rec));
+  return Status::OK();
+}
+
+std::vector<RecordId> DynamicGbKmvIndex::Search(const Record& query,
+                                                double threshold) const {
+  std::vector<RecordId> out;
+  if (query.empty() || records_.empty()) return out;
+  const size_t q = query.size();
+  const double theta = threshold * static_cast<double>(q);
+  const size_t min_size = static_cast<size_t>(std::ceil(theta - 1e-9));
+
+  const GbKmvSketch query_sketch = MakeSketch(query);
+  const std::vector<uint64_t>& q_hashes = query_sketch.gkmv.values();
+  const uint64_t q_max = q_hashes.empty() ? 0 : q_hashes.back();
+
+  std::vector<RecordId> touched;
+  for (uint64_t h : q_hashes) {
+    const auto it = hash_postings_.find(h);
+    if (it == hash_postings_.end()) continue;
+    for (RecordId id : it->second) {
+      if (scan_counter_[id] == 0) touched.push_back(id);
+      ++scan_counter_[id];
+    }
+  }
+  for (RecordId id : touched) {
+    const size_t k_intersect = scan_counter_[id];
+    scan_counter_[id] = 0;
+    if (records_[id].size() < min_size) continue;
+    const GbKmvSketch& x = sketches_[id];
+    const size_t o1 = Bitmap::IntersectCount(query_sketch.buffer, x.buffer);
+    const uint64_t x_max = x.gkmv.empty() ? 0 : x.gkmv.values().back();
+    const double est =
+        static_cast<double>(o1) +
+        GkmvEstimateFromCounts(k_intersect, q_hashes.size(), x.gkmv.size(),
+                               q_max, x_max);
+    const double cap =
+        static_cast<double>(std::min<size_t>(q, records_[id].size()));
+    if (std::min(est, cap) >= theta - 1e-9) out.push_back(id);
+  }
+  // Buffer-only qualifiers (K∩ = 0).
+  if (!query_sketch.buffer.Empty()) {
+    for (size_t i = 0; i < sketches_.size(); ++i) {
+      if (records_[i].size() < min_size) continue;
+      const size_t o1 =
+          Bitmap::IntersectCount(query_sketch.buffer, sketches_[i].buffer);
+      if (static_cast<double>(o1) >= theta - 1e-9) {
+        out.push_back(static_cast<RecordId>(i));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+double DynamicGbKmvIndex::EstimateContainment(const Record& query,
+                                              RecordId id) const {
+  if (query.empty()) return 0.0;
+  const GbKmvSketch query_sketch = MakeSketch(query);
+  const GbKmvPairEstimate est =
+      GbKmvSketcher::EstimatePair(query_sketch, sketches_[id]);
+  const double cap =
+      static_cast<double>(std::min<size_t>(query.size(), records_[id].size()));
+  return std::min(est.intersection_size, cap) /
+         static_cast<double>(query.size());
+}
+
+}  // namespace gbkmv

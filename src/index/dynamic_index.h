@@ -1,0 +1,109 @@
+// Dynamic GB-KMV index — the paper's "Processing Dynamic Data" (§IV-B).
+//
+// The static index fixes the global threshold τ from the dataset. In the
+// dynamic setting the space budget b stays fixed while records keep
+// arriving, so τ must shrink over time:
+//   * a new record is sketched with the current τ and appended;
+//   * when the total sketch size exceeds the budget, a new (smaller) τ is
+//     chosen as the largest hash value that fits the budget, and every
+//     stored sketch is truncated to it (a G-KMV sketch under τ' ⊂ τ is just
+//     the prefix of values ≤ τ', so maintenance never re-hashes records).
+// Truncation is amortised: τ is lowered so the index shrinks to
+// `shrink_fill` of the budget, giving headroom for further inserts.
+//
+// The buffer universe E_H is fixed from the initial dataset's frequency
+// statistics (the paper computes it once from distribution statistics);
+// Rebuild() recomputes it from the current contents when the distribution
+// has drifted.
+
+#ifndef GBKMV_INDEX_DYNAMIC_INDEX_H_
+#define GBKMV_INDEX_DYNAMIC_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "index/searcher.h"
+#include "sketch/gbkmv.h"
+
+namespace gbkmv {
+
+struct DynamicGbKmvOptions {
+  // Fixed total budget in element units. Required (> 0).
+  uint64_t budget_units = 0;
+  // Buffer width in bits (chosen by the caller or the cost model).
+  size_t buffer_bits = 0;
+  // After a threshold shrink the index occupies at most this fraction of
+  // the budget (amortisation headroom). In (0, 1].
+  double shrink_fill = 0.9;
+  uint64_t seed = kDefaultSketchSeed;
+};
+
+class DynamicGbKmvIndex : public ContainmentSearcher {
+ public:
+  // Builds from an initial dataset (may be empty only if `initial` has at
+  // least one record to define the buffer universe; otherwise buffer_bits
+  // must be 0).
+  static Result<std::unique_ptr<DynamicGbKmvIndex>> Create(
+      const Dataset& initial, const DynamicGbKmvOptions& options);
+
+  // Appends a record (normalised: sorted unique) and returns its id.
+  // May trigger a threshold shrink; never exceeds the budget.
+  RecordId Insert(Record record);
+
+  // Number of records currently indexed.
+  size_t size() const { return records_.size(); }
+
+  // Current global threshold (monotonically non-increasing over inserts).
+  uint64_t global_threshold() const { return threshold_; }
+
+  // Units currently used (bitmaps + stored hashes).
+  uint64_t used_units() const { return used_units_; }
+
+  // Recomputes the buffer universe and threshold from the current contents
+  // (full rebuild; use after heavy distribution drift).
+  Status Rebuild();
+
+  // ContainmentSearcher interface.
+  std::vector<RecordId> Search(const Record& query,
+                               double threshold) const override;
+  std::string name() const override { return "DynamicGB-KMV"; }
+  uint64_t SpaceUnits() const override { return used_units_; }
+
+  // Containment estimate against one stored record (Eq. 27).
+  double EstimateContainment(const Record& query, RecordId id) const;
+
+  const Record& record(RecordId id) const { return records_[id]; }
+
+ private:
+  DynamicGbKmvIndex() = default;
+
+  // (Re)derives element_to_bit_ from buffer_elements_.
+  void RebuildBufferMap(size_t universe_size);
+
+  // Sketches a record with the current τ / buffer universe.
+  GbKmvSketch MakeSketch(const Record& record) const;
+
+  // Lowers τ so used_units_ <= shrink_fill * budget; truncates sketches and
+  // rebuilds the hash postings.
+  void Shrink();
+
+  DynamicGbKmvOptions options_;
+  uint64_t threshold_ = ~0ULL;
+  uint64_t used_units_ = 0;
+
+  std::vector<ElementId> buffer_elements_;
+  std::vector<int32_t> element_to_bit_;  // grown on demand
+
+  std::vector<Record> records_;
+  std::vector<GbKmvSketch> sketches_;
+  std::unordered_map<uint64_t, std::vector<RecordId>> hash_postings_;
+  mutable std::vector<uint32_t> scan_counter_;
+};
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_INDEX_DYNAMIC_INDEX_H_

@@ -1,0 +1,26 @@
+#include "index/freqset.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace gbkmv {
+
+FreqSetSearcher::FreqSetSearcher(const Dataset& dataset)
+    : dataset_(dataset), index_(dataset) {}
+
+std::vector<RecordId> FreqSetSearcher::Search(const Record& query,
+                                              double threshold) const {
+  std::vector<RecordId> out;
+  if (query.empty()) return out;
+  const size_t theta = static_cast<size_t>(std::ceil(
+      threshold * static_cast<double>(query.size()) - 1e-9));
+  if (theta == 0) {
+    out.resize(dataset_.size());
+    std::iota(out.begin(), out.end(), 0);
+    return out;
+  }
+  if (theta > query.size()) return out;
+  return index_.ScanCount(query, theta);
+}
+
+}  // namespace gbkmv

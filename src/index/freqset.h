@@ -1,0 +1,38 @@
+// FrequentSet-style exact containment search.
+//
+// Stand-in for the inverted-list exact method of Agrawal et al. (SIGMOD
+// 2010) used as the second exact comparator in §V-F: a ScanCount over the
+// query's posting lists with the overlap threshold θ = ⌈t*·|Q|⌉, with a
+// cheap frequency-ordered early-termination heuristic (rare tokens first, so
+// the counter array stays sparse for selective queries). Unlike PPjoin* it
+// has no prefix/positional filtering — its per-query cost grows with the
+// total posting volume of the query, which is exactly the behaviour
+// Fig. 19(b) contrasts against GB-KMV.
+
+#ifndef GBKMV_INDEX_FREQSET_H_
+#define GBKMV_INDEX_FREQSET_H_
+
+#include "data/dataset.h"
+#include "index/inverted_index.h"
+#include "index/searcher.h"
+
+namespace gbkmv {
+
+class FreqSetSearcher : public ContainmentSearcher {
+ public:
+  explicit FreqSetSearcher(const Dataset& dataset);
+
+  std::vector<RecordId> Search(const Record& query,
+                               double threshold) const override;
+  std::string name() const override { return "FreqSet"; }
+  uint64_t SpaceUnits() const override { return index_.TotalPostings(); }
+  bool exact() const override { return true; }
+
+ private:
+  const Dataset& dataset_;
+  InvertedIndex index_;
+};
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_INDEX_FREQSET_H_

@@ -1,0 +1,222 @@
+#include "index/gbkmv_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/hash.h"
+
+namespace gbkmv {
+
+namespace {
+
+// O(1) G-KMV pair estimate from summary quantities (see header).
+double GkmvEstimateFromCounts(size_t k_intersect, size_t q_size, size_t x_size,
+                              uint64_t q_max, uint64_t x_max) {
+  if (q_size == 0 || x_size == 0) return 0.0;
+  const size_t k = q_size + x_size - k_intersect;
+  if (k < 2) return 0.0;
+  const double u_k = HashToUnit(std::max(q_max, x_max));
+  if (u_k <= 0.0) return 0.0;
+  const double kd = static_cast<double>(k);
+  return static_cast<double>(k_intersect) / kd * (kd - 1.0) / u_k;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<GbKmvIndexSearcher>> GbKmvIndexSearcher::Create(
+    const Dataset& dataset, const GbKmvIndexOptions& options) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  uint64_t budget = options.budget_units;
+  if (budget == 0) {
+    if (options.space_ratio <= 0.0) {
+      return Status::InvalidArgument("space_ratio must be positive");
+    }
+    budget = static_cast<uint64_t>(
+        options.space_ratio * static_cast<double>(dataset.total_elements()));
+  }
+  if (budget == 0) {
+    return Status::InvalidArgument("budget resolves to zero units");
+  }
+
+  std::unique_ptr<GbKmvIndexSearcher> s(new GbKmvIndexSearcher(dataset));
+
+  size_t buffer_bits = options.buffer_bits;
+  if (buffer_bits == GbKmvIndexOptions::kAutoBuffer) {
+    buffer_bits = ChooseBufferSize(dataset, budget, options.cost_model);
+  }
+  s->chosen_buffer_bits_ = buffer_bits;
+
+  GbKmvOptions sk_options;
+  sk_options.budget_units = budget;
+  sk_options.buffer_bits = buffer_bits;
+  sk_options.seed = options.seed;
+  Result<GbKmvSketcher> sketcher = GbKmvSketcher::Create(dataset, sk_options);
+  if (!sketcher.ok()) return sketcher.status();
+  s->sketcher_ = std::make_unique<GbKmvSketcher>(std::move(sketcher.value()));
+
+  s->sketches_.reserve(dataset.size());
+  s->record_sizes_.reserve(dataset.size());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    GbKmvSketch sketch = s->sketcher_->Sketch(dataset.record(i));
+    s->space_units_ += sketch.SpaceUnits(buffer_bits);
+    for (uint64_t h : sketch.gkmv.values()) {
+      s->hash_postings_[h].push_back(static_cast<RecordId>(i));
+    }
+    s->sketches_.push_back(std::move(sketch));
+    s->record_sizes_.push_back(
+        static_cast<uint32_t>(dataset.record(i).size()));
+  }
+
+  s->by_size_.resize(dataset.size());
+  std::iota(s->by_size_.begin(), s->by_size_.end(), 0);
+  std::sort(s->by_size_.begin(), s->by_size_.end(),
+            [&s](RecordId a, RecordId b) {
+              return s->record_sizes_[a] != s->record_sizes_[b]
+                         ? s->record_sizes_[a] < s->record_sizes_[b]
+                         : a < b;
+            });
+  s->sorted_sizes_.reserve(dataset.size());
+  for (RecordId id : s->by_size_) s->sorted_sizes_.push_back(s->record_sizes_[id]);
+  s->scan_counter_.assign(dataset.size(), 0);
+  return s;
+}
+
+std::vector<RecordId> GbKmvIndexSearcher::Search(const Record& query,
+                                                 double threshold) const {
+  std::vector<RecordId> out;
+  if (query.empty()) return out;
+  const size_t q = query.size();
+  const double theta = threshold * static_cast<double>(q);
+  // Partition lower bound: |X| >= ⌈θ⌉ is necessary for |Q∩X| >= θ.
+  const uint32_t min_size =
+      static_cast<uint32_t>(std::ceil(theta - 1e-9));
+
+  const GbKmvSketch query_sketch = sketcher_->Sketch(query);
+  const std::vector<uint64_t>& q_hashes = query_sketch.gkmv.values();
+  const size_t q_sketch_size = q_hashes.size();
+  const uint64_t q_max = q_hashes.empty() ? 0 : q_hashes.back();
+
+  // ScanCount over the sketch-hash inverted index -> exact K∩ per record.
+  std::vector<RecordId> touched;
+  for (uint64_t h : q_hashes) {
+    const auto it = hash_postings_.find(h);
+    if (it == hash_postings_.end()) continue;
+    for (RecordId id : it->second) {
+      if (scan_counter_[id] == 0) touched.push_back(id);
+      ++scan_counter_[id];
+    }
+  }
+
+  const bool query_buffer_empty = query_sketch.buffer.Empty();
+  auto score = [&](RecordId id, size_t k_intersect) -> double {
+    const GbKmvSketch& x = sketches_[id];
+    const size_t o1 = query_buffer_empty
+                          ? 0
+                          : Bitmap::IntersectCount(query_sketch.buffer,
+                                                   x.buffer);
+    const uint64_t x_max = x.gkmv.empty() ? 0 : x.gkmv.values().back();
+    const double d_hat = GkmvEstimateFromCounts(
+        k_intersect, q_sketch_size, x.gkmv.size(), q_max, x_max);
+    // The true intersection cannot exceed either set size; both are known
+    // exactly, so clamp the noisy sketch estimate (cuts false positives at
+    // high thresholds without affecting recall).
+    const double cap = static_cast<double>(
+        std::min<size_t>(q, record_sizes_[id]));
+    return std::min(static_cast<double>(o1) + d_hat, cap);
+  };
+
+  // Records with sketch-hash overlap.
+  for (RecordId id : touched) {
+    const size_t k_intersect = scan_counter_[id];
+    scan_counter_[id] = 0;
+    if (record_sizes_[id] < min_size) continue;
+    if (score(id, k_intersect) >= theta - 1e-9) out.push_back(id);
+  }
+
+  // Records that can qualify on the buffer alone (K∩ = 0): scan the
+  // size-eligible suffix with the bitmap fast path.
+  if (!query_buffer_empty) {
+    const auto begin_it = std::lower_bound(sorted_sizes_.begin(),
+                                           sorted_sizes_.end(), min_size);
+    for (size_t pos = static_cast<size_t>(begin_it - sorted_sizes_.begin());
+         pos < by_size_.size(); ++pos) {
+      const RecordId id = by_size_[pos];
+      const GbKmvSketch& x = sketches_[id];
+      if (x.buffer.Empty()) continue;
+      // Skip records already handled through the hash postings: their
+      // counter was consumed above, so re-scoring them here would duplicate.
+      // Cheap test: recompute K∩ = 0 candidates only.
+      // Records with K∩ >= 1 were already fully scored above; with K∩ = 0
+      // the sketched part contributes nothing, so only o1 >= θ can qualify
+      // here (duplicates are removed by the final sort+unique).
+      const size_t o1 =
+          Bitmap::IntersectCount(query_sketch.buffer, x.buffer);
+      if (static_cast<double>(o1) >= theta - 1e-9) out.push_back(id);
+    }
+  }
+
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+double GbKmvIndexSearcher::EstimateContainment(const Record& query,
+                                               RecordId id) const {
+  if (query.empty()) return 0.0;
+  const GbKmvSketch query_sketch = sketcher_->Sketch(query);
+  const double raw = GbKmvSketcher::EstimatePair(query_sketch, sketches_[id])
+                         .intersection_size;
+  const double cap =
+      static_cast<double>(std::min<size_t>(query.size(), record_sizes_[id]));
+  return std::min(raw, cap) / static_cast<double>(query.size());
+}
+
+Result<std::unique_ptr<KmvSearcher>> KmvSearcher::Create(const Dataset& dataset,
+                                                         double space_ratio,
+                                                         uint64_t seed) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  if (space_ratio <= 0.0) {
+    return Status::InvalidArgument("space_ratio must be positive");
+  }
+  std::unique_ptr<KmvSearcher> s(new KmvSearcher(dataset));
+  const uint64_t budget = static_cast<uint64_t>(
+      space_ratio * static_cast<double>(dataset.total_elements()));
+  s->k_ = std::max<size_t>(1, budget / dataset.size());  // Theorem 1: ⌊b/m⌋
+  s->seed_ = seed;
+  s->sketches_.reserve(dataset.size());
+  s->record_sizes_.reserve(dataset.size());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    KmvSketch sketch = KmvSketch::Build(dataset.record(i), s->k_, seed);
+    s->space_units_ += sketch.SpaceUnits();
+    s->sketches_.push_back(std::move(sketch));
+    s->record_sizes_.push_back(static_cast<uint32_t>(dataset.record(i).size()));
+  }
+  return s;
+}
+
+std::vector<RecordId> KmvSearcher::Search(const Record& query,
+                                          double threshold) const {
+  std::vector<RecordId> out;
+  if (query.empty()) return out;
+  const size_t q = query.size();
+  const double theta = threshold * static_cast<double>(q);
+  const uint32_t min_size = static_cast<uint32_t>(std::ceil(theta - 1e-9));
+  const KmvSketch query_sketch = KmvSketch::Build(query, k_, seed_);
+  for (size_t i = 0; i < sketches_.size(); ++i) {
+    if (record_sizes_[i] < min_size) continue;
+    const KmvPairEstimate est = EstimateKmvPair(query_sketch, sketches_[i]);
+    const double cap =
+        static_cast<double>(std::min<uint32_t>(q, record_sizes_[i]));
+    if (std::min(est.intersection_size, cap) >= theta - 1e-9) {
+      out.push_back(static_cast<RecordId>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace gbkmv

@@ -1,0 +1,118 @@
+// GB-KMV containment-similarity search (Algorithm 2 + the §IV-B
+// implementation notes).
+//
+// Build: one GbKmvSketch per record (buffer bitmap + G-KMV hash set), an
+// inverted index over the G-KMV hash values, and a size-sorted record order
+// for the partition lower-bound pruning.
+//
+// Query (threshold t*, θ = t*·|Q|):
+//   * records with |X| < θ are pruned outright (a record smaller than the
+//     required overlap can never qualify — the paper's per-partition size
+//     lower bound, applied at its finest granularity);
+//   * K∩ per record comes from a ScanCount over the query's sketch hashes
+//     (the paper's PPjoin*-style "K∩ ≥ o" candidate generation);
+//   * |H_Q ∩ H_X| comes from a bitmap AND over the eligible records;
+//   * the G-KMV estimator needs only (K∩, |L_Q|, |L_X|, max hash), all O(1)
+//     per candidate: k = |L_Q|+|L_X|−K∩ and U(k) = max(max L_Q, max L_X),
+//     so every candidate is scored exactly as Eq. 27 with no re-merge.
+// Records whose estimate reaches θ are returned.
+
+#ifndef GBKMV_INDEX_GBKMV_INDEX_H_
+#define GBKMV_INDEX_GBKMV_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "index/searcher.h"
+#include "sketch/cost_model.h"
+#include "sketch/gbkmv.h"
+
+namespace gbkmv {
+
+struct GbKmvIndexOptions {
+  // Space budget as a fraction of the dataset's total elements N
+  // (the paper's "SpaceUsed"; default 10%). Ignored if budget_units > 0.
+  double space_ratio = 0.10;
+  uint64_t budget_units = 0;
+
+  // Buffer width r in bits. kAutoBuffer asks the cost model (§IV-C6);
+  // 0 disables the buffer (G-KMV behaviour).
+  static constexpr size_t kAutoBuffer = ~size_t{0};
+  size_t buffer_bits = kAutoBuffer;
+
+  CostModelOptions cost_model;
+  uint64_t seed = kDefaultSketchSeed;
+};
+
+class GbKmvIndexSearcher : public ContainmentSearcher {
+ public:
+  // Builds sketches for every record. `dataset` must outlive the searcher.
+  static Result<std::unique_ptr<GbKmvIndexSearcher>> Create(
+      const Dataset& dataset, const GbKmvIndexOptions& options);
+
+  std::vector<RecordId> Search(const Record& query,
+                               double threshold) const override;
+  std::string name() const override {
+    return chosen_buffer_bits_ > 0 ? "GB-KMV" : "G-KMV";
+  }
+  uint64_t SpaceUnits() const override { return space_units_; }
+
+  // Containment estimate for a single record (Eq. 27 over stored sketches).
+  double EstimateContainment(const Record& query, RecordId id) const;
+
+  size_t chosen_buffer_bits() const { return chosen_buffer_bits_; }
+  uint64_t global_threshold() const { return sketcher_->global_threshold(); }
+
+ private:
+  GbKmvIndexSearcher(const Dataset& dataset) : dataset_(dataset) {}
+
+  const Dataset& dataset_;
+  std::unique_ptr<GbKmvSketcher> sketcher_;
+  size_t chosen_buffer_bits_ = 0;
+  uint64_t space_units_ = 0;
+
+  std::vector<GbKmvSketch> sketches_;          // per record id
+  std::vector<uint32_t> record_sizes_;         // |X| per record id
+  // Record ids sorted by ascending size + parallel sizes for binary search.
+  std::vector<RecordId> by_size_;
+  std::vector<uint32_t> sorted_sizes_;
+  // G-KMV hash value -> records containing it.
+  std::unordered_map<uint64_t, std::vector<RecordId>> hash_postings_;
+  mutable std::vector<uint32_t> scan_counter_;  // scratch, per record id
+};
+
+// Plain-KMV baseline searcher (§IV-A(1)): every record gets a size-⌊b/m⌋ KMV
+// sketch (the optimal allocation of Theorem 1) and queries are scored with
+// the classic pairwise estimator (Eqs. 8–10) against all size-eligible
+// records.
+class KmvSearcher : public ContainmentSearcher {
+ public:
+  static Result<std::unique_ptr<KmvSearcher>> Create(
+      const Dataset& dataset, double space_ratio,
+      uint64_t seed = kDefaultSketchSeed);
+
+  std::vector<RecordId> Search(const Record& query,
+                               double threshold) const override;
+  std::string name() const override { return "KMV"; }
+  uint64_t SpaceUnits() const override { return space_units_; }
+
+  size_t sketch_k() const { return k_; }
+
+ private:
+  explicit KmvSearcher(const Dataset& dataset) : dataset_(dataset) {}
+
+  const Dataset& dataset_;
+  size_t k_ = 0;
+  uint64_t seed_ = 0;
+  uint64_t space_units_ = 0;
+  std::vector<KmvSketch> sketches_;
+  std::vector<uint32_t> record_sizes_;
+};
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_INDEX_GBKMV_INDEX_H_

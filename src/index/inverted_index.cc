@@ -1,0 +1,42 @@
+#include "index/inverted_index.h"
+
+#include "common/status.h"
+
+namespace gbkmv {
+
+InvertedIndex::InvertedIndex(const Dataset& dataset) {
+  postings_.resize(dataset.universe_size());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    for (ElementId e : dataset.record(i)) {
+      postings_[e].push_back(static_cast<RecordId>(i));
+    }
+  }
+  total_postings_ = dataset.total_elements();
+  counter_.assign(dataset.size(), 0);
+}
+
+const std::vector<RecordId>& InvertedIndex::Postings(ElementId element) const {
+  static const std::vector<RecordId>* kEmpty = new std::vector<RecordId>();
+  if (element >= postings_.size()) return *kEmpty;
+  return postings_[element];
+}
+
+std::vector<RecordId> InvertedIndex::ScanCount(const Record& query,
+                                               size_t min_overlap) const {
+  GBKMV_CHECK(min_overlap >= 1);
+  std::vector<RecordId> touched;
+  for (ElementId e : query) {
+    for (RecordId id : Postings(e)) {
+      if (counter_[id] == 0) touched.push_back(id);
+      ++counter_[id];
+    }
+  }
+  std::vector<RecordId> out;
+  for (RecordId id : touched) {
+    if (counter_[id] >= min_overlap) out.push_back(id);
+    counter_[id] = 0;  // Reset for the next call.
+  }
+  return out;
+}
+
+}  // namespace gbkmv

@@ -1,0 +1,42 @@
+// Inverted index substrate: element id -> sorted posting list of record ids.
+// Shared by the exact search methods (FreqSet ScanCount, PPjoin* prefix
+// index) and the fast ground-truth oracle.
+
+#ifndef GBKMV_INDEX_INVERTED_INDEX_H_
+#define GBKMV_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "index/searcher.h"
+
+namespace gbkmv {
+
+class InvertedIndex {
+ public:
+  // Builds postings for every element of every record in `dataset`.
+  explicit InvertedIndex(const Dataset& dataset);
+
+  // Posting list (ascending record ids) of `element`; empty for unseen ids.
+  const std::vector<RecordId>& Postings(ElementId element) const;
+
+  // Σ posting lengths (= total elements), i.e. index size in entries.
+  uint64_t TotalPostings() const { return total_postings_; }
+
+  // ScanCount: number of query elements shared with each record. Returns the
+  // ids of records whose overlap with `query` is >= min_overlap, by counting
+  // occurrences across the query's posting lists. `min_overlap` must be >= 1.
+  std::vector<RecordId> ScanCount(const Record& query,
+                                  size_t min_overlap) const;
+
+ private:
+  std::vector<std::vector<RecordId>> postings_;
+  uint64_t total_postings_ = 0;
+  // Scratch counter reused across ScanCount calls (sized to the dataset).
+  mutable std::vector<uint32_t> counter_;
+};
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_INDEX_INVERTED_INDEX_H_

@@ -1,0 +1,113 @@
+#include "index/minhash_lsh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace gbkmv {
+
+double LshCollisionProbability(double jaccard, size_t bands, size_t rows) {
+  if (bands == 0 || rows == 0) return 0.0;
+  const double p_band = std::pow(jaccard, static_cast<double>(rows));
+  return 1.0 - std::pow(1.0 - p_band, static_cast<double>(bands));
+}
+
+BandParams OptimalBandParams(size_t signature_size, double jaccard_threshold,
+                             const std::vector<size_t>& row_choices) {
+  GBKMV_CHECK(signature_size > 0);
+  const double s_star = std::clamp(jaccard_threshold, 0.0, 1.0);
+  BandParams best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  constexpr int kGrid = 128;
+  for (size_t rows : row_choices) {
+    if (rows == 0 || rows > signature_size) continue;
+    const size_t bands = signature_size / rows;
+    if (bands == 0) continue;
+    // FP: collisions below the threshold; FN: misses above it.
+    double fp = 0.0, fn = 0.0;
+    for (int g = 0; g < kGrid; ++g) {
+      const double s = (g + 0.5) / kGrid;
+      const double p = LshCollisionProbability(s, bands, rows);
+      if (s < s_star) {
+        fp += p;
+      } else {
+        fn += 1.0 - p;
+      }
+    }
+    const double cost = (fp + fn) / kGrid;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = {bands, rows};
+    }
+  }
+  GBKMV_CHECK(best.bands > 0);
+  return best;
+}
+
+std::vector<size_t> DefaultRowChoices(size_t signature_size) {
+  std::vector<size_t> rows;
+  for (size_t r = 1; r <= signature_size; r *= 2) rows.push_back(r);
+  return rows;
+}
+
+uint64_t MinHashLshIndex::BandHash(const MinHashSignature& sig, size_t start,
+                                   size_t rows) {
+  uint64_t h = 0x9ae16a3b2f90404fULL;
+  for (size_t i = 0; i < rows; ++i) {
+    h = Mix64(h ^ sig.value(start + i));
+  }
+  return h;
+}
+
+MinHashLshIndex::MinHashLshIndex(
+    const std::vector<MinHashSignature>& signatures,
+    const std::vector<RecordId>& ids, size_t signature_size,
+    const std::vector<size_t>& row_choices)
+    : signature_size_(signature_size), row_choices_(row_choices) {
+  GBKMV_CHECK(signatures.size() == ids.size());
+  per_row_.reserve(row_choices_.size());
+  for (size_t rows : row_choices_) {
+    GBKMV_CHECK(rows >= 1 && rows <= signature_size_);
+    RowTables rt;
+    rt.rows = rows;
+    rt.bands = signature_size_ / rows;
+    rt.tables.resize(rt.bands);
+    for (size_t s = 0; s < signatures.size(); ++s) {
+      GBKMV_CHECK(signatures[s].size() == signature_size_);
+      for (size_t band = 0; band < rt.bands; ++band) {
+        const uint64_t h = BandHash(signatures[s], band * rows, rows);
+        rt.tables[band][h].push_back(ids[s]);
+      }
+    }
+    per_row_.push_back(std::move(rt));
+  }
+}
+
+std::vector<RecordId> MinHashLshIndex::Query(const MinHashSignature& query_sig,
+                                             const BandParams& params) const {
+  GBKMV_CHECK(query_sig.size() == signature_size_);
+  const RowTables* rt = nullptr;
+  for (const RowTables& candidate : per_row_) {
+    if (candidate.rows == params.rows) {
+      rt = &candidate;
+      break;
+    }
+  }
+  GBKMV_CHECK(rt != nullptr);
+  const size_t bands = std::min(params.bands, rt->bands);
+  std::vector<RecordId> out;
+  for (size_t band = 0; band < bands; ++band) {
+    const uint64_t h = BandHash(query_sig, band * rt->rows, rt->rows);
+    const auto it = rt->tables[band].find(h);
+    if (it == rt->tables[band].end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace gbkmv

@@ -1,0 +1,78 @@
+// MinHash LSH banding index — substrate of the LSH-E baseline.
+//
+// Signatures of k hash values are split into b bands of r rows (b·r <= k);
+// two records collide if any band matches exactly. The S-curve collision
+// probability for Jaccard similarity s is  P(s) = 1 − (1 − s^r)^b.
+//
+// Zhu et al. tune (b, r) per query threshold to minimise the expected number
+// of false positives plus false negatives under a uniform similarity
+// assumption; `OptimalBandParams` reproduces that optimisation over a fixed
+// set of row counts whose bucket tables are all precomputed at build time
+// (the role LSH Forest plays in the original system).
+
+#ifndef GBKMV_INDEX_MINHASH_LSH_H_
+#define GBKMV_INDEX_MINHASH_LSH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sketch/minhash.h"
+
+namespace gbkmv {
+
+using RecordId = uint32_t;
+
+// P(collision) = 1 − (1 − s^r)^b.
+double LshCollisionProbability(double jaccard, size_t bands, size_t rows);
+
+struct BandParams {
+  size_t bands = 0;
+  size_t rows = 0;
+};
+
+// Minimises FP(s*) + FN(s*) = ∫_0^{s*} P(s) ds + ∫_{s*}^1 (1 − P(s)) ds over
+// rows ∈ `row_choices` (bands = k / rows), by numeric integration.
+BandParams OptimalBandParams(size_t signature_size, double jaccard_threshold,
+                             const std::vector<size_t>& row_choices);
+
+// Default row choices (powers of two up to the signature size).
+std::vector<size_t> DefaultRowChoices(size_t signature_size);
+
+// A banding index over a set of signatures, with bucket tables precomputed
+// for every row choice so the (b, r) trade-off can be chosen per query.
+class MinHashLshIndex {
+ public:
+  // `signatures[i]` is the signature of record `ids[i]`. All signatures must
+  // have size `signature_size`.
+  MinHashLshIndex(const std::vector<MinHashSignature>& signatures,
+                  const std::vector<RecordId>& ids, size_t signature_size,
+                  const std::vector<size_t>& row_choices);
+
+  // Record ids colliding with `query_sig` in any band under `params`.
+  // Duplicates removed. `params.rows` must be one of the row choices.
+  std::vector<RecordId> Query(const MinHashSignature& query_sig,
+                              const BandParams& params) const;
+
+  size_t signature_size() const { return signature_size_; }
+  const std::vector<size_t>& row_choices() const { return row_choices_; }
+
+ private:
+  // One bucket table per (row choice, band): band hash -> record ids.
+  struct RowTables {
+    size_t rows = 0;
+    size_t bands = 0;
+    std::vector<std::unordered_map<uint64_t, std::vector<RecordId>>> tables;
+  };
+
+  static uint64_t BandHash(const MinHashSignature& sig, size_t start,
+                           size_t rows);
+
+  size_t signature_size_;
+  std::vector<size_t> row_choices_;
+  std::vector<RowTables> per_row_;
+};
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_INDEX_MINHASH_LSH_H_

@@ -1,0 +1,99 @@
+#include "index/ppjoin.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gbkmv {
+
+PPJoinSearcher::PPJoinSearcher(const Dataset& dataset) : dataset_(dataset) {
+  // Rank tokens by ascending global frequency (ties by id) so record
+  // prefixes consist of the rarest tokens.
+  const std::vector<uint64_t>& freq = dataset.frequencies();
+  std::vector<ElementId> order(freq.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&freq](ElementId a, ElementId b) {
+    return freq[a] < freq[b];
+  });
+  rank_.resize(freq.size());
+  for (size_t i = 0; i < order.size(); ++i) rank_[order[i]] = static_cast<uint32_t>(i);
+
+  postings_.resize(freq.size());
+  std::vector<ElementId> reordered;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const Record& r = dataset.record(i);
+    reordered.assign(r.begin(), r.end());
+    std::sort(reordered.begin(), reordered.end(),
+              [this](ElementId a, ElementId b) { return rank_[a] < rank_[b]; });
+    for (uint32_t pos = 0; pos < reordered.size(); ++pos) {
+      postings_[reordered[pos]].push_back(
+          {static_cast<RecordId>(i), pos});
+      ++index_entries_;
+    }
+  }
+  candidate_flag_.assign(dataset.size(), 0);
+}
+
+std::vector<RecordId> PPJoinSearcher::Search(const Record& query,
+                                             double threshold) const {
+  std::vector<RecordId> out;
+  if (query.empty()) return out;
+  const size_t q = query.size();
+  const size_t theta = static_cast<size_t>(
+      std::ceil(threshold * static_cast<double>(q) - 1e-9));
+  if (theta == 0) {
+    // Every record qualifies (threshold 0).
+    out.resize(dataset_.size());
+    std::iota(out.begin(), out.end(), 0);
+    return out;
+  }
+  if (theta > q) return out;  // Impossible overlap.
+
+  // Query tokens in global frequency order; prefix = first q − θ + 1.
+  // Tokens outside the indexed universe rank after all known tokens (any
+  // consistent total order keeps the prefix-filter lemma valid; unknown
+  // tokens occur in no record, so their posting lists are empty).
+  const auto token_rank = [this](ElementId e) -> uint64_t {
+    return e < rank_.size() ? rank_[e]
+                            : static_cast<uint64_t>(e) + rank_.size();
+  };
+  std::vector<ElementId> qtokens(query.begin(), query.end());
+  std::sort(qtokens.begin(), qtokens.end(),
+            [&token_rank](ElementId a, ElementId b) {
+              return token_rank(a) < token_rank(b);
+            });
+  const size_t prefix_len = q - theta + 1;
+
+  std::vector<RecordId> candidates;
+  for (size_t i = 0; i < prefix_len; ++i) {
+    const ElementId w = qtokens[i];
+    if (w >= postings_.size()) continue;
+    for (const Posting& p : postings_[w]) {
+      if (candidate_flag_[p.id]) continue;
+      const size_t x = dataset_.record(p.id).size();
+      if (x < theta) continue;                       // size filter
+      if (p.position + theta > x) continue;          // record prefix filter
+      // Positional filter: best-case overlap from this alignment.
+      const size_t bound =
+          1 + std::min(q - i - 1, x - p.position - 1);
+      if (bound < theta) continue;
+      candidate_flag_[p.id] = 1;
+      candidates.push_back(p.id);
+    }
+  }
+
+  for (RecordId id : candidates) {
+    candidate_flag_[id] = 0;  // Reset scratch.
+    if (IntersectSize(query, dataset_.record(id)) >= theta) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+uint64_t PPJoinSearcher::SpaceUnits() const {
+  // Each posting entry stores (id, position): charge two 32-bit units.
+  return 2 * index_entries_;
+}
+
+}  // namespace gbkmv

@@ -1,0 +1,53 @@
+// PPjoin*-style exact containment search (Xiao et al., TODS 2011), adapted
+// from similarity joins to search as §V of the paper describes.
+//
+// The containment predicate C(Q,X) >= t* is equivalent to the overlap
+// predicate |Q∩X| >= θ with θ = ⌈t*·|Q|⌉ (Eq. 23). With every record's
+// tokens ordered by ascending global frequency (rarest first):
+//   * prefix filter — if |Q∩X| >= θ, the first |Q|−θ+1 tokens of Q and the
+//     first |X|−θ+1 tokens of X share at least one token (pigeonhole);
+//   * positional filter — a shared prefix token at positions (i, pos) bounds
+//     the overlap by 1 + min(|Q|−i−1, |X|−pos−1);
+//   * size filter — |X| >= θ.
+// Candidates surviving the filters are verified with an exact merge.
+
+#ifndef GBKMV_INDEX_PPJOIN_H_
+#define GBKMV_INDEX_PPJOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "index/searcher.h"
+
+namespace gbkmv {
+
+class PPJoinSearcher : public ContainmentSearcher {
+ public:
+  // Builds the positional prefix index. `dataset` must outlive the searcher.
+  explicit PPJoinSearcher(const Dataset& dataset);
+
+  std::vector<RecordId> Search(const Record& query,
+                               double threshold) const override;
+  std::string name() const override { return "PPjoin*"; }
+  uint64_t SpaceUnits() const override;
+  bool exact() const override { return true; }
+
+ private:
+  struct Posting {
+    RecordId id;
+    uint32_t position;  // token position in the frequency-ordered record
+  };
+
+  const Dataset& dataset_;
+  // Global token order: rank_[e] = position of e when sorted by ascending
+  // frequency (rarest first). Rarer tokens give shorter candidate lists.
+  std::vector<uint32_t> rank_;
+  std::vector<std::vector<Posting>> postings_;  // token -> positional postings
+  uint64_t index_entries_ = 0;
+  mutable std::vector<uint8_t> candidate_flag_;  // scratch, sized to dataset
+};
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_INDEX_PPJOIN_H_

@@ -1,0 +1,41 @@
+// Common interface of every containment-similarity search method
+// (Definition 3): given a query Q and threshold t*, return the ids of all
+// records X with C(Q,X) = |Q∩X|/|Q| >= t* (exactly, or approximately for the
+// sketch-based methods).
+
+#ifndef GBKMV_INDEX_SEARCHER_H_
+#define GBKMV_INDEX_SEARCHER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/record.h"
+
+namespace gbkmv {
+
+using RecordId = uint32_t;
+
+class ContainmentSearcher {
+ public:
+  virtual ~ContainmentSearcher() = default;
+
+  // Record ids whose containment similarity w.r.t. `query` is (estimated to
+  // be) >= `threshold`. Order is unspecified; no duplicates.
+  virtual std::vector<RecordId> Search(const Record& query,
+                                       double threshold) const = 0;
+
+  // Human-readable method name ("GB-KMV", "LSH-E", ...).
+  virtual std::string name() const = 0;
+
+  // Index size in element units (32-bit words), the paper's space measure.
+  // Exact methods report the size of their index structures.
+  virtual uint64_t SpaceUnits() const = 0;
+
+  // True for methods whose result set is exact (no sketch error).
+  virtual bool exact() const { return false; }
+};
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_INDEX_SEARCHER_H_

@@ -1,0 +1,168 @@
+#include "sketch/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/power_law.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "sketch/kmv.h"
+
+namespace gbkmv {
+
+namespace {
+
+// Variance of the containment estimator for one ordered pair (query size
+// x_j, record size x_l) given the model inputs. Returns +inf when the model
+// breaks down (k <= 2), which simply means "no useful sketch at this size".
+double PairVariance(double xj, double xl, double tau, double fr, double fn2,
+                    double fr2) {
+  const double f_rem = std::max(fn2 - fr2, 0.0);
+  const double d_inter = xj * xl * f_rem;
+  const double d_union = std::max((xj + xl) * (1.0 - fr) - d_inter, 1.0);
+  const double k = tau * (xj + xl) * (1.0 - fr) - tau * tau * xj * xl * f_rem;
+  if (k <= 2.0) return std::numeric_limits<double>::infinity();
+  const double var_inter = KmvIntersectionVariance(d_inter, d_union, k);
+  return var_inter / (xj * xj);
+}
+
+}  // namespace
+
+double EstimateGbKmvVariance(const Dataset& dataset, uint64_t budget_units,
+                             size_t buffer_bits,
+                             const CostModelOptions& options) {
+  GBKMV_CHECK(!dataset.empty());
+  const double n_total = static_cast<double>(dataset.total_elements());
+  if (n_total <= 0) return std::numeric_limits<double>::infinity();
+
+  const uint64_t buffer_cost =
+      static_cast<uint64_t>(dataset.size()) * ((buffer_bits + 31) / 32);
+  if (buffer_cost >= budget_units) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double n1 = static_cast<double>(dataset.TopFrequencySum(buffer_bits));
+  const double remaining_mass = n_total - n1;
+  if (remaining_mass <= 0) {
+    // Everything is buffered: the estimate is exact.
+    return 0.0;
+  }
+  const double tau =
+      static_cast<double>(budget_units - buffer_cost) / remaining_mass;
+  const double fr = n1 / n_total;
+  const double fn2 = dataset.FrequencySecondMoment();
+  const double fr2 = dataset.TopFrequencySecondMoment(buffer_bits);
+
+  // Pair-average over sampled (query, record) pairs; queries are drawn from
+  // the records themselves (the paper's query model).
+  Rng rng(options.seed);
+  double sum = 0.0;
+  size_t finite = 0;
+  const size_t samples = std::max<size_t>(1, options.pair_samples);
+  for (size_t s = 0; s < samples; ++s) {
+    const size_t j = static_cast<size_t>(rng.NextBounded(dataset.size()));
+    const size_t l = static_cast<size_t>(rng.NextBounded(dataset.size()));
+    const double xj = static_cast<double>(dataset.record(j).size());
+    const double xl = static_cast<double>(dataset.record(l).size());
+    if (xj <= 0) continue;
+    const double v = PairVariance(xj, xl, std::min(tau, 1.0), fr, fn2, fr2);
+    if (std::isfinite(v)) {
+      sum += v;
+      ++finite;
+    }
+  }
+  if (finite == 0) return std::numeric_limits<double>::infinity();
+  return sum / static_cast<double>(finite);
+}
+
+double PowerLawGbKmvVariance(size_t buffer_bits, double alpha1, double alpha2,
+                             uint64_t budget_units, size_t num_records,
+                             size_t num_distinct, uint64_t total_elements,
+                             size_t min_size, size_t max_size) {
+  GBKMV_CHECK(num_records > 0 && num_distinct > 0 && total_elements > 0);
+  GBKMV_CHECK(min_size >= 1 && min_size <= max_size);
+  const size_t r = std::min(buffer_bits, num_distinct);
+  const double n_total = static_cast<double>(total_elements);
+
+  // Element frequency model: f_i = N · i^{-α1} / H_d(α1).
+  const double h_all = GeneralizedHarmonic(num_distinct, alpha1);
+  const double h_r = r > 0 ? GeneralizedHarmonicRange(1, r, alpha1) : 0.0;
+  const double h_all_2 = GeneralizedHarmonic(num_distinct, 2.0 * alpha1);
+  const double h_r_2 = r > 0 ? GeneralizedHarmonicRange(1, r, 2.0 * alpha1) : 0.0;
+  const double fr = h_r / h_all;
+  const double fn2 = h_all_2 / (h_all * h_all);
+  const double fr2 = h_r_2 / (h_all * h_all);
+
+  const uint64_t buffer_cost =
+      static_cast<uint64_t>(num_records) * ((r + 31) / 32);
+  if (buffer_cost >= budget_units) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double remaining_mass = n_total * (1.0 - fr);
+  if (remaining_mass <= 0) return 0.0;
+  const double tau = std::min(
+      static_cast<double>(budget_units - buffer_cost) / remaining_mass, 1.0);
+
+  // Record-size model: pair-average by quadrature over the size power law.
+  const ZipfDistribution size_dist(min_size, max_size, alpha2);
+  // Quadrature nodes: geometric grid over the support weighted by the pmf
+  // summed within each cell (exact for the discrete distribution).
+  std::vector<std::pair<double, double>> nodes;  // (size, probability mass)
+  uint64_t lo = min_size;
+  while (lo <= max_size) {
+    uint64_t hi = std::min<uint64_t>(max_size, std::max(lo, lo * 5 / 4));
+    double mass = 0.0;
+    double weighted = 0.0;
+    for (uint64_t x = lo; x <= hi; ++x) {
+      const double p = size_dist.Pmf(x);
+      mass += p;
+      weighted += p * static_cast<double>(x);
+    }
+    if (mass > 0) nodes.emplace_back(weighted / mass, mass);
+    lo = hi + 1;
+  }
+
+  double total = 0.0;
+  double total_mass = 0.0;
+  for (const auto& [xj, pj] : nodes) {
+    for (const auto& [xl, pl] : nodes) {
+      const double v = PairVariance(xj, xl, tau, fr, fn2, fr2);
+      if (std::isfinite(v)) {
+        total += pj * pl * v;
+        total_mass += pj * pl;
+      }
+    }
+  }
+  if (total_mass <= 0) return std::numeric_limits<double>::infinity();
+  return total / total_mass;
+}
+
+size_t ChooseBufferSize(const Dataset& dataset, uint64_t budget_units,
+                        const CostModelOptions& options) {
+  const size_t step = std::max<size_t>(1, options.step_bits);
+  size_t max_r = options.max_buffer_bits;
+  const size_t distinct = dataset.elements_by_frequency().size();
+  if (max_r == 0 || max_r > distinct) max_r = distinct;
+  // The buffer cannot consume the whole budget.
+  const uint64_t per_record_word_cost = dataset.size();
+  if (per_record_word_cost > 0) {
+    const size_t budget_limit = static_cast<size_t>(
+        32 * (budget_units / std::max<uint64_t>(per_record_word_cost, 1)));
+    max_r = std::min(max_r, budget_limit);
+  }
+
+  const double base = EstimateGbKmvVariance(dataset, budget_units, 0, options);
+  size_t best_r = 0;
+  double best_v = base;
+  for (size_t r = step; r <= max_r; r += step) {
+    const double v = EstimateGbKmvVariance(dataset, budget_units, r, options);
+    // V∆ < 0 constraint: only accept r that strictly improves on G-KMV.
+    if (v < best_v) {
+      best_v = v;
+      best_r = r;
+    }
+  }
+  return best_r;
+}
+
+}  // namespace gbkmv

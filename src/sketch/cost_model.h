@@ -1,0 +1,71 @@
+// Buffer-size cost model (§IV-C6).
+//
+// The variance of the GB-KMV containment estimator is, per record pair
+// (X_j, X_l) with q = x_j (Eq. 32 applied to the G-KMV remainder):
+//
+//   Var[Ĉ] = D∩(kD∪ − k² − D∪ + k + D∩) / (k(k−2) · x_j²)
+//
+// where, under the paper's data model,
+//   fr   = Σ_{i<=r} f_i / N          (buffered mass)
+//   fn2  = Σ_i f_i² / N²             (frequency second moment)
+//   fr2  = Σ_{i<=r} f_i² / N²
+//   D∩   = x_j·x_l·(fn2 − fr2)
+//   D∪   = (x_j + x_l)(1 − fr) − D∩
+//   τ    = (b − m·r/32) / (N − N1)   (remaining budget over remaining mass)
+//   k    = τ(x_j + x_l)(1 − fr) − τ²·x_j·x_l·(fn2 − fr2)
+//
+// `EstimateGbKmvVariance` evaluates this with the *empirical* frequency
+// spectrum (prefix moments from the Dataset) averaged over sampled record
+// pairs — the numerical procedure the paper uses to pick r. The closed-form
+// power-law variant (`PowerLawGbKmvVariance`) instead derives fr/fn2/fr2
+// from p1(x) = c1·x^{-α1}, matching the f(r, α1, α2, b) of the paper.
+//
+// `ChooseBufferSize` grid-searches r ∈ {0, step, 2·step, …} and returns the
+// minimiser, subject to the paper's constraint V∆ < 0 (never worse than
+// G-KMV, i.e. never worse than r = 0).
+
+#ifndef GBKMV_SKETCH_COST_MODEL_H_
+#define GBKMV_SKETCH_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace gbkmv {
+
+struct CostModelOptions {
+  // Grid granularity for r (bits). The paper evaluates r = 8, 16, 24, …
+  size_t step_bits = 8;
+  // Upper bound for the search; 0 means "up to the number of distinct
+  // elements and the budget limit".
+  size_t max_buffer_bits = 0;
+  // Number of record pairs sampled for the pair average.
+  size_t pair_samples = 2000;
+  uint64_t seed = 7;
+};
+
+// Average modelled variance of the GB-KMV containment estimator for buffer
+// size `buffer_bits` under `budget_units`, using the dataset's empirical
+// frequency spectrum. Returns +inf when the configuration is infeasible
+// (buffer cost exceeds the budget or the model's k <= 2).
+double EstimateGbKmvVariance(const Dataset& dataset, uint64_t budget_units,
+                             size_t buffer_bits,
+                             const CostModelOptions& options = {});
+
+// Closed-form variant under pure power-law assumptions: element frequency
+// exponent alpha1 over `num_distinct` elements, record sizes power law
+// (alpha2) on [min_size, max_size]. Mirrors f(r, α1, α2, b) of §IV-C6.
+double PowerLawGbKmvVariance(size_t buffer_bits, double alpha1, double alpha2,
+                             uint64_t budget_units, size_t num_records,
+                             size_t num_distinct, uint64_t total_elements,
+                             size_t min_size, size_t max_size);
+
+// Picks the buffer size minimising EstimateGbKmvVariance over the grid.
+// Always returns a feasible r (possibly 0).
+size_t ChooseBufferSize(const Dataset& dataset, uint64_t budget_units,
+                        const CostModelOptions& options = {});
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_SKETCH_COST_MODEL_H_

@@ -1,0 +1,96 @@
+// GB-KMV: the paper's primary contribution (§IV-B, Algorithm 1).
+//
+// A GB-KMV sketch of a record has two parts:
+//   * H_X — an r-bit bitmap over the r globally most frequent elements E_H
+//     (exact membership of the record in E_H);
+//   * L_X — a G-KMV sketch (global threshold τ) over the remaining elements.
+// The intersection estimate combines the exact buffer part with the sketched
+// part (Eq. 27):  |Q ∩ X|^ = |H_Q ∩ H_X| + D̂∩^{GKMV}.
+//
+// `GbKmvSketcher` encapsulates the whole construction: it picks the buffer
+// universe from the dataset's frequency ranking, charges the buffer r/32
+// element units per record (bitmap words), spends the remaining budget on
+// the global threshold, and builds sketches for records and queries alike.
+
+#ifndef GBKMV_SKETCH_GBKMV_H_
+#define GBKMV_SKETCH_GBKMV_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bitmap.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "sketch/gkmv.h"
+
+namespace gbkmv {
+
+// One record's sketch.
+struct GbKmvSketch {
+  Bitmap buffer;       // H_X over the buffer universe E_H
+  GkmvSketch gkmv;     // L_X over E \ E_H
+
+  // Element units consumed: r/32 for the bitmap + one per stored hash.
+  size_t SpaceUnits(size_t buffer_bits) const {
+    return (buffer_bits + 31) / 32 + gkmv.SpaceUnits();
+  }
+};
+
+struct GbKmvPairEstimate {
+  size_t buffer_intersect = 0;   // |H_Q ∩ H_X| (exact)
+  GkmvPairEstimate gkmv;         // sketched remainder
+  double intersection_size = 0;  // Eq. 27
+};
+
+struct GbKmvOptions {
+  // Total space budget in element units (hash value = 1 unit, bitmap =
+  // r/32 units per record).
+  uint64_t budget_units = 0;
+  // Buffer width in bits (r). 0 disables the buffer (plain G-KMV).
+  size_t buffer_bits = 0;
+  uint64_t seed = kDefaultSketchSeed;
+};
+
+// Factory bound to a dataset: owns the buffer universe and global threshold.
+class GbKmvSketcher {
+ public:
+  // Validates the options against the dataset: the buffer cost m·r/32 must
+  // leave a non-negative G-KMV budget, and r cannot exceed the number of
+  // distinct elements.
+  static Result<GbKmvSketcher> Create(const Dataset& dataset,
+                                      const GbKmvOptions& options);
+
+  const GbKmvOptions& options() const { return options_; }
+  uint64_t global_threshold() const { return global_threshold_; }
+  size_t buffer_bits() const { return options_.buffer_bits; }
+
+  // The buffer universe E_H: element id of each buffer bit.
+  const std::vector<ElementId>& buffer_elements() const {
+    return buffer_elements_;
+  }
+
+  // Builds the sketch of any record (dataset record or incoming query).
+  GbKmvSketch Sketch(const Record& record) const;
+
+  // Pairwise intersection estimate (Eq. 27).
+  static GbKmvPairEstimate EstimatePair(const GbKmvSketch& q,
+                                        const GbKmvSketch& x);
+
+  // Containment Ĉ(Q,X) = |Q∩X|^ / |Q|.
+  static double EstimateContainment(const GbKmvSketch& q, const GbKmvSketch& x,
+                                    size_t query_size);
+
+ private:
+  GbKmvSketcher() = default;
+
+  GbKmvOptions options_;
+  uint64_t global_threshold_ = 0;
+  std::vector<ElementId> buffer_elements_;
+  // element id -> buffer bit, or -1 when the element is not buffered.
+  std::vector<int32_t> element_to_bit_;
+};
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_SKETCH_GBKMV_H_

@@ -1,0 +1,119 @@
+#include "sketch/kmv.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace gbkmv {
+
+KmvSketch KmvSketch::Build(const Record& record, size_t k, uint64_t seed) {
+  KmvSketch sketch;
+  if (k == 0) {
+    sketch.exact_ = record.empty();
+    return sketch;
+  }
+  std::vector<uint64_t> hashes;
+  hashes.reserve(record.size());
+  for (ElementId e : record) hashes.push_back(HashElement(e, seed));
+  std::sort(hashes.begin(), hashes.end());
+  // Element ids are unique within a record, and a 64-bit hash collision
+  // within one record is negligible (the no-collision assumption of the
+  // estimator); keep the k smallest values.
+  if (hashes.size() > k) {
+    hashes.resize(k);
+    sketch.exact_ = false;
+  } else {
+    sketch.exact_ = true;
+  }
+  sketch.values_ = std::move(hashes);
+  return sketch;
+}
+
+double KmvSketch::EstimateDistinct() const {
+  if (exact_ || values_.empty()) return static_cast<double>(values_.size());
+  const double u_k = HashToUnit(values_.back());
+  if (u_k <= 0.0) return static_cast<double>(values_.size());
+  return (static_cast<double>(values_.size()) - 1.0) / u_k;
+}
+
+KmvPairEstimate EstimateKmvPair(const KmvSketch& x, const KmvSketch& y) {
+  KmvPairEstimate out;
+  const std::vector<uint64_t>& a = x.values();
+  const std::vector<uint64_t>& b = y.values();
+  if (a.empty() || b.empty()) {
+    // One side is empty: if that side is exact, the true intersection is 0;
+    // if not, there is no information — return 0 either way.
+    out.exact = x.exact() && y.exact();
+    return out;
+  }
+
+  const size_t k = std::min(a.size(), b.size());
+  out.k = k;
+
+  // Merge until k union values are consumed, counting values present in both.
+  size_t i = 0, j = 0, taken = 0, common = 0;
+  uint64_t last = 0;
+  while (taken < k && (i < a.size() || j < b.size())) {
+    if (i < a.size() && (j >= b.size() || a[i] < b[j])) {
+      last = a[i++];
+    } else if (j < b.size() && (i >= a.size() || b[j] < a[i])) {
+      last = b[j++];
+    } else {  // equal values -> same element on both sides
+      last = a[i];
+      ++i;
+      ++j;
+      ++common;
+    }
+    ++taken;
+  }
+  out.k_intersect = common;
+  out.u_k = HashToUnit(last);
+
+  if (x.exact() && y.exact()) {
+    // Both synopses are complete hash sets: counts are exact.
+    size_t exact_common = 0;
+    size_t ii = 0, jj = 0;
+    while (ii < a.size() && jj < b.size()) {
+      if (a[ii] < b[jj]) {
+        ++ii;
+      } else if (a[ii] > b[jj]) {
+        ++jj;
+      } else {
+        ++exact_common;
+        ++ii;
+        ++jj;
+      }
+    }
+    out.exact = true;
+    out.intersection_size = static_cast<double>(exact_common);
+    out.union_size = static_cast<double>(a.size() + b.size() - exact_common);
+    return out;
+  }
+
+  if (k < 2 || out.u_k <= 0.0) {
+    return out;  // Not enough signal; estimates stay 0.
+  }
+  const double kd = static_cast<double>(k);
+  out.union_size = (kd - 1.0) / out.u_k;
+  out.intersection_size =
+      static_cast<double>(common) / kd * (kd - 1.0) / out.u_k;
+  return out;
+}
+
+double EstimateContainmentKmv(const KmvSketch& query_sketch,
+                              const KmvSketch& record_sketch,
+                              size_t query_size) {
+  if (query_size == 0) return 0.0;
+  const KmvPairEstimate est = EstimateKmvPair(query_sketch, record_sketch);
+  return est.intersection_size / static_cast<double>(query_size);
+}
+
+double KmvIntersectionVariance(double d_intersect, double d_union, double k) {
+  if (k <= 2.0) return 0.0;
+  return d_intersect *
+         (k * d_union - k * k - d_union + k + d_intersect) /
+         (k * (k - 2.0));
+}
+
+}  // namespace gbkmv

@@ -1,0 +1,84 @@
+// Classic KMV (k minimum values) sketch of Beyer et al. (SIGMOD 2007) and the
+// multiset estimators used in §II-C of the paper.
+//
+// A KMV sketch of a record keeps the k smallest element hash values under one
+// shared hash function. For two sketches L_X, L_Y:
+//   k      = min(|L_X|, |L_Y|)                       (Eq. 8)
+//   L      = k smallest values of L_X ∪ L_Y
+//   U(k)   = k-th smallest value in L (unit interval)
+//   D̂∪     = (k−1)/U(k)                              (Eq. 9)
+//   K∩     = |{v ∈ L : v ∈ L_X ∩ L_Y}|
+//   D̂∩     = K∩/k · (k−1)/U(k)                       (Eq. 10)
+// and Var[D̂∩] = D∩(kD∪ − k² − D∪ + k + D∩)/(k(k−2)) (Eq. 11).
+//
+// When a sketch holds *all* hashes of its record (k ≥ |X|) it is exact and
+// the estimators degrade gracefully to exact counts.
+
+#ifndef GBKMV_SKETCH_KMV_H_
+#define GBKMV_SKETCH_KMV_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/record.h"
+
+namespace gbkmv {
+
+// Shared hash seed: every KMV-family sketch in one index must use the same
+// hash function, otherwise matching hash values do not imply matching
+// elements.
+inline constexpr uint64_t kDefaultSketchSeed = 0x6b6d7620736b6574ULL;
+
+class KmvSketch {
+ public:
+  KmvSketch() = default;
+
+  // Builds the sketch of `record` with capacity `k` under `seed`.
+  static KmvSketch Build(const Record& record, size_t k,
+                         uint64_t seed = kDefaultSketchSeed);
+
+  // Sorted ascending hash values (size <= k).
+  const std::vector<uint64_t>& values() const { return values_; }
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  // True if the sketch holds every hash of the record (k >= |X|), making all
+  // derived quantities exact.
+  bool exact() const { return exact_; }
+
+  // Unbiased distinct-count estimate (k−1)/U(k); exact when exact().
+  double EstimateDistinct() const;
+
+  // Space in "element units" (one unit per stored hash), matching the
+  // paper's budget accounting.
+  size_t SpaceUnits() const { return values_.size(); }
+
+ private:
+  std::vector<uint64_t> values_;
+  bool exact_ = false;
+};
+
+// Result of a pairwise KMV combination.
+struct KmvPairEstimate {
+  size_t k = 0;          // min(|L_X|, |L_Y|)
+  size_t k_intersect = 0;  // K∩ within the size-k union synopsis
+  double u_k = 0.0;      // U(k) on the unit interval
+  double union_size = 0.0;      // D̂∪
+  double intersection_size = 0.0;  // D̂∩
+  bool exact = false;    // both sketches were exact
+};
+
+// Combines two sketches per Eqs. 8–10.
+KmvPairEstimate EstimateKmvPair(const KmvSketch& x, const KmvSketch& y);
+
+// Containment estimate Ĉ(Q,X) = D̂∩ / |Q| given the true query size.
+double EstimateContainmentKmv(const KmvSketch& query_sketch,
+                              const KmvSketch& record_sketch,
+                              size_t query_size);
+
+// Analytic variance of D̂∩ (Eq. 11); 0 for k <= 2.
+double KmvIntersectionVariance(double d_intersect, double d_union, double k);
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_SKETCH_KMV_H_

@@ -1,0 +1,58 @@
+#include "sketch/minhash.h"
+
+#include <limits>
+
+#include "common/status.h"
+
+namespace gbkmv {
+
+MinHashSignature MinHashSignature::Build(const Record& record,
+                                         const HashFamily& family) {
+  MinHashSignature sig;
+  sig.values_.assign(family.size(), std::numeric_limits<uint64_t>::max());
+  for (ElementId e : record) {
+    for (size_t i = 0; i < family.size(); ++i) {
+      const uint64_t h = family.Hash(i, e);
+      if (h < sig.values_[i]) sig.values_[i] = h;
+    }
+  }
+  return sig;
+}
+
+double EstimateJaccardMinHash(const MinHashSignature& a,
+                              const MinHashSignature& b) {
+  GBKMV_CHECK(a.size() == b.size());
+  if (a.size() == 0) return 0.0;
+  size_t collisions = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.value(i) == b.value(i)) ++collisions;
+  }
+  return static_cast<double>(collisions) / static_cast<double>(a.size());
+}
+
+double JaccardToContainment(double jaccard, size_t query_size,
+                            size_t record_size) {
+  if (query_size == 0) return 0.0;
+  const double ratio =
+      static_cast<double>(record_size) / static_cast<double>(query_size);
+  return (ratio + 1.0) * jaccard / (1.0 + jaccard);
+}
+
+double ContainmentToJaccard(double containment, size_t query_size,
+                            size_t record_size) {
+  if (query_size == 0) return 0.0;
+  const double ratio =
+      static_cast<double>(record_size) / static_cast<double>(query_size);
+  const double denom = ratio + 1.0 - containment;
+  if (denom <= 0.0) return 1.0;
+  return containment / denom;
+}
+
+double EstimateContainmentMinHash(const MinHashSignature& query_sig,
+                                  const MinHashSignature& record_sig,
+                                  size_t query_size, size_t record_size) {
+  const double s_hat = EstimateJaccardMinHash(query_sig, record_sig);
+  return JaccardToContainment(s_hat, query_size, record_size);
+}
+
+}  // namespace gbkmv

@@ -1,0 +1,56 @@
+// MinHash signatures (Broder 1997) — the substrate of the LSH-E baseline.
+//
+// A signature keeps, for k independent hash functions, the minimum hash value
+// of the record (Eq. 4–5). The collision fraction of two signatures is an
+// unbiased Jaccard estimator with variance s(1−s)/k (Eq. 6–7). Containment is
+// derived through the similarity transformation of Eq. 12/14.
+
+#ifndef GBKMV_SKETCH_MINHASH_H_
+#define GBKMV_SKETCH_MINHASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "data/record.h"
+
+namespace gbkmv {
+
+class MinHashSignature {
+ public:
+  MinHashSignature() = default;
+
+  // Computes the signature of `record` under `family`. Empty records get the
+  // all-max signature.
+  static MinHashSignature Build(const Record& record, const HashFamily& family);
+
+  size_t size() const { return values_.size(); }
+  const std::vector<uint64_t>& values() const { return values_; }
+  uint64_t value(size_t i) const { return values_[i]; }
+
+ private:
+  std::vector<uint64_t> values_;
+};
+
+// Jaccard estimate ŝ = collision fraction (Eq. 5). Signatures must have the
+// same size (checked).
+double EstimateJaccardMinHash(const MinHashSignature& a,
+                              const MinHashSignature& b);
+
+// Containment similarity transformations (Eq. 12).
+//   JaccardToContainment: t = (x/q + 1)·s / (1 + s)
+//   ContainmentToJaccard: s = t / (x/q + 1 − t)
+double JaccardToContainment(double jaccard, size_t query_size,
+                            size_t record_size);
+double ContainmentToJaccard(double containment, size_t query_size,
+                            size_t record_size);
+
+// MinHash-LSH containment estimator t̂ (Eq. 14) from signatures and true
+// sizes.
+double EstimateContainmentMinHash(const MinHashSignature& query_sig,
+                                  const MinHashSignature& record_sig,
+                                  size_t query_size, size_t record_size);
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_SKETCH_MINHASH_H_

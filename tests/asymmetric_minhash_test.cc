@@ -1,0 +1,118 @@
+#include "index/asymmetric_minhash.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/containment.h"
+#include "data/synthetic.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+
+namespace gbkmv {
+namespace {
+
+Result<Dataset> TestDataset(uint64_t seed = 301) {
+  SyntheticConfig c;
+  c.num_records = 400;
+  c.universe_size = 3000;
+  c.min_record_size = 20;
+  c.max_record_size = 200;
+  c.alpha_element_freq = 1.1;
+  c.alpha_record_size = 2.0;
+  c.seed = seed;
+  return GenerateSynthetic(c);
+}
+
+TEST(AsymmetricMinHashTest, CreateValidates) {
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  AsymmetricMinHashOptions bad;
+  bad.num_hashes = 0;
+  EXPECT_FALSE(AsymmetricMinHashSearcher::Create(*ds, bad).ok());
+  auto empty = Dataset::Create({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(AsymmetricMinHashSearcher::Create(*empty, {}).ok());
+}
+
+TEST(AsymmetricMinHashTest, PaddedSizeIsMaxRecord) {
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  auto s = AsymmetricMinHashSearcher::Create(*ds, {});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)->padded_size(), ds->stats().max_record_size);
+}
+
+TEST(AsymmetricMinHashTest, EmptyQuery) {
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  auto s = AsymmetricMinHashSearcher::Create(*ds, {});
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE((*s)->Search({}, 0.5).empty());
+}
+
+TEST(AsymmetricMinHashTest, RecallOnPlantedMatches) {
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  AsymmetricMinHashOptions options;
+  options.num_hashes = 128;
+  auto s = AsymmetricMinHashSearcher::Create(*ds, options);
+  ASSERT_TRUE(s.ok());
+  const auto queries = SampleQueries(*ds, 30, 19);
+  const auto truth = ComputeGroundTruth(*ds, queries, 0.5);
+  std::vector<AccuracyMetrics> per_query;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    per_query.push_back(ComputeAccuracy(
+        (*s)->Search(ds->record(queries[i]), 0.5), truth[i]));
+  }
+  // A data-independent candidate-only method: recall should be non-trivial;
+  // precision is expected to be poor (that is the point of the baseline).
+  EXPECT_GT(AverageAccuracy(per_query).recall, 0.2);
+}
+
+TEST(AsymmetricMinHashTest, SpaceAndName) {
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  AsymmetricMinHashOptions options;
+  options.num_hashes = 64;
+  auto s = AsymmetricMinHashSearcher::Create(*ds, options);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)->SpaceUnits(), ds->size() * 64u);
+  EXPECT_EQ((*s)->name(), "A-MH");
+  EXPECT_FALSE((*s)->exact());
+}
+
+TEST(AsymmetricMinHashTest, PaddingDoesNotCreateFalseOverlap) {
+  // Two disjoint records, both heavily padded: they must rarely collide at
+  // a high threshold (dummies are record-specific).
+  std::vector<Record> records;
+  records.push_back(MakeRecord({1, 2, 3}));
+  records.push_back(MakeRecord({100, 101, 102}));
+  Record big;
+  for (ElementId e = 200; e < 400; ++e) big.push_back(e);
+  records.push_back(big);  // forces a large padded size
+  auto ds = Dataset::Create(std::move(records));
+  ASSERT_TRUE(ds.ok());
+  AsymmetricMinHashOptions options;
+  options.num_hashes = 128;
+  auto s = AsymmetricMinHashSearcher::Create(*ds, options);
+  ASSERT_TRUE(s.ok());
+  const auto result = (*s)->Search(MakeRecord({1, 2, 3}), 0.9);
+  // Record 1 (disjoint) should not be returned.
+  EXPECT_TRUE(std::find(result.begin(), result.end(), 1u) == result.end());
+}
+
+TEST(AsymmetricMinHashTest, FacadeIntegration) {
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(*ParseSearchMethod("a-mh"), SearchMethod::kAsymmetricMinHash);
+  SearcherConfig config;
+  config.method = SearchMethod::kAsymmetricMinHash;
+  config.lshe_num_hashes = 32;
+  auto s = BuildSearcher(*ds, config);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)->name(), "A-MH");
+}
+
+}  // namespace
+}  // namespace gbkmv

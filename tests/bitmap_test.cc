@@ -1,0 +1,125 @@
+#include "common/bitmap.h"
+
+#include <gtest/gtest.h>
+
+namespace gbkmv {
+namespace {
+
+TEST(BitmapTest, StartsEmpty) {
+  Bitmap b(100);
+  EXPECT_EQ(b.num_bits(), 100u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.Empty());
+}
+
+TEST(BitmapTest, SetTestClear) {
+  Bitmap b(70);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(69);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(69));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Clear(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(BitmapTest, SetIsIdempotent) {
+  Bitmap b(10);
+  b.Set(5);
+  b.Set(5);
+  EXPECT_EQ(b.Count(), 1u);
+}
+
+TEST(BitmapTest, IntersectCount) {
+  Bitmap a(128), b(128);
+  a.Set(1);
+  a.Set(64);
+  a.Set(100);
+  b.Set(64);
+  b.Set(100);
+  b.Set(127);
+  EXPECT_EQ(Bitmap::IntersectCount(a, b), 2u);
+}
+
+TEST(BitmapTest, IntersectCountDisjoint) {
+  Bitmap a(64), b(64);
+  a.Set(0);
+  b.Set(1);
+  EXPECT_EQ(Bitmap::IntersectCount(a, b), 0u);
+}
+
+TEST(BitmapTest, IntersectDifferentWidths) {
+  Bitmap a(32), b(256);
+  a.Set(5);
+  b.Set(5);
+  b.Set(200);
+  EXPECT_EQ(Bitmap::IntersectCount(a, b), 1u);
+}
+
+TEST(BitmapTest, UnionCount) {
+  Bitmap a(128), b(128);
+  a.Set(3);
+  a.Set(90);
+  b.Set(90);
+  b.Set(100);
+  EXPECT_EQ(Bitmap::UnionCount(a, b), 3u);
+}
+
+TEST(BitmapTest, UnionDifferentWidths) {
+  Bitmap a(32), b(256);
+  a.Set(1);
+  b.Set(250);
+  EXPECT_EQ(Bitmap::UnionCount(a, b), 2u);
+}
+
+TEST(BitmapTest, Equality) {
+  Bitmap a(64), b(64), c(65);
+  a.Set(10);
+  b.Set(10);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  b.Set(11);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(BitmapTest, ZeroWidth) {
+  Bitmap a;
+  Bitmap b(0);
+  EXPECT_EQ(a.Count(), 0u);
+  EXPECT_EQ(Bitmap::IntersectCount(a, b), 0u);
+  EXPECT_TRUE(b.Empty());
+}
+
+TEST(BitmapTest, MemoryBytesMatchesWords) {
+  Bitmap b(129);  // 3 words
+  EXPECT_EQ(b.num_words(), 3u);
+  EXPECT_EQ(b.MemoryBytes(), 24u);
+}
+
+class BitmapWidthTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BitmapWidthTest, CountMatchesSetBits) {
+  const size_t width = GetParam();
+  Bitmap b(width);
+  size_t expected = 0;
+  for (size_t i = 0; i < width; i += 3) {
+    b.Set(i);
+    ++expected;
+  }
+  EXPECT_EQ(b.Count(), expected);
+  // Self-intersection equals count.
+  EXPECT_EQ(Bitmap::IntersectCount(b, b), expected);
+  EXPECT_EQ(Bitmap::UnionCount(b, b), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitmapWidthTest,
+                         ::testing::Values(1, 8, 63, 64, 65, 128, 1000));
+
+}  // namespace
+}  // namespace gbkmv

@@ -1,0 +1,79 @@
+#include "index/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace gbkmv {
+namespace {
+
+Result<Dataset> Fig1Dataset() {
+  // Example 1 of the paper.
+  return Dataset::Create({MakeRecord({1, 2, 3, 4, 7}), MakeRecord({2, 3, 5}),
+                          MakeRecord({2, 4, 5}), MakeRecord({1, 2, 6, 10})},
+                         "fig1");
+}
+
+TEST(BruteForceTest, PaperExample1) {
+  auto ds = Fig1Dataset();
+  ASSERT_TRUE(ds.ok());
+  BruteForceSearcher searcher(*ds);
+  const Record q = MakeRecord({1, 2, 3, 5, 7, 9});
+  // t* = 0.5 -> {X1, X2} (ids 0 and 1).
+  std::vector<RecordId> result = searcher.Search(q, 0.5);
+  std::sort(result.begin(), result.end());
+  EXPECT_EQ(result, (std::vector<RecordId>{0, 1}));
+}
+
+TEST(BruteForceTest, ThresholdOneRequiresSuperset) {
+  auto ds = Fig1Dataset();
+  ASSERT_TRUE(ds.ok());
+  BruteForceSearcher searcher(*ds);
+  // Query {2,3} is contained in X1 and X2.
+  std::vector<RecordId> result = searcher.Search(MakeRecord({2, 3}), 1.0);
+  std::sort(result.begin(), result.end());
+  EXPECT_EQ(result, (std::vector<RecordId>{0, 1}));
+}
+
+TEST(BruteForceTest, ThresholdZeroReturnsAll) {
+  auto ds = Fig1Dataset();
+  ASSERT_TRUE(ds.ok());
+  BruteForceSearcher searcher(*ds);
+  EXPECT_EQ(searcher.Search(MakeRecord({1}), 0.0).size(), 4u);
+}
+
+TEST(BruteForceTest, EmptyQueryReturnsNothing) {
+  auto ds = Fig1Dataset();
+  ASSERT_TRUE(ds.ok());
+  BruteForceSearcher searcher(*ds);
+  EXPECT_TRUE(searcher.Search({}, 0.5).empty());
+}
+
+TEST(BruteForceTest, NoMatches) {
+  auto ds = Fig1Dataset();
+  ASSERT_TRUE(ds.ok());
+  BruteForceSearcher searcher(*ds);
+  EXPECT_TRUE(searcher.Search(MakeRecord({100, 200}), 0.5).empty());
+}
+
+TEST(BruteForceTest, BoundaryThresholdInclusive) {
+  // C = exactly t* must be returned (Definition 3 uses >=).
+  auto ds = Dataset::Create({MakeRecord({1, 2})});
+  ASSERT_TRUE(ds.ok());
+  BruteForceSearcher searcher(*ds);
+  // Query {1,2,3,4}: C = 2/4 = 0.5 exactly.
+  EXPECT_EQ(searcher.Search(MakeRecord({1, 2, 3, 4}), 0.5).size(), 1u);
+  EXPECT_EQ(searcher.Search(MakeRecord({1, 2, 3, 4}), 0.51).size(), 0u);
+}
+
+TEST(BruteForceTest, ReportsExactAndSpace) {
+  auto ds = Fig1Dataset();
+  ASSERT_TRUE(ds.ok());
+  BruteForceSearcher searcher(*ds);
+  EXPECT_TRUE(searcher.exact());
+  EXPECT_EQ(searcher.SpaceUnits(), ds->total_elements());
+  EXPECT_EQ(searcher.name(), "BruteForce");
+}
+
+}  // namespace
+}  // namespace gbkmv

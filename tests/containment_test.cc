@@ -1,0 +1,102 @@
+#include "core/containment.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/synthetic.h"
+
+namespace gbkmv {
+namespace {
+
+Result<Dataset> TestDataset() {
+  SyntheticConfig c;
+  c.num_records = 300;
+  c.universe_size = 2000;
+  c.min_record_size = 10;
+  c.max_record_size = 80;
+  c.seed = 71;
+  return GenerateSynthetic(c);
+}
+
+TEST(ParseSearchMethodTest, KnownNames) {
+  EXPECT_EQ(*ParseSearchMethod("gb-kmv"), SearchMethod::kGbKmv);
+  EXPECT_EQ(*ParseSearchMethod("GBKMV"), SearchMethod::kGbKmv);
+  EXPECT_EQ(*ParseSearchMethod("g-kmv"), SearchMethod::kGKmv);
+  EXPECT_EQ(*ParseSearchMethod("KMV"), SearchMethod::kKmv);
+  EXPECT_EQ(*ParseSearchMethod("lsh-e"), SearchMethod::kLshEnsemble);
+  EXPECT_EQ(*ParseSearchMethod("LSH-Ensemble"), SearchMethod::kLshEnsemble);
+  EXPECT_EQ(*ParseSearchMethod("ppjoin*"), SearchMethod::kPPJoin);
+  EXPECT_EQ(*ParseSearchMethod("freqset"), SearchMethod::kFreqSet);
+  EXPECT_EQ(*ParseSearchMethod("exact"), SearchMethod::kBruteForce);
+}
+
+TEST(ParseSearchMethodTest, UnknownName) {
+  EXPECT_FALSE(ParseSearchMethod("quantum-lsh").ok());
+}
+
+TEST(BuildSearcherTest, BuildsEveryMethod) {
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  for (SearchMethod method :
+       {SearchMethod::kGbKmv, SearchMethod::kGKmv, SearchMethod::kKmv,
+        SearchMethod::kLshEnsemble, SearchMethod::kPPJoin,
+        SearchMethod::kFreqSet, SearchMethod::kBruteForce}) {
+    SearcherConfig config;
+    config.method = method;
+    config.lshe_num_hashes = 32;  // keep the test fast
+    config.lshe_num_partitions = 4;
+    auto s = BuildSearcher(*ds, config);
+    ASSERT_TRUE(s.ok()) << static_cast<int>(method);
+    EXPECT_FALSE((*s)->name().empty());
+    // Smoke: search runs and returns something sane.
+    const auto result = (*s)->Search(ds->record(0), 0.5);
+    EXPECT_LE(result.size(), ds->size());
+  }
+}
+
+TEST(BuildSearcherTest, ExactMethodsAgree) {
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  SearcherConfig config;
+  std::vector<std::unique_ptr<ContainmentSearcher>> exact;
+  for (SearchMethod m : {SearchMethod::kPPJoin, SearchMethod::kFreqSet,
+                         SearchMethod::kBruteForce}) {
+    config.method = m;
+    auto s = BuildSearcher(*ds, config);
+    ASSERT_TRUE(s.ok());
+    EXPECT_TRUE((*s)->exact());
+    exact.push_back(std::move(*s));
+  }
+  for (size_t qi = 0; qi < 10; ++qi) {
+    const Record& q = ds->record(qi * 17 % ds->size());
+    auto base = exact[0]->Search(q, 0.5);
+    std::sort(base.begin(), base.end());
+    for (size_t m = 1; m < exact.size(); ++m) {
+      auto other = exact[m]->Search(q, 0.5);
+      std::sort(other.begin(), other.end());
+      EXPECT_EQ(base, other) << exact[m]->name();
+    }
+  }
+}
+
+TEST(BuildSearcherTest, GKmvHasNoBuffer) {
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  SearcherConfig config;
+  config.method = SearchMethod::kGKmv;
+  auto s = BuildSearcher(*ds, config);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)->name(), "G-KMV");
+}
+
+TEST(BuildSearcherTest, PropagatesInvalidConfig) {
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  SearcherConfig config;
+  config.space_ratio = -1.0;
+  EXPECT_FALSE(BuildSearcher(*ds, config).ok());
+}
+
+}  // namespace
+}  // namespace gbkmv

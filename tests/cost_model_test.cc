@@ -1,0 +1,171 @@
+#include "sketch/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "data/synthetic.h"
+
+namespace gbkmv {
+namespace {
+
+Result<Dataset> SkewedDataset() {
+  SyntheticConfig c;
+  c.num_records = 500;
+  c.universe_size = 5000;
+  c.min_record_size = 20;
+  c.max_record_size = 200;
+  c.alpha_element_freq = 1.3;   // strongly skewed elements
+  c.alpha_record_size = 2.5;
+  c.seed = 41;
+  return GenerateSynthetic(c);
+}
+
+Result<Dataset> UniformDataset() {
+  SyntheticConfig c;
+  c.num_records = 500;
+  c.universe_size = 50000;      // wide flat universe
+  c.min_record_size = 20;
+  c.max_record_size = 200;
+  c.alpha_element_freq = 0.0;
+  c.alpha_record_size = 0.0;
+  c.seed = 42;
+  return GenerateSynthetic(c);
+}
+
+TEST(CostModelTest, VarianceFiniteForFeasibleConfigs) {
+  auto ds = SkewedDataset();
+  ASSERT_TRUE(ds.ok());
+  const uint64_t budget = ds->total_elements() / 10;
+  const double v = EstimateGbKmvVariance(*ds, budget, 0);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 0.0);
+}
+
+TEST(CostModelTest, InfeasibleBufferIsInfinite) {
+  auto ds = SkewedDataset();
+  ASSERT_TRUE(ds.ok());
+  // Buffer cost alone exceeds the budget.
+  const double v = EstimateGbKmvVariance(*ds, /*budget_units=*/100,
+                                         /*buffer_bits=*/100000);
+  EXPECT_TRUE(std::isinf(v));
+}
+
+TEST(CostModelTest, BufferHelpsOnSkewedData) {
+  auto ds = SkewedDataset();
+  ASSERT_TRUE(ds.ok());
+  const uint64_t budget = ds->total_elements() / 10;
+  const double v0 = EstimateGbKmvVariance(*ds, budget, 0);
+  const double v64 = EstimateGbKmvVariance(*ds, budget, 64);
+  // Buffering the heavy hitters must reduce the modelled variance when the
+  // element frequencies are skewed.
+  EXPECT_LT(v64, v0);
+}
+
+TEST(CostModelTest, ChooseBufferSizeReturnsFeasible) {
+  auto ds = SkewedDataset();
+  ASSERT_TRUE(ds.ok());
+  const uint64_t budget = ds->total_elements() / 10;
+  CostModelOptions opts;
+  opts.step_bits = 16;
+  const size_t r = ChooseBufferSize(*ds, budget, opts);
+  // Feasibility: buffer cost below budget.
+  EXPECT_LT(static_cast<uint64_t>(ds->size()) * ((r + 31) / 32), budget);
+  // On skewed data the model should pick a non-trivial buffer.
+  EXPECT_GT(r, 0u);
+}
+
+TEST(CostModelTest, ChooseBufferSmallOnUniformData) {
+  auto ds = UniformDataset();
+  ASSERT_TRUE(ds.ok());
+  const uint64_t budget = ds->total_elements() / 10;
+  CostModelOptions opts;
+  opts.step_bits = 16;
+  const size_t r_uniform = ChooseBufferSize(*ds, budget, opts);
+  auto skewed = SkewedDataset();
+  ASSERT_TRUE(skewed.ok());
+  const size_t r_skewed =
+      ChooseBufferSize(*skewed, skewed->total_elements() / 10, opts);
+  // Skewed data warrants at least as much buffer as uniform data.
+  EXPECT_LE(r_uniform, r_skewed + 16);
+}
+
+TEST(CostModelTest, EverythingBufferedIsZeroVariance) {
+  // Tiny dataset where the budget can buffer every distinct element.
+  std::vector<Record> records;
+  for (int i = 0; i < 10; ++i) {
+    records.push_back(MakeRecord({0, 1, 2, static_cast<ElementId>(3 + i)}));
+  }
+  auto ds = Dataset::Create(std::move(records));
+  ASSERT_TRUE(ds.ok());
+  const size_t distinct = ds->num_distinct();
+  const double v = EstimateGbKmvVariance(
+      *ds, /*budget_units=*/100000, /*buffer_bits=*/distinct);
+  EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(PowerLawModelTest, FiniteAndPositive) {
+  const double v = PowerLawGbKmvVariance(
+      /*buffer_bits=*/64, /*alpha1=*/1.2, /*alpha2=*/2.5,
+      /*budget_units=*/100000, /*num_records=*/5000, /*num_distinct=*/20000,
+      /*total_elements=*/1000000, /*min_size=*/10, /*max_size=*/1000);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 0.0);
+}
+
+TEST(PowerLawModelTest, BufferHelpsWithSkew) {
+  const auto variance_at = [](size_t r) {
+    return PowerLawGbKmvVariance(r, 1.4, 2.5, 100000, 5000, 20000, 1000000,
+                                 10, 1000);
+  };
+  EXPECT_LT(variance_at(256), variance_at(0));
+}
+
+TEST(PowerLawModelTest, InfeasibleBufferInfinite) {
+  const double v = PowerLawGbKmvVariance(
+      /*buffer_bits=*/100000, /*alpha1=*/1.2, /*alpha2=*/2.5,
+      /*budget_units=*/10, /*num_records=*/5000, /*num_distinct=*/200000,
+      /*total_elements=*/1000000, /*min_size=*/10, /*max_size=*/1000);
+  EXPECT_TRUE(std::isinf(v));
+}
+
+TEST(PowerLawModelTest, AgreesWithEmpiricalModelInDirection) {
+  // Both models should agree on whether a 64-bit buffer helps for a
+  // strongly-skewed synthetic dataset.
+  auto ds = SkewedDataset();
+  ASSERT_TRUE(ds.ok());
+  const uint64_t budget = ds->total_elements() / 10;
+  const double emp0 = EstimateGbKmvVariance(*ds, budget, 0);
+  const double emp64 = EstimateGbKmvVariance(*ds, budget, 64);
+  const DatasetStats& st = ds->stats();
+  const double pl0 = PowerLawGbKmvVariance(
+      0, st.alpha_element_freq, st.alpha_record_size, budget, ds->size(),
+      ds->num_distinct(), ds->total_elements(), st.min_record_size,
+      st.max_record_size);
+  const double pl64 = PowerLawGbKmvVariance(
+      64, st.alpha_element_freq, st.alpha_record_size, budget, ds->size(),
+      ds->num_distinct(), ds->total_elements(), st.min_record_size,
+      st.max_record_size);
+  EXPECT_EQ(emp64 < emp0, pl64 < pl0);
+}
+
+class CostModelBudgetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CostModelBudgetSweep, MoreBudgetNeverHurts) {
+  auto ds = SkewedDataset();
+  ASSERT_TRUE(ds.ok());
+  const double ratio = GetParam();
+  const uint64_t b1 =
+      static_cast<uint64_t>(ratio * ds->total_elements());
+  const uint64_t b2 = b1 * 2;
+  const double v1 = EstimateGbKmvVariance(*ds, b1, 32);
+  const double v2 = EstimateGbKmvVariance(*ds, b2, 32);
+  EXPECT_LE(v2, v1 * 1.05);  // allow sampling slack
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, CostModelBudgetSweep,
+                         ::testing::Values(0.05, 0.1, 0.2));
+
+}  // namespace
+}  // namespace gbkmv

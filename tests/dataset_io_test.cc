@@ -1,0 +1,104 @@
+#include "data/dataset_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace gbkmv {
+namespace {
+
+class DatasetIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/gbkmv_io_test.txt";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+
+  std::string path_;
+};
+
+TEST_F(DatasetIoTest, LoadBasic) {
+  WriteFile("1 2 3\n4 5\n");
+  auto ds = LoadDataset(path_);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 2u);
+  EXPECT_EQ(ds->record(0), (Record{1, 2, 3}));
+  EXPECT_EQ(ds->record(1), (Record{4, 5}));
+}
+
+TEST_F(DatasetIoTest, SkipsCommentsAndBlankLines) {
+  WriteFile("# header\n\n1 2\n\n# more\n3\n");
+  auto ds = LoadDataset(path_);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 2u);
+}
+
+TEST_F(DatasetIoTest, NormalisesRecords) {
+  WriteFile("3 1 2 2\n");
+  auto ds = LoadDataset(path_);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->record(0), (Record{1, 2, 3}));
+}
+
+TEST_F(DatasetIoTest, MinRecordSizeFilter) {
+  WriteFile("1 2 3 4 5\n1 2\n");
+  auto ds = LoadDataset(path_, /*min_record_size=*/3);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 1u);
+  EXPECT_EQ(ds->record(0).size(), 5u);
+}
+
+TEST_F(DatasetIoTest, RejectsNegativeIds) {
+  WriteFile("1 -2 3\n");
+  auto ds = LoadDataset(path_);
+  EXPECT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatasetIoTest, RejectsNonInteger) {
+  WriteFile("1 abc 3\n");
+  EXPECT_FALSE(LoadDataset(path_).ok());
+}
+
+TEST_F(DatasetIoTest, MissingFileIsIOError) {
+  auto ds = LoadDataset("/nonexistent/gbkmv.txt");
+  EXPECT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(DatasetIoTest, SaveLoadRoundTrip) {
+  std::vector<Record> records = {MakeRecord({10, 20, 30}),
+                                 MakeRecord({5}),
+                                 MakeRecord({1, 1000000})};
+  auto ds = Dataset::Create(std::move(records), "rt");
+  ASSERT_TRUE(ds.ok());
+  ASSERT_TRUE(SaveDataset(*ds, path_).ok());
+  auto loaded = LoadDataset(path_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), ds->size());
+  for (size_t i = 0; i < ds->size(); ++i) {
+    EXPECT_EQ(loaded->record(i), ds->record(i));
+  }
+}
+
+TEST_F(DatasetIoTest, SaveToUnwritablePathFails) {
+  auto ds = Dataset::Create({MakeRecord({1})});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_FALSE(SaveDataset(*ds, "/nonexistent/dir/out.txt").ok());
+}
+
+TEST_F(DatasetIoTest, NamedLoadUsesName) {
+  WriteFile("1 2\n");
+  auto ds = LoadDataset(path_, 1, "myname");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->name(), "myname");
+}
+
+}  // namespace
+}  // namespace gbkmv

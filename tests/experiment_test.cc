@@ -1,0 +1,113 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "eval/ground_truth.h"
+#include "eval/table.h"
+#include "index/brute_force.h"
+
+namespace gbkmv {
+namespace {
+
+Result<Dataset> TestDataset() {
+  SyntheticConfig c;
+  c.num_records = 250;
+  c.universe_size = 1500;
+  c.min_record_size = 40;
+  c.max_record_size = 200;
+  c.seed = 81;
+  return GenerateSynthetic(c);
+}
+
+TEST(GroundTruthTest, SampleQueriesDeterministic) {
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(SampleQueries(*ds, 20, 5), SampleQueries(*ds, 20, 5));
+  EXPECT_NE(SampleQueries(*ds, 20, 5), SampleQueries(*ds, 20, 6));
+  EXPECT_EQ(SampleQueries(*ds, 20, 5).size(), 20u);
+}
+
+TEST(GroundTruthTest, MatchesBruteForce) {
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  const auto queries = SampleQueries(*ds, 15, 7);
+  const auto truth = ComputeGroundTruth(*ds, queries, 0.5);
+  BruteForceSearcher brute(*ds);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto expected = brute.Search(ds->record(queries[i]), 0.5);
+    auto actual = truth[i];
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST(ExperimentTest, ExactMethodScoresPerfect) {
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  SearcherConfig config;
+  config.method = SearchMethod::kPPJoin;
+  ExperimentOptions opts;
+  opts.num_queries = 20;
+  const ExperimentResult r = RunExperiment(*ds, config, opts);
+  EXPECT_DOUBLE_EQ(r.accuracy.f1, 1.0);
+  EXPECT_DOUBLE_EQ(r.accuracy.precision, 1.0);
+  EXPECT_DOUBLE_EQ(r.accuracy.recall, 1.0);
+  EXPECT_EQ(r.method, "PPjoin*");
+  EXPECT_EQ(r.per_query_f1.size(), 20u);
+}
+
+TEST(ExperimentTest, SketchMethodReportsSpaceAndTime) {
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  SearcherConfig config;
+  config.method = SearchMethod::kGbKmv;
+  config.space_ratio = 0.10;
+  ExperimentOptions opts;
+  opts.num_queries = 20;
+  const ExperimentResult r = RunExperiment(*ds, config, opts);
+  EXPECT_GT(r.space_ratio, 0.0);
+  EXPECT_LE(r.space_ratio, 0.12);
+  EXPECT_GE(r.build_seconds, 0.0);
+  EXPECT_GE(r.avg_query_seconds, 0.0);
+  EXPECT_GT(r.accuracy.f1, 0.3);
+}
+
+TEST(ExperimentTest, SharedTruthVariant) {
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  const auto queries = SampleQueries(*ds, 10, 9);
+  const auto truth = ComputeGroundTruth(*ds, queries, 0.5);
+  SearcherConfig config;
+  config.method = SearchMethod::kBruteForce;
+  const ExperimentResult r =
+      RunExperimentWithTruth(*ds, config, 0.5, queries, truth);
+  EXPECT_DOUBLE_EQ(r.accuracy.f1, 1.0);
+}
+
+TEST(TableTest, RendersAligned) {
+  Table t({"method", "f1"});
+  t.AddRow({"GB-KMV", Table::Num(0.91, 2)});
+  t.AddRow({"LSH-E", Table::Num(0.5, 2)});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("GB-KMV"), std::string::npos);
+  EXPECT_NE(s.find("0.91"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TableTest, Formatting) {
+  EXPECT_EQ(Table::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::Int(42), "42");
+}
+
+TEST(TableTest, RaggedRows) {
+  Table t({"a", "b"});
+  t.AddRow({"x"});
+  t.AddRow({"x", "y", "z"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("z"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gbkmv

@@ -1,0 +1,73 @@
+#include "index/freqset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/synthetic.h"
+#include "index/brute_force.h"
+
+namespace gbkmv {
+namespace {
+
+Result<Dataset> Fig1Dataset() {
+  return Dataset::Create({MakeRecord({1, 2, 3, 4, 7}), MakeRecord({2, 3, 5}),
+                          MakeRecord({2, 4, 5}), MakeRecord({1, 2, 6, 10})});
+}
+
+TEST(FreqSetTest, PaperExample1) {
+  auto ds = Fig1Dataset();
+  ASSERT_TRUE(ds.ok());
+  FreqSetSearcher searcher(*ds);
+  auto result = searcher.Search(MakeRecord({1, 2, 3, 5, 7, 9}), 0.5);
+  std::sort(result.begin(), result.end());
+  EXPECT_EQ(result, (std::vector<RecordId>{0, 1}));
+}
+
+TEST(FreqSetTest, ThresholdZeroReturnsEverything) {
+  auto ds = Fig1Dataset();
+  ASSERT_TRUE(ds.ok());
+  FreqSetSearcher searcher(*ds);
+  EXPECT_EQ(searcher.Search(MakeRecord({7}), 0.0).size(), 4u);
+}
+
+TEST(FreqSetTest, EmptyQuery) {
+  auto ds = Fig1Dataset();
+  ASSERT_TRUE(ds.ok());
+  FreqSetSearcher searcher(*ds);
+  EXPECT_TRUE(searcher.Search({}, 0.5).empty());
+}
+
+TEST(FreqSetTest, MatchesBruteForceOnSynthetic) {
+  SyntheticConfig c;
+  c.num_records = 300;
+  c.universe_size = 1500;
+  c.min_record_size = 10;
+  c.max_record_size = 60;
+  c.seed = 93;
+  auto ds = GenerateSynthetic(c);
+  ASSERT_TRUE(ds.ok());
+  FreqSetSearcher freqset(*ds);
+  BruteForceSearcher brute(*ds);
+  for (double threshold : {0.2, 0.5, 0.8, 1.0}) {
+    for (size_t qi = 0; qi < 15; ++qi) {
+      const Record& q = ds->record(qi * 11 % ds->size());
+      auto a = freqset.Search(q, threshold);
+      auto b = brute.Search(q, threshold);
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      EXPECT_EQ(a, b);
+    }
+  }
+}
+
+TEST(FreqSetTest, SpaceEqualsPostings) {
+  auto ds = Fig1Dataset();
+  ASSERT_TRUE(ds.ok());
+  FreqSetSearcher searcher(*ds);
+  EXPECT_EQ(searcher.SpaceUnits(), ds->total_elements());
+  EXPECT_TRUE(searcher.exact());
+}
+
+}  // namespace
+}  // namespace gbkmv

@@ -1,0 +1,238 @@
+#include "index/gbkmv_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "index/brute_force.h"
+
+namespace gbkmv {
+namespace {
+
+Result<Dataset> TestDataset(uint64_t seed = 61) {
+  SyntheticConfig c;
+  c.num_records = 600;
+  c.universe_size = 4000;
+  c.min_record_size = 50;
+  c.max_record_size = 300;
+  c.alpha_element_freq = 1.15;
+  c.alpha_record_size = 2.5;
+  c.seed = seed;
+  return GenerateSynthetic(c);
+}
+
+TEST(GbKmvIndexTest, CreateValidates) {
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  GbKmvIndexOptions opts;
+  opts.space_ratio = 0.0;
+  EXPECT_FALSE(GbKmvIndexSearcher::Create(*ds, opts).ok());
+  auto empty = Dataset::Create({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(GbKmvIndexSearcher::Create(*empty, {}).ok());
+}
+
+TEST(GbKmvIndexTest, NameReflectsBuffer) {
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  GbKmvIndexOptions opts;
+  opts.buffer_bits = 0;
+  auto gkmv = GbKmvIndexSearcher::Create(*ds, opts);
+  ASSERT_TRUE(gkmv.ok());
+  EXPECT_EQ((*gkmv)->name(), "G-KMV");
+  opts.buffer_bits = 64;
+  auto gb = GbKmvIndexSearcher::Create(*ds, opts);
+  ASSERT_TRUE(gb.ok());
+  EXPECT_EQ((*gb)->name(), "GB-KMV");
+}
+
+TEST(GbKmvIndexTest, AutoBufferUsesCostModel) {
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  GbKmvIndexOptions opts;  // kAutoBuffer by default
+  opts.cost_model.step_bits = 32;
+  auto s = GbKmvIndexSearcher::Create(*ds, opts);
+  ASSERT_TRUE(s.ok());
+  // On skewed data the model should pick a non-zero buffer.
+  EXPECT_GT((*s)->chosen_buffer_bits(), 0u);
+}
+
+TEST(GbKmvIndexTest, SpaceWithinBudget) {
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  GbKmvIndexOptions opts;
+  opts.space_ratio = 0.10;
+  opts.buffer_bits = 32;
+  auto s = GbKmvIndexSearcher::Create(*ds, opts);
+  ASSERT_TRUE(s.ok());
+  EXPECT_LE((*s)->SpaceUnits(),
+            static_cast<uint64_t>(0.11 * ds->total_elements()));
+}
+
+TEST(GbKmvIndexTest, EmptyQuery) {
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  auto s = GbKmvIndexSearcher::Create(*ds, {});
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE((*s)->Search({}, 0.5).empty());
+}
+
+TEST(GbKmvIndexTest, SearchMatchesPairwiseEstimator) {
+  // The index's candidate machinery must return exactly the records whose
+  // Eq. 27 estimate clears θ (among size-eligible ones) — i.e. the fast
+  // path is a pure optimisation, not an approximation.
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  GbKmvIndexOptions opts;
+  opts.space_ratio = 0.15;
+  opts.buffer_bits = 64;
+  auto s = GbKmvIndexSearcher::Create(*ds, opts);
+  ASSERT_TRUE(s.ok());
+  const double threshold = 0.5;
+  for (size_t qi = 0; qi < 10; ++qi) {
+    const Record& q = ds->record(qi * 13 % ds->size());
+    const double theta = threshold * static_cast<double>(q.size());
+    std::vector<RecordId> expected;
+    for (size_t i = 0; i < ds->size(); ++i) {
+      if (ds->record(i).size() <
+          static_cast<size_t>(std::ceil(theta - 1e-9))) {
+        continue;
+      }
+      const double est =
+          (*s)->EstimateContainment(q, static_cast<RecordId>(i)) *
+          static_cast<double>(q.size());
+      if (est >= theta - 1e-9) expected.push_back(static_cast<RecordId>(i));
+    }
+    auto actual = (*s)->Search(q, threshold);
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected) << "query " << qi;
+  }
+}
+
+TEST(GbKmvIndexTest, AccuracyBeatsGkmvAndKmv) {
+  // Fig. 6's headline ablation: GB-KMV (cost-model buffer) beats both the
+  // buffer-less G-KMV and plain KMV at equal space on skewed data, because
+  // the buffer takes the heavy-hitter elements out of the sketch.
+  auto ds = TestDataset(62);
+  ASSERT_TRUE(ds.ok());
+  const double ratio = 0.10;
+  const auto queries = SampleQueries(*ds, 60, 3);
+  const auto truth = ComputeGroundTruth(*ds, queries, 0.5);
+
+  auto eval = [&](ContainmentSearcher& searcher) {
+    std::vector<AccuracyMetrics> per_query;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      per_query.push_back(ComputeAccuracy(
+          searcher.Search(ds->record(queries[i]), 0.5), truth[i]));
+    }
+    return AverageAccuracy(per_query).f1;
+  };
+
+  GbKmvIndexOptions gb_opts;
+  gb_opts.space_ratio = ratio;
+  auto gb = GbKmvIndexSearcher::Create(*ds, gb_opts);
+  ASSERT_TRUE(gb.ok());
+  GbKmvIndexOptions gkmv_opts;
+  gkmv_opts.space_ratio = ratio;
+  gkmv_opts.buffer_bits = 0;
+  auto gkmv = GbKmvIndexSearcher::Create(*ds, gkmv_opts);
+  ASSERT_TRUE(gkmv.ok());
+  auto kmv = KmvSearcher::Create(*ds, ratio);
+  ASSERT_TRUE(kmv.ok());
+
+  const double f1_gb = eval(**gb);
+  const double f1_gkmv = eval(**gkmv);
+  const double f1_kmv = eval(**kmv);
+  EXPECT_GT(f1_gb, f1_gkmv);
+  EXPECT_GT(f1_gb, f1_kmv);
+  EXPECT_GT(f1_gb, 0.4);
+}
+
+TEST(GbKmvIndexTest, HigherBudgetHigherAccuracy) {
+  auto ds = TestDataset(63);
+  ASSERT_TRUE(ds.ok());
+  const auto queries = SampleQueries(*ds, 50, 5);
+  const auto truth = ComputeGroundTruth(*ds, queries, 0.5);
+  double prev_f1 = -1.0;
+  for (double ratio : {0.02, 0.10, 0.40}) {
+    GbKmvIndexOptions opts;
+    opts.space_ratio = ratio;
+    auto s = GbKmvIndexSearcher::Create(*ds, opts);
+    ASSERT_TRUE(s.ok());
+    std::vector<AccuracyMetrics> per_query;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      per_query.push_back(ComputeAccuracy(
+          (*s)->Search(ds->record(queries[i]), 0.5), truth[i]));
+    }
+    const double f1 = AverageAccuracy(per_query).f1;
+    EXPECT_GT(f1, prev_f1 - 0.05) << "ratio " << ratio;
+    prev_f1 = std::max(prev_f1, f1);
+  }
+  EXPECT_GT(prev_f1, 0.75);  // generous budget -> high accuracy
+}
+
+TEST(KmvSearcherTest, TheoremOneAllocation) {
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  auto s = KmvSearcher::Create(*ds, 0.10);
+  ASSERT_TRUE(s.ok());
+  const uint64_t budget =
+      static_cast<uint64_t>(0.10 * ds->total_elements());
+  EXPECT_EQ((*s)->sketch_k(), budget / ds->size());
+  EXPECT_EQ((*s)->name(), "KMV");
+}
+
+TEST(KmvSearcherTest, ValidatesInput) {
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  EXPECT_FALSE(KmvSearcher::Create(*ds, 0.0).ok());
+  auto empty = Dataset::Create({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(KmvSearcher::Create(*empty, 0.1).ok());
+}
+
+TEST(KmvSearcherTest, SelfQueryFound) {
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  auto s = KmvSearcher::Create(*ds, 0.3);
+  ASSERT_TRUE(s.ok());
+  size_t found = 0;
+  for (size_t i = 0; i < 20; ++i) {
+    const auto result = (*s)->Search(ds->record(i), 0.5);
+    if (std::find(result.begin(), result.end(), static_cast<RecordId>(i)) !=
+        result.end()) {
+      ++found;
+    }
+  }
+  EXPECT_GE(found, 18u);
+}
+
+class GbKmvThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GbKmvThresholdSweep, ReasonableAccuracyAcrossThresholds) {
+  const double threshold = GetParam();
+  auto ds = TestDataset(64);
+  ASSERT_TRUE(ds.ok());
+  GbKmvIndexOptions opts;
+  opts.space_ratio = 0.10;
+  auto s = GbKmvIndexSearcher::Create(*ds, opts);
+  ASSERT_TRUE(s.ok());
+  const auto queries = SampleQueries(*ds, 40, 11);
+  const auto truth = ComputeGroundTruth(*ds, queries, threshold);
+  std::vector<AccuracyMetrics> per_query;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    per_query.push_back(ComputeAccuracy(
+        (*s)->Search(ds->record(queries[i]), threshold), truth[i]));
+  }
+  EXPECT_GT(AverageAccuracy(per_query).f1, 0.35) << "t*=" << threshold;
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, GbKmvThresholdSweep,
+                         ::testing::Values(0.2, 0.5, 0.8));
+
+}  // namespace
+}  // namespace gbkmv

@@ -1,0 +1,207 @@
+#include "sketch/gbkmv.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace gbkmv {
+namespace {
+
+Result<Dataset> SkewedDataset(uint64_t seed = 31) {
+  SyntheticConfig c;
+  c.num_records = 400;
+  c.universe_size = 3000;
+  c.min_record_size = 20;
+  c.max_record_size = 100;
+  c.alpha_element_freq = 1.2;
+  c.alpha_record_size = 2.5;
+  c.seed = seed;
+  return GenerateSynthetic(c);
+}
+
+TEST(GbKmvSketcherTest, CreateValidatesBudget) {
+  auto ds = SkewedDataset();
+  ASSERT_TRUE(ds.ok());
+  GbKmvOptions opts;
+  opts.budget_units = 0;
+  EXPECT_FALSE(GbKmvSketcher::Create(*ds, opts).ok());
+}
+
+TEST(GbKmvSketcherTest, CreateValidatesBufferVsBudget) {
+  auto ds = SkewedDataset();
+  ASSERT_TRUE(ds.ok());
+  GbKmvOptions opts;
+  opts.budget_units = 10;  // tiny
+  opts.buffer_bits = 3200;  // 100 units per record * 400 records >> 10
+  EXPECT_FALSE(GbKmvSketcher::Create(*ds, opts).ok());
+}
+
+TEST(GbKmvSketcherTest, CreateValidatesBufferVsDistinct) {
+  auto ds = Dataset::Create({MakeRecord({1, 2, 3})});
+  ASSERT_TRUE(ds.ok());
+  GbKmvOptions opts;
+  opts.budget_units = 100;
+  opts.buffer_bits = 10;  // only 3 distinct elements
+  EXPECT_FALSE(GbKmvSketcher::Create(*ds, opts).ok());
+}
+
+TEST(GbKmvSketcherTest, BufferHoldsTopFrequentElements) {
+  auto ds = SkewedDataset();
+  ASSERT_TRUE(ds.ok());
+  GbKmvOptions opts;
+  opts.budget_units = ds->total_elements() / 5;
+  opts.buffer_bits = 32;
+  auto sk = GbKmvSketcher::Create(*ds, opts);
+  ASSERT_TRUE(sk.ok());
+  const auto& buffered = sk->buffer_elements();
+  ASSERT_EQ(buffered.size(), 32u);
+  // Buffer elements are exactly the 32 most frequent.
+  for (size_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(buffered[i], ds->elements_by_frequency()[i]);
+  }
+}
+
+TEST(GbKmvSketcherTest, SketchSeparatesBufferAndTail) {
+  auto ds = SkewedDataset();
+  ASSERT_TRUE(ds.ok());
+  GbKmvOptions opts;
+  opts.budget_units = ds->total_elements() / 5;
+  opts.buffer_bits = 64;
+  auto sk = GbKmvSketcher::Create(*ds, opts);
+  ASSERT_TRUE(sk.ok());
+  const Record& r = ds->record(0);
+  const GbKmvSketch sketch = sk->Sketch(r);
+  // Buffer bit count equals the number of record elements in E_H.
+  size_t in_buffer = 0;
+  for (ElementId e : r) {
+    for (size_t b = 0; b < sk->buffer_elements().size(); ++b) {
+      if (sk->buffer_elements()[b] == e) {
+        ++in_buffer;
+        EXPECT_TRUE(sketch.buffer.Test(b));
+      }
+    }
+  }
+  EXPECT_EQ(sketch.buffer.Count(), in_buffer);
+  // G-KMV values all below threshold.
+  for (uint64_t v : sketch.gkmv.values()) {
+    EXPECT_LE(v, sk->global_threshold());
+  }
+}
+
+TEST(GbKmvSketcherTest, TotalSpaceWithinBudget) {
+  auto ds = SkewedDataset();
+  ASSERT_TRUE(ds.ok());
+  GbKmvOptions opts;
+  opts.budget_units = ds->total_elements() / 10;
+  opts.buffer_bits = 32;
+  auto sk = GbKmvSketcher::Create(*ds, opts);
+  ASSERT_TRUE(sk.ok());
+  uint64_t used = 0;
+  for (const Record& r : ds->records()) {
+    used += sk->Sketch(r).SpaceUnits(opts.buffer_bits);
+  }
+  EXPECT_LE(used, opts.budget_units);
+}
+
+TEST(GbKmvEstimateTest, BufferOnlyIntersectionIsExact) {
+  // Two records overlapping only in top-frequency elements.
+  std::vector<Record> records;
+  // Element 0 and 1 appear everywhere (very frequent).
+  for (int i = 0; i < 50; ++i) {
+    records.push_back(MakeRecord({0, 1, static_cast<ElementId>(100 + i),
+                                  static_cast<ElementId>(200 + i)}));
+  }
+  auto ds = Dataset::Create(std::move(records));
+  ASSERT_TRUE(ds.ok());
+  GbKmvOptions opts;
+  opts.budget_units = ds->total_elements();
+  opts.buffer_bits = 2;
+  auto sk = GbKmvSketcher::Create(*ds, opts);
+  ASSERT_TRUE(sk.ok());
+  const GbKmvSketch a = sk->Sketch(ds->record(0));
+  const GbKmvSketch b = sk->Sketch(ds->record(1));
+  const GbKmvPairEstimate est = GbKmvSketcher::EstimatePair(a, b);
+  EXPECT_EQ(est.buffer_intersect, 2u);  // {0, 1}
+}
+
+TEST(GbKmvEstimateTest, CombinedEstimateNearTruth) {
+  auto ds = SkewedDataset();
+  ASSERT_TRUE(ds.ok());
+  GbKmvOptions opts;
+  opts.budget_units = ds->total_elements() / 4;
+  opts.buffer_bits = 64;
+  auto sk = GbKmvSketcher::Create(*ds, opts);
+  ASSERT_TRUE(sk.ok());
+  // Average signed error across record pairs should be small.
+  double err = 0.0;
+  int n = 0;
+  for (size_t i = 0; i + 1 < ds->size() && n < 200; i += 2, ++n) {
+    const GbKmvSketch a = sk->Sketch(ds->record(i));
+    const GbKmvSketch b = sk->Sketch(ds->record(i + 1));
+    const double est = GbKmvSketcher::EstimatePair(a, b).intersection_size;
+    const double truth =
+        static_cast<double>(IntersectSize(ds->record(i), ds->record(i + 1)));
+    err += est - truth;
+  }
+  err /= n;
+  EXPECT_NEAR(err, 0.0, 3.0);
+}
+
+TEST(GbKmvEstimateTest, ContainmentForSubsetQueries) {
+  auto ds = SkewedDataset();
+  ASSERT_TRUE(ds.ok());
+  GbKmvOptions opts;
+  opts.budget_units = ds->total_elements() / 3;
+  opts.buffer_bits = 64;
+  auto sk = GbKmvSketcher::Create(*ds, opts);
+  ASSERT_TRUE(sk.ok());
+  // Query = a record itself: containment 1.
+  const Record& q = ds->record(5);
+  const double est = GbKmvSketcher::EstimateContainment(sk->Sketch(q),
+                                                        sk->Sketch(q), q.size());
+  EXPECT_NEAR(est, 1.0, 0.35);
+  EXPECT_DOUBLE_EQ(
+      GbKmvSketcher::EstimateContainment(sk->Sketch(q), sk->Sketch(q), 0), 0.0);
+}
+
+TEST(GbKmvEstimateTest, ZeroBufferMatchesGkmv) {
+  // With r = 0 the GB-KMV estimate must equal the plain G-KMV estimate.
+  auto ds = SkewedDataset();
+  ASSERT_TRUE(ds.ok());
+  GbKmvOptions opts;
+  opts.budget_units = ds->total_elements() / 10;
+  opts.buffer_bits = 0;
+  auto sk = GbKmvSketcher::Create(*ds, opts);
+  ASSERT_TRUE(sk.ok());
+  const uint64_t tau = sk->global_threshold();
+  const Record& a = ds->record(1);
+  const Record& b = ds->record(2);
+  const double gb = GbKmvSketcher::EstimatePair(sk->Sketch(a), sk->Sketch(b))
+                        .intersection_size;
+  const double g = EstimateGkmvPair(GkmvSketch::Build(a, tau),
+                                    GkmvSketch::Build(b, tau))
+                       .intersection_size;
+  EXPECT_DOUBLE_EQ(gb, g);
+}
+
+class GbKmvBufferSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GbKmvBufferSweep, SpaceAccountingConsistent) {
+  const size_t r = GetParam();
+  auto ds = SkewedDataset(100 + r);
+  ASSERT_TRUE(ds.ok());
+  GbKmvOptions opts;
+  opts.budget_units = ds->total_elements() / 3;
+  opts.buffer_bits = r;
+  auto sk = GbKmvSketcher::Create(*ds, opts);
+  ASSERT_TRUE(sk.ok());
+  const GbKmvSketch s = sk->Sketch(ds->record(0));
+  EXPECT_EQ(s.SpaceUnits(r), (r + 31) / 32 + s.gkmv.size());
+  EXPECT_EQ(s.buffer.num_bits(), r);
+}
+
+INSTANTIATE_TEST_SUITE_P(Buffers, GbKmvBufferSweep,
+                         ::testing::Values(0, 8, 32, 33, 64, 128, 256));
+
+}  // namespace
+}  // namespace gbkmv

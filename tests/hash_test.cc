@@ -1,0 +1,103 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace gbkmv {
+namespace {
+
+TEST(HashTest, SplitMixIsDeterministic) {
+  EXPECT_EQ(SplitMix64(123), SplitMix64(123));
+  EXPECT_NE(SplitMix64(123), SplitMix64(124));
+}
+
+TEST(HashTest, Mix64IsDeterministic) {
+  EXPECT_EQ(Mix64(9999), Mix64(9999));
+  EXPECT_NE(Mix64(9999), Mix64(10000));
+}
+
+TEST(HashTest, HashElementDependsOnSeed) {
+  EXPECT_NE(HashElement(7, 1), HashElement(7, 2));
+  EXPECT_EQ(HashElement(7, 1), HashElement(7, 1));
+}
+
+TEST(HashTest, HashToUnitInRange) {
+  for (uint64_t x : {0ULL, 1ULL, 0x8000000000000000ULL, ~0ULL}) {
+    const double u = HashToUnit(x);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(HashTest, HashToUnitMonotone) {
+  EXPECT_LE(HashToUnit(1000), HashToUnit(2000));
+  EXPECT_LT(HashToUnit(0), HashToUnit(~0ULL));
+}
+
+TEST(HashTest, UnitToHashThresholdEdges) {
+  EXPECT_EQ(UnitToHashThreshold(0.0), 0u);
+  EXPECT_EQ(UnitToHashThreshold(-1.0), 0u);
+  EXPECT_EQ(UnitToHashThreshold(1.0), ~0ULL);
+  EXPECT_EQ(UnitToHashThreshold(2.0), ~0ULL);
+}
+
+TEST(HashTest, UnitToHashThresholdRoundTrip) {
+  // Every hash <= threshold must map to a unit value <= u.
+  for (double u : {0.1, 0.25, 0.5, 0.9}) {
+    const uint64_t t = UnitToHashThreshold(u);
+    EXPECT_LE(HashToUnit(t), u);
+    // The next representable hash bucket exceeds u.
+    if (t < ~0ULL - (1ULL << 11)) {
+      EXPECT_GT(HashToUnit(t + (1ULL << 11)), u);
+    }
+  }
+}
+
+TEST(HashTest, UnitValuesApproximatelyUniform) {
+  // Mean of hashed units should be near 0.5.
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += HashToUnit(HashElement(static_cast<uint32_t>(i), 42));
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(HashFamilyTest, SizeAndDeterminism) {
+  HashFamily f(16, 7);
+  EXPECT_EQ(f.size(), 16u);
+  HashFamily g(16, 7);
+  for (size_t i = 0; i < f.size(); ++i) {
+    EXPECT_EQ(f.Hash(i, 99), g.Hash(i, 99));
+  }
+}
+
+TEST(HashFamilyTest, FunctionsAreDistinct) {
+  HashFamily f(32, 7);
+  std::set<uint64_t> values;
+  for (size_t i = 0; i < f.size(); ++i) values.insert(f.Hash(i, 12345));
+  EXPECT_EQ(values.size(), f.size());  // No two functions agree on this key.
+}
+
+TEST(HashFamilyTest, DifferentSeedsDiffer) {
+  HashFamily f(4, 1), g(4, 2);
+  EXPECT_NE(f.Hash(0, 5), g.Hash(0, 5));
+}
+
+class HashCollisionTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HashCollisionTest, NoCollisionsOnDenseRange) {
+  const uint64_t seed = GetParam();
+  std::set<uint64_t> seen;
+  const uint32_t n = 50000;
+  for (uint32_t e = 0; e < n; ++e) seen.insert(HashElement(e, seed));
+  EXPECT_EQ(seen.size(), n);  // 64-bit hashes: collisions virtually impossible.
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HashCollisionTest,
+                         ::testing::Values(1ULL, 42ULL, 0xdeadbeefULL));
+
+}  // namespace
+}  // namespace gbkmv

@@ -1,0 +1,63 @@
+#include "index/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+namespace gbkmv {
+namespace {
+
+Result<Dataset> Fig1Dataset() {
+  return Dataset::Create({MakeRecord({1, 2, 3, 4, 7}), MakeRecord({2, 3, 5}),
+                          MakeRecord({2, 4, 5}), MakeRecord({1, 2, 6, 10})});
+}
+
+TEST(InvertedIndexTest, PostingsAreCorrect) {
+  auto ds = Fig1Dataset();
+  ASSERT_TRUE(ds.ok());
+  InvertedIndex index(*ds);
+  EXPECT_EQ(index.Postings(2), (std::vector<RecordId>{0, 1, 2, 3}));
+  EXPECT_EQ(index.Postings(1), (std::vector<RecordId>{0, 3}));
+  EXPECT_EQ(index.Postings(7), (std::vector<RecordId>{0}));
+  EXPECT_TRUE(index.Postings(8).empty());
+  EXPECT_TRUE(index.Postings(99999).empty());  // out of universe
+}
+
+TEST(InvertedIndexTest, TotalPostingsEqualsTotalElements) {
+  auto ds = Fig1Dataset();
+  ASSERT_TRUE(ds.ok());
+  InvertedIndex index(*ds);
+  EXPECT_EQ(index.TotalPostings(), ds->total_elements());
+}
+
+TEST(InvertedIndexTest, ScanCountExactOverlap) {
+  auto ds = Fig1Dataset();
+  ASSERT_TRUE(ds.ok());
+  InvertedIndex index(*ds);
+  const Record q = MakeRecord({1, 2, 3, 5, 7, 9});
+  // Overlaps: X1=4, X2=3, X3=2, X4=2.
+  auto r3 = index.ScanCount(q, 3);
+  std::sort(r3.begin(), r3.end());
+  EXPECT_EQ(r3, (std::vector<RecordId>{0, 1}));
+  auto r2 = index.ScanCount(q, 2);
+  EXPECT_EQ(r2.size(), 4u);
+  auto r5 = index.ScanCount(q, 5);
+  EXPECT_TRUE(r5.empty());
+}
+
+TEST(InvertedIndexTest, ScanCountResetsBetweenCalls) {
+  auto ds = Fig1Dataset();
+  ASSERT_TRUE(ds.ok());
+  InvertedIndex index(*ds);
+  const Record q = MakeRecord({2});
+  // Two identical calls must return identical results (scratch reset).
+  EXPECT_EQ(index.ScanCount(q, 1), index.ScanCount(q, 1));
+}
+
+TEST(InvertedIndexTest, ScanCountUnknownElements) {
+  auto ds = Fig1Dataset();
+  ASSERT_TRUE(ds.ok());
+  InvertedIndex index(*ds);
+  EXPECT_TRUE(index.ScanCount(MakeRecord({500, 600}), 1).empty());
+}
+
+}  // namespace
+}  // namespace gbkmv

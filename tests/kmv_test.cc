@@ -1,0 +1,194 @@
+#include "sketch/kmv.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/record.h"
+
+namespace gbkmv {
+namespace {
+
+Record SequentialRecord(ElementId start, size_t count) {
+  Record r;
+  r.reserve(count);
+  for (size_t i = 0; i < count; ++i) r.push_back(start + static_cast<ElementId>(i));
+  return r;
+}
+
+TEST(KmvSketchTest, KeepsKSmallest) {
+  const Record r = SequentialRecord(0, 100);
+  const KmvSketch s = KmvSketch::Build(r, 10);
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_FALSE(s.exact());
+  for (size_t i = 1; i < s.size(); ++i) {
+    EXPECT_LT(s.values()[i - 1], s.values()[i]);
+  }
+}
+
+TEST(KmvSketchTest, SmallRecordIsExact) {
+  const Record r = SequentialRecord(0, 5);
+  const KmvSketch s = KmvSketch::Build(r, 10);
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_TRUE(s.exact());
+  EXPECT_DOUBLE_EQ(s.EstimateDistinct(), 5.0);
+}
+
+TEST(KmvSketchTest, EmptyRecord) {
+  const KmvSketch s = KmvSketch::Build({}, 10);
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.exact());
+  EXPECT_DOUBLE_EQ(s.EstimateDistinct(), 0.0);
+}
+
+TEST(KmvSketchTest, ZeroCapacity) {
+  const KmvSketch s = KmvSketch::Build(SequentialRecord(0, 5), 0);
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.exact());
+}
+
+TEST(KmvSketchTest, SpaceUnitsEqualsStoredValues) {
+  EXPECT_EQ(KmvSketch::Build(SequentialRecord(0, 100), 16).SpaceUnits(), 16u);
+  EXPECT_EQ(KmvSketch::Build(SequentialRecord(0, 4), 16).SpaceUnits(), 4u);
+}
+
+TEST(KmvSketchTest, DistinctEstimateUnbiasedOverSeeds) {
+  // Average of (k-1)/U(k) over many independent hash functions ~ |X|.
+  const Record r = SequentialRecord(0, 2000);
+  double sum = 0.0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    const KmvSketch s = KmvSketch::Build(r, 64, /*seed=*/1000 + t);
+    sum += s.EstimateDistinct();
+  }
+  EXPECT_NEAR(sum / trials, 2000.0, 100.0);
+}
+
+TEST(KmvPairTest, IdenticalRecords) {
+  const Record r = SequentialRecord(0, 500);
+  const KmvSketch a = KmvSketch::Build(r, 50);
+  const KmvPairEstimate est = EstimateKmvPair(a, a);
+  EXPECT_EQ(est.k, 50u);
+  EXPECT_EQ(est.k_intersect, 50u);
+  EXPECT_NEAR(est.intersection_size, est.union_size, 1e-9);
+}
+
+TEST(KmvPairTest, DisjointRecords) {
+  const Record a = SequentialRecord(0, 500);
+  const Record b = SequentialRecord(100000, 500);
+  const KmvPairEstimate est =
+      EstimateKmvPair(KmvSketch::Build(a, 50), KmvSketch::Build(b, 50));
+  EXPECT_EQ(est.k_intersect, 0u);
+  EXPECT_DOUBLE_EQ(est.intersection_size, 0.0);
+}
+
+TEST(KmvPairTest, ExactWhenBothSketchesComplete) {
+  const Record a = MakeRecord({1, 2, 3, 4, 5});
+  const Record b = MakeRecord({4, 5, 6});
+  const KmvPairEstimate est =
+      EstimateKmvPair(KmvSketch::Build(a, 100), KmvSketch::Build(b, 100));
+  EXPECT_TRUE(est.exact);
+  EXPECT_DOUBLE_EQ(est.intersection_size, 2.0);
+  EXPECT_DOUBLE_EQ(est.union_size, 6.0);
+}
+
+TEST(KmvPairTest, EmptySide) {
+  const KmvSketch empty = KmvSketch::Build({}, 10);
+  const KmvSketch full = KmvSketch::Build(SequentialRecord(0, 100), 10);
+  const KmvPairEstimate est = EstimateKmvPair(empty, full);
+  EXPECT_DOUBLE_EQ(est.intersection_size, 0.0);
+}
+
+TEST(KmvPairTest, IntersectionEstimateIsReasonable) {
+  // |A| = |B| = 2000, |A∩B| = 1000. Average over seeds.
+  Record a = SequentialRecord(0, 2000);
+  Record b = SequentialRecord(1000, 2000);
+  double sum = 0.0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    const KmvSketch sa = KmvSketch::Build(a, 128, 77 + t);
+    const KmvSketch sb = KmvSketch::Build(b, 128, 77 + t);
+    sum += EstimateKmvPair(sa, sb).intersection_size;
+  }
+  EXPECT_NEAR(sum / trials, 1000.0, 80.0);
+}
+
+TEST(KmvPairTest, ContainmentEstimate) {
+  // Q ⊂ X: containment should be near 1.
+  Record q = SequentialRecord(0, 500);
+  Record x = SequentialRecord(0, 3000);
+  double sum = 0.0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    sum += EstimateContainmentKmv(KmvSketch::Build(q, 64, 5 + t),
+                                  KmvSketch::Build(x, 64, 5 + t), q.size());
+  }
+  EXPECT_NEAR(sum / trials, 1.0, 0.15);
+}
+
+TEST(KmvVarianceTest, MatchesEq11Formula) {
+  const double d_i = 100, d_u = 1000, k = 50;
+  const double expected =
+      d_i * (k * d_u - k * k - d_u + k + d_i) / (k * (k - 2));
+  EXPECT_DOUBLE_EQ(KmvIntersectionVariance(d_i, d_u, k), expected);
+}
+
+TEST(KmvVarianceTest, DegenerateK) {
+  EXPECT_DOUBLE_EQ(KmvIntersectionVariance(10, 100, 2), 0.0);
+  EXPECT_DOUBLE_EQ(KmvIntersectionVariance(10, 100, 1), 0.0);
+}
+
+TEST(KmvVarianceTest, DecreasesWithK) {
+  // Lemma 2: larger k => smaller variance.
+  const double v50 = KmvIntersectionVariance(100, 1000, 50);
+  const double v100 = KmvIntersectionVariance(100, 1000, 100);
+  const double v200 = KmvIntersectionVariance(100, 1000, 200);
+  EXPECT_GT(v50, v100);
+  EXPECT_GT(v100, v200);
+}
+
+TEST(KmvVarianceTest, EmpiricalVarianceMatchesFormula) {
+  // Monte-Carlo check of Eq. 11 on a concrete pair.
+  Record a = SequentialRecord(0, 1500);
+  Record b = SequentialRecord(500, 1500);  // D∩=1000, D∪=2000
+  const size_t k = 64;
+  double sum = 0.0, sum_sq = 0.0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    const double est = EstimateKmvPair(KmvSketch::Build(a, k, 31 + 7 * t),
+                                       KmvSketch::Build(b, k, 31 + 7 * t))
+                           .intersection_size;
+    sum += est;
+    sum_sq += est * est;
+  }
+  const double mean = sum / trials;
+  const double var = sum_sq / trials - mean * mean;
+  const double predicted = KmvIntersectionVariance(1000, 2000, k);
+  EXPECT_NEAR(mean, 1000.0, 60.0);        // near-unbiased
+  EXPECT_LT(var, 3.0 * predicted + 1.0);  // same order as Eq. 11
+  EXPECT_GT(var, predicted / 3.0);
+}
+
+class KmvKSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KmvKSweepTest, EstimateErrorShrinksWithK) {
+  const size_t k = GetParam();
+  Record a = SequentialRecord(0, 4000);
+  Record b = SequentialRecord(2000, 4000);  // true intersection 2000
+  double err = 0.0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    const double est = EstimateKmvPair(KmvSketch::Build(a, k, 900 + t),
+                                       KmvSketch::Build(b, k, 900 + t))
+                           .intersection_size;
+    err += std::abs(est - 2000.0);
+  }
+  err /= trials;
+  EXPECT_LT(err, 2000.0 * 4.0 / std::sqrt(static_cast<double>(k)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KmvKSweepTest,
+                         ::testing::Values(16, 32, 64, 128, 256));
+
+}  // namespace
+}  // namespace gbkmv

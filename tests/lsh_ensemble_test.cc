@@ -1,0 +1,167 @@
+#include "index/lsh_ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/synthetic.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+
+namespace gbkmv {
+namespace {
+
+Result<Dataset> TestDataset(uint64_t seed = 51) {
+  SyntheticConfig c;
+  c.num_records = 600;
+  c.universe_size = 4000;
+  c.min_record_size = 10;
+  c.max_record_size = 200;
+  c.alpha_element_freq = 1.1;
+  c.alpha_record_size = 2.2;
+  c.seed = seed;
+  return GenerateSynthetic(c);
+}
+
+TEST(LshEnsembleTest, CreateValidatesOptions) {
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  LshEnsembleOptions bad;
+  bad.num_hashes = 0;
+  EXPECT_FALSE(LshEnsembleSearcher::Create(*ds, bad).ok());
+  bad = LshEnsembleOptions{};
+  bad.num_partitions = 0;
+  EXPECT_FALSE(LshEnsembleSearcher::Create(*ds, bad).ok());
+}
+
+TEST(LshEnsembleTest, RejectsEmptyDataset) {
+  auto ds = Dataset::Create({});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_FALSE(LshEnsembleSearcher::Create(*ds, {}).ok());
+}
+
+TEST(LshEnsembleTest, PartitionCountClampedToDataset) {
+  auto ds = Dataset::Create({MakeRecord({1, 2}), MakeRecord({2, 3})});
+  ASSERT_TRUE(ds.ok());
+  LshEnsembleOptions opts;
+  opts.num_hashes = 16;
+  opts.num_partitions = 32;
+  auto s = LshEnsembleSearcher::Create(*ds, opts);
+  ASSERT_TRUE(s.ok());
+  EXPECT_LE((*s)->num_partitions(), 2u);
+}
+
+TEST(LshEnsembleTest, SelfQueryRecalled) {
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  LshEnsembleOptions opts;
+  opts.num_hashes = 128;
+  opts.num_partitions = 8;
+  auto s = LshEnsembleSearcher::Create(*ds, opts);
+  ASSERT_TRUE(s.ok());
+  // A query identical to an indexed record has J = 1 in its own partition;
+  // it must be returned at any threshold.
+  size_t found = 0;
+  for (size_t i = 0; i < 30; ++i) {
+    const auto result = (*s)->Search(ds->record(i), 0.9);
+    if (std::find(result.begin(), result.end(), static_cast<RecordId>(i)) !=
+        result.end()) {
+      ++found;
+    }
+  }
+  EXPECT_GE(found, 28u);
+}
+
+TEST(LshEnsembleTest, EmptyQuery) {
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  auto s = LshEnsembleSearcher::Create(*ds, {});
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE((*s)->Search({}, 0.5).empty());
+}
+
+TEST(LshEnsembleTest, RecallIsHigh) {
+  // §III-B: LSH-E favours recall. Check recall >> precision-oriented floor.
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  LshEnsembleOptions opts;
+  opts.num_hashes = 128;
+  opts.num_partitions = 8;
+  auto s = LshEnsembleSearcher::Create(*ds, opts);
+  ASSERT_TRUE(s.ok());
+  const auto queries = SampleQueries(*ds, 40, 7);
+  const auto truth = ComputeGroundTruth(*ds, queries, 0.5);
+  std::vector<AccuracyMetrics> per_query;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    per_query.push_back(ComputeAccuracy(
+        (*s)->Search(ds->record(queries[i]), 0.5), truth[i]));
+  }
+  const AccuracyMetrics avg = AverageAccuracy(per_query);
+  EXPECT_GT(avg.recall, 0.5);
+}
+
+TEST(LshEnsembleTest, SpaceUnitsIsMK) {
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  LshEnsembleOptions opts;
+  opts.num_hashes = 64;
+  auto s = LshEnsembleSearcher::Create(*ds, opts);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)->SpaceUnits(), ds->size() * 64u);
+  EXPECT_EQ((*s)->name(), "LSH-E");
+  EXPECT_FALSE((*s)->exact());
+}
+
+TEST(LshEnsembleTest, EstimatorBiasMatchesTheory) {
+  // Eq. 20: the LSH-E estimator scales the truth by ~(u+q)/(x+q) >= 1, so on
+  // average it overestimates containment for records below the partition
+  // upper bound.
+  auto ds = TestDataset();
+  ASSERT_TRUE(ds.ok());
+  LshEnsembleOptions opts;
+  opts.num_hashes = 256;
+  opts.num_partitions = 4;  // coarse partitions -> visible bias
+  auto s = LshEnsembleSearcher::Create(*ds, opts);
+  ASSERT_TRUE(s.ok());
+  double est_sum = 0.0, truth_sum = 0.0;
+  int n = 0;
+  for (size_t i = 0; i < 80; ++i) {
+    const Record& q = ds->record(i);
+    const RecordId x = static_cast<RecordId>((i + 7) % ds->size());
+    const double truth = ContainmentSimilarity(q, ds->record(x));
+    if (truth <= 0.01) continue;
+    est_sum += (*s)->EstimateContainment(q, x);
+    truth_sum += truth;
+    ++n;
+  }
+  ASSERT_GT(n, 5);
+  EXPECT_GE(est_sum, truth_sum * 0.9);  // not an underestimate on average
+}
+
+class LshEnsemblePartitionSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LshEnsemblePartitionSweep, MorePartitionsNoWorseRecall) {
+  auto ds = TestDataset(77);
+  ASSERT_TRUE(ds.ok());
+  LshEnsembleOptions opts;
+  opts.num_hashes = 64;
+  opts.num_partitions = GetParam();
+  auto s = LshEnsembleSearcher::Create(*ds, opts);
+  ASSERT_TRUE(s.ok());
+  const auto queries = SampleQueries(*ds, 20, 9);
+  const auto truth = ComputeGroundTruth(*ds, queries, 0.5);
+  std::vector<AccuracyMetrics> per_query;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    per_query.push_back(ComputeAccuracy(
+        (*s)->Search(ds->record(queries[i]), 0.5), truth[i]));
+  }
+  // Sanity: searches return results and recall is non-trivial at any
+  // partition count.
+  EXPECT_GT(AverageAccuracy(per_query).recall, 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, LshEnsemblePartitionSweep,
+                         ::testing::Values(1, 4, 16, 32));
+
+}  // namespace
+}  // namespace gbkmv

@@ -1,0 +1,83 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace gbkmv {
+namespace {
+
+TEST(FScoreTest, F1IsHarmonicMean) {
+  EXPECT_DOUBLE_EQ(FScore(1.0, 1.0, 1.0), 1.0);
+  EXPECT_NEAR(FScore(0.5, 1.0, 1.0), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(FScore(0.0, 0.0, 1.0), 0.0);
+}
+
+TEST(FScoreTest, F05WeighsPrecision) {
+  // With α = 0.5, precision dominates: P=1,R=0.5 scores higher than
+  // P=0.5,R=1.
+  EXPECT_GT(FScore(1.0, 0.5, 0.5), FScore(0.5, 1.0, 0.5));
+  // And F1 is symmetric.
+  EXPECT_DOUBLE_EQ(FScore(1.0, 0.5, 1.0), FScore(0.5, 1.0, 1.0));
+}
+
+TEST(FScoreTest, MatchesEq35) {
+  const double p = 0.7, r = 0.4, a = 0.5;
+  const double expected = (1 + a * a) * p * r / (a * a * p + r);
+  EXPECT_DOUBLE_EQ(FScore(p, r, a), expected);
+}
+
+TEST(ComputeAccuracyTest, PerfectMatch) {
+  const AccuracyMetrics m = ComputeAccuracy({1, 2, 3}, {3, 2, 1});
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_EQ(m.true_positives, 3u);
+}
+
+TEST(ComputeAccuracyTest, PartialMatch) {
+  // returned {1,2,3,4}, truth {3,4,5,6}: TP=2, P=0.5, R=0.5.
+  const AccuracyMetrics m = ComputeAccuracy({1, 2, 3, 4}, {3, 4, 5, 6});
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+  EXPECT_DOUBLE_EQ(m.f1, 0.5);
+}
+
+TEST(ComputeAccuracyTest, EmptyBoth) {
+  const AccuracyMetrics m = ComputeAccuracy({}, {});
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+}
+
+TEST(ComputeAccuracyTest, EmptyReturned) {
+  const AccuracyMetrics m = ComputeAccuracy({}, {1, 2});
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(ComputeAccuracyTest, EmptyTruth) {
+  const AccuracyMetrics m = ComputeAccuracy({1, 2}, {});
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+}
+
+TEST(ComputeAccuracyTest, DuplicatesIgnored) {
+  const AccuracyMetrics m = ComputeAccuracy({1, 1, 2, 2}, {1, 2});
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_EQ(m.returned, 2u);
+}
+
+TEST(AverageAccuracyTest, FieldwiseMean) {
+  AccuracyMetrics a = ComputeAccuracy({1}, {1});        // P=R=1
+  AccuracyMetrics b = ComputeAccuracy({}, {1});         // P=1, R=0
+  const AccuracyMetrics avg = AverageAccuracy({a, b});
+  EXPECT_DOUBLE_EQ(avg.precision, 1.0);
+  EXPECT_DOUBLE_EQ(avg.recall, 0.5);
+}
+
+TEST(AverageAccuracyTest, EmptyInput) {
+  const AccuracyMetrics avg = AverageAccuracy({});
+  EXPECT_DOUBLE_EQ(avg.f1, 0.0);
+}
+
+}  // namespace
+}  // namespace gbkmv

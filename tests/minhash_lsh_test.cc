@@ -1,0 +1,154 @@
+#include "index/minhash_lsh.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace gbkmv {
+namespace {
+
+Record SequentialRecord(ElementId start, size_t count) {
+  Record r;
+  for (size_t i = 0; i < count; ++i) r.push_back(start + static_cast<ElementId>(i));
+  return r;
+}
+
+TEST(CollisionProbabilityTest, Extremes) {
+  EXPECT_DOUBLE_EQ(LshCollisionProbability(0.0, 8, 4), 0.0);
+  EXPECT_NEAR(LshCollisionProbability(1.0, 8, 4), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(LshCollisionProbability(0.5, 0, 4), 0.0);
+}
+
+TEST(CollisionProbabilityTest, MonotoneInSimilarity) {
+  double prev = 0.0;
+  for (double s = 0.0; s <= 1.0; s += 0.1) {
+    const double p = LshCollisionProbability(s, 16, 8);
+    EXPECT_GE(p, prev - 1e-12);
+    prev = p;
+  }
+}
+
+TEST(CollisionProbabilityTest, SCurveShape) {
+  // More rows -> sharper threshold: below t, fewer collisions.
+  const double low_r = LshCollisionProbability(0.3, 32, 2);
+  const double high_r = LshCollisionProbability(0.3, 8, 8);
+  EXPECT_GT(low_r, high_r);
+}
+
+TEST(OptimalBandParamsTest, HighThresholdPrefersMoreRows) {
+  const std::vector<size_t> rows = DefaultRowChoices(256);
+  const BandParams low = OptimalBandParams(256, 0.1, rows);
+  const BandParams high = OptimalBandParams(256, 0.9, rows);
+  EXPECT_GT(high.rows, low.rows);
+}
+
+TEST(OptimalBandParamsTest, UsesSignatureBudget) {
+  const BandParams p = OptimalBandParams(256, 0.5, DefaultRowChoices(256));
+  EXPECT_GE(p.bands * p.rows, 1u);
+  EXPECT_LE(p.bands * p.rows, 256u);
+}
+
+TEST(DefaultRowChoicesTest, PowersOfTwo) {
+  const std::vector<size_t> rows = DefaultRowChoices(16);
+  EXPECT_EQ(rows, (std::vector<size_t>{1, 2, 4, 8, 16}));
+}
+
+class MinHashLshFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    family_ = std::make_unique<HashFamily>(kSig, 17);
+    // Three groups: identical to the query, half-overlap, disjoint.
+    records_.push_back(SequentialRecord(0, 200));       // identical
+    records_.push_back(SequentialRecord(100, 200));     // J = 1/3
+    records_.push_back(SequentialRecord(10000, 200));   // disjoint
+    for (size_t i = 0; i < records_.size(); ++i) {
+      sigs_.push_back(MinHashSignature::Build(records_[i], *family_));
+      ids_.push_back(static_cast<RecordId>(i));
+    }
+    index_ = std::make_unique<MinHashLshIndex>(sigs_, ids_, kSig,
+                                               DefaultRowChoices(kSig));
+  }
+
+  static constexpr size_t kSig = 128;
+  std::unique_ptr<HashFamily> family_;
+  std::vector<Record> records_;
+  std::vector<MinHashSignature> sigs_;
+  std::vector<RecordId> ids_;
+  std::unique_ptr<MinHashLshIndex> index_;
+};
+
+TEST_F(MinHashLshFixture, IdenticalRecordAlwaysCollides) {
+  const MinHashSignature q = MinHashSignature::Build(records_[0], *family_);
+  for (size_t rows : index_->row_choices()) {
+    const BandParams params{kSig / rows, rows};
+    const auto result = index_->Query(q, params);
+    EXPECT_TRUE(std::find(result.begin(), result.end(), 0u) != result.end())
+        << "rows=" << rows;
+  }
+}
+
+TEST_F(MinHashLshFixture, DisjointRecordRarelyCollides) {
+  const MinHashSignature q = MinHashSignature::Build(records_[0], *family_);
+  // With high rows the disjoint record should not appear.
+  const BandParams params{kSig / 16, 16};
+  const auto result = index_->Query(q, params);
+  EXPECT_TRUE(std::find(result.begin(), result.end(), 2u) == result.end());
+}
+
+TEST_F(MinHashLshFixture, MoreBandsMoreCandidates) {
+  const MinHashSignature q = MinHashSignature::Build(records_[1], *family_);
+  const auto few = index_->Query(q, {2, 16});
+  const auto many = index_->Query(q, {kSig, 1});
+  EXPECT_GE(many.size(), few.size());
+}
+
+TEST_F(MinHashLshFixture, NoDuplicateIds) {
+  const MinHashSignature q = MinHashSignature::Build(records_[0], *family_);
+  const auto result = index_->Query(q, {kSig / 2, 2});
+  auto sorted = result;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+}
+
+TEST(MinHashLshStatTest, CollisionRateTracksSCurve) {
+  // Build many records with a fixed Jaccard similarity to the query and
+  // check the empirical collision rate against 1-(1-s^r)^b. All records
+  // share one overlap region, so a single hash draw yields correlated
+  // collisions — average over independent hash families.
+  constexpr size_t kSig = 64;
+  const size_t rows = 4, bands = kSig / rows;
+  std::vector<Record> records;
+  const Record query = SequentialRecord(0, 300);
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    // Each record shares 150 of 300 elements with the query (J = 1/3) but
+    // uses a distinct disjoint tail so records differ.
+    Record r = SequentialRecord(150, 150);
+    const ElementId tail = 100000 + static_cast<ElementId>(i) * 1000;
+    Record t = SequentialRecord(tail, 150);
+    r.insert(r.end(), t.begin(), t.end());
+    records.push_back(MakeRecord(std::move(r)));
+  }
+  double rate_sum = 0.0;
+  const int families = 10;
+  for (int f = 0; f < families; ++f) {
+    HashFamily family(kSig, 23 + 97 * f);
+    std::vector<MinHashSignature> sigs;
+    std::vector<RecordId> ids;
+    for (int i = 0; i < n; ++i) {
+      sigs.push_back(MinHashSignature::Build(records[i], family));
+      ids.push_back(static_cast<RecordId>(i));
+    }
+    MinHashLshIndex index(sigs, ids, kSig, {rows});
+    const auto result =
+        index.Query(MinHashSignature::Build(query, family), {bands, rows});
+    rate_sum += static_cast<double>(result.size()) / n;
+  }
+  const double rate = rate_sum / families;
+  const double expected = LshCollisionProbability(1.0 / 3.0, bands, rows);
+  EXPECT_NEAR(rate, expected, 0.10);
+}
+
+}  // namespace
+}  // namespace gbkmv

@@ -1,0 +1,171 @@
+#include "sketch/minhash.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gbkmv {
+namespace {
+
+Record SequentialRecord(ElementId start, size_t count) {
+  Record r;
+  for (size_t i = 0; i < count; ++i) r.push_back(start + static_cast<ElementId>(i));
+  return r;
+}
+
+TEST(MinHashTest, SignatureSizeMatchesFamily) {
+  HashFamily family(32, 1);
+  const MinHashSignature sig =
+      MinHashSignature::Build(MakeRecord({1, 2, 3}), family);
+  EXPECT_EQ(sig.size(), 32u);
+}
+
+TEST(MinHashTest, SignatureIsMinOverElements) {
+  HashFamily family(8, 2);
+  const Record r = MakeRecord({10, 20, 30});
+  const MinHashSignature sig = MinHashSignature::Build(r, family);
+  for (size_t i = 0; i < family.size(); ++i) {
+    uint64_t expected = ~0ULL;
+    for (ElementId e : r) expected = std::min(expected, family.Hash(i, e));
+    EXPECT_EQ(sig.value(i), expected);
+  }
+}
+
+TEST(MinHashTest, EmptyRecordAllMax) {
+  HashFamily family(4, 3);
+  const MinHashSignature sig = MinHashSignature::Build({}, family);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(sig.value(i), ~0ULL);
+}
+
+TEST(MinHashTest, IdenticalRecordsFullCollision) {
+  HashFamily family(64, 4);
+  const Record r = SequentialRecord(0, 100);
+  const MinHashSignature a = MinHashSignature::Build(r, family);
+  const MinHashSignature b = MinHashSignature::Build(r, family);
+  EXPECT_DOUBLE_EQ(EstimateJaccardMinHash(a, b), 1.0);
+}
+
+TEST(MinHashTest, DisjointRecordsNoCollision) {
+  HashFamily family(64, 5);
+  const MinHashSignature a =
+      MinHashSignature::Build(SequentialRecord(0, 200), family);
+  const MinHashSignature b =
+      MinHashSignature::Build(SequentialRecord(10000, 200), family);
+  // Collisions possible but vanishingly unlikely with 200 elements each.
+  EXPECT_LT(EstimateJaccardMinHash(a, b), 0.05);
+}
+
+TEST(MinHashTest, JaccardEstimateNearTruth) {
+  // |A∩B| = 500, |A∪B| = 1500 -> J = 1/3.
+  HashFamily family(512, 6);
+  const Record a = SequentialRecord(0, 1000);
+  const Record b = SequentialRecord(500, 1000);
+  const double est = EstimateJaccardMinHash(MinHashSignature::Build(a, family),
+                                            MinHashSignature::Build(b, family));
+  EXPECT_NEAR(est, 1.0 / 3.0, 0.08);
+}
+
+TEST(MinHashTest, JaccardEstimateUnbiasedOverSeeds) {
+  const Record a = SequentialRecord(0, 400);
+  const Record b = SequentialRecord(200, 400);  // J = 200/600 = 1/3
+  double sum = 0.0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    HashFamily family(64, 100 + t);
+    sum += EstimateJaccardMinHash(MinHashSignature::Build(a, family),
+                                  MinHashSignature::Build(b, family));
+  }
+  EXPECT_NEAR(sum / trials, 1.0 / 3.0, 0.03);
+}
+
+TEST(MinHashTest, VarianceMatchesEq7) {
+  // Var[ŝ] = s(1−s)/k (Eq. 7).
+  const Record a = SequentialRecord(0, 300);
+  const Record b = SequentialRecord(100, 300);  // J = 200/400 = 0.5
+  const size_t k = 64;
+  double sum = 0.0, sum_sq = 0.0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    HashFamily family(k, 5000 + t);
+    const double s = EstimateJaccardMinHash(MinHashSignature::Build(a, family),
+                                            MinHashSignature::Build(b, family));
+    sum += s;
+    sum_sq += s * s;
+  }
+  const double mean = sum / trials;
+  const double var = sum_sq / trials - mean * mean;
+  const double predicted = 0.5 * 0.5 / static_cast<double>(k);
+  EXPECT_NEAR(mean, 0.5, 0.02);
+  EXPECT_NEAR(var, predicted, predicted);  // within 2x
+}
+
+TEST(TransformTest, RoundTrip) {
+  // t -> s -> t must be identity (Eq. 12).
+  for (double t : {0.1, 0.3, 0.5, 0.8, 1.0}) {
+    const double s = ContainmentToJaccard(t, 50, 200);
+    EXPECT_NEAR(JaccardToContainment(s, 50, 200), t, 1e-12);
+  }
+}
+
+TEST(TransformTest, KnownValues) {
+  // q = x: t = 2s/(1+s); s = 1 -> t = 1.
+  EXPECT_NEAR(JaccardToContainment(1.0, 100, 100), 1.0, 1e-12);
+  // Containment 1 with x = q: s = 1.
+  EXPECT_NEAR(ContainmentToJaccard(1.0, 100, 100), 1.0, 1e-12);
+}
+
+TEST(TransformTest, EmptyQuery) {
+  EXPECT_DOUBLE_EQ(JaccardToContainment(0.5, 0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(ContainmentToJaccard(0.5, 0, 10), 0.0);
+}
+
+TEST(TransformTest, PaperExampleJaccardVsContainment) {
+  // Intro example: J(Q,X) = 2/9 with q=2, x=9 -> containment 1.0.
+  const double t = JaccardToContainment(2.0 / 9.0, 2, 9);
+  EXPECT_NEAR(t, 1.0, 1e-9);
+}
+
+TEST(MinHashContainmentTest, SubsetQueryEstimatesHigh) {
+  HashFamily family(256, 8);
+  const Record q = SequentialRecord(0, 100);
+  const Record x = SequentialRecord(0, 500);
+  const double t = EstimateContainmentMinHash(
+      MinHashSignature::Build(q, family), MinHashSignature::Build(x, family),
+      q.size(), x.size());
+  EXPECT_GT(t, 0.8);
+}
+
+TEST(MinHashContainmentTest, DisjointEstimatesLow) {
+  HashFamily family(256, 9);
+  const Record q = SequentialRecord(0, 100);
+  const Record x = SequentialRecord(5000, 500);
+  const double t = EstimateContainmentMinHash(
+      MinHashSignature::Build(q, family), MinHashSignature::Build(x, family),
+      q.size(), x.size());
+  EXPECT_LT(t, 0.2);
+}
+
+class MinHashJaccardSweep
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(MinHashJaccardSweep, EstimateTracksTrueJaccard) {
+  const auto [overlap, size] = GetParam();
+  const Record a = SequentialRecord(0, size);
+  const Record b = SequentialRecord(static_cast<ElementId>(size - overlap), size);
+  const double truth = static_cast<double>(overlap) /
+                       static_cast<double>(2 * size - overlap);
+  HashFamily family(512, 10);
+  const double est = EstimateJaccardMinHash(MinHashSignature::Build(a, family),
+                                            MinHashSignature::Build(b, family));
+  EXPECT_NEAR(est, truth, 0.07);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Overlaps, MinHashJaccardSweep,
+    ::testing::Values(std::make_pair<size_t, size_t>(100, 1000),
+                      std::make_pair<size_t, size_t>(500, 1000),
+                      std::make_pair<size_t, size_t>(900, 1000),
+                      std::make_pair<size_t, size_t>(1000, 1000)));
+
+}  // namespace
+}  // namespace gbkmv

@@ -1,0 +1,125 @@
+#include "common/power_law.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/random.h"
+
+namespace gbkmv {
+namespace {
+
+TEST(HarmonicTest, AlphaZeroCountsSupport) {
+  EXPECT_DOUBLE_EQ(GeneralizedHarmonic(10, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(GeneralizedHarmonicRange(3, 7, 0.0), 5.0);
+}
+
+TEST(HarmonicTest, AlphaOneMatchesHarmonicNumbers) {
+  // H_4 = 1 + 1/2 + 1/3 + 1/4.
+  EXPECT_NEAR(GeneralizedHarmonic(4, 1.0), 1.0 + 0.5 + 1.0 / 3 + 0.25, 1e-12);
+}
+
+TEST(HarmonicTest, RangeSplitsAdditively) {
+  const double whole = GeneralizedHarmonic(100, 1.5);
+  const double head = GeneralizedHarmonicRange(1, 40, 1.5);
+  const double tail = GeneralizedHarmonicRange(41, 100, 1.5);
+  EXPECT_NEAR(whole, head + tail, 1e-9);
+}
+
+TEST(HarmonicTest, LargeNTailApproximationReasonable) {
+  // ζ(2) = π²/6 ≈ 1.6449; H(10^7, 2) should be close.
+  EXPECT_NEAR(GeneralizedHarmonic(10000000, 2.0), M_PI * M_PI / 6.0, 1e-4);
+}
+
+TEST(ZipfTest, UniformWhenAlphaZero) {
+  ZipfDistribution d(1, 4, 0.0);
+  EXPECT_DOUBLE_EQ(d.Pmf(1), 0.25);
+  EXPECT_DOUBLE_EQ(d.Pmf(4), 0.25);
+  EXPECT_DOUBLE_EQ(d.Pmf(5), 0.0);
+  EXPECT_DOUBLE_EQ(d.Pmf(0), 0.0);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution d(10, 200, 1.3);
+  double sum = 0.0;
+  for (uint64_t x = 10; x <= 200; ++x) sum += d.Pmf(x);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, SamplesStayInSupport) {
+  ZipfDistribution d(5, 50, 2.0);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t x = d.Sample(rng);
+    EXPECT_GE(x, 5u);
+    EXPECT_LE(x, 50u);
+  }
+}
+
+TEST(ZipfTest, SampleFrequenciesMatchPmf) {
+  ZipfDistribution d(1, 20, 1.0);
+  Rng rng(2);
+  std::map<uint64_t, int> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[d.Sample(rng)];
+  for (uint64_t x = 1; x <= 20; ++x) {
+    EXPECT_NEAR(static_cast<double>(counts[x]) / n, d.Pmf(x), 0.01)
+        << "x=" << x;
+  }
+}
+
+TEST(ZipfTest, MeanMatchesEmpirical) {
+  ZipfDistribution d(10, 100, 2.5);
+  Rng rng(3);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(d.Sample(rng));
+  EXPECT_NEAR(sum / n, d.Mean(), 0.2);
+}
+
+TEST(ZipfTest, HigherAlphaSkewsLower) {
+  ZipfDistribution flat(1, 100, 0.5), steep(1, 100, 2.5);
+  EXPECT_GT(steep.Pmf(1), flat.Pmf(1));
+  EXPECT_LT(steep.Mean(), flat.Mean());
+}
+
+TEST(FitTest, RecoversExponentFromZipfSamples) {
+  // Draw from a power law and recover alpha within tolerance.
+  const double alpha = 2.2;
+  ZipfDistribution d(1, 1000000, alpha);
+  Rng rng(4);
+  std::vector<uint64_t> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(d.Sample(rng));
+  const double fitted = FitPowerLawExponent(xs, 1);
+  EXPECT_NEAR(fitted, alpha, 0.15);
+}
+
+TEST(FitTest, IgnoresBelowXmin) {
+  std::vector<uint64_t> xs = {1, 1, 1, 1, 50, 60, 70};
+  const double with_head = FitPowerLawExponent(xs, 1);
+  const double tail_only = FitPowerLawExponent(xs, 50);
+  EXPECT_NE(with_head, tail_only);
+}
+
+TEST(FitTest, DegenerateInputsReturnZero) {
+  EXPECT_EQ(FitPowerLawExponent({}, 1), 0.0);
+  EXPECT_EQ(FitPowerLawExponent({5}, 1), 0.0);
+}
+
+class FitSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FitSweepTest, RecoversAcrossExponents) {
+  const double alpha = GetParam();
+  ZipfDistribution d(1, 100000, alpha);
+  Rng rng(static_cast<uint64_t>(alpha * 1000));
+  std::vector<uint64_t> xs;
+  for (int i = 0; i < 40000; ++i) xs.push_back(d.Sample(rng));
+  EXPECT_NEAR(FitPowerLawExponent(xs, 1), alpha, 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, FitSweepTest,
+                         ::testing::Values(1.5, 2.0, 2.5, 3.0));
+
+}  // namespace
+}  // namespace gbkmv

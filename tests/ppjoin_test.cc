@@ -1,0 +1,107 @@
+#include "index/ppjoin.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/synthetic.h"
+#include "index/brute_force.h"
+
+namespace gbkmv {
+namespace {
+
+Result<Dataset> Fig1Dataset() {
+  return Dataset::Create({MakeRecord({1, 2, 3, 4, 7}), MakeRecord({2, 3, 5}),
+                          MakeRecord({2, 4, 5}), MakeRecord({1, 2, 6, 10})});
+}
+
+TEST(PPJoinTest, PaperExample1) {
+  auto ds = Fig1Dataset();
+  ASSERT_TRUE(ds.ok());
+  PPJoinSearcher searcher(*ds);
+  auto result = searcher.Search(MakeRecord({1, 2, 3, 5, 7, 9}), 0.5);
+  std::sort(result.begin(), result.end());
+  EXPECT_EQ(result, (std::vector<RecordId>{0, 1}));
+}
+
+TEST(PPJoinTest, ThresholdZeroReturnsEverything) {
+  auto ds = Fig1Dataset();
+  ASSERT_TRUE(ds.ok());
+  PPJoinSearcher searcher(*ds);
+  EXPECT_EQ(searcher.Search(MakeRecord({1}), 0.0).size(), 4u);
+}
+
+TEST(PPJoinTest, EmptyQuery) {
+  auto ds = Fig1Dataset();
+  ASSERT_TRUE(ds.ok());
+  PPJoinSearcher searcher(*ds);
+  EXPECT_TRUE(searcher.Search({}, 0.5).empty());
+}
+
+TEST(PPJoinTest, IsExactAndNamed) {
+  auto ds = Fig1Dataset();
+  ASSERT_TRUE(ds.ok());
+  PPJoinSearcher searcher(*ds);
+  EXPECT_TRUE(searcher.exact());
+  EXPECT_EQ(searcher.name(), "PPjoin*");
+  EXPECT_GT(searcher.SpaceUnits(), 0u);
+}
+
+// The core correctness property: PPjoin* returns exactly the brute-force
+// result on every dataset and threshold.
+class PPJoinEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(PPJoinEquivalenceTest, MatchesBruteForce) {
+  const auto [threshold, alpha1, alpha2] = GetParam();
+  SyntheticConfig c;
+  c.num_records = 400;
+  c.universe_size = 2000;
+  c.min_record_size = 10;
+  c.max_record_size = 80;
+  c.alpha_element_freq = alpha1;
+  c.alpha_record_size = alpha2;
+  c.seed = 91;
+  auto ds = GenerateSynthetic(c);
+  ASSERT_TRUE(ds.ok());
+  PPJoinSearcher ppjoin(*ds);
+  BruteForceSearcher brute(*ds);
+  for (size_t qi = 0; qi < 25; ++qi) {
+    const Record& q = ds->record(qi * 7 % ds->size());
+    auto a = ppjoin.Search(q, threshold);
+    auto b = brute.Search(q, threshold);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "query " << qi << " threshold " << threshold;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PPJoinEquivalenceTest,
+    ::testing::Values(std::make_tuple(0.1, 1.1, 2.0),
+                      std::make_tuple(0.3, 1.1, 2.0),
+                      std::make_tuple(0.5, 1.1, 2.0),
+                      std::make_tuple(0.7, 0.0, 0.0),
+                      std::make_tuple(0.9, 1.4, 3.0),
+                      std::make_tuple(1.0, 1.1, 2.0)));
+
+TEST(PPJoinTest, SelfQueryAlwaysFound) {
+  SyntheticConfig c;
+  c.num_records = 200;
+  c.universe_size = 1000;
+  c.min_record_size = 10;
+  c.max_record_size = 40;
+  c.seed = 92;
+  auto ds = GenerateSynthetic(c);
+  ASSERT_TRUE(ds.ok());
+  PPJoinSearcher searcher(*ds);
+  // A record fully contains itself: must be in its own result at t* = 1.
+  for (size_t i = 0; i < 20; ++i) {
+    const auto result = searcher.Search(ds->record(i), 1.0);
+    EXPECT_TRUE(std::find(result.begin(), result.end(),
+                          static_cast<RecordId>(i)) != result.end());
+  }
+}
+
+}  // namespace
+}  // namespace gbkmv

@@ -1,0 +1,134 @@
+// Cross-method property tests: invariants every ContainmentSearcher must
+// satisfy on arbitrary inputs, regardless of approximation quality.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/containment.h"
+#include "data/synthetic.h"
+
+namespace gbkmv {
+namespace {
+
+Result<Dataset> PropertyDataset() {
+  SyntheticConfig c;
+  c.num_records = 300;
+  c.universe_size = 2500;
+  c.min_record_size = 15;
+  c.max_record_size = 120;
+  c.alpha_element_freq = 1.1;
+  c.alpha_record_size = 2.0;
+  c.seed = 401;
+  return GenerateSynthetic(c);
+}
+
+class SearcherPropertyTest : public ::testing::TestWithParam<SearchMethod> {
+ protected:
+  void SetUp() override {
+    auto ds = PropertyDataset();
+    ASSERT_TRUE(ds.ok());
+    dataset_ = std::make_unique<Dataset>(std::move(ds.value()));
+    SearcherConfig config;
+    config.method = GetParam();
+    config.space_ratio = 0.2;
+    config.lshe_num_hashes = 32;
+    config.lshe_num_partitions = 4;
+    auto s = BuildSearcher(*dataset_, config);
+    ASSERT_TRUE(s.ok());
+    searcher_ = std::move(s.value());
+  }
+
+  std::unique_ptr<Dataset> dataset_;
+  std::unique_ptr<ContainmentSearcher> searcher_;
+};
+
+TEST_P(SearcherPropertyTest, ResultsAreValidIds) {
+  for (size_t qi = 0; qi < 10; ++qi) {
+    const Record& q = dataset_->record(qi * 31 % dataset_->size());
+    for (RecordId id : searcher_->Search(q, 0.5)) {
+      EXPECT_LT(id, dataset_->size());
+    }
+  }
+}
+
+TEST_P(SearcherPropertyTest, ResultsAreDuplicateFree) {
+  for (size_t qi = 0; qi < 10; ++qi) {
+    const Record& q = dataset_->record(qi * 17 % dataset_->size());
+    std::vector<RecordId> ids = searcher_->Search(q, 0.3);
+    std::sort(ids.begin(), ids.end());
+    EXPECT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end())
+        << searcher_->name();
+  }
+}
+
+TEST_P(SearcherPropertyTest, EmptyQueryReturnsNothing) {
+  EXPECT_TRUE(searcher_->Search({}, 0.5).empty()) << searcher_->name();
+}
+
+TEST_P(SearcherPropertyTest, ImpossibleThresholdReturnsNothingExactly) {
+  // A query disjoint from the universe can never reach containment 1 for
+  // exact methods; sketch methods must at least not crash.
+  Record alien;
+  for (ElementId e = 1000000; e < 1000040; ++e) alien.push_back(e);
+  const auto result = searcher_->Search(alien, 1.0);
+  if (searcher_->exact()) {
+    EXPECT_TRUE(result.empty()) << searcher_->name();
+  }
+}
+
+TEST_P(SearcherPropertyTest, SpaceUnitsArePositive) {
+  EXPECT_GT(searcher_->SpaceUnits(), 0u);
+}
+
+TEST_P(SearcherPropertyTest, ExactMethodsExactlyMatchDefinition) {
+  if (!searcher_->exact()) return;
+  for (size_t qi = 0; qi < 8; ++qi) {
+    const Record& q = dataset_->record(qi * 41 % dataset_->size());
+    const double threshold = 0.4;
+    std::vector<RecordId> expected;
+    for (size_t i = 0; i < dataset_->size(); ++i) {
+      if (ContainmentSimilarity(q, dataset_->record(i)) >= threshold - 1e-12) {
+        expected.push_back(static_cast<RecordId>(i));
+      }
+    }
+    std::vector<RecordId> actual = searcher_->Search(q, threshold);
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected) << searcher_->name();
+  }
+}
+
+TEST_P(SearcherPropertyTest, ThresholdMonotonicityForExactMethods) {
+  if (!searcher_->exact()) return;  // sketch noise may break monotonicity
+  const Record& q = dataset_->record(7);
+  size_t prev = dataset_->size() + 1;
+  for (double t : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const size_t count = searcher_->Search(q, t).size();
+    EXPECT_LE(count, prev) << searcher_->name();
+    prev = count;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, SearcherPropertyTest,
+    ::testing::Values(SearchMethod::kGbKmv, SearchMethod::kGKmv,
+                      SearchMethod::kKmv, SearchMethod::kLshEnsemble,
+                      SearchMethod::kAsymmetricMinHash, SearchMethod::kPPJoin,
+                      SearchMethod::kFreqSet, SearchMethod::kBruteForce),
+    [](const ::testing::TestParamInfo<SearchMethod>& info) {
+      switch (info.param) {
+        case SearchMethod::kGbKmv: return "GbKmv";
+        case SearchMethod::kGKmv: return "GKmv";
+        case SearchMethod::kKmv: return "Kmv";
+        case SearchMethod::kLshEnsemble: return "LshE";
+        case SearchMethod::kAsymmetricMinHash: return "AMh";
+        case SearchMethod::kPPJoin: return "PPJoin";
+        case SearchMethod::kFreqSet: return "FreqSet";
+        case SearchMethod::kBruteForce: return "BruteForce";
+      }
+      return "Unknown";
+    });
+
+}  // namespace
+}  // namespace gbkmv

@@ -1,0 +1,71 @@
+#include "data/proxies.h"
+
+#include <gtest/gtest.h>
+
+namespace gbkmv {
+namespace {
+
+TEST(ProxiesTest, AllSevenDatasets) {
+  EXPECT_EQ(AllPaperDatasets().size(), 7u);
+}
+
+TEST(ProxiesTest, NamesMatchTableII) {
+  EXPECT_EQ(PaperDatasetName(PaperDataset::kNetflix), "NETFLIX");
+  EXPECT_EQ(PaperDatasetName(PaperDataset::kDelicious), "DELIC");
+  EXPECT_EQ(PaperDatasetName(PaperDataset::kCanadianOpenData), "COD");
+  EXPECT_EQ(PaperDatasetName(PaperDataset::kEnron), "ENRON");
+  EXPECT_EQ(PaperDatasetName(PaperDataset::kReuters), "REUTERS");
+  EXPECT_EQ(PaperDatasetName(PaperDataset::kWebspam), "WEBSPAM");
+  EXPECT_EQ(PaperDatasetName(PaperDataset::kWdcWebTable), "WDC");
+}
+
+TEST(ProxiesTest, PublishedStatsMatchTableII) {
+  const PublishedStats netflix =
+      PaperDatasetPublishedStats(PaperDataset::kNetflix);
+  EXPECT_EQ(netflix.num_records, 480189u);
+  EXPECT_NEAR(netflix.alpha1, 1.14, 1e-9);
+  EXPECT_NEAR(netflix.alpha2, 4.95, 1e-9);
+  const PublishedStats wdc =
+      PaperDatasetPublishedStats(PaperDataset::kWdcWebTable);
+  EXPECT_EQ(wdc.num_records, 262893406u);
+}
+
+TEST(ProxiesTest, ConfigsUsePublishedExponents) {
+  for (PaperDataset d : AllPaperDatasets()) {
+    const SyntheticConfig c = ProxyConfig(d);
+    const PublishedStats p = PaperDatasetPublishedStats(d);
+    EXPECT_NEAR(c.alpha_element_freq, p.alpha1, 1e-9)
+        << PaperDatasetName(d);
+    EXPECT_NEAR(c.alpha_record_size, p.alpha2, 1e-9)
+        << PaperDatasetName(d);
+    EXPECT_GE(c.min_record_size, 10u) << PaperDatasetName(d);
+  }
+}
+
+TEST(ProxiesTest, ScaleChangesRecordCount) {
+  const SyntheticConfig full = ProxyConfig(PaperDataset::kNetflix, 1.0);
+  const SyntheticConfig half = ProxyConfig(PaperDataset::kNetflix, 0.5);
+  EXPECT_EQ(half.num_records, full.num_records / 2);
+}
+
+TEST(ProxiesTest, GenerateSmallProxyWorks) {
+  auto ds = GenerateProxy(PaperDataset::kWdcWebTable, 0.05);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->name(), "WDC");
+  EXPECT_GT(ds->size(), 0u);
+  EXPECT_GT(ds->total_elements(), 0u);
+}
+
+TEST(ProxiesTest, ProxiesAreSkewed) {
+  auto ds = GenerateProxy(PaperDataset::kEnron, 0.1);
+  ASSERT_TRUE(ds.ok());
+  // The most frequent element should carry far more than the mean share.
+  const double mean_freq = static_cast<double>(ds->total_elements()) /
+                           static_cast<double>(ds->num_distinct());
+  EXPECT_GT(static_cast<double>(
+                ds->frequency(ds->elements_by_frequency().front())),
+            5.0 * mean_freq);
+}
+
+}  // namespace
+}  // namespace gbkmv

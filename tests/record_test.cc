@@ -1,0 +1,89 @@
+#include "data/record.h"
+
+#include <gtest/gtest.h>
+
+namespace gbkmv {
+namespace {
+
+TEST(RecordTest, MakeRecordSortsAndDedups) {
+  const Record r = MakeRecord({5, 3, 3, 1, 5});
+  EXPECT_EQ(r, (Record{1, 3, 5}));
+  EXPECT_TRUE(IsNormalized(r));
+}
+
+TEST(RecordTest, MakeRecordEmpty) {
+  EXPECT_TRUE(MakeRecord({}).empty());
+}
+
+TEST(RecordTest, IsNormalizedDetectsProblems) {
+  EXPECT_TRUE(IsNormalized({1, 2, 3}));
+  EXPECT_FALSE(IsNormalized({1, 1, 2}));
+  EXPECT_FALSE(IsNormalized({2, 1}));
+  EXPECT_TRUE(IsNormalized({}));
+  EXPECT_TRUE(IsNormalized({7}));
+}
+
+TEST(RecordTest, IntersectSize) {
+  EXPECT_EQ(IntersectSize({1, 2, 3}, {2, 3, 4}), 2u);
+  EXPECT_EQ(IntersectSize({1, 2}, {3, 4}), 0u);
+  EXPECT_EQ(IntersectSize({}, {1}), 0u);
+  EXPECT_EQ(IntersectSize({1, 2, 3}, {1, 2, 3}), 3u);
+}
+
+TEST(RecordTest, UnionSize) {
+  EXPECT_EQ(UnionSize({1, 2, 3}, {2, 3, 4}), 4u);
+  EXPECT_EQ(UnionSize({}, {}), 0u);
+  EXPECT_EQ(UnionSize({1}, {}), 1u);
+}
+
+TEST(RecordTest, JaccardSimilarity) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1, 2, 3}, {2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1}, {1}), 1.0);
+}
+
+TEST(RecordTest, PaperIntroExample) {
+  // "five guys burgers and fries downtown brooklyn new york" vs
+  // "five kitchen berkeley" vs query "five guys" — dictionary encoded.
+  // X: {0..8}, Y: {0, 9, 10}, Q: {0, 1}.
+  const Record x = MakeRecord({0, 1, 2, 3, 4, 5, 6, 7, 8});
+  const Record y = MakeRecord({0, 9, 10});
+  const Record q = MakeRecord({0, 1});
+  EXPECT_NEAR(JaccardSimilarity(q, x), 2.0 / 9.0, 1e-12);
+  EXPECT_NEAR(JaccardSimilarity(q, y), 0.25, 1e-12);
+  // Jaccard prefers Y, containment prefers X — the paper's motivation.
+  EXPECT_DOUBLE_EQ(ContainmentSimilarity(q, x), 1.0);
+  EXPECT_DOUBLE_EQ(ContainmentSimilarity(q, y), 0.5);
+}
+
+TEST(RecordTest, PaperExample1Containment) {
+  // Fig. 1 of the paper (elements e1..e10 -> ids 1..10).
+  const Record q = MakeRecord({1, 2, 3, 5, 7, 9});
+  EXPECT_NEAR(ContainmentSimilarity(q, MakeRecord({1, 2, 3, 4, 7})), 4.0 / 6,
+              1e-9);
+  EXPECT_NEAR(ContainmentSimilarity(q, MakeRecord({2, 3, 5})), 0.5, 1e-9);
+  EXPECT_NEAR(ContainmentSimilarity(q, MakeRecord({2, 4, 5})), 2.0 / 6, 1e-9);
+  EXPECT_NEAR(ContainmentSimilarity(q, MakeRecord({1, 2, 6, 10})), 2.0 / 6,
+              1e-9);
+}
+
+TEST(RecordTest, ContainmentIsAsymmetric) {
+  const Record a = MakeRecord({1, 2});
+  const Record b = MakeRecord({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(ContainmentSimilarity(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(ContainmentSimilarity(b, a), 0.5);
+}
+
+TEST(RecordTest, EmptyQueryContainmentIsZero) {
+  EXPECT_DOUBLE_EQ(ContainmentSimilarity({}, {1, 2}), 0.0);
+}
+
+TEST(RecordTest, Contains) {
+  const Record r = MakeRecord({2, 4, 6});
+  EXPECT_TRUE(Contains(r, 4));
+  EXPECT_FALSE(Contains(r, 5));
+  EXPECT_FALSE(Contains({}, 1));
+}
+
+}  // namespace
+}  // namespace gbkmv

@@ -1,0 +1,131 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace gbkmv {
+namespace {
+
+SyntheticConfig SmallConfig() {
+  SyntheticConfig c;
+  c.num_records = 500;
+  c.universe_size = 5000;
+  c.min_record_size = 10;
+  c.max_record_size = 100;
+  c.alpha_element_freq = 1.1;
+  c.alpha_record_size = 2.0;
+  c.seed = 11;
+  return c;
+}
+
+TEST(SyntheticTest, GeneratesRequestedShape) {
+  auto ds = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 500u);
+  for (const Record& r : ds->records()) {
+    EXPECT_GE(r.size(), 10u);
+    EXPECT_LE(r.size(), 100u);
+    EXPECT_TRUE(IsNormalized(r));
+    for (ElementId e : r) EXPECT_LT(e, 5000u);
+  }
+}
+
+TEST(SyntheticTest, Deterministic) {
+  auto a = GenerateSynthetic(SmallConfig());
+  auto b = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->record(i), b->record(i));
+  }
+}
+
+TEST(SyntheticTest, SeedChangesData) {
+  SyntheticConfig c = SmallConfig();
+  c.seed = 999;
+  auto a = GenerateSynthetic(SmallConfig());
+  auto b = GenerateSynthetic(c);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool any_diff = false;
+  for (size_t i = 0; i < a->size() && !any_diff; ++i) {
+    any_diff = (a->record(i) != b->record(i));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticTest, SkewedElementsConcentrateOnLowIds) {
+  SyntheticConfig c = SmallConfig();
+  c.alpha_element_freq = 1.5;
+  auto ds = GenerateSynthetic(c);
+  ASSERT_TRUE(ds.ok());
+  // Element id 0 (rank 1) should be among the most frequent.
+  const auto& by_freq = ds->elements_by_frequency();
+  ASSERT_FALSE(by_freq.empty());
+  EXPECT_LT(by_freq.front(), 10u);
+}
+
+TEST(SyntheticTest, UniformHasLowSkew) {
+  SyntheticConfig c = SmallConfig();
+  c.alpha_element_freq = 0.0;
+  c.alpha_record_size = 0.0;
+  auto ds = GenerateSynthetic(c);
+  ASSERT_TRUE(ds.ok());
+  // Top element frequency should be a tiny fraction of N under uniformity.
+  const double top_share =
+      static_cast<double>(ds->frequency(ds->elements_by_frequency().front())) /
+      static_cast<double>(ds->total_elements());
+  EXPECT_LT(top_share, 0.01);
+}
+
+TEST(SyntheticTest, ValidatesParameters) {
+  SyntheticConfig c = SmallConfig();
+  c.num_records = 0;
+  EXPECT_FALSE(GenerateSynthetic(c).ok());
+
+  c = SmallConfig();
+  c.min_record_size = 0;
+  EXPECT_FALSE(GenerateSynthetic(c).ok());
+
+  c = SmallConfig();
+  c.min_record_size = 200;
+  c.max_record_size = 100;
+  EXPECT_FALSE(GenerateSynthetic(c).ok());
+
+  c = SmallConfig();
+  c.max_record_size = c.universe_size + 1;
+  EXPECT_FALSE(GenerateSynthetic(c).ok());
+
+  c = SmallConfig();
+  c.alpha_element_freq = -1;
+  EXPECT_FALSE(GenerateSynthetic(c).ok());
+}
+
+TEST(SyntheticTest, RecordsAreSets) {
+  auto ds = GenerateSynthetic(SmallConfig());
+  ASSERT_TRUE(ds.ok());
+  for (const Record& r : ds->records()) {
+    Record copy = r;
+    EXPECT_EQ(MakeRecord(std::move(copy)), r);  // already sorted unique
+  }
+}
+
+TEST(SyntheticTest, FittedExponentTracksConfig) {
+  SyntheticConfig c;
+  c.num_records = 2000;
+  c.universe_size = 50000;
+  c.min_record_size = 10;
+  c.max_record_size = 200;
+  c.alpha_element_freq = 1.2;
+  c.alpha_record_size = 3.0;
+  c.seed = 5;
+  auto ds = GenerateSynthetic(c);
+  ASSERT_TRUE(ds.ok());
+  const DatasetStats& s = ds->stats();
+  // Loose bands: the generator induces (not exactly equals) the exponents.
+  EXPECT_GT(s.alpha_record_size, 2.0);
+  EXPECT_GT(s.alpha_element_freq, 1.0);
+}
+
+}  // namespace
+}  // namespace gbkmv

@@ -1,0 +1,224 @@
+// Empirical checks of the paper's theoretical claims (§IV-C), with seeded
+// Monte-Carlo where the claim is statistical.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/hash.h"
+#include "data/synthetic.h"
+#include "sketch/gkmv.h"
+#include "sketch/kmv.h"
+#include "sketch/minhash.h"
+
+namespace gbkmv {
+namespace {
+
+Record SequentialRecord(ElementId start, size_t count) {
+  Record r;
+  for (size_t i = 0; i < count; ++i) r.push_back(start + static_cast<ElementId>(i));
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 1: with Σ k_i = b fixed, equal allocation k_i = b/m maximises the
+// total effective k (Σ min(k_q, k_i)) because the pairwise estimator uses
+// min(k_q, k_i).
+TEST(Theorem1Test, EqualAllocationMaximisesEffectiveK) {
+  const size_t m = 10;
+  const size_t b = 200;
+  // Equal allocation.
+  std::vector<size_t> equal(m, b / m);
+  // A skewed allocation with the same total.
+  std::vector<size_t> skewed = {5, 5, 5, 5, 5, 5, 5, 5, 80, 80};
+  ASSERT_EQ(std::accumulate(skewed.begin(), skewed.end(), size_t{0}), b);
+
+  // Query k is drawn from the records themselves (paper's query model):
+  // average total min(k_q, k_i) over all query choices.
+  auto total_effective_k = [&](const std::vector<size_t>& ks) {
+    double total = 0;
+    for (size_t kq : ks) {
+      for (size_t ki : ks) total += static_cast<double>(std::min(kq, ki));
+    }
+    return total;
+  };
+  EXPECT_GE(total_effective_k(equal), total_effective_k(skewed));
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 2 + Theorem 3: the G-KMV pairwise k (= |L_Q ∪ L_X|) exceeds the KMV
+// pairwise k (= min(k_Q, k_X)) at equal total space, so its variance is
+// lower. Verified empirically on a skewed synthetic dataset.
+TEST(Theorem3Test, GkmvUsesLargerEffectiveK) {
+  SyntheticConfig c;
+  c.num_records = 300;
+  c.universe_size = 3000;
+  c.min_record_size = 20;
+  c.max_record_size = 200;
+  c.alpha_element_freq = 1.2;  // α1 < 3.4 — the theorem's regime
+  c.alpha_record_size = 2.5;
+  c.seed = 101;
+  auto ds = GenerateSynthetic(c);
+  ASSERT_TRUE(ds.ok());
+
+  const uint64_t budget = ds->total_elements() / 10;
+  // KMV: k per record from Theorem 1.
+  const size_t k_kmv = budget / ds->size();
+  // G-KMV: global threshold for the same budget.
+  const uint64_t tau = ComputeGlobalThreshold(*ds, budget);
+
+  double kmv_k_sum = 0, gkmv_k_sum = 0;
+  int pairs = 0;
+  for (size_t i = 0; i + 1 < ds->size() && pairs < 150; i += 2, ++pairs) {
+    const Record& a = ds->record(i);
+    const Record& b = ds->record(i + 1);
+    const KmvPairEstimate kp =
+        EstimateKmvPair(KmvSketch::Build(a, k_kmv), KmvSketch::Build(b, k_kmv));
+    const GkmvPairEstimate gp =
+        EstimateGkmvPair(GkmvSketch::Build(a, tau), GkmvSketch::Build(b, tau));
+    kmv_k_sum += static_cast<double>(kp.k);
+    gkmv_k_sum += static_cast<double>(gp.k);
+  }
+  EXPECT_GT(gkmv_k_sum, kmv_k_sum);
+}
+
+TEST(Theorem3Test, GkmvLowerEstimationError) {
+  // Mean absolute error of intersection estimates at equal space. Both
+  // sketches share one hash function per draw, so errors within a draw are
+  // correlated; average over independent draws (seeds) to compare the
+  // estimators' true error.
+  SyntheticConfig c;
+  c.num_records = 200;
+  c.universe_size = 3000;
+  c.min_record_size = 50;
+  c.max_record_size = 300;
+  c.alpha_element_freq = 1.2;
+  c.alpha_record_size = 2.0;
+  c.seed = 102;
+  auto ds = GenerateSynthetic(c);
+  ASSERT_TRUE(ds.ok());
+  const uint64_t budget = ds->total_elements() / 10;
+  const size_t k_kmv = budget / ds->size();
+
+  double kmv_err = 0, gkmv_err = 0;
+  for (int draw = 0; draw < 20; ++draw) {
+    const uint64_t seed = 8800 + draw;
+    const uint64_t tau = ComputeGlobalThreshold(*ds, budget, seed);
+    for (size_t i = 0; i + 1 < ds->size(); i += 8) {
+      const Record& a = ds->record(i);
+      const Record& b = ds->record(i + 1);
+      const double truth = static_cast<double>(IntersectSize(a, b));
+      const double kmv_est = EstimateKmvPair(KmvSketch::Build(a, k_kmv, seed),
+                                             KmvSketch::Build(b, k_kmv, seed))
+                                 .intersection_size;
+      const double gkmv_est =
+          EstimateGkmvPair(GkmvSketch::Build(a, tau, seed),
+                           GkmvSketch::Build(b, tau, seed))
+              .intersection_size;
+      kmv_err += std::abs(kmv_est - truth);
+      gkmv_err += std::abs(gkmv_est - truth);
+    }
+  }
+  EXPECT_LT(gkmv_err, kmv_err);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 4: splitting the element universe into two frequency groups and
+// summing two independent KMV estimates increases variance vs one sketch at
+// the same total space.
+TEST(Theorem4Test, PartitionedKmvHasLargerError) {
+  // Two records with known overlap; repeat over seeds to estimate MAE.
+  const Record a = SequentialRecord(0, 2000);
+  const Record b = SequentialRecord(1000, 2000);  // overlap 1000
+  // Partition: elements < 1500 vs >= 1500 (splits both records).
+  auto split = [](const Record& r, ElementId cut) {
+    Record lo, hi;
+    for (ElementId e : r) (e < cut ? lo : hi).push_back(e);
+    return std::make_pair(lo, hi);
+  };
+  const auto [a_lo, a_hi] = split(a, 1500);
+  const auto [b_lo, b_hi] = split(b, 1500);
+
+  const size_t k_total = 64;
+  double whole_err = 0, parts_err = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    const uint64_t seed = 7000 + t;
+    const double whole =
+        EstimateKmvPair(KmvSketch::Build(a, k_total, seed),
+                        KmvSketch::Build(b, k_total, seed))
+            .intersection_size;
+    // Same total budget split proportionally between the groups.
+    const double lo =
+        EstimateKmvPair(KmvSketch::Build(a_lo, k_total / 2, seed),
+                        KmvSketch::Build(b_lo, k_total / 2, seed))
+            .intersection_size;
+    const double hi =
+        EstimateKmvPair(KmvSketch::Build(a_hi, k_total / 2, seed),
+                        KmvSketch::Build(b_hi, k_total / 2, seed))
+            .intersection_size;
+    whole_err += std::abs(whole - 1000.0);
+    parts_err += std::abs(lo + hi - 1000.0);
+  }
+  EXPECT_LT(whole_err, parts_err);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 5: at equal sketch size, the G-KMV containment estimator has lower
+// error than the MinHash(+transform) estimator.
+TEST(Theorem5Test, GkmvBeatsMinHashAtEqualSpace) {
+  SyntheticConfig c;
+  c.num_records = 150;
+  c.universe_size = 4000;
+  c.min_record_size = 100;
+  c.max_record_size = 400;
+  c.alpha_element_freq = 1.1;
+  c.alpha_record_size = 2.0;
+  c.seed = 103;
+  auto ds = GenerateSynthetic(c);
+  ASSERT_TRUE(ds.ok());
+
+  // MinHash uses k' hashes per record; G-KMV gets the same m·k' total.
+  const size_t k_prime = 32;
+  const uint64_t budget = static_cast<uint64_t>(ds->size()) * k_prime;
+  const uint64_t tau = ComputeGlobalThreshold(*ds, budget);
+  HashFamily family(k_prime, 301);
+
+  double gkmv_err = 0, minhash_err = 0;
+  int pairs = 0;
+  for (size_t i = 0; i + 1 < ds->size(); i += 2, ++pairs) {
+    const Record& q = ds->record(i);
+    const Record& x = ds->record(i + 1);
+    const double truth = ContainmentSimilarity(q, x);
+    const double g = EstimateContainmentGkmv(GkmvSketch::Build(q, tau),
+                                             GkmvSketch::Build(x, tau),
+                                             q.size());
+    const double mh = EstimateContainmentMinHash(
+        MinHashSignature::Build(q, family), MinHashSignature::Build(x, family),
+        q.size(), x.size());
+    gkmv_err += std::abs(g - truth);
+    minhash_err += std::abs(mh - truth);
+  }
+  EXPECT_LT(gkmv_err, minhash_err);
+}
+
+// ---------------------------------------------------------------------------
+// §III-B: the LSH-E estimator (using the partition upper bound u > x)
+// overestimates relative to the MinHash estimator with the true size.
+TEST(LshEBiasTest, UpperBoundInflatesEstimate) {
+  const Record q = SequentialRecord(0, 200);
+  const Record x = SequentialRecord(100, 300);
+  HashFamily family(256, 401);
+  const MinHashSignature sq = MinHashSignature::Build(q, family);
+  const MinHashSignature sx = MinHashSignature::Build(x, family);
+  const double with_true_size =
+      EstimateContainmentMinHash(sq, sx, q.size(), x.size());
+  const double with_upper_bound =
+      EstimateContainmentMinHash(sq, sx, q.size(), 3 * x.size());
+  EXPECT_GT(with_upper_bound, with_true_size);
+}
+
+}  // namespace
+}  // namespace gbkmv

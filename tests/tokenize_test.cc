@@ -1,0 +1,122 @@
+#include "data/tokenize.h"
+
+#include <gtest/gtest.h>
+
+namespace gbkmv {
+namespace {
+
+TEST(DictionaryTest, EncodeIsStable) {
+  Dictionary d;
+  const ElementId a = d.Encode("five");
+  const ElementId b = d.Encode("guys");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.Encode("five"), a);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(DictionaryTest, DecodeRoundTrip) {
+  Dictionary d;
+  const ElementId id = d.Encode("burgers");
+  EXPECT_EQ(d.Decode(id), "burgers");
+}
+
+TEST(DictionaryTest, LookupDoesNotGrow) {
+  Dictionary d;
+  d.Encode("known");
+  EXPECT_EQ(d.Lookup("known"), 0);
+  EXPECT_EQ(d.Lookup("unknown"), -1);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(SplitWordsTest, Basic) {
+  EXPECT_EQ(SplitWords("five guys burgers"),
+            (std::vector<std::string>{"five", "guys", "burgers"}));
+}
+
+TEST(SplitWordsTest, LowerCasesAndStripsPunctuation) {
+  EXPECT_EQ(SplitWords("Five Guys, Burgers!"),
+            (std::vector<std::string>{"five", "guys", "burgers"}));
+}
+
+TEST(SplitWordsTest, HandlesExtraWhitespace) {
+  EXPECT_EQ(SplitWords("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitWordsTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(SplitWords("").empty());
+  EXPECT_TRUE(SplitWords("  ... !!! ").empty());
+}
+
+TEST(ShinglesTest, Basic) {
+  EXPECT_EQ(CharacterShingles("abcd", 2),
+            (std::vector<std::string>{"ab", "bc", "cd"}));
+}
+
+TEST(ShinglesTest, ShortTextYieldsWhole) {
+  EXPECT_EQ(CharacterShingles("ab", 3), (std::vector<std::string>{"ab"}));
+  EXPECT_EQ(CharacterShingles("abc", 3), (std::vector<std::string>{"abc"}));
+}
+
+TEST(ShinglesTest, LowerCases) {
+  EXPECT_EQ(CharacterShingles("AB", 1),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ShinglesTest, EmptyText) {
+  EXPECT_TRUE(CharacterShingles("", 2).empty());
+}
+
+TEST(EncodeTest, WordsFormRecord) {
+  Dictionary d;
+  const Record r = EncodeWords("five guys five", d);
+  EXPECT_EQ(r.size(), 2u);  // de-duplicated set
+  EXPECT_TRUE(IsNormalized(r));
+}
+
+TEST(EncodeTest, SharedDictionaryGivesComparableRecords) {
+  Dictionary d;
+  const Record x = EncodeWords("five guys burgers and fries", d);
+  const Record q = EncodeWords("five guys", d);
+  EXPECT_DOUBLE_EQ(ContainmentSimilarity(q, x), 1.0);
+}
+
+TEST(EncodeTest, FrozenDropsUnknownTokens) {
+  Dictionary d;
+  EncodeWords("five guys", d);
+  const Record q = EncodeWordsFrozen("five unknown guys", d);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(EncodeTest, ShinglesErrorTolerance) {
+  // q-gram sets make near-duplicates overlap heavily even with a typo.
+  Dictionary d;
+  const Record a = EncodeShingles("containment", 3, d);
+  const Record b = EncodeShingles("containmant", 3, d);  // one-letter typo
+  EXPECT_GT(ContainmentSimilarity(a, b), 0.6);
+  const Record c = EncodeShingles("orthogonal", 3, d);
+  EXPECT_LT(ContainmentSimilarity(a, c), 0.2);
+}
+
+TEST(EncodeTest, FrozenShingles) {
+  Dictionary d;
+  EncodeShingles("hello world", 2, d);
+  const Record q = EncodeShinglesFrozen("hello zzz", 2, d);
+  // "zz" never indexed -> dropped.
+  for (ElementId id : q) EXPECT_NE(d.Decode(id), "zz");
+}
+
+class ShingleQSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ShingleQSweep, CountMatchesLength) {
+  const size_t q = GetParam();
+  const std::string text = "abcdefghij";  // 10 chars
+  const auto grams = CharacterShingles(text, q);
+  EXPECT_EQ(grams.size(), text.size() >= q ? text.size() - q + 1 : 1u);
+  for (const auto& g : grams) EXPECT_EQ(g.size(), std::min(q, text.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Qs, ShingleQSweep, ::testing::Values(1, 2, 3, 5, 10));
+
+}  // namespace
+}  // namespace gbkmv

@@ -1,0 +1,183 @@
+// gbkmv_cli — command-line front end for containment similarity search over
+// text-format datasets (one record per line, whitespace-separated integer
+// element ids; '#' comments allowed).
+//
+//   gbkmv_cli stats  <dataset>
+//       Print Table II-style statistics (m, n, N, avg size, α1, α2).
+//
+//   gbkmv_cli query  <dataset> [--method=gb-kmv] [--threshold=0.5]
+//                    [--space=0.1] [--min-size=1]
+//       Build the chosen index, then read query records from stdin (same
+//       line format) and print matching record line-numbers (0-based), one
+//       result line per query.
+//
+//   gbkmv_cli eval   <dataset> [--method=gb-kmv] [--threshold=0.5]
+//                    [--space=0.1] [--queries=100]
+//       Sample queries from the dataset, compare against exact ground
+//       truth, and report accuracy/time/space.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/timer.h"
+#include "core/containment.h"
+#include "data/dataset_io.h"
+#include "eval/experiment.h"
+#include "eval/table.h"
+
+namespace gbkmv {
+namespace {
+
+struct CliOptions {
+  std::string command;
+  std::string dataset_path;
+  std::string method = "gb-kmv";
+  double threshold = 0.5;
+  double space = 0.10;
+  size_t min_size = 1;
+  size_t queries = 100;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: gbkmv_cli <stats|query|eval> <dataset> [--method=M] "
+               "[--threshold=T] [--space=S] [--min-size=K] [--queries=N]\n"
+               "methods: gb-kmv g-kmv kmv lsh-e a-mh ppjoin freqset "
+               "brute-force\n");
+  return 2;
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  *out = arg + len;
+  return true;
+}
+
+int RunStats(const Dataset& dataset) {
+  const DatasetStats& s = dataset.stats();
+  Table table({"metric", "value"});
+  table.AddRow({"records (m)", Table::Int(s.num_records)});
+  table.AddRow({"distinct elements (n)", Table::Int(s.num_distinct)});
+  table.AddRow({"total elements (N)", Table::Int(s.total_elements)});
+  table.AddRow({"avg record size", Table::Num(s.avg_record_size, 2)});
+  table.AddRow({"min/max record size", Table::Int(s.min_record_size) + " / " +
+                                           Table::Int(s.max_record_size)});
+  table.AddRow({"alpha1 (element freq)", Table::Num(s.alpha_element_freq, 3)});
+  table.AddRow({"alpha2 (record size)", Table::Num(s.alpha_record_size, 3)});
+  table.Print();
+  return 0;
+}
+
+int RunQuery(const Dataset& dataset, const CliOptions& options) {
+  Result<SearchMethod> method = ParseSearchMethod(options.method);
+  if (!method.ok()) {
+    std::fprintf(stderr, "%s\n", method.status().ToString().c_str());
+    return 2;
+  }
+  SearcherConfig config;
+  config.method = *method;
+  config.space_ratio = options.space;
+  WallTimer build_timer;
+  Result<std::unique_ptr<ContainmentSearcher>> searcher =
+      BuildSearcher(dataset, config);
+  if (!searcher.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 searcher.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%s index over %zu records built in %.2fs\n",
+               (*searcher)->name().c_str(), dataset.size(),
+               build_timer.ElapsedSeconds());
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::vector<ElementId> elems;
+    long long v = 0;
+    while (ss >> v) {
+      if (v >= 0) elems.push_back(static_cast<ElementId>(v));
+    }
+    const Record query = MakeRecord(std::move(elems));
+    const std::vector<RecordId> ids =
+        (*searcher)->Search(query, options.threshold);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      std::printf("%s%u", i ? " " : "", ids[i]);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+int RunEval(const Dataset& dataset, const CliOptions& options) {
+  Result<SearchMethod> method = ParseSearchMethod(options.method);
+  if (!method.ok()) {
+    std::fprintf(stderr, "%s\n", method.status().ToString().c_str());
+    return 2;
+  }
+  SearcherConfig config;
+  config.method = *method;
+  config.space_ratio = options.space;
+  ExperimentOptions exp;
+  exp.num_queries = options.queries;
+  exp.threshold = options.threshold;
+  const ExperimentResult r = RunExperiment(dataset, config, exp);
+  Table table({"metric", "value"});
+  table.AddRow({"method", r.method});
+  table.AddRow({"threshold", Table::Num(r.threshold, 2)});
+  table.AddRow({"space ratio", Table::Num(r.space_ratio, 4)});
+  table.AddRow({"build seconds", Table::Num(r.build_seconds, 3)});
+  table.AddRow({"avg query ms", Table::Num(r.avg_query_seconds * 1e3, 3)});
+  table.AddRow({"F1", Table::Num(r.accuracy.f1, 4)});
+  table.AddRow({"precision", Table::Num(r.accuracy.precision, 4)});
+  table.AddRow({"recall", Table::Num(r.accuracy.recall, 4)});
+  table.AddRow({"F0.5", Table::Num(r.accuracy.f05, 4)});
+  table.Print();
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  CliOptions options;
+  options.command = argv[1];
+  options.dataset_path = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--method=", &value)) {
+      options.method = value;
+    } else if (ParseFlag(argv[i], "--threshold=", &value)) {
+      options.threshold = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--space=", &value)) {
+      options.space = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--min-size=", &value)) {
+      options.min_size = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(argv[i], "--queries=", &value)) {
+      options.queries = static_cast<size_t>(std::atoll(value.c_str()));
+    } else {
+      return Usage();
+    }
+  }
+
+  Result<Dataset> dataset =
+      LoadDataset(options.dataset_path, options.min_size);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "cannot load dataset: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  if (options.command == "stats") return RunStats(*dataset);
+  if (options.command == "query") return RunQuery(*dataset, options);
+  if (options.command == "eval") return RunEval(*dataset, options);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace gbkmv
+
+int main(int argc, char** argv) { return gbkmv::Main(argc, argv); }
