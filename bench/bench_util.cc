@@ -3,9 +3,21 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+
+#include "common/hash.h"
+#include "common/timer.h"
+#include "index/searcher_registry.h"
 
 namespace gbkmv {
 namespace bench {
+
+namespace {
+std::string g_cache_dir;  // empty = snapshot cache disabled
+}  // namespace
+
+void SetSnapshotCacheDir(const std::string& dir) { g_cache_dir = dir; }
+const std::string& SnapshotCacheDir() { return g_cache_dir; }
 
 std::vector<PaperDataset> BenchOptions::Datasets() const {
   if (dataset_filter.empty()) return AllPaperDatasets();
@@ -26,9 +38,14 @@ BenchOptions ParseArgs(int argc, char** argv) {
       options.num_queries = static_cast<size_t>(std::atoi(arg + 10));
     } else if (std::strncmp(arg, "--dataset=", 10) == 0) {
       options.dataset_filter = arg + 10;
+    } else if (std::strncmp(arg, "--cache=", 8) == 0) {
+      options.cache_dir = arg + 8;
+      SetSnapshotCacheDir(options.cache_dir);
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
-          "usage: %s [--scale=F] [--queries=N] [--dataset=NAME]\n", argv[0]);
+          "usage: %s [--scale=F] [--queries=N] [--dataset=NAME] "
+          "[--cache=DIR]\n",
+          argv[0]);
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg);
@@ -61,11 +78,70 @@ Dataset LoadProxy(PaperDataset d, double scale) {
   return std::move(ds).value();
 }
 
+namespace {
+
+// Cache key: dataset content + every config knob that affects the build.
+uint64_t CacheKey(const Dataset& dataset, const SearcherConfig& config) {
+  uint64_t h = dataset.Fingerprint();
+  h = Mix64(h ^ static_cast<uint64_t>(config.method));
+  uint64_t ratio_bits = 0;
+  static_assert(sizeof(ratio_bits) == sizeof(config.space_ratio));
+  std::memcpy(&ratio_bits, &config.space_ratio, sizeof(ratio_bits));
+  h = Mix64(h ^ ratio_bits);
+  h = Mix64(h ^ config.buffer_bits);
+  h = Mix64(h ^ config.lshe_num_hashes);
+  h = Mix64(h ^ config.lshe_num_partitions);
+  h = Mix64(h ^ config.seed);
+  return h;
+}
+
+}  // namespace
+
 ExperimentResult RunMethod(const Dataset& dataset, const SearcherConfig& config,
                            double threshold,
                            const std::vector<RecordId>& queries,
                            const std::vector<std::vector<RecordId>>& truth) {
-  return RunExperimentWithTruth(dataset, config, threshold, queries, truth);
+  if (g_cache_dir.empty()) {
+    return RunExperimentWithTruth(dataset, config, threshold, queries, truth);
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(g_cache_dir, ec);
+  char key_hex[17];
+  std::snprintf(key_hex, sizeof(key_hex), "%016llx",
+                static_cast<unsigned long long>(CacheKey(dataset, config)));
+  const std::string path =
+      g_cache_dir + "/" + dataset.name() + "-" + key_hex + ".snap";
+
+  if (std::filesystem::exists(path)) {
+    WallTimer load_timer;
+    Result<std::unique_ptr<ContainmentSearcher>> loaded =
+        LoadSearcherSnapshot(path, dataset);
+    if (loaded.ok()) {
+      ExperimentResult result =
+          EvaluateSearcher(dataset, **loaded, threshold, queries, truth);
+      result.build_seconds = load_timer.ElapsedSeconds();
+      return result;
+    }
+    std::fprintf(stderr, "[cache] discarding %s: %s\n", path.c_str(),
+                 loaded.status().ToString().c_str());
+    std::filesystem::remove(path, ec);
+  }
+
+  WallTimer build_timer;
+  Result<std::unique_ptr<ContainmentSearcher>> searcher =
+      BuildSearcher(dataset, config);
+  GBKMV_CHECK(searcher.ok());
+  const double build_seconds = build_timer.ElapsedSeconds();
+  const Status saved = (*searcher)->SaveSnapshot(path);
+  if (!saved.ok() && saved.code() != StatusCode::kFailedPrecondition) {
+    std::fprintf(stderr, "[cache] cannot save %s: %s\n", path.c_str(),
+                 saved.ToString().c_str());
+  }
+  ExperimentResult result =
+      EvaluateSearcher(dataset, **searcher, threshold, queries, truth);
+  result.build_seconds = build_seconds;
+  return result;
 }
 
 }  // namespace bench

@@ -21,14 +21,25 @@ namespace bench {
 //   --queries=<n>   queries per experiment (default 100)
 //   --dataset=<ab>  restrict to one proxy (NETFLIX, DELIC, COD, ENRON,
 //                   REUTERS, WEBSPAM, WDC); default: all
+//   --cache=<dir>   reuse on-disk index snapshots across runs (src/io):
+//                   RunMethod saves each built index under <dir> keyed by
+//                   dataset fingerprint + config, and later runs load it
+//                   instead of reconstructing.
 struct BenchOptions {
   double scale = 1.0;
   size_t num_queries = 100;
   std::string dataset_filter;
+  std::string cache_dir;
 
   // Datasets selected by the filter (all seven when empty).
   std::vector<PaperDataset> Datasets() const;
 };
+
+// Snapshot cache used by RunMethod; ParseArgs installs --cache=<dir> here so
+// every harness gets caching without threading options through call sites.
+// Empty (the default) disables caching.
+void SetSnapshotCacheDir(const std::string& dir);
+const std::string& SnapshotCacheDir();
 
 // Parses argv; exits with a usage message on unknown flags.
 BenchOptions ParseArgs(int argc, char** argv);
@@ -39,7 +50,10 @@ void PrintHeader(const std::string& experiment, const std::string& what);
 // Generates a proxy and prints its Table II-style summary line.
 Dataset LoadProxy(PaperDataset d, double scale);
 
-// Runs one method over a prepared workload and returns the result.
+// Runs one method over a prepared workload and returns the result. When the
+// snapshot cache is enabled (SetSnapshotCacheDir), the built index is saved
+// to / loaded from disk so repeated figure runs skip reconstruction;
+// build_seconds then reports the (much smaller) load time.
 ExperimentResult RunMethod(const Dataset& dataset, const SearcherConfig& config,
                            double threshold,
                            const std::vector<RecordId>& queries,

@@ -10,7 +10,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
+
 namespace gbkmv {
+
+namespace io {
+class Reader;
+class Writer;
+}  // namespace io
 
 class Bitmap {
  public:
@@ -43,6 +50,10 @@ class Bitmap {
 
   // Bytes of heap storage (space accounting).
   size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  // Binary snapshot serialization (src/io). Defined in io/persist_data.cc.
+  void SaveTo(io::Writer* out) const;
+  static Result<Bitmap> LoadFrom(io::Reader* in);
 
  private:
   size_t num_bits_ = 0;

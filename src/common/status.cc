@@ -16,6 +16,8 @@ const char* StatusCodeName(StatusCode code) {
       return "FailedPrecondition";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kCorruption:
+      return "Corruption";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -24,6 +24,7 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kIOError,
+  kCorruption,
   kInternal,
 };
 
@@ -52,6 +53,9 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

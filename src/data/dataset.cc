@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/hash.h"
 #include "common/power_law.h"
 
 namespace gbkmv {
@@ -55,6 +56,26 @@ Result<Dataset> Dataset::Create(std::vector<Record> records, std::string name) {
     ds.prefix_freq_sq_[i + 1] = ds.prefix_freq_sq_[i] + f * f;
   }
   return ds;
+}
+
+uint64_t FingerprintRecords(const std::vector<Record>& records) {
+  // Order-dependent chain over record boundaries and element ids; two
+  // datasets collide only with ~2^-64 probability, which is enough to catch
+  // a snapshot being re-bound to the wrong dataset.
+  uint64_t h = SplitMix64(0x6462736574ULL ^ records.size());
+  for (const Record& r : records) {
+    h = Mix64(h ^ SplitMix64(r.size()));
+    for (ElementId e : r) h = Mix64(h ^ e);
+  }
+  return h;
+}
+
+uint64_t Dataset::Fingerprint() const {
+  if (!fingerprint_ready_) {
+    fingerprint_ = FingerprintRecords(records_);
+    fingerprint_ready_ = true;
+  }
+  return fingerprint_;
 }
 
 uint64_t Dataset::TopFrequencySum(size_t r) const {

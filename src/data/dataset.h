@@ -14,6 +14,11 @@
 
 namespace gbkmv {
 
+namespace io {
+class Reader;
+class Writer;
+}  // namespace io
+
 // Summary statistics in the shape of the paper's Table II.
 struct DatasetStats {
   size_t num_records = 0;         // m
@@ -74,6 +79,21 @@ class Dataset {
   // Full Table II-style stats (fits power-law exponents on demand; cached).
   const DatasetStats& stats() const;
 
+  // Order-dependent 64-bit content hash of the records (name excluded).
+  // Snapshots of derived structures store it so a reloaded index can verify
+  // it is being re-bound to the same dataset it was built from. Computed
+  // once and cached (the dataset is immutable after Create).
+  uint64_t Fingerprint() const;
+
+  // Binary snapshot serialization (src/io). SaveTo writes name + records;
+  // LoadFrom re-derives the statistics through Create, so a loaded dataset
+  // is indistinguishable from a freshly created one. Defined in
+  // io/persist_data.cc.
+  void SaveTo(io::Writer* out) const;
+  static Result<Dataset> LoadFrom(io::Reader* in);
+  Status Save(const std::string& path) const;
+  static Result<Dataset> Load(const std::string& path);
+
  private:
   std::string name_;
   std::vector<Record> records_;
@@ -85,7 +105,13 @@ class Dataset {
   size_t num_distinct_ = 0;
   mutable DatasetStats stats_;
   mutable bool stats_ready_ = false;
+  mutable uint64_t fingerprint_ = 0;
+  mutable bool fingerprint_ready_ = false;
 };
+
+// The fingerprint of a raw record sequence (what Dataset::Fingerprint
+// caches); used by self-contained indexes that own their records directly.
+uint64_t FingerprintRecords(const std::vector<Record>& records);
 
 }  // namespace gbkmv
 

@@ -31,6 +31,10 @@
 
 namespace gbkmv {
 
+namespace io {
+class SnapshotReader;
+}  // namespace io
+
 struct DynamicGbKmvOptions {
   // Fixed total budget in element units. Required (> 0).
   uint64_t budget_units = 0;
@@ -77,6 +81,21 @@ class DynamicGbKmvIndex : public ContainmentSearcher {
   double EstimateContainment(const Record& query, RecordId id) const;
 
   const Record& record(RecordId id) const { return records_[id]; }
+
+  // Snapshot persistence (src/io; defined in io/persist_index.cc). The
+  // snapshot is fully self-contained: it carries the stored records plus the
+  // complete mutable state (current τ, budget options, buffer universe and
+  // used units), so a reloaded index resumes Insert() with identical
+  // τ-shrink behaviour.
+  static constexpr char kSnapshotKind[] = "dynamic-gbkmv-index";
+  Status Save(const std::string& path) const;
+  Status SaveSnapshot(const std::string& path) const override {
+    return Save(path);
+  }
+  static Result<std::unique_ptr<DynamicGbKmvIndex>> Load(
+      const std::string& path);
+  static Result<std::unique_ptr<DynamicGbKmvIndex>> LoadFrom(
+      const io::SnapshotReader& snapshot);
 
  private:
   DynamicGbKmvIndex() = default;

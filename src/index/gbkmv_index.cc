@@ -62,26 +62,33 @@ Result<std::unique_ptr<GbKmvIndexSearcher>> GbKmvIndexSearcher::Create(
   for (size_t i = 0; i < dataset.size(); ++i) {
     GbKmvSketch sketch = s->sketcher_->Sketch(dataset.record(i));
     s->space_units_ += sketch.SpaceUnits(buffer_bits);
-    for (uint64_t h : sketch.gkmv.values()) {
-      s->hash_postings_[h].push_back(static_cast<RecordId>(i));
-    }
     s->sketches_.push_back(std::move(sketch));
     s->record_sizes_.push_back(
         static_cast<uint32_t>(dataset.record(i).size()));
   }
-
-  s->by_size_.resize(dataset.size());
-  std::iota(s->by_size_.begin(), s->by_size_.end(), 0);
-  std::sort(s->by_size_.begin(), s->by_size_.end(),
-            [&s](RecordId a, RecordId b) {
-              return s->record_sizes_[a] != s->record_sizes_[b]
-                         ? s->record_sizes_[a] < s->record_sizes_[b]
-                         : a < b;
-            });
-  s->sorted_sizes_.reserve(dataset.size());
-  for (RecordId id : s->by_size_) s->sorted_sizes_.push_back(s->record_sizes_[id]);
-  s->scan_counter_.assign(dataset.size(), 0);
+  s->BuildQueryStructures();
   return s;
+}
+
+void GbKmvIndexSearcher::BuildQueryStructures() {
+  const size_t m = sketches_.size();
+  hash_postings_.clear();
+  for (size_t i = 0; i < m; ++i) {
+    for (uint64_t h : sketches_[i].gkmv.values()) {
+      hash_postings_[h].push_back(static_cast<RecordId>(i));
+    }
+  }
+  by_size_.resize(m);
+  std::iota(by_size_.begin(), by_size_.end(), 0);
+  std::sort(by_size_.begin(), by_size_.end(), [this](RecordId a, RecordId b) {
+    return record_sizes_[a] != record_sizes_[b]
+               ? record_sizes_[a] < record_sizes_[b]
+               : a < b;
+  });
+  sorted_sizes_.clear();
+  sorted_sizes_.reserve(m);
+  for (RecordId id : by_size_) sorted_sizes_.push_back(record_sizes_[id]);
+  scan_counter_.assign(m, 0);
 }
 
 std::vector<RecordId> GbKmvIndexSearcher::Search(const Record& query,

@@ -33,6 +33,10 @@
 
 namespace gbkmv {
 
+namespace io {
+class SnapshotReader;
+}  // namespace io
+
 struct GbKmvIndexOptions {
   // Space budget as a fraction of the dataset's total elements N
   // (the paper's "SpaceUsed"; default 10%). Ignored if budget_units > 0.
@@ -67,8 +71,27 @@ class GbKmvIndexSearcher : public ContainmentSearcher {
   size_t chosen_buffer_bits() const { return chosen_buffer_bits_; }
   uint64_t global_threshold() const { return sketcher_->global_threshold(); }
 
+  // Snapshot persistence (src/io; defined in io/persist_index.cc). The
+  // snapshot embeds the dataset and all per-record sketches, so a reloaded
+  // searcher returns byte-identical Search() results without re-sketching.
+  static constexpr char kSnapshotKind[] = "gbkmv-index";
+  Status Save(const std::string& path) const;
+  Status SaveSnapshot(const std::string& path) const override {
+    return Save(path);
+  }
+  // `dataset` must be the dataset the snapshot was built from (verified by
+  // fingerprint) and must outlive the searcher.
+  static Result<std::unique_ptr<GbKmvIndexSearcher>> Load(
+      const std::string& path, const Dataset& dataset);
+  static Result<std::unique_ptr<GbKmvIndexSearcher>> LoadFrom(
+      const io::SnapshotReader& snapshot, const Dataset& dataset);
+
  private:
   GbKmvIndexSearcher(const Dataset& dataset) : dataset_(dataset) {}
+
+  // Builds the derived query structures (size order, hash postings, scratch)
+  // from sketches_ + record_sizes_; shared by Create and LoadFrom.
+  void BuildQueryStructures();
 
   const Dataset& dataset_;
   std::unique_ptr<GbKmvSketcher> sketcher_;

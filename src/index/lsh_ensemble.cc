@@ -49,16 +49,15 @@ Result<std::unique_ptr<LshEnsembleSearcher>> LshEnsembleSearcher::Create(
     if (begin >= end) continue;
     Partition part;
     std::vector<MinHashSignature> sigs;
-    std::vector<RecordId> ids;
     sigs.reserve(end - begin);
-    ids.reserve(end - begin);
+    part.ids.reserve(end - begin);
     for (size_t i = begin; i < end; ++i) {
-      ids.push_back(order[i]);
+      part.ids.push_back(order[i]);
       sigs.push_back(searcher->signatures_[order[i]]);
       part.upper_bound =
           std::max(part.upper_bound, dataset.record(order[i]).size());
     }
-    part.index = std::make_unique<MinHashLshIndex>(sigs, ids,
+    part.index = std::make_unique<MinHashLshIndex>(sigs, part.ids,
                                                    options.num_hashes, rows);
     searcher->partitions_.push_back(std::move(part));
   }

@@ -30,6 +30,10 @@
 
 namespace gbkmv {
 
+namespace io {
+class SnapshotReader;
+}  // namespace io
+
 struct LshEnsembleOptions {
   size_t num_hashes = 256;      // paper default
   size_t num_partitions = 32;   // paper default
@@ -53,9 +57,25 @@ class LshEnsembleSearcher : public ContainmentSearcher {
 
   size_t num_partitions() const { return partitions_.size(); }
 
+  // Snapshot persistence (src/io; defined in io/persist_index.cc). The
+  // snapshot stores the per-record MinHash signatures (the expensive O(N·k)
+  // hashing work) plus the partition layout; the banding bucket tables are
+  // rebuilt deterministically from the signatures on load.
+  static constexpr char kSnapshotKind[] = "lsh-ensemble";
+  Status Save(const std::string& path) const;
+  Status SaveSnapshot(const std::string& path) const override {
+    return Save(path);
+  }
+  // `dataset` must match the stored fingerprint and outlive the searcher.
+  static Result<std::unique_ptr<LshEnsembleSearcher>> Load(
+      const std::string& path, const Dataset& dataset);
+  static Result<std::unique_ptr<LshEnsembleSearcher>> LoadFrom(
+      const io::SnapshotReader& snapshot, const Dataset& dataset);
+
  private:
   struct Partition {
     size_t upper_bound = 0;  // u: largest record size in the partition
+    std::vector<RecordId> ids;  // members, in size-sorted order
     std::unique_ptr<MinHashLshIndex> index;
   };
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "data/record.h"
 
 namespace gbkmv {
@@ -34,6 +35,15 @@ class ContainmentSearcher {
 
   // True for methods whose result set is exact (no sketch error).
   virtual bool exact() const { return false; }
+
+  // Persists the index as a versioned binary snapshot (src/io) that the
+  // SearcherRegistry can reload. Methods without snapshot support return
+  // FailedPrecondition; cheap exact methods rebuild faster than they load.
+  virtual Status SaveSnapshot(const std::string& path) const {
+    (void)path;
+    return Status::FailedPrecondition(name() +
+                                      " does not support snapshots");
+  }
 };
 
 }  // namespace gbkmv

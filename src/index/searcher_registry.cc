@@ -1,0 +1,114 @@
+#include "index/searcher_registry.h"
+
+#include <utility>
+
+#include "index/dynamic_index.h"
+#include "index/gbkmv_index.h"
+#include "index/lsh_ensemble.h"
+#include "io/snapshot.h"
+
+namespace gbkmv {
+
+std::vector<std::string> RegisteredSnapshotKinds() {
+  return {GbKmvIndexSearcher::kSnapshotKind, DynamicGbKmvIndex::kSnapshotKind,
+          LshEnsembleSearcher::kSnapshotKind};
+}
+
+Result<std::string> ReadSearcherSnapshotKind(const std::string& path) {
+  Result<io::SnapshotReader> snapshot = io::SnapshotReader::Open(path);
+  if (!snapshot.ok()) return snapshot.status();
+  Result<io::SnapshotMeta> meta = io::ReadSnapshotMeta(*snapshot);
+  if (!meta.ok()) return meta.status();
+  return meta->kind;
+}
+
+namespace {
+
+// Loads the dataset section into an owned Dataset.
+Result<std::unique_ptr<Dataset>> LoadEmbeddedDataset(
+    const io::SnapshotReader& snapshot) {
+  Result<io::Reader> section = snapshot.Section(io::kSectionDataset);
+  if (!section.ok()) return section.status();
+  Result<Dataset> dataset = Dataset::LoadFrom(&section.value());
+  if (!dataset.ok()) return dataset.status();
+  return std::make_unique<Dataset>(std::move(dataset.value()));
+}
+
+}  // namespace
+
+Result<LoadedSearcher> LoadSearcherSnapshot(const std::string& path) {
+  Result<io::SnapshotReader> snapshot = io::SnapshotReader::Open(path);
+  if (!snapshot.ok()) return snapshot.status();
+  Result<io::SnapshotMeta> meta = io::ReadSnapshotMeta(*snapshot);
+  if (!meta.ok()) return meta.status();
+
+  LoadedSearcher loaded;
+  if (meta->kind == DynamicGbKmvIndex::kSnapshotKind) {
+    Result<std::unique_ptr<DynamicGbKmvIndex>> index =
+        DynamicGbKmvIndex::LoadFrom(*snapshot);
+    if (!index.ok()) return index.status();
+    loaded.searcher = std::move(index.value());
+    return loaded;
+  }
+  if (meta->kind == GbKmvIndexSearcher::kSnapshotKind) {
+    Result<std::unique_ptr<Dataset>> dataset = LoadEmbeddedDataset(*snapshot);
+    if (!dataset.ok()) return dataset.status();
+    Result<std::unique_ptr<GbKmvIndexSearcher>> searcher =
+        GbKmvIndexSearcher::LoadFrom(*snapshot, **dataset);
+    if (!searcher.ok()) return searcher.status();
+    loaded.dataset = std::move(dataset.value());
+    loaded.searcher = std::move(searcher.value());
+    return loaded;
+  }
+  if (meta->kind == LshEnsembleSearcher::kSnapshotKind) {
+    Result<std::unique_ptr<Dataset>> dataset = LoadEmbeddedDataset(*snapshot);
+    if (!dataset.ok()) return dataset.status();
+    Result<std::unique_ptr<LshEnsembleSearcher>> searcher =
+        LshEnsembleSearcher::LoadFrom(*snapshot, **dataset);
+    if (!searcher.ok()) return searcher.status();
+    loaded.dataset = std::move(dataset.value());
+    loaded.searcher = std::move(searcher.value());
+    return loaded;
+  }
+  return Status::InvalidArgument("unknown searcher snapshot kind '" +
+                                 meta->kind + "'");
+}
+
+Result<std::unique_ptr<ContainmentSearcher>> LoadSearcherSnapshot(
+    const std::string& path, const Dataset& dataset) {
+  Result<io::SnapshotReader> snapshot = io::SnapshotReader::Open(path);
+  if (!snapshot.ok()) return snapshot.status();
+  Result<io::SnapshotMeta> meta = io::ReadSnapshotMeta(*snapshot);
+  if (!meta.ok()) return meta.status();
+
+  if (meta->kind == DynamicGbKmvIndex::kSnapshotKind) {
+    // The dynamic index owns its records, but the caller asked for a
+    // searcher bound to `dataset` — honour the contract by verifying the
+    // stored records are that dataset.
+    if (meta->fingerprint != dataset.Fingerprint()) {
+      return Status::InvalidArgument(
+          "snapshot was built from a different dataset "
+          "(fingerprint mismatch)");
+    }
+    Result<std::unique_ptr<DynamicGbKmvIndex>> index =
+        DynamicGbKmvIndex::LoadFrom(*snapshot);
+    if (!index.ok()) return index.status();
+    return std::unique_ptr<ContainmentSearcher>(std::move(index.value()));
+  }
+  if (meta->kind == GbKmvIndexSearcher::kSnapshotKind) {
+    Result<std::unique_ptr<GbKmvIndexSearcher>> searcher =
+        GbKmvIndexSearcher::LoadFrom(*snapshot, dataset);
+    if (!searcher.ok()) return searcher.status();
+    return std::unique_ptr<ContainmentSearcher>(std::move(searcher.value()));
+  }
+  if (meta->kind == LshEnsembleSearcher::kSnapshotKind) {
+    Result<std::unique_ptr<LshEnsembleSearcher>> searcher =
+        LshEnsembleSearcher::LoadFrom(*snapshot, dataset);
+    if (!searcher.ok()) return searcher.status();
+    return std::unique_ptr<ContainmentSearcher>(std::move(searcher.value()));
+  }
+  return Status::InvalidArgument("unknown searcher snapshot kind '" +
+                                 meta->kind + "'");
+}
+
+}  // namespace gbkmv

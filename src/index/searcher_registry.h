@@ -1,0 +1,52 @@
+// SearcherRegistry: reconstructs the right ContainmentSearcher from a
+// snapshot file's meta header.
+//
+// Every searcher snapshot written through src/io carries a kind string
+// ("gbkmv-index", "dynamic-gbkmv-index", "lsh-ensemble"). The registry reads
+// it and dispatches to the matching Load implementation, so callers (CLI,
+// bench harnesses, services) can reload an index without knowing which
+// method produced the file.
+//
+// Two entry points:
+//   * LoadSearcherSnapshot(path) — self-contained load. Dataset-bound
+//     snapshots embed their dataset; the returned bundle owns both the
+//     dataset and the searcher (searcher references dataset, so the bundle
+//     must stay alive as long as the searcher is used).
+//   * LoadSearcherSnapshot(path, dataset) — re-binds the snapshot to an
+//     existing in-memory dataset (verified by fingerprint); used by the
+//     bench snapshot cache, which already holds the dataset.
+
+#ifndef GBKMV_INDEX_SEARCHER_REGISTRY_H_
+#define GBKMV_INDEX_SEARCHER_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "index/searcher.h"
+
+namespace gbkmv {
+
+struct LoadedSearcher {
+  // Null when the snapshot is self-contained (dynamic-gbkmv-index).
+  std::unique_ptr<Dataset> dataset;
+  std::unique_ptr<ContainmentSearcher> searcher;
+};
+
+// Kind strings of every registered searcher snapshot type.
+std::vector<std::string> RegisteredSnapshotKinds();
+
+// Reads only the meta header of `path` (cheap; full CRC validation of the
+// file still applies).
+Result<std::string> ReadSearcherSnapshotKind(const std::string& path);
+
+Result<LoadedSearcher> LoadSearcherSnapshot(const std::string& path);
+
+Result<std::unique_ptr<ContainmentSearcher>> LoadSearcherSnapshot(
+    const std::string& path, const Dataset& dataset);
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_INDEX_SEARCHER_REGISTRY_H_

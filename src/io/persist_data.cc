@@ -1,0 +1,193 @@
+// Snapshot serialization of the data-layer objects: Bitmap, the four sketch
+// families, and Dataset. The byte layouts are documented in
+// docs/snapshot_format.md; every LoadFrom validates structural invariants
+// (sorted hash values, bitmap word counts, threshold bounds) and returns
+// Corruption instead of constructing a broken object.
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bitmap.h"
+#include "data/dataset.h"
+#include "io/serializer.h"
+#include "io/snapshot.h"
+#include "sketch/gbkmv.h"
+#include "sketch/gkmv.h"
+#include "sketch/kmv.h"
+#include "sketch/minhash.h"
+
+namespace gbkmv {
+
+namespace {
+
+bool IsAscending(const std::vector<uint64_t>& v) {
+  return std::is_sorted(v.begin(), v.end());
+}
+
+}  // namespace
+
+// --- Bitmap ---------------------------------------------------------------
+
+void Bitmap::SaveTo(io::Writer* out) const {
+  out->PutU64(num_bits_);
+  out->PutVecU64(words_);
+}
+
+Result<Bitmap> Bitmap::LoadFrom(io::Reader* in) {
+  uint64_t num_bits = 0;
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&num_bits));
+  // Guard the allocation: the matching words must actually be present.
+  if (num_bits / 64 > in->remaining() / 8) {
+    return Status::Corruption("bitmap width exceeds remaining data");
+  }
+  std::vector<uint64_t> words;
+  GBKMV_RETURN_IF_ERROR(in->GetVecU64(&words));
+  Bitmap bitmap(static_cast<size_t>(num_bits));
+  if (words.size() != bitmap.words_.size()) {
+    return Status::Corruption("bitmap word count does not match bit width");
+  }
+  bitmap.words_ = std::move(words);
+  return bitmap;
+}
+
+// --- KmvSketch ------------------------------------------------------------
+
+void KmvSketch::SaveTo(io::Writer* out) const {
+  out->PutBool(exact_);
+  out->PutVecU64(values_);
+}
+
+Result<KmvSketch> KmvSketch::LoadFrom(io::Reader* in) {
+  KmvSketch sketch;
+  GBKMV_RETURN_IF_ERROR(in->GetBool(&sketch.exact_));
+  GBKMV_RETURN_IF_ERROR(in->GetVecU64(&sketch.values_));
+  if (!IsAscending(sketch.values_)) {
+    return Status::Corruption("KMV sketch values not sorted");
+  }
+  return sketch;
+}
+
+Status KmvSketch::Save(const std::string& path) const {
+  return io::SaveObjectSnapshot(*this, "kmv-sketch", path);
+}
+
+Result<KmvSketch> KmvSketch::Load(const std::string& path) {
+  return io::LoadObjectSnapshot<KmvSketch>("kmv-sketch", path);
+}
+
+// --- GkmvSketch -----------------------------------------------------------
+
+void GkmvSketch::SaveTo(io::Writer* out) const {
+  out->PutU64(threshold_);
+  out->PutVecU64(values_);
+}
+
+Result<GkmvSketch> GkmvSketch::LoadFrom(io::Reader* in) {
+  GkmvSketch sketch;
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&sketch.threshold_));
+  GBKMV_RETURN_IF_ERROR(in->GetVecU64(&sketch.values_));
+  if (!IsAscending(sketch.values_)) {
+    return Status::Corruption("G-KMV sketch values not sorted");
+  }
+  if (!sketch.values_.empty() && sketch.values_.back() > sketch.threshold_) {
+    return Status::Corruption("G-KMV sketch value exceeds its threshold");
+  }
+  return sketch;
+}
+
+Status GkmvSketch::Save(const std::string& path) const {
+  return io::SaveObjectSnapshot(*this, "gkmv-sketch", path);
+}
+
+Result<GkmvSketch> GkmvSketch::Load(const std::string& path) {
+  return io::LoadObjectSnapshot<GkmvSketch>("gkmv-sketch", path);
+}
+
+// --- GbKmvSketch ----------------------------------------------------------
+
+void GbKmvSketch::SaveTo(io::Writer* out) const {
+  buffer.SaveTo(out);
+  gkmv.SaveTo(out);
+}
+
+Result<GbKmvSketch> GbKmvSketch::LoadFrom(io::Reader* in) {
+  Result<Bitmap> buffer = Bitmap::LoadFrom(in);
+  if (!buffer.ok()) return buffer.status();
+  Result<GkmvSketch> gkmv = GkmvSketch::LoadFrom(in);
+  if (!gkmv.ok()) return gkmv.status();
+  GbKmvSketch sketch;
+  sketch.buffer = std::move(buffer.value());
+  sketch.gkmv = std::move(gkmv.value());
+  return sketch;
+}
+
+Status GbKmvSketch::Save(const std::string& path) const {
+  return io::SaveObjectSnapshot(*this, "gbkmv-sketch", path);
+}
+
+Result<GbKmvSketch> GbKmvSketch::Load(const std::string& path) {
+  return io::LoadObjectSnapshot<GbKmvSketch>("gbkmv-sketch", path);
+}
+
+// --- MinHashSignature -----------------------------------------------------
+
+void MinHashSignature::SaveTo(io::Writer* out) const {
+  out->PutVecU64(values_);
+}
+
+Result<MinHashSignature> MinHashSignature::LoadFrom(io::Reader* in) {
+  MinHashSignature signature;
+  GBKMV_RETURN_IF_ERROR(in->GetVecU64(&signature.values_));
+  return signature;
+}
+
+Status MinHashSignature::Save(const std::string& path) const {
+  return io::SaveObjectSnapshot(*this, "minhash-signature", path);
+}
+
+Result<MinHashSignature> MinHashSignature::Load(const std::string& path) {
+  return io::LoadObjectSnapshot<MinHashSignature>("minhash-signature", path);
+}
+
+// --- Dataset --------------------------------------------------------------
+
+void Dataset::SaveTo(io::Writer* out) const {
+  out->PutString(name_);
+  out->PutU64(records_.size());
+  for (const Record& r : records_) out->PutVecU32(r);
+}
+
+Result<Dataset> Dataset::LoadFrom(io::Reader* in) {
+  std::string name;
+  GBKMV_RETURN_IF_ERROR(in->GetString(&name));
+  uint64_t num_records = 0;
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&num_records));
+  // Every record costs at least its 8-byte count prefix.
+  if (num_records > in->remaining() / 8) {
+    return Status::Corruption("record count exceeds remaining data");
+  }
+  std::vector<Record> records;
+  records.reserve(static_cast<size_t>(num_records));
+  for (uint64_t i = 0; i < num_records; ++i) {
+    Record r;
+    GBKMV_RETURN_IF_ERROR(in->GetVecU32(&r));
+    if (!IsNormalized(r)) {
+      return Status::Corruption("record " + std::to_string(i) +
+                                " is not sorted/unique");
+    }
+    records.push_back(std::move(r));
+  }
+  return Dataset::Create(std::move(records), std::move(name));
+}
+
+Status Dataset::Save(const std::string& path) const {
+  return io::SaveObjectSnapshot(*this, "dataset", path);
+}
+
+Result<Dataset> Dataset::Load(const std::string& path) {
+  return io::LoadObjectSnapshot<Dataset>("dataset", path);
+}
+
+}  // namespace gbkmv

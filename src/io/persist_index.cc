@@ -1,0 +1,396 @@
+// Snapshot serialization of the heavyweight searchers and the GbKmvSketcher
+// factory. Layouts are documented in docs/snapshot_format.md.
+//
+// Design rules shared by all three searchers:
+//   * the expensive state (per-record sketches / signatures, thresholds,
+//     buffer universes) is stored verbatim, so a reloaded index answers
+//     Search() byte-identically to the original;
+//   * derived query accelerators (inverted hash postings, size orders,
+//     banding bucket tables) are rebuilt deterministically on load — they
+//     are pure functions of the stored state and compress poorly;
+//   * dataset-bound searchers store the dataset fingerprint and verify it
+//     against the dataset they are re-attached to (InvalidArgument on
+//     mismatch); all structural damage surfaces as Corruption before any
+//     searcher state is exposed to the caller.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+#include "index/dynamic_index.h"
+#include "index/gbkmv_index.h"
+#include "index/lsh_ensemble.h"
+#include "index/minhash_lsh.h"
+#include "io/serializer.h"
+#include "io/snapshot.h"
+#include "sketch/gbkmv.h"
+
+namespace gbkmv {
+
+namespace {
+
+// Sanity cap on the stored universe width of self-contained (dynamic)
+// snapshots, which have no dataset to bound the allocation against: 2^28
+// element ids (a 1 GiB id->bit map) is far above any realistic universe but
+// keeps a corrupt 64-bit field from triggering a multi-terabyte allocation.
+constexpr uint64_t kMaxSelfContainedUniverse = 1ULL << 28;
+
+// Validates the meta section of a dataset-bound searcher snapshot.
+Status CheckMeta(const io::SnapshotReader& snapshot, const std::string& kind,
+                 const Dataset& dataset) {
+  Result<io::SnapshotMeta> meta = io::ReadSnapshotMeta(snapshot);
+  if (!meta.ok()) return meta.status();
+  if (meta->kind != kind) {
+    return Status::InvalidArgument("snapshot holds a '" + meta->kind +
+                                   "', expected '" + kind + "'");
+  }
+  if (meta->fingerprint != dataset.Fingerprint()) {
+    return Status::InvalidArgument(
+        "snapshot was built from a different dataset (fingerprint mismatch)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// --- GbKmvSketcher --------------------------------------------------------
+
+void GbKmvSketcher::SaveTo(io::Writer* out) const {
+  out->PutU64(options_.budget_units);
+  out->PutU64(options_.buffer_bits);
+  out->PutU64(options_.seed);
+  out->PutU64(global_threshold_);
+  out->PutVecU32(buffer_elements_);
+  out->PutU64(element_to_bit_.size());
+}
+
+Result<GbKmvSketcher> GbKmvSketcher::LoadFrom(io::Reader* in,
+                                              size_t max_universe_size) {
+  GbKmvSketcher sketcher;
+  uint64_t buffer_bits = 0;
+  uint64_t universe_size = 0;
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&sketcher.options_.budget_units));
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&buffer_bits));
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&sketcher.options_.seed));
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&sketcher.global_threshold_));
+  GBKMV_RETURN_IF_ERROR(in->GetVecU32(&sketcher.buffer_elements_));
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&universe_size));
+  sketcher.options_.buffer_bits = static_cast<size_t>(buffer_bits);
+  if (sketcher.buffer_elements_.size() != sketcher.options_.buffer_bits) {
+    return Status::Corruption("buffer universe size does not match r");
+  }
+  if (universe_size > max_universe_size) {
+    return Status::Corruption("stored universe size exceeds the dataset's");
+  }
+  for (ElementId e : sketcher.buffer_elements_) {
+    if (e >= universe_size) {
+      return Status::Corruption("buffer element outside the universe");
+    }
+  }
+  sketcher.element_to_bit_.assign(static_cast<size_t>(universe_size), -1);
+  for (size_t bit = 0; bit < sketcher.buffer_elements_.size(); ++bit) {
+    int32_t& slot = sketcher.element_to_bit_[sketcher.buffer_elements_[bit]];
+    if (slot != -1) {
+      return Status::Corruption("duplicate element in buffer universe");
+    }
+    slot = static_cast<int32_t>(bit);
+  }
+  return sketcher;
+}
+
+// --- GbKmvIndexSearcher ---------------------------------------------------
+
+Status GbKmvIndexSearcher::Save(const std::string& path) const {
+  io::SnapshotWriter snapshot;
+  io::WriteSnapshotMeta(&snapshot, kSnapshotKind, dataset_.Fingerprint());
+  dataset_.SaveTo(snapshot.AddSection(io::kSectionDataset));
+  io::Writer* out = snapshot.AddSection(io::kSectionIndex);
+  sketcher_->SaveTo(out);
+  out->PutU64(chosen_buffer_bits_);
+  out->PutU64(space_units_);
+  out->PutU64(sketches_.size());
+  for (const GbKmvSketch& sketch : sketches_) sketch.SaveTo(out);
+  return snapshot.WriteTo(path);
+}
+
+Result<std::unique_ptr<GbKmvIndexSearcher>> GbKmvIndexSearcher::LoadFrom(
+    const io::SnapshotReader& snapshot, const Dataset& dataset) {
+  GBKMV_RETURN_IF_ERROR(CheckMeta(snapshot, kSnapshotKind, dataset));
+  Result<io::Reader> section = snapshot.Section(io::kSectionIndex);
+  if (!section.ok()) return section.status();
+  io::Reader* in = &section.value();
+
+  std::unique_ptr<GbKmvIndexSearcher> s(new GbKmvIndexSearcher(dataset));
+  Result<GbKmvSketcher> sketcher =
+      GbKmvSketcher::LoadFrom(in, dataset.universe_size());
+  if (!sketcher.ok()) return sketcher.status();
+  s->sketcher_ = std::make_unique<GbKmvSketcher>(std::move(sketcher.value()));
+
+  uint64_t chosen_buffer_bits = 0;
+  uint64_t num_sketches = 0;
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&chosen_buffer_bits));
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&s->space_units_));
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&num_sketches));
+  s->chosen_buffer_bits_ = static_cast<size_t>(chosen_buffer_bits);
+  if (num_sketches != dataset.size()) {
+    return Status::Corruption("sketch count does not match dataset size");
+  }
+  s->sketches_.reserve(dataset.size());
+  s->record_sizes_.reserve(dataset.size());
+  uint64_t space_check = 0;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    Result<GbKmvSketch> sketch = GbKmvSketch::LoadFrom(in);
+    if (!sketch.ok()) return sketch.status();
+    if (sketch->buffer.num_bits() != s->chosen_buffer_bits_) {
+      return Status::Corruption("sketch bitmap width does not match r");
+    }
+    space_check += sketch->SpaceUnits(s->chosen_buffer_bits_);
+    s->sketches_.push_back(std::move(sketch.value()));
+    s->record_sizes_.push_back(static_cast<uint32_t>(dataset.record(i).size()));
+  }
+  if (space_check != s->space_units_) {
+    return Status::Corruption("stored space units disagree with sketches");
+  }
+  s->BuildQueryStructures();
+  return s;
+}
+
+Result<std::unique_ptr<GbKmvIndexSearcher>> GbKmvIndexSearcher::Load(
+    const std::string& path, const Dataset& dataset) {
+  Result<io::SnapshotReader> snapshot = io::SnapshotReader::Open(path);
+  if (!snapshot.ok()) return snapshot.status();
+  return LoadFrom(*snapshot, dataset);
+}
+
+// --- DynamicGbKmvIndex ----------------------------------------------------
+
+Status DynamicGbKmvIndex::Save(const std::string& path) const {
+  io::SnapshotWriter snapshot;
+  // Self-contained (the records travel inside the index section), but the
+  // fingerprint of the stored records is recorded anyway so the registry's
+  // dataset re-binding overload can verify a match.
+  io::WriteSnapshotMeta(&snapshot, kSnapshotKind,
+                        FingerprintRecords(records_));
+  io::Writer* out = snapshot.AddSection(io::kSectionIndex);
+  out->PutU64(options_.budget_units);
+  out->PutU64(options_.buffer_bits);
+  out->PutDouble(options_.shrink_fill);
+  out->PutU64(options_.seed);
+  out->PutU64(threshold_);
+  out->PutU64(used_units_);
+  out->PutVecU32(buffer_elements_);
+  out->PutU64(element_to_bit_.size());
+  out->PutU64(records_.size());
+  for (size_t i = 0; i < records_.size(); ++i) {
+    out->PutVecU32(records_[i]);
+    sketches_[i].SaveTo(out);
+  }
+  return snapshot.WriteTo(path);
+}
+
+Result<std::unique_ptr<DynamicGbKmvIndex>> DynamicGbKmvIndex::LoadFrom(
+    const io::SnapshotReader& snapshot) {
+  Result<io::SnapshotMeta> meta = io::ReadSnapshotMeta(snapshot);
+  if (!meta.ok()) return meta.status();
+  if (meta->kind != kSnapshotKind) {
+    return Status::InvalidArgument("snapshot holds a '" + meta->kind +
+                                   "', expected '" +
+                                   std::string(kSnapshotKind) + "'");
+  }
+  Result<io::Reader> section = snapshot.Section(io::kSectionIndex);
+  if (!section.ok()) return section.status();
+  io::Reader* in = &section.value();
+
+  std::unique_ptr<DynamicGbKmvIndex> index(new DynamicGbKmvIndex());
+  uint64_t buffer_bits = 0;
+  uint64_t universe_size = 0;
+  uint64_t num_records = 0;
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&index->options_.budget_units));
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&buffer_bits));
+  GBKMV_RETURN_IF_ERROR(in->GetDouble(&index->options_.shrink_fill));
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&index->options_.seed));
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&index->threshold_));
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&index->used_units_));
+  GBKMV_RETURN_IF_ERROR(in->GetVecU32(&index->buffer_elements_));
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&universe_size));
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&num_records));
+  index->options_.buffer_bits = static_cast<size_t>(buffer_bits);
+  if (index->options_.budget_units == 0) {
+    return Status::Corruption("dynamic index snapshot has zero budget");
+  }
+  if (index->options_.shrink_fill <= 0.0 ||
+      index->options_.shrink_fill > 1.0) {
+    return Status::Corruption("dynamic index shrink_fill out of range");
+  }
+  if (index->buffer_elements_.size() != index->options_.buffer_bits) {
+    return Status::Corruption("buffer universe size does not match r");
+  }
+  if (universe_size > kMaxSelfContainedUniverse) {
+    return Status::Corruption("stored universe size is implausibly large");
+  }
+  for (ElementId e : index->buffer_elements_) {
+    if (e >= universe_size) {
+      return Status::Corruption("buffer element outside the universe");
+    }
+  }
+  // Every record costs at least its 8-byte count prefix.
+  if (num_records > in->remaining() / 8) {
+    return Status::Corruption("record count exceeds remaining data");
+  }
+  index->RebuildBufferMap(static_cast<size_t>(universe_size));
+  // A duplicated buffer element would have had its earlier bit silently
+  // overwritten by the map rebuild; detect that instead of resuming with
+  // sketches inconsistent with the persisted ones.
+  for (size_t bit = 0; bit < index->buffer_elements_.size(); ++bit) {
+    if (index->element_to_bit_[index->buffer_elements_[bit]] !=
+        static_cast<int32_t>(bit)) {
+      return Status::Corruption("duplicate element in buffer universe");
+    }
+  }
+
+  index->records_.reserve(static_cast<size_t>(num_records));
+  index->sketches_.reserve(static_cast<size_t>(num_records));
+  uint64_t space_check = 0;
+  for (uint64_t i = 0; i < num_records; ++i) {
+    Record record;
+    GBKMV_RETURN_IF_ERROR(in->GetVecU32(&record));
+    if (!IsNormalized(record)) {
+      return Status::Corruption("stored record is not sorted/unique");
+    }
+    Result<GbKmvSketch> sketch = GbKmvSketch::LoadFrom(in);
+    if (!sketch.ok()) return sketch.status();
+    if (sketch->buffer.num_bits() != index->options_.buffer_bits) {
+      return Status::Corruption("sketch bitmap width does not match r");
+    }
+    space_check += sketch->SpaceUnits(index->options_.buffer_bits);
+    const RecordId id = static_cast<RecordId>(index->records_.size());
+    for (uint64_t h : sketch->gkmv.values()) {
+      index->hash_postings_[h].push_back(id);
+    }
+    index->records_.push_back(std::move(record));
+    index->sketches_.push_back(std::move(sketch.value()));
+  }
+  if (space_check != index->used_units_) {
+    return Status::Corruption("stored used units disagree with sketches");
+  }
+  index->scan_counter_.assign(index->records_.size(), 0);
+  return index;
+}
+
+Result<std::unique_ptr<DynamicGbKmvIndex>> DynamicGbKmvIndex::Load(
+    const std::string& path) {
+  Result<io::SnapshotReader> snapshot = io::SnapshotReader::Open(path);
+  if (!snapshot.ok()) return snapshot.status();
+  return LoadFrom(*snapshot);
+}
+
+// --- LshEnsembleSearcher --------------------------------------------------
+
+Status LshEnsembleSearcher::Save(const std::string& path) const {
+  io::SnapshotWriter snapshot;
+  io::WriteSnapshotMeta(&snapshot, kSnapshotKind, dataset_.Fingerprint());
+  dataset_.SaveTo(snapshot.AddSection(io::kSectionDataset));
+  io::Writer* out = snapshot.AddSection(io::kSectionIndex);
+  out->PutU64(options_.num_hashes);
+  out->PutU64(options_.num_partitions);
+  out->PutU64(options_.seed);
+  out->PutU64(signatures_.size());
+  for (const MinHashSignature& sig : signatures_) sig.SaveTo(out);
+  out->PutU64(partitions_.size());
+  for (const Partition& part : partitions_) {
+    out->PutU64(part.upper_bound);
+    out->PutVecU32(part.ids);
+  }
+  return snapshot.WriteTo(path);
+}
+
+Result<std::unique_ptr<LshEnsembleSearcher>> LshEnsembleSearcher::LoadFrom(
+    const io::SnapshotReader& snapshot, const Dataset& dataset) {
+  GBKMV_RETURN_IF_ERROR(CheckMeta(snapshot, kSnapshotKind, dataset));
+  Result<io::Reader> section = snapshot.Section(io::kSectionIndex);
+  if (!section.ok()) return section.status();
+  io::Reader* in = &section.value();
+
+  LshEnsembleOptions options;
+  uint64_t num_hashes = 0;
+  uint64_t num_partitions = 0;
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&num_hashes));
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&num_partitions));
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&options.seed));
+  options.num_hashes = static_cast<size_t>(num_hashes);
+  options.num_partitions = static_cast<size_t>(num_partitions);
+  if (options.num_hashes == 0 || options.num_partitions == 0) {
+    return Status::Corruption("LSH ensemble snapshot has zero hashes");
+  }
+
+  std::unique_ptr<LshEnsembleSearcher> searcher(
+      new LshEnsembleSearcher(dataset, options));
+  uint64_t num_signatures = 0;
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&num_signatures));
+  if (num_signatures != dataset.size()) {
+    return Status::Corruption("signature count does not match dataset size");
+  }
+  searcher->signatures_.reserve(dataset.size());
+  for (uint64_t i = 0; i < num_signatures; ++i) {
+    Result<MinHashSignature> sig = MinHashSignature::LoadFrom(in);
+    if (!sig.ok()) return sig.status();
+    if (sig->size() != options.num_hashes) {
+      return Status::Corruption("signature size does not match num_hashes");
+    }
+    searcher->signatures_.push_back(std::move(sig.value()));
+  }
+
+  uint64_t part_count = 0;
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&part_count));
+  const std::vector<size_t> rows = DefaultRowChoices(options.num_hashes);
+  std::vector<bool> assigned(dataset.size(), false);
+  size_t assigned_count = 0;
+  for (uint64_t p = 0; p < part_count; ++p) {
+    Partition part;
+    uint64_t upper_bound = 0;
+    GBKMV_RETURN_IF_ERROR(in->GetU64(&upper_bound));
+    GBKMV_RETURN_IF_ERROR(in->GetVecU32(&part.ids));
+    part.upper_bound = static_cast<size_t>(upper_bound);
+    std::vector<MinHashSignature> sigs;
+    sigs.reserve(part.ids.size());
+    size_t max_member_size = 0;
+    for (RecordId id : part.ids) {
+      if (id >= searcher->signatures_.size()) {
+        return Status::Corruption("partition references unknown record id");
+      }
+      if (assigned[id]) {
+        return Status::Corruption("record assigned to two partitions");
+      }
+      assigned[id] = true;
+      ++assigned_count;
+      max_member_size = std::max(max_member_size, dataset.record(id).size());
+      sigs.push_back(searcher->signatures_[id]);
+    }
+    // A wrong upper bound silently breaks the per-partition threshold
+    // transformation (Eq. 13) and drops candidates; it is fully determined
+    // by the members, so verify rather than trust.
+    if (part.upper_bound != max_member_size) {
+      return Status::Corruption("partition upper bound does not match its "
+                                "members");
+    }
+    part.index = std::make_unique<MinHashLshIndex>(sigs, part.ids,
+                                                   options.num_hashes, rows);
+    searcher->partitions_.push_back(std::move(part));
+  }
+  if (assigned_count != dataset.size()) {
+    return Status::Corruption("partitions do not cover every record");
+  }
+  return searcher;
+}
+
+Result<std::unique_ptr<LshEnsembleSearcher>> LshEnsembleSearcher::Load(
+    const std::string& path, const Dataset& dataset) {
+  Result<io::SnapshotReader> snapshot = io::SnapshotReader::Open(path);
+  if (!snapshot.ok()) return snapshot.status();
+  return LoadFrom(*snapshot, dataset);
+}
+
+}  // namespace gbkmv

@@ -1,0 +1,182 @@
+#include "io/serializer.h"
+
+#include <cstring>
+
+namespace gbkmv {
+namespace io {
+
+namespace {
+
+// Table-driven CRC-32 (reflected 0xEDB88320 polynomial).
+const uint32_t* CrcTable() {
+  static uint32_t table[256];
+  static bool ready = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return true;
+  }();
+  (void)ready;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  const uint32_t* table = CrcTable();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void Writer::PutU32(uint32_t v) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+  buf_.append(bytes, 4);
+}
+
+void Writer::PutU64(uint64_t v) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+  buf_.append(bytes, 8);
+}
+
+void Writer::PutDouble(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void Writer::PutBytes(const void* data, size_t size) {
+  buf_.append(static_cast<const char*>(data), size);
+}
+
+void Writer::PutString(const std::string& s) {
+  PutU64(s.size());
+  buf_.append(s);
+}
+
+void Writer::PutVecU32(const std::vector<uint32_t>& v) {
+  PutU64(v.size());
+  for (uint32_t x : v) PutU32(x);
+}
+
+void Writer::PutVecU64(const std::vector<uint64_t>& v) {
+  PutU64(v.size());
+  for (uint64_t x : v) PutU64(x);
+}
+
+Status Reader::Need(size_t n) {
+  if (remaining() < n) {
+    return Status::Corruption("unexpected end of data (need " +
+                              std::to_string(n) + " bytes, have " +
+                              std::to_string(remaining()) + ")");
+  }
+  return Status::OK();
+}
+
+Status Reader::GetU8(uint8_t* v) {
+  GBKMV_RETURN_IF_ERROR(Need(1));
+  *v = data_[pos_++];
+  return Status::OK();
+}
+
+Status Reader::GetBool(bool* v) {
+  uint8_t byte = 0;
+  GBKMV_RETURN_IF_ERROR(GetU8(&byte));
+  if (byte > 1) return Status::Corruption("bool byte out of range");
+  *v = byte != 0;
+  return Status::OK();
+}
+
+Status Reader::GetU32(uint32_t* v) {
+  GBKMV_RETURN_IF_ERROR(Need(4));
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  *v = out;
+  return Status::OK();
+}
+
+Status Reader::GetU64(uint64_t* v) {
+  GBKMV_RETURN_IF_ERROR(Need(8));
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  *v = out;
+  return Status::OK();
+}
+
+Status Reader::GetDouble(double* v) {
+  uint64_t bits = 0;
+  GBKMV_RETURN_IF_ERROR(GetU64(&bits));
+  std::memcpy(v, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status Reader::GetBytes(void* out, size_t size) {
+  GBKMV_RETURN_IF_ERROR(Need(size));
+  std::memcpy(out, data_ + pos_, size);
+  pos_ += size;
+  return Status::OK();
+}
+
+Status Reader::GetLength(size_t elem_size, size_t* out) {
+  uint64_t count = 0;
+  GBKMV_RETURN_IF_ERROR(GetU64(&count));
+  if (elem_size > 0 && count > remaining() / elem_size) {
+    return Status::Corruption("length prefix " + std::to_string(count) +
+                              " exceeds remaining data");
+  }
+  *out = static_cast<size_t>(count);
+  return Status::OK();
+}
+
+Status Reader::GetString(std::string* out) {
+  size_t len = 0;
+  GBKMV_RETURN_IF_ERROR(GetLength(1, &len));
+  out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status Reader::GetVecU32(std::vector<uint32_t>* out) {
+  size_t count = 0;
+  GBKMV_RETURN_IF_ERROR(GetLength(4, &count));
+  out->clear();
+  out->reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t v = 0;
+    GBKMV_RETURN_IF_ERROR(GetU32(&v));
+    out->push_back(v);
+  }
+  return Status::OK();
+}
+
+Status Reader::GetVecU64(std::vector<uint64_t>* out) {
+  size_t count = 0;
+  GBKMV_RETURN_IF_ERROR(GetLength(8, &count));
+  out->clear();
+  out->reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t v = 0;
+    GBKMV_RETURN_IF_ERROR(GetU64(&v));
+    out->push_back(v);
+  }
+  return Status::OK();
+}
+
+}  // namespace io
+}  // namespace gbkmv

@@ -1,0 +1,88 @@
+// Binary serialization primitives for the snapshot subsystem.
+//
+// Writer appends fixed-width little-endian values to an in-memory buffer;
+// Reader decodes the same encoding from a bounded byte range, returning
+// Corruption (never crashing) on any overrun or malformed length. All
+// multi-byte values are little-endian regardless of host order, so snapshot
+// files are portable across machines.
+//
+// Encoding reference (see docs/snapshot_format.md):
+//   u8/u32/u64    fixed-width little-endian integers
+//   double        IEEE-754 bit pattern as u64
+//   string        u64 byte length + raw bytes
+//   vector<T>     u64 element count + fixed-width elements
+
+#ifndef GBKMV_IO_SERIALIZER_H_
+#define GBKMV_IO_SERIALIZER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gbkmv {
+namespace io {
+
+// CRC-32 (IEEE 802.3 polynomial, the zlib/LevelDB variant) of `size` bytes.
+uint32_t Crc32(const void* data, size_t size);
+
+class Writer {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutDouble(double v);
+  void PutBytes(const void* data, size_t size);
+  // u64 length prefix + raw bytes.
+  void PutString(const std::string& s);
+  // u64 count prefix + fixed-width elements.
+  void PutVecU32(const std::vector<uint32_t>& v);
+  void PutVecU64(const std::vector<uint64_t>& v);
+
+  const std::string& data() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+class Reader {
+ public:
+  Reader(const void* data, size_t size)
+      : data_(static_cast<const uint8_t*>(data)), size_(size) {}
+  explicit Reader(const std::string& bytes)
+      : Reader(bytes.data(), bytes.size()) {}
+
+  Status GetU8(uint8_t* v);
+  Status GetBool(bool* v);
+  Status GetU32(uint32_t* v);
+  Status GetU64(uint64_t* v);
+  Status GetDouble(double* v);
+  Status GetBytes(void* out, size_t size);
+  Status GetString(std::string* out);
+  Status GetVecU32(std::vector<uint32_t>* out);
+  Status GetVecU64(std::vector<uint64_t>* out);
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  // Corruption unless `n` more bytes are available.
+  Status Need(size_t n);
+  // Reads a u64 length prefix and rejects lengths that cannot fit in the
+  // remaining bytes (`elem_size` bytes per element), so corrupt counts never
+  // trigger huge allocations.
+  Status GetLength(size_t elem_size, size_t* out);
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  size_t pos_ = 0;
+};
+
+}  // namespace io
+}  // namespace gbkmv
+
+#endif  // GBKMV_IO_SERIALIZER_H_

@@ -1,0 +1,178 @@
+#include "io/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace gbkmv {
+namespace io {
+
+namespace {
+constexpr size_t kHeaderSize = 16;        // magic + version + section count
+constexpr size_t kTableEntrySize = 24;    // tag + offset + length + crc
+}  // namespace
+
+Writer* SnapshotWriter::AddSection(const std::string& tag) {
+  GBKMV_CHECK(tag.size() == 4);
+  for (const auto& [existing, writer] : sections_) {
+    (void)writer;
+    GBKMV_CHECK(existing != tag);
+  }
+  sections_.emplace_back(tag, std::make_unique<Writer>());
+  return sections_.back().second.get();
+}
+
+std::string SnapshotWriter::Serialize() const {
+  std::string out;
+  out.append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  Writer header;
+  header.PutU32(kSnapshotVersion);
+  header.PutU32(static_cast<uint32_t>(sections_.size()));
+  out.append(header.data());
+
+  uint64_t offset = kHeaderSize + kTableEntrySize * sections_.size();
+  Writer table;
+  for (const auto& [tag, writer] : sections_) {
+    table.PutBytes(tag.data(), 4);
+    table.PutU64(offset);
+    table.PutU64(writer->size());
+    table.PutU32(Crc32(writer->data().data(), writer->size()));
+    offset += writer->size();
+  }
+  out.append(table.data());
+  for (const auto& [tag, writer] : sections_) {
+    (void)tag;
+    out.append(writer->data());
+  }
+  return out;
+}
+
+Status SnapshotWriter::WriteTo(const std::string& path) const {
+  const std::string image = Serialize();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + tmp + " for writing");
+    out.write(image.data(), static_cast<std::streamsize>(image.size()));
+    // Flush before the stream goes out of scope: a buffered tail that fails
+    // to hit the disk (e.g. ENOSPC) must not get renamed into place.
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::IOError("write to " + tmp + " failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+Result<SnapshotReader> SnapshotReader::FromBytes(std::string bytes) {
+  SnapshotReader reader;
+  reader.data_ = std::move(bytes);
+  const std::string& data = reader.data_;
+
+  if (data.size() < kHeaderSize) {
+    return Status::Corruption("snapshot truncated: " +
+                              std::to_string(data.size()) + " bytes");
+  }
+  if (std::memcmp(data.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::Corruption("bad snapshot magic");
+  }
+  Reader header(data.data() + sizeof(kSnapshotMagic),
+                data.size() - sizeof(kSnapshotMagic));
+  uint32_t version = 0;
+  uint32_t section_count = 0;
+  GBKMV_RETURN_IF_ERROR(header.GetU32(&version));
+  GBKMV_RETURN_IF_ERROR(header.GetU32(&section_count));
+  if (version == 0 || version > kSnapshotVersion) {
+    return Status::InvalidArgument(
+        "snapshot format version " + std::to_string(version) +
+        " not supported (reader supports up to " +
+        std::to_string(kSnapshotVersion) + ")");
+  }
+  if (section_count > (data.size() - kHeaderSize) / kTableEntrySize) {
+    return Status::Corruption("section table exceeds file size");
+  }
+
+  Reader table(data.data() + kHeaderSize, kTableEntrySize * section_count);
+  for (uint32_t i = 0; i < section_count; ++i) {
+    char tag[4];
+    uint64_t offset = 0;
+    uint64_t length = 0;
+    uint32_t crc = 0;
+    GBKMV_RETURN_IF_ERROR(table.GetBytes(tag, 4));
+    GBKMV_RETURN_IF_ERROR(table.GetU64(&offset));
+    GBKMV_RETURN_IF_ERROR(table.GetU64(&length));
+    GBKMV_RETURN_IF_ERROR(table.GetU32(&crc));
+    if (offset > data.size() || length > data.size() - offset) {
+      return Status::Corruption("section '" + std::string(tag, 4) +
+                                "' extends past end of file");
+    }
+    if (Crc32(data.data() + offset, length) != crc) {
+      return Status::Corruption("CRC mismatch in section '" +
+                                std::string(tag, 4) + "'");
+    }
+    const bool inserted =
+        reader.sections_
+            .emplace(std::string(tag, 4), std::make_pair(offset, length))
+            .second;
+    if (!inserted) {
+      return Status::Corruption("duplicate section '" + std::string(tag, 4) +
+                                "'");
+    }
+  }
+  return reader;
+}
+
+Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IOError("read error on " + path);
+  Result<SnapshotReader> reader = FromBytes(std::move(bytes));
+  if (!reader.ok()) {
+    return Status(reader.status().code(),
+                  path + ": " + reader.status().message());
+  }
+  return reader;
+}
+
+Result<Reader> SnapshotReader::Section(const std::string& tag) const {
+  const auto it = sections_.find(tag);
+  if (it == sections_.end()) {
+    return Status::NotFound("snapshot has no '" + tag + "' section");
+  }
+  return Reader(data_.data() + it->second.first, it->second.second);
+}
+
+bool LooksLikeSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[sizeof(kSnapshotMagic)];
+  in.read(magic, sizeof(magic));
+  return in.gcount() == sizeof(magic) &&
+         std::memcmp(magic, kSnapshotMagic, sizeof(magic)) == 0;
+}
+
+void WriteSnapshotMeta(SnapshotWriter* snapshot, const std::string& kind,
+                       uint64_t fingerprint) {
+  Writer* meta = snapshot->AddSection(kSectionMeta);
+  meta->PutString(kind);
+  meta->PutU64(fingerprint);
+}
+
+Result<SnapshotMeta> ReadSnapshotMeta(const SnapshotReader& snapshot) {
+  Result<Reader> section = snapshot.Section(kSectionMeta);
+  if (!section.ok()) return section.status();
+  SnapshotMeta meta;
+  GBKMV_RETURN_IF_ERROR(section->GetString(&meta.kind));
+  GBKMV_RETURN_IF_ERROR(section->GetU64(&meta.fingerprint));
+  return meta;
+}
+
+}  // namespace io
+}  // namespace gbkmv

@@ -1,0 +1,134 @@
+// Versioned binary snapshot container (docs/snapshot_format.md).
+//
+// A snapshot file is a magic + format version + section table + payloads.
+// Each section is a named blob with its own CRC32; SnapshotReader::Open
+// validates the magic, version, table bounds and every CRC *before* any
+// section payload is handed out, so corrupt or truncated files are rejected
+// without mutating caller state. Fallible paths return Status/Result
+// (Corruption, IOError, InvalidArgument on version mismatch) — never abort.
+//
+// Layout (all integers little-endian):
+//   [0, 8)    magic "GBKMVSNP"
+//   [8, 12)   u32 format version (currently 1)
+//   [12, 16)  u32 section count S
+//   16 + 24*i section table entry i: 4-byte tag, u64 offset, u64 length,
+//             u32 crc32(payload)
+//   ...       payloads (anywhere after the table; offsets are absolute)
+//
+// Object snapshots follow a convention on top of the container: a "meta"
+// section (kind string + dataset fingerprint) identifies what the snapshot
+// holds, so loaders — notably the SearcherRegistry — can dispatch on kind
+// before touching the heavyweight sections.
+
+#ifndef GBKMV_IO_SNAPSHOT_H_
+#define GBKMV_IO_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "io/serializer.h"
+
+namespace gbkmv {
+namespace io {
+
+inline constexpr char kSnapshotMagic[8] = {'G', 'B', 'K', 'M',
+                                           'V', 'S', 'N', 'P'};
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+// Section tags (exactly 4 bytes each).
+inline constexpr char kSectionMeta[] = "meta";     // kind + fingerprint
+inline constexpr char kSectionDataset[] = "dset";  // embedded Dataset
+inline constexpr char kSectionIndex[] = "srch";    // searcher state
+inline constexpr char kSectionObject[] = "objt";   // standalone object
+
+class SnapshotWriter {
+ public:
+  // Adds a section and returns its payload writer (owned by this object).
+  // `tag` must be exactly 4 bytes and unused so far.
+  Writer* AddSection(const std::string& tag);
+
+  // Assembles the file image and writes it atomically-ish (temp file +
+  // rename) to `path`. Returns IOError on filesystem failures.
+  Status WriteTo(const std::string& path) const;
+
+  // The full file image (exposed for tests).
+  std::string Serialize() const;
+
+ private:
+  std::vector<std::pair<std::string, std::unique_ptr<Writer>>> sections_;
+};
+
+class SnapshotReader {
+ public:
+  // Reads and fully validates `path`: magic, version, section table bounds,
+  // and every section's CRC32. Returns Corruption for malformed/corrupt
+  // files, InvalidArgument for snapshots written by a newer format version,
+  // IOError when the file cannot be read.
+  static Result<SnapshotReader> Open(const std::string& path);
+
+  // Same validation over an in-memory image (exposed for tests).
+  static Result<SnapshotReader> FromBytes(std::string bytes);
+
+  bool HasSection(const std::string& tag) const {
+    return sections_.count(tag) > 0;
+  }
+  // Bounded reader over the section payload; NotFound if absent.
+  Result<Reader> Section(const std::string& tag) const;
+
+ private:
+  SnapshotReader() = default;
+
+  std::string data_;
+  std::map<std::string, std::pair<uint64_t, uint64_t>> sections_;  // off, len
+};
+
+// True if `path` starts with the snapshot magic (cheap format sniff).
+bool LooksLikeSnapshot(const std::string& path);
+
+// --- object-snapshot convention -------------------------------------------
+
+struct SnapshotMeta {
+  std::string kind;          // e.g. "gbkmv-index", "kmv-sketch"
+  uint64_t fingerprint = 0;  // fingerprint of the records the snapshot was
+                             // built from; 0 for standalone objects
+};
+
+void WriteSnapshotMeta(SnapshotWriter* snapshot, const std::string& kind,
+                       uint64_t fingerprint);
+Result<SnapshotMeta> ReadSnapshotMeta(const SnapshotReader& snapshot);
+
+// Saves/loads one object with a `meta` + `objt` section pair. T must provide
+// SaveTo(io::Writer*) const and static Result<T> LoadFrom(io::Reader*).
+template <typename T>
+Status SaveObjectSnapshot(const T& object, const std::string& kind,
+                          const std::string& path) {
+  SnapshotWriter snapshot;
+  WriteSnapshotMeta(&snapshot, kind, 0);
+  object.SaveTo(snapshot.AddSection(kSectionObject));
+  return snapshot.WriteTo(path);
+}
+
+template <typename T>
+Result<T> LoadObjectSnapshot(const std::string& kind, const std::string& path) {
+  Result<SnapshotReader> snapshot = SnapshotReader::Open(path);
+  if (!snapshot.ok()) return snapshot.status();
+  Result<SnapshotMeta> meta = ReadSnapshotMeta(*snapshot);
+  if (!meta.ok()) return meta.status();
+  if (meta->kind != kind) {
+    return Status::InvalidArgument("snapshot holds a '" + meta->kind +
+                                   "', expected '" + kind + "'");
+  }
+  Result<Reader> section = snapshot->Section(kSectionObject);
+  if (!section.ok()) return section.status();
+  return T::LoadFrom(&section.value());
+}
+
+}  // namespace io
+}  // namespace gbkmv
+
+#endif  // GBKMV_IO_SNAPSHOT_H_

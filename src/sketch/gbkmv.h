@@ -35,6 +35,12 @@ struct GbKmvSketch {
   size_t SpaceUnits(size_t buffer_bits) const {
     return (buffer_bits + 31) / 32 + gkmv.SpaceUnits();
   }
+
+  // Binary snapshot serialization (src/io). Defined in io/persist_data.cc.
+  void SaveTo(io::Writer* out) const;
+  static Result<GbKmvSketch> LoadFrom(io::Reader* in);
+  Status Save(const std::string& path) const;
+  static Result<GbKmvSketch> Load(const std::string& path);
 };
 
 struct GbKmvPairEstimate {
@@ -80,6 +86,16 @@ class GbKmvSketcher {
   // Containment Ĉ(Q,X) = |Q∩X|^ / |Q|.
   static double EstimateContainment(const GbKmvSketch& q, const GbKmvSketch& x,
                                     size_t query_size);
+
+  // Binary snapshot serialization (src/io). The sketcher is self-contained:
+  // buffer universe, threshold and options round-trip exactly, so a loaded
+  // sketcher produces bit-identical sketches. `max_universe_size` bounds the
+  // stored universe width (callers pass the bound dataset's universe_size())
+  // so a corrupt field cannot trigger a huge allocation. Defined in
+  // io/persist_index.cc.
+  void SaveTo(io::Writer* out) const;
+  static Result<GbKmvSketcher> LoadFrom(io::Reader* in,
+                                        size_t max_universe_size);
 
  private:
   GbKmvSketcher() = default;

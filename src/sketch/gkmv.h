@@ -13,6 +13,7 @@
 #define GBKMV_SKETCH_GKMV_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "data/dataset.h"
@@ -35,6 +36,12 @@ class GkmvSketch {
   uint64_t threshold() const { return threshold_; }
 
   size_t SpaceUnits() const { return values_.size(); }
+
+  // Binary snapshot serialization (src/io). Defined in io/persist_data.cc.
+  void SaveTo(io::Writer* out) const;
+  static Result<GkmvSketch> LoadFrom(io::Reader* in);
+  Status Save(const std::string& path) const;
+  static Result<GkmvSketch> Load(const std::string& path);
 
  private:
   std::vector<uint64_t> values_;

@@ -18,11 +18,18 @@
 #define GBKMV_SKETCH_KMV_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "data/record.h"
 
 namespace gbkmv {
+
+namespace io {
+class Reader;
+class Writer;
+}  // namespace io
 
 // Shared hash seed: every KMV-family sketch in one index must use the same
 // hash function, otherwise matching hash values do not imply matching
@@ -52,6 +59,12 @@ class KmvSketch {
   // Space in "element units" (one unit per stored hash), matching the
   // paper's budget accounting.
   size_t SpaceUnits() const { return values_.size(); }
+
+  // Binary snapshot serialization (src/io). Defined in io/persist_data.cc.
+  void SaveTo(io::Writer* out) const;
+  static Result<KmvSketch> LoadFrom(io::Reader* in);
+  Status Save(const std::string& path) const;
+  static Result<KmvSketch> Load(const std::string& path);
 
  private:
   std::vector<uint64_t> values_;

@@ -9,12 +9,19 @@
 #define GBKMV_SKETCH_MINHASH_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/hash.h"
+#include "common/status.h"
 #include "data/record.h"
 
 namespace gbkmv {
+
+namespace io {
+class Reader;
+class Writer;
+}  // namespace io
 
 class MinHashSignature {
  public:
@@ -27,6 +34,12 @@ class MinHashSignature {
   size_t size() const { return values_.size(); }
   const std::vector<uint64_t>& values() const { return values_; }
   uint64_t value(size_t i) const { return values_[i]; }
+
+  // Binary snapshot serialization (src/io). Defined in io/persist_data.cc.
+  void SaveTo(io::Writer* out) const;
+  static Result<MinHashSignature> LoadFrom(io::Reader* in);
+  Status Save(const std::string& path) const;
+  static Result<MinHashSignature> Load(const std::string& path);
 
  private:
   std::vector<uint64_t> values_;

@@ -1,0 +1,389 @@
+// End-to-end tests of the src/io persistence subsystem: Save→Load→Search
+// equality for every searcher, object round-trips for the sketch families
+// and Dataset, and corruption handling (truncated file, flipped byte, wrong
+// magic, future version) — which must surface as non-OK Status, never as a
+// crash or partially mutated index.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "index/dynamic_index.h"
+#include "index/gbkmv_index.h"
+#include "index/lsh_ensemble.h"
+#include "index/searcher_registry.h"
+#include "io/snapshot.h"
+#include "sketch/gbkmv.h"
+#include "sketch/gkmv.h"
+#include "sketch/kmv.h"
+#include "sketch/minhash.h"
+
+namespace gbkmv {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "gbkmv_snapshot_" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// The acceptance dataset: 10k synthetic records, skewed frequencies.
+Result<Dataset> BigDataset(uint64_t seed = 97) {
+  SyntheticConfig c;
+  c.name = "snapshot-10k";
+  c.num_records = 10000;
+  c.universe_size = 20000;
+  c.min_record_size = 10;
+  c.max_record_size = 60;
+  c.alpha_element_freq = 1.1;
+  c.alpha_record_size = 2.2;
+  c.seed = seed;
+  return GenerateSynthetic(c);
+}
+
+std::vector<Record> QuerySample(const Dataset& dataset, size_t n) {
+  std::vector<Record> queries;
+  for (size_t i = 0; i < n; ++i) {
+    queries.push_back(dataset.record((i * 131) % dataset.size()));
+  }
+  return queries;
+}
+
+void ExpectIdenticalSearch(const ContainmentSearcher& a,
+                           const ContainmentSearcher& b,
+                           const std::vector<Record>& queries) {
+  EXPECT_EQ(a.SpaceUnits(), b.SpaceUnits());
+  EXPECT_EQ(a.name(), b.name());
+  for (double threshold : {0.3, 0.5, 0.8}) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(a.Search(queries[i], threshold),
+                b.Search(queries[i], threshold))
+          << "query " << i << " t*=" << threshold;
+    }
+  }
+}
+
+// --- object round-trips ---------------------------------------------------
+
+TEST(SketchSnapshotTest, KmvRoundTrip) {
+  const Record r = MakeRecord({5, 9, 2, 77, 1024, 4096, 9999});
+  const KmvSketch original = KmvSketch::Build(r, 5);
+  const std::string path = TempPath("kmv.snap");
+  ASSERT_TRUE(original.Save(path).ok());
+  Result<KmvSketch> loaded = KmvSketch::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->values(), original.values());
+  EXPECT_EQ(loaded->exact(), original.exact());
+  EXPECT_DOUBLE_EQ(loaded->EstimateDistinct(), original.EstimateDistinct());
+}
+
+TEST(SketchSnapshotTest, GkmvRoundTrip) {
+  const Record r = MakeRecord({1, 2, 3, 100, 200, 300, 400});
+  const GkmvSketch original = GkmvSketch::Build(r, ~0ULL / 3);
+  const std::string path = TempPath("gkmv.snap");
+  ASSERT_TRUE(original.Save(path).ok());
+  Result<GkmvSketch> loaded = GkmvSketch::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->values(), original.values());
+  EXPECT_EQ(loaded->threshold(), original.threshold());
+}
+
+TEST(SketchSnapshotTest, GbKmvRoundTrip) {
+  auto ds = BigDataset();
+  ASSERT_TRUE(ds.ok());
+  GbKmvOptions options;
+  options.budget_units = 20000;
+  options.buffer_bits = 64;
+  auto sketcher = GbKmvSketcher::Create(*ds, options);
+  ASSERT_TRUE(sketcher.ok());
+  const GbKmvSketch original = sketcher->Sketch(ds->record(3));
+  const std::string path = TempPath("gbkmv.snap");
+  ASSERT_TRUE(original.Save(path).ok());
+  Result<GbKmvSketch> loaded = GbKmvSketch::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->buffer == original.buffer);
+  EXPECT_EQ(loaded->gkmv.values(), original.gkmv.values());
+}
+
+TEST(SketchSnapshotTest, MinHashRoundTrip) {
+  const HashFamily family(32, 123);
+  const MinHashSignature original =
+      MinHashSignature::Build(MakeRecord({4, 8, 15, 16, 23, 42}), family);
+  const std::string path = TempPath("minhash.snap");
+  ASSERT_TRUE(original.Save(path).ok());
+  Result<MinHashSignature> loaded = MinHashSignature::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->values(), original.values());
+}
+
+TEST(SketchSnapshotTest, WrongKindIsInvalidArgument) {
+  const KmvSketch sketch = KmvSketch::Build(MakeRecord({1, 2, 3}), 2);
+  const std::string path = TempPath("kind.snap");
+  ASSERT_TRUE(sketch.Save(path).ok());
+  Result<GkmvSketch> wrong = GkmvSketch::Load(path);
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetSnapshotTest, RoundTripPreservesStatsAndFingerprint) {
+  auto original = BigDataset();
+  ASSERT_TRUE(original.ok());
+  const std::string path = TempPath("dataset.snap");
+  ASSERT_TRUE(original->Save(path).ok());
+  Result<Dataset> loaded = Dataset::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->name(), original->name());
+  EXPECT_EQ(loaded->size(), original->size());
+  EXPECT_EQ(loaded->total_elements(), original->total_elements());
+  EXPECT_EQ(loaded->num_distinct(), original->num_distinct());
+  EXPECT_EQ(loaded->Fingerprint(), original->Fingerprint());
+  EXPECT_EQ(loaded->frequencies(), original->frequencies());
+  EXPECT_EQ(loaded->elements_by_frequency(),
+            original->elements_by_frequency());
+  for (size_t i = 0; i < original->size(); i += 997) {
+    EXPECT_EQ(loaded->record(i), original->record(i));
+  }
+}
+
+TEST(DatasetSnapshotTest, MissingFileIsIOError) {
+  Result<Dataset> loaded = Dataset::Load(TempPath("does-not-exist.snap"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+// --- searcher round-trips -------------------------------------------------
+
+TEST(SearcherSnapshotTest, GbKmvIndexRoundTrip) {
+  auto ds = BigDataset();
+  ASSERT_TRUE(ds.ok());
+  GbKmvIndexOptions options;
+  options.space_ratio = 0.10;
+  auto original = GbKmvIndexSearcher::Create(*ds, options);
+  ASSERT_TRUE(original.ok());
+  const std::string path = TempPath("gbkmv_index.snap");
+  ASSERT_TRUE((*original)->Save(path).ok());
+
+  auto loaded = GbKmvIndexSearcher::Load(path, *ds);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->chosen_buffer_bits(), (*original)->chosen_buffer_bits());
+  EXPECT_EQ((*loaded)->global_threshold(), (*original)->global_threshold());
+  ExpectIdenticalSearch(**original, **loaded, QuerySample(*ds, 25));
+}
+
+TEST(SearcherSnapshotTest, GbKmvIndexViaRegistrySelfContained) {
+  auto ds = BigDataset();
+  ASSERT_TRUE(ds.ok());
+  GbKmvIndexOptions options;
+  options.space_ratio = 0.10;
+  options.buffer_bits = 32;
+  auto original = GbKmvIndexSearcher::Create(*ds, options);
+  ASSERT_TRUE(original.ok());
+  const std::string path = TempPath("registry_gbkmv.snap");
+  ASSERT_TRUE((*original)->SaveSnapshot(path).ok());
+
+  auto kind = ReadSearcherSnapshotKind(path);
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, "gbkmv-index");
+
+  auto loaded = LoadSearcherSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_NE(loaded->dataset, nullptr);  // dataset travels inside the file
+  EXPECT_EQ(loaded->dataset->Fingerprint(), ds->Fingerprint());
+  ExpectIdenticalSearch(**original, *loaded->searcher, QuerySample(*ds, 20));
+}
+
+TEST(SearcherSnapshotTest, LshEnsembleRoundTrip) {
+  auto ds = BigDataset();
+  ASSERT_TRUE(ds.ok());
+  LshEnsembleOptions options;
+  options.num_hashes = 64;
+  options.num_partitions = 8;
+  auto original = LshEnsembleSearcher::Create(*ds, options);
+  ASSERT_TRUE(original.ok());
+  const std::string path = TempPath("lshe.snap");
+  ASSERT_TRUE((*original)->Save(path).ok());
+
+  auto loaded = LshEnsembleSearcher::Load(path, *ds);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->num_partitions(), (*original)->num_partitions());
+  ExpectIdenticalSearch(**original, **loaded, QuerySample(*ds, 20));
+
+  // And through the registry, fully self-contained.
+  auto bundle = LoadSearcherSnapshot(path);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  ExpectIdenticalSearch(**original, *bundle->searcher, QuerySample(*ds, 10));
+}
+
+TEST(SearcherSnapshotTest, DynamicIndexResumesInsertsAfterReload) {
+  auto ds = BigDataset(98);
+  ASSERT_TRUE(ds.ok());
+  DynamicGbKmvOptions options;
+  options.budget_units = ds->total_elements() / 10;
+  options.buffer_bits = 64;
+  auto original = DynamicGbKmvIndex::Create(*ds, options);
+  ASSERT_TRUE(original.ok());
+
+  const std::string path = TempPath("dynamic.snap");
+  ASSERT_TRUE((*original)->Save(path).ok());
+  auto loaded = DynamicGbKmvIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->size(), (*original)->size());
+  EXPECT_EQ((*loaded)->global_threshold(), (*original)->global_threshold());
+  EXPECT_EQ((*loaded)->used_units(), (*original)->used_units());
+  ExpectIdenticalSearch(**original, **loaded, QuerySample(*ds, 20));
+
+  // Insert the same stream into both; the reloaded index must track the
+  // original exactly, including τ-shrinks triggered by the budget.
+  auto extra = BigDataset(99);
+  ASSERT_TRUE(extra.ok());
+  const uint64_t tau_before = (*loaded)->global_threshold();
+  for (size_t i = 0; i < 2000; ++i) {
+    const RecordId a = (*original)->Insert(extra->record(i));
+    const RecordId b = (*loaded)->Insert(extra->record(i));
+    EXPECT_EQ(a, b);
+  }
+  EXPECT_EQ((*loaded)->global_threshold(), (*original)->global_threshold());
+  EXPECT_LT((*loaded)->global_threshold(), tau_before);  // budget forced τ down
+  EXPECT_EQ((*loaded)->used_units(), (*original)->used_units());
+  EXPECT_LE((*loaded)->used_units(), options.budget_units);
+  ExpectIdenticalSearch(**original, **loaded, QuerySample(*ds, 15));
+}
+
+TEST(SearcherSnapshotTest, DynamicRebindVerifiesRecordFingerprint) {
+  auto ds = BigDataset(55);
+  auto other = BigDataset(56);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_TRUE(other.ok());
+  DynamicGbKmvOptions options;
+  options.budget_units = ds->total_elements() / 10;
+  options.buffer_bits = 32;
+  auto index = DynamicGbKmvIndex::Create(*ds, options);
+  ASSERT_TRUE(index.ok());
+  const std::string path = TempPath("dynamic_rebind.snap");
+  ASSERT_TRUE((*index)->Save(path).ok());
+  // Re-binding to the dataset the records came from succeeds...
+  auto bound = LoadSearcherSnapshot(path, *ds);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_EQ((*bound)->SpaceUnits(), (*index)->SpaceUnits());
+  // ...but a different dataset is rejected instead of silently ignored.
+  auto mismatched = LoadSearcherSnapshot(path, *other);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SearcherSnapshotTest, FingerprintMismatchIsInvalidArgument) {
+  auto ds = BigDataset();
+  auto other = BigDataset(1234);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_TRUE(other.ok());
+  GbKmvIndexOptions options;
+  options.space_ratio = 0.05;
+  auto searcher = GbKmvIndexSearcher::Create(*ds, options);
+  ASSERT_TRUE(searcher.ok());
+  const std::string path = TempPath("fingerprint.snap");
+  ASSERT_TRUE((*searcher)->Save(path).ok());
+  auto loaded = GbKmvIndexSearcher::Load(path, *other);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- corruption matrix ----------------------------------------------------
+
+class SnapshotCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto ds = BigDataset();
+    ASSERT_TRUE(ds.ok());
+    dataset_ = std::make_unique<Dataset>(std::move(ds.value()));
+    GbKmvIndexOptions options;
+    options.space_ratio = 0.05;
+    auto searcher = GbKmvIndexSearcher::Create(*dataset_, options);
+    ASSERT_TRUE(searcher.ok());
+    path_ = TempPath("corruption.snap");
+    ASSERT_TRUE((*searcher)->Save(path_).ok());
+    image_ = ReadFile(path_);
+    ASSERT_GT(image_.size(), 100u);
+  }
+
+  // Writes `image` to a scratch file and returns every load entry point's
+  // status (they must all agree that the file is unusable).
+  std::vector<Status> LoadAll(const std::string& image) {
+    const std::string scratch = TempPath("corrupt_scratch.snap");
+    WriteFile(scratch, image);
+    std::vector<Status> statuses;
+    statuses.push_back(GbKmvIndexSearcher::Load(scratch, *dataset_).status());
+    statuses.push_back(LoadSearcherSnapshot(scratch).status());
+    statuses.push_back(ReadSearcherSnapshotKind(scratch).status());
+    return statuses;
+  }
+
+  std::unique_ptr<Dataset> dataset_;
+  std::string path_;
+  std::string image_;
+};
+
+TEST_F(SnapshotCorruptionTest, TruncatedFile) {
+  for (size_t cut :
+       {0ul, 7ul, 15ul, 40ul, image_.size() / 2, image_.size() - 1}) {
+    for (const Status& s : LoadAll(image_.substr(0, cut))) {
+      ASSERT_FALSE(s.ok()) << "cut=" << cut;
+      EXPECT_EQ(s.code(), StatusCode::kCorruption) << "cut=" << cut;
+    }
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, FlippedByteAnywhereInPayload) {
+  // Flip a byte in several positions spread across the payloads (past the
+  // 16-byte header and 3×24-byte section table, whose damage is covered by
+  // the other tests); the per-section CRC must catch every one of them.
+  for (size_t pos = 100; pos < image_.size(); pos += image_.size() / 7) {
+    std::string damaged = image_;
+    damaged[pos] ^= 0x5A;
+    for (const Status& s : LoadAll(damaged)) {
+      ASSERT_FALSE(s.ok()) << "pos=" << pos;
+      EXPECT_TRUE(s.code() == StatusCode::kCorruption ||
+                  s.code() == StatusCode::kInvalidArgument)
+          << "pos=" << pos << " got " << s.ToString();
+    }
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, WrongMagic) {
+  std::string damaged = image_;
+  damaged[2] = '?';
+  for (const Status& s : LoadAll(damaged)) {
+    EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, FutureVersion) {
+  std::string damaged = image_;
+  damaged[8] = static_cast<char>(io::kSnapshotVersion + 7);
+  for (const Status& s : LoadAll(damaged)) {
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, GarbageFile) {
+  std::string garbage(4096, '\x5f');
+  for (const Status& s : LoadAll(garbage)) {
+    EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  }
+}
+
+}  // namespace
+}  // namespace gbkmv

@@ -15,9 +15,22 @@
 //                    [--space=0.1] [--queries=100]
 //       Sample queries from the dataset, compare against exact ground
 //       truth, and report accuracy/time/space.
+//
+//   gbkmv_cli build  <dataset> <out.snap> [--method=gb-kmv] [--space=0.1]
+//                    [--min-size=1]
+//       Build the chosen index once and persist it as a versioned binary
+//       snapshot (docs/snapshot_format.md).
+//
+//   gbkmv_cli query  <in.snap> <query-file> [threshold]
+//       Reload a snapshot (no reconstruction) and run the queries from
+//       <query-file> ('-' for stdin; same line format as datasets) at the
+//       given threshold (default --threshold/0.5). The first positional
+//       form of `query` still accepts a text dataset and builds in-memory.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -27,6 +40,8 @@
 #include "data/dataset_io.h"
 #include "eval/experiment.h"
 #include "eval/table.h"
+#include "index/searcher_registry.h"
+#include "io/snapshot.h"
 
 namespace gbkmv {
 namespace {
@@ -43,10 +58,16 @@ struct CliOptions {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: gbkmv_cli <stats|query|eval> <dataset> [--method=M] "
-               "[--threshold=T] [--space=S] [--min-size=K] [--queries=N]\n"
+               "usage: gbkmv_cli stats <dataset>\n"
+               "       gbkmv_cli query <dataset> [--method=M] [--threshold=T] "
+               "[--space=S]\n"
+               "       gbkmv_cli eval  <dataset> [--method=M] [--threshold=T] "
+               "[--space=S] [--queries=N]\n"
+               "       gbkmv_cli build <dataset> <out.snap> [--method=M] "
+               "[--space=S] [--min-size=K]\n"
+               "       gbkmv_cli query <in.snap> <query-file|-> [threshold]\n"
                "methods: gb-kmv g-kmv kmv lsh-e a-mh ppjoin freqset "
-               "brute-force\n");
+               "brute-force (snapshots: gb-kmv g-kmv lsh-e)\n");
   return 2;
 }
 
@@ -72,6 +93,87 @@ int RunStats(const Dataset& dataset) {
   return 0;
 }
 
+// Parses one query record per line from `in`, printing matching record ids.
+int StreamQueries(std::istream& in, const ContainmentSearcher& searcher,
+                  double threshold) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::vector<ElementId> elems;
+    long long v = 0;
+    while (ss >> v) {
+      if (v >= 0) elems.push_back(static_cast<ElementId>(v));
+    }
+    const Record query = MakeRecord(std::move(elems));
+    const std::vector<RecordId> ids = searcher.Search(query, threshold);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      std::printf("%s%u", i ? " " : "", ids[i]);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+int RunBuild(const Dataset& dataset, const CliOptions& options,
+             const std::string& out_path) {
+  Result<SearchMethod> method = ParseSearchMethod(options.method);
+  if (!method.ok()) {
+    std::fprintf(stderr, "%s\n", method.status().ToString().c_str());
+    return 2;
+  }
+  SearcherConfig config;
+  config.method = *method;
+  config.space_ratio = options.space;
+  WallTimer build_timer;
+  Result<std::unique_ptr<ContainmentSearcher>> searcher =
+      BuildSearcher(dataset, config);
+  if (!searcher.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 searcher.status().ToString().c_str());
+    return 1;
+  }
+  const double build_seconds = build_timer.ElapsedSeconds();
+  WallTimer save_timer;
+  const Status saved = (*searcher)->SaveSnapshot(out_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "cannot save snapshot: %s\n",
+                 saved.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "%s index over %zu records built in %.2fs, saved to %s "
+               "in %.2fs (%llu space units)\n",
+               (*searcher)->name().c_str(), dataset.size(), build_seconds,
+               out_path.c_str(), save_timer.ElapsedSeconds(),
+               static_cast<unsigned long long>((*searcher)->SpaceUnits()));
+  return 0;
+}
+
+int RunQuerySnapshot(const std::string& snapshot_path,
+                     const std::string& query_path, double threshold) {
+  WallTimer load_timer;
+  Result<LoadedSearcher> loaded = LoadSearcherSnapshot(snapshot_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load snapshot: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%s index reloaded from %s in %.2fs\n",
+               loaded->searcher->name().c_str(), snapshot_path.c_str(),
+               load_timer.ElapsedSeconds());
+  if (query_path == "-") {
+    return StreamQueries(std::cin, *loaded->searcher, threshold);
+  }
+  std::ifstream in(query_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open query file %s\n", query_path.c_str());
+    return 1;
+  }
+  return StreamQueries(in, *loaded->searcher, threshold);
+}
+
 int RunQuery(const Dataset& dataset, const CliOptions& options) {
   Result<SearchMethod> method = ParseSearchMethod(options.method);
   if (!method.ok()) {
@@ -92,26 +194,7 @@ int RunQuery(const Dataset& dataset, const CliOptions& options) {
   std::fprintf(stderr, "%s index over %zu records built in %.2fs\n",
                (*searcher)->name().c_str(), dataset.size(),
                build_timer.ElapsedSeconds());
-
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream ss(line);
-    std::vector<ElementId> elems;
-    long long v = 0;
-    while (ss >> v) {
-      if (v >= 0) elems.push_back(static_cast<ElementId>(v));
-    }
-    const Record query = MakeRecord(std::move(elems));
-    const std::vector<RecordId> ids =
-        (*searcher)->Search(query, options.threshold);
-    for (size_t i = 0; i < ids.size(); ++i) {
-      std::printf("%s%u", i ? " " : "", ids[i]);
-    }
-    std::printf("\n");
-    std::fflush(stdout);
-  }
-  return 0;
+  return StreamQueries(std::cin, **searcher, options.threshold);
 }
 
 int RunEval(const Dataset& dataset, const CliOptions& options) {
@@ -146,7 +229,41 @@ int Main(int argc, char** argv) {
   CliOptions options;
   options.command = argv[1];
   options.dataset_path = argv[2];
-  for (int i = 3; i < argc; ++i) {
+
+  // Snapshot-based query: gbkmv_cli query <in.snap> <query-file|-> [t*].
+  // Dispatch on the positional query-file argument (the legacy dataset form
+  // reads queries from stdin and takes only flags after the path), so a
+  // missing snapshot file still reaches SnapshotReader::Open and gets a
+  // proper "cannot open" error instead of being misparsed as a dataset.
+  const bool has_query_file_arg =
+      argc >= 4 && (argv[3][0] != '-' || std::strcmp(argv[3], "-") == 0);
+  if (options.command == "query" &&
+      (has_query_file_arg || io::LooksLikeSnapshot(argv[2]))) {
+    if (argc < 4) {
+      std::fprintf(stderr, "snapshot query needs a query file ('-' for "
+                           "stdin)\n");
+      return Usage();
+    }
+    double threshold = 0.5;
+    for (int i = 4; i < argc; ++i) {
+      std::string value;
+      if (ParseFlag(argv[i], "--threshold=", &value)) {
+        threshold = std::atof(value.c_str());
+      } else if (argv[i][0] != '-' && i == 4) {
+        threshold = std::atof(argv[i]);
+      } else {
+        return Usage();
+      }
+    }
+    return RunQuerySnapshot(argv[2], argv[3], threshold);
+  }
+
+  std::string snapshot_out;
+  if (options.command == "build") {
+    if (argc < 4 || argv[3][0] == '-') return Usage();
+    snapshot_out = argv[3];
+  }
+  for (int i = snapshot_out.empty() ? 3 : 4; i < argc; ++i) {
     std::string value;
     if (ParseFlag(argv[i], "--method=", &value)) {
       options.method = value;
@@ -174,6 +291,9 @@ int Main(int argc, char** argv) {
   if (options.command == "stats") return RunStats(*dataset);
   if (options.command == "query") return RunQuery(*dataset, options);
   if (options.command == "eval") return RunEval(*dataset, options);
+  if (options.command == "build") {
+    return RunBuild(*dataset, options, snapshot_out);
+  }
   return Usage();
 }
 
