@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "common/hash.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "index/searcher_registry.h"
 
@@ -41,10 +42,20 @@ BenchOptions ParseArgs(int argc, char** argv) {
     } else if (std::strncmp(arg, "--cache=", 8) == 0) {
       options.cache_dir = arg + 8;
       SetSnapshotCacheDir(options.cache_dir);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      const long long n = std::atoll(arg + 10);
+      if (n < 0) {
+        std::fprintf(stderr, "invalid --threads\n");
+        std::exit(2);
+      }
+      options.num_threads = static_cast<size_t>(n);
+      // Installs the process-wide default so every num_threads=0 ("auto")
+      // build and ground-truth call in the harness follows the flag.
+      SetDefaultThreads(options.num_threads);
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
           "usage: %s [--scale=F] [--queries=N] [--dataset=NAME] "
-          "[--cache=DIR]\n",
+          "[--cache=DIR] [--threads=N]\n",
           argv[0]);
       std::exit(0);
     } else {

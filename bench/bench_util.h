@@ -25,11 +25,16 @@ namespace bench {
 //                   RunMethod saves each built index under <dir> keyed by
 //                   dataset fingerprint + config, and later runs load it
 //                   instead of reconstructing.
+//   --threads=<n>   worker threads for index builds and ground truth
+//                   (default: hardware concurrency). Results are identical
+//                   for every value — parallelism is byte-deterministic
+//                   (docs/parallelism.md) — only timings change.
 struct BenchOptions {
   double scale = 1.0;
   size_t num_queries = 100;
   std::string dataset_filter;
   std::string cache_dir;
+  size_t num_threads = 0;  // 0 = hardware concurrency
 
   // Datasets selected by the filter (all seven when empty).
   std::vector<PaperDataset> Datasets() const;

@@ -8,6 +8,7 @@
 #include "common/hash.h"
 #include "data/synthetic.h"
 #include "index/gbkmv_index.h"
+#include "index/lsh_ensemble.h"
 #include "sketch/gbkmv.h"
 #include "sketch/gkmv.h"
 #include "sketch/kmv.h"
@@ -119,6 +120,57 @@ void BM_GbKmvSearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GbKmvSearch);
+
+// Index construction with the parallel build path (Arg = thread count).
+// The acceptance target for the parallel subsystem: >= 2x at 4 threads vs 1
+// on multi-core hardware. Results are byte-identical across thread counts.
+void BM_GbKmvIndexBuildThreads(benchmark::State& state) {
+  const Dataset& ds = BenchDataset();
+  GbKmvIndexOptions opts;
+  opts.space_ratio = 0.10;
+  opts.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto searcher = GbKmvIndexSearcher::Create(ds, opts);
+    benchmark::DoNotOptimize(searcher);
+  }
+  state.SetItemsProcessed(state.iterations() * ds.size());
+}
+BENCHMARK(BM_GbKmvIndexBuildThreads)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LshEnsembleBuildThreads(benchmark::State& state) {
+  const Dataset& ds = BenchDataset();
+  LshEnsembleOptions opts;
+  opts.num_hashes = 64;
+  opts.num_partitions = 8;
+  opts.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto searcher = LshEnsembleSearcher::Create(ds, opts);
+    benchmark::DoNotOptimize(searcher);
+  }
+  state.SetItemsProcessed(state.iterations() * ds.size());
+}
+BENCHMARK(BM_LshEnsembleBuildThreads)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// Batch query engine throughput (Arg = thread count): 200 queries against
+// the GB-KMV index via per-thread result buffers merged in input order.
+void BM_GbKmvBatchQueryThreads(benchmark::State& state) {
+  const Dataset& ds = BenchDataset();
+  GbKmvIndexOptions opts;
+  opts.space_ratio = 0.10;
+  opts.num_threads = 1;
+  const auto searcher = GbKmvIndexSearcher::Create(ds, opts);
+  std::vector<Record> queries;
+  for (size_t i = 0; i < 200; ++i) queries.push_back(ds.record(i % ds.size()));
+  const size_t threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*searcher)->BatchQuery(queries, 0.5, threads));
+  }
+  state.SetItemsProcessed(state.iterations() * queries.size());
+}
+BENCHMARK(BM_GbKmvBatchQueryThreads)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ExactIntersect(benchmark::State& state) {
   const Record a = SequentialRecord(0, state.range(0));

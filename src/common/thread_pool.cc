@@ -1,0 +1,158 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "common/hash.h"
+
+namespace gbkmv {
+
+namespace {
+
+std::atomic<size_t> g_default_threads{0};  // 0 = hardware concurrency
+
+// True on threads that are pool workers: a ParallelFor issued from one runs
+// inline so nested parallelism can never deadlock on a starved queue.
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
+
+size_t DefaultThreads() {
+  const size_t override_threads =
+      g_default_threads.load(std::memory_order_relaxed);
+  if (override_threads > 0) return override_threads;
+  return std::max<size_t>(1, std::thread::hardware_concurrency());
+}
+
+void SetDefaultThreads(size_t num_threads) {
+  g_default_threads.store(num_threads, std::memory_order_relaxed);
+}
+
+uint64_t ChunkSeed(uint64_t base_seed, size_t chunk_index) {
+  return SplitMix64(base_seed ^ Mix64(0xC0FFEEULL + chunk_index));
+}
+
+std::unique_ptr<ThreadPool> MakeBuildPool(size_t num_threads, size_t work) {
+  if (num_threads == 0) num_threads = DefaultThreads();
+  if (num_threads <= 1 || work <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(num_threads);
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreads();
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> future = task->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.emplace_back([task] { (*task)(); });
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(
+    size_t begin, size_t end, size_t grain,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  grain = std::max<size_t>(1, grain);
+  const size_t n = end - begin;
+  const size_t num_chunks = (n + grain - 1) / grain;
+
+  const auto run_chunk = [&](size_t c) {
+    const size_t chunk_begin = begin + c * grain;
+    const size_t chunk_end = std::min(end, chunk_begin + grain);
+    fn(chunk_begin, chunk_end, c);
+  };
+
+  // Inline paths: trivial ranges, single-worker pools, and nested calls all
+  // use the same chunk decomposition, so results match the concurrent path.
+  if (num_chunks == 1 || num_threads() == 1 || t_in_pool_worker) {
+    for (size_t c = 0; c < num_chunks; ++c) run_chunk(c);
+    return;
+  }
+
+  // Shared drain state: workers and the calling thread claim chunk indices
+  // from one atomic counter; the first exception parks the counter at the
+  // end so remaining chunks are abandoned.
+  struct DrainState {
+    std::atomic<size_t> next_chunk{0};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    size_t helpers_finished = 0;
+    std::exception_ptr exception;
+  };
+  auto state = std::make_shared<DrainState>();
+
+  const auto drain = [state, num_chunks, &run_chunk] {
+    for (;;) {
+      const size_t c =
+          state->next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      try {
+        run_chunk(c);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->exception) state->exception = std::current_exception();
+        state->next_chunk.store(num_chunks, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  const size_t num_helpers = std::min(num_threads(), num_chunks) - 1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t i = 0; i < num_helpers; ++i) {
+      queue_.emplace_back([state, drain] {
+        drain();
+        {
+          std::lock_guard<std::mutex> state_lock(state->mutex);
+          ++state->helpers_finished;
+        }
+        state->done_cv.notify_one();
+      });
+    }
+  }
+  cv_.notify_all();
+
+  drain();  // The calling thread participates.
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done_cv.wait(
+      lock, [&] { return state->helpers_finished == num_helpers; });
+  if (state->exception) std::rethrow_exception(state->exception);
+}
+
+}  // namespace gbkmv

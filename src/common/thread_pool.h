@@ -1,0 +1,87 @@
+// Fixed-size thread pool shared by every parallel algorithm in the library
+// (sketch construction, sharded index builds, batch query, ground truth).
+//
+// Design constraints, in order:
+//   1. Determinism — ParallelFor decomposes [begin, end) into chunks whose
+//      boundaries depend only on (begin, end, grain), never on the thread
+//      count or scheduling. Callers that write per-chunk results into
+//      pre-sized slots and merge in chunk order therefore produce results
+//      byte-identical to a sequential run for ANY thread count (the
+//      invariant tests/parallel_equivalence_test.cc enforces).
+//   2. No deadlocks — a ParallelFor issued from inside a pool worker runs
+//      inline on that worker (same chunk decomposition, same results), so
+//      nested parallelism never blocks on a starved queue.
+//   3. Exceptions propagate — the first exception thrown by a task or chunk
+//      is captured and rethrown on the calling thread; remaining chunks are
+//      abandoned.
+
+#ifndef GBKMV_COMMON_THREAD_POOL_H_
+#define GBKMV_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gbkmv {
+
+// Threads to use when a caller passes num_threads == 0 ("auto"): the global
+// override installed by SetDefaultThreads (--threads=N in the CLI/bench
+// harnesses), else std::thread::hardware_concurrency(), never less than 1.
+size_t DefaultThreads();
+void SetDefaultThreads(size_t num_threads);  // 0 restores hardware default.
+
+// Deterministic per-chunk RNG seed: callers that need randomness inside a
+// ParallelFor chunk derive it from the task seed and the *chunk* index (not
+// the worker id), so the stream consumed by each chunk is independent of the
+// thread count.
+uint64_t ChunkSeed(uint64_t base_seed, size_t chunk_index);
+
+class ThreadPool {
+ public:
+  // num_threads == 0 means DefaultThreads(). The pool always has at least
+  // one worker so Submit never runs inline.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  // Runs `fn` on a pool worker. The future rethrows any exception.
+  std::future<void> Submit(std::function<void()> fn);
+
+  // Calls fn(chunk_begin, chunk_end, chunk_index) over [begin, end) split
+  // into ⌈(end−begin)/grain⌉ chunks. Chunks may run concurrently on up to
+  // num_threads() workers (the calling thread participates); the chunk
+  // decomposition and indices are identical for every thread count. Returns
+  // after all chunks finish; rethrows the first chunk exception. A zero-work
+  // range (end <= begin) is a no-op. grain is clamped to >= 1.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// Pool for a build step: null (caller runs serially) unless the resolved
+// thread count (0 = DefaultThreads()) and the work size both warrant
+// workers. Shared by every index Create path.
+std::unique_ptr<ThreadPool> MakeBuildPool(size_t num_threads, size_t work);
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_COMMON_THREAD_POOL_H_

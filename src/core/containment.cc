@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 
+#include "common/thread_pool.h"
 #include "index/asymmetric_minhash.h"
 #include "index/brute_force.h"
 #include "index/freqset.h"
@@ -42,6 +43,7 @@ Result<std::unique_ptr<ContainmentSearcher>> BuildSearcher(
                                 ? 0
                                 : config.buffer_bits;
       options.seed = config.seed;
+      options.num_threads = config.num_threads;
       Result<std::unique_ptr<GbKmvIndexSearcher>> s =
           GbKmvIndexSearcher::Create(dataset, options);
       if (!s.ok()) return s.status();
@@ -49,7 +51,8 @@ Result<std::unique_ptr<ContainmentSearcher>> BuildSearcher(
     }
     case SearchMethod::kKmv: {
       Result<std::unique_ptr<KmvSearcher>> s =
-          KmvSearcher::Create(dataset, config.space_ratio, config.seed);
+          KmvSearcher::Create(dataset, config.space_ratio, config.seed,
+                              config.num_threads);
       if (!s.ok()) return s.status();
       return std::unique_ptr<ContainmentSearcher>(std::move(s.value()));
     }
@@ -58,6 +61,7 @@ Result<std::unique_ptr<ContainmentSearcher>> BuildSearcher(
       options.num_hashes = config.lshe_num_hashes;
       options.num_partitions = config.lshe_num_partitions;
       options.seed = config.seed;
+      options.num_threads = config.num_threads;
       Result<std::unique_ptr<LshEnsembleSearcher>> s =
           LshEnsembleSearcher::Create(dataset, options);
       if (!s.ok()) return s.status();
@@ -67,6 +71,7 @@ Result<std::unique_ptr<ContainmentSearcher>> BuildSearcher(
       AsymmetricMinHashOptions options;
       options.num_hashes = config.lshe_num_hashes;
       options.seed = config.seed;
+      options.num_threads = config.num_threads;
       Result<std::unique_ptr<AsymmetricMinHashSearcher>> s =
           AsymmetricMinHashSearcher::Create(dataset, options);
       if (!s.ok()) return s.status();
@@ -75,9 +80,12 @@ Result<std::unique_ptr<ContainmentSearcher>> BuildSearcher(
     case SearchMethod::kPPJoin:
       return std::unique_ptr<ContainmentSearcher>(
           std::make_unique<PPJoinSearcher>(dataset));
-    case SearchMethod::kFreqSet:
+    case SearchMethod::kFreqSet: {
+      const std::unique_ptr<ThreadPool> pool =
+          MakeBuildPool(config.num_threads, dataset.size());
       return std::unique_ptr<ContainmentSearcher>(
-          std::make_unique<FreqSetSearcher>(dataset));
+          std::make_unique<FreqSetSearcher>(dataset, pool.get()));
+    }
     case SearchMethod::kBruteForce:
       return std::unique_ptr<ContainmentSearcher>(
           std::make_unique<BruteForceSearcher>(dataset));

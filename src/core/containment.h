@@ -48,6 +48,9 @@ struct SearcherConfig {
   size_t lshe_num_hashes = 256;
   size_t lshe_num_partitions = 32;
   uint64_t seed = kDefaultSketchSeed;
+  // Build parallelism (sharded builds merge in shard order, so the index is
+  // byte-identical for any value). 0 = DefaultThreads(), 1 = serial.
+  size_t num_threads = 0;
 };
 
 // Builds the configured searcher. The dataset must outlive the searcher.

@@ -57,7 +57,8 @@ ExperimentResult RunExperiment(const Dataset& dataset,
   const std::vector<RecordId> queries =
       SampleQueries(dataset, options.num_queries, options.query_seed);
   const std::vector<std::vector<RecordId>> truth =
-      ComputeGroundTruth(dataset, queries, options.threshold);
+      ComputeGroundTruth(dataset, queries, options.threshold,
+                         config.num_threads);
   return RunExperimentWithTruth(dataset, config, options.threshold, queries,
                                 truth);
 }

@@ -1,6 +1,9 @@
 #include "eval/ground_truth.h"
 
+#include <memory>
+
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "index/freqset.h"
 
 namespace gbkmv {
@@ -19,14 +22,20 @@ std::vector<RecordId> SampleQueries(const Dataset& dataset, size_t num_queries,
 
 std::vector<std::vector<RecordId>> ComputeGroundTruth(
     const Dataset& dataset, const std::vector<RecordId>& queries,
-    double threshold) {
-  const FreqSetSearcher oracle(dataset);  // exact ScanCount
-  std::vector<std::vector<RecordId>> truth;
-  truth.reserve(queries.size());
-  for (RecordId q : queries) {
-    truth.push_back(oracle.Search(dataset.record(q), threshold));
+    double threshold, size_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreads();
+  std::unique_ptr<FreqSetSearcher> oracle;  // exact ScanCount
+  {
+    // Scoped so the build pool's workers are gone before BatchQuery spawns
+    // its own — at most num_threads live threads at any point.
+    const std::unique_ptr<ThreadPool> pool =
+        MakeBuildPool(num_threads, dataset.size());
+    oracle = std::make_unique<FreqSetSearcher>(dataset, pool.get());
   }
-  return truth;
+  std::vector<Record> query_records;
+  query_records.reserve(queries.size());
+  for (RecordId q : queries) query_records.push_back(dataset.record(q));
+  return oracle->BatchQuery(query_records, threshold, num_threads);
 }
 
 }  // namespace gbkmv

@@ -18,10 +18,12 @@ std::vector<RecordId> SampleQueries(const Dataset& dataset, size_t num_queries,
                                     uint64_t seed);
 
 // Exact result sets: truth[i] = ids of records X with C(Q_i, X) >= threshold
-// where Q_i = dataset.record(queries[i]).
+// where Q_i = dataset.record(queries[i]). Oracle build and query batch both
+// run on num_threads (0 = DefaultThreads(), 1 = serial); the result is
+// identical for any thread count.
 std::vector<std::vector<RecordId>> ComputeGroundTruth(
     const Dataset& dataset, const std::vector<RecordId>& queries,
-    double threshold);
+    double threshold, size_t num_threads = 0);
 
 }  // namespace gbkmv
 

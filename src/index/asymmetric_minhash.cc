@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
+
+#include "common/thread_pool.h"
+#include "sketch/parallel_build.h"
 
 namespace gbkmv {
 
@@ -32,25 +36,33 @@ AsymmetricMinHashSearcher::Create(const Dataset& dataset,
     s->padded_size_ = std::max(s->padded_size_, r.size());
   }
 
-  std::vector<MinHashSignature> signatures;
-  std::vector<RecordId> ids;
-  signatures.reserve(dataset.size());
-  Record padded;
-  for (size_t i = 0; i < dataset.size(); ++i) {
-    padded = dataset.record(i);
-    const ElementId base = DummyBase(dataset.universe_size(),
-                                     static_cast<RecordId>(i),
-                                     s->padded_size_);
-    for (size_t pad = padded.size(); pad < s->padded_size_; ++pad) {
-      padded.push_back(base + static_cast<ElementId>(pad));
-    }
-    signatures.push_back(MinHashSignature::Build(padded, s->family_));
-    ids.push_back(static_cast<RecordId>(i));
-  }
+  const std::unique_ptr<ThreadPool> pool =
+      MakeBuildPool(options.num_threads, dataset.size());
+  const std::vector<MinHashSignature> signatures =
+      ParallelMapIndex<MinHashSignature>(pool.get(), dataset.size(),
+                                         [&](size_t i) {
+        Record padded = dataset.record(i);
+        const ElementId base = DummyBase(dataset.universe_size(),
+                                         static_cast<RecordId>(i),
+                                         s->padded_size_);
+        for (size_t pad = padded.size(); pad < s->padded_size_; ++pad) {
+          padded.push_back(base + static_cast<ElementId>(pad));
+        }
+        return MinHashSignature::Build(padded, s->family_);
+      });
+  std::vector<RecordId> ids(dataset.size());
+  std::iota(ids.begin(), ids.end(), 0);
   s->index_ = std::make_unique<MinHashLshIndex>(
       signatures, ids, options.num_hashes,
       DefaultRowChoices(options.num_hashes));
   return s;
+}
+
+std::vector<std::vector<RecordId>> AsymmetricMinHashSearcher::BatchQuery(
+    std::span<const Record> queries, double threshold,
+    size_t num_threads) const {
+  // Search keeps no scratch, so concurrent callers are safe.
+  return ParallelBatchQuery(*this, queries, threshold, num_threads);
 }
 
 std::vector<RecordId> AsymmetricMinHashSearcher::Search(

@@ -30,6 +30,9 @@ namespace gbkmv {
 struct AsymmetricMinHashOptions {
   size_t num_hashes = 256;
   uint64_t seed = 0x5eedca5e;
+  // Signature-build parallelism (byte-identical output for any value).
+  // 0 = DefaultThreads(), 1 = serial.
+  size_t num_threads = 0;
 };
 
 class AsymmetricMinHashSearcher : public ContainmentSearcher {
@@ -39,6 +42,9 @@ class AsymmetricMinHashSearcher : public ContainmentSearcher {
 
   std::vector<RecordId> Search(const Record& query,
                                double threshold) const override;
+  std::vector<std::vector<RecordId>> BatchQuery(
+      std::span<const Record> queries, double threshold,
+      size_t num_threads) const override;
   std::string name() const override { return "A-MH"; }
   uint64_t SpaceUnits() const override;
 

@@ -23,6 +23,13 @@ std::vector<RecordId> BruteForceSearcher::Search(const Record& query,
   return out;
 }
 
+std::vector<std::vector<RecordId>> BruteForceSearcher::BatchQuery(
+    std::span<const Record> queries, double threshold,
+    size_t num_threads) const {
+  // Search keeps no scratch, so concurrent callers are safe.
+  return ParallelBatchQuery(*this, queries, threshold, num_threads);
+}
+
 uint64_t BruteForceSearcher::SpaceUnits() const {
   return dataset_.total_elements();  // The "index" is the raw data.
 }

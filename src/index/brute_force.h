@@ -17,6 +17,9 @@ class BruteForceSearcher : public ContainmentSearcher {
 
   std::vector<RecordId> Search(const Record& query,
                                double threshold) const override;
+  std::vector<std::vector<RecordId>> BatchQuery(
+      std::span<const Record> queries, double threshold,
+      size_t num_threads) const override;
   std::string name() const override { return "BruteForce"; }
   uint64_t SpaceUnits() const override;
   bool exact() const override { return true; }

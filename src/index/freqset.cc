@@ -3,13 +3,21 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/thread_pool.h"
+
 namespace gbkmv {
 
-FreqSetSearcher::FreqSetSearcher(const Dataset& dataset)
-    : dataset_(dataset), index_(dataset) {}
+FreqSetSearcher::FreqSetSearcher(const Dataset& dataset, ThreadPool* pool)
+    : dataset_(dataset), index_(dataset, pool), counter_(dataset.size(), 0) {}
 
 std::vector<RecordId> FreqSetSearcher::Search(const Record& query,
                                               double threshold) const {
+  return SearchWithCounter(query, threshold, counter_);
+}
+
+std::vector<RecordId> FreqSetSearcher::SearchWithCounter(
+    const Record& query, double threshold,
+    std::vector<uint32_t>& counter) const {
   std::vector<RecordId> out;
   if (query.empty()) return out;
   const size_t theta = static_cast<size_t>(std::ceil(
@@ -20,7 +28,18 @@ std::vector<RecordId> FreqSetSearcher::Search(const Record& query,
     return out;
   }
   if (theta > query.size()) return out;
-  return index_.ScanCount(query, theta);
+  return index_.ScanCount(query, theta, counter);
+}
+
+std::vector<std::vector<RecordId>> FreqSetSearcher::BatchQuery(
+    std::span<const Record> queries, double threshold,
+    size_t num_threads) const {
+  return ParallelBatchQueryWithScratch(
+      queries, num_threads,
+      [this] { return std::vector<uint32_t>(dataset_.size(), 0); },
+      [this, threshold](const Record& q, std::vector<uint32_t>& counter) {
+        return SearchWithCounter(q, threshold, counter);
+      });
 }
 
 }  // namespace gbkmv

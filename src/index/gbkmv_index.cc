@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include "common/hash.h"
+#include "common/thread_pool.h"
+#include "sketch/parallel_build.h"
 
 namespace gbkmv {
 
@@ -57,25 +59,50 @@ Result<std::unique_ptr<GbKmvIndexSearcher>> GbKmvIndexSearcher::Create(
   if (!sketcher.ok()) return sketcher.status();
   s->sketcher_ = std::make_unique<GbKmvSketcher>(std::move(sketcher.value()));
 
-  s->sketches_.reserve(dataset.size());
+  const std::unique_ptr<ThreadPool> pool =
+      MakeBuildPool(options.num_threads, dataset.size());
+  s->sketches_ = BuildSketchesParallel(dataset, *s->sketcher_, pool.get());
   s->record_sizes_.reserve(dataset.size());
   for (size_t i = 0; i < dataset.size(); ++i) {
-    GbKmvSketch sketch = s->sketcher_->Sketch(dataset.record(i));
-    s->space_units_ += sketch.SpaceUnits(buffer_bits);
-    s->sketches_.push_back(std::move(sketch));
+    s->space_units_ += s->sketches_[i].SpaceUnits(buffer_bits);
     s->record_sizes_.push_back(
         static_cast<uint32_t>(dataset.record(i).size()));
   }
-  s->BuildQueryStructures();
+  s->BuildQueryStructures(pool.get());
   return s;
 }
 
-void GbKmvIndexSearcher::BuildQueryStructures() {
+void GbKmvIndexSearcher::BuildQueryStructures(ThreadPool* pool) {
   const size_t m = sketches_.size();
   hash_postings_.clear();
-  for (size_t i = 0; i < m; ++i) {
-    for (uint64_t h : sketches_[i].gkmv.values()) {
-      hash_postings_[h].push_back(static_cast<RecordId>(i));
+  if (pool == nullptr || pool->num_threads() == 1 || m <= 1) {
+    for (size_t i = 0; i < m; ++i) {
+      for (uint64_t h : sketches_[i].gkmv.values()) {
+        hash_postings_[h].push_back(static_cast<RecordId>(i));
+      }
+    }
+  } else {
+    // Sharded build: each chunk owns a contiguous ascending record-id range,
+    // so appending shard maps in chunk order reproduces the sequential
+    // ascending posting lists exactly, whatever the thread count.
+    const size_t grain = (m + pool->num_threads() - 1) / pool->num_threads();
+    const size_t num_chunks = (m + grain - 1) / grain;
+    std::vector<std::unordered_map<uint64_t, std::vector<RecordId>>> shards(
+        num_chunks);
+    pool->ParallelFor(0, m, grain,
+                      [&](size_t begin, size_t end, size_t chunk) {
+                        auto& shard = shards[chunk];
+                        for (size_t i = begin; i < end; ++i) {
+                          for (uint64_t h : sketches_[i].gkmv.values()) {
+                            shard[h].push_back(static_cast<RecordId>(i));
+                          }
+                        }
+                      });
+    for (auto& shard : shards) {
+      for (auto& [h, ids] : shard) {
+        std::vector<RecordId>& dst = hash_postings_[h];
+        dst.insert(dst.end(), ids.begin(), ids.end());
+      }
     }
   }
   by_size_.resize(m);
@@ -93,6 +120,23 @@ void GbKmvIndexSearcher::BuildQueryStructures() {
 
 std::vector<RecordId> GbKmvIndexSearcher::Search(const Record& query,
                                                  double threshold) const {
+  return SearchWithScratch(query, threshold, scan_counter_);
+}
+
+std::vector<std::vector<RecordId>> GbKmvIndexSearcher::BatchQuery(
+    std::span<const Record> queries, double threshold,
+    size_t num_threads) const {
+  return ParallelBatchQueryWithScratch(
+      queries, num_threads,
+      [this] { return std::vector<uint32_t>(sketches_.size(), 0); },
+      [this, threshold](const Record& q, std::vector<uint32_t>& counter) {
+        return SearchWithScratch(q, threshold, counter);
+      });
+}
+
+std::vector<RecordId> GbKmvIndexSearcher::SearchWithScratch(
+    const Record& query, double threshold,
+    std::vector<uint32_t>& scan_counter) const {
   std::vector<RecordId> out;
   if (query.empty()) return out;
   const size_t q = query.size();
@@ -112,8 +156,8 @@ std::vector<RecordId> GbKmvIndexSearcher::Search(const Record& query,
     const auto it = hash_postings_.find(h);
     if (it == hash_postings_.end()) continue;
     for (RecordId id : it->second) {
-      if (scan_counter_[id] == 0) touched.push_back(id);
-      ++scan_counter_[id];
+      if (scan_counter[id] == 0) touched.push_back(id);
+      ++scan_counter[id];
     }
   }
 
@@ -137,8 +181,8 @@ std::vector<RecordId> GbKmvIndexSearcher::Search(const Record& query,
 
   // Records with sketch-hash overlap.
   for (RecordId id : touched) {
-    const size_t k_intersect = scan_counter_[id];
-    scan_counter_[id] = 0;
+    const size_t k_intersect = scan_counter[id];
+    scan_counter[id] = 0;
     if (record_sizes_[id] < min_size) continue;
     if (score(id, k_intersect) >= theta - 1e-9) out.push_back(id);
   }
@@ -183,7 +227,8 @@ double GbKmvIndexSearcher::EstimateContainment(const Record& query,
 
 Result<std::unique_ptr<KmvSearcher>> KmvSearcher::Create(const Dataset& dataset,
                                                          double space_ratio,
-                                                         uint64_t seed) {
+                                                         uint64_t seed,
+                                                         size_t num_threads) {
   if (dataset.empty()) {
     return Status::InvalidArgument("dataset is empty");
   }
@@ -195,15 +240,22 @@ Result<std::unique_ptr<KmvSearcher>> KmvSearcher::Create(const Dataset& dataset,
       space_ratio * static_cast<double>(dataset.total_elements()));
   s->k_ = std::max<size_t>(1, budget / dataset.size());  // Theorem 1: ⌊b/m⌋
   s->seed_ = seed;
-  s->sketches_.reserve(dataset.size());
+  const std::unique_ptr<ThreadPool> pool =
+      MakeBuildPool(num_threads, dataset.size());
+  s->sketches_ = BuildKmvSketchesParallel(dataset, s->k_, seed, pool.get());
   s->record_sizes_.reserve(dataset.size());
   for (size_t i = 0; i < dataset.size(); ++i) {
-    KmvSketch sketch = KmvSketch::Build(dataset.record(i), s->k_, seed);
-    s->space_units_ += sketch.SpaceUnits();
-    s->sketches_.push_back(std::move(sketch));
+    s->space_units_ += s->sketches_[i].SpaceUnits();
     s->record_sizes_.push_back(static_cast<uint32_t>(dataset.record(i).size()));
   }
   return s;
+}
+
+std::vector<std::vector<RecordId>> KmvSearcher::BatchQuery(
+    std::span<const Record> queries, double threshold,
+    size_t num_threads) const {
+  // Search keeps no scratch, so concurrent callers are safe.
+  return ParallelBatchQuery(*this, queries, threshold, num_threads);
 }
 
 std::vector<RecordId> KmvSearcher::Search(const Record& query,

@@ -33,6 +33,8 @@
 
 namespace gbkmv {
 
+class ThreadPool;
+
 namespace io {
 class SnapshotReader;
 }  // namespace io
@@ -50,6 +52,11 @@ struct GbKmvIndexOptions {
 
   CostModelOptions cost_model;
   uint64_t seed = kDefaultSketchSeed;
+
+  // Build parallelism: sketches and the hash-posting index are built in
+  // per-shard pieces merged in shard order, so the result is byte-identical
+  // to a sequential build for any value. 0 = DefaultThreads(), 1 = serial.
+  size_t num_threads = 0;
 };
 
 class GbKmvIndexSearcher : public ContainmentSearcher {
@@ -60,6 +67,9 @@ class GbKmvIndexSearcher : public ContainmentSearcher {
 
   std::vector<RecordId> Search(const Record& query,
                                double threshold) const override;
+  std::vector<std::vector<RecordId>> BatchQuery(
+      std::span<const Record> queries, double threshold,
+      size_t num_threads) const override;
   std::string name() const override {
     return chosen_buffer_bits_ > 0 ? "GB-KMV" : "G-KMV";
   }
@@ -90,8 +100,17 @@ class GbKmvIndexSearcher : public ContainmentSearcher {
   GbKmvIndexSearcher(const Dataset& dataset) : dataset_(dataset) {}
 
   // Builds the derived query structures (size order, hash postings, scratch)
-  // from sketches_ + record_sizes_; shared by Create and LoadFrom.
-  void BuildQueryStructures();
+  // from sketches_ + record_sizes_; shared by Create and LoadFrom. A non-null
+  // pool shards the hash-posting build (merge in shard order keeps every
+  // posting list identical to the sequential build).
+  void BuildQueryStructures(ThreadPool* pool = nullptr);
+
+  // Search body with caller-provided ScanCount scratch (zeroed, size >=
+  // dataset size, returned zeroed); lets BatchQuery run chunks concurrently
+  // with one scratch buffer per chunk.
+  std::vector<RecordId> SearchWithScratch(
+      const Record& query, double threshold,
+      std::vector<uint32_t>& scan_counter) const;
 
   const Dataset& dataset_;
   std::unique_ptr<GbKmvSketcher> sketcher_;
@@ -114,12 +133,17 @@ class GbKmvIndexSearcher : public ContainmentSearcher {
 // records.
 class KmvSearcher : public ContainmentSearcher {
  public:
+  // num_threads: sketch-build parallelism (0 = DefaultThreads(), 1 = serial;
+  // byte-identical output either way).
   static Result<std::unique_ptr<KmvSearcher>> Create(
       const Dataset& dataset, double space_ratio,
-      uint64_t seed = kDefaultSketchSeed);
+      uint64_t seed = kDefaultSketchSeed, size_t num_threads = 0);
 
   std::vector<RecordId> Search(const Record& query,
                                double threshold) const override;
+  std::vector<std::vector<RecordId>> BatchQuery(
+      std::span<const Record> queries, double threshold,
+      size_t num_threads) const override;
   std::string name() const override { return "KMV"; }
   uint64_t SpaceUnits() const override { return space_units_; }
 

@@ -1,18 +1,76 @@
 #include "index/inverted_index.h"
 
+#include <algorithm>
+
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace gbkmv {
 
-InvertedIndex::InvertedIndex(const Dataset& dataset) {
-  postings_.resize(dataset.universe_size());
-  for (size_t i = 0; i < dataset.size(); ++i) {
-    for (ElementId e : dataset.record(i)) {
-      postings_[e].push_back(static_cast<RecordId>(i));
-    }
-  }
+InvertedIndex::InvertedIndex(const Dataset& dataset, ThreadPool* pool) {
+  const size_t m = dataset.size();
+  const size_t universe = dataset.universe_size();
+  postings_.resize(universe);
   total_postings_ = dataset.total_elements();
-  counter_.assign(dataset.size(), 0);
+  counter_.assign(m, 0);
+
+  // Two-pass sharded build. Each shard covers a contiguous ascending
+  // record-id range; shard-ordered scatter offsets reproduce the serial
+  // ascending posting lists exactly for any thread count. The per-shard
+  // count matrix costs num_chunks * universe transient words, so fall back
+  // to the serial build when the universe dwarfs the data (the matrix —
+  // not the postings — would dominate time and memory).
+  const size_t num_chunks =
+      pool == nullptr ? 1 : std::min(pool->num_threads(), std::max<size_t>(m, 1));
+  if (num_chunks <= 1 ||
+      num_chunks * universe > 8 * std::max<uint64_t>(1, total_postings_)) {
+    for (size_t i = 0; i < m; ++i) {
+      for (ElementId e : dataset.record(i)) {
+        postings_[e].push_back(static_cast<RecordId>(i));
+      }
+    }
+    return;
+  }
+  const size_t grain = (m + num_chunks - 1) / num_chunks;
+
+  // Pass 1: per-shard occurrence counts per element.
+  std::vector<std::vector<uint32_t>> shard_counts(
+      num_chunks, std::vector<uint32_t>(universe, 0));
+  pool->ParallelFor(0, m, grain,
+                    [&](size_t begin, size_t end, size_t chunk) {
+                      std::vector<uint32_t>& counts = shard_counts[chunk];
+                      for (size_t i = begin; i < end; ++i) {
+                        for (ElementId e : dataset.record(i)) ++counts[e];
+                      }
+                    });
+
+  // Exclusive prefix over shards per element: shard_counts[c][e] becomes the
+  // write offset of shard c into postings_[e]; the final sum sizes the list.
+  pool->ParallelFor(
+      0, universe, std::max<size_t>(1, universe / (8 * pool->num_threads())),
+      [&](size_t begin, size_t end, size_t /*chunk*/) {
+        for (size_t e = begin; e < end; ++e) {
+          uint32_t total = 0;
+          for (size_t c = 0; c < num_chunks; ++c) {
+            const uint32_t count = shard_counts[c][e];
+            shard_counts[c][e] = total;
+            total += count;
+          }
+          postings_[e].resize(total);
+        }
+      });
+
+  // Pass 2: scatter each shard's ids into its reserved slices.
+  pool->ParallelFor(0, m, grain,
+                    [&](size_t begin, size_t end, size_t chunk) {
+                      std::vector<uint32_t>& offsets = shard_counts[chunk];
+                      for (size_t i = begin; i < end; ++i) {
+                        for (ElementId e : dataset.record(i)) {
+                          postings_[e][offsets[e]++] =
+                              static_cast<RecordId>(i);
+                        }
+                      }
+                    });
 }
 
 const std::vector<RecordId>& InvertedIndex::Postings(ElementId element) const {
@@ -23,18 +81,24 @@ const std::vector<RecordId>& InvertedIndex::Postings(ElementId element) const {
 
 std::vector<RecordId> InvertedIndex::ScanCount(const Record& query,
                                                size_t min_overlap) const {
+  return ScanCount(query, min_overlap, counter_);
+}
+
+std::vector<RecordId> InvertedIndex::ScanCount(
+    const Record& query, size_t min_overlap,
+    std::vector<uint32_t>& counter) const {
   GBKMV_CHECK(min_overlap >= 1);
   std::vector<RecordId> touched;
   for (ElementId e : query) {
     for (RecordId id : Postings(e)) {
-      if (counter_[id] == 0) touched.push_back(id);
-      ++counter_[id];
+      if (counter[id] == 0) touched.push_back(id);
+      ++counter[id];
     }
   }
   std::vector<RecordId> out;
   for (RecordId id : touched) {
-    if (counter_[id] >= min_overlap) out.push_back(id);
-    counter_[id] = 0;  // Reset for the next call.
+    if (counter[id] >= min_overlap) out.push_back(id);
+    counter[id] = 0;  // Reset for the next call.
   }
   return out;
 }

@@ -13,10 +13,14 @@
 
 namespace gbkmv {
 
+class ThreadPool;
+
 class InvertedIndex {
  public:
-  // Builds postings for every element of every record in `dataset`.
-  explicit InvertedIndex(const Dataset& dataset);
+  // Builds postings for every element of every record in `dataset`. A
+  // non-null pool shards the build (per-shard count + scatter, merged in
+  // shard order) producing postings byte-identical to the serial build.
+  explicit InvertedIndex(const Dataset& dataset, ThreadPool* pool = nullptr);
 
   // Posting list (ascending record ids) of `element`; empty for unseen ids.
   const std::vector<RecordId>& Postings(ElementId element) const;
@@ -29,6 +33,11 @@ class InvertedIndex {
   // occurrences across the query's posting lists. `min_overlap` must be >= 1.
   std::vector<RecordId> ScanCount(const Record& query,
                                   size_t min_overlap) const;
+
+  // Same with caller-provided scratch (all-zero, size >= dataset size; left
+  // zeroed on return), so concurrent callers can hold one counter each.
+  std::vector<RecordId> ScanCount(const Record& query, size_t min_overlap,
+                                  std::vector<uint32_t>& counter) const;
 
  private:
   std::vector<std::vector<RecordId>> postings_;

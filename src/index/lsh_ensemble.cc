@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/thread_pool.h"
+#include "sketch/parallel_build.h"
+
 namespace gbkmv {
 
 LshEnsembleSearcher::LshEnsembleSearcher(const Dataset& dataset,
@@ -25,12 +28,12 @@ Result<std::unique_ptr<LshEnsembleSearcher>> LshEnsembleSearcher::Create(
   std::unique_ptr<LshEnsembleSearcher> searcher(
       new LshEnsembleSearcher(dataset, options));
 
+  const std::unique_ptr<ThreadPool> pool =
+      MakeBuildPool(options.num_threads, dataset.size());
+
   // One signature per record, shared by all partitions.
-  searcher->signatures_.reserve(dataset.size());
-  for (size_t i = 0; i < dataset.size(); ++i) {
-    searcher->signatures_.push_back(
-        MinHashSignature::Build(dataset.record(i), searcher->family_));
-  }
+  searcher->signatures_ =
+      BuildSketchesParallel(dataset, searcher->family_, pool.get());
 
   // Equal-depth partitioning by record size (the optimal partition of [44]).
   std::vector<RecordId> order(dataset.size());
@@ -43,11 +46,18 @@ Result<std::unique_ptr<LshEnsembleSearcher>> LshEnsembleSearcher::Create(
 
   const size_t num_parts = std::min(options.num_partitions, dataset.size());
   const std::vector<size_t> rows = DefaultRowChoices(options.num_hashes);
+  // Sharded build: partitions are laid out serially, then each banding index
+  // (the expensive part) is built independently in its own slot.
+  std::vector<std::pair<size_t, size_t>> ranges;
   for (size_t p = 0; p < num_parts; ++p) {
     const size_t begin = p * dataset.size() / num_parts;
     const size_t end = (p + 1) * dataset.size() / num_parts;
-    if (begin >= end) continue;
-    Partition part;
+    if (begin < end) ranges.emplace_back(begin, end);
+  }
+  searcher->partitions_.resize(ranges.size());
+  const auto build_partition = [&](size_t p) {
+    const auto [begin, end] = ranges[p];
+    Partition& part = searcher->partitions_[p];
     std::vector<MinHashSignature> sigs;
     sigs.reserve(end - begin);
     part.ids.reserve(end - begin);
@@ -59,9 +69,25 @@ Result<std::unique_ptr<LshEnsembleSearcher>> LshEnsembleSearcher::Create(
     }
     part.index = std::make_unique<MinHashLshIndex>(sigs, part.ids,
                                                    options.num_hashes, rows);
-    searcher->partitions_.push_back(std::move(part));
+  };
+  if (pool == nullptr) {
+    for (size_t p = 0; p < ranges.size(); ++p) build_partition(p);
+  } else {
+    pool->ParallelFor(0, ranges.size(), 1,
+                      [&](size_t begin, size_t end, size_t /*chunk*/) {
+                        for (size_t p = begin; p < end; ++p) {
+                          build_partition(p);
+                        }
+                      });
   }
   return searcher;
+}
+
+std::vector<std::vector<RecordId>> LshEnsembleSearcher::BatchQuery(
+    std::span<const Record> queries, double threshold,
+    size_t num_threads) const {
+  // Search keeps no scratch, so concurrent callers are safe.
+  return ParallelBatchQuery(*this, queries, threshold, num_threads);
 }
 
 std::vector<RecordId> LshEnsembleSearcher::Search(const Record& query,

@@ -38,6 +38,11 @@ struct LshEnsembleOptions {
   size_t num_hashes = 256;      // paper default
   size_t num_partitions = 32;   // paper default
   uint64_t seed = 0x15483a9bULL;
+
+  // Build parallelism: signatures are built per-record and the per-partition
+  // banding indexes per-partition, so output is byte-identical to a serial
+  // build for any value. 0 = DefaultThreads(), 1 = serial.
+  size_t num_threads = 0;
 };
 
 class LshEnsembleSearcher : public ContainmentSearcher {
@@ -48,6 +53,9 @@ class LshEnsembleSearcher : public ContainmentSearcher {
 
   std::vector<RecordId> Search(const Record& query,
                                double threshold) const override;
+  std::vector<std::vector<RecordId>> BatchQuery(
+      std::span<const Record> queries, double threshold,
+      size_t num_threads) const override;
   std::string name() const override { return "LSH-E"; }
   uint64_t SpaceUnits() const override;
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/thread_pool.h"
+
 namespace gbkmv {
 
 PPJoinSearcher::PPJoinSearcher(const Dataset& dataset) : dataset_(dataset) {
@@ -36,6 +38,23 @@ PPJoinSearcher::PPJoinSearcher(const Dataset& dataset) : dataset_(dataset) {
 
 std::vector<RecordId> PPJoinSearcher::Search(const Record& query,
                                              double threshold) const {
+  return SearchWithFlags(query, threshold, candidate_flag_);
+}
+
+std::vector<std::vector<RecordId>> PPJoinSearcher::BatchQuery(
+    std::span<const Record> queries, double threshold,
+    size_t num_threads) const {
+  return ParallelBatchQueryWithScratch(
+      queries, num_threads,
+      [this] { return std::vector<uint8_t>(dataset_.size(), 0); },
+      [this, threshold](const Record& q, std::vector<uint8_t>& flags) {
+        return SearchWithFlags(q, threshold, flags);
+      });
+}
+
+std::vector<RecordId> PPJoinSearcher::SearchWithFlags(
+    const Record& query, double threshold,
+    std::vector<uint8_t>& candidate_flag) const {
   std::vector<RecordId> out;
   if (query.empty()) return out;
   const size_t q = query.size();
@@ -69,7 +88,7 @@ std::vector<RecordId> PPJoinSearcher::Search(const Record& query,
     const ElementId w = qtokens[i];
     if (w >= postings_.size()) continue;
     for (const Posting& p : postings_[w]) {
-      if (candidate_flag_[p.id]) continue;
+      if (candidate_flag[p.id]) continue;
       const size_t x = dataset_.record(p.id).size();
       if (x < theta) continue;                       // size filter
       if (p.position + theta > x) continue;          // record prefix filter
@@ -77,13 +96,13 @@ std::vector<RecordId> PPJoinSearcher::Search(const Record& query,
       const size_t bound =
           1 + std::min(q - i - 1, x - p.position - 1);
       if (bound < theta) continue;
-      candidate_flag_[p.id] = 1;
+      candidate_flag[p.id] = 1;
       candidates.push_back(p.id);
     }
   }
 
   for (RecordId id : candidates) {
-    candidate_flag_[id] = 0;  // Reset scratch.
+    candidate_flag[id] = 0;  // Reset scratch.
     if (IntersectSize(query, dataset_.record(id)) >= theta) {
       out.push_back(id);
     }

@@ -29,11 +29,19 @@ class PPJoinSearcher : public ContainmentSearcher {
 
   std::vector<RecordId> Search(const Record& query,
                                double threshold) const override;
+  std::vector<std::vector<RecordId>> BatchQuery(
+      std::span<const Record> queries, double threshold,
+      size_t num_threads) const override;
   std::string name() const override { return "PPjoin*"; }
   uint64_t SpaceUnits() const override;
   bool exact() const override { return true; }
 
  private:
+  // Search body with caller-provided candidate-flag scratch (all-zero, size
+  // >= dataset size, returned zeroed); one per BatchQuery chunk.
+  std::vector<RecordId> SearchWithFlags(
+      const Record& query, double threshold,
+      std::vector<uint8_t>& candidate_flag) const;
   struct Posting {
     RecordId id;
     uint32_t position;  // token position in the frequency-ordered record

@@ -1,0 +1,43 @@
+#include "index/searcher.h"
+
+#include <algorithm>
+
+namespace gbkmv {
+
+std::vector<std::vector<RecordId>> ContainmentSearcher::BatchQuery(
+    std::span<const Record> queries, double threshold,
+    size_t num_threads) const {
+  (void)num_threads;  // The reference implementation is sequential.
+  std::vector<std::vector<RecordId>> results;
+  results.reserve(queries.size());
+  for (const Record& q : queries) results.push_back(Search(q, threshold));
+  return results;
+}
+
+std::vector<std::vector<RecordId>> ParallelBatchQuery(
+    const ContainmentSearcher& searcher, std::span<const Record> queries,
+    double threshold, size_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreads();
+  std::vector<std::vector<RecordId>> results(queries.size());
+  if (queries.empty()) return results;
+  if (num_threads == 1) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      results[i] = searcher.Search(queries[i], threshold);
+    }
+    return results;
+  }
+  ThreadPool pool(num_threads);
+  // No per-chunk scratch, so a fine grain (several chunks per worker) is
+  // free and keeps skewed query costs balanced.
+  const size_t grain =
+      std::max<size_t>(1, queries.size() / (8 * pool.num_threads()));
+  pool.ParallelFor(0, queries.size(), grain,
+                   [&](size_t begin, size_t end, size_t /*chunk*/) {
+                     for (size_t i = begin; i < end; ++i) {
+                       results[i] = searcher.Search(queries[i], threshold);
+                     }
+                   });
+  return results;
+}
+
+}  // namespace gbkmv

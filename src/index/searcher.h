@@ -7,10 +7,12 @@
 #define GBKMV_INDEX_SEARCHER_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "data/record.h"
 
 namespace gbkmv {
@@ -25,6 +27,17 @@ class ContainmentSearcher {
   // be) >= `threshold`. Order is unspecified; no duplicates.
   virtual std::vector<RecordId> Search(const Record& query,
                                        double threshold) const = 0;
+
+  // Batch engine: results[i] is exactly what Search(queries[i], threshold)
+  // returns, for any thread count (results are computed in per-thread
+  // buffers and merged in input order). num_threads == 0 means
+  // DefaultThreads(). The base implementation is sequential — it is what
+  // every override must stay byte-identical to; subclasses whose Search is
+  // safe for concurrent callers parallelise via ParallelBatchQuery, and
+  // scratch-carrying searchers override with per-worker scratch.
+  virtual std::vector<std::vector<RecordId>> BatchQuery(
+      std::span<const Record> queries, double threshold,
+      size_t num_threads) const;
 
   // Human-readable method name ("GB-KMV", "LSH-E", ...).
   virtual std::string name() const = 0;
@@ -45,6 +58,44 @@ class ContainmentSearcher {
                                       " does not support snapshots");
   }
 };
+
+// Shared parallel BatchQuery implementation for searchers whose Search is
+// safe for concurrent callers (no mutable scratch): chunks `queries` across
+// the workers and merges the per-chunk buffers in input order.
+std::vector<std::vector<RecordId>> ParallelBatchQuery(
+    const ContainmentSearcher& searcher, std::span<const Record> queries,
+    double threshold, size_t num_threads);
+
+// Variant for searchers whose search body needs per-query scratch:
+// make_scratch() runs once per chunk and search(query, scratch) per query,
+// so chunks execute concurrently with isolated scratch. One chunk per
+// worker — scratch is O(dataset size) to allocate/zero, so finer grains
+// would pay more in scratch setup than they win in load balance.
+template <typename MakeScratch, typename SearchFn>
+std::vector<std::vector<RecordId>> ParallelBatchQueryWithScratch(
+    std::span<const Record> queries, size_t num_threads,
+    MakeScratch&& make_scratch, SearchFn&& search) {
+  if (num_threads == 0) num_threads = DefaultThreads();
+  std::vector<std::vector<RecordId>> results(queries.size());
+  if (num_threads == 1 || queries.size() <= 1) {
+    auto scratch = make_scratch();
+    for (size_t i = 0; i < queries.size(); ++i) {
+      results[i] = search(queries[i], scratch);
+    }
+    return results;
+  }
+  ThreadPool pool(num_threads);
+  const size_t grain =
+      (queries.size() + pool.num_threads() - 1) / pool.num_threads();
+  pool.ParallelFor(0, queries.size(), grain,
+                   [&](size_t begin, size_t end, size_t /*chunk*/) {
+                     auto scratch = make_scratch();
+                     for (size_t i = begin; i < end; ++i) {
+                       results[i] = search(queries[i], scratch);
+                     }
+                   });
+  return results;
+}
 
 }  // namespace gbkmv
 

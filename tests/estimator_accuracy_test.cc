@@ -1,0 +1,155 @@
+// Statistical regression tier: with fixed seeds the containment-estimate
+// error of every KMV-family estimator is a pure function of the code, so a
+// change that bends an estimator (hashing, threshold selection, buffer
+// allocation, the Eq. 25/27 math) fails ctest here instead of silently
+// bending the paper-figure curves.
+//
+// The bounds are recorded ceilings ~1.3-1.6x the measured mean absolute
+// error on this workload (printed by each test), not theoretical guarantees:
+// loose enough to survive benign refactors, tight enough that a broken
+// estimator (whose MAE typically jumps several-fold) trips them.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "index/searcher.h"  // RecordId
+#include "sketch/cost_model.h"
+#include "sketch/gbkmv.h"
+#include "sketch/gkmv.h"
+#include "sketch/kmv.h"
+
+namespace gbkmv {
+namespace {
+
+constexpr uint64_t kSeed = 0x5eedbeefULL;
+constexpr double kSpaceRatio = 0.10;
+
+const Dataset& PowerLawDataset() {
+  static const Dataset* dataset = [] {
+    SyntheticConfig c;
+    c.num_records = 400;
+    c.universe_size = 8000;
+    c.min_record_size = 10;
+    c.max_record_size = 400;
+    c.alpha_element_freq = 1.1;  // skewed element popularity (Table II range)
+    c.alpha_record_size = 2.0;
+    c.seed = 424242;
+    return new Dataset(std::move(GenerateSynthetic(c).value()));
+  }();
+  return *dataset;
+}
+
+// Fixed pair sample: 40 queries x 25 records, both drawn uniformly.
+std::vector<std::pair<RecordId, RecordId>> SamplePairs() {
+  const Dataset& ds = PowerLawDataset();
+  Rng rng(kSeed);
+  std::vector<std::pair<RecordId, RecordId>> pairs;
+  for (size_t q = 0; q < 40; ++q) {
+    const auto query = static_cast<RecordId>(rng.NextBounded(ds.size()));
+    for (size_t x = 0; x < 25; ++x) {
+      pairs.emplace_back(query,
+                         static_cast<RecordId>(rng.NextBounded(ds.size())));
+    }
+  }
+  return pairs;
+}
+
+double TrueContainment(RecordId q, RecordId x) {
+  const Dataset& ds = PowerLawDataset();
+  return ContainmentSimilarity(ds.record(q), ds.record(x));
+}
+
+template <typename EstimateFn>
+double MeanAbsoluteError(EstimateFn&& estimate) {
+  double sum = 0.0;
+  size_t count = 0;
+  for (const auto& [q, x] : SamplePairs()) {
+    sum += std::fabs(estimate(q, x) - TrueContainment(q, x));
+    ++count;
+  }
+  return sum / static_cast<double>(count);
+}
+
+TEST(EstimatorAccuracyTest, KmvContainmentMae) {
+  const Dataset& ds = PowerLawDataset();
+  const uint64_t budget =
+      static_cast<uint64_t>(kSpaceRatio * static_cast<double>(
+                                              ds.total_elements()));
+  const size_t k = std::max<uint64_t>(1, budget / ds.size());
+  std::vector<KmvSketch> sketches;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    sketches.push_back(KmvSketch::Build(ds.record(i), k, kDefaultSketchSeed));
+  }
+  const double mae = MeanAbsoluteError([&](RecordId q, RecordId x) {
+    return EstimateContainmentKmv(sketches[q], sketches[x],
+                                  ds.record(q).size());
+  });
+  std::printf("[estimator] KMV k=%zu MAE=%.5f\n", k, mae);
+  EXPECT_LT(mae, 0.32);  // measured 0.247 (k=3: tiny per-record sketches)
+}
+
+TEST(EstimatorAccuracyTest, GkmvContainmentMae) {
+  const Dataset& ds = PowerLawDataset();
+  const uint64_t budget =
+      static_cast<uint64_t>(kSpaceRatio * static_cast<double>(
+                                              ds.total_elements()));
+  const uint64_t tau = ComputeGlobalThreshold(ds, budget, kDefaultSketchSeed);
+  std::vector<GkmvSketch> sketches;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    sketches.push_back(
+        GkmvSketch::Build(ds.record(i), tau, kDefaultSketchSeed));
+  }
+  const double mae = MeanAbsoluteError([&](RecordId q, RecordId x) {
+    return EstimateContainmentGkmv(sketches[q], sketches[x],
+                                   ds.record(q).size());
+  });
+  std::printf("[estimator] G-KMV MAE=%.5f\n", mae);
+  EXPECT_LT(mae, 0.37);  // measured 0.287
+}
+
+TEST(EstimatorAccuracyTest, GbKmvContainmentMae) {
+  const Dataset& ds = PowerLawDataset();
+  GbKmvOptions options;
+  options.budget_units = static_cast<uint64_t>(
+      kSpaceRatio * static_cast<double>(ds.total_elements()));
+  options.buffer_bits =
+      ChooseBufferSize(ds, options.budget_units, CostModelOptions{});
+  options.seed = kDefaultSketchSeed;
+  Result<GbKmvSketcher> sketcher = GbKmvSketcher::Create(ds, options);
+  ASSERT_TRUE(sketcher.ok()) << sketcher.status().ToString();
+  std::vector<GbKmvSketch> sketches;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    sketches.push_back(sketcher->Sketch(ds.record(i)));
+  }
+  const double mae = MeanAbsoluteError([&](RecordId q, RecordId x) {
+    return GbKmvSketcher::EstimateContainment(sketches[q], sketches[x],
+                                              ds.record(q).size());
+  });
+  std::printf("[estimator] GB-KMV r=%zu MAE=%.5f\n", options.buffer_bits,
+              mae);
+  EXPECT_LT(mae, 0.025);  // measured 0.0159
+
+  // The paper's headline, as a directional regression: on the same budget
+  // the buffer cuts the error several-fold on skewed data (the
+  // high-frequency elements that dominate intersections are stored
+  // exactly). Measured separation is ~18x; 5x margin catches a broken or
+  // disabled buffer without being seed-fragile.
+  const uint64_t tau =
+      ComputeGlobalThreshold(ds, options.budget_units, kDefaultSketchSeed);
+  std::vector<GkmvSketch> gkmv;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    gkmv.push_back(GkmvSketch::Build(ds.record(i), tau, kDefaultSketchSeed));
+  }
+  const double gkmv_mae = MeanAbsoluteError([&](RecordId q, RecordId x) {
+    return EstimateContainmentGkmv(gkmv[q], gkmv[x], ds.record(q).size());
+  });
+  EXPECT_LT(5.0 * mae, gkmv_mae);
+}
+
+}  // namespace
+}  // namespace gbkmv

@@ -1,0 +1,155 @@
+// The parallel subsystem's key invariant, enforced here rather than by
+// convention: for every searcher, a sharded parallel build produces an index
+// whose behaviour (and, where snapshots exist, on-disk bytes) is identical
+// to the sequential build, and BatchQuery at any thread count returns
+// exactly the per-query Search results in input order.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/thread_pool.h"
+#include "core/containment.h"
+#include "data/synthetic.h"
+#include "eval/ground_truth.h"
+#include "index/inverted_index.h"
+
+namespace gbkmv {
+namespace {
+
+constexpr size_t kThreadCounts[] = {2, 8};
+
+const Dataset& TestDataset() {
+  static const Dataset* dataset = [] {
+    SyntheticConfig c;
+    c.num_records = 400;
+    c.universe_size = 3000;
+    c.min_record_size = 10;
+    c.max_record_size = 120;
+    c.alpha_element_freq = 1.1;
+    c.alpha_record_size = 2.0;
+    c.seed = 20260729;
+    return new Dataset(std::move(GenerateSynthetic(c).value()));
+  }();
+  return *dataset;
+}
+
+std::vector<Record> TestQueries(size_t count) {
+  const Dataset& ds = TestDataset();
+  std::vector<Record> queries;
+  for (RecordId id : SampleQueries(ds, count, /*seed=*/77)) {
+    queries.push_back(ds.record(id));
+  }
+  return queries;
+}
+
+std::vector<SearchMethod> AllMethods() {
+  return {SearchMethod::kGbKmv,        SearchMethod::kGKmv,
+          SearchMethod::kKmv,          SearchMethod::kLshEnsemble,
+          SearchMethod::kAsymmetricMinHash, SearchMethod::kPPJoin,
+          SearchMethod::kFreqSet,      SearchMethod::kBruteForce};
+}
+
+std::unique_ptr<ContainmentSearcher> Build(SearchMethod method,
+                                           size_t num_threads) {
+  SearcherConfig config;
+  config.method = method;
+  config.num_threads = num_threads;
+  config.lshe_num_hashes = 64;  // keep the MinHash methods fast
+  Result<std::unique_ptr<ContainmentSearcher>> s =
+      BuildSearcher(TestDataset(), config);
+  EXPECT_TRUE(s.ok()) << s.status().ToString();
+  return std::move(s).value();
+}
+
+TEST(ParallelEquivalenceTest, ShardedBuildMatchesSequentialSearchResults) {
+  const std::vector<Record> queries = TestQueries(30);
+  for (SearchMethod method : AllMethods()) {
+    const auto sequential = Build(method, 1);
+    for (size_t threads : kThreadCounts) {
+      const auto parallel = Build(method, threads);
+      EXPECT_EQ(sequential->SpaceUnits(), parallel->SpaceUnits())
+          << sequential->name() << " threads=" << threads;
+      for (double threshold : {0.3, 0.5, 0.8}) {
+        for (const Record& q : queries) {
+          EXPECT_EQ(sequential->Search(q, threshold),
+                    parallel->Search(q, threshold))
+              << sequential->name() << " threads=" << threads
+              << " t*=" << threshold;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, BatchQueryMatchesPerQuerySearchInInputOrder) {
+  const std::vector<Record> queries = TestQueries(50);
+  const double threshold = 0.5;
+  for (SearchMethod method : AllMethods()) {
+    const auto searcher = Build(method, 1);
+    std::vector<std::vector<RecordId>> expected;
+    for (const Record& q : queries) {
+      expected.push_back(searcher->Search(q, threshold));
+    }
+    for (size_t threads : {size_t{1}, kThreadCounts[0], kThreadCounts[1]}) {
+      EXPECT_EQ(expected, searcher->BatchQuery(queries, threshold, threads))
+          << searcher->name() << " threads=" << threads;
+    }
+  }
+}
+
+// Stronger than behavioural equality for the snapshot-capable methods: the
+// bytes written by Save are identical, so a parallel build can never
+// invalidate a figure reproduced from a cached snapshot.
+std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(ParallelEquivalenceTest, SnapshotBytesIdenticalAcrossThreadCounts) {
+  for (SearchMethod method :
+       {SearchMethod::kGbKmv, SearchMethod::kLshEnsemble}) {
+    const std::string seq_path = ::testing::TempDir() + "par_equiv_seq.snap";
+    const std::string par_path = ::testing::TempDir() + "par_equiv_par.snap";
+    ASSERT_TRUE(Build(method, 1)->SaveSnapshot(seq_path).ok());
+    const std::string seq_bytes = FileBytes(seq_path);
+    ASSERT_FALSE(seq_bytes.empty());
+    for (size_t threads : kThreadCounts) {
+      ASSERT_TRUE(Build(method, threads)->SaveSnapshot(par_path).ok());
+      EXPECT_EQ(seq_bytes, FileBytes(par_path)) << "threads=" << threads;
+    }
+    std::remove(seq_path.c_str());
+    std::remove(par_path.c_str());
+  }
+}
+
+TEST(ParallelEquivalenceTest, InvertedIndexShardedBuildIsByteIdentical) {
+  const Dataset& ds = TestDataset();
+  const InvertedIndex sequential(ds);
+  for (size_t threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    const InvertedIndex sharded(ds, &pool);
+    ASSERT_EQ(sequential.TotalPostings(), sharded.TotalPostings());
+    for (ElementId e = 0; e < ds.universe_size(); ++e) {
+      ASSERT_EQ(sequential.Postings(e), sharded.Postings(e))
+          << "element " << e << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, GroundTruthIdenticalAcrossThreadCounts) {
+  const Dataset& ds = TestDataset();
+  const std::vector<RecordId> queries = SampleQueries(ds, 40, /*seed=*/99);
+  const auto sequential = ComputeGroundTruth(ds, queries, 0.5, 1);
+  for (size_t threads : kThreadCounts) {
+    EXPECT_EQ(sequential, ComputeGroundTruth(ds, queries, 0.5, threads))
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace gbkmv

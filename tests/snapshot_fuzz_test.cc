@@ -1,0 +1,195 @@
+// Randomized snapshot property tests, complementing the directed cases in
+// snapshot_test.cc: ~50 seeded random sketches (sizes, capacities and seeds
+// all drawn from one master Rng) must round-trip Save→Load to exact
+// equality, and every snapshot must reject a one-byte flip at a random
+// offset with a non-OK Status (CRC32 catches any single-byte payload flip;
+// header flips trip the magic/version/bounds validation).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "index/gbkmv_index.h"
+#include "index/lsh_ensemble.h"
+#include "io/snapshot.h"
+#include "sketch/gbkmv.h"
+#include "sketch/gkmv.h"
+#include "sketch/kmv.h"
+#include "sketch/minhash.h"
+
+namespace gbkmv {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "gbkmv_fuzz_" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+Record RandomRecord(Rng& rng, size_t max_size, ElementId universe) {
+  std::vector<ElementId> elems;
+  const size_t size = 1 + rng.NextBounded(max_size);
+  for (size_t i = 0; i < size; ++i) {
+    elems.push_back(static_cast<ElementId>(rng.NextBounded(universe)));
+  }
+  return MakeRecord(std::move(elems));
+}
+
+// Flips one random byte of `path` (in a copy at `flipped`), asserting the
+// subsequent load fails. `load` returns a Status-like ok() bool.
+template <typename LoadFn>
+void ExpectFlipRejected(Rng& rng, const std::string& path,
+                        const LoadFn& load) {
+  std::string bytes = ReadFile(path);
+  ASSERT_FALSE(bytes.empty());
+  const size_t offset = rng.NextBounded(bytes.size());
+  bytes[offset] = static_cast<char>(bytes[offset] ^
+                                    (1 + rng.NextBounded(255)));
+  const std::string flipped = path + ".flipped";
+  WriteFile(flipped, bytes);
+  EXPECT_FALSE(load(flipped)) << "flip at offset " << offset << " of "
+                              << bytes.size() << " accepted";
+  std::remove(flipped.c_str());
+}
+
+TEST(SnapshotFuzzTest, RandomSketchesRoundTripAndRejectByteFlips) {
+  Rng rng(0xf022ed5eULL);
+  const std::string path = TempPath("sketch.snap");
+  for (int iter = 0; iter < 50; ++iter) {
+    const uint64_t seed = rng.Next();
+    const Record record = RandomRecord(rng, 200, 5000);
+    switch (iter % 3) {
+      case 0: {
+        const size_t k = 1 + rng.NextBounded(64);
+        const KmvSketch sketch = KmvSketch::Build(record, k, seed);
+        ASSERT_TRUE(sketch.Save(path).ok());
+        Result<KmvSketch> loaded = KmvSketch::Load(path);
+        ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+        EXPECT_EQ(sketch.values(), loaded->values());
+        EXPECT_EQ(sketch.exact(), loaded->exact());
+        ExpectFlipRejected(rng, path, [](const std::string& p) {
+          return KmvSketch::Load(p).ok();
+        });
+        break;
+      }
+      case 1: {
+        // τ in the top of the hash range so sketches are non-trivial.
+        const uint64_t tau = ~uint64_t{0} / (1 + rng.NextBounded(20));
+        const GkmvSketch sketch = GkmvSketch::Build(record, tau, seed);
+        ASSERT_TRUE(sketch.Save(path).ok());
+        Result<GkmvSketch> loaded = GkmvSketch::Load(path);
+        ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+        EXPECT_EQ(sketch.values(), loaded->values());
+        EXPECT_EQ(sketch.threshold(), loaded->threshold());
+        ExpectFlipRejected(rng, path, [](const std::string& p) {
+          return GkmvSketch::Load(p).ok();
+        });
+        break;
+      }
+      case 2: {
+        const HashFamily family(1 + rng.NextBounded(64), rng.Next());
+        const MinHashSignature sig = MinHashSignature::Build(record, family);
+        ASSERT_TRUE(sig.Save(path).ok());
+        Result<MinHashSignature> loaded = MinHashSignature::Load(path);
+        ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+        EXPECT_EQ(sig.values(), loaded->values());
+        ExpectFlipRejected(rng, path, [](const std::string& p) {
+          return MinHashSignature::Load(p).ok();
+        });
+        break;
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+Result<Dataset> RandomDataset(Rng& rng) {
+  SyntheticConfig c;
+  c.name = "fuzz";
+  c.num_records = 60 + rng.NextBounded(120);
+  c.universe_size = 500 + rng.NextBounded(2000);
+  c.min_record_size = 5;
+  c.max_record_size = 40;
+  c.alpha_element_freq = 0.8 + 0.01 * static_cast<double>(rng.NextBounded(60));
+  c.alpha_record_size = 1.5 + 0.01 * static_cast<double>(rng.NextBounded(100));
+  c.seed = rng.Next();
+  return GenerateSynthetic(c);
+}
+
+TEST(SnapshotFuzzTest, RandomGbKmvIndexesRoundTripAndRejectByteFlips) {
+  Rng rng(0xabcdef12ULL);
+  const std::string path = TempPath("gbkmv_index.snap");
+  for (int iter = 0; iter < 6; ++iter) {
+    Result<Dataset> ds = RandomDataset(rng);
+    ASSERT_TRUE(ds.ok());
+    GbKmvIndexOptions options;
+    options.space_ratio = 0.05 + 0.01 * static_cast<double>(
+                                            rng.NextBounded(20));
+    // Keep the buffer cost m·⌈r/32⌉ words within half the budget (and r
+    // within the distinct-element count) so every random config is valid.
+    const uint64_t budget = static_cast<uint64_t>(
+        options.space_ratio * static_cast<double>(ds->total_elements()));
+    const uint64_t max_words = budget / (2 * ds->size());
+    const uint64_t max_bits = std::min<uint64_t>(
+        {128, 32 * max_words, ds->num_distinct()});
+    options.buffer_bits = rng.NextBounded(max_bits + 1);
+    options.seed = rng.Next();
+    auto built = GbKmvIndexSearcher::Create(*ds, options);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    ASSERT_TRUE((*built)->Save(path).ok());
+    auto loaded = GbKmvIndexSearcher::Load(path, *ds);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    for (int q = 0; q < 10; ++q) {
+      const Record query = RandomRecord(rng, 40, ds->universe_size());
+      EXPECT_EQ((*built)->Search(query, 0.5), (*loaded)->Search(query, 0.5));
+    }
+    ExpectFlipRejected(rng, path, [&ds](const std::string& p) {
+      return GbKmvIndexSearcher::Load(p, *ds).ok();
+    });
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFuzzTest, RandomLshEnsemblesRoundTripAndRejectByteFlips) {
+  Rng rng(0x77553311ULL);
+  const std::string path = TempPath("lshe_index.snap");
+  for (int iter = 0; iter < 3; ++iter) {
+    Result<Dataset> ds = RandomDataset(rng);
+    ASSERT_TRUE(ds.ok());
+    LshEnsembleOptions options;
+    options.num_hashes = 32;
+    options.num_partitions = 1 + rng.NextBounded(8);
+    options.seed = rng.Next();
+    auto built = LshEnsembleSearcher::Create(*ds, options);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    ASSERT_TRUE((*built)->Save(path).ok());
+    auto loaded = LshEnsembleSearcher::Load(path, *ds);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    for (int q = 0; q < 10; ++q) {
+      const Record query = RandomRecord(rng, 40, ds->universe_size());
+      EXPECT_EQ((*built)->Search(query, 0.5), (*loaded)->Search(query, 0.5));
+    }
+    ExpectFlipRejected(rng, path, [&ds](const std::string& p) {
+      return LshEnsembleSearcher::Load(p, *ds).ok();
+    });
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gbkmv

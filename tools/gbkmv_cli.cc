@@ -35,6 +35,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/containment.h"
 #include "data/dataset_io.h"
@@ -67,7 +68,9 @@ int Usage() {
                "[--space=S] [--min-size=K]\n"
                "       gbkmv_cli query <in.snap> <query-file|-> [threshold]\n"
                "methods: gb-kmv g-kmv kmv lsh-e a-mh ppjoin freqset "
-               "brute-force (snapshots: gb-kmv g-kmv lsh-e)\n");
+               "brute-force (snapshots: gb-kmv g-kmv lsh-e)\n"
+               "common flags: --threads=N (build/eval parallelism; default "
+               "hardware concurrency; results identical for any N)\n");
   return 2;
 }
 
@@ -245,12 +248,18 @@ int Main(int argc, char** argv) {
       return Usage();
     }
     double threshold = 0.5;
+    bool saw_positional_threshold = false;
     for (int i = 4; i < argc; ++i) {
       std::string value;
       if (ParseFlag(argv[i], "--threshold=", &value)) {
         threshold = std::atof(value.c_str());
-      } else if (argv[i][0] != '-' && i == 4) {
+      } else if (ParseFlag(argv[i], "--threads=", &value)) {
+        const long long n = std::atoll(value.c_str());
+        if (n < 0) return Usage();
+        SetDefaultThreads(static_cast<size_t>(n));
+      } else if (argv[i][0] != '-' && !saw_positional_threshold) {
         threshold = std::atof(argv[i]);
+        saw_positional_threshold = true;
       } else {
         return Usage();
       }
@@ -275,6 +284,12 @@ int Main(int argc, char** argv) {
       options.min_size = static_cast<size_t>(std::atoll(value.c_str()));
     } else if (ParseFlag(argv[i], "--queries=", &value)) {
       options.queries = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(argv[i], "--threads=", &value)) {
+      // Build/ground-truth parallelism; results are identical for any value
+      // (docs/parallelism.md). Default: hardware concurrency.
+      const long long n = std::atoll(value.c_str());
+      if (n < 0) return Usage();
+      SetDefaultThreads(static_cast<size_t>(n));
     } else {
       return Usage();
     }
