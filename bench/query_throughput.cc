@@ -1,0 +1,263 @@
+// Query-throughput harness: measures end-to-end search throughput (QPS) and
+// per-query latency percentiles (p50/p99) for each search method over a
+// synthetic workload, and emits a machine-readable JSON report so successive
+// commits can be compared (the repo's perf trajectory).
+//
+// Unlike the fig*/table* harnesses this one reproduces no paper figure; it
+// exists to catch hot-path regressions. The JSON schema is exercised by the
+// CI smoke run (--smoke), so it cannot rot silently.
+//
+// Flags:
+//   --records=N        dataset size (default 8000)
+//   --universe=N       element universe (default 50000)
+//   --queries=N        query count, sampled from the dataset (default 200)
+//   --thresholds=LIST  comma-separated containment thresholds t*
+//                      (default 0.5,0.8)
+//   --threads=N        BatchQuery worker threads (default: hardware
+//                      concurrency)
+//   --out=PATH         JSON output path (default BENCH_query_throughput.json)
+//   --smoke            tiny workload for CI schema checks (overrides sizes)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/containment.h"
+#include "data/synthetic.h"
+#include "eval/ground_truth.h"
+
+namespace gbkmv {
+namespace {
+
+struct Options {
+  size_t num_records = 8000;
+  size_t universe_size = 50000;
+  size_t num_queries = 200;
+  std::vector<double> thresholds = {0.5, 0.8};
+  size_t num_threads = 0;  // 0 = hardware concurrency
+  std::string out_path = "BENCH_query_throughput.json";
+  bool smoke = false;
+};
+
+Options ParseOptions(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--records=")) {
+      opt.num_records = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--universe=")) {
+      opt.universe_size = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--queries=")) {
+      opt.num_queries = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--thresholds=")) {
+      opt.thresholds.clear();
+      for (const char* p = v; *p != '\0';) {
+        char* end = nullptr;
+        opt.thresholds.push_back(std::strtod(p, &end));
+        p = *end == ',' ? end + 1 : end;
+      }
+    } else if (const char* v = value("--threads=")) {
+      opt.num_threads = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--out=")) {
+      opt.out_path = v;
+    } else if (arg == "--smoke") {
+      opt.smoke = true;
+    } else {
+      std::fprintf(
+          stderr,
+          "unknown flag '%s'\nusage: query_throughput [--records=N] "
+          "[--universe=N] [--queries=N] [--thresholds=T1,T2,...] "
+          "[--threads=N] [--out=PATH] [--smoke]\n",
+          arg.c_str());
+      std::exit(2);
+    }
+  }
+  if (opt.smoke) {
+    opt.num_records = 400;
+    opt.universe_size = 3000;
+    opt.num_queries = 40;
+  }
+  if (opt.num_threads == 0) opt.num_threads = DefaultThreads();
+  if (opt.thresholds.empty()) opt.thresholds.push_back(0.5);
+  if (opt.num_queries == 0) {
+    std::fprintf(stderr, "--queries must be positive\n");
+    std::exit(2);
+  }
+  return opt;
+}
+
+struct MethodReport {
+  std::string name;
+  double threshold = 0.0;
+  double build_seconds = 0.0;
+  uint64_t space_units = 0;
+  uint64_t budget_space_units = 0;
+  double single_seconds = 0.0;
+  double single_qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double batch_seconds = 0.0;
+  double batch_qps = 0.0;
+};
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+std::vector<MethodReport> Measure(const Dataset& dataset, SearchMethod method,
+                                  const std::vector<Record>& queries,
+                                  const Options& opt) {
+  SearcherConfig config;
+  config.method = method;
+  config.num_threads = opt.num_threads;
+  if (opt.smoke) config.lshe_num_hashes = 64;
+
+  WallTimer build_timer;
+  Result<std::unique_ptr<ContainmentSearcher>> searcher =
+      BuildSearcher(dataset, config);
+  const double build_seconds = build_timer.ElapsedSeconds();
+  if (!searcher.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 searcher.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  std::vector<MethodReport> reports;
+  for (double threshold : opt.thresholds) {
+    MethodReport report;
+    report.name = (*searcher)->name();
+    report.threshold = threshold;
+    report.build_seconds = build_seconds;
+    report.space_units = (*searcher)->SpaceUnits();
+    report.budget_space_units = (*searcher)->BudgetSpaceUnits();
+
+    // Warm-up pass (first-touch page faults, lazy allocations) — untimed.
+    (void)(*searcher)->Search(queries.front(), threshold);
+
+    // Single-thread per-query latency distribution.
+    std::vector<double> latencies_us;
+    latencies_us.reserve(queries.size());
+    WallTimer single_timer;
+    for (const Record& q : queries) {
+      WallTimer per_query;
+      const std::vector<RecordId> out = (*searcher)->Search(q, threshold);
+      latencies_us.push_back(per_query.ElapsedMicros());
+      if (out.size() > dataset.size()) std::abort();  // keep the call alive
+    }
+    report.single_seconds = single_timer.ElapsedSeconds();
+    report.single_qps =
+        static_cast<double>(queries.size()) / report.single_seconds;
+    std::sort(latencies_us.begin(), latencies_us.end());
+    report.p50_us = Percentile(latencies_us, 0.50);
+    report.p99_us = Percentile(latencies_us, 0.99);
+
+    // Parallel batch throughput.
+    WallTimer batch_timer;
+    const auto results =
+        (*searcher)->BatchQuery(queries, threshold, opt.num_threads);
+    report.batch_seconds = batch_timer.ElapsedSeconds();
+    report.batch_qps =
+        static_cast<double>(results.size()) / report.batch_seconds;
+    reports.push_back(report);
+  }
+  return reports;
+}
+
+void WriteJson(const Options& opt, const Dataset& dataset,
+               const std::vector<MethodReport>& reports) {
+  std::FILE* f = std::fopen(opt.out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", opt.out_path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"schema\": \"gbkmv_query_throughput_v2\",\n");
+  std::fprintf(f,
+               "  \"config\": {\"records\": %zu, \"universe\": %zu, "
+               "\"total_elements\": %llu, \"queries\": %zu, \"threads\": "
+               "%zu, \"smoke\": %s},\n",
+               dataset.size(), dataset.universe_size(),
+               static_cast<unsigned long long>(dataset.total_elements()),
+               opt.num_queries, opt.num_threads, opt.smoke ? "true" : "false");
+  std::fprintf(f, "  \"measurements\": [\n");
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const MethodReport& r = reports[i];
+    std::fprintf(
+        f,
+        "    {\"method\": \"%s\", \"threshold\": %.3f, \"build_seconds\": "
+        "%.6f, \"space_units\": %llu, \"budget_space_units\": %llu,\n"
+        "     \"single_thread\": {\"seconds\": %.6f, \"qps\": %.1f, "
+        "\"p50_us\": %.2f, \"p99_us\": %.2f},\n"
+        "     \"batch\": {\"threads\": %zu, \"seconds\": %.6f, \"qps\": "
+        "%.1f}}%s\n",
+        r.name.c_str(), r.threshold, r.build_seconds,
+        static_cast<unsigned long long>(r.space_units),
+        static_cast<unsigned long long>(r.budget_space_units),
+        r.single_seconds, r.single_qps, r.p50_us, r.p99_us, opt.num_threads,
+        r.batch_seconds, r.batch_qps, i + 1 < reports.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+int Main(int argc, char** argv) {
+  const Options opt = ParseOptions(argc, argv);
+  SetDefaultThreads(opt.num_threads);
+
+  SyntheticConfig config;
+  config.name = "throughput-bench";
+  config.num_records = opt.num_records;
+  config.universe_size = opt.universe_size;
+  config.min_record_size = 10;
+  config.max_record_size = opt.smoke ? 120 : 500;
+  config.alpha_element_freq = 1.1;
+  config.alpha_record_size = 2.0;
+  config.seed = 20260729;
+  Result<Dataset> dataset = GenerateSynthetic(config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset generation failed: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<Record> queries;
+  for (RecordId id :
+       SampleQueries(*dataset, opt.num_queries, /*seed=*/4711)) {
+    queries.push_back(dataset->record(id));
+  }
+
+  const SearchMethod methods[] = {SearchMethod::kFreqSet,
+                                  SearchMethod::kPPJoin, SearchMethod::kGbKmv,
+                                  SearchMethod::kGKmv,
+                                  SearchMethod::kLshEnsemble};
+  std::vector<MethodReport> reports;
+  for (SearchMethod method : methods) {
+    for (MethodReport& r : Measure(*dataset, method, queries, opt)) {
+      std::printf(
+          "%-10s t*=%.2f build %7.3fs  space %10llu  1T %8.1f qps  "
+          "p50 %8.2fus  p99 %9.2fus  %zuT %8.1f qps\n",
+          r.name.c_str(), r.threshold, r.build_seconds,
+          static_cast<unsigned long long>(r.space_units), r.single_qps,
+          r.p50_us, r.p99_us, opt.num_threads, r.batch_qps);
+      reports.push_back(std::move(r));
+    }
+  }
+  WriteJson(opt, *dataset, reports);
+  std::printf("wrote %s\n", opt.out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace gbkmv
+
+int main(int argc, char** argv) { return gbkmv::Main(argc, argv); }

@@ -77,9 +77,12 @@ Result<std::unique_ptr<ContainmentSearcher>> BuildSearcher(
       if (!s.ok()) return s.status();
       return std::unique_ptr<ContainmentSearcher>(std::move(s.value()));
     }
-    case SearchMethod::kPPJoin:
+    case SearchMethod::kPPJoin: {
+      const std::unique_ptr<ThreadPool> pool =
+          MakeBuildPool(config.num_threads, dataset.size());
       return std::unique_ptr<ContainmentSearcher>(
-          std::make_unique<PPJoinSearcher>(dataset));
+          std::make_unique<PPJoinSearcher>(dataset, pool.get()));
+    }
     case SearchMethod::kFreqSet: {
       const std::unique_ptr<ThreadPool> pool =
           MakeBuildPool(config.num_threads, dataset.size());

@@ -13,11 +13,15 @@ ExperimentResult EvaluateSearcher(
   ExperimentResult result;
   result.threshold = threshold;
   result.method = searcher.name();
+  const double n = static_cast<double>(dataset.total_elements());
   result.space_ratio =
       dataset.total_elements() == 0
           ? 0.0
-          : static_cast<double>(searcher.SpaceUnits()) /
-                static_cast<double>(dataset.total_elements());
+          : static_cast<double>(searcher.BudgetSpaceUnits()) / n;
+  result.resident_space_ratio =
+      dataset.total_elements() == 0
+          ? 0.0
+          : static_cast<double>(searcher.SpaceUnits()) / n;
 
   std::vector<AccuracyMetrics> per_query;
   per_query.reserve(queries.size());

@@ -17,7 +17,10 @@ namespace gbkmv {
 struct ExperimentResult {
   std::string method;
   double threshold = 0.0;
-  double space_ratio = 0.0;        // SpaceUnits / N
+  double space_ratio = 0.0;  // BudgetSpaceUnits / N (the paper's SpaceUsed)
+  // SpaceUnits / N: actual resident storage including offsets and probe
+  // tables; >= space_ratio, and the honest number the tools report.
+  double resident_space_ratio = 0.0;
   double build_seconds = 0.0;
   double avg_query_seconds = 0.0;
   AccuracyMetrics accuracy;        // averaged over queries

@@ -85,7 +85,9 @@ std::vector<RecordId> AsymmetricMinHashSearcher::Search(
 }
 
 uint64_t AsymmetricMinHashSearcher::SpaceUnits() const {
-  return static_cast<uint64_t>(dataset_.size()) * options_.num_hashes;
+  // Signatures (m·k units) plus the flat banding bucket tables.
+  return static_cast<uint64_t>(dataset_.size()) * options_.num_hashes +
+         index_->SpaceUnits();
 }
 
 }  // namespace gbkmv

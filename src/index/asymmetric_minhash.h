@@ -47,6 +47,10 @@ class AsymmetricMinHashSearcher : public ContainmentSearcher {
       size_t num_threads) const override;
   std::string name() const override { return "A-MH"; }
   uint64_t SpaceUnits() const override;
+  // Paper measure: one unit per stored signature value (m·k).
+  uint64_t BudgetSpaceUnits() const override {
+    return static_cast<uint64_t>(dataset_.size()) * options_.num_hashes;
+  }
 
   size_t padded_size() const { return padded_size_; }
 

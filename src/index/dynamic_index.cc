@@ -5,6 +5,7 @@
 
 #include "common/hash.h"
 #include "sketch/gkmv.h"
+#include "storage/query_context.h"
 
 namespace gbkmv {
 
@@ -52,7 +53,12 @@ Result<std::unique_ptr<DynamicGbKmvIndex>> DynamicGbKmvIndex::Create(
     }
   }
   for (const Record& r : initial.records()) index->Insert(r);
+  index->Compact();
   return index;
+}
+
+void DynamicGbKmvIndex::Compact() {
+  if (!delta_.empty()) CompactPostings();
 }
 
 void DynamicGbKmvIndex::RebuildBufferMap(size_t universe_size) {
@@ -89,12 +95,27 @@ RecordId DynamicGbKmvIndex::Insert(Record record) {
   const RecordId id = static_cast<RecordId>(records_.size());
   GbKmvSketch sketch = MakeSketch(record);
   used_units_ += sketch.SpaceUnits(options_.buffer_bits);
-  for (uint64_t h : sketch.gkmv.values()) hash_postings_[h].push_back(id);
+  for (uint64_t h : sketch.gkmv.values()) delta_.emplace_back(h, id);
   records_.push_back(std::move(record));
   sketches_.push_back(std::move(sketch));
-  scan_counter_.push_back(0);
-  if (used_units_ > options_.budget_units) Shrink();
+  if (used_units_ > options_.budget_units) {
+    Shrink();  // re-sketches everything, which compacts as a side effect
+  } else if (delta_.size() >
+             std::max<size_t>(256, hash_postings_.num_postings() / 8)) {
+    CompactPostings();
+  }
   return id;
+}
+
+void DynamicGbKmvIndex::CompactPostings() {
+  hash_postings_ = FlatHashPostings::Build([this](const auto& fn) {
+    for (size_t i = 0; i < sketches_.size(); ++i) {
+      for (uint64_t h : sketches_[i].gkmv.values()) {
+        fn(h, static_cast<RecordId>(i));
+      }
+    }
+  });
+  delta_.clear();
 }
 
 void DynamicGbKmvIndex::Shrink() {
@@ -139,15 +160,12 @@ void DynamicGbKmvIndex::Shrink() {
   }
 
   // Re-sketch everything under the new τ / buffer width.
-  hash_postings_.clear();
   used_units_ = 0;
   for (size_t i = 0; i < records_.size(); ++i) {
     sketches_[i] = MakeSketch(records_[i]);
     used_units_ += sketches_[i].SpaceUnits(options_.buffer_bits);
-    for (uint64_t h : sketches_[i].gkmv.values()) {
-      hash_postings_[h].push_back(static_cast<RecordId>(i));
-    }
   }
+  CompactPostings();
 }
 
 Status DynamicGbKmvIndex::Rebuild() {
@@ -160,13 +178,14 @@ Status DynamicGbKmvIndex::Rebuild() {
   RebuildBufferMap(dataset->universe_size());
 
   threshold_ = ~0ULL;
-  hash_postings_.clear();
   used_units_ = 0;
   std::vector<Record> records = std::move(records_);
   records_.clear();
   sketches_.clear();
-  scan_counter_.clear();
+  delta_.clear();
+  hash_postings_ = FlatHashPostings();
   for (Record& rec : records) Insert(std::move(rec));
+  Compact();
   return Status::OK();
 }
 
@@ -182,18 +201,20 @@ std::vector<RecordId> DynamicGbKmvIndex::Search(const Record& query,
   const std::vector<uint64_t>& q_hashes = query_sketch.gkmv.values();
   const uint64_t q_max = q_hashes.empty() ? 0 : q_hashes.back();
 
-  std::vector<RecordId> touched;
-  for (uint64_t h : q_hashes) {
-    const auto it = hash_postings_.find(h);
-    if (it == hash_postings_.end()) continue;
-    for (RecordId id : it->second) {
-      if (scan_counter_[id] == 0) touched.push_back(id);
-      ++scan_counter_[id];
-    }
+  QueryContext& ctx = ThreadLocalQueryContext();
+  ctx.Begin(records_.size());
+  if (q_hashes.size() < QueryContext::kSaturated) {
+    for (uint64_t h : q_hashes) ctx.BumpRowUnchecked(hash_postings_.Find(h));
+  } else {
+    for (uint64_t h : q_hashes) ctx.BumpRow(hash_postings_.Find(h));
   }
-  for (RecordId id : touched) {
-    const size_t k_intersect = scan_counter_[id];
-    scan_counter_[id] = 0;
+  // Pairs inserted since the last compaction: one linear scan of the delta
+  // log, matching each pair against the (sorted) query hash set.
+  for (const auto& [h, id] : delta_) {
+    if (std::binary_search(q_hashes.begin(), q_hashes.end(), h)) ctx.Bump(id);
+  }
+  for (RecordId id : ctx.touched()) {
+    const size_t k_intersect = ctx.CountOf(id);
     if (records_[id].size() < min_size) continue;
     const GbKmvSketch& x = sketches_[id];
     const size_t o1 = Bitmap::IntersectCount(query_sketch.buffer, x.buffer);
@@ -206,10 +227,13 @@ std::vector<RecordId> DynamicGbKmvIndex::Search(const Record& query,
         static_cast<double>(std::min<size_t>(q, records_[id].size()));
     if (std::min(est, cap) >= theta - 1e-9) out.push_back(id);
   }
-  // Buffer-only qualifiers (K∩ = 0).
+  // Buffer-only qualifiers (K∩ = 0). Touched records are skipped: they were
+  // fully scored above with est >= o1, so any buffer-only qualifier among
+  // them is already in `out`.
   if (!query_sketch.buffer.Empty()) {
     for (size_t i = 0; i < sketches_.size(); ++i) {
       if (records_[i].size() < min_size) continue;
+      if (ctx.CountOf(static_cast<uint32_t>(i)) > 0) continue;
       const size_t o1 =
           Bitmap::IntersectCount(query_sketch.buffer, sketches_[i].buffer);
       if (static_cast<double>(o1) >= theta - 1e-9) {
@@ -220,6 +244,14 @@ std::vector<RecordId> DynamicGbKmvIndex::Search(const Record& query,
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+std::vector<std::vector<RecordId>> DynamicGbKmvIndex::BatchQuery(
+    std::span<const Record> queries, double threshold,
+    size_t num_threads) const {
+  // Search scratch is per-thread (QueryContext), so concurrent callers are
+  // safe; the index itself must not be mutated during the batch.
+  return ParallelBatchQuery(*this, queries, threshold, num_threads);
 }
 
 double DynamicGbKmvIndex::EstimateContainment(const Record& query,

@@ -21,13 +21,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "data/dataset.h"
 #include "index/searcher.h"
 #include "sketch/gbkmv.h"
+#include "storage/flat_hash_postings.h"
 
 namespace gbkmv {
 
@@ -71,10 +72,25 @@ class DynamicGbKmvIndex : public ContainmentSearcher {
   // (full rebuild; use after heavy distribution drift).
   Status Rebuild();
 
-  // ContainmentSearcher interface.
+  // Folds the pending delta log into the flat posting store. Insert compacts
+  // geometrically on its own; call this once after an insert burst when a
+  // query-heavy phase follows, so queries stop paying the delta scan.
+  // Create() and Rebuild() leave the index compacted.
+  void Compact();
+
+  // ContainmentSearcher interface. Search is safe for concurrent callers
+  // (query scratch comes from the calling thread's QueryContext arena);
+  // Insert must not run concurrently with queries.
   std::vector<RecordId> Search(const Record& query,
                                double threshold) const override;
+  std::vector<std::vector<RecordId>> BatchQuery(
+      std::span<const Record> queries, double threshold,
+      size_t num_threads) const override;
   std::string name() const override { return "DynamicGB-KMV"; }
+  // Reports the paper's budget units (bitmaps + stored hashes), not the
+  // resident posting overlay — the overlay's exact size depends on the
+  // insert/compaction history, which would make the measure unstable across
+  // save/load (docs/snapshot_format.md).
   uint64_t SpaceUnits() const override { return used_units_; }
 
   // Containment estimate against one stored record (Eq. 27).
@@ -110,6 +126,11 @@ class DynamicGbKmvIndex : public ContainmentSearcher {
   // rebuilds the hash postings.
   void Shrink();
 
+  // Rebuilds the flat posting store from all sketches and clears the delta
+  // log. Insert appends to the delta and compacts geometrically, so the
+  // amortised maintenance cost per inserted hash is O(1).
+  void CompactPostings();
+
   DynamicGbKmvOptions options_;
   uint64_t threshold_ = ~0ULL;
   uint64_t used_units_ = 0;
@@ -119,8 +140,11 @@ class DynamicGbKmvIndex : public ContainmentSearcher {
 
   std::vector<Record> records_;
   std::vector<GbKmvSketch> sketches_;
-  std::unordered_map<uint64_t, std::vector<RecordId>> hash_postings_;
-  mutable std::vector<uint32_t> scan_counter_;
+  // Sketch-hash postings: a compacted flat store plus an append-only delta
+  // log of (hash, id) pairs for records inserted since the last compaction.
+  // Queries probe the store and scan the (geometrically bounded) delta.
+  FlatHashPostings hash_postings_;
+  std::vector<std::pair<uint64_t, RecordId>> delta_;
 };
 
 }  // namespace gbkmv

@@ -4,20 +4,15 @@
 #include <numeric>
 
 #include "common/thread_pool.h"
+#include "storage/query_context.h"
 
 namespace gbkmv {
 
 FreqSetSearcher::FreqSetSearcher(const Dataset& dataset, ThreadPool* pool)
-    : dataset_(dataset), index_(dataset, pool), counter_(dataset.size(), 0) {}
+    : dataset_(dataset), index_(dataset, pool) {}
 
 std::vector<RecordId> FreqSetSearcher::Search(const Record& query,
                                               double threshold) const {
-  return SearchWithCounter(query, threshold, counter_);
-}
-
-std::vector<RecordId> FreqSetSearcher::SearchWithCounter(
-    const Record& query, double threshold,
-    std::vector<uint32_t>& counter) const {
   std::vector<RecordId> out;
   if (query.empty()) return out;
   const size_t theta = static_cast<size_t>(std::ceil(
@@ -28,18 +23,15 @@ std::vector<RecordId> FreqSetSearcher::SearchWithCounter(
     return out;
   }
   if (theta > query.size()) return out;
-  return index_.ScanCount(query, theta, counter);
+  return index_.ScanCount(query, theta, ThreadLocalQueryContext());
 }
 
 std::vector<std::vector<RecordId>> FreqSetSearcher::BatchQuery(
     std::span<const Record> queries, double threshold,
     size_t num_threads) const {
-  return ParallelBatchQueryWithScratch(
-      queries, num_threads,
-      [this] { return std::vector<uint32_t>(dataset_.size(), 0); },
-      [this, threshold](const Record& q, std::vector<uint32_t>& counter) {
-        return SearchWithCounter(q, threshold, counter);
-      });
+  // Search scratch is per-thread (QueryContext), so concurrent callers are
+  // safe.
+  return ParallelBatchQuery(*this, queries, threshold, num_threads);
 }
 
 }  // namespace gbkmv

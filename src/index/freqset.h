@@ -23,25 +23,24 @@ class FreqSetSearcher : public ContainmentSearcher {
   // A non-null pool shards the inverted-index build (byte-identical result).
   explicit FreqSetSearcher(const Dataset& dataset, ThreadPool* pool = nullptr);
 
+  // Safe for concurrent callers: query scratch comes from the calling
+  // thread's QueryContext arena.
   std::vector<RecordId> Search(const Record& query,
                                double threshold) const override;
   std::vector<std::vector<RecordId>> BatchQuery(
       std::span<const Record> queries, double threshold,
       size_t num_threads) const override;
   std::string name() const override { return "FreqSet"; }
-  uint64_t SpaceUnits() const override { return index_.TotalPostings(); }
+  uint64_t SpaceUnits() const override { return index_.SpaceUnits(); }
+  // Paper measure: one unit per posting entry (= total elements).
+  uint64_t BudgetSpaceUnits() const override {
+    return index_.TotalPostings();
+  }
   bool exact() const override { return true; }
 
  private:
-  // Search body with caller-provided ScanCount scratch (one per BatchQuery
-  // chunk, so chunks run concurrently; Search passes the member scratch).
-  std::vector<RecordId> SearchWithCounter(
-      const Record& query, double threshold,
-      std::vector<uint32_t>& counter) const;
-
   const Dataset& dataset_;
   InvertedIndex index_;
-  mutable std::vector<uint32_t> counter_;  // scratch, per record id
 };
 
 }  // namespace gbkmv

@@ -7,6 +7,7 @@
 #include "common/hash.h"
 #include "common/thread_pool.h"
 #include "sketch/parallel_build.h"
+#include "storage/query_context.h"
 
 namespace gbkmv {
 
@@ -68,42 +69,22 @@ Result<std::unique_ptr<GbKmvIndexSearcher>> GbKmvIndexSearcher::Create(
     s->record_sizes_.push_back(
         static_cast<uint32_t>(dataset.record(i).size()));
   }
-  s->BuildQueryStructures(pool.get());
+  s->BuildQueryStructures();
   return s;
 }
 
-void GbKmvIndexSearcher::BuildQueryStructures(ThreadPool* pool) {
+void GbKmvIndexSearcher::BuildQueryStructures(bool rebuild_postings) {
   const size_t m = sketches_.size();
-  hash_postings_.clear();
-  if (pool == nullptr || pool->num_threads() == 1 || m <= 1) {
-    for (size_t i = 0; i < m; ++i) {
-      for (uint64_t h : sketches_[i].gkmv.values()) {
-        hash_postings_[h].push_back(static_cast<RecordId>(i));
+  if (rebuild_postings) {
+    // Enumerating in record order makes the flat layout a pure function of
+    // the sketches — byte-identical for any build thread count.
+    hash_postings_ = FlatHashPostings::Build([this, m](const auto& fn) {
+      for (size_t i = 0; i < m; ++i) {
+        for (uint64_t h : sketches_[i].gkmv.values()) {
+          fn(h, static_cast<RecordId>(i));
+        }
       }
-    }
-  } else {
-    // Sharded build: each chunk owns a contiguous ascending record-id range,
-    // so appending shard maps in chunk order reproduces the sequential
-    // ascending posting lists exactly, whatever the thread count.
-    const size_t grain = (m + pool->num_threads() - 1) / pool->num_threads();
-    const size_t num_chunks = (m + grain - 1) / grain;
-    std::vector<std::unordered_map<uint64_t, std::vector<RecordId>>> shards(
-        num_chunks);
-    pool->ParallelFor(0, m, grain,
-                      [&](size_t begin, size_t end, size_t chunk) {
-                        auto& shard = shards[chunk];
-                        for (size_t i = begin; i < end; ++i) {
-                          for (uint64_t h : sketches_[i].gkmv.values()) {
-                            shard[h].push_back(static_cast<RecordId>(i));
-                          }
-                        }
-                      });
-    for (auto& shard : shards) {
-      for (auto& [h, ids] : shard) {
-        std::vector<RecordId>& dst = hash_postings_[h];
-        dst.insert(dst.end(), ids.begin(), ids.end());
-      }
-    }
+    });
   }
   by_size_.resize(m);
   std::iota(by_size_.begin(), by_size_.end(), 0);
@@ -115,28 +96,30 @@ void GbKmvIndexSearcher::BuildQueryStructures(ThreadPool* pool) {
   sorted_sizes_.clear();
   sorted_sizes_.reserve(m);
   for (RecordId id : by_size_) sorted_sizes_.push_back(record_sizes_[id]);
-  scan_counter_.assign(m, 0);
-}
-
-std::vector<RecordId> GbKmvIndexSearcher::Search(const Record& query,
-                                                 double threshold) const {
-  return SearchWithScratch(query, threshold, scan_counter_);
+  // The buffer-only pass never needs records whose buffer bitmap is empty;
+  // filtering them once at build time saves a per-record word scan on every
+  // query.
+  buffered_by_size_.clear();
+  buffered_sorted_sizes_.clear();
+  for (size_t pos = 0; pos < m; ++pos) {
+    const RecordId id = by_size_[pos];
+    if (!sketches_[id].buffer.Empty()) {
+      buffered_by_size_.push_back(id);
+      buffered_sorted_sizes_.push_back(sorted_sizes_[pos]);
+    }
+  }
 }
 
 std::vector<std::vector<RecordId>> GbKmvIndexSearcher::BatchQuery(
     std::span<const Record> queries, double threshold,
     size_t num_threads) const {
-  return ParallelBatchQueryWithScratch(
-      queries, num_threads,
-      [this] { return std::vector<uint32_t>(sketches_.size(), 0); },
-      [this, threshold](const Record& q, std::vector<uint32_t>& counter) {
-        return SearchWithScratch(q, threshold, counter);
-      });
+  // Search scratch is per-thread (QueryContext), so concurrent callers are
+  // safe.
+  return ParallelBatchQuery(*this, queries, threshold, num_threads);
 }
 
-std::vector<RecordId> GbKmvIndexSearcher::SearchWithScratch(
-    const Record& query, double threshold,
-    std::vector<uint32_t>& scan_counter) const {
+std::vector<RecordId> GbKmvIndexSearcher::Search(const Record& query,
+                                                 double threshold) const {
   std::vector<RecordId> out;
   if (query.empty()) return out;
   const size_t q = query.size();
@@ -151,14 +134,13 @@ std::vector<RecordId> GbKmvIndexSearcher::SearchWithScratch(
   const uint64_t q_max = q_hashes.empty() ? 0 : q_hashes.back();
 
   // ScanCount over the sketch-hash inverted index -> exact K∩ per record.
-  std::vector<RecordId> touched;
-  for (uint64_t h : q_hashes) {
-    const auto it = hash_postings_.find(h);
-    if (it == hash_postings_.end()) continue;
-    for (RecordId id : it->second) {
-      if (scan_counter[id] == 0) touched.push_back(id);
-      ++scan_counter[id];
-    }
+  // K∩ <= |L_Q|, so the guard-free bump applies for any realistic sketch.
+  QueryContext& ctx = ThreadLocalQueryContext();
+  ctx.Begin(sketches_.size());
+  if (q_sketch_size < QueryContext::kSaturated) {
+    for (uint64_t h : q_hashes) ctx.BumpRowUnchecked(hash_postings_.Find(h));
+  } else {
+    for (uint64_t h : q_hashes) ctx.BumpRow(hash_postings_.Find(h));
   }
 
   const bool query_buffer_empty = query_sketch.buffer.Empty();
@@ -180,37 +162,33 @@ std::vector<RecordId> GbKmvIndexSearcher::SearchWithScratch(
   };
 
   // Records with sketch-hash overlap.
-  for (RecordId id : touched) {
-    const size_t k_intersect = scan_counter[id];
-    scan_counter[id] = 0;
+  for (RecordId id : ctx.touched()) {
+    const size_t k_intersect = ctx.CountOf(id);
     if (record_sizes_[id] < min_size) continue;
     if (score(id, k_intersect) >= theta - 1e-9) out.push_back(id);
   }
 
   // Records that can qualify on the buffer alone (K∩ = 0): scan the
-  // size-eligible suffix with the bitmap fast path.
+  // size-eligible suffix of the non-empty-buffer order with the bitmap fast
+  // path. Touched records are skipped — they were fully scored above, and
+  // their score is >= o1, so any buffer-only qualifier among them is
+  // already in `out`.
   if (!query_buffer_empty) {
-    const auto begin_it = std::lower_bound(sorted_sizes_.begin(),
-                                           sorted_sizes_.end(), min_size);
-    for (size_t pos = static_cast<size_t>(begin_it - sorted_sizes_.begin());
-         pos < by_size_.size(); ++pos) {
-      const RecordId id = by_size_[pos];
-      const GbKmvSketch& x = sketches_[id];
-      if (x.buffer.Empty()) continue;
-      // Skip records already handled through the hash postings: their
-      // counter was consumed above, so re-scoring them here would duplicate.
-      // Cheap test: recompute K∩ = 0 candidates only.
-      // Records with K∩ >= 1 were already fully scored above; with K∩ = 0
-      // the sketched part contributes nothing, so only o1 >= θ can qualify
-      // here (duplicates are removed by the final sort+unique).
+    const auto begin_it =
+        std::lower_bound(buffered_sorted_sizes_.begin(),
+                         buffered_sorted_sizes_.end(), min_size);
+    for (size_t pos =
+             static_cast<size_t>(begin_it - buffered_sorted_sizes_.begin());
+         pos < buffered_by_size_.size(); ++pos) {
+      const RecordId id = buffered_by_size_[pos];
+      if (ctx.CountOf(id) > 0) continue;  // scored through the hash postings
       const size_t o1 =
-          Bitmap::IntersectCount(query_sketch.buffer, x.buffer);
+          Bitmap::IntersectCount(query_sketch.buffer, sketches_[id].buffer);
       if (static_cast<double>(o1) >= theta - 1e-9) out.push_back(id);
     }
   }
 
   std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 

@@ -22,7 +22,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -30,6 +29,7 @@
 #include "index/searcher.h"
 #include "sketch/cost_model.h"
 #include "sketch/gbkmv.h"
+#include "storage/flat_hash_postings.h"
 
 namespace gbkmv {
 
@@ -65,6 +65,8 @@ class GbKmvIndexSearcher : public ContainmentSearcher {
   static Result<std::unique_ptr<GbKmvIndexSearcher>> Create(
       const Dataset& dataset, const GbKmvIndexOptions& options);
 
+  // Safe for concurrent callers: query scratch comes from the calling
+  // thread's QueryContext arena.
   std::vector<RecordId> Search(const Record& query,
                                double threshold) const override;
   std::vector<std::vector<RecordId>> BatchQuery(
@@ -73,7 +75,13 @@ class GbKmvIndexSearcher : public ContainmentSearcher {
   std::string name() const override {
     return chosen_buffer_bits_ > 0 ? "GB-KMV" : "G-KMV";
   }
-  uint64_t SpaceUnits() const override { return space_units_; }
+  // Full resident storage: sketches + the flat hash-posting index
+  // (docs/snapshot_format.md has the per-method formula).
+  uint64_t SpaceUnits() const override {
+    return space_units_ + hash_postings_.SpaceUnits();
+  }
+  // Sketch payload alone, the paper's budget measure (<= the space budget).
+  uint64_t BudgetSpaceUnits() const override { return space_units_; }
 
   // Containment estimate for a single record (Eq. 27 over stored sketches).
   double EstimateContainment(const Record& query, RecordId id) const;
@@ -99,32 +107,28 @@ class GbKmvIndexSearcher : public ContainmentSearcher {
  private:
   GbKmvIndexSearcher(const Dataset& dataset) : dataset_(dataset) {}
 
-  // Builds the derived query structures (size order, hash postings, scratch)
-  // from sketches_ + record_sizes_; shared by Create and LoadFrom. A non-null
-  // pool shards the hash-posting build (merge in shard order keeps every
-  // posting list identical to the sequential build).
-  void BuildQueryStructures(ThreadPool* pool = nullptr);
-
-  // Search body with caller-provided ScanCount scratch (zeroed, size >=
-  // dataset size, returned zeroed); lets BatchQuery run chunks concurrently
-  // with one scratch buffer per chunk.
-  std::vector<RecordId> SearchWithScratch(
-      const Record& query, double threshold,
-      std::vector<uint32_t>& scan_counter) const;
+  // Builds the derived query structures (size order and, unless
+  // `rebuild_postings` is false because a snapshot already supplied them,
+  // the flat hash postings) from sketches_ + record_sizes_; shared by
+  // Create and LoadFrom. Deterministic for any thread count.
+  void BuildQueryStructures(bool rebuild_postings = true);
 
   const Dataset& dataset_;
   std::unique_ptr<GbKmvSketcher> sketcher_;
   size_t chosen_buffer_bits_ = 0;
-  uint64_t space_units_ = 0;
+  uint64_t space_units_ = 0;  // sketch payload (bitmaps + stored hashes)
 
   std::vector<GbKmvSketch> sketches_;          // per record id
   std::vector<uint32_t> record_sizes_;         // |X| per record id
   // Record ids sorted by ascending size + parallel sizes for binary search.
   std::vector<RecordId> by_size_;
   std::vector<uint32_t> sorted_sizes_;
-  // G-KMV hash value -> records containing it.
-  std::unordered_map<uint64_t, std::vector<RecordId>> hash_postings_;
-  mutable std::vector<uint32_t> scan_counter_;  // scratch, per record id
+  // Same order restricted to records with a non-empty buffer bitmap (the
+  // only ones the buffer-only pass can return).
+  std::vector<RecordId> buffered_by_size_;
+  std::vector<uint32_t> buffered_sorted_sizes_;
+  // G-KMV hash value -> records containing it (flat CSR + open addressing).
+  FlatHashPostings hash_postings_;
 };
 
 // Plain-KMV baseline searcher (§IV-A(1)): every record gets a size-⌊b/m⌋ KMV

@@ -1,104 +1,172 @@
 #include "index/inverted_index.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
 
 namespace gbkmv {
 
-InvertedIndex::InvertedIndex(const Dataset& dataset, ThreadPool* pool) {
-  const size_t m = dataset.size();
-  const size_t universe = dataset.universe_size();
-  postings_.resize(universe);
-  total_postings_ = dataset.total_elements();
-  counter_.assign(m, 0);
+namespace {
 
-  // Two-pass sharded build. Each shard covers a contiguous ascending
-  // record-id range; shard-ordered scatter offsets reproduce the serial
-  // ascending posting lists exactly for any thread count. The per-shard
-  // count matrix costs num_chunks * universe transient words, so fall back
-  // to the serial build when the universe dwarfs the data (the matrix —
-  // not the postings — would dominate time and memory).
-  const size_t num_chunks =
-      pool == nullptr ? 1 : std::min(pool->num_threads(), std::max<size_t>(m, 1));
-  if (num_chunks <= 1 ||
-      num_chunks * universe > 8 * std::max<uint64_t>(1, total_postings_)) {
-    for (size_t i = 0; i < m; ++i) {
-      for (ElementId e : dataset.record(i)) {
-        postings_[e].push_back(static_cast<RecordId>(i));
-      }
-    }
-    return;
-  }
-  const size_t grain = (m + num_chunks - 1) / num_chunks;
-
-  // Pass 1: per-shard occurrence counts per element.
-  std::vector<std::vector<uint32_t>> shard_counts(
-      num_chunks, std::vector<uint32_t>(universe, 0));
-  pool->ParallelFor(0, m, grain,
-                    [&](size_t begin, size_t end, size_t chunk) {
-                      std::vector<uint32_t>& counts = shard_counts[chunk];
-                      for (size_t i = begin; i < end; ++i) {
-                        for (ElementId e : dataset.record(i)) ++counts[e];
-                      }
-                    });
-
-  // Exclusive prefix over shards per element: shard_counts[c][e] becomes the
-  // write offset of shard c into postings_[e]; the final sum sizes the list.
-  pool->ParallelFor(
-      0, universe, std::max<size_t>(1, universe / (8 * pool->num_threads())),
-      [&](size_t begin, size_t end, size_t /*chunk*/) {
-        for (size_t e = begin; e < end; ++e) {
-          uint32_t total = 0;
-          for (size_t c = 0; c < num_chunks; ++c) {
-            const uint32_t count = shard_counts[c][e];
-            shard_counts[c][e] = total;
-            total += count;
-          }
-          postings_[e].resize(total);
-        }
-      });
-
-  // Pass 2: scatter each shard's ids into its reserved slices.
-  pool->ParallelFor(0, m, grain,
-                    [&](size_t begin, size_t end, size_t chunk) {
-                      std::vector<uint32_t>& offsets = shard_counts[chunk];
-                      for (size_t i = begin; i < end; ++i) {
-                        for (ElementId e : dataset.record(i)) {
-                          postings_[e][offsets[e]++] =
-                              static_cast<RecordId>(i);
-                        }
-                      }
-                    });
+// The scan loops live in standalone noinline functions so their code
+// generation is isolated from the per-query bookkeeping around them — the
+// per-posting loops are sensitive enough that inlining them into a larger
+// frame measurably changes their speed.
+// Caller guarantees query.size() < QueryContext::kSaturated (counts cannot
+// saturate), so the guard-free bump applies.
+__attribute__((noinline)) void DenseScan(const PostingStore& store,
+                                         const Record& query,
+                                         QueryContext& ctx) {
+  for (ElementId e : query) ctx.BumpRowUnchecked(store.Row(e));
 }
 
-const std::vector<RecordId>& InvertedIndex::Postings(ElementId element) const {
-  static const std::vector<RecordId>* kEmpty = new std::vector<RecordId>();
-  if (element >= postings_.size()) return *kEmpty;
-  return postings_[element];
+// Fallback for degenerate queries with kSaturated or more elements: counts
+// can exceed the inline 16-bit field, so every bump takes the exact
+// (overflow-spilling) path.
+__attribute__((noinline)) void DenseScanChecked(const PostingStore& store,
+                                                const Record& query,
+                                                QueryContext& ctx) {
+  for (ElementId e : query) ctx.BumpRow(store.Row(e));
+}
+
+__attribute__((noinline)) void GenerateScan(const PostingStore& store,
+                                            const Record& query,
+                                            const std::vector<uint32_t>& skip,
+                                            QueryContext& ctx) {
+  size_t next = 0;
+  for (size_t i = 0; i < query.size(); ++i) {
+    if (next < skip.size() && skip[next] == i) {
+      ++next;
+      continue;
+    }
+    ctx.BumpRowUnchecked(store.Row(query[i]));
+  }
+}
+
+__attribute__((noinline)) void RefineRows(const PostingStore& store,
+                                          const Record& query,
+                                          const std::vector<uint32_t>& rows,
+                                          QueryContext& ctx) {
+  const std::vector<uint32_t>& candidates = ctx.touched();
+  for (uint32_t i : rows) {
+    const std::span<const RecordId> row = store.Row(query[i]);
+    if (row.size() > 128 * candidates.size()) {
+      for (RecordId id : candidates) {
+        if (std::binary_search(row.begin(), row.end(), id)) {
+          ctx.BumpIfTouched(id);
+        }
+      }
+    } else {
+      for (RecordId id : row) ctx.BumpIfTouched(id);
+    }
+  }
+}
+
+}  // namespace
+
+InvertedIndex::InvertedIndex(const Dataset& dataset, ThreadPool* pool)
+    : num_records_(dataset.size()) {
+  store_ = PostingStore::Build(
+      dataset.universe_size(), dataset.size(),
+      [&dataset](size_t i, const auto& fn) {
+        for (ElementId e : dataset.record(i)) {
+          fn(e, static_cast<RecordId>(i));
+        }
+      },
+      pool, dataset.total_elements());
 }
 
 std::vector<RecordId> InvertedIndex::ScanCount(const Record& query,
-                                               size_t min_overlap) const {
-  return ScanCount(query, min_overlap, counter_);
-}
-
-std::vector<RecordId> InvertedIndex::ScanCount(
-    const Record& query, size_t min_overlap,
-    std::vector<uint32_t>& counter) const {
+                                               size_t min_overlap,
+                                               QueryContext& ctx) const {
   GBKMV_CHECK(min_overlap >= 1);
-  std::vector<RecordId> touched;
-  for (ElementId e : query) {
-    for (RecordId id : Postings(e)) {
-      if (counter[id] == 0) touched.push_back(id);
-      ++counter[id];
+  std::vector<RecordId> out;
+  const size_t q = query.size();
+  if (min_overlap > q) return out;
+  ctx.Begin(num_records_);
+
+  // Selective queries take a prefix-filtered two-phase path: candidates are
+  // generated from the q − θ + 1 shortest rows (by the pigeonhole principle
+  // a record with overlap >= θ appears in at least one of ANY q − θ + 1 of
+  // the query's rows), and the θ − 1 longest rows then only refine counts of
+  // those candidates — by binary-search probes when the row dwarfs the
+  // candidate set, which is where the big savings are. When the shortest
+  // rows already carry substantial volume the candidate set is large, no
+  // row can be probed, and the refinement only adds overhead — so the split
+  // is attempted only when the refine volume dwarfs the generation volume.
+  bool split = false;
+  const size_t refine_rows = min_overlap - 1;
+  std::vector<uint32_t> longest;  // query positions of the θ − 1 longest rows
+  // Only high thresholds (θ >= 0.6·q) can shed enough rows for the split to
+  // beat the dense scan; below that even the bookkeeping is a net loss.
+  if (refine_rows * 5 >= q * 3 && refine_rows > 0 &&
+      q < QueryContext::kSaturated) {
+    // Cheap gate first: a dominant longest row is what makes the split pay,
+    // and the pass below only touches the offsets the scan would read
+    // anyway. The allocation + selection run only for gated queries.
+    uint64_t total_volume = 0;
+    uint64_t max_length = 0;
+    for (size_t i = 0; i < q; ++i) {
+      const uint64_t len = store_.Row(query[i]).size();
+      total_volume += len;
+      max_length = std::max(max_length, len);
+    }
+    if (max_length > 4 * (total_volume - max_length) / refine_rows) {
+      std::vector<uint64_t> by_length(q);  // (length, position) packed
+      for (size_t i = 0; i < q; ++i) {
+        by_length[i] = (uint64_t{store_.Row(query[i]).size()} << 32) | i;
+      }
+      std::nth_element(by_length.begin(),
+                       by_length.begin() + (refine_rows - 1), by_length.end(),
+                       std::greater<uint64_t>());
+      uint64_t refine_volume = 0;
+      for (size_t k = 0; k < refine_rows; ++k) {
+        refine_volume += by_length[k] >> 32;
+      }
+      const uint64_t generate_volume = total_volume - refine_volume;
+      // All must hold: the refine rows carry the bulk of the volume (else
+      // there is nothing to save), and the candidate set — bounded by the
+      // generation volume — is small enough that at least the longest row
+      // is plausibly probe-able (else no row can be probed and the
+      // refinement pass only costs). The q bound above keeps counts below
+      // the context's inline-counter saturation point, which the refine API
+      // clamps at instead of spilling exactly.
+      split = refine_volume > 16 * generate_volume &&
+              generate_volume < num_records_ / 8 &&
+              max_length > 16 * generate_volume;
+      if (split) {
+        longest.reserve(refine_rows);
+        for (size_t k = 0; k < refine_rows; ++k) {
+          longest.push_back(static_cast<uint32_t>(by_length[k]));
+        }
+      }
     }
   }
-  std::vector<RecordId> out;
-  for (RecordId id : touched) {
-    if (counter[id] >= min_overlap) out.push_back(id);
-    counter[id] = 0;  // Reset for the next call.
+
+  if (!split) {
+    // Dense path: one pass in query order (ascending element id = ascending
+    // CSR address, the traversal the prefetcher likes).
+    if (q < QueryContext::kSaturated) {
+      DenseScan(store_, query, ctx);
+    } else {
+      DenseScanChecked(store_, query, ctx);
+    }
+  } else {
+    std::sort(longest.begin(), longest.end());
+    // Generation over every row not among the θ − 1 longest, in query
+    // order; then refinement, which never admits new candidates (a record
+    // absent from every generation row cannot reach θ) and binary-search
+    // probes any row that dwarfs the candidate set — a probe costs log2(L)
+    // scattered reads against ~1 streamed read per posting for a scan,
+    // hence the wide margin inside RefineRows.
+    GenerateScan(store_, query, longest, ctx);
+    RefineRows(store_, query, longest, ctx);
+  }
+
+  for (RecordId id : ctx.touched()) {
+    if (ctx.CountOf(id) >= min_overlap) out.push_back(id);
   }
   return out;
 }

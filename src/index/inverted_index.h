@@ -1,15 +1,19 @@
-// Inverted index substrate: element id -> sorted posting list of record ids.
-// Shared by the exact search methods (FreqSet ScanCount, PPjoin* prefix
-// index) and the fast ground-truth oracle.
+// Inverted index substrate: element id -> sorted posting list of record ids,
+// stored flat (storage/posting_store.h CSR layout). Shared by the exact
+// search methods (FreqSet ScanCount, PPjoin* prefix index) and the fast
+// ground-truth oracle.
 
 #ifndef GBKMV_INDEX_INVERTED_INDEX_H_
 #define GBKMV_INDEX_INVERTED_INDEX_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "data/dataset.h"
 #include "index/searcher.h"
+#include "storage/posting_store.h"
+#include "storage/query_context.h"
 
 namespace gbkmv {
 
@@ -23,27 +27,27 @@ class InvertedIndex {
   explicit InvertedIndex(const Dataset& dataset, ThreadPool* pool = nullptr);
 
   // Posting list (ascending record ids) of `element`; empty for unseen ids.
-  const std::vector<RecordId>& Postings(ElementId element) const;
+  std::span<const RecordId> Postings(ElementId element) const {
+    return store_.Row(element);
+  }
 
-  // Σ posting lengths (= total elements), i.e. index size in entries.
-  uint64_t TotalPostings() const { return total_postings_; }
+  // Σ posting lengths (= total elements), i.e. payload size in entries.
+  uint64_t TotalPostings() const { return store_.size(); }
+
+  // Resident storage in 32-bit units: offsets + posting values.
+  uint64_t SpaceUnits() const { return store_.SpaceUnits(); }
 
   // ScanCount: number of query elements shared with each record. Returns the
   // ids of records whose overlap with `query` is >= min_overlap, by counting
-  // occurrences across the query's posting lists. `min_overlap` must be >= 1.
-  std::vector<RecordId> ScanCount(const Record& query,
-                                  size_t min_overlap) const;
-
-  // Same with caller-provided scratch (all-zero, size >= dataset size; left
-  // zeroed on return), so concurrent callers can hold one counter each.
+  // occurrences across the query's posting lists in the caller's scratch
+  // arena (pass ThreadLocalQueryContext() unless composing with an outer
+  // counting pass). `min_overlap` must be >= 1.
   std::vector<RecordId> ScanCount(const Record& query, size_t min_overlap,
-                                  std::vector<uint32_t>& counter) const;
+                                  QueryContext& ctx) const;
 
  private:
-  std::vector<std::vector<RecordId>> postings_;
-  uint64_t total_postings_ = 0;
-  // Scratch counter reused across ScanCount calls (sized to the dataset).
-  mutable std::vector<uint32_t> counter_;
+  PostingStore store_;
+  size_t num_records_ = 0;
 };
 
 }  // namespace gbkmv

@@ -129,9 +129,20 @@ double LshEnsembleSearcher::EstimateContainment(const Record& query,
                                     u);
 }
 
-uint64_t LshEnsembleSearcher::SpaceUnits() const {
-  // The paper charges one unit per stored hash value: m · k.
+uint64_t LshEnsembleSearcher::BudgetSpaceUnits() const {
   return static_cast<uint64_t>(dataset_.size()) * options_.num_hashes;
+}
+
+uint64_t LshEnsembleSearcher::SpaceUnits() const {
+  // Signatures (the paper's m·k units) plus the resident banding structures:
+  // every partition's flat bucket tables and its member-id list. The paper
+  // reports only m·k; the extra terms are the real footprint of the
+  // precomputed row-choice tables (docs/snapshot_format.md).
+  uint64_t units = static_cast<uint64_t>(dataset_.size()) * options_.num_hashes;
+  for (const Partition& part : partitions_) {
+    units += part.index->SpaceUnits() + part.ids.size();
+  }
+  return units;
 }
 
 }  // namespace gbkmv

@@ -58,6 +58,8 @@ class LshEnsembleSearcher : public ContainmentSearcher {
       size_t num_threads) const override;
   std::string name() const override { return "LSH-E"; }
   uint64_t SpaceUnits() const override;
+  // Paper measure: one unit per stored signature value (m·k).
+  uint64_t BudgetSpaceUnits() const override;
 
   // Direct containment estimate for one record via the transformation of
   // Eq. 15 (used by tests; the search path is candidate-based).

@@ -68,19 +68,28 @@ MinHashLshIndex::MinHashLshIndex(
     const std::vector<size_t>& row_choices)
     : signature_size_(signature_size), row_choices_(row_choices) {
   GBKMV_CHECK(signatures.size() == ids.size());
+  for (const MinHashSignature& sig : signatures) {
+    GBKMV_CHECK(sig.size() == signature_size_);
+  }
   per_row_.reserve(row_choices_.size());
   for (size_t rows : row_choices_) {
     GBKMV_CHECK(rows >= 1 && rows <= signature_size_);
     RowTables rt;
     rt.rows = rows;
     rt.bands = signature_size_ / rows;
-    rt.tables.resize(rt.bands);
-    for (size_t s = 0; s < signatures.size(); ++s) {
-      GBKMV_CHECK(signatures[s].size() == signature_size_);
-      for (size_t band = 0; band < rt.bands; ++band) {
-        const uint64_t h = BandHash(signatures[s], band * rows, rows);
-        rt.tables[band][h].push_back(ids[s]);
+    rt.tables.reserve(rt.bands);
+    // Band hashes are computed once into a scratch column so the two-pass
+    // flat build does not re-mix the signatures.
+    std::vector<uint64_t> column(signatures.size());
+    for (size_t band = 0; band < rt.bands; ++band) {
+      for (size_t s = 0; s < signatures.size(); ++s) {
+        column[s] = BandHash(signatures[s], band * rows, rows);
       }
+      rt.tables.push_back(FlatHashPostings::Build([&](const auto& fn) {
+        for (size_t s = 0; s < signatures.size(); ++s) {
+          fn(column[s], ids[s]);
+        }
+      }));
     }
     per_row_.push_back(std::move(rt));
   }
@@ -101,13 +110,22 @@ std::vector<RecordId> MinHashLshIndex::Query(const MinHashSignature& query_sig,
   std::vector<RecordId> out;
   for (size_t band = 0; band < bands; ++band) {
     const uint64_t h = BandHash(query_sig, band * rt->rows, rt->rows);
-    const auto it = rt->tables[band].find(h);
-    if (it == rt->tables[band].end()) continue;
-    out.insert(out.end(), it->second.begin(), it->second.end());
+    const std::span<const RecordId> bucket = rt->tables[band].Find(h);
+    out.insert(out.end(), bucket.begin(), bucket.end());
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+uint64_t MinHashLshIndex::SpaceUnits() const {
+  uint64_t units = 0;
+  for (const RowTables& rt : per_row_) {
+    for (const FlatHashPostings& table : rt.tables) {
+      units += table.SpaceUnits();
+    }
+  }
+  return units;
 }
 
 }  // namespace gbkmv

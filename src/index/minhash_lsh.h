@@ -14,10 +14,10 @@
 #define GBKMV_INDEX_MINHASH_LSH_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "sketch/minhash.h"
+#include "storage/flat_hash_postings.h"
 
 namespace gbkmv {
 
@@ -57,12 +57,16 @@ class MinHashLshIndex {
   size_t signature_size() const { return signature_size_; }
   const std::vector<size_t>& row_choices() const { return row_choices_; }
 
+  // Resident storage of all bucket tables in 32-bit units (flat band-hash
+  // keys + offsets + posting payloads + probe slots).
+  uint64_t SpaceUnits() const;
+
  private:
-  // One bucket table per (row choice, band): band hash -> record ids.
+  // One flat bucket table per (row choice, band): band hash -> record ids.
   struct RowTables {
     size_t rows = 0;
     size_t bands = 0;
-    std::vector<std::unordered_map<uint64_t, std::vector<RecordId>>> tables;
+    std::vector<FlatHashPostings> tables;
   };
 
   static uint64_t BandHash(const MinHashSignature& sig, size_t start,

@@ -5,10 +5,12 @@
 #include <numeric>
 
 #include "common/thread_pool.h"
+#include "storage/query_context.h"
 
 namespace gbkmv {
 
-PPJoinSearcher::PPJoinSearcher(const Dataset& dataset) : dataset_(dataset) {
+PPJoinSearcher::PPJoinSearcher(const Dataset& dataset, ThreadPool* pool)
+    : dataset_(dataset) {
   // Rank tokens by ascending global frequency (ties by id) so record
   // prefixes consist of the rarest tokens.
   const std::vector<uint64_t>& freq = dataset.frequencies();
@@ -20,41 +22,42 @@ PPJoinSearcher::PPJoinSearcher(const Dataset& dataset) : dataset_(dataset) {
   rank_.resize(freq.size());
   for (size_t i = 0; i < order.size(); ++i) rank_[order[i]] = static_cast<uint32_t>(i);
 
-  postings_.resize(freq.size());
-  std::vector<ElementId> reordered;
-  for (size_t i = 0; i < dataset.size(); ++i) {
-    const Record& r = dataset.record(i);
-    reordered.assign(r.begin(), r.end());
-    std::sort(reordered.begin(), reordered.end(),
-              [this](ElementId a, ElementId b) { return rank_[a] < rank_[b]; });
-    for (uint32_t pos = 0; pos < reordered.size(); ++pos) {
-      postings_[reordered[pos]].push_back(
-          {static_cast<RecordId>(i), pos});
-      ++index_entries_;
+  // Frequency-order every record once into a flat scratch CSR (row starts =
+  // element-count prefix sums), then run the deterministic two-pass posting
+  // build over it.
+  const size_t m = dataset.size();
+  std::vector<size_t> row(m + 1, 0);
+  for (size_t i = 0; i < m; ++i) row[i + 1] = row[i] + dataset.record(i).size();
+  std::vector<ElementId> reordered(row[m]);
+  const auto reorder_range = [&](size_t begin, size_t end, size_t /*chunk*/) {
+    for (size_t i = begin; i < end; ++i) {
+      const Record& r = dataset.record(i);
+      std::copy(r.begin(), r.end(), reordered.begin() + row[i]);
+      std::sort(reordered.begin() + row[i], reordered.begin() + row[i + 1],
+                [this](ElementId a, ElementId b) { return rank_[a] < rank_[b]; });
     }
+  };
+  if (pool == nullptr || pool->num_threads() <= 1 || m <= 1) {
+    reorder_range(0, m, 0);
+  } else {
+    pool->ParallelFor(0, m, (m + pool->num_threads() - 1) / pool->num_threads(),
+                      reorder_range);
   }
-  candidate_flag_.assign(dataset.size(), 0);
+
+  postings_ = CsrStore<Posting>::Build(
+      freq.size(), m,
+      [&](size_t i, const auto& fn) {
+        for (size_t pos = row[i]; pos < row[i + 1]; ++pos) {
+          fn(reordered[pos],
+             Posting{static_cast<RecordId>(i),
+                     static_cast<uint32_t>(pos - row[i])});
+        }
+      },
+      pool, row[m]);
 }
 
 std::vector<RecordId> PPJoinSearcher::Search(const Record& query,
                                              double threshold) const {
-  return SearchWithFlags(query, threshold, candidate_flag_);
-}
-
-std::vector<std::vector<RecordId>> PPJoinSearcher::BatchQuery(
-    std::span<const Record> queries, double threshold,
-    size_t num_threads) const {
-  return ParallelBatchQueryWithScratch(
-      queries, num_threads,
-      [this] { return std::vector<uint8_t>(dataset_.size(), 0); },
-      [this, threshold](const Record& q, std::vector<uint8_t>& flags) {
-        return SearchWithFlags(q, threshold, flags);
-      });
-}
-
-std::vector<RecordId> PPJoinSearcher::SearchWithFlags(
-    const Record& query, double threshold,
-    std::vector<uint8_t>& candidate_flag) const {
   std::vector<RecordId> out;
   if (query.empty()) return out;
   const size_t q = query.size();
@@ -83,12 +86,11 @@ std::vector<RecordId> PPJoinSearcher::SearchWithFlags(
             });
   const size_t prefix_len = q - theta + 1;
 
-  std::vector<RecordId> candidates;
+  QueryContext& ctx = ThreadLocalQueryContext();
+  ctx.Begin(dataset_.size());
   for (size_t i = 0; i < prefix_len; ++i) {
-    const ElementId w = qtokens[i];
-    if (w >= postings_.size()) continue;
-    for (const Posting& p : postings_[w]) {
-      if (candidate_flag[p.id]) continue;
+    for (const Posting& p : postings_.Row(qtokens[i])) {
+      if (ctx.IsMarked(p.id)) continue;
       const size_t x = dataset_.record(p.id).size();
       if (x < theta) continue;                       // size filter
       if (p.position + theta > x) continue;          // record prefix filter
@@ -96,13 +98,11 @@ std::vector<RecordId> PPJoinSearcher::SearchWithFlags(
       const size_t bound =
           1 + std::min(q - i - 1, x - p.position - 1);
       if (bound < theta) continue;
-      candidate_flag[p.id] = 1;
-      candidates.push_back(p.id);
+      ctx.Mark(p.id);
     }
   }
 
-  for (RecordId id : candidates) {
-    candidate_flag[id] = 0;  // Reset scratch.
+  for (RecordId id : ctx.touched()) {
     if (IntersectSize(query, dataset_.record(id)) >= theta) {
       out.push_back(id);
     }
@@ -110,9 +110,18 @@ std::vector<RecordId> PPJoinSearcher::SearchWithFlags(
   return out;
 }
 
+std::vector<std::vector<RecordId>> PPJoinSearcher::BatchQuery(
+    std::span<const Record> queries, double threshold,
+    size_t num_threads) const {
+  // Search scratch is per-thread (QueryContext), so concurrent callers are
+  // safe.
+  return ParallelBatchQuery(*this, queries, threshold, num_threads);
+}
+
 uint64_t PPJoinSearcher::SpaceUnits() const {
-  // Each posting entry stores (id, position): charge two 32-bit units.
-  return 2 * index_entries_;
+  // Postings (two 32-bit words per (id, position) entry + offsets) plus the
+  // global token-rank array.
+  return postings_.SpaceUnits() + rank_.size();
 }
 
 }  // namespace gbkmv

@@ -19,14 +19,18 @@
 
 #include "data/dataset.h"
 #include "index/searcher.h"
+#include "storage/posting_store.h"
 
 namespace gbkmv {
 
 class PPJoinSearcher : public ContainmentSearcher {
  public:
   // Builds the positional prefix index. `dataset` must outlive the searcher.
-  explicit PPJoinSearcher(const Dataset& dataset);
+  // A non-null pool shards the posting build (byte-identical result).
+  explicit PPJoinSearcher(const Dataset& dataset, ThreadPool* pool = nullptr);
 
+  // Safe for concurrent callers: candidate flags come from the calling
+  // thread's QueryContext arena.
   std::vector<RecordId> Search(const Record& query,
                                double threshold) const override;
   std::vector<std::vector<RecordId>> BatchQuery(
@@ -34,14 +38,11 @@ class PPJoinSearcher : public ContainmentSearcher {
       size_t num_threads) const override;
   std::string name() const override { return "PPjoin*"; }
   uint64_t SpaceUnits() const override;
+  // Paper measure: two units per positional posting entry.
+  uint64_t BudgetSpaceUnits() const override { return 2 * postings_.size(); }
   bool exact() const override { return true; }
 
  private:
-  // Search body with caller-provided candidate-flag scratch (all-zero, size
-  // >= dataset size, returned zeroed); one per BatchQuery chunk.
-  std::vector<RecordId> SearchWithFlags(
-      const Record& query, double threshold,
-      std::vector<uint8_t>& candidate_flag) const;
   struct Posting {
     RecordId id;
     uint32_t position;  // token position in the frequency-ordered record
@@ -51,9 +52,7 @@ class PPJoinSearcher : public ContainmentSearcher {
   // Global token order: rank_[e] = position of e when sorted by ascending
   // frequency (rarest first). Rarer tokens give shorter candidate lists.
   std::vector<uint32_t> rank_;
-  std::vector<std::vector<Posting>> postings_;  // token -> positional postings
-  uint64_t index_entries_ = 0;
-  mutable std::vector<uint8_t> candidate_flag_;  // scratch, sized to dataset
+  CsrStore<Posting> postings_;  // token -> positional postings
 };
 
 }  // namespace gbkmv

@@ -33,8 +33,8 @@ class ContainmentSearcher {
   // buffers and merged in input order). num_threads == 0 means
   // DefaultThreads(). The base implementation is sequential — it is what
   // every override must stay byte-identical to; subclasses whose Search is
-  // safe for concurrent callers parallelise via ParallelBatchQuery, and
-  // scratch-carrying searchers override with per-worker scratch.
+  // safe for concurrent callers (all current methods: query scratch lives in
+  // the per-thread QueryContext arena) parallelise via ParallelBatchQuery.
   virtual std::vector<std::vector<RecordId>> BatchQuery(
       std::span<const Record> queries, double threshold,
       size_t num_threads) const;
@@ -42,9 +42,17 @@ class ContainmentSearcher {
   // Human-readable method name ("GB-KMV", "LSH-E", ...).
   virtual std::string name() const = 0;
 
-  // Index size in element units (32-bit words), the paper's space measure.
-  // Exact methods report the size of their index structures.
+  // Actual resident index storage in 32-bit units: every array the query
+  // path keeps live (posting values, CSR offsets, key/probe tables, sketch
+  // payloads). Per-method formulas in docs/snapshot_format.md.
   virtual uint64_t SpaceUnits() const = 0;
+
+  // The paper's element-unit space measure (§V "SpaceUsed"): the sketch
+  // budget for sketch methods, m·k for the signature methods, posting
+  // entries for the exact ones. This is what the figure harnesses plot on
+  // their space axes; SpaceUnits() >= BudgetSpaceUnits() always, and the gap
+  // is the accounting the paper leaves out (offsets, probe tables).
+  virtual uint64_t BudgetSpaceUnits() const { return SpaceUnits(); }
 
   // True for methods whose result set is exact (no sketch error).
   virtual bool exact() const { return false; }
@@ -60,42 +68,12 @@ class ContainmentSearcher {
 };
 
 // Shared parallel BatchQuery implementation for searchers whose Search is
-// safe for concurrent callers (no mutable scratch): chunks `queries` across
-// the workers and merges the per-chunk buffers in input order.
+// safe for concurrent callers (query scratch comes from the calling
+// thread's QueryContext arena, never from the searcher): chunks `queries`
+// across the workers and merges the per-chunk buffers in input order.
 std::vector<std::vector<RecordId>> ParallelBatchQuery(
     const ContainmentSearcher& searcher, std::span<const Record> queries,
     double threshold, size_t num_threads);
-
-// Variant for searchers whose search body needs per-query scratch:
-// make_scratch() runs once per chunk and search(query, scratch) per query,
-// so chunks execute concurrently with isolated scratch. One chunk per
-// worker — scratch is O(dataset size) to allocate/zero, so finer grains
-// would pay more in scratch setup than they win in load balance.
-template <typename MakeScratch, typename SearchFn>
-std::vector<std::vector<RecordId>> ParallelBatchQueryWithScratch(
-    std::span<const Record> queries, size_t num_threads,
-    MakeScratch&& make_scratch, SearchFn&& search) {
-  if (num_threads == 0) num_threads = DefaultThreads();
-  std::vector<std::vector<RecordId>> results(queries.size());
-  if (num_threads == 1 || queries.size() <= 1) {
-    auto scratch = make_scratch();
-    for (size_t i = 0; i < queries.size(); ++i) {
-      results[i] = search(queries[i], scratch);
-    }
-    return results;
-  }
-  ThreadPool pool(num_threads);
-  const size_t grain =
-      (queries.size() + pool.num_threads() - 1) / pool.num_threads();
-  pool.ParallelFor(0, queries.size(), grain,
-                   [&](size_t begin, size_t end, size_t /*chunk*/) {
-                     auto scratch = make_scratch();
-                     for (size_t i = begin; i < end; ++i) {
-                       results[i] = search(queries[i], scratch);
-                     }
-                   });
-  return results;
-}
 
 }  // namespace gbkmv
 

@@ -113,6 +113,10 @@ Status GbKmvIndexSearcher::Save(const std::string& path) const {
   out->PutU64(space_units_);
   out->PutU64(sketches_.size());
   for (const GbKmvSketch& sketch : sketches_) sketch.SaveTo(out);
+  // Format version 2: the flat hash-posting store travels with the index,
+  // so a load skips the posting rebuild. The layout is a pure function of
+  // the sketches, so the bytes stay identical for any build thread count.
+  hash_postings_.SaveTo(out);
   return snapshot.WriteTo(path);
 }
 
@@ -154,7 +158,27 @@ Result<std::unique_ptr<GbKmvIndexSearcher>> GbKmvIndexSearcher::LoadFrom(
   if (space_check != s->space_units_) {
     return Status::Corruption("stored space units disagree with sketches");
   }
-  s->BuildQueryStructures();
+  if (snapshot.version() >= 2) {
+    // The flat posting store is stored verbatim; validate its structure and
+    // that its payload agrees with the sketches it must have come from.
+    Result<FlatHashPostings> postings =
+        FlatHashPostings::LoadFrom(in, dataset.size());
+    if (!postings.ok()) return postings.status();
+    uint64_t total_hashes = 0;
+    for (const GbKmvSketch& sketch : s->sketches_) {
+      total_hashes += sketch.gkmv.size();
+    }
+    if (postings->num_postings() != total_hashes) {
+      return Status::Corruption(
+          "stored hash postings disagree with the sketches");
+    }
+    s->hash_postings_ = std::move(postings.value());
+    s->BuildQueryStructures(/*rebuild_postings=*/false);
+  } else {
+    // Version-1 snapshot: convert on read by rebuilding the flat postings
+    // from the sketches (what the v1 writer expected every load to do).
+    s->BuildQueryStructures();
+  }
   return s;
 }
 
@@ -266,17 +290,13 @@ Result<std::unique_ptr<DynamicGbKmvIndex>> DynamicGbKmvIndex::LoadFrom(
       return Status::Corruption("sketch bitmap width does not match r");
     }
     space_check += sketch->SpaceUnits(index->options_.buffer_bits);
-    const RecordId id = static_cast<RecordId>(index->records_.size());
-    for (uint64_t h : sketch->gkmv.values()) {
-      index->hash_postings_[h].push_back(id);
-    }
     index->records_.push_back(std::move(record));
     index->sketches_.push_back(std::move(sketch.value()));
   }
   if (space_check != index->used_units_) {
     return Status::Corruption("stored used units disagree with sketches");
   }
-  index->scan_counter_.assign(index->records_.size(), 0);
+  index->CompactPostings();
   return index;
 }
 

@@ -93,6 +93,7 @@ Result<SnapshotReader> SnapshotReader::FromBytes(std::string bytes) {
         " not supported (reader supports up to " +
         std::to_string(kSnapshotVersion) + ")");
   }
+  reader.version_ = version;
   if (section_count > (data.size() - kHeaderSize) / kTableEntrySize) {
     return Status::Corruption("section table exceeds file size");
   }

@@ -38,7 +38,12 @@ namespace io {
 
 inline constexpr char kSnapshotMagic[8] = {'G', 'B', 'K', 'M',
                                            'V', 'S', 'N', 'P'};
-inline constexpr uint32_t kSnapshotVersion = 1;
+// Format history (docs/snapshot_format.md):
+//   1 — initial layout; searcher query accelerators rebuilt on load.
+//   2 — the gbkmv-index section additionally carries the flat hash-posting
+//       store so loads skip the rebuild. Version-1 files stay loadable (the
+//       reader converts by rebuilding the postings from the sketches).
+inline constexpr uint32_t kSnapshotVersion = 2;
 
 // Section tags (exactly 4 bytes each).
 inline constexpr char kSectionMeta[] = "meta";     // kind + fingerprint
@@ -80,10 +85,15 @@ class SnapshotReader {
   // Bounded reader over the section payload; NotFound if absent.
   Result<Reader> Section(const std::string& tag) const;
 
+  // Format version the file was written with (1 <= version() <=
+  // kSnapshotVersion); loaders branch on it to read older section layouts.
+  uint32_t version() const { return version_; }
+
  private:
   SnapshotReader() = default;
 
   std::string data_;
+  uint32_t version_ = kSnapshotVersion;
   std::map<std::string, std::pair<uint64_t, uint64_t>> sections_;  // off, len
 };
 

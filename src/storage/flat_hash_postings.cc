@@ -1,0 +1,93 @@
+#include "storage/flat_hash_postings.h"
+
+#include "io/serializer.h"
+
+namespace gbkmv {
+
+uint32_t FlatHashPostings::InternKey(uint64_t key) {
+  if (2 * (keys_.size() + 1) > table_.size()) {
+    table_.assign(std::max<size_t>(16, 4 * table_.size()), 0);
+    for (uint32_t index = 0; index < keys_.size(); ++index) {
+      const size_t mask = table_.size() - 1;
+      size_t slot = static_cast<size_t>(Mix64(keys_[index])) & mask;
+      while (table_[slot] != 0) slot = (slot + 1) & mask;
+      table_[slot] = index + 1;
+    }
+  }
+  const size_t mask = table_.size() - 1;
+  for (size_t slot = static_cast<size_t>(Mix64(key)) & mask;;
+       slot = (slot + 1) & mask) {
+    if (table_[slot] == 0) {
+      GBKMV_CHECK(keys_.size() < UINT32_MAX);
+      keys_.push_back(key);
+      table_[slot] = static_cast<uint32_t>(keys_.size());
+      return static_cast<uint32_t>(keys_.size() - 1);
+    }
+    if (keys_[table_[slot] - 1] == key) return table_[slot] - 1;
+  }
+}
+
+uint32_t FlatHashPostings::FindKeyIndex(uint64_t key) const {
+  const size_t mask = table_.size() - 1;
+  for (size_t slot = static_cast<size_t>(Mix64(key)) & mask;;
+       slot = (slot + 1) & mask) {
+    GBKMV_CHECK(table_[slot] != 0);
+    if (keys_[table_[slot] - 1] == key) return table_[slot] - 1;
+  }
+}
+
+bool FlatHashPostings::RebuildTable() {
+  if (keys_.empty()) {
+    table_.clear();
+    return true;
+  }
+  // Same growth schedule as InternKey (smallest 16·4^j >= 2·num_keys), so a
+  // loaded store is byte-for-byte the size of the originally built one.
+  size_t size = 16;
+  while (size < 2 * keys_.size()) size *= 4;
+  table_.assign(size, 0);
+  const size_t mask = table_.size() - 1;
+  for (uint32_t index = 0; index < keys_.size(); ++index) {
+    size_t slot = static_cast<size_t>(Mix64(keys_[index])) & mask;
+    while (table_[slot] != 0) {
+      if (keys_[table_[slot] - 1] == keys_[index]) return false;  // duplicate
+      slot = (slot + 1) & mask;
+    }
+    table_[slot] = index + 1;
+  }
+  return true;
+}
+
+void FlatHashPostings::SaveTo(io::Writer* out) const {
+  out->PutVecU64(keys_);
+  out->PutVecU32(offsets_);
+  out->PutVecU32(values_);
+}
+
+Result<FlatHashPostings> FlatHashPostings::LoadFrom(io::Reader* in,
+                                                    uint64_t num_records) {
+  FlatHashPostings p;
+  GBKMV_RETURN_IF_ERROR(in->GetVecU64(&p.keys_));
+  GBKMV_RETURN_IF_ERROR(in->GetVecU32(&p.offsets_));
+  GBKMV_RETURN_IF_ERROR(in->GetVecU32(&p.values_));
+  if (p.offsets_.size() != p.keys_.size() + 1 || p.offsets_.front() != 0 ||
+      p.offsets_.back() != p.values_.size()) {
+    return Status::Corruption("flat postings offsets malformed");
+  }
+  for (size_t i = 0; i + 1 < p.offsets_.size(); ++i) {
+    if (p.offsets_[i] > p.offsets_[i + 1]) {
+      return Status::Corruption("flat postings offsets not monotone");
+    }
+  }
+  for (uint32_t id : p.values_) {
+    if (id >= num_records) {
+      return Status::Corruption("flat postings id outside the dataset");
+    }
+  }
+  if (!p.RebuildTable()) {
+    return Status::Corruption("flat postings contain a duplicate key");
+  }
+  return p;
+}
+
+}  // namespace gbkmv

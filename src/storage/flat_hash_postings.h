@@ -1,0 +1,121 @@
+// Flat postings keyed by sparse 64-bit keys (sketch hash values, LSH band
+// hashes): a CSR payload (offsets[] + values[]) addressed through an
+// open-addressing index table, replacing unordered_map<uint64_t,
+// vector<RecordId>>. Three contiguous arrays instead of a node per key and a
+// heap vector per list — O(1) lookups with linear probing over a flat slot
+// array, and space accounting that is exactly keys + offsets + values +
+// table.
+//
+// The build is a deterministic two-pass count/scatter over a fixed pair
+// enumeration: key slots are interned in first-appearance order, so the
+// layout — and therefore anything serialized from it — is a pure function of
+// the enumeration sequence, independent of thread count (builders enumerate
+// in record order).
+
+#ifndef GBKMV_STORAGE_FLAT_HASH_POSTINGS_H_
+#define GBKMV_STORAGE_FLAT_HASH_POSTINGS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace gbkmv {
+
+namespace io {
+class Reader;
+class Writer;
+}  // namespace io
+
+class FlatHashPostings {
+ public:
+  FlatHashPostings() = default;
+
+  // Builds from a deterministic enumeration of (key, record-id) pairs:
+  // `enumerate(fn)` must call fn(key, id) for every pair in a fixed order,
+  // and is invoked twice (count pass + scatter pass) — it must yield the
+  // same sequence both times.
+  template <typename Enumerate>
+  static FlatHashPostings Build(const Enumerate& enumerate) {
+    FlatHashPostings p;
+    std::vector<uint32_t> counts;
+    enumerate([&p, &counts](uint64_t key, uint32_t /*id*/) {
+      const uint32_t index = p.InternKey(key);
+      if (index == counts.size()) counts.push_back(0);
+      ++counts[index];
+    });
+
+    p.offsets_.resize(p.keys_.size() + 1);
+    uint64_t total = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      p.offsets_[i] = static_cast<uint32_t>(total);
+      total += counts[i];
+      GBKMV_CHECK(total <= UINT32_MAX);
+    }
+    p.offsets_.back() = static_cast<uint32_t>(total);
+    p.values_.resize(static_cast<size_t>(total));
+
+    std::vector<uint32_t> cursor(p.offsets_.begin(), p.offsets_.end() - 1);
+    enumerate([&p, &cursor](uint64_t key, uint32_t id) {
+      const uint32_t index = p.FindKeyIndex(key);
+      p.values_[cursor[index]++] = id;
+    });
+    return p;
+  }
+
+  // Posting list of `key` (empty when absent), in enumeration order — for
+  // record-ordered builders that is ascending record id.
+  std::span<const uint32_t> Find(uint64_t key) const {
+    if (keys_.empty()) return {};
+    const size_t mask = table_.size() - 1;
+    for (size_t slot = static_cast<size_t>(Mix64(key)) & mask;;
+         slot = (slot + 1) & mask) {
+      const uint32_t stored = table_[slot];
+      if (stored == 0) return {};
+      const uint32_t index = stored - 1;
+      if (keys_[index] == key) {
+        return std::span<const uint32_t>(values_.data() + offsets_[index],
+                                         offsets_[index + 1] -
+                                             offsets_[index]);
+      }
+    }
+  }
+
+  size_t num_keys() const { return keys_.size(); }
+  uint64_t num_postings() const { return values_.size(); }
+  bool empty() const { return keys_.empty(); }
+
+  // Resident storage in 32-bit units: keys (u64 = 2) + offsets + values +
+  // open-addressing slots.
+  uint64_t SpaceUnits() const {
+    return 2 * keys_.size() + offsets_.size() + values_.size() + table_.size();
+  }
+
+  // Snapshot serialization (keys, offsets and values verbatim; the probe
+  // table is rebuilt on load). Load validates structure: monotone offsets
+  // bounded by the value count, unique keys, record ids < num_records.
+  void SaveTo(io::Writer* out) const;
+  static Result<FlatHashPostings> LoadFrom(io::Reader* in,
+                                           uint64_t num_records);
+
+ private:
+  // Returns the key's index, interning it (in first-appearance order) when
+  // new. Grows the probe table at 50% load; rehashing re-inserts keys_ in
+  // intern order, so the table layout depends only on the key sequence.
+  uint32_t InternKey(uint64_t key);
+  // Index of an existing key (must have been interned).
+  uint32_t FindKeyIndex(uint64_t key) const;
+  // Rebuilds table_ from keys_; false if a duplicate key is found.
+  bool RebuildTable();
+
+  std::vector<uint64_t> keys_;     // by intern order
+  std::vector<uint32_t> offsets_;  // num_keys + 1 row starts
+  std::vector<uint32_t> values_;   // concatenated posting lists
+  std::vector<uint32_t> table_;    // open addressing: key index + 1, 0 empty
+};
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_STORAGE_FLAT_HASH_POSTINGS_H_

@@ -1,0 +1,140 @@
+// CSR (compressed sparse row) posting storage: one contiguous offsets[]
+// array over a dense key space plus one contiguous values[] payload. This is
+// the flat replacement for vector<vector<...>> posting layouts — one
+// allocation instead of one per key, cache-linear row scans, and space
+// accounting that is exactly offsets + values.
+//
+// Construction is the deterministic two-pass count/scatter build shared with
+// the rest of the parallel subsystem (docs/parallelism.md): each shard covers
+// a contiguous ascending item range, per-shard counts become shard-ordered
+// write offsets, so the layout is byte-identical to a serial build for ANY
+// thread count — the invariant tests/parallel_equivalence_test.cc enforces.
+
+#ifndef GBKMV_STORAGE_POSTING_STORE_H_
+#define GBKMV_STORAGE_POSTING_STORE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace gbkmv {
+
+template <typename V>
+class CsrStore {
+ public:
+  CsrStore() = default;
+
+  // Builds the store from a deterministic enumeration of (key, value) pairs.
+  // `emit(item, fn)` must call fn(key, value) for every pair produced by
+  // `item` in a fixed order; it is invoked twice per item (count pass +
+  // scatter pass) and must yield the same sequence both times. Keys must be
+  // < num_keys. `total_hint` is the expected pair count (used only to decide
+  // whether sharding pays for itself); a non-null pool shards the build over
+  // items.
+  template <typename EmitFn>
+  static CsrStore Build(size_t num_keys, size_t num_items, const EmitFn& emit,
+                        ThreadPool* pool = nullptr, uint64_t total_hint = 0) {
+    CsrStore store;
+    store.offsets_.assign(num_keys + 1, 0);
+
+    // The per-shard count matrix costs num_chunks * num_keys transient
+    // words; fall back to one chunk when the key space dwarfs the data.
+    size_t num_chunks =
+        pool == nullptr
+            ? 1
+            : std::min(pool->num_threads(), std::max<size_t>(num_items, 1));
+    if (num_chunks > 1 &&
+        num_chunks * num_keys > 8 * std::max<uint64_t>(1, total_hint)) {
+      num_chunks = 1;
+    }
+    const size_t grain =
+        num_chunks == 0 ? 1 : (num_items + num_chunks - 1) / num_chunks;
+
+    // Pass 1: per-shard occurrence counts per key.
+    std::vector<std::vector<uint32_t>> shard_counts(
+        num_chunks, std::vector<uint32_t>(num_keys, 0));
+    const auto count_range = [&](size_t begin, size_t end, size_t chunk) {
+      std::vector<uint32_t>& counts = shard_counts[chunk];
+      for (size_t i = begin; i < end; ++i) {
+        emit(i, [&counts](size_t key, const V&) { ++counts[key]; });
+      }
+    };
+    if (num_chunks <= 1) {
+      count_range(0, num_items, 0);
+    } else {
+      pool->ParallelFor(0, num_items, grain, count_range);
+    }
+
+    // Exclusive prefix over shards per key: shard_counts[c][key] becomes the
+    // within-key write offset of shard c; offsets_ gets the per-key totals,
+    // then a prefix scan turns them into row starts.
+    for (size_t key = 0; key < num_keys; ++key) {
+      uint32_t total = 0;
+      for (size_t c = 0; c < num_chunks; ++c) {
+        const uint32_t count = shard_counts[c][key];
+        shard_counts[c][key] = total;
+        total += count;
+      }
+      store.offsets_[key + 1] = total;
+    }
+    uint64_t total = 0;
+    for (size_t key = 0; key < num_keys; ++key) {
+      total += store.offsets_[key + 1];
+      GBKMV_CHECK(total <= UINT32_MAX);
+      store.offsets_[key + 1] = static_cast<uint32_t>(total);
+    }
+    store.values_.resize(static_cast<size_t>(total));
+
+    // Pass 2: scatter each shard's values into its reserved slices.
+    const uint32_t* offsets = store.offsets_.data();
+    V* values = store.values_.data();
+    const auto scatter_range = [&](size_t begin, size_t end, size_t chunk) {
+      std::vector<uint32_t>& cursor = shard_counts[chunk];
+      for (size_t i = begin; i < end; ++i) {
+        emit(i, [&](size_t key, const V& value) {
+          values[offsets[key] + cursor[key]++] = value;
+        });
+      }
+    };
+    if (num_chunks <= 1) {
+      scatter_range(0, num_items, 0);
+    } else {
+      pool->ParallelFor(0, num_items, grain, scatter_range);
+    }
+    return store;
+  }
+
+  // Values of `key`, empty for keys outside the built key space.
+  std::span<const V> Row(size_t key) const {
+    if (key + 1 >= offsets_.size()) return {};
+    return std::span<const V>(values_.data() + offsets_[key],
+                              offsets_[key + 1] - offsets_[key]);
+  }
+
+  size_t num_keys() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  uint64_t size() const { return values_.size(); }
+
+  // Resident storage in 32-bit units: the offsets array plus the payload.
+  uint64_t SpaceUnits() const {
+    static_assert(sizeof(V) % sizeof(uint32_t) == 0);
+    return offsets_.size() +
+           values_.size() * (sizeof(V) / sizeof(uint32_t));
+  }
+
+ private:
+  std::vector<uint32_t> offsets_;  // num_keys + 1 row starts
+  std::vector<V> values_;          // concatenated rows
+};
+
+// Element -> record-id postings, the layout shared by the exact searchers.
+using PostingStore = CsrStore<uint32_t>;
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_STORAGE_POSTING_STORE_H_

@@ -1,0 +1,10 @@
+#include "storage/query_context.h"
+
+namespace gbkmv {
+
+QueryContext& ThreadLocalQueryContext() {
+  thread_local QueryContext context;
+  return context;
+}
+
+}  // namespace gbkmv

@@ -1,0 +1,165 @@
+// Per-thread query scratch arena shared by every search method.
+//
+// All the hot query paths (ScanCount over element postings, K∩ counting over
+// sketch-hash postings, PPjoin* candidate dedup) need the same scratch: a
+// per-record counter/flag array sized to the dataset plus a first-touch list.
+// Zeroing that array per query costs O(dataset) even when a query touches a
+// handful of records, and sharing one mutable array inside a const searcher
+// is a data race for concurrent callers.
+//
+// QueryContext solves both with epoch stamps: each slot packs the epoch of
+// its last touch (high 16 bits) with the per-query counter (low 16 bits)
+// into one 32-bit word — the hot loop touches exactly one cache line per
+// record, like the plain counter array it replaces. Begin() bumps the epoch
+// (O(1) logical reset; the array is re-zeroed only when the 16-bit epoch
+// wraps, every 65535 queries), and a slot is live only when its stamp
+// matches the current epoch. Counters that exceed the 16-bit field — a query
+// sharing 65535+ elements with one record — spill exactly into a cold side
+// table, so counts stay exact for any input. Arenas are reached via
+// ThreadLocalQueryContext(), so concurrent Search() callers are isolated by
+// construction and a worker thread reuses one allocation across an entire
+// batch.
+//
+// Ownership rules (docs/architecture.md):
+//   * searchers never store a QueryContext — they borrow one per query;
+//   * one context serves one query at a time: Begin() invalidates everything
+//     the previous query left behind (any dataset, any searcher);
+//   * a query uses either the counting API (Bump/BumpIfTouched/CountOf) or
+//     the marking API (IsMarked/Mark), both of which share the touched()
+//     list.
+
+#ifndef GBKMV_STORAGE_QUERY_CONTEXT_H_
+#define GBKMV_STORAGE_QUERY_CONTEXT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace gbkmv {
+
+class QueryContext {
+ public:
+  // Starts a new query over `num_slots` slots (record ids [0, num_slots)).
+  // Invalidates all counts/marks of the previous query in O(1).
+  void Begin(size_t num_slots) {
+    if (slots_.size() < num_slots) slots_.resize(num_slots, 0);
+    epoch_ = (epoch_ + 1) & 0xffff;
+    if (epoch_ == 0) {  // epoch wrapped: old stamps become ambiguous
+      std::fill(slots_.begin(), slots_.end(), 0);
+      epoch_ = 1;
+    }
+    touched_.clear();
+    if (!overflow_.empty()) overflow_.clear();
+  }
+
+  // Bulk counting over one posting row: same semantics as Bump per id, with
+  // the slot base pointer and epoch hoisted out of the loop (the per-call
+  // form reloads them around every touched() push).
+  void BumpRow(std::span<const uint32_t> row) {
+    uint32_t* const slots = slots_.data();
+    const uint32_t epoch = epoch_;
+    for (uint32_t id : row) {
+      const uint32_t s = slots[id];
+      if ((s >> 16) != epoch) {
+        slots[id] = (epoch << 16) | 1;
+        touched_.push_back(id);
+      } else if ((s & 0xffff) != kSaturated) {
+        slots[id] = s + 1;
+      } else {
+        ++overflow_[id];
+      }
+    }
+  }
+
+  // BumpRow without the saturation guard — the caller must guarantee fewer
+  // than kSaturated bumps per slot this query (any query with fewer than
+  // 0xffff elements qualifies). One compare+branch cheaper per posting,
+  // which is measurable at millions of postings per second.
+  void BumpRowUnchecked(std::span<const uint32_t> row) {
+    uint32_t* const slots = slots_.data();
+    const uint32_t epoch = epoch_;
+    for (uint32_t id : row) {
+      const uint32_t s = slots[id];
+      if ((s >> 16) != epoch) {
+        slots[id] = (epoch << 16) | 1;
+        touched_.push_back(id);
+      } else {
+        slots[id] = s + 1;
+      }
+    }
+  }
+
+  // Counting API (ScanCount): increments the slot's per-query counter; the
+  // first touch registers the slot in touched().
+  void Bump(uint32_t slot) {
+    uint32_t& s = slots_[slot];
+    if ((s >> 16) != epoch_) {
+      s = (epoch_ << 16) | 1;
+      touched_.push_back(slot);
+    } else if ((s & 0xffff) != kSaturated) {
+      ++s;
+    } else {
+      ++overflow_[slot];  // cold: exact counts beyond the 16-bit field
+    }
+  }
+
+  // Increments only slots already touched this query — the refine phase of
+  // prefix-filtered ScanCount, which must not admit new candidates.
+  // Branch-free: at the candidate densities where refine scans run, a
+  // per-slot branch mispredicts often enough to dominate the loop. A
+  // saturated counter (0xffff) stays saturated here; Bump would have spilled
+  // to the overflow table, so refine passes must run through Bump-admitted
+  // state only when counts can exceed the 16-bit field — ScanCount θ > 1
+  // guarantees counts <= q < 0xffff whenever this is used on realistic
+  // queries, and the saturation clamp keeps even the degenerate case safe
+  // (a clamped count only ever under-reports, and only above 65534).
+  void BumpIfTouched(uint32_t slot) {
+    uint32_t& s = slots_[slot];
+    s += ((s >> 16) == epoch_) & ((s & 0xffff) != kSaturated);
+  }
+
+  uint64_t CountOf(uint32_t slot) const {
+    const uint32_t s = slots_[slot];
+    if ((s >> 16) != epoch_) return 0;
+    const uint32_t count = s & 0xffff;
+    if (count != kSaturated) return count;
+    const auto it = overflow_.find(slot);
+    return kSaturated + (it == overflow_.end() ? 0 : it->second);
+  }
+
+  // Marking API (candidate dedup): Mark registers the slot in touched() with
+  // a zero counter; IsMarked tests without side effects.
+  bool IsMarked(uint32_t slot) const { return (slots_[slot] >> 16) == epoch_; }
+  void Mark(uint32_t slot) {
+    uint32_t& s = slots_[slot];
+    if ((s >> 16) == epoch_) return;
+    s = epoch_ << 16;
+    touched_.push_back(slot);
+  }
+
+  // Slots touched since Begin(), in first-touch order. BumpIfTouched never
+  // grows this, so the refine phase may hold a reference while bumping.
+  const std::vector<uint32_t>& touched() const { return touched_; }
+
+  // Largest count the inline 16-bit field can hold exactly. Bump spills past
+  // it into the overflow table; BumpIfTouched clamps (see above), so callers
+  // needing exact counts must keep per-query bump totals below this when
+  // using the refine API.
+  static constexpr uint32_t kSaturated = 0xffff;
+
+ private:
+  std::vector<uint32_t> slots_;    // epoch stamp (high 16) | count (low 16)
+  std::vector<uint32_t> touched_;
+  std::unordered_map<uint32_t, uint64_t> overflow_;  // slot -> count - 0xffff
+  uint32_t epoch_ = 0;             // Begin() pre-increments; 0 = never used
+};
+
+// The calling thread's arena. Grows monotonically to the largest dataset
+// queried on this thread; reused across queries, searchers and batches.
+QueryContext& ThreadLocalQueryContext();
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_STORAGE_QUERY_CONTEXT_H_

@@ -65,7 +65,11 @@ TEST(FreqSetTest, SpaceEqualsPostings) {
   auto ds = Fig1Dataset();
   ASSERT_TRUE(ds.ok());
   FreqSetSearcher searcher(*ds);
-  EXPECT_EQ(searcher.SpaceUnits(), ds->total_elements());
+  // Paper measure: one unit per posting entry. Resident measure adds the
+  // CSR offsets array (universe + 1 slots).
+  EXPECT_EQ(searcher.BudgetSpaceUnits(), ds->total_elements());
+  EXPECT_EQ(searcher.SpaceUnits(),
+            ds->total_elements() + ds->universe_size() + 1);
   EXPECT_TRUE(searcher.exact());
 }
 

@@ -78,10 +78,10 @@ TEST(IntegrationTest, DynamicInsertViaRebuild) {
   auto large = GbKmvIndexSearcher::Create(*grown, opts);
   ASSERT_TRUE(small.ok());
   ASSERT_TRUE(large.ok());
-  // Budget scales with N; both stay within their own 10%.
-  EXPECT_LE((*small)->SpaceUnits(),
+  // Budget scales with N; both sketch payloads stay within their own 10%.
+  EXPECT_LE((*small)->BudgetSpaceUnits(),
             static_cast<uint64_t>(0.11 * base->total_elements()));
-  EXPECT_LE((*large)->SpaceUnits(),
+  EXPECT_LE((*large)->BudgetSpaceUnits(),
             static_cast<uint64_t>(0.11 * grown->total_elements()));
   // More data at the same ratio -> the threshold adapts (not equal in
   // general, but both must be valid searchers).

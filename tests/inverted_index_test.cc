@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "storage/query_context.h"
+
 namespace gbkmv {
 namespace {
 
@@ -10,13 +12,18 @@ Result<Dataset> Fig1Dataset() {
                           MakeRecord({2, 4, 5}), MakeRecord({1, 2, 6, 10})});
 }
 
+std::vector<RecordId> PostingsVec(const InvertedIndex& index, ElementId e) {
+  const std::span<const RecordId> row = index.Postings(e);
+  return std::vector<RecordId>(row.begin(), row.end());
+}
+
 TEST(InvertedIndexTest, PostingsAreCorrect) {
   auto ds = Fig1Dataset();
   ASSERT_TRUE(ds.ok());
   InvertedIndex index(*ds);
-  EXPECT_EQ(index.Postings(2), (std::vector<RecordId>{0, 1, 2, 3}));
-  EXPECT_EQ(index.Postings(1), (std::vector<RecordId>{0, 3}));
-  EXPECT_EQ(index.Postings(7), (std::vector<RecordId>{0}));
+  EXPECT_EQ(PostingsVec(index, 2), (std::vector<RecordId>{0, 1, 2, 3}));
+  EXPECT_EQ(PostingsVec(index, 1), (std::vector<RecordId>{0, 3}));
+  EXPECT_EQ(PostingsVec(index, 7), (std::vector<RecordId>{0}));
   EXPECT_TRUE(index.Postings(8).empty());
   EXPECT_TRUE(index.Postings(99999).empty());  // out of universe
 }
@@ -26,20 +33,24 @@ TEST(InvertedIndexTest, TotalPostingsEqualsTotalElements) {
   ASSERT_TRUE(ds.ok());
   InvertedIndex index(*ds);
   EXPECT_EQ(index.TotalPostings(), ds->total_elements());
+  // CSR accounting: payload + one offset slot per universe element + 1.
+  EXPECT_EQ(index.SpaceUnits(),
+            ds->total_elements() + ds->universe_size() + 1);
 }
 
 TEST(InvertedIndexTest, ScanCountExactOverlap) {
   auto ds = Fig1Dataset();
   ASSERT_TRUE(ds.ok());
   InvertedIndex index(*ds);
+  QueryContext& ctx = ThreadLocalQueryContext();
   const Record q = MakeRecord({1, 2, 3, 5, 7, 9});
   // Overlaps: X1=4, X2=3, X3=2, X4=2.
-  auto r3 = index.ScanCount(q, 3);
+  auto r3 = index.ScanCount(q, 3, ctx);
   std::sort(r3.begin(), r3.end());
   EXPECT_EQ(r3, (std::vector<RecordId>{0, 1}));
-  auto r2 = index.ScanCount(q, 2);
+  auto r2 = index.ScanCount(q, 2, ctx);
   EXPECT_EQ(r2.size(), 4u);
-  auto r5 = index.ScanCount(q, 5);
+  auto r5 = index.ScanCount(q, 5, ctx);
   EXPECT_TRUE(r5.empty());
 }
 
@@ -47,16 +58,20 @@ TEST(InvertedIndexTest, ScanCountResetsBetweenCalls) {
   auto ds = Fig1Dataset();
   ASSERT_TRUE(ds.ok());
   InvertedIndex index(*ds);
+  QueryContext& ctx = ThreadLocalQueryContext();
   const Record q = MakeRecord({2});
-  // Two identical calls must return identical results (scratch reset).
-  EXPECT_EQ(index.ScanCount(q, 1), index.ScanCount(q, 1));
+  // Two identical calls must return identical results (the context's epoch
+  // bump invalidates the first call's counts).
+  EXPECT_EQ(index.ScanCount(q, 1, ctx), index.ScanCount(q, 1, ctx));
 }
 
 TEST(InvertedIndexTest, ScanCountUnknownElements) {
   auto ds = Fig1Dataset();
   ASSERT_TRUE(ds.ok());
   InvertedIndex index(*ds);
-  EXPECT_TRUE(index.ScanCount(MakeRecord({500, 600}), 1).empty());
+  EXPECT_TRUE(index.ScanCount(MakeRecord({500, 600}), 1,
+                              ThreadLocalQueryContext())
+                  .empty());
 }
 
 }  // namespace

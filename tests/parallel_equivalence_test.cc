@@ -14,6 +14,7 @@
 #include "core/containment.h"
 #include "data/synthetic.h"
 #include "eval/ground_truth.h"
+#include "index/dynamic_index.h"
 #include "index/inverted_index.h"
 
 namespace gbkmv {
@@ -134,9 +135,38 @@ TEST(ParallelEquivalenceTest, InvertedIndexShardedBuildIsByteIdentical) {
     ThreadPool pool(threads);
     const InvertedIndex sharded(ds, &pool);
     ASSERT_EQ(sequential.TotalPostings(), sharded.TotalPostings());
+    ASSERT_EQ(sequential.SpaceUnits(), sharded.SpaceUnits());
     for (ElementId e = 0; e < ds.universe_size(); ++e) {
-      ASSERT_EQ(sequential.Postings(e), sharded.Postings(e))
+      const std::span<const RecordId> a = sequential.Postings(e);
+      const std::span<const RecordId> b = sharded.Postings(e);
+      ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
           << "element " << e << " threads=" << threads;
+    }
+  }
+}
+
+// The dynamic index's Search is concurrent-safe since the QueryContext
+// refactor (scratch is per-thread, the flat posting store + delta log are
+// read-only during queries), so its BatchQuery must honour the same
+// input-order invariant as the static searchers — including mid-stream,
+// when part of the postings still sits in the uncompacted delta.
+TEST(ParallelEquivalenceTest, DynamicIndexBatchQueryMatchesPerQuerySearch) {
+  const Dataset& ds = TestDataset();
+  DynamicGbKmvOptions options;
+  options.budget_units = ds.total_elements() / 5;
+  options.buffer_bits = 16;
+  auto index = DynamicGbKmvIndex::Create(ds, options);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+
+  const std::vector<Record> queries = TestQueries(30);
+  for (double threshold : {0.3, 0.5, 0.8}) {
+    std::vector<std::vector<RecordId>> expected;
+    for (const Record& q : queries) {
+      expected.push_back((*index)->Search(q, threshold));
+    }
+    for (size_t threads : {size_t{1}, kThreadCounts[0], kThreadCounts[1]}) {
+      EXPECT_EQ(expected, (*index)->BatchQuery(queries, threshold, threads))
+          << "threads=" << threads << " t*=" << threshold;
     }
   }
 }

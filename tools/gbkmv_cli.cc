@@ -145,12 +145,14 @@ int RunBuild(const Dataset& dataset, const CliOptions& options,
                  saved.ToString().c_str());
     return 1;
   }
-  std::fprintf(stderr,
-               "%s index over %zu records built in %.2fs, saved to %s "
-               "in %.2fs (%llu space units)\n",
-               (*searcher)->name().c_str(), dataset.size(), build_seconds,
-               out_path.c_str(), save_timer.ElapsedSeconds(),
-               static_cast<unsigned long long>((*searcher)->SpaceUnits()));
+  std::fprintf(
+      stderr,
+      "%s index over %zu records built in %.2fs, saved to %s "
+      "in %.2fs (%llu resident units, %llu budget units)\n",
+      (*searcher)->name().c_str(), dataset.size(), build_seconds,
+      out_path.c_str(), save_timer.ElapsedSeconds(),
+      static_cast<unsigned long long>((*searcher)->SpaceUnits()),
+      static_cast<unsigned long long>((*searcher)->BudgetSpaceUnits()));
   return 0;
 }
 

@@ -1,0 +1,88 @@
+// Regenerates the snapshot compatibility fixtures under tests/testdata/.
+//
+// The fixtures pin the on-disk snapshot format: tests/snapshot_compat_test.cc
+// loads the checked-in files (written by an *older* builder binary) and
+// verifies they still load and answer queries identically to a freshly built
+// searcher. Run this tool and commit the outputs only when introducing a new
+// format version — the whole point of the checked-in files is that they were
+// produced by the previous writer.
+//
+// The dataset / searcher configuration here must stay in sync with the
+// constants in tests/snapshot_compat_test.cc.
+
+#include <cstdio>
+#include <string>
+
+#include "data/synthetic.h"
+#include "index/dynamic_index.h"
+#include "index/gbkmv_index.h"
+#include "index/lsh_ensemble.h"
+
+namespace gbkmv {
+namespace {
+
+int Main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: make_snapshot_fixtures <output-dir>\n");
+    return 2;
+  }
+  const std::string dir = argv[1];
+
+  SyntheticConfig config;
+  config.name = "compat-fixture";
+  config.num_records = 300;
+  config.universe_size = 2000;
+  config.min_record_size = 8;
+  config.max_record_size = 80;
+  config.alpha_element_freq = 1.1;
+  config.alpha_record_size = 2.0;
+  config.seed = 123;
+  Result<Dataset> dataset = GenerateSynthetic(config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  GbKmvIndexOptions gb_options;
+  gb_options.space_ratio = 0.10;
+  gb_options.buffer_bits = 16;  // fixed: keep the fixture cost-model free
+  Result<std::unique_ptr<GbKmvIndexSearcher>> gb =
+      GbKmvIndexSearcher::Create(*dataset, gb_options);
+  if (!gb.ok()) {
+    std::fprintf(stderr, "gbkmv-index build: %s\n",
+                 gb.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = (*gb)->Save(dir + "/gbkmv_index.snap"); !s.ok()) {
+    std::fprintf(stderr, "gbkmv-index save: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  DynamicGbKmvOptions dyn_options;
+  dyn_options.budget_units = dataset->total_elements() / 10;
+  dyn_options.buffer_bits = 16;
+  Result<std::unique_ptr<DynamicGbKmvIndex>> dyn =
+      DynamicGbKmvIndex::Create(*dataset, dyn_options);
+  if (!dyn.ok() || !(*dyn)->Save(dir + "/dynamic_index.snap").ok()) {
+    std::fprintf(stderr, "dynamic-index fixture failed\n");
+    return 1;
+  }
+
+  LshEnsembleOptions lshe_options;
+  lshe_options.num_hashes = 64;
+  lshe_options.num_partitions = 8;
+  Result<std::unique_ptr<LshEnsembleSearcher>> lshe =
+      LshEnsembleSearcher::Create(*dataset, lshe_options);
+  if (!lshe.ok() || !(*lshe)->Save(dir + "/lsh_ensemble.snap").ok()) {
+    std::fprintf(stderr, "lsh-ensemble fixture failed\n");
+    return 1;
+  }
+
+  std::printf("fixtures written to %s\n", dir.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace gbkmv
+
+int main(int argc, char** argv) { return gbkmv::Main(argc, argv); }
