@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Guard for BENCH_query_throughput.json (schema v3).
+
+Checks, in order:
+  1. schema: every measurement row carries single_thread / batch / scored /
+     topk sections with positive QPS (run with --schema-only for just this
+     — what the CI smoke job does, where absolute QPS is meaningless).
+  2. top-k serving: for the methods given via --topk-methods (default
+     GB-KMV,FreqSet) the top-k batch QPS must be >= the scored unlimited
+     batch QPS ("scored" row: same request shape, top_k=0) times
+     --topk-slack. Both runs compute every hit's score; they differ only in
+     result handling (bounded heap vs materialise + id-sort), so the true
+     ratio is >= 1. The default slack of 0.98 absorbs measurement noise at
+     selective thresholds, where result sets are smaller than k and the two
+     paths do identical work (ratio == 1). The boolean "batch" row is NOT
+     the comparison target: it skips score materialisation entirely, which
+     top-k cannot.
+  3. regression (only with --baseline): unlimited batch QPS per
+     (method, threshold) must not fall below baseline * (1 - --tolerance).
+     Only rows present in both files are compared, so adding methods or
+     thresholds never breaks the guard.
+
+Usage:
+  python3 bench/check_throughput.py BENCH_query_throughput.json \
+      [--baseline bench/baselines/... ] [--tolerance 0.05] \
+      [--schema-only] [--topk-methods GB-KMV,FreqSet] [--topk-slack 0.98]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def rows_by_key(report):
+    return {(m["method"], round(m["threshold"], 6)): m
+            for m in report["measurements"]}
+
+
+def check_schema(report):
+    assert report.get("schema") == "gbkmv_query_throughput_v3", (
+        f"unexpected schema: {report.get('schema')}")
+    assert report["measurements"], "no measurements"
+    for m in report["measurements"]:
+        key = f"{m.get('method')} t*={m.get('threshold')}"
+        for section in ("single_thread", "batch", "scored", "topk"):
+            assert section in m, f"{key}: missing '{section}'"
+            assert m[section]["qps"] > 0, f"{key}: non-positive {section} qps"
+        assert m["topk"]["k"] > 0, f"{key}: topk row without k"
+    print(f"schema ok: {len(report['measurements'])} measurements")
+
+
+def check_topk(report, methods, slack):
+    for m in report["measurements"]:
+        if m["method"] not in methods:
+            continue
+        scored = m["scored"]["qps"]
+        topk = m["topk"]["qps"]
+        key = f"{m['method']} t*={m['threshold']}"
+        assert topk >= scored * slack, (
+            f"{key}: top-{m['topk']['k']} batch {topk:.1f} qps < "
+            f"scored unlimited {scored:.1f} qps * {slack}")
+        print(f"topk ok: {key}: top-{m['topk']['k']} {topk:.1f} qps >= "
+              f"scored unlimited {scored:.1f} qps")
+
+
+def check_regression(report, baseline, tolerance):
+    base_rows = rows_by_key(baseline)
+    compared = 0
+    failures = []
+    for key, row in rows_by_key(report).items():
+        if key not in base_rows:
+            continue
+        compared += 1
+        new_qps = row["batch"]["qps"]
+        old_qps = base_rows[key]["batch"]["qps"]
+        floor = old_qps * (1.0 - tolerance)
+        status = "ok" if new_qps >= floor else "REGRESSION"
+        print(f"{status}: {key[0]} t*={key[1]}: batch {new_qps:.1f} qps "
+              f"vs baseline {old_qps:.1f} (floor {floor:.1f})")
+        if new_qps < floor:
+            failures.append(key)
+    assert compared > 0, "no comparable rows between report and baseline"
+    assert not failures, f"QPS regression beyond tolerance: {failures}"
+
+
+def main():
+    p = argparse.ArgumentParser()
+    p.add_argument("report")
+    p.add_argument("--baseline")
+    p.add_argument("--tolerance", type=float, default=0.05)
+    p.add_argument("--schema-only", action="store_true")
+    p.add_argument("--topk-methods", default="GB-KMV,FreqSet")
+    p.add_argument("--topk-slack", type=float, default=0.98)
+    args = p.parse_args()
+
+    report = load(args.report)
+    check_schema(report)
+    if args.schema_only:
+        return
+    check_topk(report, set(args.topk_methods.split(",")), args.topk_slack)
+    if args.baseline:
+        check_regression(report, load(args.baseline), args.tolerance)
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except AssertionError as e:
+        print(f"FAIL: {e}", file=sys.stderr)
+        sys.exit(1)

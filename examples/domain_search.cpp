@@ -78,17 +78,23 @@ int main() {
       avg.f1, avg.precision, avg.recall,
       1e3 * exact_seconds / query_ids.size());
 
-  // Show one concrete query's answers.
+  // Show one concrete query's answers, ranked: a data-lake front end wants
+  // the few best-covering columns, not the whole qualifying set — the v2
+  // top-k path serves that directly from the index's own scores.
   const Record& q = lake->record(query_ids[0]);
-  const auto answers = (*index)->Search(q, threshold);
-  std::printf("\nexample: column %u (|Q|=%zu) is covered by %zu columns:\n",
-              query_ids[0], q.size(), answers.size());
-  size_t shown = 0;
-  for (RecordId id : answers) {
-    if (shown++ == 5) break;
-    std::printf("  column %u: exact containment %.3f, |X|=%zu\n", id,
-                ContainmentSimilarity(q, lake->record(id)),
-                lake->record(id).size());
+  SearchOptions options;
+  options.top_k = 5;
+  const QueryResponse response = (*index)->SearchQ(
+      MakeQueryRequest(q, threshold, options), ThreadLocalQueryContext());
+  std::printf(
+      "\nexample: column %u (|Q|=%zu), top %zu covering columns of %llu:\n",
+      query_ids[0], q.size(), response.hits.size(),
+      static_cast<unsigned long long>(response.stats.candidates_refined));
+  for (const QueryHit& hit : response.hits) {
+    std::printf("  column %u: score %.3f (exact containment %.3f, |X|=%zu)\n",
+                hit.id, static_cast<double>(hit.score),
+                ContainmentSimilarity(q, lake->record(hit.id)),
+                lake->record(hit.id).size());
   }
   return 0;
 }

@@ -74,19 +74,26 @@ int main() {
   GBKMV_CHECK(index.ok());
 
   // Search at a slightly lower threshold than the report threshold so that
-  // sketch noise cannot drop true inclusions; the exact verification below
-  // restores precision.
+  // sketch noise cannot drop true inclusions; the exact verification
+  // restores precision. The v2 scores pre-rank the candidates, so the
+  // highest-scoring (most likely) inclusions are verified first and a
+  // profiler under a verification budget could simply stop early.
   const double threshold = 0.9;
   const double search_threshold = 0.8;
   size_t true_positives = 0, false_positives = 0, missed = 0;
   std::vector<std::pair<RecordId, RecordId>> discovered;
+  SearchOptions options;
+  options.top_k = 16;  // a column rarely sits inside more than a few others
   for (size_t a = 0; a < schema->size(); ++a) {
     const Record& col = schema->record(a);
-    for (RecordId b : (*index)->Search(col, search_threshold)) {
-      if (b == a) continue;  // trivial self-inclusion
+    const QueryResponse candidates = (*index)->SearchQ(
+        MakeQueryRequest(col, search_threshold, options),
+        ThreadLocalQueryContext());
+    for (const QueryHit& hit : candidates.hits) {
+      if (hit.id == a) continue;  // trivial self-inclusion
       // Verify the candidate exactly before reporting (cheap: one merge).
-      if (ContainmentSimilarity(col, schema->record(b)) >= threshold) {
-        discovered.emplace_back(static_cast<RecordId>(a), b);
+      if (ContainmentSimilarity(col, schema->record(hit.id)) >= threshold) {
+        discovered.emplace_back(static_cast<RecordId>(a), hit.id);
       }
     }
   }

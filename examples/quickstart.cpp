@@ -46,20 +46,32 @@ int main() {
               static_cast<unsigned long long>((*searcher)->SpaceUnits()),
               100.0 * (*searcher)->SpaceUnits() / dataset->total_elements());
 
-  // 3. Search: all records whose containment similarity w.r.t. the query is
-  //    at least 0.5, i.e. records covering at least half the query.
+  // 3. Search (query API v2): the 5 best records whose containment
+  //    similarity w.r.t. the query is at least 0.5, with the index's own
+  //    scores and work counters — no re-estimation needed for ranking.
   const Record& query = dataset->record(42);
   const double threshold = 0.5;
-  const std::vector<RecordId> results = (*searcher)->Search(query, threshold);
-  std::printf("query |Q|=%zu, threshold %.2f -> %zu results\n", query.size(),
-              threshold, results.size());
+  SearchOptions options;
+  options.top_k = 5;
+  options.want_stats = true;
+  const QueryResponse response = (*searcher)->SearchQ(
+      MakeQueryRequest(query, threshold, options), ThreadLocalQueryContext());
+  std::printf("query |Q|=%zu, threshold %.2f -> top %zu of %llu qualifying\n",
+              query.size(), threshold, response.hits.size(),
+              static_cast<unsigned long long>(
+                  response.stats.candidates_refined));
 
-  // 4. Inspect the top results with exact containment for comparison.
-  size_t shown = 0;
-  for (RecordId id : results) {
-    if (shown++ == 5) break;
-    std::printf("  record %u: exact C(Q,X) = %.3f\n", id,
-                ContainmentSimilarity(query, dataset->record(id)));
+  // 4. Hits arrive best-first with the estimator's score; compare against
+  //    exact containment to see the sketch error.
+  for (const QueryHit& hit : response.hits) {
+    std::printf("  record %u: score %.3f (exact C(Q,X) = %.3f)\n", hit.id,
+                static_cast<double>(hit.score),
+                ContainmentSimilarity(query, dataset->record(hit.id)));
   }
+  std::printf("index work: %llu candidates scored, %llu posting entries\n",
+              static_cast<unsigned long long>(
+                  response.stats.candidates_generated),
+              static_cast<unsigned long long>(
+                  response.stats.postings_scanned));
   return 0;
 }

@@ -61,10 +61,14 @@ int main() {
       BuildSearcher(*dataset, config);
   GBKMV_CHECK(searcher.ok());
 
-  const std::vector<RecordId> matches = (*searcher)->Search(query, 0.8);
-  std::printf("\ncontainment >= 0.8 via %s:\n", (*searcher)->name().c_str());
-  for (RecordId id : matches) {
-    std::printf("  [%u] %s\n", id, listings[id].c_str());
+  const QueryResponse matches = (*searcher)->SearchQ(
+      MakeQueryRequest(query, 0.8, SearchOptions{}),
+      ThreadLocalQueryContext());
+  std::printf("\ncontainment >= 0.8 via %s (scored):\n",
+              (*searcher)->name().c_str());
+  for (const QueryHit& hit : matches.hits) {
+    std::printf("  [%u] %.2f %s\n", hit.id, static_cast<double>(hit.score),
+                listings[hit.id].c_str());
   }
 
   // Error-tolerant variant: 3-gram shingles survive typos. "fvie guys"

@@ -7,6 +7,7 @@
 #include "index/asymmetric_minhash.h"
 #include "index/brute_force.h"
 #include "index/freqset.h"
+#include "index/minhash_lsh.h"
 #include "index/ppjoin.h"
 
 namespace gbkmv {
@@ -21,6 +22,9 @@ Result<SearchMethod> ParseSearchMethod(const std::string& name) {
   if (lower == "lsh-e" || lower == "lshe" || lower == "lsh-ensemble") {
     return SearchMethod::kLshEnsemble;
   }
+  if (lower == "minhash-lsh" || lower == "mh-lsh") {
+    return SearchMethod::kMinHashLsh;
+  }
   if (lower == "a-mh" || lower == "amh" || lower == "asymmetric-minhash") {
     return SearchMethod::kAsymmetricMinHash;
   }
@@ -30,6 +34,15 @@ Result<SearchMethod> ParseSearchMethod(const std::string& name) {
     return SearchMethod::kBruteForce;
   }
   return Status::InvalidArgument("unknown search method: " + name);
+}
+
+QueryRequest MakeQueryRequest(const Record& record, double threshold,
+                              const SearchOptions& options) {
+  QueryRequest request(record, threshold);
+  request.top_k = options.top_k;
+  request.want_scores = options.want_scores;
+  request.want_stats = options.want_stats;
+  return request;
 }
 
 Result<std::unique_ptr<ContainmentSearcher>> BuildSearcher(
@@ -64,6 +77,16 @@ Result<std::unique_ptr<ContainmentSearcher>> BuildSearcher(
       options.num_threads = config.num_threads;
       Result<std::unique_ptr<LshEnsembleSearcher>> s =
           LshEnsembleSearcher::Create(dataset, options);
+      if (!s.ok()) return s.status();
+      return std::unique_ptr<ContainmentSearcher>(std::move(s.value()));
+    }
+    case SearchMethod::kMinHashLsh: {
+      MinHashLshOptions options;
+      options.num_hashes = config.lshe_num_hashes;
+      options.seed = config.seed;
+      options.num_threads = config.num_threads;
+      Result<std::unique_ptr<MinHashLshSearcher>> s =
+          MinHashLshSearcher::Create(dataset, options);
       if (!s.ok()) return s.status();
       return std::unique_ptr<ContainmentSearcher>(std::move(s.value()));
     }

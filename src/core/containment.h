@@ -7,6 +7,16 @@
 //   auto dataset = gbkmv::Dataset::Create(std::move(records));
 //   gbkmv::SearcherConfig config;                 // GB-KMV, 10% space
 //   auto searcher = gbkmv::BuildSearcher(*dataset, config);
+//
+//   // Query API v2 (docs/query_api.md): scored, top-k, stats-carrying.
+//   gbkmv::SearchOptions options;
+//   options.top_k = 10;
+//   auto response = (*searcher)->SearchQ(
+//       gbkmv::MakeQueryRequest(query, /*threshold=*/0.5, options),
+//       gbkmv::ThreadLocalQueryContext());
+//   for (const auto& hit : response.hits) { /* hit.id, hit.score */ }
+//
+//   // Legacy boolean path (thin wrapper over SearchQ):
 //   auto ids = (*searcher)->Search(query, /*threshold=*/0.5);
 
 #ifndef GBKMV_CORE_CONTAINMENT_H_
@@ -28,15 +38,40 @@ enum class SearchMethod {
   kGKmv,          // GB-KMV with buffer disabled (ablation)
   kKmv,           // plain KMV with Theorem-1 allocation (ablation)
   kLshEnsemble,   // Zhu et al. baseline
+  kMinHashLsh,    // un-partitioned MinHash LSH baseline
   kAsymmetricMinHash,  // Shrivastava & Li padding baseline
   kPPJoin,        // exact (prefix + positional filtering)
   kFreqSet,       // exact (inverted-list ScanCount)
   kBruteForce,    // exact (linear scan), ground-truth oracle
 };
 
-// Parses "gb-kmv", "g-kmv", "kmv", "lsh-e", "ppjoin", "freqset",
-// "brute-force" (case-insensitive). Returns InvalidArgument otherwise.
+// Parses a method name, case-insensitive. Accepted spellings (exactly the
+// comparisons below — keep this list in sync with the parser):
+//   "gb-kmv" | "gbkmv"                     -> kGbKmv
+//   "g-kmv" | "gkmv"                       -> kGKmv
+//   "kmv"                                  -> kKmv
+//   "lsh-e" | "lshe" | "lsh-ensemble"      -> kLshEnsemble
+//   "minhash-lsh" | "mh-lsh"               -> kMinHashLsh
+//   "a-mh" | "amh" | "asymmetric-minhash"  -> kAsymmetricMinHash
+//   "ppjoin" | "ppjoin*"                   -> kPPJoin
+//   "freqset"                              -> kFreqSet
+//   "brute-force" | "bruteforce" | "exact" -> kBruteForce
+// Returns InvalidArgument for anything else.
 Result<SearchMethod> ParseSearchMethod(const std::string& name);
+
+// Record-independent query options (query API v2); combine with a record +
+// threshold via MakeQueryRequest to issue requests. Field semantics in
+// index/query.h.
+struct SearchOptions {
+  size_t top_k = 0;         // 0 = all qualifying records
+  bool want_scores = true;
+  bool want_stats = false;
+};
+
+// Builds a QueryRequest from the facade's option struct. `record` is
+// borrowed and must outlive the request.
+QueryRequest MakeQueryRequest(const Record& record, double threshold,
+                              const SearchOptions& options);
 
 struct SearcherConfig {
   SearchMethod method = SearchMethod::kGbKmv;

@@ -8,7 +8,8 @@ namespace gbkmv {
 ExperimentResult EvaluateSearcher(
     const Dataset& dataset, const ContainmentSearcher& searcher,
     double threshold, const std::vector<RecordId>& queries,
-    const std::vector<std::vector<RecordId>>& truth) {
+    const std::vector<std::vector<RecordId>>& truth,
+    const SearchOptions& options) {
   GBKMV_CHECK(queries.size() == truth.size());
   ExperimentResult result;
   result.threshold = threshold;
@@ -23,20 +24,50 @@ ExperimentResult EvaluateSearcher(
           ? 0.0
           : static_cast<double>(searcher.SpaceUnits()) / n;
 
+  SearchOptions query_options = options;
+  query_options.want_scores = true;
+  query_options.want_stats = true;
   std::vector<AccuracyMetrics> per_query;
   per_query.reserve(queries.size());
   double total_query_seconds = 0.0;
+  double score_sum = 0.0;
+  uint64_t hit_count = 0;
+  QueryStats stats_sum;
+  std::vector<RecordId> returned;
   for (size_t i = 0; i < queries.size(); ++i) {
     const Record& q = dataset.record(queries[i]);
+    const QueryRequest request = MakeQueryRequest(q, threshold, query_options);
     WallTimer query_timer;
-    const std::vector<RecordId> returned = searcher.Search(q, threshold);
+    const QueryResponse response =
+        searcher.SearchQ(request, ThreadLocalQueryContext());
     total_query_seconds += query_timer.ElapsedSeconds();
+    returned.clear();
+    for (const QueryHit& hit : response.hits) {
+      returned.push_back(hit.id);
+      score_sum += hit.score;  // the searcher's own score, not re-estimated
+    }
+    hit_count += response.hits.size();
+    stats_sum.candidates_generated += response.stats.candidates_generated;
+    stats_sum.candidates_refined += response.stats.candidates_refined;
+    stats_sum.postings_scanned += response.stats.postings_scanned;
     per_query.push_back(ComputeAccuracy(returned, truth[i]));
     result.per_query_f1.push_back(per_query.back().f1);
   }
   result.accuracy = AverageAccuracy(per_query);
   result.avg_query_seconds =
       queries.empty() ? 0.0 : total_query_seconds / queries.size();
+  if (hit_count > 0) {
+    result.avg_hit_score = score_sum / static_cast<double>(hit_count);
+  }
+  if (!queries.empty()) {
+    const double m = static_cast<double>(queries.size());
+    result.avg_candidates_generated =
+        static_cast<double>(stats_sum.candidates_generated) / m;
+    result.avg_candidates_refined =
+        static_cast<double>(stats_sum.candidates_refined) / m;
+    result.avg_postings_scanned =
+        static_cast<double>(stats_sum.postings_scanned) / m;
+  }
   return result;
 }
 

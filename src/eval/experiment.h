@@ -25,6 +25,15 @@ struct ExperimentResult {
   double avg_query_seconds = 0.0;
   AccuracyMetrics accuracy;        // averaged over queries
   std::vector<double> per_query_f1;  // for distribution plots (Fig. 14)
+
+  // Query API v2 diagnostics (averaged over queries), straight from the
+  // QueryResponse the searcher returned — scores and counters are reused,
+  // never re-estimated. avg_hit_score is the mean score over all returned
+  // hits (0 when nothing was returned).
+  double avg_hit_score = 0.0;
+  double avg_candidates_generated = 0.0;
+  double avg_candidates_refined = 0.0;
+  double avg_postings_scanned = 0.0;
 };
 
 struct ExperimentOptions {
@@ -46,11 +55,16 @@ ExperimentResult RunExperimentWithTruth(
     const std::vector<std::vector<RecordId>>& truth);
 
 // Evaluates an already-built searcher (build_seconds reported as 0); use
-// when one index serves several thresholds or workloads.
+// when one index serves several thresholds or workloads. Runs the query API
+// v2 path (SearchQ with scores and stats), so the per-hit scores and index
+// counters in the result come from the searcher itself. `options.top_k`
+// limits each query's result before the accuracy comparison (recall then
+// measures top-k retrieval quality).
 ExperimentResult EvaluateSearcher(
     const Dataset& dataset, const ContainmentSearcher& searcher,
     double threshold, const std::vector<RecordId>& queries,
-    const std::vector<std::vector<RecordId>>& truth);
+    const std::vector<std::vector<RecordId>>& truth,
+    const SearchOptions& options = {});
 
 }  // namespace gbkmv
 

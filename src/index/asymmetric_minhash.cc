@@ -38,7 +38,7 @@ AsymmetricMinHashSearcher::Create(const Dataset& dataset,
 
   const std::unique_ptr<ThreadPool> pool =
       MakeBuildPool(options.num_threads, dataset.size());
-  const std::vector<MinHashSignature> signatures =
+  s->signatures_ =
       ParallelMapIndex<MinHashSignature>(pool.get(), dataset.size(),
                                          [&](size_t i) {
         Record padded = dataset.record(i);
@@ -53,35 +53,48 @@ AsymmetricMinHashSearcher::Create(const Dataset& dataset,
   std::vector<RecordId> ids(dataset.size());
   std::iota(ids.begin(), ids.end(), 0);
   s->index_ = std::make_unique<MinHashLshIndex>(
-      signatures, ids, options.num_hashes,
+      s->signatures_, ids, options.num_hashes,
       DefaultRowChoices(options.num_hashes));
   return s;
 }
 
-std::vector<std::vector<RecordId>> AsymmetricMinHashSearcher::BatchQuery(
-    std::span<const Record> queries, double threshold,
-    size_t num_threads) const {
-  // Search keeps no scratch, so concurrent callers are safe.
-  return ParallelBatchQuery(*this, queries, threshold, num_threads);
-}
-
-std::vector<RecordId> AsymmetricMinHashSearcher::Search(
-    const Record& query, double threshold) const {
-  std::vector<RecordId> out;
-  if (query.empty()) return out;
+QueryResponse AsymmetricMinHashSearcher::SearchQ(const QueryRequest& request,
+                                                 QueryContext& ctx) const {
+  QueryResponse response;
+  const Record& query = *request.record;
+  if (query.empty()) return response;
   const double q = static_cast<double>(query.size());
-  const double theta = threshold * q;
+  const double theta = request.threshold * q;
   // J(Q, X_pad) at the θ boundary; clamp into (0, 1].
   const double denom = q + static_cast<double>(padded_size_) - theta;
-  if (denom <= 0.0) return out;
+  if (denom <= 0.0) return response;
   const double s_star = std::clamp(theta / denom, 1e-6, 1.0);
 
   const MinHashSignature query_sig = MinHashSignature::Build(query, family_);
   const BandParams params = OptimalBandParams(options_.num_hashes, s_star,
                                               index_->row_choices());
-  out = index_->Query(query_sig, params);
-  std::sort(out.begin(), out.end());
-  return out;
+  const std::vector<RecordId> candidates =
+      index_->Query(query_sig, params, &response.stats.postings_scanned);
+  response.stats.candidates_generated = candidates.size();
+  HitCollector collector(request, ctx, &response);
+  const double padded = static_cast<double>(padded_size_);
+  // Scoring reads the candidate's full stored signature; the boolean path
+  // (no scores, no top-k) skips it, like the legacy candidate-only search.
+  const bool need_scores = request.want_scores || request.top_k > 0;
+  for (RecordId id : candidates) {
+    double score = 0.0;
+    if (need_scores) {
+      // Invert the padding proxy: Ĵ = Î/(q + M − Î) ⇒ Î = Ĵ·(q + M)/(1 + Ĵ).
+      const double j_hat = EstimateJaccardMinHash(query_sig, signatures_[id]);
+      const double i_hat = j_hat * (q + padded) / (1.0 + j_hat);
+      const double cap = static_cast<double>(
+          std::min<size_t>(query.size(), dataset_.record(id).size()));
+      score = std::min(i_hat, cap) / q;
+    }
+    collector.Add(id, score);
+  }
+  collector.Finish();
+  return response;
 }
 
 uint64_t AsymmetricMinHashSearcher::SpaceUnits() const {

@@ -40,11 +40,12 @@ class AsymmetricMinHashSearcher : public ContainmentSearcher {
   static Result<std::unique_ptr<AsymmetricMinHashSearcher>> Create(
       const Dataset& dataset, const AsymmetricMinHashOptions& options);
 
-  std::vector<RecordId> Search(const Record& query,
-                               double threshold) const override;
-  std::vector<std::vector<RecordId>> BatchQuery(
-      std::span<const Record> queries, double threshold,
-      size_t num_threads) const override;
+  // Candidates are the answer (no verification). Hit scores invert the
+  // padded-Jaccard proxy: Ĵ = collision fraction of the query signature vs
+  // the stored padded signature, |Q∩X| ≈ Ĵ·(|Q|+M)/(1+Ĵ), score that over
+  // |Q| clamped by min(|Q|, |X|)/|Q|.
+  QueryResponse SearchQ(const QueryRequest& request,
+                        QueryContext& ctx) const override;
   std::string name() const override { return "A-MH"; }
   uint64_t SpaceUnits() const override;
   // Paper measure: one unit per stored signature value (m·k).
@@ -64,6 +65,9 @@ class AsymmetricMinHashSearcher : public ContainmentSearcher {
   AsymmetricMinHashOptions options_;
   HashFamily family_;
   size_t padded_size_ = 0;  // M = size of the largest record
+  // Padded per-record signatures, kept for hit scoring (their m·k units were
+  // always part of SpaceUnits; now they are actually resident).
+  std::vector<MinHashSignature> signatures_;
   std::unique_ptr<MinHashLshIndex> index_;
 };
 

@@ -4,30 +4,32 @@
 
 namespace gbkmv {
 
-std::vector<RecordId> BruteForceSearcher::Search(const Record& query,
-                                                 double threshold) const {
-  std::vector<RecordId> out;
-  if (query.empty()) return out;
+QueryResponse BruteForceSearcher::SearchQ(const QueryRequest& request,
+                                          QueryContext& ctx) const {
+  QueryResponse response;
+  const Record& query = *request.record;
+  if (query.empty()) return response;
   // |Q∩X| >= t*·|Q| (Eq. 23). Use a half-ulp slack so thresholds like 0.5
   // with |Q∩X|/|Q| == exactly t* are included (>=, Definition 3).
-  const double theta = threshold * static_cast<double>(query.size());
-  const size_t min_overlap =
-      static_cast<size_t>(std::ceil(theta - 1e-9));
+  const double theta =
+      request.threshold * static_cast<double>(query.size());
+  const size_t min_overlap = static_cast<size_t>(std::ceil(theta - 1e-9));
+  const double inv_q = 1.0 / static_cast<double>(query.size());
+
+  HitCollector collector(request, ctx, &response);
   for (size_t i = 0; i < dataset_.size(); ++i) {
     const Record& x = dataset_.record(i);
     if (x.size() < min_overlap) continue;  // Size lower bound.
-    if (IntersectSize(query, x) >= min_overlap) {
-      out.push_back(static_cast<RecordId>(i));
+    ++response.stats.candidates_generated;
+    response.stats.postings_scanned += x.size();
+    const size_t overlap = IntersectSize(query, x);
+    if (overlap >= min_overlap) {
+      collector.Add(static_cast<RecordId>(i),
+                    static_cast<double>(overlap) * inv_q);
     }
   }
-  return out;
-}
-
-std::vector<std::vector<RecordId>> BruteForceSearcher::BatchQuery(
-    std::span<const Record> queries, double threshold,
-    size_t num_threads) const {
-  // Search keeps no scratch, so concurrent callers are safe.
-  return ParallelBatchQuery(*this, queries, threshold, num_threads);
+  collector.Finish();
+  return response;
 }
 
 uint64_t BruteForceSearcher::SpaceUnits() const {

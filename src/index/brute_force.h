@@ -1,6 +1,6 @@
 // Exact brute-force containment search: merge-intersect the query with every
 // record. O(m · (|Q| + |X|)) per query — the ground-truth oracle for tests
-// and experiment harnesses.
+// and experiment harnesses. Hit scores are exact containment |Q∩X|/|Q|.
 
 #ifndef GBKMV_INDEX_BRUTE_FORCE_H_
 #define GBKMV_INDEX_BRUTE_FORCE_H_
@@ -15,11 +15,8 @@ class BruteForceSearcher : public ContainmentSearcher {
   // Keeps a reference to `dataset`; the dataset must outlive the searcher.
   explicit BruteForceSearcher(const Dataset& dataset) : dataset_(dataset) {}
 
-  std::vector<RecordId> Search(const Record& query,
-                               double threshold) const override;
-  std::vector<std::vector<RecordId>> BatchQuery(
-      std::span<const Record> queries, double threshold,
-      size_t num_threads) const override;
+  QueryResponse SearchQ(const QueryRequest& request,
+                        QueryContext& ctx) const override;
   std::string name() const override { return "BruteForce"; }
   uint64_t SpaceUnits() const override;
   bool exact() const override { return true; }

@@ -189,33 +189,48 @@ Status DynamicGbKmvIndex::Rebuild() {
   return Status::OK();
 }
 
-std::vector<RecordId> DynamicGbKmvIndex::Search(const Record& query,
-                                                double threshold) const {
-  std::vector<RecordId> out;
-  if (query.empty() || records_.empty()) return out;
+QueryResponse DynamicGbKmvIndex::SearchQ(const QueryRequest& request,
+                                         QueryContext& ctx) const {
+  QueryResponse response;
+  const Record& query = *request.record;
+  if (query.empty() || records_.empty()) return response;
   const size_t q = query.size();
-  const double theta = threshold * static_cast<double>(q);
+  const double theta = request.threshold * static_cast<double>(q);
+  const double inv_q = 1.0 / static_cast<double>(q);
   const size_t min_size = static_cast<size_t>(std::ceil(theta - 1e-9));
 
   const GbKmvSketch query_sketch = MakeSketch(query);
   const std::vector<uint64_t>& q_hashes = query_sketch.gkmv.values();
   const uint64_t q_max = q_hashes.empty() ? 0 : q_hashes.back();
 
-  QueryContext& ctx = ThreadLocalQueryContext();
+  HitCollector collector(request, ctx, &response);
   ctx.Begin(records_.size());
   if (q_hashes.size() < QueryContext::kSaturated) {
-    for (uint64_t h : q_hashes) ctx.BumpRowUnchecked(hash_postings_.Find(h));
+    for (uint64_t h : q_hashes) {
+      const std::span<const RecordId> row = hash_postings_.Find(h);
+      response.stats.postings_scanned += row.size();
+      ctx.BumpRowUnchecked(row);
+    }
   } else {
-    for (uint64_t h : q_hashes) ctx.BumpRow(hash_postings_.Find(h));
+    for (uint64_t h : q_hashes) {
+      const std::span<const RecordId> row = hash_postings_.Find(h);
+      response.stats.postings_scanned += row.size();
+      ctx.BumpRow(row);
+    }
   }
   // Pairs inserted since the last compaction: one linear scan of the delta
   // log, matching each pair against the (sorted) query hash set.
+  response.stats.postings_scanned += delta_.size();
   for (const auto& [h, id] : delta_) {
     if (std::binary_search(q_hashes.begin(), q_hashes.end(), h)) ctx.Bump(id);
   }
+  size_t size_pruned = 0;
   for (RecordId id : ctx.touched()) {
     const size_t k_intersect = ctx.CountOf(id);
-    if (records_[id].size() < min_size) continue;
+    if (records_[id].size() < min_size) {
+      ++size_pruned;
+      continue;
+    }
     const GbKmvSketch& x = sketches_[id];
     const size_t o1 = Bitmap::IntersectCount(query_sketch.buffer, x.buffer);
     const uint64_t x_max = x.gkmv.empty() ? 0 : x.gkmv.values().back();
@@ -225,33 +240,36 @@ std::vector<RecordId> DynamicGbKmvIndex::Search(const Record& query,
                                q_max, x_max);
     const double cap =
         static_cast<double>(std::min<size_t>(q, records_[id].size()));
-    if (std::min(est, cap) >= theta - 1e-9) out.push_back(id);
+    const double estimate = std::min(est, cap);
+    if (estimate >= theta - 1e-9) collector.Add(id, estimate * inv_q);
   }
+  response.stats.candidates_generated += ctx.touched().size() - size_pruned;
   // Buffer-only qualifiers (K∩ = 0). Touched records are skipped: they were
   // fully scored above with est >= o1, so any buffer-only qualifier among
-  // them is already in `out`.
+  // them is already collected.
   if (!query_sketch.buffer.Empty()) {
+    size_t skipped = 0;
     for (size_t i = 0; i < sketches_.size(); ++i) {
-      if (records_[i].size() < min_size) continue;
-      if (ctx.CountOf(static_cast<uint32_t>(i)) > 0) continue;
+      if (records_[i].size() < min_size ||
+          ctx.CountOf(static_cast<uint32_t>(i)) > 0) {
+        ++skipped;
+        continue;
+      }
       const size_t o1 =
           Bitmap::IntersectCount(query_sketch.buffer, sketches_[i].buffer);
       if (static_cast<double>(o1) >= theta - 1e-9) {
-        out.push_back(static_cast<RecordId>(i));
+        collector.Add(static_cast<RecordId>(i),
+                      static_cast<double>(o1) * inv_q);
       }
     }
+    // Bitmap reads, not postings; one entry per examined record
+    // (batch-counted, same accounting as the static index).
+    const size_t examined = sketches_.size() - skipped;
+    response.stats.candidates_generated += examined;
+    response.stats.postings_scanned += examined;
   }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
-}
-
-std::vector<std::vector<RecordId>> DynamicGbKmvIndex::BatchQuery(
-    std::span<const Record> queries, double threshold,
-    size_t num_threads) const {
-  // Search scratch is per-thread (QueryContext), so concurrent callers are
-  // safe; the index itself must not be mutated during the batch.
-  return ParallelBatchQuery(*this, queries, threshold, num_threads);
+  collector.Finish();
+  return response;
 }
 
 double DynamicGbKmvIndex::EstimateContainment(const Record& query,

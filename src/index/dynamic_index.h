@@ -78,14 +78,12 @@ class DynamicGbKmvIndex : public ContainmentSearcher {
   // Create() and Rebuild() leave the index compacted.
   void Compact();
 
-  // ContainmentSearcher interface. Search is safe for concurrent callers
-  // (query scratch comes from the calling thread's QueryContext arena);
-  // Insert must not run concurrently with queries.
-  std::vector<RecordId> Search(const Record& query,
-                               double threshold) const override;
-  std::vector<std::vector<RecordId>> BatchQuery(
-      std::span<const Record> queries, double threshold,
-      size_t num_threads) const override;
+  // ContainmentSearcher interface. SearchQ is safe for concurrent callers
+  // with distinct QueryContext arenas; Insert must not run concurrently
+  // with queries. Hit scores are the Eq. 27 estimate over |Q|, exactly as
+  // in the static index.
+  QueryResponse SearchQ(const QueryRequest& request,
+                        QueryContext& ctx) const override;
   std::string name() const override { return "DynamicGB-KMV"; }
   // Reports the paper's budget units (bitmaps + stored hashes), not the
   // resident posting overlay — the overlay's exact size depends on the

@@ -1,37 +1,64 @@
 #include "index/freqset.h"
 
 #include <cmath>
-#include <numeric>
 
 #include "common/thread_pool.h"
-#include "storage/query_context.h"
 
 namespace gbkmv {
 
 FreqSetSearcher::FreqSetSearcher(const Dataset& dataset, ThreadPool* pool)
     : dataset_(dataset), index_(dataset, pool) {}
 
-std::vector<RecordId> FreqSetSearcher::Search(const Record& query,
-                                              double threshold) const {
-  std::vector<RecordId> out;
-  if (query.empty()) return out;
-  const size_t theta = static_cast<size_t>(std::ceil(
-      threshold * static_cast<double>(query.size()) - 1e-9));
-  if (theta == 0) {
-    out.resize(dataset_.size());
-    std::iota(out.begin(), out.end(), 0);
-    return out;
-  }
-  if (theta > query.size()) return out;
-  return index_.ScanCount(query, theta, ThreadLocalQueryContext());
-}
+QueryResponse FreqSetSearcher::SearchQ(const QueryRequest& request,
+                                       QueryContext& ctx) const {
+  QueryResponse response;
+  const Record& query = *request.record;
+  if (query.empty()) return response;
+  const size_t q = query.size();
+  const size_t theta = static_cast<size_t>(
+      std::ceil(request.threshold * static_cast<double>(q) - 1e-9));
+  if (theta > q) return response;
+  const double inv_q = 1.0 / static_cast<double>(q);
 
-std::vector<std::vector<RecordId>> FreqSetSearcher::BatchQuery(
-    std::span<const Record> queries, double threshold,
-    size_t num_threads) const {
-  // Search scratch is per-thread (QueryContext), so concurrent callers are
-  // safe.
-  return ParallelBatchQuery(*this, queries, threshold, num_threads);
+  HitCollector collector(request, ctx, &response);
+  if (theta == 0) {
+    // Threshold 0: every record qualifies. A count pass (θ = 1) still runs
+    // when the caller wants scores, so hits carry exact containment; the
+    // boolean path skips it and emits plain ids.
+    const bool need_scores = request.want_scores || request.top_k > 0;
+    if (need_scores) {
+      index_.CountOverlaps(query, 1, ctx, &response.stats);
+    }
+    response.stats.candidates_generated = dataset_.size();
+    for (size_t i = 0; i < dataset_.size(); ++i) {
+      const double overlap =
+          need_scores
+              ? static_cast<double>(ctx.CountOf(static_cast<uint32_t>(i)))
+              : 0.0;
+      collector.Add(static_cast<RecordId>(i), overlap * inv_q);
+    }
+    collector.Finish();
+    return response;
+  }
+
+  // One pass: the counting phases leave every touched record's overlap in
+  // ctx, and the qualifiers are emitted straight into the collector — no
+  // intermediate id vector, and the boolean path never even divides.
+  index_.CountOverlaps(query, theta, ctx, &response.stats);
+  if (request.want_scores || request.top_k > 0) {
+    for (RecordId id : ctx.touched()) {
+      const uint64_t overlap = ctx.CountOf(id);
+      if (overlap >= theta) {
+        collector.Add(id, static_cast<double>(overlap) * inv_q);
+      }
+    }
+  } else {
+    for (RecordId id : ctx.touched()) {
+      if (ctx.CountOf(id) >= theta) collector.Add(id, 0.0);
+    }
+  }
+  collector.Finish();
+  return response;
 }
 
 }  // namespace gbkmv

@@ -7,7 +7,8 @@
 // the counter array stays sparse for selective queries). Unlike PPjoin* it
 // has no prefix/positional filtering — its per-query cost grows with the
 // total posting volume of the query, which is exactly the behaviour
-// Fig. 19(b) contrasts against GB-KMV.
+// Fig. 19(b) contrasts against GB-KMV. Hit scores are exact containment
+// |Q∩X|/|Q|, read off the ScanCount counters at no extra scan cost.
 
 #ifndef GBKMV_INDEX_FREQSET_H_
 #define GBKMV_INDEX_FREQSET_H_
@@ -23,13 +24,9 @@ class FreqSetSearcher : public ContainmentSearcher {
   // A non-null pool shards the inverted-index build (byte-identical result).
   explicit FreqSetSearcher(const Dataset& dataset, ThreadPool* pool = nullptr);
 
-  // Safe for concurrent callers: query scratch comes from the calling
-  // thread's QueryContext arena.
-  std::vector<RecordId> Search(const Record& query,
-                               double threshold) const override;
-  std::vector<std::vector<RecordId>> BatchQuery(
-      std::span<const Record> queries, double threshold,
-      size_t num_threads) const override;
+  // Safe for concurrent callers with distinct QueryContext arenas.
+  QueryResponse SearchQ(const QueryRequest& request,
+                        QueryContext& ctx) const override;
   std::string name() const override { return "FreqSet"; }
   uint64_t SpaceUnits() const override { return index_.SpaceUnits(); }
   // Paper measure: one unit per posting entry (= total elements).

@@ -110,20 +110,14 @@ void GbKmvIndexSearcher::BuildQueryStructures(bool rebuild_postings) {
   }
 }
 
-std::vector<std::vector<RecordId>> GbKmvIndexSearcher::BatchQuery(
-    std::span<const Record> queries, double threshold,
-    size_t num_threads) const {
-  // Search scratch is per-thread (QueryContext), so concurrent callers are
-  // safe.
-  return ParallelBatchQuery(*this, queries, threshold, num_threads);
-}
-
-std::vector<RecordId> GbKmvIndexSearcher::Search(const Record& query,
-                                                 double threshold) const {
-  std::vector<RecordId> out;
-  if (query.empty()) return out;
+QueryResponse GbKmvIndexSearcher::SearchQ(const QueryRequest& request,
+                                          QueryContext& ctx) const {
+  QueryResponse response;
+  const Record& query = *request.record;
+  if (query.empty()) return response;
   const size_t q = query.size();
-  const double theta = threshold * static_cast<double>(q);
+  const double theta = request.threshold * static_cast<double>(q);
+  const double inv_q = 1.0 / static_cast<double>(q);
   // Partition lower bound: |X| >= ⌈θ⌉ is necessary for |Q∩X| >= θ.
   const uint32_t min_size =
       static_cast<uint32_t>(std::ceil(theta - 1e-9));
@@ -133,14 +127,23 @@ std::vector<RecordId> GbKmvIndexSearcher::Search(const Record& query,
   const size_t q_sketch_size = q_hashes.size();
   const uint64_t q_max = q_hashes.empty() ? 0 : q_hashes.back();
 
+  HitCollector collector(request, ctx, &response);
+
   // ScanCount over the sketch-hash inverted index -> exact K∩ per record.
   // K∩ <= |L_Q|, so the guard-free bump applies for any realistic sketch.
-  QueryContext& ctx = ThreadLocalQueryContext();
   ctx.Begin(sketches_.size());
   if (q_sketch_size < QueryContext::kSaturated) {
-    for (uint64_t h : q_hashes) ctx.BumpRowUnchecked(hash_postings_.Find(h));
+    for (uint64_t h : q_hashes) {
+      const std::span<const RecordId> row = hash_postings_.Find(h);
+      response.stats.postings_scanned += row.size();
+      ctx.BumpRowUnchecked(row);
+    }
   } else {
-    for (uint64_t h : q_hashes) ctx.BumpRow(hash_postings_.Find(h));
+    for (uint64_t h : q_hashes) {
+      const std::span<const RecordId> row = hash_postings_.Find(h);
+      response.stats.postings_scanned += row.size();
+      ctx.BumpRow(row);
+    }
   }
 
   const bool query_buffer_empty = query_sketch.buffer.Empty();
@@ -161,35 +164,55 @@ std::vector<RecordId> GbKmvIndexSearcher::Search(const Record& query,
     return std::min(static_cast<double>(o1) + d_hat, cap);
   };
 
-  // Records with sketch-hash overlap.
+  // Records with sketch-hash overlap. Stats are batch-counted (touched
+  // minus pruned) — a per-candidate increment in this loop is measurable.
+  size_t size_pruned = 0;
   for (RecordId id : ctx.touched()) {
     const size_t k_intersect = ctx.CountOf(id);
-    if (record_sizes_[id] < min_size) continue;
-    if (score(id, k_intersect) >= theta - 1e-9) out.push_back(id);
+    if (record_sizes_[id] < min_size) {
+      ++size_pruned;
+      continue;
+    }
+    const double estimate = score(id, k_intersect);
+    if (estimate >= theta - 1e-9) collector.Add(id, estimate * inv_q);
   }
+  response.stats.candidates_generated += ctx.touched().size() - size_pruned;
 
   // Records that can qualify on the buffer alone (K∩ = 0): scan the
   // size-eligible suffix of the non-empty-buffer order with the bitmap fast
   // path. Touched records are skipped — they were fully scored above, and
   // their score is >= o1, so any buffer-only qualifier among them is
-  // already in `out`.
+  // already collected.
   if (!query_buffer_empty) {
     const auto begin_it =
         std::lower_bound(buffered_sorted_sizes_.begin(),
                          buffered_sorted_sizes_.end(), min_size);
-    for (size_t pos =
-             static_cast<size_t>(begin_it - buffered_sorted_sizes_.begin());
-         pos < buffered_by_size_.size(); ++pos) {
+    const size_t begin_pos =
+        static_cast<size_t>(begin_it - buffered_sorted_sizes_.begin());
+    size_t skipped = 0;  // already scored through the hash postings
+    for (size_t pos = begin_pos; pos < buffered_by_size_.size(); ++pos) {
       const RecordId id = buffered_by_size_[pos];
-      if (ctx.CountOf(id) > 0) continue;  // scored through the hash postings
+      if (ctx.CountOf(id) > 0) {
+        ++skipped;
+        continue;
+      }
       const size_t o1 =
           Bitmap::IntersectCount(query_sketch.buffer, sketches_[id].buffer);
-      if (static_cast<double>(o1) >= theta - 1e-9) out.push_back(id);
+      if (static_cast<double>(o1) >= theta - 1e-9) {
+        // K∩ = 0, so the full estimator reduces to the buffer overlap.
+        collector.Add(id, static_cast<double>(o1) * inv_q);
+      }
     }
+    // The buffer pass reads stored bitmaps, not postings; count one index
+    // entry per examined record so the work is visible in the stats
+    // (batch-counted: the per-record increments cost in this loop).
+    const size_t examined = buffered_by_size_.size() - begin_pos - skipped;
+    response.stats.candidates_generated += examined;
+    response.stats.postings_scanned += examined;
   }
 
-  std::sort(out.begin(), out.end());
-  return out;
+  collector.Finish();
+  return response;
 }
 
 double GbKmvIndexSearcher::EstimateContainment(const Record& query,
@@ -229,31 +252,33 @@ Result<std::unique_ptr<KmvSearcher>> KmvSearcher::Create(const Dataset& dataset,
   return s;
 }
 
-std::vector<std::vector<RecordId>> KmvSearcher::BatchQuery(
-    std::span<const Record> queries, double threshold,
-    size_t num_threads) const {
-  // Search keeps no scratch, so concurrent callers are safe.
-  return ParallelBatchQuery(*this, queries, threshold, num_threads);
-}
-
-std::vector<RecordId> KmvSearcher::Search(const Record& query,
-                                          double threshold) const {
-  std::vector<RecordId> out;
-  if (query.empty()) return out;
+QueryResponse KmvSearcher::SearchQ(const QueryRequest& request,
+                                   QueryContext& ctx) const {
+  QueryResponse response;
+  const Record& query = *request.record;
+  if (query.empty()) return response;
   const size_t q = query.size();
-  const double theta = threshold * static_cast<double>(q);
+  const double theta = request.threshold * static_cast<double>(q);
+  const double inv_q = 1.0 / static_cast<double>(q);
   const uint32_t min_size = static_cast<uint32_t>(std::ceil(theta - 1e-9));
   const KmvSketch query_sketch = KmvSketch::Build(query, k_, seed_);
+  HitCollector collector(request, ctx, &response);
   for (size_t i = 0; i < sketches_.size(); ++i) {
     if (record_sizes_[i] < min_size) continue;
+    ++response.stats.candidates_generated;
+    // "Postings" of the pairwise estimators: stored sketch values merged.
+    response.stats.postings_scanned +=
+        query_sketch.size() + sketches_[i].size();
     const KmvPairEstimate est = EstimateKmvPair(query_sketch, sketches_[i]);
     const double cap =
         static_cast<double>(std::min<uint32_t>(q, record_sizes_[i]));
-    if (std::min(est.intersection_size, cap) >= theta - 1e-9) {
-      out.push_back(static_cast<RecordId>(i));
+    const double estimate = std::min(est.intersection_size, cap);
+    if (estimate >= theta - 1e-9) {
+      collector.Add(static_cast<RecordId>(i), estimate * inv_q);
     }
   }
-  return out;
+  collector.Finish();
+  return response;
 }
 
 }  // namespace gbkmv

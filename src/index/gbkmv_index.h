@@ -65,13 +65,11 @@ class GbKmvIndexSearcher : public ContainmentSearcher {
   static Result<std::unique_ptr<GbKmvIndexSearcher>> Create(
       const Dataset& dataset, const GbKmvIndexOptions& options);
 
-  // Safe for concurrent callers: query scratch comes from the calling
-  // thread's QueryContext arena.
-  std::vector<RecordId> Search(const Record& query,
-                               double threshold) const override;
-  std::vector<std::vector<RecordId>> BatchQuery(
-      std::span<const Record> queries, double threshold,
-      size_t num_threads) const override;
+  // Safe for concurrent callers with distinct QueryContext arenas. Hit
+  // scores are the Eq. 27 estimate (buffer overlap + G-KMV term, clamped by
+  // min(|Q|, |X|)) divided by |Q| — the very value the threshold test uses.
+  QueryResponse SearchQ(const QueryRequest& request,
+                        QueryContext& ctx) const override;
   std::string name() const override {
     return chosen_buffer_bits_ > 0 ? "GB-KMV" : "G-KMV";
   }
@@ -143,11 +141,9 @@ class KmvSearcher : public ContainmentSearcher {
       const Dataset& dataset, double space_ratio,
       uint64_t seed = kDefaultSketchSeed, size_t num_threads = 0);
 
-  std::vector<RecordId> Search(const Record& query,
-                               double threshold) const override;
-  std::vector<std::vector<RecordId>> BatchQuery(
-      std::span<const Record> queries, double threshold,
-      size_t num_threads) const override;
+  // Hit scores are the clamped pairwise estimate (Eqs. 8–10) over |Q|.
+  QueryResponse SearchQ(const QueryRequest& request,
+                        QueryContext& ctx) const override;
   std::string name() const override { return "KMV"; }
   uint64_t SpaceUnits() const override { return space_units_; }
 

@@ -80,11 +80,26 @@ InvertedIndex::InvertedIndex(const Dataset& dataset, ThreadPool* pool)
 
 std::vector<RecordId> InvertedIndex::ScanCount(const Record& query,
                                                size_t min_overlap,
-                                               QueryContext& ctx) const {
-  GBKMV_CHECK(min_overlap >= 1);
+                                               QueryContext& ctx,
+                                               QueryStats* stats) const {
   std::vector<RecordId> out;
+  if (min_overlap > query.size()) return out;
+  CountOverlaps(query, min_overlap, ctx, stats);
+  for (RecordId id : ctx.touched()) {
+    if (ctx.CountOf(id) >= min_overlap) out.push_back(id);
+  }
+  return out;
+}
+
+void InvertedIndex::CountOverlaps(const Record& query, size_t min_overlap,
+                                  QueryContext& ctx,
+                                  QueryStats* stats) const {
+  GBKMV_CHECK(min_overlap >= 1);
   const size_t q = query.size();
-  if (min_overlap > q) return out;
+  if (min_overlap > q) {
+    ctx.Begin(num_records_);
+    return;
+  }
   ctx.Begin(num_records_);
 
   // Selective queries take a prefix-filtered two-phase path: candidates are
@@ -165,10 +180,32 @@ std::vector<RecordId> InvertedIndex::ScanCount(const Record& query,
     RefineRows(store_, query, longest, ctx);
   }
 
-  for (RecordId id : ctx.touched()) {
-    if (ctx.CountOf(id) >= min_overlap) out.push_back(id);
+  if (stats != nullptr) {
+    // Per-row, not per-posting: the hot loops stay untouched. On the split
+    // path the refine rows were not streamed — RefineRows either scans a
+    // row or binary-probes it per candidate, whichever is cheaper — so each
+    // refine row is charged min(row length, candidate count) instead of its
+    // full length (a close upper bound on entries actually read; charging
+    // full rows would overstate by the exact factor the split saves).
+    if (!split) {
+      for (ElementId e : query) {
+        stats->postings_scanned += store_.Row(e).size();
+      }
+    } else {
+      const uint64_t candidates = ctx.touched().size();
+      size_t next = 0;
+      for (size_t i = 0; i < q; ++i) {
+        const uint64_t len = store_.Row(query[i]).size();
+        if (next < longest.size() && longest[next] == i) {
+          ++next;
+          stats->postings_scanned += std::min(len, candidates);
+        } else {
+          stats->postings_scanned += len;
+        }
+      }
+    }
+    stats->candidates_generated += ctx.touched().size();
   }
-  return out;
 }
 
 }  // namespace gbkmv

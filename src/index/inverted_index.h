@@ -41,9 +41,23 @@ class InvertedIndex {
   // ids of records whose overlap with `query` is >= min_overlap, by counting
   // occurrences across the query's posting lists in the caller's scratch
   // arena (pass ThreadLocalQueryContext() unless composing with an outer
-  // counting pass). `min_overlap` must be >= 1.
+  // counting pass). `min_overlap` must be >= 1. After the call, ctx holds
+  // the overlap count of every touched record (CountOf), so callers can
+  // score the returned ids without re-counting. A non-null `stats`
+  // accumulates postings_scanned (posting entries the scan read) and
+  // candidates_generated (records touched) — O(|Q|) extra work, never
+  // per-posting.
   std::vector<RecordId> ScanCount(const Record& query, size_t min_overlap,
-                                  QueryContext& ctx) const;
+                                  QueryContext& ctx,
+                                  QueryStats* stats = nullptr) const;
+
+  // The counting phases of ScanCount without the output pass: after the
+  // call, ctx holds the overlap of every touched record and callers emit
+  // results themselves (one pass instead of materialise-then-copy).
+  // `min_overlap` only gates the prefix-filter split; counts are exact for
+  // every touched record regardless.
+  void CountOverlaps(const Record& query, size_t min_overlap,
+                     QueryContext& ctx, QueryStats* stats = nullptr) const;
 
  private:
   PostingStore store_;

@@ -83,35 +83,43 @@ Result<std::unique_ptr<LshEnsembleSearcher>> LshEnsembleSearcher::Create(
   return searcher;
 }
 
-std::vector<std::vector<RecordId>> LshEnsembleSearcher::BatchQuery(
-    std::span<const Record> queries, double threshold,
-    size_t num_threads) const {
-  // Search keeps no scratch, so concurrent callers are safe.
-  return ParallelBatchQuery(*this, queries, threshold, num_threads);
-}
-
-std::vector<RecordId> LshEnsembleSearcher::Search(const Record& query,
-                                                  double threshold) const {
-  std::vector<RecordId> out;
-  if (query.empty()) return out;
+QueryResponse LshEnsembleSearcher::SearchQ(const QueryRequest& request,
+                                           QueryContext& ctx) const {
+  QueryResponse response;
+  const Record& query = *request.record;
+  if (query.empty()) return response;
   const MinHashSignature query_sig = MinHashSignature::Build(query, family_);
   const size_t q = query.size();
 
+  HitCollector collector(request, ctx, &response);
   for (const Partition& part : partitions_) {
     // Containment -> Jaccard threshold with the partition upper bound
     // (Eq. 13). Thresholds above 1 cannot be met; clamp tiny ones so the
     // band optimiser stays meaningful.
     const double s_star =
-        ContainmentToJaccard(threshold, q, part.upper_bound);
+        ContainmentToJaccard(request.threshold, q, part.upper_bound);
     if (s_star > 1.0) continue;
     const BandParams params = OptimalBandParams(
         options_.num_hashes, s_star, part.index->row_choices());
-    const std::vector<RecordId> ids = part.index->Query(query_sig, params);
-    out.insert(out.end(), ids.begin(), ids.end());
+    const std::vector<RecordId> ids = part.index->Query(
+        query_sig, params, &response.stats.postings_scanned);
+    response.stats.candidates_generated += ids.size();
+    // Scoring a candidate reads its full stored signature (k values) — work
+    // the legacy boolean path never did, so it runs only when the caller
+    // asked for scores or ranking. Partitions are disjoint by construction,
+    // so no cross-partition dedup is needed; the score uses this
+    // partition's upper bound (Eq. 15).
+    const bool need_scores = request.want_scores || request.top_k > 0;
+    for (RecordId id : ids) {
+      const double estimate =
+          need_scores ? EstimateContainmentMinHash(query_sig, signatures_[id],
+                                                   q, part.upper_bound)
+                      : 0.0;
+      collector.Add(id, std::clamp(estimate, 0.0, 1.0));
+    }
   }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
+  collector.Finish();
+  return response;
 }
 
 double LshEnsembleSearcher::EstimateContainment(const Record& query,

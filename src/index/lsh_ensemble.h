@@ -51,11 +51,11 @@ class LshEnsembleSearcher : public ContainmentSearcher {
   static Result<std::unique_ptr<LshEnsembleSearcher>> Create(
       const Dataset& dataset, const LshEnsembleOptions& options);
 
-  std::vector<RecordId> Search(const Record& query,
-                               double threshold) const override;
-  std::vector<std::vector<RecordId>> BatchQuery(
-      std::span<const Record> queries, double threshold,
-      size_t num_threads) const override;
+  // Candidates are the answer (no verification; §III-B). Hit scores are
+  // containment re-estimated from the stored signatures through the Eq. 15
+  // transformation with the candidate's partition upper bound u.
+  QueryResponse SearchQ(const QueryRequest& request,
+                        QueryContext& ctx) const override;
   std::string name() const override { return "LSH-E"; }
   uint64_t SpaceUnits() const override;
   // Paper measure: one unit per stored signature value (m·k).

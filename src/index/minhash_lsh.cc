@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
 
 #include "common/hash.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
+#include "sketch/parallel_build.h"
 
 namespace gbkmv {
 
@@ -95,8 +98,9 @@ MinHashLshIndex::MinHashLshIndex(
   }
 }
 
-std::vector<RecordId> MinHashLshIndex::Query(const MinHashSignature& query_sig,
-                                             const BandParams& params) const {
+std::vector<RecordId> MinHashLshIndex::Query(
+    const MinHashSignature& query_sig, const BandParams& params,
+    uint64_t* bucket_entries_scanned) const {
   GBKMV_CHECK(query_sig.size() == signature_size_);
   const RowTables* rt = nullptr;
   for (const RowTables& candidate : per_row_) {
@@ -111,6 +115,9 @@ std::vector<RecordId> MinHashLshIndex::Query(const MinHashSignature& query_sig,
   for (size_t band = 0; band < bands; ++band) {
     const uint64_t h = BandHash(query_sig, band * rt->rows, rt->rows);
     const std::span<const RecordId> bucket = rt->tables[band].Find(h);
+    if (bucket_entries_scanned != nullptr) {
+      *bucket_entries_scanned += bucket.size();
+    }
     out.insert(out.end(), bucket.begin(), bucket.end());
   }
   std::sort(out.begin(), out.end());
@@ -126,6 +133,71 @@ uint64_t MinHashLshIndex::SpaceUnits() const {
     }
   }
   return units;
+}
+
+Result<std::unique_ptr<MinHashLshSearcher>> MinHashLshSearcher::Create(
+    const Dataset& dataset, const MinHashLshOptions& options) {
+  if (options.num_hashes == 0) {
+    return Status::InvalidArgument("num_hashes must be positive");
+  }
+  if (dataset.empty()) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  std::unique_ptr<MinHashLshSearcher> s(
+      new MinHashLshSearcher(dataset, options));
+  for (const Record& r : dataset.records()) {
+    s->max_record_size_ = std::max(s->max_record_size_, r.size());
+  }
+  const std::unique_ptr<ThreadPool> pool =
+      MakeBuildPool(options.num_threads, dataset.size());
+  s->signatures_ = BuildSketchesParallel(dataset, s->family_, pool.get());
+  std::vector<RecordId> ids(dataset.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  s->index_ = std::make_unique<MinHashLshIndex>(
+      s->signatures_, ids, options.num_hashes,
+      DefaultRowChoices(options.num_hashes));
+  return s;
+}
+
+QueryResponse MinHashLshSearcher::SearchQ(const QueryRequest& request,
+                                          QueryContext& ctx) const {
+  QueryResponse response;
+  const Record& query = *request.record;
+  if (query.empty()) return response;
+  const size_t q = query.size();
+  // Containment -> Jaccard with the dataset-wide upper bound (Eq. 13).
+  // Thresholds above 1 cannot be met; clamp tiny ones so the band optimiser
+  // stays meaningful.
+  const double s_star =
+      ContainmentToJaccard(request.threshold, q, max_record_size_);
+  if (s_star > 1.0) return response;
+  const MinHashSignature query_sig = MinHashSignature::Build(query, family_);
+  const BandParams params =
+      OptimalBandParams(options_.num_hashes,
+                        std::clamp(s_star, 1e-6, 1.0), index_->row_choices());
+  const std::vector<RecordId> candidates =
+      index_->Query(query_sig, params, &response.stats.postings_scanned);
+  response.stats.candidates_generated = candidates.size();
+  HitCollector collector(request, ctx, &response);
+  // Candidates are the answer (no verification); the score re-estimates
+  // containment from the stored signature and the record's true size, and
+  // is materialised only when the caller asked for scores or ranking.
+  const bool need_scores = request.want_scores || request.top_k > 0;
+  for (RecordId id : candidates) {
+    const double estimate =
+        need_scores ? EstimateContainmentMinHash(query_sig, signatures_[id],
+                                                 q, dataset_.record(id).size())
+                    : 0.0;
+    collector.Add(id, std::clamp(estimate, 0.0, 1.0));
+  }
+  collector.Finish();
+  return response;
+}
+
+uint64_t MinHashLshSearcher::SpaceUnits() const {
+  // Signatures (m·k units) plus the flat banding bucket tables.
+  return static_cast<uint64_t>(dataset_.size()) * options_.num_hashes +
+         index_->SpaceUnits();
 }
 
 }  // namespace gbkmv

@@ -1,4 +1,6 @@
-// MinHash LSH banding index — substrate of the LSH-E baseline.
+// MinHash LSH banding index — substrate of the LSH-E baseline — plus the
+// plain MinHash-LSH searcher built directly on it (one global index, no size
+// partitioning: the un-partitioned baseline LSH-E improves on).
 //
 // Signatures of k hash values are split into b bands of r rows (b·r <= k);
 // two records collide if any band matches exactly. The S-curve collision
@@ -14,14 +16,15 @@
 #define GBKMV_INDEX_MINHASH_LSH_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "data/dataset.h"
+#include "index/searcher.h"
 #include "sketch/minhash.h"
 #include "storage/flat_hash_postings.h"
 
 namespace gbkmv {
-
-using RecordId = uint32_t;
 
 // P(collision) = 1 − (1 − s^r)^b.
 double LshCollisionProbability(double jaccard, size_t bands, size_t rows);
@@ -50,9 +53,12 @@ class MinHashLshIndex {
                   const std::vector<size_t>& row_choices);
 
   // Record ids colliding with `query_sig` in any band under `params`.
-  // Duplicates removed. `params.rows` must be one of the row choices.
+  // Duplicates removed. `params.rows` must be one of the row choices. A
+  // non-null `bucket_entries_scanned` accumulates the total bucket entries
+  // read across the probed bands (the LSH methods' postings_scanned).
   std::vector<RecordId> Query(const MinHashSignature& query_sig,
-                              const BandParams& params) const;
+                              const BandParams& params,
+                              uint64_t* bucket_entries_scanned = nullptr) const;
 
   size_t signature_size() const { return signature_size_; }
   const std::vector<size_t>& row_choices() const { return row_choices_; }
@@ -75,6 +81,49 @@ class MinHashLshIndex {
   size_t signature_size_;
   std::vector<size_t> row_choices_;
   std::vector<RowTables> per_row_;
+};
+
+struct MinHashLshOptions {
+  size_t num_hashes = 256;
+  uint64_t seed = 0x15483a9bULL;
+  // Signature-build parallelism (byte-identical output for any value).
+  // 0 = DefaultThreads(), 1 = serial.
+  size_t num_threads = 0;
+};
+
+// Plain MinHash-LSH containment search: one banding index over the whole
+// dataset. The containment threshold t* maps to a Jaccard threshold through
+// the transformation of Eq. 13 with the DATASET-WIDE size upper bound — no
+// per-partition bounds, which is exactly the looseness LSH-E's equal-depth
+// partitioning fixes. Like LSH-E, the band collisions ARE the answer (no
+// verification); hit scores are containment re-estimated from the stored
+// signatures with each record's true size (Eq. 14).
+class MinHashLshSearcher : public ContainmentSearcher {
+ public:
+  static Result<std::unique_ptr<MinHashLshSearcher>> Create(
+      const Dataset& dataset, const MinHashLshOptions& options);
+
+  QueryResponse SearchQ(const QueryRequest& request,
+                        QueryContext& ctx) const override;
+  std::string name() const override { return "MinHash-LSH"; }
+  uint64_t SpaceUnits() const override;
+  // Paper measure: one unit per stored signature value (m·k).
+  uint64_t BudgetSpaceUnits() const override {
+    return static_cast<uint64_t>(dataset_.size()) * options_.num_hashes;
+  }
+
+ private:
+  MinHashLshSearcher(const Dataset& dataset, const MinHashLshOptions& options)
+      : dataset_(dataset),
+        options_(options),
+        family_(options.num_hashes, options.seed) {}
+
+  const Dataset& dataset_;
+  MinHashLshOptions options_;
+  HashFamily family_;
+  size_t max_record_size_ = 0;  // dataset-wide u for the Eq. 13 transform
+  std::vector<MinHashSignature> signatures_;  // per record id
+  std::unique_ptr<MinHashLshIndex> index_;
 };
 
 }  // namespace gbkmv

@@ -56,20 +56,32 @@ PPJoinSearcher::PPJoinSearcher(const Dataset& dataset, ThreadPool* pool)
       pool, row[m]);
 }
 
-std::vector<RecordId> PPJoinSearcher::Search(const Record& query,
-                                             double threshold) const {
-  std::vector<RecordId> out;
-  if (query.empty()) return out;
+QueryResponse PPJoinSearcher::SearchQ(const QueryRequest& request,
+                                      QueryContext& ctx) const {
+  QueryResponse response;
+  const Record& query = *request.record;
+  if (query.empty()) return response;
   const size_t q = query.size();
   const size_t theta = static_cast<size_t>(
-      std::ceil(threshold * static_cast<double>(q) - 1e-9));
+      std::ceil(request.threshold * static_cast<double>(q) - 1e-9));
+  const double inv_q = 1.0 / static_cast<double>(q);
+  HitCollector collector(request, ctx, &response);
   if (theta == 0) {
-    // Every record qualifies (threshold 0).
-    out.resize(dataset_.size());
-    std::iota(out.begin(), out.end(), 0);
-    return out;
+    // Every record qualifies (threshold 0); scores need a verification
+    // merge per record, which the prefix index cannot shortcut.
+    const bool need_scores = request.want_scores || request.top_k > 0;
+    response.stats.candidates_generated = dataset_.size();
+    for (size_t i = 0; i < dataset_.size(); ++i) {
+      const double overlap =
+          need_scores
+              ? static_cast<double>(IntersectSize(query, dataset_.record(i)))
+              : 0.0;
+      collector.Add(static_cast<RecordId>(i), overlap * inv_q);
+    }
+    collector.Finish();
+    return response;
   }
-  if (theta > q) return out;  // Impossible overlap.
+  if (theta > q) return response;  // Impossible overlap.
 
   // Query tokens in global frequency order; prefix = first q − θ + 1.
   // Tokens outside the indexed universe rank after all known tokens (any
@@ -86,10 +98,11 @@ std::vector<RecordId> PPJoinSearcher::Search(const Record& query,
             });
   const size_t prefix_len = q - theta + 1;
 
-  QueryContext& ctx = ThreadLocalQueryContext();
   ctx.Begin(dataset_.size());
   for (size_t i = 0; i < prefix_len; ++i) {
-    for (const Posting& p : postings_.Row(qtokens[i])) {
+    const std::span<const Posting> row = postings_.Row(qtokens[i]);
+    response.stats.postings_scanned += row.size();
+    for (const Posting& p : row) {
       if (ctx.IsMarked(p.id)) continue;
       const size_t x = dataset_.record(p.id).size();
       if (x < theta) continue;                       // size filter
@@ -102,20 +115,15 @@ std::vector<RecordId> PPJoinSearcher::Search(const Record& query,
     }
   }
 
+  response.stats.candidates_generated = ctx.touched().size();
   for (RecordId id : ctx.touched()) {
-    if (IntersectSize(query, dataset_.record(id)) >= theta) {
-      out.push_back(id);
+    const size_t overlap = IntersectSize(query, dataset_.record(id));
+    if (overlap >= theta) {
+      collector.Add(id, static_cast<double>(overlap) * inv_q);
     }
   }
-  return out;
-}
-
-std::vector<std::vector<RecordId>> PPJoinSearcher::BatchQuery(
-    std::span<const Record> queries, double threshold,
-    size_t num_threads) const {
-  // Search scratch is per-thread (QueryContext), so concurrent callers are
-  // safe.
-  return ParallelBatchQuery(*this, queries, threshold, num_threads);
+  collector.Finish();
+  return response;
 }
 
 uint64_t PPJoinSearcher::SpaceUnits() const {

@@ -29,13 +29,10 @@ class PPJoinSearcher : public ContainmentSearcher {
   // A non-null pool shards the posting build (byte-identical result).
   explicit PPJoinSearcher(const Dataset& dataset, ThreadPool* pool = nullptr);
 
-  // Safe for concurrent callers: candidate flags come from the calling
-  // thread's QueryContext arena.
-  std::vector<RecordId> Search(const Record& query,
-                               double threshold) const override;
-  std::vector<std::vector<RecordId>> BatchQuery(
-      std::span<const Record> queries, double threshold,
-      size_t num_threads) const override;
+  // Safe for concurrent callers with distinct QueryContext arenas. Hit
+  // scores are exact containment |Q∩X|/|Q| from the verification merge.
+  QueryResponse SearchQ(const QueryRequest& request,
+                        QueryContext& ctx) const override;
   std::string name() const override { return "PPjoin*"; }
   uint64_t SpaceUnits() const override;
   // Paper measure: two units per positional posting entry.

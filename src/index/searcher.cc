@@ -4,37 +4,68 @@
 
 namespace gbkmv {
 
+std::vector<RecordId> ContainmentSearcher::Search(const Record& query,
+                                                  double threshold) const {
+  QueryRequest request(query, threshold);
+  request.want_scores = false;  // boolean path: ids only
+  const QueryResponse response = SearchQ(request, ThreadLocalQueryContext());
+  std::vector<RecordId> out;
+  out.reserve(response.hits.size());
+  for (const QueryHit& hit : response.hits) out.push_back(hit.id);
+  return out;
+}
+
+std::vector<QueryResponse> ContainmentSearcher::BatchSearchQ(
+    std::span<const QueryRequest> requests, size_t num_threads) const {
+  return ParallelBatchQuery(*this, requests, num_threads);
+}
+
 std::vector<std::vector<RecordId>> ContainmentSearcher::BatchQuery(
     std::span<const Record> queries, double threshold,
     size_t num_threads) const {
-  (void)num_threads;  // The reference implementation is sequential.
-  std::vector<std::vector<RecordId>> results;
-  results.reserve(queries.size());
-  for (const Record& q : queries) results.push_back(Search(q, threshold));
+  std::vector<QueryRequest> requests;
+  requests.reserve(queries.size());
+  for (const Record& q : queries) {
+    QueryRequest request(q, threshold);
+    request.want_scores = false;
+    requests.push_back(request);
+  }
+  const std::vector<QueryResponse> responses =
+      BatchSearchQ(requests, num_threads);
+  std::vector<std::vector<RecordId>> results(responses.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    results[i].reserve(responses[i].hits.size());
+    for (const QueryHit& hit : responses[i].hits) {
+      results[i].push_back(hit.id);
+    }
+  }
   return results;
 }
 
-std::vector<std::vector<RecordId>> ParallelBatchQuery(
-    const ContainmentSearcher& searcher, std::span<const Record> queries,
-    double threshold, size_t num_threads) {
+std::vector<QueryResponse> ParallelBatchQuery(
+    const ContainmentSearcher& searcher,
+    std::span<const QueryRequest> requests, size_t num_threads) {
   if (num_threads == 0) num_threads = DefaultThreads();
-  std::vector<std::vector<RecordId>> results(queries.size());
-  if (queries.empty()) return results;
+  std::vector<QueryResponse> results(requests.size());
+  if (requests.empty()) return results;
   if (num_threads == 1) {
-    for (size_t i = 0; i < queries.size(); ++i) {
-      results[i] = searcher.Search(queries[i], threshold);
+    QueryContext& ctx = ThreadLocalQueryContext();
+    for (size_t i = 0; i < requests.size(); ++i) {
+      results[i] = searcher.SearchQ(requests[i], ctx);
     }
     return results;
   }
   ThreadPool pool(num_threads);
-  // No per-chunk scratch, so a fine grain (several chunks per worker) is
-  // free and keeps skewed query costs balanced.
+  // No per-chunk scratch beyond the thread-local arena, so a fine grain
+  // (several chunks per worker) is free and keeps skewed query costs
+  // balanced.
   const size_t grain =
-      std::max<size_t>(1, queries.size() / (8 * pool.num_threads()));
-  pool.ParallelFor(0, queries.size(), grain,
+      std::max<size_t>(1, requests.size() / (8 * pool.num_threads()));
+  pool.ParallelFor(0, requests.size(), grain,
                    [&](size_t begin, size_t end, size_t /*chunk*/) {
+                     QueryContext& ctx = ThreadLocalQueryContext();
                      for (size_t i = begin; i < end; ++i) {
-                       results[i] = searcher.Search(queries[i], threshold);
+                       results[i] = searcher.SearchQ(requests[i], ctx);
                      }
                    });
   return results;

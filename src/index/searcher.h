@@ -1,7 +1,8 @@
 // Common interface of every containment-similarity search method
-// (Definition 3): given a query Q and threshold t*, return the ids of all
-// records X with C(Q,X) = |Q∩X|/|Q| >= t* (exactly, or approximately for the
-// sketch-based methods).
+// (Definition 3): given a query Q and threshold t*, return the records X
+// with C(Q,X) = |Q∩X|/|Q| >= t* (exactly, or approximately for the
+// sketch-based methods), each with the containment score the method
+// computed for it and counters describing what the index did.
 
 #ifndef GBKMV_INDEX_SEARCHER_H_
 #define GBKMV_INDEX_SEARCHER_H_
@@ -14,30 +15,44 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "data/record.h"
+#include "index/query.h"
+#include "storage/query_context.h"
 
 namespace gbkmv {
-
-using RecordId = uint32_t;
 
 class ContainmentSearcher {
  public:
   virtual ~ContainmentSearcher() = default;
 
-  // Record ids whose containment similarity w.r.t. `query` is (estimated to
-  // be) >= `threshold`. Order is unspecified; no duplicates.
-  virtual std::vector<RecordId> Search(const Record& query,
-                                       double threshold) const = 0;
+  // The primary query path (query API v2, docs/query_api.md): every method
+  // implements this natively, surfacing the score it already computes
+  // internally. Scratch comes from `ctx` (pass ThreadLocalQueryContext()
+  // unless you manage arenas yourself), so concurrent callers with distinct
+  // contexts are safe on every method. Hit ordering: best-first (score
+  // desc, id asc) with top_k, ascending id for unlimited scored queries,
+  // and the method's natural deterministic order on the boolean path
+  // (top_k == 0, want_scores == false) — see QueryResponse.
+  virtual QueryResponse SearchQ(const QueryRequest& request,
+                                QueryContext& ctx) const = 0;
 
-  // Batch engine: results[i] is exactly what Search(queries[i], threshold)
-  // returns, for any thread count (results are computed in per-thread
-  // buffers and merged in input order). num_threads == 0 means
-  // DefaultThreads(). The base implementation is sequential — it is what
-  // every override must stay byte-identical to; subclasses whose Search is
-  // safe for concurrent callers (all current methods: query scratch lives in
-  // the per-thread QueryContext arena) parallelise via ParallelBatchQuery.
-  virtual std::vector<std::vector<RecordId>> BatchQuery(
-      std::span<const Record> queries, double threshold,
-      size_t num_threads) const;
+  // Legacy convenience wrapper: ids of all records whose containment
+  // similarity w.r.t. `query` is (estimated to be) >= `threshold`. Order is
+  // unspecified (deterministic per method); no duplicates. Thin shim over
+  // SearchQ's boolean path.
+  std::vector<RecordId> Search(const Record& query, double threshold) const;
+
+  // Batch engine over request spans: results[i] is exactly what
+  // SearchQ(requests[i], ctx) returns — scores and stats included — for any
+  // thread count (per-thread QueryContext arenas, results merged in input
+  // order). num_threads == 0 means DefaultThreads().
+  std::vector<QueryResponse> BatchSearchQ(
+      std::span<const QueryRequest> requests, size_t num_threads) const;
+
+  // Legacy batch wrapper: results[i] is what Search(queries[i], threshold)
+  // returns, for any thread count.
+  std::vector<std::vector<RecordId>> BatchQuery(std::span<const Record> queries,
+                                                double threshold,
+                                                size_t num_threads) const;
 
   // Human-readable method name ("GB-KMV", "LSH-E", ...).
   virtual std::string name() const = 0;
@@ -67,13 +82,13 @@ class ContainmentSearcher {
   }
 };
 
-// Shared parallel BatchQuery implementation for searchers whose Search is
-// safe for concurrent callers (query scratch comes from the calling
-// thread's QueryContext arena, never from the searcher): chunks `queries`
-// across the workers and merges the per-chunk buffers in input order.
-std::vector<std::vector<RecordId>> ParallelBatchQuery(
-    const ContainmentSearcher& searcher, std::span<const Record> queries,
-    double threshold, size_t num_threads);
+// Shared parallel batch implementation (used by BatchSearchQ): chunks
+// `requests` across the workers, each running SearchQ against its own
+// thread's QueryContext arena, and merges the per-chunk buffers in input
+// order — byte-identical to a sequential run for any thread count.
+std::vector<QueryResponse> ParallelBatchQuery(
+    const ContainmentSearcher& searcher,
+    std::span<const QueryRequest> requests, size_t num_threads);
 
 }  // namespace gbkmv
 

@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace gbkmv {
@@ -149,10 +150,17 @@ class QueryContext {
   // using the refine API.
   static constexpr uint32_t kSaturated = 0xffff;
 
+  // Reusable top-k scratch for the query API's bounded hit heap
+  // ((score, id) pairs; index/query.h owns the ordering). Deliberately NOT
+  // reset by Begin(): a HitCollector clears it on construction and must
+  // survive the counting passes in between, which call Begin() themselves.
+  std::vector<std::pair<float, uint32_t>>& ScoreHeap() { return score_heap_; }
+
  private:
   std::vector<uint32_t> slots_;    // epoch stamp (high 16) | count (low 16)
   std::vector<uint32_t> touched_;
   std::unordered_map<uint32_t, uint64_t> overflow_;  // slot -> count - 0xffff
+  std::vector<std::pair<float, uint32_t>> score_heap_;  // ScoreHeap()
   uint32_t epoch_ = 0;             // Begin() pre-increments; 0 = never used
 };
 

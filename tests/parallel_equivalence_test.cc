@@ -49,8 +49,9 @@ std::vector<Record> TestQueries(size_t count) {
 std::vector<SearchMethod> AllMethods() {
   return {SearchMethod::kGbKmv,        SearchMethod::kGKmv,
           SearchMethod::kKmv,          SearchMethod::kLshEnsemble,
-          SearchMethod::kAsymmetricMinHash, SearchMethod::kPPJoin,
-          SearchMethod::kFreqSet,      SearchMethod::kBruteForce};
+          SearchMethod::kMinHashLsh,   SearchMethod::kAsymmetricMinHash,
+          SearchMethod::kPPJoin,       SearchMethod::kFreqSet,
+          SearchMethod::kBruteForce};
 }
 
 std::unique_ptr<ContainmentSearcher> Build(SearchMethod method,
@@ -97,6 +98,43 @@ TEST(ParallelEquivalenceTest, BatchQueryMatchesPerQuerySearchInInputOrder) {
     for (size_t threads : {size_t{1}, kThreadCounts[0], kThreadCounts[1]}) {
       EXPECT_EQ(expected, searcher->BatchQuery(queries, threshold, threads))
           << searcher->name() << " threads=" << threads;
+    }
+  }
+}
+
+// The v2 batch path carries scores and stats; all of it — hit ids, float
+// scores (bit-exact, same code path on every thread) and every stats
+// counter — must be invariant under the worker thread count, for unlimited
+// and top-k requests alike.
+TEST(ParallelEquivalenceTest, BatchSearchQScoresAndStatsThreadInvariant) {
+  const std::vector<Record> queries = TestQueries(50);
+  for (SearchMethod method : AllMethods()) {
+    const auto searcher = Build(method, 1);
+    for (size_t top_k : {size_t{0}, size_t{5}}) {
+      std::vector<QueryRequest> requests;
+      for (const Record& q : queries) {
+        QueryRequest request(q, 0.5);
+        request.top_k = top_k;
+        request.want_stats = true;
+        requests.push_back(request);
+      }
+      std::vector<QueryResponse> expected;
+      for (const QueryRequest& r : requests) {
+        expected.push_back(searcher->SearchQ(r, ThreadLocalQueryContext()));
+      }
+      for (size_t threads : {size_t{1}, kThreadCounts[0], kThreadCounts[1]}) {
+        const std::vector<QueryResponse> actual =
+            searcher->BatchSearchQ(requests, threads);
+        ASSERT_EQ(expected.size(), actual.size());
+        for (size_t i = 0; i < expected.size(); ++i) {
+          EXPECT_EQ(expected[i].hits, actual[i].hits)
+              << searcher->name() << " threads=" << threads
+              << " top_k=" << top_k << " query " << i;
+          EXPECT_EQ(expected[i].stats, actual[i].stats)
+              << searcher->name() << " threads=" << threads
+              << " top_k=" << top_k << " query " << i;
+        }
+      }
     }
   }
 }

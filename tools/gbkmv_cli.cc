@@ -6,10 +6,13 @@
 //       Print Table II-style statistics (m, n, N, avg size, α1, α2).
 //
 //   gbkmv_cli query  <dataset> [--method=gb-kmv] [--threshold=0.5]
-//                    [--space=0.1] [--min-size=1]
+//                    [--space=0.1] [--min-size=1] [--top-k=K] [--scores]
+//                    [--stats]
 //       Build the chosen index, then read query records from stdin (same
 //       line format) and print matching record line-numbers (0-based), one
-//       result line per query.
+//       result line per query. --top-k keeps only the K best-scored hits
+//       (best first), --scores prints id:score pairs, --stats prints the
+//       per-query index counters (docs/query_api.md) to stderr.
 //
 //   gbkmv_cli eval   <dataset> [--method=gb-kmv] [--threshold=0.5]
 //                    [--space=0.1] [--queries=100]
@@ -55,20 +58,23 @@ struct CliOptions {
   double space = 0.10;
   size_t min_size = 1;
   size_t queries = 100;
+  // --top-k / --scores / --stats; plain id output unless asked for more.
+  SearchOptions search{.top_k = 0, .want_scores = false, .want_stats = false};
 };
 
 int Usage() {
   std::fprintf(stderr,
                "usage: gbkmv_cli stats <dataset>\n"
                "       gbkmv_cli query <dataset> [--method=M] [--threshold=T] "
-               "[--space=S]\n"
+               "[--space=S] [--top-k=K] [--scores] [--stats]\n"
                "       gbkmv_cli eval  <dataset> [--method=M] [--threshold=T] "
                "[--space=S] [--queries=N]\n"
                "       gbkmv_cli build <dataset> <out.snap> [--method=M] "
                "[--space=S] [--min-size=K]\n"
-               "       gbkmv_cli query <in.snap> <query-file|-> [threshold]\n"
-               "methods: gb-kmv g-kmv kmv lsh-e a-mh ppjoin freqset "
-               "brute-force (snapshots: gb-kmv g-kmv lsh-e)\n"
+               "       gbkmv_cli query <in.snap> <query-file|-> [threshold] "
+               "[--top-k=K] [--scores] [--stats]\n"
+               "methods: gb-kmv g-kmv kmv lsh-e minhash-lsh a-mh ppjoin "
+               "freqset brute-force (snapshots: gb-kmv g-kmv lsh-e)\n"
                "common flags: --threads=N (build/eval parallelism; default "
                "hardware concurrency; results identical for any N)\n");
   return 2;
@@ -96,9 +102,11 @@ int RunStats(const Dataset& dataset) {
   return 0;
 }
 
-// Parses one query record per line from `in`, printing matching record ids.
+// Parses one query record per line from `in`, printing one result line per
+// query: matching record ids (id:score pairs with --scores, best first with
+// --top-k) and, with --stats, the index counters on stderr.
 int StreamQueries(std::istream& in, const ContainmentSearcher& searcher,
-                  double threshold) {
+                  double threshold, const SearchOptions& options) {
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
@@ -109,11 +117,31 @@ int StreamQueries(std::istream& in, const ContainmentSearcher& searcher,
       if (v >= 0) elems.push_back(static_cast<ElementId>(v));
     }
     const Record query = MakeRecord(std::move(elems));
-    const std::vector<RecordId> ids = searcher.Search(query, threshold);
-    for (size_t i = 0; i < ids.size(); ++i) {
-      std::printf("%s%u", i ? " " : "", ids[i]);
+    const QueryResponse response =
+        searcher.SearchQ(MakeQueryRequest(query, threshold, options),
+                         ThreadLocalQueryContext());
+    for (size_t i = 0; i < response.hits.size(); ++i) {
+      const QueryHit& hit = response.hits[i];
+      if (options.want_scores) {
+        std::printf("%s%u:%.4f", i ? " " : "", hit.id,
+                    static_cast<double>(hit.score));
+      } else {
+        std::printf("%s%u", i ? " " : "", hit.id);
+      }
     }
     std::printf("\n");
+    if (options.want_stats) {
+      const QueryStats& s = response.stats;
+      std::fprintf(stderr,
+                   "# hits=%zu candidates_generated=%llu "
+                   "candidates_refined=%llu postings_scanned=%llu "
+                   "heap_evictions=%llu\n",
+                   response.hits.size(),
+                   static_cast<unsigned long long>(s.candidates_generated),
+                   static_cast<unsigned long long>(s.candidates_refined),
+                   static_cast<unsigned long long>(s.postings_scanned),
+                   static_cast<unsigned long long>(s.heap_evictions));
+    }
     std::fflush(stdout);
   }
   return 0;
@@ -157,7 +185,8 @@ int RunBuild(const Dataset& dataset, const CliOptions& options,
 }
 
 int RunQuerySnapshot(const std::string& snapshot_path,
-                     const std::string& query_path, double threshold) {
+                     const std::string& query_path, double threshold,
+                     const SearchOptions& options) {
   WallTimer load_timer;
   Result<LoadedSearcher> loaded = LoadSearcherSnapshot(snapshot_path);
   if (!loaded.ok()) {
@@ -169,14 +198,14 @@ int RunQuerySnapshot(const std::string& snapshot_path,
                loaded->searcher->name().c_str(), snapshot_path.c_str(),
                load_timer.ElapsedSeconds());
   if (query_path == "-") {
-    return StreamQueries(std::cin, *loaded->searcher, threshold);
+    return StreamQueries(std::cin, *loaded->searcher, threshold, options);
   }
   std::ifstream in(query_path);
   if (!in) {
     std::fprintf(stderr, "cannot open query file %s\n", query_path.c_str());
     return 1;
   }
-  return StreamQueries(in, *loaded->searcher, threshold);
+  return StreamQueries(in, *loaded->searcher, threshold, options);
 }
 
 int RunQuery(const Dataset& dataset, const CliOptions& options) {
@@ -199,7 +228,8 @@ int RunQuery(const Dataset& dataset, const CliOptions& options) {
   std::fprintf(stderr, "%s index over %zu records built in %.2fs\n",
                (*searcher)->name().c_str(), dataset.size(),
                build_timer.ElapsedSeconds());
-  return StreamQueries(std::cin, **searcher, options.threshold);
+  return StreamQueries(std::cin, **searcher, options.threshold,
+                       options.search);
 }
 
 int RunEval(const Dataset& dataset, const CliOptions& options) {
@@ -225,6 +255,10 @@ int RunEval(const Dataset& dataset, const CliOptions& options) {
   table.AddRow({"precision", Table::Num(r.accuracy.precision, 4)});
   table.AddRow({"recall", Table::Num(r.accuracy.recall, 4)});
   table.AddRow({"F0.5", Table::Num(r.accuracy.f05, 4)});
+  table.AddRow({"avg hit score", Table::Num(r.avg_hit_score, 4)});
+  table.AddRow({"avg candidates", Table::Num(r.avg_candidates_generated, 1)});
+  table.AddRow({"avg refined", Table::Num(r.avg_candidates_refined, 1)});
+  table.AddRow({"avg postings", Table::Num(r.avg_postings_scanned, 1)});
   table.Print();
   return 0;
 }
@@ -251,10 +285,20 @@ int Main(int argc, char** argv) {
     }
     double threshold = 0.5;
     bool saw_positional_threshold = false;
+    SearchOptions search{.top_k = 0, .want_scores = false,
+                         .want_stats = false};
     for (int i = 4; i < argc; ++i) {
       std::string value;
       if (ParseFlag(argv[i], "--threshold=", &value)) {
         threshold = std::atof(value.c_str());
+      } else if (ParseFlag(argv[i], "--top-k=", &value)) {
+        const long long k = std::atoll(value.c_str());
+        if (k < 0) return Usage();
+        search.top_k = static_cast<size_t>(k);
+      } else if (std::strcmp(argv[i], "--scores") == 0) {
+        search.want_scores = true;
+      } else if (std::strcmp(argv[i], "--stats") == 0) {
+        search.want_stats = true;
       } else if (ParseFlag(argv[i], "--threads=", &value)) {
         const long long n = std::atoll(value.c_str());
         if (n < 0) return Usage();
@@ -266,7 +310,7 @@ int Main(int argc, char** argv) {
         return Usage();
       }
     }
-    return RunQuerySnapshot(argv[2], argv[3], threshold);
+    return RunQuerySnapshot(argv[2], argv[3], threshold, search);
   }
 
   std::string snapshot_out;
@@ -284,6 +328,14 @@ int Main(int argc, char** argv) {
       options.space = std::atof(value.c_str());
     } else if (ParseFlag(argv[i], "--min-size=", &value)) {
       options.min_size = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(argv[i], "--top-k=", &value)) {
+      const long long k = std::atoll(value.c_str());
+      if (k < 0) return Usage();
+      options.search.top_k = static_cast<size_t>(k);
+    } else if (std::strcmp(argv[i], "--scores") == 0) {
+      options.search.want_scores = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      options.search.want_stats = true;
     } else if (ParseFlag(argv[i], "--queries=", &value)) {
       options.queries = static_cast<size_t>(std::atoll(value.c_str()));
     } else if (ParseFlag(argv[i], "--threads=", &value)) {
