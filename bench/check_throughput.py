@@ -30,10 +30,34 @@ import argparse
 import json
 import sys
 
+SCHEMA = "gbkmv_query_throughput_v3"
 
-def load(path):
-    with open(path) as f:
-        return json.load(f)
+
+class CheckError(Exception):
+    """A check failed in a way the caller can act on (clear message, no
+    traceback): missing file, malformed JSON, stale schema, failed gate."""
+
+
+def load(path, role="report"):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        raise CheckError(
+            f"{role} file not found: {path}"
+            + ("\n  (refresh it with: bench/query_throughput --out=...)"
+               if role == "baseline" else ""))
+    except json.JSONDecodeError as e:
+        raise CheckError(f"{role} file {path} is not valid JSON: {e}")
+
+
+def require_schema(report, path, role):
+    schema = report.get("schema")
+    if schema != SCHEMA:
+        raise CheckError(
+            f"{role} file {path} has schema {schema!r}, expected "
+            f"{SCHEMA!r}; the file predates the current bench format — "
+            f"regenerate it with bench/query_throughput")
 
 
 def rows_by_key(report):
@@ -42,8 +66,6 @@ def rows_by_key(report):
 
 
 def check_schema(report):
-    assert report.get("schema") == "gbkmv_query_throughput_v3", (
-        f"unexpected schema: {report.get('schema')}")
     assert report["measurements"], "no measurements"
     for m in report["measurements"]:
         key = f"{m.get('method')} t*={m.get('threshold')}"
@@ -98,18 +120,21 @@ def main():
     p.add_argument("--topk-slack", type=float, default=0.98)
     args = p.parse_args()
 
-    report = load(args.report)
+    report = load(args.report, role="report")
+    require_schema(report, args.report, "report")
     check_schema(report)
     if args.schema_only:
         return
     check_topk(report, set(args.topk_methods.split(",")), args.topk_slack)
     if args.baseline:
-        check_regression(report, load(args.baseline), args.tolerance)
+        baseline = load(args.baseline, role="baseline")
+        require_schema(baseline, args.baseline, "baseline")
+        check_regression(report, baseline, args.tolerance)
 
 
 if __name__ == "__main__":
     try:
         main()
-    except AssertionError as e:
+    except (AssertionError, CheckError) as e:
         print(f"FAIL: {e}", file=sys.stderr)
         sys.exit(1)

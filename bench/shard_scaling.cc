@@ -1,0 +1,358 @@
+// Shard-scaling harness: how the sharded containment service (src/serve)
+// scales with the shard count S, and what the global fan-in merge costs —
+// emitted as BENCH_shard_scaling.json so successive commits can be
+// compared.
+//
+// Three numbers per S (top-k serving workload, scores on):
+//   * batch_wall   — wall-clock BatchServe over the whole query batch with
+//                    --threads workers on THIS machine. On a single-core
+//                    runner this stays flat across S by construction (the
+//                    total scan work is conserved); on a k-core machine it
+//                    approaches the modeled row below.
+//   * serve_wall   — wall-clock sequential Serve() loop (per-query shard
+//                    fan-out only), the latency-bound serving path.
+//   * fanout_parallel — the multi-thread path: per-query critical path of
+//                    an S-worker fan-out, measured (not simulated) as
+//                    Σ_q [max_s t(q, s)] + merge time, from per-shard
+//                    per-query timings on real shard indexes. This is the
+//                    throughput a deployment with one worker per shard
+//                    sustains, and the row the S=4 >= 2x S=1 scaling gate
+//                    reads (docs/sharding.md).
+//   The merge share of the critical path is reported as
+//   merge_overhead_fraction.
+//
+// Flags (like bench/query_throughput.cc):
+//   --records=N --universe=N --queries=N --threshold=T --method=M
+//   --shards=LIST (default 1,2,4,8) --partitioner=hash|size --topk=K
+//   --threads=N --reps=N --out=PATH --smoke
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/containment.h"
+#include "data/synthetic.h"
+#include "eval/ground_truth.h"
+#include "serve/merge.h"
+#include "serve/sharded_service.h"
+
+namespace gbkmv {
+namespace {
+
+struct Options {
+  size_t num_records = 8000;
+  size_t universe_size = 50000;
+  size_t num_queries = 200;
+  double threshold = 0.5;
+  std::string method = "gb-kmv";
+  std::vector<size_t> shard_counts = {1, 2, 4, 8};
+  std::string partitioner = "size";
+  size_t top_k = 10;
+  size_t num_threads = 0;
+  int reps = 3;
+  std::string out_path = "BENCH_shard_scaling.json";
+  bool smoke = false;
+};
+
+Options ParseOptions(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--records=")) {
+      opt.num_records = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--universe=")) {
+      opt.universe_size = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--queries=")) {
+      opt.num_queries = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--threshold=")) {
+      opt.threshold = std::strtod(v, nullptr);
+    } else if (const char* v = value("--method=")) {
+      opt.method = v;
+    } else if (const char* v = value("--shards=")) {
+      opt.shard_counts.clear();
+      for (const char* p = v; *p != '\0';) {
+        char* end = nullptr;
+        opt.shard_counts.push_back(
+            static_cast<size_t>(std::strtoull(p, &end, 10)));
+        p = *end == ',' ? end + 1 : end;
+      }
+    } else if (const char* v = value("--partitioner=")) {
+      opt.partitioner = v;
+    } else if (const char* v = value("--topk=")) {
+      opt.top_k = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--threads=")) {
+      opt.num_threads = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--reps=")) {
+      opt.reps = std::max(1, static_cast<int>(std::strtol(v, nullptr, 10)));
+    } else if (const char* v = value("--out=")) {
+      opt.out_path = v;
+    } else if (arg == "--smoke") {
+      opt.smoke = true;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag '%s'\nusage: shard_scaling [--records=N] "
+                   "[--universe=N] [--queries=N] [--threshold=T] "
+                   "[--method=M] [--shards=S1,S2,...] "
+                   "[--partitioner=hash|size] [--topk=K] [--threads=N] "
+                   "[--reps=N] [--out=PATH] [--smoke]\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+  if (opt.smoke) {
+    opt.num_records = 400;
+    opt.universe_size = 3000;
+    opt.num_queries = 40;
+    opt.reps = 1;
+  }
+  if (opt.num_threads == 0) opt.num_threads = DefaultThreads();
+  if (opt.shard_counts.empty()) opt.shard_counts = {1, 4};
+  return opt;
+}
+
+struct ScalingReport {
+  size_t shards = 0;
+  double build_seconds = 0.0;
+  uint64_t space_units = 0;
+  double batch_wall_seconds = 0.0;
+  double serve_wall_seconds = 0.0;
+  double fanout_seconds = 0.0;       // Σ_q max_s t(q, s) + merge
+  double merge_seconds = 0.0;        // fan-in share of the above
+  double max_shard_batch_seconds = 0.0;
+  double sum_shard_batch_seconds = 0.0;
+};
+
+ScalingReport Measure(const Dataset& dataset, const Options& opt,
+                      const SearcherConfig& base_config, size_t num_shards,
+                      const std::vector<QueryRequest>& requests) {
+  SearcherConfig config = base_config;
+  config.sharded.num_shards = num_shards;
+
+  ScalingReport report;
+  report.shards = num_shards;
+  WallTimer build_timer;
+  Result<std::unique_ptr<serve::ShardedContainmentService>> service =
+      serve::BuildShardedService(dataset, config);
+  report.build_seconds = build_timer.ElapsedSeconds();
+  if (!service.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 service.status().ToString().c_str());
+    std::exit(1);
+  }
+  report.space_units = (*service)->SpaceUnits();
+  const size_t S = (*service)->num_shards();
+
+  // Warm-up (first-touch faults, lazy allocations) — untimed.
+  (void)(*service)->BatchServe(requests, opt.num_threads);
+
+  report.batch_wall_seconds = report.serve_wall_seconds =
+      report.fanout_seconds = 1e300;
+  for (int rep = 0; rep < opt.reps; ++rep) {
+    // Wall-clock batch over the (query, shard) grid.
+    WallTimer batch_timer;
+    const auto batch = (*service)->BatchServe(requests, opt.num_threads);
+    const double batch_seconds = batch_timer.ElapsedSeconds();
+    report.batch_wall_seconds =
+        std::min(report.batch_wall_seconds, batch_seconds);
+    if (batch.size() != requests.size()) std::abort();  // keep it alive
+
+    // Wall-clock sequential serve loop (per-query fan-out only).
+    WallTimer serve_timer;
+    for (const QueryRequest& request : requests) {
+      const QueryResponse response =
+          (*service)->Serve(request, opt.num_threads);
+      if (response.hits.size() > dataset.size() + 16) std::abort();
+    }
+    report.serve_wall_seconds =
+        std::min(report.serve_wall_seconds, serve_timer.ElapsedSeconds());
+
+    // The multi-thread path, measured per (query, shard): one worker per
+    // shard means query q finishes after its slowest shard, then the
+    // fan-in merge. Shard scans are timed on the real per-shard indexes.
+    std::vector<std::vector<QueryResponse>> partial(S);
+    std::vector<double> shard_seconds(S, 0.0);
+    std::vector<double> critical(requests.size(), 0.0);
+    QueryContext& ctx = ThreadLocalQueryContext();
+    for (size_t s = 0; s < S; ++s) {
+      const serve::ShardView view = (*service)->shard(s);
+      partial[s].resize(requests.size());
+      for (size_t q = 0; q < requests.size(); ++q) {
+        WallTimer one;
+        partial[s][q] = view.searcher->SearchQ(requests[q], ctx);
+        const double t = one.ElapsedSeconds();
+        shard_seconds[s] += t;
+        critical[q] = std::max(critical[q], t);
+      }
+    }
+    double fanout_seconds = 0.0;
+    for (double t : critical) fanout_seconds += t;
+    WallTimer merge_timer;
+    for (size_t q = 0; q < requests.size(); ++q) {
+      std::vector<serve::ShardPartial> parts(S);
+      for (size_t s = 0; s < S; ++s) {
+        parts[s] = {&partial[s][q], (*service)->shard(s).global_ids};
+      }
+      const QueryResponse merged =
+          serve::MergeShardResponses(requests[q], parts);
+      if (merged.hits.size() > dataset.size()) std::abort();
+    }
+    const double merge_seconds = merge_timer.ElapsedSeconds();
+    fanout_seconds += merge_seconds;
+    if (fanout_seconds < report.fanout_seconds) {
+      report.fanout_seconds = fanout_seconds;
+      report.merge_seconds = merge_seconds;
+      report.max_shard_batch_seconds =
+          *std::max_element(shard_seconds.begin(), shard_seconds.end());
+      report.sum_shard_batch_seconds = 0.0;
+      for (double t : shard_seconds) report.sum_shard_batch_seconds += t;
+    }
+  }
+  return report;
+}
+
+void WriteJson(const Options& opt, const Dataset& dataset,
+               const std::vector<ScalingReport>& reports) {
+  std::FILE* f = std::fopen(opt.out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n",
+                 opt.out_path.c_str());
+    std::exit(1);
+  }
+  const double n = static_cast<double>(opt.num_queries);
+  std::fprintf(f, "{\n  \"schema\": \"gbkmv_shard_scaling_v1\",\n");
+  std::fprintf(f,
+               "  \"config\": {\"records\": %zu, \"universe\": %zu, "
+               "\"queries\": %zu, \"threshold\": %.3f, \"method\": \"%s\", "
+               "\"partitioner\": \"%s\", \"topk\": %zu, \"threads\": %zu, "
+               "\"reps\": %d, \"smoke\": %s},\n",
+               dataset.size(), dataset.universe_size(), opt.num_queries,
+               opt.threshold, opt.method.c_str(), opt.partitioner.c_str(),
+               opt.top_k, opt.num_threads, opt.reps,
+               opt.smoke ? "true" : "false");
+  std::fprintf(f, "  \"measurements\": [\n");
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const ScalingReport& r = reports[i];
+    const double merge_fraction =
+        r.fanout_seconds > 0 ? r.merge_seconds / r.fanout_seconds : 0.0;
+    std::fprintf(
+        f,
+        "    {\"shards\": %zu, \"build_seconds\": %.6f, \"space_units\": "
+        "%llu,\n"
+        "     \"batch_wall\": {\"threads\": %zu, \"seconds\": %.6f, "
+        "\"qps\": %.1f},\n"
+        "     \"serve_wall\": {\"threads\": %zu, \"seconds\": %.6f, "
+        "\"qps\": %.1f},\n"
+        "     \"fanout_parallel\": {\"workers\": %zu, \"seconds\": %.6f, "
+        "\"qps\": %.1f, \"merge_seconds\": %.6f, "
+        "\"merge_overhead_fraction\": %.4f, \"max_shard_seconds\": %.6f, "
+        "\"sum_shard_seconds\": %.6f}}%s\n",
+        r.shards, r.build_seconds,
+        static_cast<unsigned long long>(r.space_units), opt.num_threads,
+        r.batch_wall_seconds, n / r.batch_wall_seconds, opt.num_threads,
+        r.serve_wall_seconds, n / r.serve_wall_seconds, r.shards,
+        r.fanout_seconds, n / r.fanout_seconds, r.merge_seconds,
+        merge_fraction, r.max_shard_batch_seconds,
+        r.sum_shard_batch_seconds,
+        i + 1 < reports.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+int Main(int argc, char** argv) {
+  const Options opt = ParseOptions(argc, argv);
+  SetDefaultThreads(opt.num_threads);
+
+  SyntheticConfig config;
+  config.name = "shard-scaling-bench";
+  config.num_records = opt.num_records;
+  config.universe_size = opt.universe_size;
+  config.min_record_size = 10;
+  config.max_record_size = opt.smoke ? 120 : 500;
+  config.alpha_element_freq = 1.1;
+  config.alpha_record_size = 2.0;
+  config.seed = 20260729;
+  Result<Dataset> dataset = GenerateSynthetic(config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset generation failed: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  Result<SearchMethod> method = ParseSearchMethod(opt.method);
+  if (!method.ok()) {
+    std::fprintf(stderr, "%s\n", method.status().ToString().c_str());
+    return 2;
+  }
+  Result<ShardPartitioner> partitioner =
+      ParseShardPartitioner(opt.partitioner);
+  if (!partitioner.ok()) {
+    std::fprintf(stderr, "%s\n", partitioner.status().ToString().c_str());
+    return 2;
+  }
+  SearcherConfig base_config;
+  base_config.method = *method;
+  base_config.num_threads = opt.num_threads;
+  base_config.sharded.partitioner = *partitioner;
+  if (opt.smoke) base_config.lshe_num_hashes = 64;
+
+  std::vector<Record> queries;
+  std::vector<QueryRequest> requests;
+  queries.reserve(opt.num_queries);
+  for (RecordId id : SampleQueries(*dataset, opt.num_queries, /*seed=*/4711)) {
+    queries.push_back(dataset->record(id));
+  }
+  requests.reserve(queries.size());
+  for (const Record& q : queries) {
+    QueryRequest request(q, opt.threshold);
+    request.top_k = opt.top_k;
+    requests.push_back(request);
+  }
+
+  std::vector<ScalingReport> reports;
+  for (size_t num_shards : opt.shard_counts) {
+    reports.push_back(
+        Measure(*dataset, opt, base_config, num_shards, requests));
+    const ScalingReport& r = reports.back();
+    const double n = static_cast<double>(opt.num_queries);
+    std::printf(
+        "S=%zu  build %6.3fs  batch_wall %8.1f qps  serve_wall %8.1f qps  "
+        "fanout(%zuw) %8.1f qps  merge %.1f%%\n",
+        r.shards, r.build_seconds, n / r.batch_wall_seconds,
+        n / r.serve_wall_seconds, r.shards, n / r.fanout_seconds,
+        100.0 * r.merge_seconds / r.fanout_seconds);
+  }
+
+  // The scaling gate the acceptance criteria read: S=4 must at least
+  // double S=1 on the multi-thread (fan-out) path.
+  const auto find = [&reports](size_t s) -> const ScalingReport* {
+    for (const ScalingReport& r : reports) {
+      if (r.shards == s) return &r;
+    }
+    return nullptr;
+  };
+  if (const ScalingReport* s1 = find(1)) {
+    if (const ScalingReport* s4 = find(4)) {
+      const double speedup = s1->fanout_seconds / s4->fanout_seconds;
+      std::printf("fanout speedup S=4 vs S=1: %.2fx\n", speedup);
+    }
+  }
+
+  WriteJson(opt, *dataset, reports);
+  std::printf("wrote %s\n", opt.out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace gbkmv
+
+int main(int argc, char** argv) { return gbkmv::Main(argc, argv); }

@@ -36,6 +36,17 @@ Result<SearchMethod> ParseSearchMethod(const std::string& name) {
   return Status::InvalidArgument("unknown search method: " + name);
 }
 
+Result<ShardPartitioner> ParseShardPartitioner(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "hash") return ShardPartitioner::kHash;
+  if (lower == "size" || lower == "size-stratified") {
+    return ShardPartitioner::kSizeStratified;
+  }
+  return Status::InvalidArgument("unknown shard partitioner: " + name);
+}
+
 QueryRequest MakeQueryRequest(const Record& record, double threshold,
                               const SearchOptions& options) {
   QueryRequest request(record, threshold);

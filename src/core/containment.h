@@ -73,6 +73,33 @@ struct SearchOptions {
 QueryRequest MakeQueryRequest(const Record& record, double threshold,
                               const SearchOptions& options);
 
+// How the sharded service (src/serve) splits a dataset across shards.
+enum class ShardPartitioner {
+  kHash,            // shard = content-hash(record) mod S — uniform by count
+  kSizeStratified,  // size-sorted round robin — uniform by size profile
+};
+
+// Parses a partitioner name, case-insensitive: "hash" -> kHash,
+// "size" | "size-stratified" -> kSizeStratified.
+Result<ShardPartitioner> ParseShardPartitioner(const std::string& name);
+
+// Sharded-serving knobs (consumed by BuildShardedService in
+// serve/sharded_service.h; ignored by plain BuildSearcher). Semantics in
+// docs/sharding.md.
+struct ShardedOptions {
+  // Number of index shards; clamped to the record count. 0 behaves as 1.
+  size_t num_shards = 1;
+  ShardPartitioner partitioner = ShardPartitioner::kHash;
+  // Query-result cache capacity in entries; 0 disables the cache.
+  size_t cache_capacity = 0;
+  // Sketch budget of the mutable ingest shard in element units;
+  // 0 = space_ratio * total_elements / num_shards (min 1024).
+  uint64_t ingest_budget_units = 0;
+  // Promote the ingest shard to an immutable shard (in the background) once
+  // it holds this many records; 0 = only on explicit PromoteIngest().
+  size_t auto_promote_records = 0;
+};
+
 struct SearcherConfig {
   SearchMethod method = SearchMethod::kGbKmv;
   // Sketch budget as a fraction of total elements (GB-KMV/G-KMV/KMV).
@@ -86,6 +113,8 @@ struct SearcherConfig {
   // Build parallelism (sharded builds merge in shard order, so the index is
   // byte-identical for any value). 0 = DefaultThreads(), 1 = serial.
   size_t num_threads = 0;
+  // Sharded-serving layer (BuildShardedService only).
+  ShardedOptions sharded;
 };
 
 // Builds the configured searcher. The dataset must outlive the searcher.

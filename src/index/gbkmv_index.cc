@@ -27,7 +27,7 @@ double GkmvEstimateFromCounts(size_t k_intersect, size_t q_size, size_t x_size,
 
 }  // namespace
 
-Result<std::unique_ptr<GbKmvIndexSearcher>> GbKmvIndexSearcher::Create(
+Result<GbKmvSketcher> GbKmvIndexSearcher::MakeSketcher(
     const Dataset& dataset, const GbKmvIndexOptions& options) {
   if (dataset.empty()) {
     return Status::InvalidArgument("dataset is empty");
@@ -43,25 +43,39 @@ Result<std::unique_ptr<GbKmvIndexSearcher>> GbKmvIndexSearcher::Create(
   if (budget == 0) {
     return Status::InvalidArgument("budget resolves to zero units");
   }
-
-  std::unique_ptr<GbKmvIndexSearcher> s(new GbKmvIndexSearcher(dataset));
-
   size_t buffer_bits = options.buffer_bits;
   if (buffer_bits == GbKmvIndexOptions::kAutoBuffer) {
     buffer_bits = ChooseBufferSize(dataset, budget, options.cost_model);
   }
-  s->chosen_buffer_bits_ = buffer_bits;
-
   GbKmvOptions sk_options;
   sk_options.budget_units = budget;
   sk_options.buffer_bits = buffer_bits;
   sk_options.seed = options.seed;
-  Result<GbKmvSketcher> sketcher = GbKmvSketcher::Create(dataset, sk_options);
+  return GbKmvSketcher::Create(dataset, sk_options);
+}
+
+Result<std::unique_ptr<GbKmvIndexSearcher>> GbKmvIndexSearcher::Create(
+    const Dataset& dataset, const GbKmvIndexOptions& options) {
+  Result<GbKmvSketcher> sketcher = MakeSketcher(dataset, options);
   if (!sketcher.ok()) return sketcher.status();
-  s->sketcher_ = std::make_unique<GbKmvSketcher>(std::move(sketcher.value()));
+  return CreateWithSketcher(dataset, std::move(sketcher.value()),
+                            options.num_threads);
+}
+
+Result<std::unique_ptr<GbKmvIndexSearcher>>
+GbKmvIndexSearcher::CreateWithSketcher(const Dataset& dataset,
+                                       GbKmvSketcher sketcher,
+                                       size_t num_threads) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  std::unique_ptr<GbKmvIndexSearcher> s(new GbKmvIndexSearcher(dataset));
+  const size_t buffer_bits = sketcher.buffer_bits();
+  s->chosen_buffer_bits_ = buffer_bits;
+  s->sketcher_ = std::make_unique<GbKmvSketcher>(std::move(sketcher));
 
   const std::unique_ptr<ThreadPool> pool =
-      MakeBuildPool(options.num_threads, dataset.size());
+      MakeBuildPool(num_threads, dataset.size());
   s->sketches_ = BuildSketchesParallel(dataset, *s->sketcher_, pool.get());
   s->record_sizes_.reserve(dataset.size());
   for (size_t i = 0; i < dataset.size(); ++i) {

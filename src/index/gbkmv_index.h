@@ -65,6 +65,27 @@ class GbKmvIndexSearcher : public ContainmentSearcher {
   static Result<std::unique_ptr<GbKmvIndexSearcher>> Create(
       const Dataset& dataset, const GbKmvIndexOptions& options);
 
+  // Resolves the options against `dataset` (budget from space_ratio, buffer
+  // width from the cost model) and builds the sketcher alone — the global
+  // threshold τ and buffer universe E_H without any per-record sketches.
+  // This is what Create derives internally; the sharded service
+  // (src/serve) calls it once on the FULL dataset and then hands the result
+  // to CreateWithSketcher per shard, so every shard sketches records with
+  // identical global parameters.
+  static Result<GbKmvSketcher> MakeSketcher(const Dataset& dataset,
+                                            const GbKmvIndexOptions& options);
+
+  // Builds a searcher over `dataset` (a shard) with an externally supplied
+  // sketcher instead of deriving one. Because GbKmvSketcher::Sketch is a
+  // pure per-record function of (τ, E_H, seed), a record's sketch — and
+  // therefore every pairwise containment estimate involving it — is
+  // identical whether the record lives in a shard or in the single full
+  // index the sketcher was derived from (the bit-identical sharding
+  // invariant, docs/sharding.md). By value: the sharded service copies its
+  // shared global sketcher in, Create moves its freshly derived one.
+  static Result<std::unique_ptr<GbKmvIndexSearcher>> CreateWithSketcher(
+      const Dataset& dataset, GbKmvSketcher sketcher, size_t num_threads = 0);
+
   // Safe for concurrent callers with distinct QueryContext arenas. Hit
   // scores are the Eq. 27 estimate (buffer overlap + G-KMV term, clamped by
   // min(|Q|, |X|)) divided by |Q| — the very value the threshold test uses.

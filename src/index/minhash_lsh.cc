@@ -145,8 +145,12 @@ Result<std::unique_ptr<MinHashLshSearcher>> MinHashLshSearcher::Create(
   }
   std::unique_ptr<MinHashLshSearcher> s(
       new MinHashLshSearcher(dataset, options));
-  for (const Record& r : dataset.records()) {
-    s->max_record_size_ = std::max(s->max_record_size_, r.size());
+  if (options.max_record_size_hint > 0) {
+    s->max_record_size_ = options.max_record_size_hint;
+  } else {
+    for (const Record& r : dataset.records()) {
+      s->max_record_size_ = std::max(s->max_record_size_, r.size());
+    }
   }
   const std::unique_ptr<ThreadPool> pool =
       MakeBuildPool(options.num_threads, dataset.size());

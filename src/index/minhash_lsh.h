@@ -89,6 +89,13 @@ struct MinHashLshOptions {
   // Signature-build parallelism (byte-identical output for any value).
   // 0 = DefaultThreads(), 1 = serial.
   size_t num_threads = 0;
+  // Size upper bound u for the Eq. 13 containment->Jaccard transform;
+  // 0 = the bound dataset's max record size. The sharded service (src/serve)
+  // sets it to the GLOBAL max so every shard picks the same Jaccard
+  // threshold and band parameters — the only dataset-wide quantity the
+  // query path reads, and therefore the only thing standing between a
+  // per-shard build and bit-identical sharded results.
+  size_t max_record_size_hint = 0;
 };
 
 // Plain MinHash-LSH containment search: one banding index over the whole

@@ -74,6 +74,13 @@ struct QueryStats {
   uint64_t postings_scanned = 0;
   // Qualifying hits discarded by the bounded top-k heap (0 when top_k == 0).
   uint64_t heap_evictions = 0;
+  // Serving-layer counters (src/serve, docs/sharding.md); always 0 for a
+  // response produced by a searcher directly. shards_queried is the number
+  // of index shards the sharded service fanned this query out to;
+  // cache_hits is 1 when the response was served from the query-result
+  // cache without touching any shard.
+  uint64_t shards_queried = 0;
+  uint64_t cache_hits = 0;
 
   friend bool operator==(const QueryStats&, const QueryStats&) = default;
 };

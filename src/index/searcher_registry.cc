@@ -41,6 +41,12 @@ Result<LoadedSearcher> LoadSearcherSnapshot(const std::string& path) {
   if (!snapshot.ok()) return snapshot.status();
   Result<io::SnapshotMeta> meta = io::ReadSnapshotMeta(*snapshot);
   if (!meta.ok()) return meta.status();
+  if (meta->kind == io::kShardedManifestKind) {
+    return Status::InvalidArgument(
+        "this is a sharded-service manifest, not a single-searcher "
+        "snapshot; load the directory with ShardedContainmentService::Load "
+        "(gbkmv_cli serve-query)");
+  }
 
   LoadedSearcher loaded;
   if (meta->kind == DynamicGbKmvIndex::kSnapshotKind) {

@@ -32,8 +32,9 @@ namespace gbkmv {
 
 namespace {
 
-// Sanity cap on the stored universe width of self-contained (dynamic)
-// snapshots, which have no dataset to bound the allocation against: 2^28
+// Sanity cap on the stored universe width of snapshots whose sketcher is
+// not bounded by an embedded dataset (self-contained dynamic indexes, and
+// static shards carrying the sharded service's global sketcher): 2^28
 // element ids (a 1 GiB id->bit map) is far above any realistic universe but
 // keeps a corrupt 64-bit field from triggering a multi-terabyte allocation.
 constexpr uint64_t kMaxSelfContainedUniverse = 1ULL << 28;
@@ -128,8 +129,14 @@ Result<std::unique_ptr<GbKmvIndexSearcher>> GbKmvIndexSearcher::LoadFrom(
   io::Reader* in = &section.value();
 
   std::unique_ptr<GbKmvIndexSearcher> s(new GbKmvIndexSearcher(dataset));
-  Result<GbKmvSketcher> sketcher =
-      GbKmvSketcher::LoadFrom(in, dataset.universe_size());
+  // The sketcher may span a wider universe than this dataset: a shard
+  // snapshot of the sharded service (src/serve) stores the GLOBAL sketcher
+  // next to its shard-local dataset. The bound is purely an allocation
+  // guard, so cap at the self-contained sanity limit instead of the
+  // dataset's own width.
+  Result<GbKmvSketcher> sketcher = GbKmvSketcher::LoadFrom(
+      in, std::max<size_t>(dataset.universe_size(),
+                           kMaxSelfContainedUniverse));
   if (!sketcher.ok()) return sketcher.status();
   s->sketcher_ = std::make_unique<GbKmvSketcher>(std::move(sketcher.value()));
 

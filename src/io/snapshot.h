@@ -50,6 +50,13 @@ inline constexpr char kSectionMeta[] = "meta";     // kind + fingerprint
 inline constexpr char kSectionDataset[] = "dset";  // embedded Dataset
 inline constexpr char kSectionIndex[] = "srch";    // searcher state
 inline constexpr char kSectionObject[] = "objt";   // standalone object
+// Shard manifest of a sharded containment service (src/serve,
+// docs/sharding.md): partitioning, global parameters, per-shard id maps.
+inline constexpr char kSectionManifest[] = "mnfs";
+// Its meta kind string — defined here (not in serve/) so the searcher
+// registry can recognise a manifest and redirect without depending on the
+// serving layer.
+inline constexpr char kShardedManifestKind[] = "sharded-manifest";
 
 class SnapshotWriter {
  public:

@@ -1,0 +1,56 @@
+#include "serve/merge.h"
+
+#include <algorithm>
+
+namespace gbkmv {
+namespace serve {
+
+QueryResponse MergeShardResponses(const QueryRequest& request,
+                                  std::span<const ShardPartial> partials) {
+  QueryResponse merged;
+  size_t total_hits = 0;
+  for (const ShardPartial& p : partials) {
+    const QueryStats& s = p.response->stats;
+    merged.stats.candidates_generated += s.candidates_generated;
+    merged.stats.candidates_refined += s.candidates_refined;
+    merged.stats.postings_scanned += s.postings_scanned;
+    merged.stats.heap_evictions += s.heap_evictions;
+    merged.stats.cache_hits += s.cache_hits;
+    total_hits += p.response->hits.size();
+  }
+  merged.stats.shards_queried = partials.size();
+
+  // Translate to global ids. Within a shard, local ids ascend with global
+  // ids, so each translated list keeps its shard's ordering contract.
+  std::vector<QueryHit> all;
+  all.reserve(total_hits);
+  for (const ShardPartial& p : partials) {
+    for (const QueryHit& hit : p.response->hits) {
+      all.push_back({p.global_ids[hit.id], hit.score});
+    }
+  }
+
+  if (request.top_k > 0) {
+    // Global selection over the <= S·k per-shard winners.
+    std::sort(all.begin(), all.end(), [](const QueryHit& a, const QueryHit& b) {
+      return BetterHit(a.score, a.id, b.score, b.id);
+    });
+    if (all.size() > request.top_k) all.resize(request.top_k);
+    merged.hits = std::move(all);
+    // Single-searcher invariant: evictions = qualifying hits not returned.
+    merged.stats.heap_evictions =
+        merged.stats.candidates_refined - merged.hits.size();
+    return merged;
+  }
+
+  // Unlimited (scored or boolean): canonical ascending-global-id order.
+  // S sorted runs would admit a k-way merge, but the boolean path's runs
+  // arrive in method-natural order, so one sort covers both uniformly.
+  std::sort(all.begin(), all.end(),
+            [](const QueryHit& a, const QueryHit& b) { return a.id < b.id; });
+  merged.hits = std::move(all);
+  return merged;
+}
+
+}  // namespace serve
+}  // namespace gbkmv

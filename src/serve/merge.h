@@ -1,0 +1,45 @@
+// Global fan-in for sharded queries: combines per-shard QueryResponses
+// (hits in shard-local ids) into one response in global ids, reproducing
+// exactly the ordering contract a single searcher honours (index/query.h):
+//
+//   top_k > 0        — the k best by (score desc, global id asc), best
+//                      first. Each shard contributes its own best <= k
+//                      (local ids ascend with global ids within a shard, so
+//                      per-shard truncation is the global ranking restricted
+//                      to the shard and can never cut a global winner);
+//   top_k == 0, scored — every qualifying record, ascending global id;
+//   boolean          — every qualifying record; the service canonicalises
+//                      the "natural order" of this path to ascending global
+//                      id (a fan-out has no single natural order to
+//                      preserve; docs/sharding.md).
+//
+// Stats are summed across shards. For top-k the heap_evictions counter is
+// recomputed as candidates_refined − |merged hits|, restoring the single-
+// searcher invariant (evictions = qualifying hits not returned) that a sum
+// of per-shard heaps would overstate.
+
+#ifndef GBKMV_SERVE_MERGE_H_
+#define GBKMV_SERVE_MERGE_H_
+
+#include <span>
+#include <vector>
+
+#include "index/query.h"
+
+namespace gbkmv {
+namespace serve {
+
+// One shard's contribution: the response its searcher produced plus the
+// shard's local->global id map (ascending).
+struct ShardPartial {
+  const QueryResponse* response = nullptr;
+  std::span<const RecordId> global_ids;
+};
+
+QueryResponse MergeShardResponses(const QueryRequest& request,
+                                  std::span<const ShardPartial> partials);
+
+}  // namespace serve
+}  // namespace gbkmv
+
+#endif  // GBKMV_SERVE_MERGE_H_

@@ -1,0 +1,72 @@
+#include "serve/partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/hash.h"
+
+namespace gbkmv {
+namespace serve {
+
+namespace {
+
+// Order-independent content hash of one record (the per-record analogue of
+// FingerprintRecords): a record hashes to the same shard whatever its
+// global id, so hash partitions are stable under dataset growth.
+uint64_t RecordShardHash(const Record& record) {
+  uint64_t h = Mix64(0x5ca1ab1e ^ (static_cast<uint64_t>(record.size()) + 1));
+  for (ElementId e : record) {
+    h = Mix64(h ^ HashElement(e, 0x9d5e7a11));
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::vector<RecordId>> PartitionDataset(const Dataset& dataset,
+                                                    size_t num_shards,
+                                                    ShardPartitioner kind) {
+  const size_t m = dataset.size();
+  num_shards = std::max<size_t>(1, std::min(num_shards, std::max<size_t>(
+                                                            1, m)));
+  std::vector<std::vector<RecordId>> shards(num_shards);
+  if (m == 0) return shards;
+
+  switch (kind) {
+    case ShardPartitioner::kHash: {
+      for (RecordId id = 0; id < m; ++id) {
+        const size_t s = RecordShardHash(dataset.record(id)) % num_shards;
+        shards[s].push_back(id);  // ascending: ids visited in order
+      }
+      break;
+    }
+    case ShardPartitioner::kSizeStratified: {
+      std::vector<RecordId> by_size(m);
+      std::iota(by_size.begin(), by_size.end(), 0);
+      std::sort(by_size.begin(), by_size.end(),
+                [&dataset](RecordId a, RecordId b) {
+                  const size_t sa = dataset.record(a).size();
+                  const size_t sb = dataset.record(b).size();
+                  return sa != sb ? sa < sb : a < b;
+                });
+      for (size_t pos = 0; pos < m; ++pos) {
+        shards[pos % num_shards].push_back(by_size[pos]);
+      }
+      // Round-robin over the size order is not id-ascending; restore the
+      // invariant the merge depends on.
+      for (std::vector<RecordId>& shard : shards) {
+        std::sort(shard.begin(), shard.end());
+      }
+      break;
+    }
+  }
+
+  // Hash skew on tiny datasets can leave a shard empty; drop such shards so
+  // downstream builders never see an empty dataset.
+  std::erase_if(shards,
+                [](const std::vector<RecordId>& s) { return s.empty(); });
+  return shards;
+}
+
+}  // namespace serve
+}  // namespace gbkmv

@@ -1,0 +1,46 @@
+// Dataset partitioners for the sharded containment service.
+//
+// A partition assigns every record id of a dataset to exactly one of S
+// shards. Within each shard, local ids are assigned in ascending GLOBAL id
+// order — the property the global merge relies on: a shard searcher's
+// deterministic (score desc, local id asc) ranking is then exactly the
+// global (score desc, global id asc) ranking restricted to that shard, so
+// per-shard top-k truncation never discards a record the global top-k needs
+// (docs/sharding.md).
+//
+// Both partitioners are pure functions of (records, S): independent of
+// thread count, iteration order, or previous calls.
+
+#ifndef GBKMV_SERVE_PARTITIONER_H_
+#define GBKMV_SERVE_PARTITIONER_H_
+
+#include <vector>
+
+#include "core/containment.h"
+#include "data/dataset.h"
+
+namespace gbkmv {
+namespace serve {
+
+// Global record ids per shard, ascending within each shard; every id of
+// `dataset` appears in exactly one shard. `num_shards` is clamped to
+// [1, dataset.size()], so no returned shard is empty (for an empty dataset
+// the result is one empty shard).
+//
+//   kHash            — shard = Mix64(content hash of the record) mod S.
+//                      Uniform in expectation by record count; a record's
+//                      shard depends only on its elements, so re-partitioning
+//                      a grown dataset moves only 1/S of the records.
+//   kSizeStratified  — records sorted by (size, id) and dealt round-robin,
+//                      so every shard sees the same size profile. Skewed
+//                      workloads (a few huge records dominating query cost)
+//                      spread their cost evenly instead of serialising on
+//                      one hot shard.
+std::vector<std::vector<RecordId>> PartitionDataset(const Dataset& dataset,
+                                                    size_t num_shards,
+                                                    ShardPartitioner kind);
+
+}  // namespace serve
+}  // namespace gbkmv
+
+#endif  // GBKMV_SERVE_PARTITIONER_H_

@@ -1,0 +1,108 @@
+#include "serve/query_cache.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/hash.h"
+
+namespace gbkmv {
+namespace serve {
+
+uint64_t HashQueryRequest(const QueryRequest& request) {
+  uint64_t h = Mix64(0x9e3779b97f4a7c15ULL ^
+                     std::bit_cast<uint64_t>(request.threshold));
+  h = Mix64(h ^ static_cast<uint64_t>(request.top_k));
+  h = Mix64(h ^ ((request.want_scores ? 2u : 0u) |
+                 (request.want_stats ? 1u : 0u)));
+  h = Mix64(h ^ static_cast<uint64_t>(request.record->size()));
+  for (ElementId e : *request.record) h = Mix64(h ^ HashElement(e, h));
+  return h;
+}
+
+bool EquivalentRequests(const QueryRequest& a, const QueryRequest& b) {
+  return a.threshold == b.threshold && a.top_k == b.top_k &&
+         a.want_scores == b.want_scores && a.want_stats == b.want_stats &&
+         *a.record == *b.record;
+}
+
+QueryResultCache::Key QueryResultCache::MakeKey(const QueryRequest& request) {
+  Key key;
+  key.record = *request.record;
+  key.threshold_bits = std::bit_cast<uint64_t>(request.threshold);
+  key.top_k = request.top_k;
+  key.want_scores = request.want_scores;
+  key.want_stats = request.want_stats;
+  return key;
+}
+
+QueryResultCache::Lru::iterator QueryResultCache::FindLocked(uint64_t hash,
+                                                             const Key& key) {
+  auto chain = index_.find(hash);
+  if (chain == index_.end()) return lru_.end();
+  for (Lru::iterator it : chain->second) {
+    if (it->key == key) return it;
+  }
+  return lru_.end();
+}
+
+bool QueryResultCache::Lookup(const QueryRequest& request,
+                              QueryResponse* out) {
+  if (!enabled()) return false;
+  const uint64_t hash = HashQueryRequest(request);
+  const Key key = MakeKey(request);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Lru::iterator it = FindLocked(hash, key);
+  if (it == lru_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it);  // most recently used
+  *out = it->response;
+  out->stats.cache_hits = 1;
+  return true;
+}
+
+void QueryResultCache::Insert(const QueryRequest& request,
+                              const QueryResponse& response) {
+  if (!enabled()) return;
+  const uint64_t hash = HashQueryRequest(request);
+  Key key = MakeKey(request);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const Lru::iterator it = FindLocked(hash, key); it != lru_.end()) {
+    // Refresh (duplicate insert after a concurrent fill): keep one entry.
+    it->response = response;
+    lru_.splice(lru_.begin(), lru_, it);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    const Lru::iterator victim = std::prev(lru_.end());
+    std::vector<Lru::iterator>& chain = index_[victim->hash];
+    std::erase(chain, victim);
+    if (chain.empty()) index_.erase(victim->hash);
+    lru_.erase(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{hash, std::move(key), response});
+  // A cached response replays verbatim except for the hit marker, which
+  // Lookup sets on the way out.
+  lru_.front().response.stats.cache_hits = 0;
+  index_[hash].push_back(lru_.begin());
+}
+
+void QueryResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.invalidations += lru_.size();
+  lru_.clear();
+  index_.clear();
+}
+
+QueryCacheStats QueryResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  QueryCacheStats stats = stats_;
+  stats.entries = lru_.size();
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace gbkmv

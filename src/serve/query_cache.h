@@ -1,0 +1,105 @@
+// LRU query-result cache for the sharded containment service.
+//
+// Keyed by the canonical content of a QueryRequest: the query's elements
+// plus every field that changes the response (threshold bits, top_k,
+// want_scores, want_stats). The 64-bit canonical hash is only a bucket
+// index — a hit additionally compares the stored key materially, so hash
+// collisions can never serve a wrong response.
+//
+// Invalidation is the caller's job (the service clears the cache on every
+// ingest/promotion/compaction — any mutation can change any query's
+// answer; docs/sharding.md). All operations are internally synchronised;
+// the service's deterministic batch path nevertheless performs its
+// lookup/insert passes serially in request order so hit/miss/eviction
+// counters — and therefore the responses themselves — are identical for any
+// worker thread count.
+
+#ifndef GBKMV_SERVE_QUERY_CACHE_H_
+#define GBKMV_SERVE_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "index/query.h"
+
+namespace gbkmv {
+namespace serve {
+
+// Canonical 64-bit hash of everything that determines a request's response.
+uint64_t HashQueryRequest(const QueryRequest& request);
+
+// True when two requests are guaranteed the same response: same query
+// elements and same response-shaping fields (what the cache keys on).
+bool EquivalentRequests(const QueryRequest& a, const QueryRequest& b);
+
+struct QueryCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;      // LRU displacements (not Clear)
+  uint64_t invalidations = 0;  // entries dropped by Clear
+  size_t entries = 0;
+
+  friend bool operator==(const QueryCacheStats&,
+                         const QueryCacheStats&) = default;
+};
+
+class QueryResultCache {
+ public:
+  // capacity == 0 disables the cache: Lookup always misses (without
+  // counting), Insert is a no-op.
+  explicit QueryResultCache(size_t capacity) : capacity_(capacity) {}
+
+  bool enabled() const { return capacity_ > 0; }
+
+  // On hit, copies the cached response into `out` (with stats.cache_hits
+  // set) and marks the entry most-recently-used. Counts a hit or miss.
+  bool Lookup(const QueryRequest& request, QueryResponse* out);
+
+  // Inserts (or refreshes) the response for `request`, evicting the
+  // least-recently-used entry when full.
+  void Insert(const QueryRequest& request, const QueryResponse& response);
+
+  // Drops every entry (ingest invalidation). Counters other than `entries`
+  // are cumulative across clears.
+  void Clear();
+
+  QueryCacheStats stats() const;
+
+ private:
+  struct Key {
+    Record record;
+    uint64_t threshold_bits = 0;
+    size_t top_k = 0;
+    bool want_scores = false;
+    bool want_stats = false;
+
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct Entry {
+    uint64_t hash = 0;
+    Key key;
+    QueryResponse response;
+  };
+
+  static Key MakeKey(const QueryRequest& request);
+
+  // front = most recently used.
+  using Lru = std::list<Entry>;
+  Lru::iterator FindLocked(uint64_t hash, const Key& key);
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  Lru lru_;
+  // hash -> entries with that hash (collision chain holds iterators, which
+  // std::list splice/erase keep valid).
+  std::unordered_map<uint64_t, std::vector<Lru::iterator>> index_;
+  QueryCacheStats stats_;
+};
+
+}  // namespace serve
+}  // namespace gbkmv
+
+#endif  // GBKMV_SERVE_QUERY_CACHE_H_

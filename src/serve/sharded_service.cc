@@ -1,0 +1,808 @@
+#include "serve/sharded_service.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <mutex>
+#include <numeric>
+#include <unordered_map>
+#include <utility>
+
+#include "index/brute_force.h"
+#include "index/freqset.h"
+#include "index/gbkmv_index.h"
+#include "index/minhash_lsh.h"
+#include "index/ppjoin.h"
+#include "index/searcher_registry.h"
+#include "io/snapshot.h"
+#include "serve/merge.h"
+#include "serve/partitioner.h"
+
+namespace gbkmv {
+namespace serve {
+
+namespace {
+
+// Canonical parser-accepted spelling per method (core/containment.h), the
+// form the manifest stores so a newer binary can still parse it.
+const char* MethodToken(SearchMethod method) {
+  switch (method) {
+    case SearchMethod::kGbKmv: return "gb-kmv";
+    case SearchMethod::kGKmv: return "g-kmv";
+    case SearchMethod::kKmv: return "kmv";
+    case SearchMethod::kLshEnsemble: return "lsh-e";
+    case SearchMethod::kMinHashLsh: return "minhash-lsh";
+    case SearchMethod::kAsymmetricMinHash: return "a-mh";
+    case SearchMethod::kPPJoin: return "ppjoin";
+    case SearchMethod::kFreqSet: return "freqset";
+    case SearchMethod::kBruteForce: return "brute-force";
+  }
+  return "gb-kmv";
+}
+
+bool MethodSupportsSharding(SearchMethod method) {
+  switch (method) {
+    case SearchMethod::kGbKmv:
+    case SearchMethod::kGKmv:
+    case SearchMethod::kFreqSet:
+    case SearchMethod::kPPJoin:
+    case SearchMethod::kBruteForce:
+    case SearchMethod::kMinHashLsh:
+      return true;
+    // Per-record state these methods derive from the dataset cannot be
+    // pinned globally yet: KMV's Theorem-1 sketch size ⌊b/m⌋, LSH-E's
+    // equal-depth partition boundaries, A-MH's padding width.
+    case SearchMethod::kKmv:
+    case SearchMethod::kLshEnsemble:
+    case SearchMethod::kAsymmetricMinHash:
+      return false;
+  }
+  return false;
+}
+
+std::string ShardFileName(size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard-%03zu.snap", index);
+  return buf;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardedContainmentService>>
+ShardedContainmentService::Build(const Dataset& dataset,
+                                 const SearcherConfig& config) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  if (!MethodSupportsSharding(config.method)) {
+    return Status::InvalidArgument(
+        std::string("method '") + MethodToken(config.method) +
+        "' derives per-record parameters from the whole dataset and is not "
+        "supported by the sharded service (docs/sharding.md)");
+  }
+
+  std::unique_ptr<ShardedContainmentService> service(
+      new ShardedContainmentService(config));
+  service->next_global_id_ = static_cast<RecordId>(dataset.size());
+  service->ingest_base_ = service->next_global_id_;
+
+  const size_t num_shards = std::max<size_t>(1, config.sharded.num_shards);
+  service->ingest_budget_units_ = config.sharded.ingest_budget_units;
+  if (service->ingest_budget_units_ == 0) {
+    service->ingest_budget_units_ = std::max<uint64_t>(
+        1024, static_cast<uint64_t>(config.space_ratio *
+                                    static_cast<double>(
+                                        dataset.total_elements())) /
+                  num_shards);
+  }
+
+  if (config.method == SearchMethod::kGbKmv ||
+      config.method == SearchMethod::kGKmv) {
+    GbKmvIndexOptions options;
+    options.space_ratio = config.space_ratio;
+    options.buffer_bits = config.method == SearchMethod::kGKmv
+                              ? 0
+                              : config.buffer_bits;
+    options.seed = config.seed;
+    Result<GbKmvSketcher> sketcher =
+        GbKmvIndexSearcher::MakeSketcher(dataset, options);
+    if (!sketcher.ok()) return sketcher.status();
+    service->global_sketcher_ =
+        std::make_unique<GbKmvSketcher>(std::move(sketcher.value()));
+  }
+  if (config.method == SearchMethod::kMinHashLsh) {
+    for (const Record& r : dataset.records()) {
+      service->minhash_size_hint_ =
+          std::max(service->minhash_size_hint_, r.size());
+    }
+  }
+
+  const std::vector<std::vector<RecordId>> partition =
+      PartitionDataset(dataset, num_shards, config.sharded.partitioner);
+
+  // One build task per shard; shard-level parallelism via the shared pool,
+  // inner builds serial (the per-shard result is byte-identical for any
+  // split of the parallelism, docs/parallelism.md).
+  const size_t threads =
+      config.num_threads == 0 ? DefaultThreads() : config.num_threads;
+  std::vector<Shard> shards(partition.size());
+  std::vector<Status> statuses(partition.size());
+  const auto build_shard = [&](size_t k, size_t inner_threads) {
+    std::vector<Record> records;
+    records.reserve(partition[k].size());
+    for (RecordId id : partition[k]) records.push_back(dataset.record(id));
+    Result<Dataset> shard_dataset = Dataset::Create(
+        std::move(records), dataset.name() + "/shard-" + std::to_string(k));
+    if (!shard_dataset.ok()) {
+      statuses[k] = shard_dataset.status();
+      return;
+    }
+    shards[k].dataset =
+        std::make_unique<Dataset>(std::move(shard_dataset.value()));
+    Result<std::unique_ptr<ContainmentSearcher>> searcher =
+        service->BuildShardSearcher(*shards[k].dataset, inner_threads);
+    if (!searcher.ok()) {
+      statuses[k] = searcher.status();
+      return;
+    }
+    shards[k].searcher = std::move(searcher.value());
+    shards[k].global_ids = partition[k];
+  };
+  if (partition.size() > 1 && threads > 1) {
+    ThreadPool pool(std::min(threads, partition.size()));
+    std::vector<std::future<void>> futures;
+    futures.reserve(partition.size());
+    for (size_t k = 0; k < partition.size(); ++k) {
+      futures.push_back(pool.Submit([&build_shard, k] { build_shard(k, 1); }));
+    }
+    for (std::future<void>& f : futures) f.get();
+  } else {
+    for (size_t k = 0; k < partition.size(); ++k) {
+      build_shard(k, config.num_threads);
+    }
+  }
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+
+  service->shards_ = std::move(shards);
+  service->base_shard_count_ = service->shards_.size();
+  return service;
+}
+
+ShardedContainmentService::~ShardedContainmentService() {
+  (void)WaitForBackgroundWork();
+}
+
+Result<std::unique_ptr<ContainmentSearcher>>
+ShardedContainmentService::BuildShardSearcher(const Dataset& shard_dataset,
+                                              size_t num_threads) const {
+  switch (config_.method) {
+    case SearchMethod::kGbKmv:
+    case SearchMethod::kGKmv: {
+      Result<std::unique_ptr<GbKmvIndexSearcher>> s =
+          GbKmvIndexSearcher::CreateWithSketcher(shard_dataset,
+                                                 *global_sketcher_,
+                                                 num_threads);
+      if (!s.ok()) return s.status();
+      return std::unique_ptr<ContainmentSearcher>(std::move(s.value()));
+    }
+    case SearchMethod::kFreqSet: {
+      const std::unique_ptr<ThreadPool> pool =
+          MakeBuildPool(num_threads, shard_dataset.size());
+      return std::unique_ptr<ContainmentSearcher>(
+          std::make_unique<FreqSetSearcher>(shard_dataset, pool.get()));
+    }
+    case SearchMethod::kPPJoin: {
+      const std::unique_ptr<ThreadPool> pool =
+          MakeBuildPool(num_threads, shard_dataset.size());
+      return std::unique_ptr<ContainmentSearcher>(
+          std::make_unique<PPJoinSearcher>(shard_dataset, pool.get()));
+    }
+    case SearchMethod::kBruteForce:
+      return std::unique_ptr<ContainmentSearcher>(
+          std::make_unique<BruteForceSearcher>(shard_dataset));
+    case SearchMethod::kMinHashLsh: {
+      MinHashLshOptions options;
+      options.num_hashes = config_.lshe_num_hashes;
+      options.seed = config_.seed;
+      options.num_threads = num_threads;
+      options.max_record_size_hint = minhash_size_hint_;
+      Result<std::unique_ptr<MinHashLshSearcher>> s =
+          MinHashLshSearcher::Create(shard_dataset, options);
+      if (!s.ok()) return s.status();
+      return std::unique_ptr<ContainmentSearcher>(std::move(s.value()));
+    }
+    default:
+      return Status::InvalidArgument("method not supported by the sharded "
+                                     "service");
+  }
+}
+
+QueryResponse ShardedContainmentService::Serve(const QueryRequest& request,
+                                               size_t num_threads) {
+  return BatchServe(std::span<const QueryRequest>(&request, 1),
+                    num_threads)[0];
+}
+
+std::vector<QueryResponse> ShardedContainmentService::BatchServe(
+    std::span<const QueryRequest> requests, size_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreads();
+  std::vector<QueryResponse> results(requests.size());
+  if (requests.empty()) return results;
+
+  // The shared lock spans lookup, fan-out, merge AND cache fill: a mutation
+  // (unique lock) therefore cannot interleave between a response being
+  // computed and it being cached, so Clear() under the unique lock is
+  // guaranteed to see — and drop — every stale entry.
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+
+  struct Live {
+    const ContainmentSearcher* searcher;
+    std::span<const RecordId> ids;
+  };
+  std::vector<Live> live;
+  live.reserve(shards_.size() + 2);
+  for (const Shard& shard : shards_) {
+    live.push_back({shard.searcher.get(), shard.global_ids});
+  }
+  // Contiguous global ids of the dynamic shards (promoting, then ingest).
+  std::vector<RecordId> dynamic_ids;
+  const size_t promoting_count = promoting_ ? promoting_->size() : 0;
+  const size_t ingest_count = ingest_ ? ingest_->size() : 0;
+  dynamic_ids.reserve(promoting_count + ingest_count);
+  if (promoting_count > 0) {
+    for (size_t i = 0; i < promoting_count; ++i) {
+      dynamic_ids.push_back(promoting_base_ + static_cast<RecordId>(i));
+    }
+    live.push_back({promoting_.get(),
+                    std::span<const RecordId>(dynamic_ids.data(),
+                                              promoting_count)});
+  }
+  if (ingest_count > 0) {
+    for (size_t i = 0; i < ingest_count; ++i) {
+      dynamic_ids.push_back(ingest_base_ + static_cast<RecordId>(i));
+    }
+    live.push_back({ingest_.get(),
+                    std::span<const RecordId>(
+                        dynamic_ids.data() + promoting_count, ingest_count)});
+  }
+
+  // Serial cache pass in request order, so the hit/miss/eviction stream —
+  // and with it every response — is identical for any worker thread count.
+  // Requests identical to an earlier one in the batch are not recomputed:
+  // they take the first occurrence's response through the cache in the
+  // fill pass below, exactly as back-to-back Serve calls would.
+  enum class Origin : uint8_t { kCacheHit, kComputed, kDuplicate };
+  std::vector<Origin> origin(requests.size(), Origin::kCacheHit);
+  std::vector<size_t> pending;           // unique misses, first occurrences
+  std::vector<size_t> dup_of(requests.size(), 0);
+  std::unordered_map<uint64_t, std::vector<size_t>> first_by_hash;
+  pending.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    // Duplicate of an earlier MISS: sequentially its lookup would happen
+    // after the twin's insert (a hit, counted in the fill pass), so it
+    // must not touch the cache — and not count a miss — here. Duplicates
+    // of earlier HITS fall through to Lookup and count their hit now,
+    // exactly like sequential calls.
+    const uint64_t hash = HashQueryRequest(requests[i]);
+    std::vector<size_t>& chain = first_by_hash[hash];
+    bool duplicate = false;
+    for (size_t j : chain) {
+      if (EquivalentRequests(requests[j], requests[i])) {
+        origin[i] = Origin::kDuplicate;
+        dup_of[i] = j;
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    if (cache_.Lookup(requests[i], &results[i])) continue;
+    origin[i] = Origin::kComputed;
+    chain.push_back(i);
+    pending.push_back(i);
+  }
+
+  const size_t S = live.size();
+  if (!pending.empty() && S > 0) {
+    std::vector<QueryResponse> partial(pending.size() * S);
+    const auto run_task = [&](size_t task) {
+      const size_t qi = task / S;
+      const size_t s = task % S;
+      partial[task] = live[s].searcher->SearchQ(requests[pending[qi]],
+                                                ThreadLocalQueryContext());
+    };
+    const auto merge_one = [&](size_t qi) {
+      std::vector<ShardPartial> parts(S);
+      for (size_t s = 0; s < S; ++s) {
+        parts[s] = {&partial[qi * S + s], live[s].ids};
+      }
+      results[pending[qi]] =
+          MergeShardResponses(requests[pending[qi]], parts);
+    };
+    const size_t total_tasks = pending.size() * S;
+    if (num_threads == 1) {
+      for (size_t t = 0; t < total_tasks; ++t) run_task(t);
+      for (size_t qi = 0; qi < pending.size(); ++qi) merge_one(qi);
+    } else {
+      // Grain 1 over the (query, shard) grid: shard costs are uneven and a
+      // single query's fan-out should spread over the workers (that is the
+      // latency win sharding buys; bench/shard_scaling.cc).
+      const std::shared_ptr<ThreadPool> pool = ServingPool(num_threads);
+      pool->ParallelFor(0, total_tasks, 1,
+                        [&](size_t begin, size_t end, size_t /*chunk*/) {
+                          for (size_t t = begin; t < end; ++t) run_task(t);
+                        });
+      pool->ParallelFor(0, pending.size(), 1,
+                        [&](size_t begin, size_t end, size_t /*chunk*/) {
+                          for (size_t qi = begin; qi < end; ++qi) {
+                            merge_one(qi);
+                          }
+                        });
+    }
+  }
+
+  // Serial fill pass, again in request order: computed responses insert,
+  // duplicates re-look-up (a hit now that their twin has filled — the same
+  // touch/insert sequence sequential Serve calls produce).
+  for (size_t i = 0; i < requests.size(); ++i) {
+    switch (origin[i]) {
+      case Origin::kCacheHit:
+        break;
+      case Origin::kComputed:
+        cache_.Insert(requests[i], results[i]);
+        break;
+      case Origin::kDuplicate:
+        if (!cache_.Lookup(requests[i], &results[i])) {
+          // Cache disabled (or the twin's entry already evicted): the
+          // deterministic recompute sequential serving would do yields
+          // exactly the first occurrence's response.
+          results[i] = results[dup_of[i]];
+          cache_.Insert(requests[i], results[i]);
+        }
+        break;
+    }
+  }
+  return results;
+}
+
+std::shared_ptr<ThreadPool> ShardedContainmentService::ServingPool(
+    size_t num_threads) {
+  std::lock_guard<std::mutex> lock(serving_pool_mutex_);
+  if (serving_pool_ == nullptr || serving_pool_threads_ != num_threads) {
+    serving_pool_ = std::make_shared<ThreadPool>(num_threads);
+    serving_pool_threads_ = num_threads;
+  }
+  return serving_pool_;
+}
+
+void ShardedContainmentService::EnsureIngestLocked() {
+  if (ingest_ != nullptr) return;
+  // Empty seed dataset: the ingest shard starts without a buffer (no
+  // frequency statistics to pick E_H from) and a budget sized for one
+  // shard's worth of data.
+  Result<Dataset> empty = Dataset::Create({}, "ingest");
+  GBKMV_CHECK(empty.ok());
+  DynamicGbKmvOptions options;
+  options.budget_units = ingest_budget_units_;
+  options.buffer_bits = 0;
+  options.seed = config_.seed;
+  Result<std::unique_ptr<DynamicGbKmvIndex>> index =
+      DynamicGbKmvIndex::Create(*empty, options);
+  GBKMV_CHECK(index.ok());
+  ingest_ = std::move(index.value());
+}
+
+RecordId ShardedContainmentService::Ingest(Record record) {
+  Record normalised = MakeRecord(std::move(record));
+  std::unique_lock<std::shared_mutex> lock(state_mutex_);
+  EnsureIngestLocked();
+  ingest_->Insert(std::move(normalised));
+  const RecordId global_id = next_global_id_++;
+  // Any insert can change any query's answer: full invalidation
+  // (docs/sharding.md).
+  cache_.Clear();
+  if (config_.sharded.auto_promote_records > 0 &&
+      ingest_->size() >= config_.sharded.auto_promote_records &&
+      !promotion_in_flight_.exchange(true)) {
+    if (background_pool_ == nullptr) {
+      background_pool_ = std::make_unique<ThreadPool>(1);
+    }
+    // Submitting under the lock is safe: Submit only enqueues, and the
+    // task's own unique_lock (DoPromote phase 1) waits for us to release.
+    background_promotion_ = background_pool_->Submit([this] {
+      const Status status = DoPromote();
+      {
+        std::unique_lock<std::shared_mutex> inner(state_mutex_);
+        background_status_ = status;
+      }
+      promotion_in_flight_.store(false);
+    });
+  }
+  return global_id;
+}
+
+Status ShardedContainmentService::DoPromote() {
+  // Phase 1: freeze the ingest shard. It keeps answering queries but takes
+  // no further inserts (new ones go to a fresh ingest shard).
+  {
+    std::unique_lock<std::shared_mutex> lock(state_mutex_);
+    if (promoting_ == nullptr) {  // non-null: retrying a failed promotion
+      if (ingest_ == nullptr || ingest_->size() == 0) return Status::OK();
+      promoting_ = std::move(ingest_);
+      promoting_base_ = ingest_base_;
+      ingest_base_ = next_global_id_;
+    }
+  }
+
+  // Phase 2: rebuild as an immutable shard with the service's method and
+  // global parameters — outside the lock, so queries proceed throughout.
+  std::vector<Record> records;
+  records.reserve(promoting_->size());
+  for (size_t i = 0; i < promoting_->size(); ++i) {
+    records.push_back(promoting_->record(static_cast<RecordId>(i)));
+  }
+  Result<Dataset> dataset = Dataset::Create(std::move(records), "promoted");
+  if (!dataset.ok()) return dataset.status();
+  auto shard_dataset = std::make_unique<Dataset>(std::move(dataset.value()));
+  Result<std::unique_ptr<ContainmentSearcher>> searcher =
+      BuildShardSearcher(*shard_dataset, config_.num_threads);
+  if (!searcher.ok()) return searcher.status();
+  std::vector<RecordId> ids(shard_dataset->size());
+  std::iota(ids.begin(), ids.end(), promoting_base_);
+
+  // Phase 3: swap in and invalidate the cache (scores of the promoted
+  // records change representation: dynamic estimate -> method score).
+  {
+    std::unique_lock<std::shared_mutex> lock(state_mutex_);
+    shards_.push_back(Shard{std::move(shard_dataset),
+                            std::move(searcher.value()), std::move(ids)});
+    promoting_.reset();
+    cache_.Clear();
+  }
+  return Status::OK();
+}
+
+Status ShardedContainmentService::PromoteIngest() {
+  // Join (and swallow) any background promotion: if it failed, DoPromote
+  // below retries the frozen shard — that is what the promoting_-non-null
+  // branch exists for. The background status stays readable through
+  // WaitForBackgroundWork until consumed.
+  std::future<void> pending;
+  {
+    std::unique_lock<std::shared_mutex> lock(state_mutex_);
+    pending = std::move(background_promotion_);
+  }
+  if (pending.valid()) pending.get();
+  if (promotion_in_flight_.exchange(true)) {
+    return Status::FailedPrecondition("a promotion is already in flight");
+  }
+  const Status status = DoPromote();
+  promotion_in_flight_.store(false);
+  return status;
+}
+
+Status ShardedContainmentService::CompactPromoted() {
+  // Join background work but do not let an old failure veto compaction of
+  // the shards that did promote.
+  std::future<void> pending;
+  {
+    std::unique_lock<std::shared_mutex> lock(state_mutex_);
+    pending = std::move(background_promotion_);
+  }
+  if (pending.valid()) pending.get();
+
+  std::vector<Record> records;
+  std::vector<RecordId> ids;
+  size_t base = 0;
+  size_t end = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(state_mutex_);
+    base = base_shard_count_;
+    end = shards_.size();
+    if (end - base <= 1) return Status::OK();
+    // Promoted global-id ranges are contiguous and appended in increasing
+    // order, so the concatenation stays ascending (the merge invariant).
+    for (size_t s = base; s < end; ++s) {
+      const Shard& shard = shards_[s];
+      for (size_t i = 0; i < shard.dataset->size(); ++i) {
+        records.push_back(shard.dataset->record(i));
+      }
+      ids.insert(ids.end(), shard.global_ids.begin(),
+                 shard.global_ids.end());
+    }
+  }
+
+  Result<Dataset> dataset = Dataset::Create(std::move(records), "compacted");
+  if (!dataset.ok()) return dataset.status();
+  auto shard_dataset = std::make_unique<Dataset>(std::move(dataset.value()));
+  Result<std::unique_ptr<ContainmentSearcher>> searcher =
+      BuildShardSearcher(*shard_dataset, config_.num_threads);
+  if (!searcher.ok()) return searcher.status();
+
+  {
+    std::unique_lock<std::shared_mutex> lock(state_mutex_);
+    // A promotion may have appended shards past `end` meanwhile; replace
+    // exactly the range we merged and leave newcomers at the tail.
+    shards_.erase(shards_.begin() + base, shards_.begin() + end);
+    Shard merged;
+    merged.dataset = std::move(shard_dataset);
+    merged.searcher = std::move(searcher.value());
+    merged.global_ids = std::move(ids);
+    shards_.insert(shards_.begin() + base, std::move(merged));
+    cache_.Clear();
+  }
+  return Status::OK();
+}
+
+Status ShardedContainmentService::WaitForBackgroundWork() {
+  std::future<void> pending;
+  {
+    std::unique_lock<std::shared_mutex> lock(state_mutex_);
+    pending = std::move(background_promotion_);
+  }
+  // get() outside the lock: the promotion task needs the lock to finish.
+  if (pending.valid()) pending.get();
+  // Consume-once: report the stored status and reset it, so one failed
+  // background promotion is surfaced exactly once instead of failing every
+  // later wait (the frozen shard itself stays retryable via
+  // PromoteIngest).
+  std::unique_lock<std::shared_mutex> lock(state_mutex_);
+  return std::exchange(background_status_, Status::OK());
+}
+
+size_t ShardedContainmentService::num_shards() const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  return shards_.size();
+}
+
+size_t ShardedContainmentService::size() const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  size_t total = promoting_ ? promoting_->size() : 0;
+  if (ingest_) total += ingest_->size();
+  for (const Shard& shard : shards_) total += shard.global_ids.size();
+  return total;
+}
+
+size_t ShardedContainmentService::ingest_size() const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  return ingest_ ? ingest_->size() : 0;
+}
+
+uint64_t ShardedContainmentService::SpaceUnits() const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  uint64_t total = promoting_ ? promoting_->SpaceUnits() : 0;
+  if (ingest_) total += ingest_->SpaceUnits();
+  for (const Shard& shard : shards_) total += shard.searcher->SpaceUnits();
+  return total;
+}
+
+std::string ShardedContainmentService::method_name() const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  if (!shards_.empty()) return shards_.front().searcher->name();
+  return MethodToken(config_.method);
+}
+
+ShardView ShardedContainmentService::shard(size_t i) const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  GBKMV_CHECK(i < shards_.size());
+  return {shards_[i].searcher.get(), shards_[i].global_ids};
+}
+
+Status ShardedContainmentService::Save(const std::string& dir) const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  if (promoting_ != nullptr) {
+    return Status::FailedPrecondition(
+        "a promotion is in flight; call WaitForBackgroundWork before Save");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory " + dir + ": " +
+                           ec.message());
+  }
+
+  io::SnapshotWriter manifest;
+  io::WriteSnapshotMeta(&manifest, io::kShardedManifestKind, 0);
+  io::Writer* out = manifest.AddSection(io::kSectionManifest);
+  out->PutU32(kManifestVersion);
+  out->PutString(MethodToken(config_.method));
+  out->PutU8(static_cast<uint8_t>(config_.sharded.partitioner));
+  out->PutDouble(config_.space_ratio);
+  out->PutU64(static_cast<uint64_t>(config_.buffer_bits));
+  out->PutU64(config_.lshe_num_hashes);
+  out->PutU64(config_.lshe_num_partitions);
+  out->PutU64(config_.seed);
+  out->PutU64(config_.sharded.cache_capacity);
+  out->PutU64(config_.sharded.auto_promote_records);
+  out->PutU64(ingest_budget_units_);
+  out->PutU64(minhash_size_hint_);
+  out->PutU64(next_global_id_);
+  out->PutU64(base_shard_count_);
+  const bool has_sketcher = global_sketcher_ != nullptr;
+  out->PutBool(has_sketcher);
+  if (has_sketcher) {
+    // Bound for the element->bit table on load.
+    uint64_t universe = 0;
+    for (const Shard& shard : shards_) {
+      universe = std::max<uint64_t>(universe, shard.dataset
+                                                  ? shard.dataset
+                                                        ->universe_size()
+                                                  : 0);
+    }
+    out->PutU64(universe);
+    global_sketcher_->SaveTo(out);
+  }
+
+  out->PutU64(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const std::string filename = ShardFileName(s);
+    out->PutString(filename);
+    out->PutVecU32(shards_[s].global_ids);
+    const std::string path = dir + "/" + filename;
+    // Methods with snapshot support persist the built index; the rest
+    // persist their shard dataset and rebuild (deterministically) on load.
+    Status saved = shards_[s].searcher->SaveSnapshot(path);
+    if (saved.code() == StatusCode::kFailedPrecondition) {
+      saved = shards_[s].dataset->Save(path);
+    }
+    if (!saved.ok()) return saved;
+  }
+
+  const bool has_ingest = ingest_ != nullptr && ingest_->size() > 0;
+  out->PutBool(has_ingest);
+  if (has_ingest) {
+    out->PutString("ingest.snap");
+    out->PutU64(ingest_base_);
+    const Status saved = ingest_->Save(dir + "/ingest.snap");
+    if (!saved.ok()) return saved;
+  }
+
+  return manifest.WriteTo(dir + "/manifest.snap");
+}
+
+Result<std::unique_ptr<ShardedContainmentService>>
+ShardedContainmentService::Load(const std::string& dir) {
+  Result<io::SnapshotReader> manifest =
+      io::SnapshotReader::Open(dir + "/manifest.snap");
+  if (!manifest.ok()) return manifest.status();
+  Result<io::SnapshotMeta> meta = io::ReadSnapshotMeta(*manifest);
+  if (!meta.ok()) return meta.status();
+  if (meta->kind != io::kShardedManifestKind) {
+    return Status::InvalidArgument("snapshot holds a '" + meta->kind +
+                                   "', expected '" +
+                                   io::kShardedManifestKind + "'");
+  }
+  Result<io::Reader> section = manifest->Section(io::kSectionManifest);
+  if (!section.ok()) return section.status();
+  io::Reader* in = &section.value();
+
+  uint32_t version = 0;
+  if (Status s = in->GetU32(&version); !s.ok()) return s;
+  if (version == 0 || version > kManifestVersion) {
+    return Status::InvalidArgument("unsupported manifest version " +
+                                   std::to_string(version));
+  }
+  std::string method_token;
+  if (Status s = in->GetString(&method_token); !s.ok()) return s;
+  Result<SearchMethod> method = ParseSearchMethod(method_token);
+  if (!method.ok()) return method.status();
+
+  SearcherConfig config;
+  config.method = *method;
+  uint8_t partitioner = 0;
+  uint64_t buffer_bits = 0;
+  uint64_t cache_capacity = 0;
+  uint64_t auto_promote = 0;
+  uint64_t ingest_budget = 0;
+  uint64_t minhash_hint = 0;
+  uint64_t next_global_id = 0;
+  uint64_t base_shard_count = 0;
+  uint64_t lshe_hashes = 0;
+  uint64_t lshe_partitions = 0;
+  if (Status s = in->GetU8(&partitioner); !s.ok()) return s;
+  if (Status s = in->GetDouble(&config.space_ratio); !s.ok()) return s;
+  if (Status s = in->GetU64(&buffer_bits); !s.ok()) return s;
+  if (Status s = in->GetU64(&lshe_hashes); !s.ok()) return s;
+  if (Status s = in->GetU64(&lshe_partitions); !s.ok()) return s;
+  if (Status s = in->GetU64(&config.seed); !s.ok()) return s;
+  if (Status s = in->GetU64(&cache_capacity); !s.ok()) return s;
+  if (Status s = in->GetU64(&auto_promote); !s.ok()) return s;
+  if (Status s = in->GetU64(&ingest_budget); !s.ok()) return s;
+  if (Status s = in->GetU64(&minhash_hint); !s.ok()) return s;
+  if (Status s = in->GetU64(&next_global_id); !s.ok()) return s;
+  if (Status s = in->GetU64(&base_shard_count); !s.ok()) return s;
+  if (partitioner > static_cast<uint8_t>(ShardPartitioner::kSizeStratified)) {
+    return Status::Corruption("manifest has an unknown partitioner id");
+  }
+  config.buffer_bits = static_cast<size_t>(buffer_bits);
+  config.lshe_num_hashes = static_cast<size_t>(lshe_hashes);
+  config.lshe_num_partitions = static_cast<size_t>(lshe_partitions);
+  config.sharded.partitioner = static_cast<ShardPartitioner>(partitioner);
+  config.sharded.cache_capacity = static_cast<size_t>(cache_capacity);
+  config.sharded.auto_promote_records = static_cast<size_t>(auto_promote);
+  config.sharded.ingest_budget_units = ingest_budget;
+
+  std::unique_ptr<ShardedContainmentService> service(
+      new ShardedContainmentService(config));
+  service->ingest_budget_units_ = ingest_budget;
+  service->minhash_size_hint_ = static_cast<size_t>(minhash_hint);
+  service->next_global_id_ = static_cast<RecordId>(next_global_id);
+  service->ingest_base_ = service->next_global_id_;
+
+  bool has_sketcher = false;
+  if (Status s = in->GetBool(&has_sketcher); !s.ok()) return s;
+  if (has_sketcher) {
+    uint64_t universe = 0;
+    if (Status s = in->GetU64(&universe); !s.ok()) return s;
+    Result<GbKmvSketcher> sketcher =
+        GbKmvSketcher::LoadFrom(in, static_cast<size_t>(universe));
+    if (!sketcher.ok()) return sketcher.status();
+    service->global_sketcher_ =
+        std::make_unique<GbKmvSketcher>(std::move(sketcher.value()));
+  }
+
+  uint64_t num_shards = 0;
+  if (Status s = in->GetU64(&num_shards); !s.ok()) return s;
+  service->shards_.reserve(num_shards);
+  for (uint64_t k = 0; k < num_shards; ++k) {
+    std::string filename;
+    Shard shard;
+    if (Status s = in->GetString(&filename); !s.ok()) return s;
+    if (Status s = in->GetVecU32(&shard.global_ids); !s.ok()) return s;
+    const std::string path = dir + "/" + filename;
+    Result<std::string> kind = ReadSearcherSnapshotKind(path);
+    if (!kind.ok()) return kind.status();
+    if (*kind == "dataset") {
+      Result<Dataset> dataset = Dataset::Load(path);
+      if (!dataset.ok()) return dataset.status();
+      shard.dataset = std::make_unique<Dataset>(std::move(dataset.value()));
+      Result<std::unique_ptr<ContainmentSearcher>> searcher =
+          service->BuildShardSearcher(*shard.dataset, 0);
+      if (!searcher.ok()) return searcher.status();
+      shard.searcher = std::move(searcher.value());
+    } else {
+      Result<LoadedSearcher> loaded = LoadSearcherSnapshot(path);
+      if (!loaded.ok()) return loaded.status();
+      shard.dataset = std::move(loaded->dataset);
+      shard.searcher = std::move(loaded->searcher);
+    }
+    if (shard.dataset != nullptr &&
+        shard.dataset->size() != shard.global_ids.size()) {
+      return Status::Corruption("shard " + filename + " holds " +
+                                std::to_string(shard.dataset->size()) +
+                                " records but the manifest maps " +
+                                std::to_string(shard.global_ids.size()));
+    }
+    service->shards_.push_back(std::move(shard));
+  }
+  service->base_shard_count_ =
+      std::min<size_t>(static_cast<size_t>(base_shard_count),
+                       service->shards_.size());
+  // Keep the reloaded config self-describing: num_shards is not stored
+  // separately (the base partition IS the shard count Build resolved).
+  service->config_.sharded.num_shards =
+      std::max<size_t>(1, service->base_shard_count_);
+
+  bool has_ingest = false;
+  if (Status s = in->GetBool(&has_ingest); !s.ok()) return s;
+  if (has_ingest) {
+    std::string filename;
+    uint64_t ingest_base = 0;
+    if (Status s = in->GetString(&filename); !s.ok()) return s;
+    if (Status s = in->GetU64(&ingest_base); !s.ok()) return s;
+    Result<std::unique_ptr<DynamicGbKmvIndex>> ingest =
+        DynamicGbKmvIndex::Load(dir + "/" + filename);
+    if (!ingest.ok()) return ingest.status();
+    service->ingest_ = std::move(ingest.value());
+    service->ingest_base_ = static_cast<RecordId>(ingest_base);
+  }
+  return service;
+}
+
+Result<std::unique_ptr<ShardedContainmentService>> BuildShardedService(
+    const Dataset& dataset, const SearcherConfig& config) {
+  return ShardedContainmentService::Build(dataset, config);
+}
+
+}  // namespace serve
+}  // namespace gbkmv

@@ -1,0 +1,196 @@
+// ShardedContainmentService: one logical containment index spread over S
+// shards (docs/sharding.md).
+//
+// Build partitions a Dataset into S shards (hash or size-stratified,
+// serve/partitioner.h), builds one searcher per shard in parallel, and
+// answers queries by fan-out/fan-in with a global (score desc, id asc)
+// top-k merge (serve/merge.h) whose hits and scores are bit-identical to
+// the single-shard searcher's, for any shard count and any worker thread
+// count. The guarantee rests on per-record parameter sharing: every
+// dataset-global quantity a method's query path reads (the GB-KMV
+// sketcher's τ and buffer universe, MinHash-LSH's size upper bound) is
+// derived ONCE from the full dataset and handed to every shard build.
+// Methods whose per-record state cannot be pinned that way (KMV's
+// Theorem-1 allocation, LSH-E's partition boundaries, A-MH's padding
+// width) are rejected at Build.
+//
+// On top of the immutable shards:
+//   * an LRU query-result cache (serve/query_cache.h), invalidated in full
+//     on every mutation;
+//   * a mutable ingest shard (DynamicGbKmvIndex) for live inserts, promoted
+//     — synchronously or in the background — into an immutable shard built
+//     with the service's own method and global parameters, and compacted
+//     when promoted shards accumulate;
+//   * a versioned shard-manifest snapshot (Save/Load) reusing the src/io
+//     section container, so a whole service round-trips through disk.
+//
+// Thread safety: Serve/BatchServe may run concurrently with each other and
+// with background promotion; Ingest/Promote/Compact/Save serialise against
+// queries internally. One service, many reader threads, any number of
+// (externally serialised) writers.
+
+#ifndef GBKMV_SERVE_SHARDED_SERVICE_H_
+#define GBKMV_SERVE_SHARDED_SERVICE_H_
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/containment.h"
+#include "data/dataset.h"
+#include "index/dynamic_index.h"
+#include "index/searcher.h"
+#include "serve/query_cache.h"
+#include "sketch/gbkmv.h"
+
+namespace gbkmv {
+namespace serve {
+
+// Read-only view of one immutable shard (bench/introspection; do not hold
+// across mutations).
+struct ShardView {
+  const ContainmentSearcher* searcher = nullptr;
+  std::span<const RecordId> global_ids;
+};
+
+class ShardedContainmentService {
+ public:
+  // Partitions `dataset` per config.sharded and builds the shards in
+  // parallel (config.num_threads). The dataset is copied into per-shard
+  // datasets; the original only needs to outlive Build itself.
+  static Result<std::unique_ptr<ShardedContainmentService>> Build(
+      const Dataset& dataset, const SearcherConfig& config);
+
+  ~ShardedContainmentService();
+
+  // One query: cache lookup, fan-out over all live shards (immutable +
+  // promoting + ingest) on up to num_threads workers (0 = DefaultThreads),
+  // global merge, cache fill. Response ordering contract in serve/merge.h.
+  QueryResponse Serve(const QueryRequest& request, size_t num_threads = 0);
+
+  // Batch engine: results[i] carries exactly the hits, scores and index
+  // counters Serve(requests[i]) returns, for any worker thread count —
+  // cache decisions (including within-batch duplicates, which are computed
+  // once and then served from the cache like sequential calls would be)
+  // run serially in request order. Only the stats.cache_hits marker can
+  // differ from interleaved sequential serving, and only under LRU
+  // eviction pressure in the middle of the batch. Fan-out parallelises
+  // over the (query, shard) grid of the unique cache misses.
+  std::vector<QueryResponse> BatchServe(std::span<const QueryRequest> requests,
+                                        size_t num_threads = 0);
+
+  // Appends a record to the mutable ingest shard and returns its global id.
+  // Invalidates the query cache. May trigger background promotion
+  // (config.sharded.auto_promote_records).
+  RecordId Ingest(Record record);
+
+  // Rebuilds the current ingest shard as an immutable shard (service
+  // method + global parameters) and appends it; queries keep seeing the
+  // ingested records throughout. No-op when the ingest shard is empty.
+  Status PromoteIngest();
+
+  // Merges all promoted shards into one (counters the shard-count creep of
+  // repeated promotions). The original partition is left untouched.
+  Status CompactPromoted();
+
+  // Blocks until any in-flight background promotion finishes and returns
+  // its status (OK when none ran).
+  Status WaitForBackgroundWork();
+
+  // Immutable shards currently live (original partition + promotions).
+  size_t num_shards() const;
+  // Records across immutable shards + ingest.
+  size_t size() const;
+  size_t ingest_size() const;
+  uint64_t SpaceUnits() const;
+  std::string method_name() const;
+  const SearcherConfig& config() const { return config_; }
+  QueryCacheStats cache_stats() const { return cache_.stats(); }
+
+  // Immutable shard i; bench/test introspection only.
+  ShardView shard(size_t i) const;
+
+  // Shard-manifest persistence: writes `dir/manifest.snap` plus one
+  // snapshot per shard (searcher snapshot when the method supports it,
+  // dataset snapshot + rebuild-on-load otherwise) and `dir/ingest.snap`
+  // when the ingest shard is non-empty. Load restores a service that
+  // answers bit-identically and resumes Ingest with identical behaviour.
+  // The manifest meta kind is io::kShardedManifestKind.
+  static constexpr uint32_t kManifestVersion = 1;
+  Status Save(const std::string& dir) const;
+  static Result<std::unique_ptr<ShardedContainmentService>> Load(
+      const std::string& dir);
+
+ private:
+  struct Shard {
+    std::unique_ptr<Dataset> dataset;
+    std::unique_ptr<ContainmentSearcher> searcher;
+    std::vector<RecordId> global_ids;  // ascending
+  };
+
+  explicit ShardedContainmentService(const SearcherConfig& config)
+      : config_(config), cache_(config.sharded.cache_capacity) {}
+
+  // Builds a searcher over one shard dataset with the service's global
+  // parameters. `num_threads` is the inner build parallelism.
+  Result<std::unique_ptr<ContainmentSearcher>> BuildShardSearcher(
+      const Dataset& shard_dataset, size_t num_threads) const;
+
+  Result<Shard> MakeShard(const Dataset& dataset,
+                          std::vector<RecordId> global_ids,
+                          size_t num_threads) const;
+
+  void EnsureIngestLocked();
+  // The promotion worker body; requires the in-flight token.
+  Status DoPromote();
+
+  // Persistent fan-out pool, (re)created only when the requested worker
+  // count changes — thread spawn/join must not sit on the per-query
+  // serving path. Concurrent callers share it (ParallelFor is reentrant);
+  // a resize hands the old pool off via shared_ptr until its users drain.
+  std::shared_ptr<ThreadPool> ServingPool(size_t num_threads);
+
+  SearcherConfig config_;
+  uint64_t ingest_budget_units_ = 0;  // resolved at Build
+  size_t minhash_size_hint_ = 0;      // global max |X| (kMinHashLsh only)
+  std::unique_ptr<GbKmvSketcher> global_sketcher_;  // kGbKmv/kGKmv only
+
+  // Guards every member below it.
+  mutable std::shared_mutex state_mutex_;
+  std::vector<Shard> shards_;
+  size_t base_shard_count_ = 0;  // shards of the original partition
+  // Ingest shard being promoted: still answers queries, takes no inserts.
+  std::unique_ptr<DynamicGbKmvIndex> promoting_;
+  RecordId promoting_base_ = 0;
+  std::unique_ptr<DynamicGbKmvIndex> ingest_;
+  RecordId ingest_base_ = 0;
+  RecordId next_global_id_ = 0;
+
+  QueryResultCache cache_;
+
+  std::mutex serving_pool_mutex_;
+  std::shared_ptr<ThreadPool> serving_pool_;
+  size_t serving_pool_threads_ = 0;
+
+  std::atomic<bool> promotion_in_flight_{false};
+  std::unique_ptr<ThreadPool> background_pool_;
+  std::future<void> background_promotion_;
+  Status background_status_;  // guarded by state_mutex_
+};
+
+// Facade entry point (core/containment.h): builds the service described by
+// `config` — method, sketch knobs, and config.sharded — over `dataset`.
+Result<std::unique_ptr<ShardedContainmentService>> BuildShardedService(
+    const Dataset& dataset, const SearcherConfig& config);
+
+}  // namespace serve
+}  // namespace gbkmv
+
+#endif  // GBKMV_SERVE_SHARDED_SERVICE_H_

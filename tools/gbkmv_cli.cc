@@ -29,11 +29,25 @@
 //       <query-file> ('-' for stdin; same line format as datasets) at the
 //       given threshold (default --threshold/0.5). The first positional
 //       form of `query` still accepts a text dataset and builds in-memory.
+//
+//   gbkmv_cli serve-build <dataset> <out-dir> [--method=gb-kmv]
+//                    [--shards=4] [--partitioner=hash|size] [--cache=N]
+//                    [--space=0.1] [--min-size=1]
+//       Build a sharded containment service (docs/sharding.md) and persist
+//       it as a shard-manifest directory: manifest.snap + one snapshot per
+//       shard.
+//
+//   gbkmv_cli serve-query <manifest-dir> <query-file|-> [--threshold=0.5]
+//                    [--top-k=K] [--scores] [--stats]
+//       Reload a sharded service from its manifest directory and stream
+//       queries through the fan-out/fan-in path (per-query shard
+//       parallelism via --threads).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -46,6 +60,7 @@
 #include "eval/table.h"
 #include "index/searcher_registry.h"
 #include "io/snapshot.h"
+#include "serve/sharded_service.h"
 
 namespace gbkmv {
 namespace {
@@ -60,6 +75,10 @@ struct CliOptions {
   size_t queries = 100;
   // --top-k / --scores / --stats; plain id output unless asked for more.
   SearchOptions search{.top_k = 0, .want_scores = false, .want_stats = false};
+  // Sharded serving (serve-build / serve-query).
+  size_t shards = 4;
+  std::string partitioner = "hash";
+  size_t cache = 0;
 };
 
 int Usage() {
@@ -73,6 +92,11 @@ int Usage() {
                "[--space=S] [--min-size=K]\n"
                "       gbkmv_cli query <in.snap> <query-file|-> [threshold] "
                "[--top-k=K] [--scores] [--stats]\n"
+               "       gbkmv_cli serve-build <dataset> <out-dir> "
+               "[--method=M] [--shards=N] [--partitioner=hash|size] "
+               "[--cache=N] [--space=S]\n"
+               "       gbkmv_cli serve-query <manifest-dir> <query-file|-> "
+               "[--threshold=T] [--top-k=K] [--scores] [--stats]\n"
                "methods: gb-kmv g-kmv kmv lsh-e minhash-lsh a-mh ppjoin "
                "freqset brute-force (snapshots: gb-kmv g-kmv lsh-e)\n"
                "common flags: --threads=N (build/eval parallelism; default "
@@ -85,6 +109,40 @@ bool ParseFlag(const char* arg, const char* name, std::string* out) {
   if (std::strncmp(arg, name, len) != 0) return false;
   *out = arg + len;
   return true;
+}
+
+// The query flags every query-shaped command shares (--threshold, --top-k,
+// --scores, --stats, --threads). Returns 1 when `arg` was consumed, 0 when
+// it is not one of these flags, -1 on an invalid value (caller prints
+// usage).
+int ParseQueryFlag(const char* arg, double* threshold,
+                   SearchOptions* search) {
+  std::string value;
+  if (ParseFlag(arg, "--threshold=", &value)) {
+    *threshold = std::atof(value.c_str());
+    return 1;
+  }
+  if (ParseFlag(arg, "--top-k=", &value)) {
+    const long long k = std::atoll(value.c_str());
+    if (k < 0) return -1;
+    search->top_k = static_cast<size_t>(k);
+    return 1;
+  }
+  if (std::strcmp(arg, "--scores") == 0) {
+    search->want_scores = true;
+    return 1;
+  }
+  if (std::strcmp(arg, "--stats") == 0) {
+    search->want_stats = true;
+    return 1;
+  }
+  if (ParseFlag(arg, "--threads=", &value)) {
+    const long long n = std::atoll(value.c_str());
+    if (n < 0) return -1;
+    SetDefaultThreads(static_cast<size_t>(n));
+    return 1;
+  }
+  return 0;
 }
 
 int RunStats(const Dataset& dataset) {
@@ -104,9 +162,12 @@ int RunStats(const Dataset& dataset) {
 
 // Parses one query record per line from `in`, printing one result line per
 // query: matching record ids (id:score pairs with --scores, best first with
-// --top-k) and, with --stats, the index counters on stderr.
-int StreamQueries(std::istream& in, const ContainmentSearcher& searcher,
-                  double threshold, const SearchOptions& options) {
+// --top-k) and, with --stats, the index counters on stderr. `answer` maps
+// one parsed query record to its response (single searcher or sharded
+// service).
+int StreamQueriesWith(
+    std::istream& in, double threshold, const SearchOptions& options,
+    const std::function<QueryResponse(const QueryRequest&)>& answer) {
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
@@ -118,8 +179,7 @@ int StreamQueries(std::istream& in, const ContainmentSearcher& searcher,
     }
     const Record query = MakeRecord(std::move(elems));
     const QueryResponse response =
-        searcher.SearchQ(MakeQueryRequest(query, threshold, options),
-                         ThreadLocalQueryContext());
+        answer(MakeQueryRequest(query, threshold, options));
     for (size_t i = 0; i < response.hits.size(); ++i) {
       const QueryHit& hit = response.hits[i];
       if (options.want_scores) {
@@ -135,16 +195,31 @@ int StreamQueries(std::istream& in, const ContainmentSearcher& searcher,
       std::fprintf(stderr,
                    "# hits=%zu candidates_generated=%llu "
                    "candidates_refined=%llu postings_scanned=%llu "
-                   "heap_evictions=%llu\n",
+                   "heap_evictions=%llu",
                    response.hits.size(),
                    static_cast<unsigned long long>(s.candidates_generated),
                    static_cast<unsigned long long>(s.candidates_refined),
                    static_cast<unsigned long long>(s.postings_scanned),
                    static_cast<unsigned long long>(s.heap_evictions));
+      // Serving-layer counters, only meaningful through serve-query.
+      if (s.shards_queried > 0 || s.cache_hits > 0) {
+        std::fprintf(stderr, " shards_queried=%llu cache_hit=%llu",
+                     static_cast<unsigned long long>(s.shards_queried),
+                     static_cast<unsigned long long>(s.cache_hits));
+      }
+      std::fprintf(stderr, "\n");
     }
     std::fflush(stdout);
   }
   return 0;
+}
+
+int StreamQueries(std::istream& in, const ContainmentSearcher& searcher,
+                  double threshold, const SearchOptions& options) {
+  return StreamQueriesWith(
+      in, threshold, options, [&searcher](const QueryRequest& request) {
+        return searcher.SearchQ(request, ThreadLocalQueryContext());
+      });
 }
 
 int RunBuild(const Dataset& dataset, const CliOptions& options,
@@ -206,6 +281,82 @@ int RunQuerySnapshot(const std::string& snapshot_path,
     return 1;
   }
   return StreamQueries(in, *loaded->searcher, threshold, options);
+}
+
+int RunServeBuild(const Dataset& dataset, const CliOptions& options,
+                  const std::string& out_dir) {
+  Result<SearchMethod> method = ParseSearchMethod(options.method);
+  if (!method.ok()) {
+    std::fprintf(stderr, "%s\n", method.status().ToString().c_str());
+    return 2;
+  }
+  Result<ShardPartitioner> partitioner =
+      ParseShardPartitioner(options.partitioner);
+  if (!partitioner.ok()) {
+    std::fprintf(stderr, "%s\n", partitioner.status().ToString().c_str());
+    return 2;
+  }
+  SearcherConfig config;
+  config.method = *method;
+  config.space_ratio = options.space;
+  config.sharded.num_shards = options.shards;
+  config.sharded.partitioner = *partitioner;
+  config.sharded.cache_capacity = options.cache;
+  WallTimer build_timer;
+  Result<std::unique_ptr<serve::ShardedContainmentService>> service =
+      serve::BuildShardedService(dataset, config);
+  if (!service.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  const double build_seconds = build_timer.ElapsedSeconds();
+  WallTimer save_timer;
+  const Status saved = (*service)->Save(out_dir);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "cannot save manifest: %s\n",
+                 saved.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "%s service: %zu records in %zu shards built in %.2fs, "
+               "saved to %s/ in %.2fs (%llu resident units)\n",
+               (*service)->method_name().c_str(), dataset.size(),
+               (*service)->num_shards(), build_seconds, out_dir.c_str(),
+               save_timer.ElapsedSeconds(),
+               static_cast<unsigned long long>((*service)->SpaceUnits()));
+  return 0;
+}
+
+int RunServeQuery(const std::string& manifest_dir,
+                  const std::string& query_path, double threshold,
+                  const SearchOptions& options) {
+  WallTimer load_timer;
+  Result<std::unique_ptr<serve::ShardedContainmentService>> service =
+      serve::ShardedContainmentService::Load(manifest_dir);
+  if (!service.ok()) {
+    std::fprintf(stderr, "cannot load sharded service: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "%s service reloaded from %s/ in %.2fs "
+               "(%zu shards, %zu records)\n",
+               (*service)->method_name().c_str(), manifest_dir.c_str(),
+               load_timer.ElapsedSeconds(), (*service)->num_shards(),
+               (*service)->size());
+  const auto answer = [&service](const QueryRequest& request) {
+    return (*service)->Serve(request);
+  };
+  if (query_path == "-") {
+    return StreamQueriesWith(std::cin, threshold, options, answer);
+  }
+  std::ifstream in(query_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open query file %s\n", query_path.c_str());
+    return 1;
+  }
+  return StreamQueriesWith(in, threshold, options, answer);
 }
 
 int RunQuery(const Dataset& dataset, const CliOptions& options) {
@@ -288,22 +439,10 @@ int Main(int argc, char** argv) {
     SearchOptions search{.top_k = 0, .want_scores = false,
                          .want_stats = false};
     for (int i = 4; i < argc; ++i) {
-      std::string value;
-      if (ParseFlag(argv[i], "--threshold=", &value)) {
-        threshold = std::atof(value.c_str());
-      } else if (ParseFlag(argv[i], "--top-k=", &value)) {
-        const long long k = std::atoll(value.c_str());
-        if (k < 0) return Usage();
-        search.top_k = static_cast<size_t>(k);
-      } else if (std::strcmp(argv[i], "--scores") == 0) {
-        search.want_scores = true;
-      } else if (std::strcmp(argv[i], "--stats") == 0) {
-        search.want_stats = true;
-      } else if (ParseFlag(argv[i], "--threads=", &value)) {
-        const long long n = std::atoll(value.c_str());
-        if (n < 0) return Usage();
-        SetDefaultThreads(static_cast<size_t>(n));
-      } else if (argv[i][0] != '-' && !saw_positional_threshold) {
+      const int consumed = ParseQueryFlag(argv[i], &threshold, &search);
+      if (consumed < 0) return Usage();
+      if (consumed == 1) continue;
+      if (argv[i][0] != '-' && !saw_positional_threshold) {
         threshold = std::atof(argv[i]);
         saw_positional_threshold = true;
       } else {
@@ -313,37 +452,50 @@ int Main(int argc, char** argv) {
     return RunQuerySnapshot(argv[2], argv[3], threshold, search);
   }
 
+  // Sharded-service query: gbkmv_cli serve-query <dir> <query-file|-> ...
+  if (options.command == "serve-query") {
+    if (argc < 4) return Usage();
+    double threshold = 0.5;
+    SearchOptions search{.top_k = 0, .want_scores = false,
+                         .want_stats = false};
+    for (int i = 4; i < argc; ++i) {
+      if (ParseQueryFlag(argv[i], &threshold, &search) != 1) return Usage();
+    }
+    return RunServeQuery(argv[2], argv[3], threshold, search);
+  }
+
   std::string snapshot_out;
-  if (options.command == "build") {
+  if (options.command == "build" || options.command == "serve-build") {
     if (argc < 4 || argv[3][0] == '-') return Usage();
     snapshot_out = argv[3];
   }
   for (int i = snapshot_out.empty() ? 3 : 4; i < argc; ++i) {
+    // Shared query flags first (--threshold/--top-k/--scores/--stats;
+    // --threads covers build/ground-truth parallelism too, results
+    // identical for any value per docs/parallelism.md).
+    const int consumed =
+        ParseQueryFlag(argv[i], &options.threshold, &options.search);
+    if (consumed < 0) return Usage();
+    if (consumed == 1) continue;
     std::string value;
     if (ParseFlag(argv[i], "--method=", &value)) {
       options.method = value;
-    } else if (ParseFlag(argv[i], "--threshold=", &value)) {
-      options.threshold = std::atof(value.c_str());
     } else if (ParseFlag(argv[i], "--space=", &value)) {
       options.space = std::atof(value.c_str());
     } else if (ParseFlag(argv[i], "--min-size=", &value)) {
       options.min_size = static_cast<size_t>(std::atoll(value.c_str()));
-    } else if (ParseFlag(argv[i], "--top-k=", &value)) {
-      const long long k = std::atoll(value.c_str());
-      if (k < 0) return Usage();
-      options.search.top_k = static_cast<size_t>(k);
-    } else if (std::strcmp(argv[i], "--scores") == 0) {
-      options.search.want_scores = true;
-    } else if (std::strcmp(argv[i], "--stats") == 0) {
-      options.search.want_stats = true;
     } else if (ParseFlag(argv[i], "--queries=", &value)) {
       options.queries = static_cast<size_t>(std::atoll(value.c_str()));
-    } else if (ParseFlag(argv[i], "--threads=", &value)) {
-      // Build/ground-truth parallelism; results are identical for any value
-      // (docs/parallelism.md). Default: hardware concurrency.
+    } else if (ParseFlag(argv[i], "--shards=", &value)) {
+      const long long n = std::atoll(value.c_str());
+      if (n <= 0) return Usage();
+      options.shards = static_cast<size_t>(n);
+    } else if (ParseFlag(argv[i], "--partitioner=", &value)) {
+      options.partitioner = value;
+    } else if (ParseFlag(argv[i], "--cache=", &value)) {
       const long long n = std::atoll(value.c_str());
       if (n < 0) return Usage();
-      SetDefaultThreads(static_cast<size_t>(n));
+      options.cache = static_cast<size_t>(n);
     } else {
       return Usage();
     }
@@ -362,6 +514,9 @@ int Main(int argc, char** argv) {
   if (options.command == "eval") return RunEval(*dataset, options);
   if (options.command == "build") {
     return RunBuild(*dataset, options, snapshot_out);
+  }
+  if (options.command == "serve-build") {
+    return RunServeBuild(*dataset, options, snapshot_out);
   }
   return Usage();
 }
