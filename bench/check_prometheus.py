@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Validator for the Prometheus text exposition produced by the gbkmv
+exporters (SnapshotToPrometheus via gbkmv_cli --metrics-prom-out=... or
+--metrics=prom).
+
+Checks, per metric family:
+  1. every sample line parses as `name{labels} value` with a finite
+     non-negative integer-or-float value;
+  2. every family is preceded by exactly one `# TYPE family <type>` line
+     with type in {counter, gauge, histogram};
+  3. counters follow the repo naming convention (family ends in `_total`);
+  4. histograms expose `_bucket{le="..."}` samples with strictly increasing
+     bucket bounds and non-decreasing cumulative counts, a final
+     `le="+Inf"` bucket, plus `_sum` and `_count`, with the +Inf bucket
+     equal to `_count`.
+
+With --expect NAME[,NAME...] additionally requires those families to be
+present (CI uses this so an exporter that silently emits nothing fails).
+
+Usage:
+  python3 bench/check_prometheus.py metrics.prom [--expect gbkmv_serve_queries_total,...]
+"""
+
+import argparse
+import math
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'          # metric name
+    r'(?:\{([^}]*)\})?'                     # optional labels
+    r' '
+    r'(-?(?:[0-9]+(?:\.[0-9]+)?(?:[eE][-+]?[0-9]+)?|\+Inf|-Inf|NaN))$')
+TYPE_RE = re.compile(
+    r'^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|'
+    r'untyped)$')
+LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+
+class CheckError(Exception):
+    pass
+
+
+def parse_labels(raw, line_no):
+    labels = {}
+    if not raw:
+        return labels
+    for part in raw.split(","):
+        m = LABEL_RE.match(part)
+        if not m:
+            raise CheckError(f"line {line_no}: bad label pair {part!r}")
+        labels[m.group(1)] = m.group(2)
+    return labels
+
+
+def family_of(name):
+    """Strip histogram sample suffixes down to the family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def le_value(raw):
+    return math.inf if raw == "+Inf" else float(raw)
+
+
+def check(text, expect):
+    types = {}          # family -> declared type
+    samples = []        # (family, name, labels, value, line_no)
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if line.startswith("# TYPE "):
+                m = TYPE_RE.match(line)
+                if not m:
+                    raise CheckError(f"line {line_no}: malformed TYPE line")
+                family = m.group(1)
+                if family in types:
+                    raise CheckError(
+                        f"line {line_no}: duplicate TYPE for {family}")
+                types[family] = m.group(2)
+            continue  # HELP / other comments are fine
+        m = SAMPLE_RE.match(line)
+        if not m:
+            raise CheckError(f"line {line_no}: unparseable sample: {line!r}")
+        name, raw_labels, raw_value = m.groups()
+        value = le_value(raw_value) if raw_value in ("+Inf", "-Inf") \
+            else float(raw_value)
+        if math.isnan(value):
+            raise CheckError(f"line {line_no}: NaN sample value in {name}")
+        labels = parse_labels(raw_labels, line_no)
+        samples.append((family_of(name), name, labels, value, line_no))
+
+    if not samples:
+        raise CheckError("no samples in exposition")
+
+    by_family = {}
+    for family, name, labels, value, line_no in samples:
+        by_family.setdefault(family, []).append((name, labels, value, line_no))
+
+    for family, rows in sorted(by_family.items()):
+        if family not in types:
+            raise CheckError(f"{family}: samples without a # TYPE line")
+        kind = types[family]
+        if kind == "counter":
+            if not family.endswith("_total"):
+                raise CheckError(
+                    f"{family}: counter family must end in _total")
+            for name, labels, value, line_no in rows:
+                if value < 0:
+                    raise CheckError(
+                        f"line {line_no}: negative counter {name}={value}")
+        elif kind == "histogram":
+            check_histogram(family, rows)
+        # gauges: any finite value is legal.
+
+    for family, kind in types.items():
+        if family not in by_family:
+            raise CheckError(f"{family}: TYPE line without samples")
+
+    missing = [name for name in expect if name not in by_family]
+    if missing:
+        raise CheckError(f"expected families absent: {missing}")
+
+    histograms = sum(1 for k in types.values() if k == "histogram")
+    print(f"prometheus ok: {len(samples)} samples, "
+          f"{len(by_family)} families ({histograms} histograms)")
+
+
+def check_histogram(family, rows):
+    buckets = []
+    total = None
+    has_sum = False
+    for name, labels, value, line_no in rows:
+        if name == family + "_bucket":
+            if "le" not in labels:
+                raise CheckError(f"line {line_no}: bucket without le label")
+            buckets.append((le_value(labels["le"]), value, line_no))
+        elif name == family + "_count":
+            total = value
+        elif name == family + "_sum":
+            has_sum = True
+        else:
+            raise CheckError(f"{family}: stray histogram sample {name}")
+    if not buckets:
+        raise CheckError(f"{family}: histogram without buckets")
+    if total is None or not has_sum:
+        raise CheckError(f"{family}: histogram missing _count or _sum")
+    for (prev_le, prev_n, _), (le, n, line_no) in zip(buckets, buckets[1:]):
+        if le <= prev_le:
+            raise CheckError(
+                f"line {line_no}: {family} bucket bounds not increasing "
+                f"({prev_le} -> {le})")
+        if n < prev_n:
+            raise CheckError(
+                f"line {line_no}: {family} cumulative counts decrease "
+                f"({prev_n} -> {n})")
+    last_le, last_n, _ = buckets[-1]
+    if last_le != math.inf:
+        raise CheckError(f"{family}: last bucket is not le=\"+Inf\"")
+    if last_n != total:
+        raise CheckError(
+            f"{family}: +Inf bucket {last_n} != _count {total}")
+
+
+def main():
+    p = argparse.ArgumentParser()
+    p.add_argument("exposition", help="file with Prometheus text format")
+    p.add_argument("--expect", default="",
+                   help="comma-separated metric families that must be present")
+    args = p.parse_args()
+    try:
+        with open(args.exposition) as f:
+            text = f.read()
+    except OSError as e:
+        raise CheckError(f"cannot read {args.exposition}: {e}")
+    expect = [n for n in args.expect.split(",") if n]
+    check(text, expect)
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except CheckError as e:
+        print(f"FAIL: {e}", file=sys.stderr)
+        sys.exit(1)

@@ -15,7 +15,13 @@ Checks, in order:
      paths do identical work (ratio == 1). The boolean "batch" row is NOT
      the comparison target: it skips score materialisation entirely, which
      top-k cannot.
-  3. regression (only with --baseline): unlimited batch QPS per
+  3. observability overhead (rows that carry an "obs" section, produced by
+     query_throughput --obs-ab): the metrics-enabled unlimited batch QPS must
+     be >= the metrics-disabled QPS * (1 - --obs-tolerance). The repo budget
+     is 2% (docs/observability.md); CI smoke runs use a loose tolerance
+     because tiny workloads are noise-dominated. --require-obs makes a report
+     without any "obs" rows a failure (so CI can't silently skip the gate).
+  4. regression (only with --baseline): unlimited batch QPS per
      (method, threshold) must not fall below baseline * (1 - --tolerance).
      Only rows present in both files are compared, so adding methods or
      thresholds never breaks the guard.
@@ -23,7 +29,8 @@ Checks, in order:
 Usage:
   python3 bench/check_throughput.py BENCH_query_throughput.json \
       [--baseline bench/baselines/... ] [--tolerance 0.05] \
-      [--schema-only] [--topk-methods GB-KMV,FreqSet] [--topk-slack 0.98]
+      [--schema-only] [--topk-methods GB-KMV,FreqSet] [--topk-slack 0.98] \
+      [--obs-tolerance 0.02] [--require-obs]
 """
 
 import argparse
@@ -90,6 +97,31 @@ def check_topk(report, methods, slack):
               f"scored unlimited {scored:.1f} qps")
 
 
+def check_obs_overhead(report, tolerance, require):
+    rows = [m for m in report["measurements"] if "obs" in m]
+    if not rows:
+        if require:
+            raise CheckError(
+                "--require-obs: report has no 'obs' rows — regenerate with "
+                "bench/query_throughput --obs-ab")
+        return
+    failures = []
+    for m in rows:
+        obs = m["obs"]
+        off, on = obs["off_qps"], obs["on_qps"]
+        key = f"{m['method']} t*={m['threshold']}"
+        assert off > 0 and on > 0, f"{key}: non-positive obs qps"
+        floor = off * (1.0 - tolerance)
+        overhead = 100.0 * (1.0 - on / off)
+        status = "obs ok" if on >= floor else "OBS OVERHEAD"
+        print(f"{status}: {key}: metrics-on {on:.1f} qps vs off {off:.1f} "
+              f"({overhead:+.2f}%, floor {floor:.1f})")
+        if on < floor:
+            failures.append(key)
+    assert not failures, (
+        f"metrics overhead beyond {tolerance:.0%} of batch QPS: {failures}")
+
+
 def check_regression(report, baseline, tolerance):
     base_rows = rows_by_key(baseline)
     compared = 0
@@ -118,6 +150,8 @@ def main():
     p.add_argument("--schema-only", action="store_true")
     p.add_argument("--topk-methods", default="GB-KMV,FreqSet")
     p.add_argument("--topk-slack", type=float, default=0.98)
+    p.add_argument("--obs-tolerance", type=float, default=0.02)
+    p.add_argument("--require-obs", action="store_true")
     args = p.parse_args()
 
     report = load(args.report, role="report")
@@ -126,6 +160,7 @@ def main():
     if args.schema_only:
         return
     check_topk(report, set(args.topk_methods.split(",")), args.topk_slack)
+    check_obs_overhead(report, args.obs_tolerance, args.require_obs)
     if args.baseline:
         baseline = load(args.baseline, role="baseline")
         require_schema(baseline, args.baseline, "baseline")

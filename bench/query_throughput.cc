@@ -30,6 +30,17 @@
 //                      then hit some sweep, not every row.
 //   --out=PATH         JSON output path (default BENCH_query_throughput.json)
 //   --smoke            tiny workload for CI schema checks (overrides sizes)
+//   --obs-ab           per (method, threshold) row, additionally measure the
+//                      unlimited boolean batch with the metrics registry
+//                      disabled vs enabled, interleaved best-of-reps, and
+//                      emit an "obs" section per row. This is the
+//                      instrumentation-overhead gate (docs/observability.md:
+//                      budget <= 2% batch QPS); check_throughput.py --obs-ab
+//                      enforces it.
+//
+// All baseline measurements run with the metrics registry disabled, so the
+// cross-commit trajectory stays comparable with pre-observability reports;
+// only the --obs-ab "on" arm pays for instrumentation.
 
 #include <algorithm>
 #include <cstdio>
@@ -43,6 +54,7 @@
 #include "core/containment.h"
 #include "data/synthetic.h"
 #include "eval/ground_truth.h"
+#include "obs/metrics.h"
 
 namespace gbkmv {
 namespace {
@@ -57,6 +69,7 @@ struct Options {
   int rounds = 1;          // full sweeps; per-row best sweep is reported
   std::string out_path = "BENCH_query_throughput.json";
   bool smoke = false;
+  bool obs_ab = false;  // paired metrics-off/on overhead measurement
 };
 
 Options ParseOptions(int argc, char** argv) {
@@ -91,12 +104,15 @@ Options ParseOptions(int argc, char** argv) {
       opt.out_path = v;
     } else if (arg == "--smoke") {
       opt.smoke = true;
+    } else if (arg == "--obs-ab") {
+      opt.obs_ab = true;
     } else {
       std::fprintf(
           stderr,
           "unknown flag '%s'\nusage: query_throughput [--records=N] "
           "[--universe=N] [--queries=N] [--thresholds=T1,T2,...] "
-          "[--threads=N] [--reps=N] [--rounds=M] [--out=PATH] [--smoke]\n",
+          "[--threads=N] [--reps=N] [--rounds=M] [--out=PATH] [--smoke] "
+          "[--obs-ab]\n",
           arg.c_str());
       std::exit(2);
     }
@@ -137,6 +153,13 @@ struct MethodReport {
   // must not fall below the scored unlimited batch QPS.
   double topk_batch_seconds = 0.0;
   double topk_batch_qps = 0.0;
+  // --obs-ab only: unlimited boolean batch with the metrics registry
+  // disabled vs enabled, interleaved best-of-reps (the instrumentation
+  // overhead A/B). Zero when --obs-ab was not given.
+  double obs_off_seconds = 0.0;
+  double obs_off_qps = 0.0;
+  double obs_on_seconds = 0.0;
+  double obs_on_qps = 0.0;
 };
 
 constexpr size_t kTopK = 10;
@@ -246,6 +269,41 @@ std::vector<MethodReport> Measure(const Dataset& dataset, SearchMethod method,
         static_cast<double>(queries.size()) / report.scored_batch_seconds;
     report.topk_batch_qps =
         static_cast<double>(queries.size()) / report.topk_batch_seconds;
+
+    if (opt.obs_ab) {
+      // Instrumentation-overhead A/B: the same unlimited boolean batch with
+      // the metrics registry disabled vs enabled, interleaved within each
+      // rep so both arms see the same drift window. Best-of-reps on both
+      // arms, like every other batch number in this harness.
+      obs::MetricsRegistry& metrics = obs::GlobalMetrics();
+      report.obs_off_seconds = report.obs_on_seconds = 1e300;
+      // Even smoke runs take best-of-3 here: a single rep of a tiny
+      // workload is noise-dominated, and the overhead gate compares the
+      // two arms against each other rather than against history.
+      const int obs_reps = std::max(reps, 3);
+      for (int rep = 0; rep < obs_reps; ++rep) {
+        metrics.SetEnabled(false);
+        WallTimer off_timer;
+        const auto off_results =
+            (*searcher)->BatchSearchQ(boolean_requests, opt.num_threads);
+        report.obs_off_seconds =
+            std::min(report.obs_off_seconds, off_timer.ElapsedSeconds());
+        if (off_results.size() > queries.size()) std::abort();
+
+        metrics.SetEnabled(true);
+        WallTimer on_timer;
+        const auto on_results =
+            (*searcher)->BatchSearchQ(boolean_requests, opt.num_threads);
+        report.obs_on_seconds =
+            std::min(report.obs_on_seconds, on_timer.ElapsedSeconds());
+        if (on_results.size() != off_results.size()) std::abort();
+      }
+      metrics.SetEnabled(false);  // baselines in later rows stay clean
+      report.obs_off_qps =
+          static_cast<double>(queries.size()) / report.obs_off_seconds;
+      report.obs_on_qps =
+          static_cast<double>(queries.size()) / report.obs_on_seconds;
+    }
     reports.push_back(report);
   }
   return reports;
@@ -281,14 +339,23 @@ void WriteJson(const Options& opt, const Dataset& dataset,
         "     \"scored\": {\"threads\": %zu, \"seconds\": %.6f, \"qps\": "
         "%.1f},\n"
         "     \"topk\": {\"k\": %zu, \"threads\": %zu, \"seconds\": %.6f, "
-        "\"qps\": %.1f}}%s\n",
+        "\"qps\": %.1f}",
         r.name.c_str(), r.threshold, r.build_seconds,
         static_cast<unsigned long long>(r.space_units),
         static_cast<unsigned long long>(r.budget_space_units),
         r.single_seconds, r.single_qps, r.p50_us, r.p99_us, opt.num_threads,
         r.batch_seconds, r.batch_qps, opt.num_threads, r.scored_batch_seconds,
         r.scored_batch_qps, kTopK, opt.num_threads, r.topk_batch_seconds,
-        r.topk_batch_qps, i + 1 < reports.size() ? "," : "");
+        r.topk_batch_qps);
+    if (opt.obs_ab) {
+      std::fprintf(f,
+                   ",\n     \"obs\": {\"off_seconds\": %.6f, \"off_qps\": "
+                   "%.1f, \"on_seconds\": %.6f, \"on_qps\": %.1f, "
+                   "\"overhead_frac\": %.4f}",
+                   r.obs_off_seconds, r.obs_off_qps, r.obs_on_seconds,
+                   r.obs_on_qps, 1.0 - r.obs_on_qps / r.obs_off_qps);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < reports.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -297,6 +364,10 @@ void WriteJson(const Options& opt, const Dataset& dataset,
 int Main(int argc, char** argv) {
   const Options opt = ParseOptions(argc, argv);
   SetDefaultThreads(opt.num_threads);
+  // Metrics are globally on by default; baselines measure the uninstrumented
+  // path so the cross-commit trajectory spans the observability change. The
+  // --obs-ab arm re-enables the registry for its "on" measurements only.
+  obs::GlobalMetrics().SetEnabled(false);
 
   SyntheticConfig config;
   config.name = "throughput-bench";
@@ -351,6 +422,12 @@ int Main(int argc, char** argv) {
         static_cast<unsigned long long>(r.space_units), r.single_qps,
         r.p50_us, r.p99_us, opt.num_threads, r.batch_qps,
         r.scored_batch_qps, kTopK, r.topk_batch_qps);
+    if (opt.obs_ab) {
+      std::printf("%-11s   obs A/B: off %8.1f qps  on %8.1f qps  "
+                  "overhead %+.2f%%\n",
+                  "", r.obs_off_qps, r.obs_on_qps,
+                  100.0 * (1.0 - r.obs_on_qps / r.obs_off_qps));
+    }
   }
   WriteJson(opt, *dataset, reports);
   std::printf("wrote %s\n", opt.out_path.c_str());

@@ -5,6 +5,8 @@
 #include <exception>
 
 #include "common/hash.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace gbkmv {
 
@@ -15,6 +17,31 @@ std::atomic<size_t> g_default_threads{0};  // 0 = hardware concurrency
 // True on threads that are pool workers: a ParallelFor issued from one runs
 // inline so nested parallelism can never deadlock on a starved queue.
 thread_local bool t_in_pool_worker = false;
+
+// Pool instrumentation (docs/observability.md): queue depth is a gauge so
+// it never drifts under the runtime toggle; wait/run times are only
+// timestamped while the registry is enabled.
+struct PoolMetrics {
+  obs::Counter* tasks = nullptr;
+  obs::Gauge* queue_depth = nullptr;
+  obs::Histogram* task_wait_ns = nullptr;
+  obs::Histogram* task_run_ns = nullptr;
+  obs::Histogram* parallel_for_ns = nullptr;
+};
+
+const PoolMetrics& Metrics() {
+  static const PoolMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::GlobalMetrics();
+    PoolMetrics m;
+    m.tasks = registry.GetCounter("gbkmv_pool_tasks_total");
+    m.queue_depth = registry.GetGauge("gbkmv_pool_queue_depth");
+    m.task_wait_ns = registry.GetHistogram("gbkmv_pool_task_wait_ns");
+    m.task_run_ns = registry.GetHistogram("gbkmv_pool_task_run_ns");
+    m.parallel_for_ns = registry.GetHistogram("gbkmv_pool_parallel_for_ns");
+    return m;
+  }();
+  return metrics;
+}
 
 }  // namespace
 
@@ -74,9 +101,25 @@ void ThreadPool::WorkerLoop() {
 std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
   std::future<void> future = task->get_future();
+  const PoolMetrics& metrics = Metrics();
+  metrics.tasks->Add(1);
+  metrics.queue_depth->Add(1);
+  const uint64_t enqueue_ns =
+      obs::GlobalMetrics().enabled() ? MonotonicNanos() : 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.emplace_back([task] { (*task)(); });
+    queue_.emplace_back([task, enqueue_ns] {
+      const PoolMetrics& m = Metrics();
+      m.queue_depth->Add(-1);
+      if (enqueue_ns != 0) {
+        const uint64_t start_ns = MonotonicNanos();
+        m.task_wait_ns->Record(start_ns - enqueue_ns);
+        (*task)();
+        m.task_run_ns->Record(MonotonicNanos() - start_ns);
+      } else {
+        (*task)();
+      }
+    });
   }
   cv_.notify_one();
   return future;
@@ -96,10 +139,16 @@ void ThreadPool::ParallelFor(
     fn(chunk_begin, chunk_end, c);
   };
 
+  const uint64_t call_start_ns =
+      obs::GlobalMetrics().enabled() ? MonotonicNanos() : 0;
+
   // Inline paths: trivial ranges, single-worker pools, and nested calls all
   // use the same chunk decomposition, so results match the concurrent path.
   if (num_chunks == 1 || num_threads() == 1 || t_in_pool_worker) {
     for (size_t c = 0; c < num_chunks; ++c) run_chunk(c);
+    if (call_start_ns != 0) {
+      Metrics().parallel_for_ns->Record(MonotonicNanos() - call_start_ns);
+    }
     return;
   }
 
@@ -132,10 +181,13 @@ void ThreadPool::ParallelFor(
   };
 
   const size_t num_helpers = std::min(num_threads(), num_chunks) - 1;
+  Metrics().tasks->Add(num_helpers);
+  Metrics().queue_depth->Add(static_cast<int64_t>(num_helpers));
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (size_t i = 0; i < num_helpers; ++i) {
       queue_.emplace_back([state, drain] {
+        Metrics().queue_depth->Add(-1);
         drain();
         {
           std::lock_guard<std::mutex> state_lock(state->mutex);
@@ -153,6 +205,9 @@ void ThreadPool::ParallelFor(
   state->done_cv.wait(
       lock, [&] { return state->helpers_finished == num_helpers; });
   if (state->exception) std::rethrow_exception(state->exception);
+  if (call_start_ns != 0) {
+    Metrics().parallel_for_ns->Record(MonotonicNanos() - call_start_ns);
+  }
 }
 
 }  // namespace gbkmv

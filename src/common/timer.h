@@ -1,11 +1,33 @@
-// Monotonic wall-clock timer for experiment harnesses.
+// Monotonic wall-clock timing for experiment harnesses and the
+// observability layer.
+//
+// Every latency measurement in the repo goes through this header and
+// therefore through std::chrono::steady_clock — system_clock (or any other
+// non-steady clock) jumps under NTP adjustment, which would corrupt latency
+// histograms and slow-query detection with negative or wildly inflated
+// durations. The static_assert below makes the monotonicity precondition a
+// compile-time fact rather than a convention.
 
 #ifndef GBKMV_COMMON_TIMER_H_
 #define GBKMV_COMMON_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace gbkmv {
+
+static_assert(std::chrono::steady_clock::is_steady,
+              "latency instrumentation requires a monotonic clock");
+
+// Monotonic nanoseconds since an arbitrary process-stable epoch. The raw
+// timestamp the observability layer (src/obs) stores in spans and feeds to
+// histograms; differences between two calls are always non-negative.
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 class WallTimer {
  public:
@@ -20,6 +42,12 @@ class WallTimer {
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
   double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

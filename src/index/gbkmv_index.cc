@@ -6,6 +6,7 @@
 
 #include "common/hash.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "sketch/parallel_build.h"
 #include "storage/query_context.h"
 
@@ -136,7 +137,12 @@ QueryResponse GbKmvIndexSearcher::SearchQ(const QueryRequest& request,
   const uint32_t min_size =
       static_cast<uint32_t>(std::ceil(theta - 1e-9));
 
+  // Stage timers record into the thread-local span sink installed around a
+  // traced shard search, and cost a thread-local load otherwise
+  // (obs/trace.h). They never touch the response.
+  obs::StageTimer sketch_timer(obs::Stage::kSketch);
   const GbKmvSketch query_sketch = sketcher_->Sketch(query);
+  sketch_timer.Stop();
   const std::vector<uint64_t>& q_hashes = query_sketch.gkmv.values();
   const size_t q_sketch_size = q_hashes.size();
   const uint64_t q_max = q_hashes.empty() ? 0 : q_hashes.back();
@@ -145,6 +151,7 @@ QueryResponse GbKmvIndexSearcher::SearchQ(const QueryRequest& request,
 
   // ScanCount over the sketch-hash inverted index -> exact K∩ per record.
   // K∩ <= |L_Q|, so the guard-free bump applies for any realistic sketch.
+  obs::StageTimer scan_timer(obs::Stage::kScan);
   ctx.Begin(sketches_.size());
   if (q_sketch_size < QueryContext::kSaturated) {
     for (uint64_t h : q_hashes) {
@@ -159,7 +166,9 @@ QueryResponse GbKmvIndexSearcher::SearchQ(const QueryRequest& request,
       ctx.BumpRow(row);
     }
   }
+  scan_timer.Stop();
 
+  obs::StageTimer refine_timer(obs::Stage::kRefine);
   const bool query_buffer_empty = query_sketch.buffer.Empty();
   auto score = [&](RecordId id, size_t k_intersect) -> double {
     const GbKmvSketch& x = sketches_[id];
@@ -226,6 +235,7 @@ QueryResponse GbKmvIndexSearcher::SearchQ(const QueryRequest& request,
   }
 
   collector.Finish();
+  refine_timer.Stop();
   return response;
 }
 

@@ -2,7 +2,66 @@
 
 #include <algorithm>
 
+#include "common/timer.h"
+#include "obs/metrics.h"
+
 namespace gbkmv {
+
+namespace {
+
+// Aggregate QueryStats from every search that flows through the shared
+// batch engine (docs/observability.md). Recording happens once per query /
+// once per chunk, never inside a posting loop, so the hot path is
+// unchanged; the stats themselves are computed regardless (QueryResponse
+// always carries them).
+struct SearchMetrics {
+  obs::Counter* queries = nullptr;
+  obs::Counter* candidates_generated = nullptr;
+  obs::Counter* candidates_refined = nullptr;
+  obs::Counter* postings_scanned = nullptr;
+  obs::Counter* heap_evictions = nullptr;
+  obs::Histogram* latency_ns = nullptr;
+};
+
+const SearchMetrics& Metrics() {
+  static const SearchMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::GlobalMetrics();
+    SearchMetrics m;
+    m.queries = registry.GetCounter("gbkmv_search_queries_total");
+    m.candidates_generated =
+        registry.GetCounter("gbkmv_search_candidates_generated_total");
+    m.candidates_refined =
+        registry.GetCounter("gbkmv_search_candidates_refined_total");
+    m.postings_scanned =
+        registry.GetCounter("gbkmv_search_postings_scanned_total");
+    m.heap_evictions =
+        registry.GetCounter("gbkmv_search_heap_evictions_total");
+    m.latency_ns = registry.GetHistogram("gbkmv_search_latency_ns");
+    return m;
+  }();
+  return metrics;
+}
+
+// One query through SearchQ, with per-query latency and stats recording.
+// The latency timestamp pair is skipped entirely while the registry is
+// disabled.
+QueryResponse InstrumentedSearch(const ContainmentSearcher& searcher,
+                                 const QueryRequest& request,
+                                 QueryContext& ctx, bool enabled) {
+  if (!enabled) return searcher.SearchQ(request, ctx);
+  const uint64_t start_ns = MonotonicNanos();
+  QueryResponse response = searcher.SearchQ(request, ctx);
+  const SearchMetrics& m = Metrics();
+  m.latency_ns->Record(MonotonicNanos() - start_ns);
+  m.queries->Add(1);
+  m.candidates_generated->Add(response.stats.candidates_generated);
+  m.candidates_refined->Add(response.stats.candidates_refined);
+  m.postings_scanned->Add(response.stats.postings_scanned);
+  m.heap_evictions->Add(response.stats.heap_evictions);
+  return response;
+}
+
+}  // namespace
 
 std::vector<RecordId> ContainmentSearcher::Search(const Record& query,
                                                   double threshold) const {
@@ -48,10 +107,12 @@ std::vector<QueryResponse> ParallelBatchQuery(
   if (num_threads == 0) num_threads = DefaultThreads();
   std::vector<QueryResponse> results(requests.size());
   if (requests.empty()) return results;
+  const bool obs_enabled = obs::GlobalMetrics().enabled();
   if (num_threads == 1) {
     QueryContext& ctx = ThreadLocalQueryContext();
     for (size_t i = 0; i < requests.size(); ++i) {
-      results[i] = searcher.SearchQ(requests[i], ctx);
+      results[i] = InstrumentedSearch(searcher, requests[i], ctx,
+                                      obs_enabled);
     }
     return results;
   }
@@ -65,7 +126,8 @@ std::vector<QueryResponse> ParallelBatchQuery(
                    [&](size_t begin, size_t end, size_t /*chunk*/) {
                      QueryContext& ctx = ThreadLocalQueryContext();
                      for (size_t i = begin; i < end; ++i) {
-                       results[i] = searcher.SearchQ(requests[i], ctx);
+                       results[i] = InstrumentedSearch(
+                           searcher, requests[i], ctx, obs_enabled);
                      }
                    });
   return results;

@@ -4,12 +4,41 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/timer.h"
+#include "obs/metrics.h"
+
 namespace gbkmv {
 namespace io {
 
 namespace {
 constexpr size_t kHeaderSize = 16;        // magic + version + section count
 constexpr size_t kTableEntrySize = 24;    // tag + offset + length + crc
+
+// Persistence observability: how often snapshots are written/read, how
+// large they are, and how long the I/O takes (docs/observability.md).
+struct SnapshotMetrics {
+  obs::Counter* writes = nullptr;
+  obs::Counter* write_bytes = nullptr;
+  obs::Histogram* write_ns = nullptr;
+  obs::Counter* reads = nullptr;
+  obs::Counter* read_bytes = nullptr;
+  obs::Histogram* read_ns = nullptr;
+};
+
+const SnapshotMetrics& Metrics() {
+  static const SnapshotMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::GlobalMetrics();
+    SnapshotMetrics m;
+    m.writes = registry.GetCounter("gbkmv_snapshot_writes_total");
+    m.write_bytes = registry.GetCounter("gbkmv_snapshot_write_bytes_total");
+    m.write_ns = registry.GetHistogram("gbkmv_snapshot_write_ns");
+    m.reads = registry.GetCounter("gbkmv_snapshot_reads_total");
+    m.read_bytes = registry.GetCounter("gbkmv_snapshot_read_bytes_total");
+    m.read_ns = registry.GetHistogram("gbkmv_snapshot_read_ns");
+    return m;
+  }();
+  return metrics;
+}
 }  // namespace
 
 Writer* SnapshotWriter::AddSection(const std::string& tag) {
@@ -48,6 +77,7 @@ std::string SnapshotWriter::Serialize() const {
 }
 
 Status SnapshotWriter::WriteTo(const std::string& path) const {
+  const WallTimer timer;
   const std::string image = Serialize();
   const std::string tmp = path + ".tmp";
   {
@@ -66,6 +96,10 @@ Status SnapshotWriter::WriteTo(const std::string& path) const {
     std::remove(tmp.c_str());
     return Status::IOError("cannot rename " + tmp + " to " + path);
   }
+  const SnapshotMetrics& m = Metrics();
+  m.writes->Add(1);
+  m.write_bytes->Add(image.size());
+  m.write_ns->Record(timer.ElapsedNanos());
   return Status::OK();
 }
 
@@ -129,16 +163,22 @@ Result<SnapshotReader> SnapshotReader::FromBytes(std::string bytes) {
 }
 
 Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
+  const WallTimer timer;
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
   std::string bytes((std::istreambuf_iterator<char>(in)),
                     std::istreambuf_iterator<char>());
   if (in.bad()) return Status::IOError("read error on " + path);
+  const size_t num_bytes = bytes.size();
   Result<SnapshotReader> reader = FromBytes(std::move(bytes));
   if (!reader.ok()) {
     return Status(reader.status().code(),
                   path + ": " + reader.status().message());
   }
+  const SnapshotMetrics& m = Metrics();
+  m.reads->Add(1);
+  m.read_bytes->Add(num_bytes);
+  m.read_ns->Record(timer.ElapsedNanos());
   return reader;
 }
 

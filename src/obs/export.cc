@@ -1,0 +1,502 @@
+#include "obs/export.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace gbkmv {
+namespace obs {
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  AppendEscaped(s, out);
+  out->push_back('"');
+}
+
+void AppendDouble(double value, std::string* out) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out += buf;
+}
+
+// --- minimal JSON parser (the exporter's own dialect) ----------------------
+//
+// Enough JSON to read back what SnapshotToJson writes: objects, arrays,
+// strings without exotic escapes, integers (exact via unsigned long long),
+// booleans. Anything else is a parse error — this is a round-trip decoder,
+// not a general library.
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool error() const { return error_; }
+  const std::string& message() const { return message_; }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    Fail(std::string("expected '") + c + "'");
+    return false;
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_.size();
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case '/': out->push_back('/'); break;
+          default:
+            Fail("unsupported escape");
+            return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    if (pos_ >= text_.size()) {
+      Fail("unterminated string");
+      return false;
+    }
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseUint64(uint64_t* out) {
+    SkipWs();
+    const size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      Fail("expected unsigned integer");
+      return false;
+    }
+    errno = 0;
+    *out = std::strtoull(text_.c_str() + start, nullptr, 10);
+    if (errno == ERANGE) {
+      Fail("integer out of range");
+      return false;
+    }
+    return true;
+  }
+
+  bool ParseInt64(int64_t* out) {
+    SkipWs();
+    bool negative = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      negative = true;
+      ++pos_;
+    }
+    uint64_t magnitude = 0;
+    if (!ParseUint64(&magnitude)) return false;
+    if (negative) {
+      if (magnitude > static_cast<uint64_t>(INT64_MAX) + 1) {
+        Fail("integer out of range");
+        return false;
+      }
+      *out = static_cast<int64_t>(~magnitude + 1);
+    } else {
+      if (magnitude > static_cast<uint64_t>(INT64_MAX)) {
+        Fail("integer out of range");
+        return false;
+      }
+      *out = static_cast<int64_t>(magnitude);
+    }
+    return true;
+  }
+
+  bool ParseBool(bool* out) {
+    SkipWs();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      *out = true;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      *out = false;
+      return true;
+    }
+    Fail("expected boolean");
+    return false;
+  }
+
+  // Calls `field(key)` for each member; `field` must consume the value.
+  template <typename FieldFn>
+  bool ParseObject(FieldFn field) {
+    if (!Consume('{')) return false;
+    if (Peek('}')) return Consume('}');
+    while (true) {
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      if (!field(key)) return false;
+      if (Peek(',')) {
+        Consume(',');
+        continue;
+      }
+      return Consume('}');
+    }
+  }
+
+  // Calls `element()` for each array element; `element` consumes the value.
+  template <typename ElementFn>
+  bool ParseArray(ElementFn element) {
+    if (!Consume('[')) return false;
+    if (Peek(']')) return Consume(']');
+    while (true) {
+      if (!element()) return false;
+      if (Peek(',')) {
+        Consume(',');
+        continue;
+      }
+      return Consume(']');
+    }
+  }
+
+  bool Fail(const std::string& why) {
+    if (!error_) {
+      error_ = true;
+      message_ = why + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+  bool error_ = false;
+  std::string message_;
+};
+
+bool ParseHistogramSnapshot(JsonParser* p, HistogramSnapshot* out) {
+  return p->ParseObject([&](const std::string& key) {
+    if (key == "count") return p->ParseUint64(&out->count);
+    if (key == "sum") return p->ParseUint64(&out->sum);
+    if (key == "buckets") {
+      return p->ParseArray([&] {
+        // [index, count]
+        uint64_t index = 0;
+        uint64_t bucket_count = 0;
+        if (!p->Consume('[')) return false;
+        if (!p->ParseUint64(&index)) return false;
+        if (!p->Consume(',')) return false;
+        if (!p->ParseUint64(&bucket_count)) return false;
+        if (!p->Consume(']')) return false;
+        out->buckets.emplace_back(static_cast<uint32_t>(index), bucket_count);
+        return true;
+      });
+    }
+    return p->Fail("unknown histogram field '" + key + "'");
+  });
+}
+
+void AppendHistogramJson(const HistogramSnapshot& h, std::string* out) {
+  *out += "{\"count\":" + std::to_string(h.count);
+  *out += ",\"sum\":" + std::to_string(h.sum);
+  *out += ",\"buckets\":[";
+  bool first = true;
+  for (const auto& [index, count] : h.buckets) {
+    if (!first) out->push_back(',');
+    first = false;
+    *out += "[" + std::to_string(index) + "," + std::to_string(count) + "]";
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+std::string SnapshotToPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, value] : snapshot.counters) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    out += "# TYPE " + name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (const auto& [index, count] : h.buckets) {
+      cumulative += count;
+      out += name + "_bucket{le=\"";
+      if (index >= Histogram::kTrackedBuckets) {
+        out += "+Inf";
+      } else {
+        out += std::to_string(Histogram::BucketUpperBound(index));
+      }
+      out += "\"} " + std::to_string(cumulative) + "\n";
+    }
+    // The +Inf bucket is mandatory and must equal _count, even when the
+    // overflow bucket is empty.
+    if (h.buckets.empty() ||
+        h.buckets.back().first < Histogram::kTrackedBuckets) {
+      out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    }
+    out += name + "_sum " + std::to_string(h.sum) + "\n";
+    out += name + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string SnapshotToJson(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"schema\":\"gbkmv_metrics_v1\"";
+  out += ",\"enabled\":";
+  out += snapshot.enabled ? "true" : "false";
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(name, &out);
+    out += ":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(name, &out);
+    out += ":" + std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(name, &out);
+    out.push_back(':');
+    AppendHistogramJson(h, &out);
+  }
+  out += "}}";
+  return out;
+}
+
+Result<MetricsSnapshot> SnapshotFromJson(const std::string& json) {
+  JsonParser parser(json);
+  MetricsSnapshot snapshot;
+  bool schema_seen = false;
+  const bool ok = parser.ParseObject([&](const std::string& key) {
+    if (key == "schema") {
+      std::string schema;
+      if (!parser.ParseString(&schema)) return false;
+      if (schema != "gbkmv_metrics_v1") {
+        return parser.Fail("unsupported schema '" + schema + "'");
+      }
+      schema_seen = true;
+      return true;
+    }
+    if (key == "enabled") return parser.ParseBool(&snapshot.enabled);
+    if (key == "counters") {
+      return parser.ParseObject([&](const std::string& name) {
+        uint64_t value = 0;
+        if (!parser.ParseUint64(&value)) return false;
+        snapshot.counters.emplace(name, value);
+        return true;
+      });
+    }
+    if (key == "gauges") {
+      return parser.ParseObject([&](const std::string& name) {
+        int64_t value = 0;
+        if (!parser.ParseInt64(&value)) return false;
+        snapshot.gauges.emplace(name, value);
+        return true;
+      });
+    }
+    if (key == "histograms") {
+      return parser.ParseObject([&](const std::string& name) {
+        HistogramSnapshot h;
+        if (!ParseHistogramSnapshot(&parser, &h)) return false;
+        snapshot.histograms.emplace(name, std::move(h));
+        return true;
+      });
+    }
+    return parser.Fail("unknown field '" + key + "'");
+  });
+  if (!ok || parser.error()) {
+    return Status::Corruption("metrics JSON: " + parser.message());
+  }
+  if (!parser.AtEnd()) {
+    return Status::Corruption("metrics JSON: trailing data");
+  }
+  if (!schema_seen) {
+    return Status::Corruption("metrics JSON: missing schema field");
+  }
+  return snapshot;
+}
+
+std::string TracesToJson(const std::vector<QueryTrace>& traces) {
+  std::string out;
+  out.reserve(1024);
+  out.push_back('[');
+  bool first_trace = true;
+  for (const QueryTrace& t : traces) {
+    if (!first_trace) out.push_back(',');
+    first_trace = false;
+    out += "{\"id\":" + std::to_string(t.id);
+    out += ",\"total_ns\":" + std::to_string(t.total_ns);
+    out += ",\"threshold\":";
+    AppendDouble(t.threshold, &out);
+    out += ",\"num_hits\":" + std::to_string(t.num_hits);
+    out += ",\"shards_queried\":" + std::to_string(t.shards_queried);
+    out += ",\"cache_hit\":";
+    out += t.cache_hit ? "true" : "false";
+    out += ",\"sampled\":";
+    out += t.sampled ? "true" : "false";
+    out += ",\"spans\":[";
+    bool first_span = true;
+    for (const TraceSpan& s : t.spans) {
+      if (!first_span) out.push_back(',');
+      first_span = false;
+      out += "{\"stage\":\"";
+      out += StageName(s.stage);
+      out += "\"";
+      if (s.shard >= 0) out += ",\"shard\":" + std::to_string(s.shard);
+      out += ",\"start_ns\":" + std::to_string(s.start_ns);
+      out += ",\"duration_ns\":" + std::to_string(s.duration_ns);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out.push_back(']');
+  return out;
+}
+
+std::string DumpToJson(const MetricsRegistry& registry, const Tracer& tracer) {
+  std::string out;
+  out.reserve(8192);
+  out += "{\"schema\":\"gbkmv_metrics_dump_v1\"";
+  out += ",\"metrics\":";
+  out += SnapshotToJson(registry.Snapshot());
+  out += ",\"traces\":";
+  out += TracesToJson(tracer.Recent());
+  out += ",\"slow_queries\":";
+  out += TracesToJson(tracer.SlowQueries());
+  out += "}\n";
+  return out;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("open " + tmp + ": " + std::strerror(errno));
+  }
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != contents.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("rename " + tmp + " -> " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+PeriodicMetricsDumper::PeriodicMetricsDumper(std::string path,
+                                             double interval_seconds)
+    : path_(std::move(path)),
+      interval_seconds_(interval_seconds > 0 ? interval_seconds : 1.0) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+PeriodicMetricsDumper::~PeriodicMetricsDumper() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  // Final flush so short-lived runs still leave a dump behind.
+  FlushNow();
+}
+
+Status PeriodicMetricsDumper::FlushNow() {
+  Status status =
+      WriteFileAtomic(path_, DumpToJson(GlobalMetrics(), GlobalTracer()));
+  std::lock_guard<std::mutex> lock(mutex_);
+  last_status_ = status;
+  return last_status_;
+}
+
+void PeriodicMetricsDumper::Loop() {
+  const auto interval = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::duration<double>(interval_seconds_));
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_; })) break;
+    lock.unlock();
+    FlushNow();
+    lock.lock();
+  }
+}
+
+}  // namespace obs
+}  // namespace gbkmv

@@ -1,0 +1,85 @@
+// Exporters for the observability layer (docs/observability.md):
+//
+//   * Prometheus text exposition format — counters, gauges, and histograms
+//     with cumulative `le` buckets, ready for a scrape endpoint or a
+//     textfile collector;
+//   * JSON — the full MetricsSnapshot, loss-free: SnapshotFromJson parses
+//     what SnapshotToJson wrote back into an equal snapshot (the round-trip
+//     tests/obs_metrics_test.cc enforces), so dumps are machine-readable
+//     inputs for tooling (bench/check_throughput.py, offline diffing);
+//   * a combined dump (metrics + recent traces + slow queries) and a
+//     PeriodicMetricsDumper that writes it to a file on an interval —
+//     crash-forensics flight recording without a scrape pipeline.
+
+#ifndef GBKMV_OBS_EXPORT_H_
+#define GBKMV_OBS_EXPORT_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gbkmv {
+namespace obs {
+
+// Prometheus text format. Histogram buckets are emitted cumulatively at
+// every non-empty bucket's upper bound plus "+Inf"; counter names follow
+// the *_total convention (docs/observability.md), gauges and histograms are
+// typed accordingly.
+std::string SnapshotToPrometheus(const MetricsSnapshot& snapshot);
+
+// JSON object (schema "gbkmv_metrics_v1"). Integer-exact: counter and sum
+// values are written as integers, never through a double.
+std::string SnapshotToJson(const MetricsSnapshot& snapshot);
+
+// Parses SnapshotToJson output (schema-checked). This is a minimal parser
+// for the exporter's own dialect — objects, arrays, strings, integers,
+// booleans — not a general JSON library.
+Result<MetricsSnapshot> SnapshotFromJson(const std::string& json);
+
+// JSON array of traces (spans with stage names, shard tags, ns offsets).
+std::string TracesToJson(const std::vector<QueryTrace>& traces);
+
+// Combined dump (schema "gbkmv_metrics_dump_v1"): {"metrics": <metrics_v1>,
+// "traces": [...], "slow_queries": [...]}.
+std::string DumpToJson(const MetricsRegistry& registry, const Tracer& tracer);
+
+// Writes `contents` atomically-ish (temp file + rename, the snapshot-writer
+// idiom) so a reader never sees a torn dump.
+Status WriteFileAtomic(const std::string& path, const std::string& contents);
+
+// Background thread that writes DumpToJson(GlobalMetrics(), GlobalTracer())
+// to `path` every `interval_seconds` (and once more on destruction). The
+// serving CLI wires this to --metrics-out/--metrics-interval.
+class PeriodicMetricsDumper {
+ public:
+  PeriodicMetricsDumper(std::string path, double interval_seconds);
+  ~PeriodicMetricsDumper();
+  PeriodicMetricsDumper(const PeriodicMetricsDumper&) = delete;
+  PeriodicMetricsDumper& operator=(const PeriodicMetricsDumper&) = delete;
+
+  // Last write status (OK until a dump fails); also flushed by the
+  // destructor.
+  Status FlushNow();
+
+ private:
+  void Loop();
+
+  const std::string path_;
+  const double interval_seconds_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  Status last_status_;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace gbkmv
+
+#endif  // GBKMV_OBS_EXPORT_H_

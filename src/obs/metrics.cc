@@ -1,0 +1,160 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gbkmv {
+namespace obs {
+
+size_t StripeIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) & (kStripes - 1);
+  return stripe;
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Cell& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Histogram::Histogram(std::string name, const std::atomic<bool>* enabled)
+    : name_(std::move(name)), enabled_(enabled) {
+  for (Stripe& stripe : stripes_) {
+    stripe.buckets =
+        std::make_unique<std::atomic<uint64_t>[]>(kNumBuckets);
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      stripe.buckets[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    uint64_t count = 0;
+    for (const Stripe& stripe : stripes_) {
+      count += stripe.buckets[b].load(std::memory_order_relaxed);
+    }
+    if (count > 0) {
+      snapshot.buckets.emplace_back(static_cast<uint32_t>(b), count);
+      snapshot.count += count;
+    }
+  }
+  for (const Stripe& stripe : stripes_) {
+    snapshot.sum += stripe.sum.load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count))));
+  uint64_t cumulative = 0;
+  for (const auto& [index, bucket_count] : buckets) {
+    cumulative += bucket_count;
+    if (cumulative >= target) {
+      if (index >= Histogram::kTrackedBuckets) {
+        // Overflow: the true value is only known to be >= the bound.
+        return static_cast<double>(Histogram::kOverflowBound);
+      }
+      return static_cast<double>(Histogram::BucketUpperBound(index));
+    }
+  }
+  return static_cast<double>(
+      Histogram::BucketUpperBound(buckets.back().first));
+}
+
+uint64_t HistogramSnapshot::OverflowCount() const {
+  for (const auto& [index, bucket_count] : buckets) {
+    if (index >= Histogram::kTrackedBuckets) return bucket_count;
+  }
+  return 0;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(
+                          new Counter(std::string(name), &enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::unique_ptr<Gauge>(new Gauge(std::string(name))))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(
+                          new Histogram(std::string(name), &enabled_)))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.enabled = enabled();
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace(name, gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace(name, histogram->Snapshot());
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) {
+    for (Counter::Cell& cell : counter->cells_) {
+      cell.value.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Set(0);
+  }
+  for (auto& [name, histogram] : histograms_) {
+    for (Histogram::Stripe& stripe : histogram->stripes_) {
+      stripe.sum.store(0, std::memory_order_relaxed);
+      for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+        stripe.buckets[b].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace obs
+}  // namespace gbkmv

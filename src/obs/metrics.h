@@ -1,0 +1,247 @@
+// Flight-recorder metrics: a registry of named counters, gauges and
+// log-linear latency histograms shared by every layer of the stack
+// (docs/observability.md).
+//
+// Design constraints, in order:
+//   1. Hot-path cost — Counter::Add and Histogram::Record are one relaxed
+//      atomic add on a per-thread stripe (plus a bit-scan for the bucket
+//      index). No locks, no allocation, no stores shared between threads
+//      that run concurrently, so instrumenting a query path never
+//      serialises it — the bit-identical-results invariant
+//      (docs/parallelism.md) is untouched because metrics never feed back
+//      into any computation.
+//   2. Runtime toggle — SetEnabled(false) turns every recording site into a
+//      relaxed load + predicted branch. The gate lives in the registry, so
+//      one switch covers every handle ever created from it.
+//   3. Stable handles — Get{Counter,Gauge,Histogram} return pointers that
+//      stay valid for the registry's lifetime; call sites resolve a handle
+//      once (function-local static) and never look up by name again.
+//
+// Values are merged on read: Snapshot() sums the stripes and returns a
+// plain-data MetricsSnapshot that the exporters (obs/export.h) format.
+// Metric names follow the scheme in docs/observability.md
+// (gbkmv_<subsystem>_<what>_<unit>, counters end in _total).
+
+#ifndef GBKMV_OBS_METRICS_H_
+#define GBKMV_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gbkmv {
+namespace obs {
+
+// Stripe count (power of two). Threads are assigned stripes round-robin on
+// first use; with 16 stripes contention is negligible for any realistic
+// worker count while a 529-bucket histogram stays ~68 KiB.
+inline constexpr size_t kStripes = 16;
+
+// The calling thread's stripe (assigned once, round-robin).
+size_t StripeIndex();
+
+class MetricsRegistry;
+
+// Monotonically increasing sum. Striped; read = sum of stripes.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    cells_[StripeIndex()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(std::string name, const std::atomic<bool>* enabled)
+      : name_(std::move(name)), enabled_(enabled) {}
+
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> value{0};
+  };
+
+  std::string name_;
+  const std::atomic<bool>* enabled_;
+  Cell cells_[kStripes];
+};
+
+// Point-in-time signed value (queue depths, resident entries). A single
+// atomic — gauges are updated at bounded rates (per task, not per posting)
+// and must never drift, so Add/Sub apply even while the registry is
+// disabled; only the exported value honours the toggle.
+class Gauge {
+ public:
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
+// One histogram's merged contents (see Histogram for the bucket geometry).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  // (bucket index, count) for every non-empty bucket, ascending index.
+  std::vector<std::pair<uint32_t, uint64_t>> buckets;
+
+  // Upper bound of the bucket where the cumulative count reaches
+  // ceil(q * count) — an overestimate of the true quantile by at most one
+  // log-linear bucket width (1/16 relative, docs/observability.md). 0 when
+  // empty.
+  double Quantile(double q) const;
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  uint64_t OverflowCount() const;
+
+  friend bool operator==(const HistogramSnapshot&,
+                         const HistogramSnapshot&) = default;
+};
+
+// Log-linear histogram for latency-like uint64 values (nanoseconds by
+// convention). Each power-of-two octave is split into 16 linear
+// sub-buckets, so the bucket that holds a value bounds it within 1/16
+// relative error; values >= 2^36 (~69 s in ns) land in one overflow
+// bucket. Recording is a bit-scan + two striped relaxed adds.
+class Histogram {
+ public:
+  static constexpr size_t kSubBucketBits = 4;
+  static constexpr size_t kSubBuckets = size_t{1} << kSubBucketBits;  // 16
+  // Octaves above the linear [0, 16) range: values up to 2^36 - 1 tracked.
+  static constexpr size_t kOctaves = 32;
+  static constexpr size_t kTrackedBuckets = kSubBuckets * (kOctaves + 1);
+  static constexpr size_t kNumBuckets = kTrackedBuckets + 1;  // + overflow
+  static constexpr uint64_t kOverflowBound = uint64_t{1}
+                                             << (kSubBucketBits + kOctaves);
+
+  static size_t BucketIndex(uint64_t value) {
+    if (value < kSubBuckets) return static_cast<size_t>(value);
+    const int exponent = 63 - std::countl_zero(value);  // floor(log2), >= 4
+    if (exponent >= static_cast<int>(kSubBucketBits + kOctaves)) {
+      return kTrackedBuckets;  // overflow
+    }
+    const uint64_t sub =
+        (value >> (exponent - kSubBucketBits)) & (kSubBuckets - 1);
+    const size_t octave = static_cast<size_t>(exponent) - kSubBucketBits + 1;
+    return (octave << kSubBucketBits) + static_cast<size_t>(sub);
+  }
+
+  // Smallest value that maps to bucket `index` (overflow: kOverflowBound).
+  static uint64_t BucketLowerBound(size_t index) {
+    if (index >= kTrackedBuckets) return kOverflowBound;
+    if (index < kSubBuckets) return index;
+    const size_t octave = index >> kSubBucketBits;  // >= 1
+    const uint64_t sub = index & (kSubBuckets - 1);
+    return (kSubBuckets + sub) << (octave - 1);
+  }
+
+  // Exclusive upper bound of bucket `index` (overflow: UINT64_MAX).
+  static uint64_t BucketUpperBound(size_t index) {
+    if (index >= kTrackedBuckets) return UINT64_MAX;
+    if (index + 1 >= kTrackedBuckets) return kOverflowBound;
+    return BucketLowerBound(index + 1);
+  }
+
+  void Record(uint64_t value) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    Stripe& stripe = stripes_[StripeIndex()];
+    stripe.buckets[BucketIndex(value)].fetch_add(1,
+                                                 std::memory_order_relaxed);
+    stripe.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Snapshot() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, const std::atomic<bool>* enabled);
+
+  struct Stripe {
+    std::atomic<uint64_t> sum{0};
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets;  // kNumBuckets
+  };
+
+  std::string name_;
+  const std::atomic<bool>* enabled_;
+  Stripe stripes_[kStripes];
+};
+
+// Merged view of a whole registry at one instant (exporters format this;
+// obs/export.cc round-trips it through JSON).
+struct MetricsSnapshot {
+  bool enabled = true;
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  friend bool operator==(const MetricsSnapshot&,
+                         const MetricsSnapshot&) = default;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Returns the metric registered under `name`, creating it on first use.
+  // Names must be unique across the three kinds (the exporters emit one
+  // namespace). The returned pointer stays valid for the registry's
+  // lifetime.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  // Runtime toggle: while disabled, Counter::Add / Histogram::Record are a
+  // relaxed load + branch and record nothing (gauges keep tracking, see
+  // Gauge). Snapshot/export still work on whatever was recorded.
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every value (counters, gauges, histogram buckets); handles stay
+  // valid. For tests and the bench A/B harness.
+  void Reset();
+
+ private:
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// The process-wide registry every built-in instrumentation site records
+// into. Enabled by default (measured overhead budget in
+// docs/observability.md); SetEnabled(false) turns the whole layer off.
+MetricsRegistry& GlobalMetrics();
+
+}  // namespace obs
+}  // namespace gbkmv
+
+#endif  // GBKMV_OBS_METRICS_H_

@@ -4,9 +4,40 @@
 #include <bit>
 
 #include "common/hash.h"
+#include "obs/metrics.h"
 
 namespace gbkmv {
 namespace serve {
+
+namespace {
+
+// Global mirrors of the per-cache stats_ fields (docs/observability.md):
+// the exporters read these, while stats_ keeps serving the exact per-cache
+// counters the API and its determinism tests rely on.
+struct CacheMetrics {
+  obs::Counter* hits = nullptr;
+  obs::Counter* misses = nullptr;
+  obs::Counter* evictions = nullptr;
+  obs::Counter* invalidations = nullptr;
+  obs::Gauge* entries = nullptr;
+};
+
+const CacheMetrics& Metrics() {
+  static const CacheMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::GlobalMetrics();
+    CacheMetrics m;
+    m.hits = registry.GetCounter("gbkmv_cache_hits_total");
+    m.misses = registry.GetCounter("gbkmv_cache_misses_total");
+    m.evictions = registry.GetCounter("gbkmv_cache_evictions_total");
+    m.invalidations =
+        registry.GetCounter("gbkmv_cache_invalidations_total");
+    m.entries = registry.GetGauge("gbkmv_cache_entries");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 uint64_t HashQueryRequest(const QueryRequest& request) {
   uint64_t h = Mix64(0x9e3779b97f4a7c15ULL ^
@@ -54,9 +85,11 @@ bool QueryResultCache::Lookup(const QueryRequest& request,
   const Lru::iterator it = FindLocked(hash, key);
   if (it == lru_.end()) {
     ++stats_.misses;
+    Metrics().misses->Add(1);
     return false;
   }
   ++stats_.hits;
+  Metrics().hits->Add(1);
   lru_.splice(lru_.begin(), lru_, it);  // most recently used
   *out = it->response;
   out->stats.cache_hits = 1;
@@ -82,7 +115,10 @@ void QueryResultCache::Insert(const QueryRequest& request,
     if (chain.empty()) index_.erase(victim->hash);
     lru_.erase(victim);
     ++stats_.evictions;
+    Metrics().evictions->Add(1);
+    Metrics().entries->Add(-1);
   }
+  Metrics().entries->Add(1);
   lru_.push_front(Entry{hash, std::move(key), response});
   // A cached response replays verbatim except for the hit marker, which
   // Lookup sets on the way out.
@@ -93,8 +129,16 @@ void QueryResultCache::Insert(const QueryRequest& request,
 void QueryResultCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   stats_.invalidations += lru_.size();
+  Metrics().invalidations->Add(lru_.size());
+  Metrics().entries->Add(-static_cast<int64_t>(lru_.size()));
   lru_.clear();
   index_.clear();
+}
+
+QueryResultCache::~QueryResultCache() {
+  // Keep the global entries gauge drift-free when a whole cache goes away
+  // (service teardown, tests).
+  Metrics().entries->Add(-static_cast<int64_t>(lru_.size()));
 }
 
 QueryCacheStats QueryResultCache::stats() const {

@@ -51,6 +51,7 @@ class QueryResultCache {
   // capacity == 0 disables the cache: Lookup always misses (without
   // counting), Insert is a no-op.
   explicit QueryResultCache(size_t capacity) : capacity_(capacity) {}
+  ~QueryResultCache();
 
   bool enabled() const { return capacity_ > 0; }
 

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/timer.h"
 #include "index/brute_force.h"
 #include "index/freqset.h"
 #include "index/gbkmv_index.h"
@@ -14,6 +15,8 @@
 #include "index/ppjoin.h"
 #include "index/searcher_registry.h"
 #include "io/snapshot.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/merge.h"
 #include "serve/partitioner.h"
 
@@ -21,6 +24,43 @@ namespace gbkmv {
 namespace serve {
 
 namespace {
+
+// Serving-layer metrics (docs/observability.md). Everything here is
+// passive: timestamps and counter bumps around the existing control flow,
+// never inside it, so responses stay bit-identical with metrics or tracing
+// in any state.
+struct ServeMetrics {
+  obs::Counter* queries = nullptr;
+  obs::Counter* batches = nullptr;
+  obs::Histogram* latency_ns = nullptr;
+  obs::Histogram* shard_search_ns = nullptr;
+  obs::Histogram* fanout_width = nullptr;
+  obs::Counter* ingests = nullptr;
+  obs::Counter* promotions = nullptr;
+  obs::Histogram* promotion_ns = nullptr;
+  obs::Counter* compactions = nullptr;
+  obs::Histogram* compaction_ns = nullptr;
+};
+
+const ServeMetrics& Metrics() {
+  static const ServeMetrics metrics = [] {
+    obs::MetricsRegistry& registry = obs::GlobalMetrics();
+    ServeMetrics m;
+    m.queries = registry.GetCounter("gbkmv_serve_queries_total");
+    m.batches = registry.GetCounter("gbkmv_serve_batches_total");
+    m.latency_ns = registry.GetHistogram("gbkmv_serve_latency_ns");
+    m.shard_search_ns =
+        registry.GetHistogram("gbkmv_serve_shard_search_ns");
+    m.fanout_width = registry.GetHistogram("gbkmv_serve_fanout_width");
+    m.ingests = registry.GetCounter("gbkmv_serve_ingests_total");
+    m.promotions = registry.GetCounter("gbkmv_serve_promotions_total");
+    m.promotion_ns = registry.GetHistogram("gbkmv_serve_promotion_ns");
+    m.compactions = registry.GetCounter("gbkmv_serve_compactions_total");
+    m.compaction_ns = registry.GetHistogram("gbkmv_serve_compaction_ns");
+    return m;
+  }();
+  return metrics;
+}
 
 // Canonical parser-accepted spelling per method (core/containment.h), the
 // form the manifest stores so a newer binary can still parse it.
@@ -224,6 +264,97 @@ QueryResponse ShardedContainmentService::Serve(const QueryRequest& request,
                     num_threads)[0];
 }
 
+namespace {
+
+// Post-pass over the timestamps BatchServe captured: per-query serve
+// latency samples, plus (when tracing) one assembled QueryTrace per
+// sampled or slow query. `origin` carries BatchServe's Origin enum as raw
+// bytes (0 = cache hit, 1 = computed, 2 = duplicate).
+void RecordServeObservations(
+    std::span<const QueryRequest> requests,
+    const std::vector<QueryResponse>& results,
+    std::span<const uint8_t> origin, const std::vector<size_t>& pending,
+    const std::vector<uint64_t>& serve_start,
+    const std::vector<uint64_t>& lookup_end,
+    const std::vector<uint64_t>& finish_ns,
+    const std::vector<uint64_t>& fill_start,
+    const std::vector<uint8_t>& sampled, size_t num_live,
+    const std::vector<uint64_t>& task_start,
+    const std::vector<uint64_t>& task_end,
+    const std::vector<std::vector<obs::TraceSpan>>& task_spans,
+    const std::vector<uint64_t>& merge_start,
+    const std::vector<uint64_t>& merge_end, bool metrics_on, bool tracing) {
+  constexpr uint8_t kCacheHit = 0;
+  constexpr uint8_t kComputed = 1;
+  // pending[qi] -> qi, for computed requests.
+  std::unordered_map<size_t, size_t> pending_pos;
+  pending_pos.reserve(pending.size());
+  for (size_t qi = 0; qi < pending.size(); ++qi) {
+    pending_pos.emplace(pending[qi], qi);
+  }
+  const ServeMetrics& metrics = Metrics();
+  obs::Tracer& tracer = obs::GlobalTracer();
+  const uint64_t slow_ns = tracer.slow_query_ns();
+  const size_t S = num_live;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const uint64_t total_ns =
+        finish_ns[i] > serve_start[i] ? finish_ns[i] - serve_start[i] : 0;
+    if (metrics_on) metrics.latency_ns->Record(total_ns);
+    if (!tracing) continue;
+    const bool is_sampled = sampled[i] != 0;
+    if (!is_sampled && !(slow_ns > 0 && total_ns >= slow_ns)) continue;
+
+    obs::QueryTrace trace;
+    trace.start_ns = serve_start[i];
+    trace.total_ns = total_ns;
+    trace.threshold = requests[i].threshold;
+    trace.num_hits = static_cast<uint32_t>(results[i].hits.size());
+    trace.shards_queried = results[i].stats.shards_queried;
+    trace.cache_hit = origin[i] != kComputed;
+    trace.sampled = is_sampled;
+    const uint64_t base = serve_start[i];
+    const auto relative = [base](uint64_t ts) {
+      return ts > base ? ts - base : 0;
+    };
+    const auto push = [&trace](obs::TraceSpan span) {
+      if (trace.spans.size() < obs::QueryTrace::kMaxSpans) {
+        trace.spans.push_back(span);
+      }
+    };
+    push({obs::Stage::kCacheLookup, -1, 0,
+          lookup_end[i] - serve_start[i]});
+    if (origin[i] == kComputed && S > 0) {
+      const size_t qi = pending_pos.at(i);
+      uint64_t first_start = UINT64_MAX;
+      uint64_t last_end = 0;
+      for (size_t s = 0; s < S; ++s) {
+        first_start = std::min(first_start, task_start[qi * S + s]);
+        last_end = std::max(last_end, task_end[qi * S + s]);
+      }
+      push({obs::Stage::kFanout, -1, relative(first_start),
+            last_end - first_start});
+      for (size_t s = 0; s < S; ++s) {
+        const size_t task = qi * S + s;
+        push({obs::Stage::kShardSearch, static_cast<int32_t>(s),
+              relative(task_start[task]),
+              task_end[task] - task_start[task]});
+        if (is_sampled && task < task_spans.size()) {
+          for (const obs::TraceSpan& span : task_spans[task]) push(span);
+        }
+      }
+      push({obs::Stage::kMerge, -1, relative(merge_start[qi]),
+            merge_end[qi] - merge_start[qi]});
+    }
+    if (origin[i] != kCacheHit && fill_start[i] != 0) {
+      push({obs::Stage::kCacheFill, -1, relative(fill_start[i]),
+            finish_ns[i] - fill_start[i]});
+    }
+    tracer.Record(std::move(trace));
+  }
+}
+
+}  // namespace
+
 std::vector<QueryResponse> ShardedContainmentService::BatchServe(
     std::span<const QueryRequest> requests, size_t num_threads) {
   if (num_threads == 0) num_threads = DefaultThreads();
@@ -267,6 +398,30 @@ std::vector<QueryResponse> ShardedContainmentService::BatchServe(
                         dynamic_ids.data() + promoting_count, ingest_count)});
   }
 
+  // Observability (docs/observability.md). Everything below is passive:
+  // when `timing` is off the serve path runs exactly as before; when on,
+  // timestamps are captured around the existing calls and never influence
+  // them, so responses are bit-identical in every mode. Sampling decisions
+  // happen in the serial pass, in request order, so which queries get
+  // traced is deterministic too.
+  const ServeMetrics& metrics = Metrics();
+  const bool metrics_on = obs::GlobalMetrics().enabled();
+  obs::Tracer& tracer = obs::GlobalTracer();
+  const bool tracing = tracer.active();
+  const bool timing = metrics_on || tracing;
+  if (metrics_on) {
+    metrics.batches->Add(1);
+    metrics.queries->Add(requests.size());
+  }
+  std::vector<uint64_t> serve_start, lookup_end, finish_ns;
+  std::vector<uint8_t> sampled;
+  if (timing) {
+    serve_start.resize(requests.size(), 0);
+    lookup_end.resize(requests.size(), 0);
+    finish_ns.resize(requests.size(), 0);
+    sampled.assign(requests.size(), 0);
+  }
+
   // Serial cache pass in request order, so the hit/miss/eviction stream —
   // and with it every response — is identical for any worker thread count.
   // Requests identical to an earlier one in the batch are not recomputed:
@@ -279,6 +434,10 @@ std::vector<QueryResponse> ShardedContainmentService::BatchServe(
   std::unordered_map<uint64_t, std::vector<size_t>> first_by_hash;
   pending.reserve(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
+    if (timing) {
+      serve_start[i] = MonotonicNanos();
+      if (tracing) sampled[i] = tracer.ShouldSample() ? 1 : 0;
+    }
     // Duplicate of an earlier MISS: sequentially its lookup would happen
     // after the twin's insert (a hit, counted in the fill pass), so it
     // must not touch the cache — and not count a miss — here. Duplicates
@@ -295,29 +454,73 @@ std::vector<QueryResponse> ShardedContainmentService::BatchServe(
         break;
       }
     }
-    if (duplicate) continue;
-    if (cache_.Lookup(requests[i], &results[i])) continue;
-    origin[i] = Origin::kComputed;
-    chain.push_back(i);
-    pending.push_back(i);
+    if (!duplicate) {
+      if (cache_.Lookup(requests[i], &results[i])) {
+        if (timing) lookup_end[i] = finish_ns[i] = MonotonicNanos();
+        continue;
+      }
+      origin[i] = Origin::kComputed;
+      chain.push_back(i);
+      pending.push_back(i);
+    }
+    if (timing) lookup_end[i] = MonotonicNanos();
   }
 
   const size_t S = live.size();
+  std::vector<uint64_t> task_start, task_end, merge_start, merge_end;
+  std::vector<std::vector<obs::TraceSpan>> task_spans;
   if (!pending.empty() && S > 0) {
     std::vector<QueryResponse> partial(pending.size() * S);
+    if (timing) {
+      task_start.resize(pending.size() * S, 0);
+      task_end.resize(pending.size() * S, 0);
+      merge_start.resize(pending.size(), 0);
+      merge_end.resize(pending.size(), 0);
+      if (tracing) task_spans.resize(pending.size() * S);
+      if (metrics_on) {
+        for (size_t qi = 0; qi < pending.size(); ++qi) {
+          metrics.fanout_width->Record(S);
+        }
+      }
+    }
     const auto run_task = [&](size_t task) {
       const size_t qi = task / S;
       const size_t s = task % S;
-      partial[task] = live[s].searcher->SearchQ(requests[pending[qi]],
-                                                ThreadLocalQueryContext());
+      if (!timing) {
+        partial[task] = live[s].searcher->SearchQ(requests[pending[qi]],
+                                                  ThreadLocalQueryContext());
+        return;
+      }
+      task_start[task] = MonotonicNanos();
+      if (tracing && sampled[pending[qi]] != 0) {
+        // Sampled query: capture the searcher-internal stages too.
+        obs::SpanSink sink(serve_start[pending[qi]],
+                           static_cast<int32_t>(s));
+        obs::ScopedSpanSink install(&sink);
+        partial[task] = live[s].searcher->SearchQ(requests[pending[qi]],
+                                                  ThreadLocalQueryContext());
+        task_spans[task] = sink.Take();
+      } else {
+        partial[task] = live[s].searcher->SearchQ(requests[pending[qi]],
+                                                  ThreadLocalQueryContext());
+      }
+      task_end[task] = MonotonicNanos();
+      if (metrics_on) {
+        metrics.shard_search_ns->Record(task_end[task] - task_start[task]);
+      }
     };
     const auto merge_one = [&](size_t qi) {
+      if (timing) merge_start[qi] = MonotonicNanos();
       std::vector<ShardPartial> parts(S);
       for (size_t s = 0; s < S; ++s) {
         parts[s] = {&partial[qi * S + s], live[s].ids};
       }
       results[pending[qi]] =
           MergeShardResponses(requests[pending[qi]], parts);
+      if (timing) {
+        merge_end[qi] = MonotonicNanos();
+        finish_ns[pending[qi]] = merge_end[qi];
+      }
     };
     const size_t total_tasks = pending.size() * S;
     if (num_threads == 1) {
@@ -344,7 +547,12 @@ std::vector<QueryResponse> ShardedContainmentService::BatchServe(
   // Serial fill pass, again in request order: computed responses insert,
   // duplicates re-look-up (a hit now that their twin has filled — the same
   // touch/insert sequence sequential Serve calls produce).
+  std::vector<uint64_t> fill_start;
+  if (timing) fill_start.resize(requests.size(), 0);
   for (size_t i = 0; i < requests.size(); ++i) {
+    if (timing && origin[i] != Origin::kCacheHit) {
+      fill_start[i] = MonotonicNanos();
+    }
     switch (origin[i]) {
       case Origin::kCacheHit:
         break;
@@ -361,6 +569,19 @@ std::vector<QueryResponse> ShardedContainmentService::BatchServe(
         }
         break;
     }
+    if (timing && origin[i] != Origin::kCacheHit) {
+      finish_ns[i] = MonotonicNanos();
+    }
+  }
+
+  if (timing) {
+    RecordServeObservations(
+        requests, results,
+        std::span<const uint8_t>(
+            reinterpret_cast<const uint8_t*>(origin.data()), origin.size()),
+        pending, serve_start, lookup_end, finish_ns, fill_start, sampled, S,
+        task_start, task_end, task_spans, merge_start, merge_end,
+        metrics_on, tracing);
   }
   return results;
 }
@@ -397,6 +618,7 @@ RecordId ShardedContainmentService::Ingest(Record record) {
   std::unique_lock<std::shared_mutex> lock(state_mutex_);
   EnsureIngestLocked();
   ingest_->Insert(std::move(normalised));
+  Metrics().ingests->Add(1);
   const RecordId global_id = next_global_id_++;
   // Any insert can change any query's answer: full invalidation
   // (docs/sharding.md).
@@ -422,6 +644,7 @@ RecordId ShardedContainmentService::Ingest(Record record) {
 }
 
 Status ShardedContainmentService::DoPromote() {
+  const WallTimer timer;
   // Phase 1: freeze the ingest shard. It keeps answering queries but takes
   // no further inserts (new ones go to a fresh ingest shard).
   {
@@ -459,6 +682,8 @@ Status ShardedContainmentService::DoPromote() {
     promoting_.reset();
     cache_.Clear();
   }
+  Metrics().promotions->Add(1);
+  Metrics().promotion_ns->Record(timer.ElapsedNanos());
   return Status::OK();
 }
 
@@ -482,6 +707,7 @@ Status ShardedContainmentService::PromoteIngest() {
 }
 
 Status ShardedContainmentService::CompactPromoted() {
+  const WallTimer timer;
   // Join background work but do not let an old failure veto compaction of
   // the shards that did promote.
   std::future<void> pending;
@@ -531,6 +757,8 @@ Status ShardedContainmentService::CompactPromoted() {
     shards_.insert(shards_.begin() + base, std::move(merged));
     cache_.Clear();
   }
+  Metrics().compactions->Add(1);
+  Metrics().compaction_ns->Record(timer.ElapsedNanos());
   return Status::OK();
 }
 

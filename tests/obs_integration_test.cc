@@ -1,0 +1,256 @@
+// Observability is passive, end to end: serve responses — hit ids, float
+// scores, stats — are bit-identical with metrics on or off and with tracing
+// off, on, or at any sampling rate. Plus: the global cache counters mirror
+// the per-cache stats the API reports, traces carry the expected stages,
+// and snapshot I/O shows up in the persistence counters.
+//
+// These tests mutate the process-wide registry/tracer, so each one restores
+// the default state (metrics enabled, tracer disarmed) on the way out.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/containment.h"
+#include "data/synthetic.h"
+#include "eval/ground_truth.h"
+#include "io/snapshot.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/sharded_service.h"
+
+namespace gbkmv {
+namespace {
+
+using serve::ShardedContainmentService;
+
+const Dataset& TestDataset() {
+  static const Dataset* dataset = [] {
+    SyntheticConfig c;
+    c.num_records = 300;
+    c.universe_size = 2500;
+    c.min_record_size = 10;
+    c.max_record_size = 100;
+    c.alpha_element_freq = 1.1;
+    c.alpha_record_size = 2.0;
+    c.seed = 20260808;
+    return new Dataset(std::move(GenerateSynthetic(c).value()));
+  }();
+  return *dataset;
+}
+
+std::vector<QueryRequest> TestRequests(const std::vector<Record>& queries) {
+  std::vector<QueryRequest> requests;
+  for (const Record& q : queries) {
+    QueryRequest request(q, 0.5);
+    request.top_k = 5;
+    request.want_scores = true;
+    request.want_stats = true;
+    requests.push_back(request);
+  }
+  // A within-batch duplicate, so the duplicate-collapse path is timed too.
+  requests.push_back(requests.front());
+  return requests;
+}
+
+Result<std::unique_ptr<ShardedContainmentService>> BuildService() {
+  SearcherConfig config;
+  config.method = SearchMethod::kGbKmv;
+  config.sharded.num_shards = 3;
+  config.sharded.cache_capacity = 8;
+  return serve::BuildShardedService(TestDataset(), config);
+}
+
+// Restores the process-wide observability state around each test.
+class ObsIntegrationTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    obs::GlobalMetrics().SetEnabled(true);
+    obs::GlobalTracer().Configure(obs::TracerConfig{});  // disarms
+  }
+};
+
+TEST_F(ObsIntegrationTest, ResponsesBitIdenticalAcrossObservabilityModes) {
+  const Dataset& ds = TestDataset();
+  std::vector<Record> queries;
+  for (RecordId id : SampleQueries(ds, 20, /*seed=*/99)) {
+    queries.push_back(ds.record(id));
+  }
+  const std::vector<QueryRequest> requests = TestRequests(queries);
+
+  // Reference: metrics off, tracer disarmed. A fresh service per mode so
+  // the cache starts cold every time.
+  obs::GlobalMetrics().SetEnabled(false);
+  auto reference_service = BuildService();
+  ASSERT_TRUE(reference_service.ok());
+  const std::vector<QueryResponse> reference =
+      (*reference_service)->BatchServe(requests, 2);
+  ASSERT_EQ(requests.size(), reference.size());
+
+  struct Mode {
+    bool metrics;
+    size_t sample_every;
+    uint64_t slow_query_ns;
+    const char* name;
+  };
+  const Mode modes[] = {
+      {true, 0, 0, "metrics only"},
+      {false, 1, 0, "trace every query"},
+      {true, 1, 0, "metrics + trace every query"},
+      {true, 3, 0, "sample every 3rd"},
+      {true, 7, 0, "sample every 7th"},
+      {true, 0, 1, "slow log only (everything is slow)"},
+      {true, 2, 1, "sampling + slow log"},
+  };
+  for (const Mode& mode : modes) {
+    obs::GlobalMetrics().SetEnabled(mode.metrics);
+    obs::TracerConfig config;
+    config.sample_every = mode.sample_every;
+    config.slow_query_ns = mode.slow_query_ns;
+    obs::GlobalTracer().Configure(config);
+
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      auto fresh = BuildService();  // cold cache per thread count
+      ASSERT_TRUE(fresh.ok());
+      const std::vector<QueryResponse> got =
+          (*fresh)->BatchServe(requests, threads);
+      ASSERT_EQ(reference.size(), got.size()) << mode.name;
+      for (size_t i = 0; i < got.size(); ++i) {
+        // Full structural equality: hits, scores, stats.
+        EXPECT_EQ(reference[i], got[i])
+            << mode.name << " threads=" << threads << " query " << i;
+      }
+    }
+  }
+}
+
+TEST_F(ObsIntegrationTest, TracesCarryServeAndSearcherStages) {
+  obs::TracerConfig config;
+  config.sample_every = 1;
+  obs::GlobalTracer().Configure(config);
+
+  auto service = BuildService();
+  ASSERT_TRUE(service.ok());
+  const Dataset& ds = TestDataset();
+  std::vector<QueryRequest> requests;
+  QueryRequest request(ds.record(7), 0.5);
+  requests.push_back(request);
+  requests.push_back(request);  // duplicate: second is a cache hit
+  (void)(*service)->BatchServe(requests, 2);
+
+  const std::vector<obs::QueryTrace> traces = obs::GlobalTracer().Recent();
+  ASSERT_EQ(2u, traces.size());
+
+  const obs::QueryTrace& computed = traces[0];
+  EXPECT_FALSE(computed.cache_hit);
+  EXPECT_TRUE(computed.sampled);
+  EXPECT_EQ(3u, computed.shards_queried);
+  EXPECT_DOUBLE_EQ(0.5, computed.threshold);
+  size_t stage_counts[obs::kNumStages] = {};
+  for (const obs::TraceSpan& span : computed.spans) {
+    ASSERT_LT(static_cast<size_t>(span.stage), obs::kNumStages);
+    ++stage_counts[static_cast<size_t>(span.stage)];
+    if (span.stage == obs::Stage::kShardSearch) {
+      EXPECT_GE(span.shard, 0);
+      EXPECT_LT(span.shard, 3);
+    }
+    EXPECT_LE(span.start_ns + span.duration_ns, computed.total_ns * 2 + 1);
+  }
+  EXPECT_EQ(1u, stage_counts[static_cast<size_t>(obs::Stage::kCacheLookup)]);
+  EXPECT_EQ(1u, stage_counts[static_cast<size_t>(obs::Stage::kFanout)]);
+  EXPECT_EQ(3u, stage_counts[static_cast<size_t>(obs::Stage::kShardSearch)]);
+  EXPECT_EQ(1u, stage_counts[static_cast<size_t>(obs::Stage::kMerge)]);
+  // Searcher internals, per shard: sketch / scan / refine.
+  EXPECT_EQ(3u, stage_counts[static_cast<size_t>(obs::Stage::kSketch)]);
+  EXPECT_EQ(3u, stage_counts[static_cast<size_t>(obs::Stage::kRefine)]);
+
+  const obs::QueryTrace& cached = traces[1];
+  EXPECT_TRUE(cached.cache_hit);
+  // The replayed response carries the computed query's stats (including
+  // shards_queried), but the duplicate itself ran no shard tasks.
+  EXPECT_EQ(computed.shards_queried, cached.shards_queried);
+  for (const obs::TraceSpan& span : cached.spans) {
+    EXPECT_NE(obs::Stage::kShardSearch, span.stage);
+  }
+}
+
+TEST_F(ObsIntegrationTest, GlobalCacheCountersMirrorServiceStats) {
+  obs::MetricsRegistry& metrics = obs::GlobalMetrics();
+  metrics.SetEnabled(true);
+  const uint64_t hits0 = metrics.GetCounter("gbkmv_cache_hits_total")->Value();
+  const uint64_t misses0 =
+      metrics.GetCounter("gbkmv_cache_misses_total")->Value();
+
+  auto service = BuildService();
+  ASSERT_TRUE(service.ok());
+  const Dataset& ds = TestDataset();
+  QueryRequest request(ds.record(11), 0.5);
+  (void)(*service)->Serve(request, 1);  // miss
+  (void)(*service)->Serve(request, 1);  // hit
+  (void)(*service)->Serve(request, 1);  // hit
+
+  const serve::QueryCacheStats stats = (*service)->cache_stats();
+  EXPECT_EQ(2u, stats.hits);
+  EXPECT_EQ(1u, stats.misses);
+  EXPECT_EQ(stats.hits,
+            metrics.GetCounter("gbkmv_cache_hits_total")->Value() - hits0);
+  EXPECT_EQ(stats.misses,
+            metrics.GetCounter("gbkmv_cache_misses_total")->Value() - misses0);
+}
+
+TEST_F(ObsIntegrationTest, ServeCountersAdvanceOnBatch) {
+  obs::MetricsRegistry& metrics = obs::GlobalMetrics();
+  metrics.SetEnabled(true);
+  const uint64_t queries0 =
+      metrics.GetCounter("gbkmv_serve_queries_total")->Value();
+  const uint64_t latency0 =
+      metrics.GetHistogram("gbkmv_serve_latency_ns")->Snapshot().count;
+
+  auto service = BuildService();
+  ASSERT_TRUE(service.ok());
+  const Dataset& ds = TestDataset();
+  std::vector<QueryRequest> requests;
+  for (RecordId id : SampleQueries(ds, 6, /*seed=*/5)) {
+    requests.emplace_back(ds.record(id), 0.5);
+  }
+  (void)(*service)->BatchServe(requests, 2);
+
+  EXPECT_EQ(6u, metrics.GetCounter("gbkmv_serve_queries_total")->Value() -
+                    queries0);
+  EXPECT_EQ(6u,
+            metrics.GetHistogram("gbkmv_serve_latency_ns")->Snapshot().count -
+                latency0);
+}
+
+TEST_F(ObsIntegrationTest, SnapshotIoCountersAdvance) {
+  obs::MetricsRegistry& metrics = obs::GlobalMetrics();
+  metrics.SetEnabled(true);
+  const uint64_t writes0 =
+      metrics.GetCounter("gbkmv_snapshot_writes_total")->Value();
+  const uint64_t reads0 =
+      metrics.GetCounter("gbkmv_snapshot_reads_total")->Value();
+  const uint64_t write_bytes0 =
+      metrics.GetCounter("gbkmv_snapshot_write_bytes_total")->Value();
+
+  const std::string path =
+      ::testing::TempDir() + "/obs_integration_snapshot.snap";
+  io::SnapshotWriter writer;
+  io::WriteSnapshotMeta(&writer, "obs-test", /*fingerprint=*/42);
+  ASSERT_TRUE(writer.WriteTo(path).ok());
+  Result<io::SnapshotReader> reader = io::SnapshotReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+
+  EXPECT_EQ(1u, metrics.GetCounter("gbkmv_snapshot_writes_total")->Value() -
+                    writes0);
+  EXPECT_EQ(1u, metrics.GetCounter("gbkmv_snapshot_reads_total")->Value() -
+                    reads0);
+  EXPECT_GT(metrics.GetCounter("gbkmv_snapshot_write_bytes_total")->Value(),
+            write_bytes0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gbkmv

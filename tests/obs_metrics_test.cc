@@ -1,0 +1,230 @@
+// Metrics registry: log-linear bucket geometry, stripe merging across
+// thread counts, quantile error bounds, the overflow bucket, the runtime
+// toggle, and the loss-free JSON round-trip the exporters promise
+// (obs/export.h).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace gbkmv {
+namespace obs {
+namespace {
+
+// --- bucket geometry ------------------------------------------------------
+
+TEST(HistogramBucketsTest, IndexIsMonotonicAndBoundsBracketTheValue) {
+  size_t prev_index = 0;
+  // Sweep every power of two plus neighbours, and the linear range.
+  std::vector<uint64_t> values;
+  for (uint64_t v = 0; v < 64; ++v) values.push_back(v);
+  for (int e = 6; e < 63; ++e) {
+    const uint64_t p = uint64_t{1} << e;
+    values.push_back(p - 1);
+    values.push_back(p);
+    values.push_back(p + 1);
+    values.push_back(p + p / 3);
+  }
+  for (uint64_t v : values) {
+    const size_t index = Histogram::BucketIndex(v);
+    ASSERT_LT(index, Histogram::kNumBuckets);
+    ASSERT_GE(index, prev_index) << "index not monotonic at value " << v;
+    prev_index = index;
+    ASSERT_LE(Histogram::BucketLowerBound(index), v) << "value " << v;
+    ASSERT_LT(v, Histogram::BucketUpperBound(index)) << "value " << v;
+  }
+}
+
+TEST(HistogramBucketsTest, LowerBoundRoundTripsThroughIndex) {
+  for (size_t i = 0; i < Histogram::kTrackedBuckets; ++i) {
+    EXPECT_EQ(i, Histogram::BucketIndex(Histogram::BucketLowerBound(i)));
+  }
+  // Overflow: everything at or past kOverflowBound shares one bucket.
+  EXPECT_EQ(Histogram::kTrackedBuckets,
+            Histogram::BucketIndex(Histogram::kOverflowBound));
+  EXPECT_EQ(Histogram::kTrackedBuckets, Histogram::BucketIndex(UINT64_MAX));
+}
+
+TEST(HistogramBucketsTest, RelativeErrorWithinOneSubBucket) {
+  // Above the linear range, a bucket's width is at most lower/16, so the
+  // upper bound overestimates any member value by < 1/16 relative.
+  for (uint64_t v : {16ull, 100ull, 12345ull, 1ull << 20, 987654321ull}) {
+    const size_t index = Histogram::BucketIndex(v);
+    const double upper =
+        static_cast<double>(Histogram::BucketUpperBound(index));
+    EXPECT_LE(upper, static_cast<double>(v) * (1.0 + 1.0 / 16) + 1.0)
+        << "value " << v;
+  }
+}
+
+// --- recording and merging ------------------------------------------------
+
+// The same multiset of values recorded from 1, 2 and 8 threads must merge
+// to identical snapshots — striping is an implementation detail.
+TEST(MetricsRegistryTest, HistogramMergeIdenticalAcrossThreadCounts) {
+  std::vector<uint64_t> values;
+  std::mt19937_64 rng(20260808);
+  for (int i = 0; i < 20000; ++i) {
+    values.push_back(rng() % (uint64_t{1} << (rng() % 40)));
+  }
+
+  HistogramSnapshot snapshots[3];
+  const size_t thread_counts[] = {1, 2, 8};
+  for (size_t t = 0; t < 3; ++t) {
+    const size_t num_threads = thread_counts[t];
+    MetricsRegistry registry;
+    Histogram* histogram = registry.GetHistogram("h");
+    std::vector<std::thread> threads;
+    for (size_t w = 0; w < num_threads; ++w) {
+      threads.emplace_back([&, w] {
+        for (size_t i = w; i < values.size(); i += num_threads) {
+          histogram->Record(values[i]);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    snapshots[t] = histogram->Snapshot();
+  }
+  EXPECT_EQ(snapshots[0], snapshots[1]);
+  EXPECT_EQ(snapshots[0], snapshots[2]);
+  EXPECT_EQ(values.size(), snapshots[0].count);
+}
+
+TEST(MetricsRegistryTest, CounterSumsStripesAcrossThreads) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c_total");
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 8; ++w) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) counter->Add(3);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(8u * 1000u * 3u, counter->Value());
+}
+
+TEST(MetricsRegistryTest, QuantileBoundsTheTrueQuantile) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("h");
+  // 1..10000, true p50 = 5000, p99 = 9900.
+  for (uint64_t v = 1; v <= 10000; ++v) histogram->Record(v);
+  const HistogramSnapshot snapshot = histogram->Snapshot();
+  EXPECT_EQ(10000u, snapshot.count);
+  EXPECT_EQ(10000ull * 10001 / 2, snapshot.sum);
+  for (const auto& [q, truth] :
+       std::vector<std::pair<double, double>>{{0.5, 5000}, {0.99, 9900}}) {
+    const double estimate = snapshot.Quantile(q);
+    EXPECT_GE(estimate, truth) << "q=" << q;
+    EXPECT_LE(estimate, truth * (1.0 + 1.0 / 16) + 1.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(5000.5, snapshot.Mean());
+}
+
+TEST(MetricsRegistryTest, OverflowBucketCatchesHugeValues) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("h");
+  histogram->Record(Histogram::kOverflowBound - 1);  // largest tracked
+  histogram->Record(Histogram::kOverflowBound);
+  histogram->Record(UINT64_MAX / 2);
+  const HistogramSnapshot snapshot = histogram->Snapshot();
+  EXPECT_EQ(3u, snapshot.count);
+  EXPECT_EQ(2u, snapshot.OverflowCount());
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndResetZeroes) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c_total");
+  EXPECT_EQ(counter, registry.GetCounter("c_total"));
+  Gauge* gauge = registry.GetGauge("g");
+  Histogram* histogram = registry.GetHistogram("h");
+  counter->Add(5);
+  gauge->Set(-7);
+  histogram->Record(42);
+  registry.Reset();
+  EXPECT_EQ(0u, counter->Value());
+  EXPECT_EQ(0, gauge->Value());
+  EXPECT_EQ(0u, histogram->Snapshot().count);
+  counter->Add(1);  // handles still live after Reset
+  EXPECT_EQ(1u, counter->Value());
+}
+
+TEST(MetricsRegistryTest, DisableGatesCountersButNotGauges) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c_total");
+  Histogram* histogram = registry.GetHistogram("h");
+  Gauge* gauge = registry.GetGauge("g");
+  registry.SetEnabled(false);
+  counter->Add(10);
+  histogram->Record(10);
+  gauge->Add(10);  // gauges must never drift, so they always apply
+  EXPECT_EQ(0u, counter->Value());
+  EXPECT_EQ(0u, histogram->Snapshot().count);
+  EXPECT_EQ(10, gauge->Value());
+  registry.SetEnabled(true);
+  counter->Add(1);
+  EXPECT_EQ(1u, counter->Value());
+}
+
+// --- exporters ------------------------------------------------------------
+
+MetricsSnapshot PopulatedSnapshot() {
+  MetricsRegistry registry;
+  registry.GetCounter("gbkmv_a_total")->Add(123456789012345ULL);
+  registry.GetCounter("gbkmv_empty_total");
+  registry.GetGauge("gbkmv_depth")->Set(-42);
+  Histogram* histogram = registry.GetHistogram("gbkmv_lat_ns");
+  for (uint64_t v : {0ull, 1ull, 17ull, 12345ull, 1ull << 35}) {
+    histogram->Record(v);
+  }
+  histogram->Record(UINT64_MAX / 3);  // overflow bucket
+  registry.GetHistogram("gbkmv_empty_ns");
+  return registry.Snapshot();
+}
+
+TEST(MetricsJsonTest, RoundTripIsLossFree) {
+  const MetricsSnapshot snapshot = PopulatedSnapshot();
+  const std::string json = SnapshotToJson(snapshot);
+  Result<MetricsSnapshot> parsed = SnapshotFromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(snapshot, *parsed);
+}
+
+TEST(MetricsJsonTest, RoundTripPreservesDisabledFlag) {
+  MetricsSnapshot snapshot = PopulatedSnapshot();
+  snapshot.enabled = false;
+  Result<MetricsSnapshot> parsed = SnapshotFromJson(SnapshotToJson(snapshot));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(snapshot, *parsed);
+}
+
+TEST(MetricsJsonTest, RejectsGarbageAndWrongSchema) {
+  EXPECT_FALSE(SnapshotFromJson("").ok());
+  EXPECT_FALSE(SnapshotFromJson("not json").ok());
+  EXPECT_FALSE(SnapshotFromJson("{\"schema\": \"other_v9\"}").ok());
+  const std::string good = SnapshotToJson(PopulatedSnapshot());
+  EXPECT_TRUE(SnapshotFromJson(good).ok());
+  EXPECT_FALSE(SnapshotFromJson(good + "trailing").ok());
+  EXPECT_FALSE(SnapshotFromJson(good.substr(0, good.size() / 2)).ok());
+}
+
+TEST(MetricsPrometheusTest, EmitsTypedFamiliesWithInfBucket) {
+  const std::string text = SnapshotToPrometheus(PopulatedSnapshot());
+  EXPECT_NE(std::string::npos, text.find("# TYPE gbkmv_a_total counter"));
+  EXPECT_NE(std::string::npos, text.find("gbkmv_a_total 123456789012345"));
+  EXPECT_NE(std::string::npos, text.find("# TYPE gbkmv_depth gauge"));
+  EXPECT_NE(std::string::npos, text.find("gbkmv_depth -42"));
+  EXPECT_NE(std::string::npos, text.find("# TYPE gbkmv_lat_ns histogram"));
+  EXPECT_NE(std::string::npos, text.find("gbkmv_lat_ns_bucket{le=\"+Inf\"} 6"));
+  EXPECT_NE(std::string::npos, text.find("gbkmv_lat_ns_count 6"));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace gbkmv

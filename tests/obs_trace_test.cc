@@ -1,0 +1,184 @@
+// Tracer: deterministic sampling, ring-buffer wraparound (oldest first),
+// the slow-query log, and the thread-local SpanSink / StageTimer machinery
+// the searchers record their internal stages through.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace gbkmv {
+namespace obs {
+namespace {
+
+QueryTrace MakeTrace(uint64_t total_ns, bool sampled) {
+  QueryTrace trace;
+  trace.total_ns = total_ns;
+  trace.sampled = sampled;
+  return trace;
+}
+
+TEST(TracerTest, InactiveByDefaultAndNeverSamples) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.active());
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(tracer.ShouldSample());
+  tracer.Record(MakeTrace(1000, /*sampled=*/true));
+  // Recording still files sampled traces; active() only gates whether the
+  // serving layer bothers timestamping.
+  EXPECT_EQ(1u, tracer.traces_recorded());
+}
+
+TEST(TracerTest, SamplingIsDeterministicEveryNth) {
+  Tracer tracer;
+  TracerConfig config;
+  config.sample_every = 3;
+  tracer.Configure(config);
+  EXPECT_TRUE(tracer.active());
+  // First decision after Configure samples, then a fixed period-3 pattern —
+  // no RNG, so a replayed workload traces the same queries.
+  const bool expected[] = {true, false, false, true, false, false, true};
+  for (bool want : expected) EXPECT_EQ(want, tracer.ShouldSample());
+}
+
+TEST(TracerTest, SampleEveryOneTracesEverything) {
+  Tracer tracer;
+  TracerConfig config;
+  config.sample_every = 1;
+  tracer.Configure(config);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(tracer.ShouldSample());
+}
+
+TEST(TracerTest, RingOverwritesOldestFirst) {
+  Tracer tracer;
+  TracerConfig config;
+  config.sample_every = 1;
+  config.ring_capacity = 4;
+  tracer.Configure(config);
+  for (uint64_t i = 0; i < 10; ++i) {
+    tracer.Record(MakeTrace(/*total_ns=*/100 + i, /*sampled=*/true));
+  }
+  const std::vector<QueryTrace> recent = tracer.Recent();
+  ASSERT_EQ(4u, recent.size());
+  // Ids are assigned monotonically by the tracer; the ring keeps the last
+  // four, oldest first.
+  for (size_t i = 1; i < recent.size(); ++i) {
+    EXPECT_EQ(recent[i - 1].id + 1, recent[i].id);
+  }
+  EXPECT_EQ(106u, recent.front().total_ns);
+  EXPECT_EQ(109u, recent.back().total_ns);
+  EXPECT_EQ(10u, tracer.traces_recorded());
+}
+
+TEST(TracerTest, SlowQueriesLandInSlowRingRegardlessOfSampling) {
+  Tracer tracer;
+  TracerConfig config;
+  config.sample_every = 0;  // sampling off: only the slow log is armed
+  config.slow_query_ns = 1000;
+  config.slow_ring_capacity = 2;
+  tracer.Configure(config);
+  EXPECT_TRUE(tracer.active());
+  EXPECT_FALSE(tracer.ShouldSample());
+
+  tracer.Record(MakeTrace(999, /*sampled=*/false));   // fast: dropped
+  tracer.Record(MakeTrace(1000, /*sampled=*/false));  // at threshold: slow
+  tracer.Record(MakeTrace(5000, /*sampled=*/false));
+  tracer.Record(MakeTrace(7000, /*sampled=*/false));  // evicts the oldest
+  EXPECT_TRUE(tracer.Recent().empty());
+  const std::vector<QueryTrace> slow = tracer.SlowQueries();
+  ASSERT_EQ(2u, slow.size());
+  EXPECT_EQ(5000u, slow[0].total_ns);
+  EXPECT_EQ(7000u, slow[1].total_ns);
+  EXPECT_EQ(3u, tracer.slow_queries_recorded());
+}
+
+TEST(TracerTest, SampledSlowTraceFilesIntoBothRings) {
+  Tracer tracer;
+  TracerConfig config;
+  config.sample_every = 1;
+  config.slow_query_ns = 1000;
+  tracer.Configure(config);
+  tracer.Record(MakeTrace(2000, /*sampled=*/true));
+  EXPECT_EQ(1u, tracer.Recent().size());
+  EXPECT_EQ(1u, tracer.SlowQueries().size());
+}
+
+TEST(TracerTest, ReconfigureClampsRings) {
+  Tracer tracer;
+  TracerConfig config;
+  config.sample_every = 1;
+  config.ring_capacity = 8;
+  tracer.Configure(config);
+  for (int i = 0; i < 8; ++i) {
+    tracer.Record(MakeTrace(100, /*sampled=*/true));
+  }
+  config.ring_capacity = 2;
+  tracer.Configure(config);
+  EXPECT_LE(tracer.Recent().size(), 2u);
+  config.sample_every = 0;
+  config.slow_query_ns = 0;
+  tracer.Configure(config);
+  EXPECT_FALSE(tracer.active());
+}
+
+// --- SpanSink / StageTimer -------------------------------------------------
+
+TEST(SpanSinkTest, StageTimerRecordsIntoInstalledSink) {
+  EXPECT_EQ(nullptr, CurrentSpanSink());
+  SpanSink sink(/*base_ns=*/0, /*shard=*/3);
+  {
+    ScopedSpanSink install(&sink);
+    EXPECT_EQ(&sink, CurrentSpanSink());
+    { StageTimer timer(Stage::kSketch); }
+    {
+      StageTimer timer(Stage::kScan);
+      timer.Stop();
+      timer.Stop();  // idempotent: records once
+    }
+  }
+  EXPECT_EQ(nullptr, CurrentSpanSink());
+  const std::vector<TraceSpan> spans = sink.Take();
+  ASSERT_EQ(2u, spans.size());
+  EXPECT_EQ(Stage::kSketch, spans[0].stage);
+  EXPECT_EQ(Stage::kScan, spans[1].stage);
+  for (const TraceSpan& span : spans) EXPECT_EQ(3, span.shard);
+}
+
+TEST(SpanSinkTest, NestedScopesRestoreThePreviousSink) {
+  SpanSink outer(0, 1);
+  SpanSink inner(0, 2);
+  ScopedSpanSink install_outer(&outer);
+  {
+    ScopedSpanSink install_inner(&inner);
+    EXPECT_EQ(&inner, CurrentSpanSink());
+  }
+  EXPECT_EQ(&outer, CurrentSpanSink());
+}
+
+TEST(SpanSinkTest, CapsAtMaxSpans) {
+  SpanSink sink(0, 0);
+  ScopedSpanSink install(&sink);
+  for (size_t i = 0; i < QueryTrace::kMaxSpans + 10; ++i) {
+    StageTimer timer(Stage::kRefine);
+  }
+  EXPECT_EQ(QueryTrace::kMaxSpans, sink.Take().size());
+}
+
+TEST(SpanSinkTest, StageTimerWithoutSinkIsANoOp) {
+  ASSERT_EQ(nullptr, CurrentSpanSink());
+  StageTimer timer(Stage::kRefine);  // must not crash or record anywhere
+  timer.Stop();
+}
+
+TEST(StageNameTest, EveryStageHasAName) {
+  for (size_t i = 0; i < kNumStages; ++i) {
+    const char* name = StageName(static_cast<Stage>(i));
+    ASSERT_NE(nullptr, name);
+    EXPECT_GT(std::string(name).size(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace gbkmv

@@ -41,7 +41,16 @@
 //                    [--top-k=K] [--scores] [--stats]
 //       Reload a sharded service from its manifest directory and stream
 //       queries through the fan-out/fan-in path (per-query shard
-//       parallelism via --threads).
+//       parallelism via --threads). Prints an end-of-run cache and fan-out
+//       summary on stderr.
+//
+// Every command additionally accepts the observability flags
+// (docs/observability.md): --metrics[=prom|json] prints a metrics snapshot
+// to stderr at exit, --metrics-out / --metrics-prom-out write the JSON dump
+// or Prometheus exposition to a file (--metrics-interval=SEC keeps the JSON
+// dump fresh while the command runs), --trace-sample=N and
+// --slow-query-ms=T arm the per-query flight recorder, and --no-metrics
+// turns recording off.
 
 #include <cstdio>
 #include <cstdlib>
@@ -49,6 +58,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -60,10 +70,90 @@
 #include "eval/table.h"
 #include "index/searcher_registry.h"
 #include "io/snapshot.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/sharded_service.h"
 
 namespace gbkmv {
 namespace {
+
+// Observability flags shared by every command (docs/observability.md):
+//   --metrics[=prom|json]    print a metrics snapshot to stderr at exit
+//   --no-metrics             disable all metric recording (gauges excepted)
+//   --metrics-out=PATH       write the combined JSON dump (metrics + traces)
+//                            to PATH at exit
+//   --metrics-prom-out=PATH  write the Prometheus text exposition to PATH
+//   --metrics-interval=SEC   with --metrics-out, also rewrite the dump
+//                            every SEC seconds while the command runs
+//   --trace-sample=N         trace every Nth served query
+//   --slow-query-ms=T        log every query slower than T ms
+struct ObsOptions {
+  bool print_metrics = false;
+  bool print_prometheus = false;
+  bool disable = false;
+  std::string json_out;
+  std::string prom_out;
+  double interval_seconds = 0.0;
+  size_t trace_sample = 0;
+  double slow_query_ms = 0.0;
+};
+
+ObsOptions g_obs;
+
+// Applies the observability flags for the duration of a command and emits
+// the requested exports when it finishes (normal return paths; metrics are
+// best-effort on early exits).
+class CliObsSession {
+ public:
+  CliObsSession() {
+    if (g_obs.disable) obs::GlobalMetrics().SetEnabled(false);
+    if (g_obs.trace_sample > 0 || g_obs.slow_query_ms > 0.0) {
+      obs::TracerConfig config;
+      config.sample_every = g_obs.trace_sample;
+      config.slow_query_ns =
+          static_cast<uint64_t>(g_obs.slow_query_ms * 1e6);
+      obs::GlobalTracer().Configure(config);
+    }
+    if (!g_obs.json_out.empty() && g_obs.interval_seconds > 0.0) {
+      dumper_ = std::make_unique<obs::PeriodicMetricsDumper>(
+          g_obs.json_out, g_obs.interval_seconds);
+    }
+  }
+
+  ~CliObsSession() {
+    dumper_.reset();  // final periodic flush covers json_out
+    if (!g_obs.json_out.empty() && dumper_ == nullptr &&
+        g_obs.interval_seconds <= 0.0) {
+      const Status status = obs::WriteFileAtomic(
+          g_obs.json_out,
+          obs::DumpToJson(obs::GlobalMetrics(), obs::GlobalTracer()));
+      if (!status.ok()) {
+        std::fprintf(stderr, "metrics dump failed: %s\n",
+                     status.ToString().c_str());
+      }
+    }
+    if (!g_obs.prom_out.empty()) {
+      const Status status = obs::WriteFileAtomic(
+          g_obs.prom_out,
+          obs::SnapshotToPrometheus(obs::GlobalMetrics().Snapshot()));
+      if (!status.ok()) {
+        std::fprintf(stderr, "metrics export failed: %s\n",
+                     status.ToString().c_str());
+      }
+    }
+    if (g_obs.print_metrics) {
+      const obs::MetricsSnapshot snapshot = obs::GlobalMetrics().Snapshot();
+      std::fprintf(stderr, "%s\n",
+                   g_obs.print_prometheus
+                       ? obs::SnapshotToPrometheus(snapshot).c_str()
+                       : obs::SnapshotToJson(snapshot).c_str());
+    }
+  }
+
+ private:
+  std::unique_ptr<obs::PeriodicMetricsDumper> dumper_;
+};
 
 struct CliOptions {
   std::string command;
@@ -100,7 +190,10 @@ int Usage() {
                "methods: gb-kmv g-kmv kmv lsh-e minhash-lsh a-mh ppjoin "
                "freqset brute-force (snapshots: gb-kmv g-kmv lsh-e)\n"
                "common flags: --threads=N (build/eval parallelism; default "
-               "hardware concurrency; results identical for any N)\n");
+               "hardware concurrency; results identical for any N)\n"
+               "observability (docs/observability.md): --metrics[=prom|json] "
+               "--no-metrics --metrics-out=PATH --metrics-prom-out=PATH "
+               "--metrics-interval=SEC --trace-sample=N --slow-query-ms=T\n");
   return 2;
 }
 
@@ -140,6 +233,46 @@ int ParseQueryFlag(const char* arg, double* threshold,
     const long long n = std::atoll(value.c_str());
     if (n < 0) return -1;
     SetDefaultThreads(static_cast<size_t>(n));
+    return 1;
+  }
+  // Observability flags (see ObsOptions above) — shared the same way so
+  // every command can export metrics.
+  if (std::strcmp(arg, "--metrics") == 0) {
+    g_obs.print_metrics = true;
+    return 1;
+  }
+  if (ParseFlag(arg, "--metrics=", &value)) {
+    if (value != "prom" && value != "json") return -1;
+    g_obs.print_metrics = true;
+    g_obs.print_prometheus = value == "prom";
+    return 1;
+  }
+  if (std::strcmp(arg, "--no-metrics") == 0) {
+    g_obs.disable = true;
+    return 1;
+  }
+  if (ParseFlag(arg, "--metrics-out=", &value)) {
+    g_obs.json_out = value;
+    return 1;
+  }
+  if (ParseFlag(arg, "--metrics-prom-out=", &value)) {
+    g_obs.prom_out = value;
+    return 1;
+  }
+  if (ParseFlag(arg, "--metrics-interval=", &value)) {
+    g_obs.interval_seconds = std::atof(value.c_str());
+    if (g_obs.interval_seconds <= 0.0) return -1;
+    return 1;
+  }
+  if (ParseFlag(arg, "--trace-sample=", &value)) {
+    const long long n = std::atoll(value.c_str());
+    if (n < 0) return -1;
+    g_obs.trace_sample = static_cast<size_t>(n);
+    return 1;
+  }
+  if (ParseFlag(arg, "--slow-query-ms=", &value)) {
+    g_obs.slow_query_ms = std::atof(value.c_str());
+    if (g_obs.slow_query_ms < 0.0) return -1;
     return 1;
   }
   return 0;
@@ -345,18 +478,51 @@ int RunServeQuery(const std::string& manifest_dir,
                (*service)->method_name().c_str(), manifest_dir.c_str(),
                load_timer.ElapsedSeconds(), (*service)->num_shards(),
                (*service)->size());
-  const auto answer = [&service](const QueryRequest& request) {
-    return (*service)->Serve(request);
+  uint64_t served = 0;
+  uint64_t shards_queried = 0;
+  const auto answer = [&service, &served,
+                       &shards_queried](const QueryRequest& request) {
+    QueryResponse response = (*service)->Serve(request);
+    ++served;
+    shards_queried += response.stats.shards_queried;
+    return response;
+  };
+  // End-of-run serving summary: cache effectiveness and fan-out width,
+  // always printed (the per-query --stats lines only show these fields
+  // when set).
+  const auto summarise = [&service, &served, &shards_queried](int rc) {
+    const serve::QueryCacheStats cache = (*service)->cache_stats();
+    const uint64_t lookups = cache.hits + cache.misses;
+    std::fprintf(stderr,
+                 "# cache: hits=%llu misses=%llu evictions=%llu "
+                 "invalidations=%llu entries=%zu hit_rate=%.1f%%\n",
+                 static_cast<unsigned long long>(cache.hits),
+                 static_cast<unsigned long long>(cache.misses),
+                 static_cast<unsigned long long>(cache.evictions),
+                 static_cast<unsigned long long>(cache.invalidations),
+                 cache.entries,
+                 lookups == 0 ? 0.0
+                              : 100.0 * static_cast<double>(cache.hits) /
+                                    static_cast<double>(lookups));
+    std::fprintf(stderr,
+                 "# shards: %zu live, avg %.2f queried per query "
+                 "(%llu queries)\n",
+                 (*service)->num_shards(),
+                 served == 0 ? 0.0
+                             : static_cast<double>(shards_queried) /
+                                   static_cast<double>(served),
+                 static_cast<unsigned long long>(served));
+    return rc;
   };
   if (query_path == "-") {
-    return StreamQueriesWith(std::cin, threshold, options, answer);
+    return summarise(StreamQueriesWith(std::cin, threshold, options, answer));
   }
   std::ifstream in(query_path);
   if (!in) {
     std::fprintf(stderr, "cannot open query file %s\n", query_path.c_str());
     return 1;
   }
-  return StreamQueriesWith(in, threshold, options, answer);
+  return summarise(StreamQueriesWith(in, threshold, options, answer));
 }
 
 int RunQuery(const Dataset& dataset, const CliOptions& options) {
@@ -449,6 +615,7 @@ int Main(int argc, char** argv) {
         return Usage();
       }
     }
+    CliObsSession obs_session;
     return RunQuerySnapshot(argv[2], argv[3], threshold, search);
   }
 
@@ -461,6 +628,7 @@ int Main(int argc, char** argv) {
     for (int i = 4; i < argc; ++i) {
       if (ParseQueryFlag(argv[i], &threshold, &search) != 1) return Usage();
     }
+    CliObsSession obs_session;
     return RunServeQuery(argv[2], argv[3], threshold, search);
   }
 
@@ -501,6 +669,7 @@ int Main(int argc, char** argv) {
     }
   }
 
+  CliObsSession obs_session;
   Result<Dataset> dataset =
       LoadDataset(options.dataset_path, options.min_size);
   if (!dataset.ok()) {
