@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "common/hash.h"
+#include "common/parse.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "index/searcher_registry.h"
@@ -15,7 +16,33 @@ namespace bench {
 
 namespace {
 std::string g_cache_dir;  // empty = snapshot cache disabled
+
+template <typename T>
+T FlagValueOrDie(const char* flag, const Result<T>& value) {
+  if (!value.ok()) {
+    std::fprintf(stderr, "%s: %s\n", flag, value.status().message().c_str());
+    std::exit(2);
+  }
+  return *value;
+}
 }  // namespace
+
+uint64_t ParseFlagU64(const char* flag, std::string_view text) {
+  return FlagValueOrDie(flag, ParseU64(text));
+}
+
+double ParseFlagF64(const char* flag, std::string_view text) {
+  return FlagValueOrDie(flag, ParseF64(text));
+}
+
+std::vector<uint64_t> ParseFlagU64List(const char* flag,
+                                       std::string_view text) {
+  return FlagValueOrDie(flag, ParseU64List(text));
+}
+
+std::vector<double> ParseFlagF64List(const char* flag, std::string_view text) {
+  return FlagValueOrDie(flag, ParseF64List(text));
+}
 
 void SetSnapshotCacheDir(const std::string& dir) { g_cache_dir = dir; }
 const std::string& SnapshotCacheDir() { return g_cache_dir; }
@@ -34,21 +61,18 @@ BenchOptions ParseArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--scale=", 8) == 0) {
-      options.scale = std::atof(arg + 8);
+      options.scale = ParseFlagF64("--scale", arg + 8);
     } else if (std::strncmp(arg, "--queries=", 10) == 0) {
-      options.num_queries = static_cast<size_t>(std::atoi(arg + 10));
+      options.num_queries =
+          static_cast<size_t>(ParseFlagU64("--queries", arg + 10));
     } else if (std::strncmp(arg, "--dataset=", 10) == 0) {
       options.dataset_filter = arg + 10;
     } else if (std::strncmp(arg, "--cache=", 8) == 0) {
       options.cache_dir = arg + 8;
       SetSnapshotCacheDir(options.cache_dir);
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
-      const long long n = std::atoll(arg + 10);
-      if (n < 0) {
-        std::fprintf(stderr, "invalid --threads\n");
-        std::exit(2);
-      }
-      options.num_threads = static_cast<size_t>(n);
+      options.num_threads =
+          static_cast<size_t>(ParseFlagU64("--threads", arg + 10));
       // Installs the process-wide default so every num_threads=0 ("auto")
       // build and ground-truth call in the harness follows the flag.
       SetDefaultThreads(options.num_threads);

@@ -6,7 +6,9 @@
 #ifndef GBKMV_BENCH_BENCH_UTIL_H_
 #define GBKMV_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "data/proxies.h"
@@ -15,6 +17,14 @@
 
 namespace gbkmv {
 namespace bench {
+
+// Flag-value parsing for the harness binaries: common/parse.h checked
+// parsers with exit(2)-on-error reporting that names the flag, so a typo
+// like --queries=20O dies loudly instead of silently running 20 queries.
+uint64_t ParseFlagU64(const char* flag, std::string_view text);
+double ParseFlagF64(const char* flag, std::string_view text);
+std::vector<uint64_t> ParseFlagU64List(const char* flag, std::string_view text);
+std::vector<double> ParseFlagF64List(const char* flag, std::string_view text);
 
 // Command-line options shared by every harness:
 //   --scale=<f>     proxy scale factor (default 1.0; smaller = faster)

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/containment.h"
@@ -68,31 +69,33 @@ Options ParseOptions(int argc, char** argv) {
       return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
     };
     if (const char* v = value("--records=")) {
-      opt.num_records = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+      opt.num_records =
+          static_cast<size_t>(bench::ParseFlagU64("--records", v));
     } else if (const char* v = value("--universe=")) {
-      opt.universe_size = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+      opt.universe_size =
+          static_cast<size_t>(bench::ParseFlagU64("--universe", v));
     } else if (const char* v = value("--queries=")) {
-      opt.num_queries = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+      opt.num_queries =
+          static_cast<size_t>(bench::ParseFlagU64("--queries", v));
     } else if (const char* v = value("--threshold=")) {
-      opt.threshold = std::strtod(v, nullptr);
+      opt.threshold = bench::ParseFlagF64("--threshold", v);
     } else if (const char* v = value("--method=")) {
       opt.method = v;
     } else if (const char* v = value("--shards=")) {
       opt.shard_counts.clear();
-      for (const char* p = v; *p != '\0';) {
-        char* end = nullptr;
-        opt.shard_counts.push_back(
-            static_cast<size_t>(std::strtoull(p, &end, 10)));
-        p = *end == ',' ? end + 1 : end;
+      for (uint64_t n : bench::ParseFlagU64List("--shards", v)) {
+        opt.shard_counts.push_back(static_cast<size_t>(n));
       }
     } else if (const char* v = value("--partitioner=")) {
       opt.partitioner = v;
     } else if (const char* v = value("--topk=")) {
-      opt.top_k = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+      opt.top_k = static_cast<size_t>(bench::ParseFlagU64("--topk", v));
     } else if (const char* v = value("--threads=")) {
-      opt.num_threads = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+      opt.num_threads =
+          static_cast<size_t>(bench::ParseFlagU64("--threads", v));
     } else if (const char* v = value("--reps=")) {
-      opt.reps = std::max(1, static_cast<int>(std::strtol(v, nullptr, 10)));
+      opt.reps =
+          std::max(1, static_cast<int>(bench::ParseFlagU64("--reps", v)));
     } else if (const char* v = value("--out=")) {
       opt.out_path = v;
     } else if (arg == "--smoke") {

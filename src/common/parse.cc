@@ -1,0 +1,76 @@
+#include "common/parse.h"
+
+#include <charconv>
+#include <cmath>
+#include <string>
+
+namespace gbkmv {
+
+namespace {
+
+Status BadNumber(std::string_view what, std::string_view text) {
+  return Status::InvalidArgument("expected " + std::string(what) + ", got '" +
+                                 std::string(text) + "'");
+}
+
+// Whole-string from_chars: success only if every character was consumed.
+template <typename T>
+bool ParseWhole(std::string_view text, T* out) {
+  const char* const first = text.data();
+  const char* const last = first + text.size();
+  const std::from_chars_result r = std::from_chars(first, last, *out);
+  return r.ec == std::errc() && r.ptr == last;
+}
+
+template <typename T, typename Item>
+Result<std::vector<T>> ParseList(std::string_view text, char sep,
+                                 const Item& item) {
+  std::vector<T> out;
+  while (true) {
+    const size_t pos = text.find(sep);
+    Result<T> value = item(text.substr(0, pos));
+    if (!value.ok()) return value.status();
+    out.push_back(*value);
+    if (pos == std::string_view::npos) return out;
+    text.remove_prefix(pos + 1);
+  }
+}
+
+}  // namespace
+
+Result<uint64_t> ParseU64(std::string_view text) {
+  // from_chars<unsigned> already rejects '-', but also reject a leading '+'
+  // explicitly so the accepted grammar is plain digits, nothing else.
+  uint64_t value = 0;
+  if (text.empty() || text.front() == '+' || !ParseWhole(text, &value)) {
+    return BadNumber("a non-negative integer", text);
+  }
+  return value;
+}
+
+Result<int64_t> ParseI64(std::string_view text) {
+  int64_t value = 0;
+  if (text.empty() || text.front() == '+' || !ParseWhole(text, &value)) {
+    return BadNumber("an integer", text);
+  }
+  return value;
+}
+
+Result<double> ParseF64(std::string_view text) {
+  double value = 0.0;
+  if (text.empty() || text.front() == '+' || !ParseWhole(text, &value) ||
+      !std::isfinite(value)) {
+    return BadNumber("a number", text);
+  }
+  return value;
+}
+
+Result<std::vector<uint64_t>> ParseU64List(std::string_view text, char sep) {
+  return ParseList<uint64_t>(text, sep, ParseU64);
+}
+
+Result<std::vector<double>> ParseF64List(std::string_view text, char sep) {
+  return ParseList<double>(text, sep, ParseF64);
+}
+
+}  // namespace gbkmv

@@ -1,0 +1,40 @@
+// Checked numeric parsing for command-line flags.
+//
+// The std::atoi/atof/strtol family silently turns malformed input into 0
+// (or the longest numeric prefix), so a typo like --queries=20O runs the
+// benchmark with 20 queries and nobody notices. These helpers accept a
+// value only when the ENTIRE string parses as a number of the target type
+// and fits its range; anything else — empty string, trailing garbage,
+// overflow, lone signs — comes back InvalidArgument with the offending
+// text, for the caller to surface next to the flag name.
+
+#ifndef GBKMV_COMMON_PARSE_H_
+#define GBKMV_COMMON_PARSE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gbkmv {
+
+// Non-negative decimal integer ("42"). No sign, no whitespace, no prefix.
+Result<uint64_t> ParseU64(std::string_view text);
+
+// Decimal integer with an optional leading '-' ("-3", "17").
+Result<int64_t> ParseI64(std::string_view text);
+
+// Finite decimal floating-point value ("0.5", "-1e3"). Rejects inf/nan and
+// values that overflow a double.
+Result<double> ParseF64(std::string_view text);
+
+// `sep`-separated lists of the above ("0.5,0.8,0.9"). Empty items (leading,
+// trailing or doubled separators) and an empty input are rejected.
+Result<std::vector<uint64_t>> ParseU64List(std::string_view text,
+                                           char sep = ',');
+Result<std::vector<double>> ParseF64List(std::string_view text, char sep = ',');
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_COMMON_PARSE_H_

@@ -36,6 +36,15 @@ Result<SearchMethod> ParseSearchMethod(const std::string& name) {
   return Status::InvalidArgument("unknown search method: " + name);
 }
 
+Result<PostingStoreKind> ParsePostingStoreKind(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "flat") return PostingStoreKind::kFlat;
+  if (lower == "compressed") return PostingStoreKind::kCompressed;
+  return Status::InvalidArgument("unknown posting store: " + name);
+}
+
 Result<ShardPartitioner> ParseShardPartitioner(const std::string& name) {
   std::string lower = name;
   std::transform(lower.begin(), lower.end(), lower.begin(),
@@ -121,7 +130,8 @@ Result<std::unique_ptr<ContainmentSearcher>> BuildSearcher(
       const std::unique_ptr<ThreadPool> pool =
           MakeBuildPool(config.num_threads, dataset.size());
       return std::unique_ptr<ContainmentSearcher>(
-          std::make_unique<FreqSetSearcher>(dataset, pool.get()));
+          std::make_unique<FreqSetSearcher>(dataset, pool.get(),
+                                            config.posting_store));
     }
     case SearchMethod::kBruteForce:
       return std::unique_ptr<ContainmentSearcher>(

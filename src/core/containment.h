@@ -28,6 +28,7 @@
 #include "common/status.h"
 #include "data/dataset.h"
 #include "index/gbkmv_index.h"
+#include "index/inverted_index.h"
 #include "index/lsh_ensemble.h"
 #include "index/searcher.h"
 
@@ -58,6 +59,11 @@ enum class SearchMethod {
 //   "brute-force" | "bruteforce" | "exact" -> kBruteForce
 // Returns InvalidArgument for anything else.
 Result<SearchMethod> ParseSearchMethod(const std::string& name);
+
+// Parses a posting-store backend name, case-insensitive:
+//   "flat" -> kFlat, "compressed" -> kCompressed.
+// Returns InvalidArgument for anything else.
+Result<PostingStoreKind> ParsePostingStoreKind(const std::string& name);
 
 // Record-independent query options (query API v2); combine with a record +
 // threshold via MakeQueryRequest to issue requests. Field semantics in
@@ -110,6 +116,11 @@ struct SearcherConfig {
   size_t lshe_num_hashes = 256;
   size_t lshe_num_partitions = 32;
   uint64_t seed = kDefaultSketchSeed;
+  // Posting-list backend of the inverted-index methods (FreqSet): kFlat for
+  // the fastest scans, kCompressed for delta + bit-packed blocks at a
+  // fraction of the footprint. Results are bit-identical either way; other
+  // methods ignore the knob.
+  PostingStoreKind posting_store = PostingStoreKind::kFlat;
   // Build parallelism (sharded builds merge in shard order, so the index is
   // byte-identical for any value). 0 = DefaultThreads(), 1 = serial.
   size_t num_threads = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "storage/simd/simd.h"
+
 namespace gbkmv {
 
 Record MakeRecord(std::vector<ElementId> elements) {
@@ -18,20 +20,8 @@ bool IsNormalized(const Record& r) {
 }
 
 size_t IntersectSize(const Record& a, const Record& b) {
-  size_t count = 0;
-  size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (a[i] > b[j]) {
-      ++j;
-    } else {
-      ++count;
-      ++i;
-      ++j;
-    }
-  }
-  return count;
+  // required == 0 asks the kernel for the exact |a ∩ b|.
+  return Kernels().intersect_bounded(a.data(), a.size(), b.data(), b.size(), 0);
 }
 
 size_t UnionSize(const Record& a, const Record& b) {

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "storage/simd/simd.h"
+
 namespace gbkmv {
 
 QueryResponse BruteForceSearcher::SearchQ(const QueryRequest& request,
@@ -17,12 +19,18 @@ QueryResponse BruteForceSearcher::SearchQ(const QueryRequest& request,
   const double inv_q = 1.0 / static_cast<double>(query.size());
 
   HitCollector collector(request, ctx, &response);
+  // The bounded kernel abandons a merge once min_overlap is unreachable and
+  // returns the exact overlap otherwise — exactly what the emit test and
+  // score need.
+  const auto& kernels = Kernels();
+  const uint32_t required = static_cast<uint32_t>(min_overlap);
   for (size_t i = 0; i < dataset_.size(); ++i) {
     const Record& x = dataset_.record(i);
     if (x.size() < min_overlap) continue;  // Size lower bound.
     ++response.stats.candidates_generated;
     response.stats.postings_scanned += x.size();
-    const size_t overlap = IntersectSize(query, x);
+    const size_t overlap = kernels.intersect_bounded(
+        query.data(), query.size(), x.data(), x.size(), required);
     if (overlap >= min_overlap) {
       collector.Add(static_cast<RecordId>(i),
                     static_cast<double>(overlap) * inv_q);

@@ -6,8 +6,9 @@
 
 namespace gbkmv {
 
-FreqSetSearcher::FreqSetSearcher(const Dataset& dataset, ThreadPool* pool)
-    : dataset_(dataset), index_(dataset, pool) {}
+FreqSetSearcher::FreqSetSearcher(const Dataset& dataset, ThreadPool* pool,
+                                 PostingStoreKind store)
+    : dataset_(dataset), index_(dataset, pool, store) {}
 
 QueryResponse FreqSetSearcher::SearchQ(const QueryRequest& request,
                                        QueryContext& ctx) const {

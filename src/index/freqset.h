@@ -13,16 +13,29 @@
 #ifndef GBKMV_INDEX_FREQSET_H_
 #define GBKMV_INDEX_FREQSET_H_
 
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
 #include "data/dataset.h"
 #include "index/inverted_index.h"
 #include "index/searcher.h"
 
 namespace gbkmv {
 
+namespace io {
+class SnapshotReader;
+}  // namespace io
+
 class FreqSetSearcher : public ContainmentSearcher {
  public:
   // A non-null pool shards the inverted-index build (byte-identical result).
-  explicit FreqSetSearcher(const Dataset& dataset, ThreadPool* pool = nullptr);
+  // `store` selects the posting backend: kFlat (fastest scans, default) or
+  // kCompressed (delta + bit-packed blocks, a fraction of the footprint);
+  // results are bit-identical either way.
+  explicit FreqSetSearcher(const Dataset& dataset, ThreadPool* pool = nullptr,
+                           PostingStoreKind store = PostingStoreKind::kFlat);
 
   // Safe for concurrent callers with distinct QueryContext arenas.
   QueryResponse SearchQ(const QueryRequest& request,
@@ -35,7 +48,23 @@ class FreqSetSearcher : public ContainmentSearcher {
   }
   bool exact() const override { return true; }
 
+  // Snapshot round-trip (docs/snapshot_format.md "freqset-index"). The flat
+  // backend is rebuilt deterministically on load; the compressed arena is
+  // stored verbatim so a load skips the flat build + compress.
+  static constexpr char kSnapshotKind[] = "freqset-index";
+  Status SaveSnapshot(const std::string& path) const override {
+    return Save(path);
+  }
+  Status Save(const std::string& path) const;
+  static Result<std::unique_ptr<FreqSetSearcher>> LoadFrom(
+      const io::SnapshotReader& snapshot, const Dataset& dataset);
+  static Result<std::unique_ptr<FreqSetSearcher>> Load(const std::string& path,
+                                                       const Dataset& dataset);
+
  private:
+  FreqSetSearcher(const Dataset& dataset, InvertedIndex index)
+      : dataset_(dataset), index_(std::move(index)) {}
+
   const Dataset& dataset_;
   InvertedIndex index_;
 };

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "storage/simd/simd.h"
 
 namespace gbkmv {
 
@@ -13,22 +14,76 @@ namespace {
 // The scan loops live in standalone noinline functions so their code
 // generation is isolated from the per-query bookkeeping around them — the
 // per-posting loops are sensitive enough that inlining them into a larger
-// frame measurably changes their speed.
+// frame measurably changes their speed. Each loop prefetches the next row's
+// CSR payload while the current row streams, so the row-boundary stall is
+// paid once per query instead of once per row.
+//
 // Caller guarantees query.size() < QueryContext::kSaturated (counts cannot
 // saturate), so the guard-free bump applies.
-__attribute__((noinline)) void DenseScan(const PostingStore& store,
-                                         const Record& query,
-                                         QueryContext& ctx) {
-  for (ElementId e : query) ctx.BumpRowUnchecked(store.Row(e));
+__attribute__((noinline)) void SparseScan(const PostingStore& store,
+                                          const Record& query,
+                                          QueryContext& ctx) {
+  const size_t q = query.size();
+  for (size_t i = 0; i < q; ++i) {
+    if (i + 1 < q) __builtin_prefetch(store.Row(query[i + 1]).data());
+    ctx.BumpRowUnchecked(store.Row(query[i]));
+  }
 }
 
 // Fallback for degenerate queries with kSaturated or more elements: counts
 // can exceed the inline 16-bit field, so every bump takes the exact
 // (overflow-spilling) path.
-__attribute__((noinline)) void DenseScanChecked(const PostingStore& store,
-                                                const Record& query,
-                                                QueryContext& ctx) {
+__attribute__((noinline)) void SparseScanChecked(const PostingStore& store,
+                                                 const Record& query,
+                                                 QueryContext& ctx) {
   for (ElementId e : query) ctx.BumpRow(store.Row(e));
+}
+
+// Dense-mode bulk accumulate: guard-free ++counts[id] per posting through
+// the kernel table (storage/simd/), no touched-list bookkeeping at all.
+__attribute__((noinline)) void DenseAccumulate(const PostingStore& store,
+                                               const Record& query,
+                                               QueryContext& ctx) {
+  uint16_t* const counts = ctx.dense_counts();
+  const auto accumulate = Kernels().accumulate_u16;
+  const size_t q = query.size();
+  for (size_t i = 0; i < q; ++i) {
+    if (i + 1 < q) __builtin_prefetch(store.Row(query[i + 1]).data());
+    const std::span<const RecordId> row = store.Row(query[i]);
+    accumulate(counts, row.data(), row.size());
+  }
+}
+
+// Compressed-backend twins: each row is decoded into the context's scratch
+// by the SIMD unpack kernels, then counted exactly like a flat row — same
+// values in the same order, so results match the flat backend bit for bit.
+__attribute__((noinline)) void DenseAccumulateCompressed(
+    const CompressedPostingStore& store, const Record& query, QueryContext& ctx,
+    uint64_t max_row_length) {
+  uint16_t* const counts = ctx.dense_counts();
+  uint32_t* const scratch = ctx.RowScratch(CompressedPostingStore::
+      DecodeCapacity(static_cast<uint32_t>(max_row_length)));
+  const auto& kernels = Kernels();
+  for (ElementId e : query) {
+    const uint32_t n = store.DecodeRow(e, scratch);
+    kernels.accumulate_u16(counts, scratch, n);
+  }
+}
+
+__attribute__((noinline)) void SparseScanCompressed(
+    const CompressedPostingStore& store, const Record& query, QueryContext& ctx,
+    uint64_t max_row_length, bool checked) {
+  uint32_t* const scratch = ctx.RowScratch(CompressedPostingStore::
+      DecodeCapacity(static_cast<uint32_t>(max_row_length)));
+  for (ElementId e : query) {
+    const uint32_t n = store.DecodeRow(e, scratch);
+    const std::span<const uint32_t> row(scratch, n);
+    if (checked) {
+      ctx.BumpRow(row);
+    } else {
+      ctx.BumpRowUnchecked(row);
+    }
+  }
 }
 
 __attribute__((noinline)) void GenerateScan(const PostingStore& store,
@@ -49,25 +104,42 @@ __attribute__((noinline)) void RefineRows(const PostingStore& store,
                                           const Record& query,
                                           const std::vector<uint32_t>& rows,
                                           QueryContext& ctx) {
-  const std::vector<uint32_t>& candidates = ctx.touched();
+  const std::span<const uint32_t> candidates = ctx.touched();
   for (uint32_t i : rows) {
     const std::span<const RecordId> row = store.Row(query[i]);
     if (row.size() > 128 * candidates.size()) {
+      // Binary probes over a row that dwarfs the candidate set. Each probe
+      // is latency-bound on scattered loads, so prefetch both possible next
+      // midpoints while the current one resolves (prefetch never faults, so
+      // the slightly-past-the-end addresses at small `len` are harmless).
+      const RecordId* const base = row.data();
       for (RecordId id : candidates) {
-        if (std::binary_search(row.begin(), row.end(), id)) {
-          ctx.BumpIfTouched(id);
+        size_t lo = 0;
+        size_t len = row.size();
+        while (len > 0) {
+          const size_t half = len / 2;
+          __builtin_prefetch(&base[lo + half / 2]);
+          __builtin_prefetch(&base[lo + half + 1 + (len - half - 1) / 2]);
+          if (base[lo + half] < id) {
+            lo += half + 1;
+            len -= half + 1;
+          } else {
+            len = half;
+          }
         }
+        if (lo < row.size() && base[lo] == id) ctx.BumpIfTouched(id);
       }
     } else {
-      for (RecordId id : row) ctx.BumpIfTouched(id);
+      ctx.BumpRowIfTouched(row);
     }
   }
 }
 
 }  // namespace
 
-InvertedIndex::InvertedIndex(const Dataset& dataset, ThreadPool* pool)
-    : num_records_(dataset.size()) {
+InvertedIndex::InvertedIndex(const Dataset& dataset, ThreadPool* pool,
+                             PostingStoreKind kind)
+    : kind_(kind), num_records_(dataset.size()) {
   store_ = PostingStore::Build(
       dataset.universe_size(), dataset.size(),
       [&dataset](size_t i, const auto& fn) {
@@ -76,6 +148,27 @@ InvertedIndex::InvertedIndex(const Dataset& dataset, ThreadPool* pool)
         }
       },
       pool, dataset.total_elements());
+  if (kind_ == PostingStoreKind::kCompressed) {
+    compressed_ = CompressedPostingStore::BuildFrom(store_);
+    store_ = PostingStore();  // drop the flat payload; only the arena stays
+  }
+}
+
+Result<InvertedIndex> InvertedIndex::FromCompressed(
+    const Dataset& dataset, CompressedPostingStore store) {
+  if (store.num_keys() != dataset.universe_size()) {
+    return Status::Corruption(
+        "compressed postings: key space does not match the dataset universe");
+  }
+  if (store.size() != dataset.total_elements()) {
+    return Status::Corruption(
+        "compressed postings: posting count does not match total elements");
+  }
+  InvertedIndex index;
+  index.kind_ = PostingStoreKind::kCompressed;
+  index.num_records_ = dataset.size();
+  index.compressed_ = std::move(store);
+  return index;
 }
 
 std::vector<RecordId> InvertedIndex::ScanCount(const Record& query,
@@ -83,6 +176,11 @@ std::vector<RecordId> InvertedIndex::ScanCount(const Record& query,
                                                QueryContext& ctx,
                                                QueryStats* stats) const {
   std::vector<RecordId> out;
+  // min_overlap == 0 means "any overlap at all": clamp to 1 here (and in
+  // CountOverlaps) instead of aborting — a record sharing zero elements is
+  // never a meaningful ScanCount hit, and every caller that wants "return
+  // everything" already special-cases θ = 0 above this layer.
+  if (min_overlap == 0) min_overlap = 1;
   if (min_overlap > query.size()) return out;
   CountOverlaps(query, min_overlap, ctx, stats);
   for (RecordId id : ctx.touched()) {
@@ -94,13 +192,22 @@ std::vector<RecordId> InvertedIndex::ScanCount(const Record& query,
 void InvertedIndex::CountOverlaps(const Record& query, size_t min_overlap,
                                   QueryContext& ctx,
                                   QueryStats* stats) const {
-  GBKMV_CHECK(min_overlap >= 1);
+  if (min_overlap == 0) min_overlap = 1;  // same clamp as ScanCount
   const size_t q = query.size();
   if (min_overlap > q) {
     ctx.Begin(num_records_);
     return;
   }
-  ctx.Begin(num_records_);
+
+  // One cheap pass over the row lengths (offset reads only) feeds every
+  // strategy gate below.
+  uint64_t total_volume = 0;
+  uint64_t max_length = 0;
+  for (size_t i = 0; i < q; ++i) {
+    const uint64_t len = RowLength(query[i]);
+    total_volume += len;
+    max_length = std::max(max_length, len);
+  }
 
   // Selective queries take a prefix-filtered two-phase path: candidates are
   // generated from the q − θ + 1 shortest rows (by the pigeonhole principle
@@ -111,23 +218,17 @@ void InvertedIndex::CountOverlaps(const Record& query, size_t min_overlap,
   // rows already carry substantial volume the candidate set is large, no
   // row can be probed, and the refinement only adds overhead — so the split
   // is attempted only when the refine volume dwarfs the generation volume.
+  // Flat backend only: probing needs random access into rows, which the
+  // compressed arena cannot serve without decoding them whole.
   bool split = false;
   const size_t refine_rows = min_overlap - 1;
   std::vector<uint32_t> longest;  // query positions of the θ − 1 longest rows
   // Only high thresholds (θ >= 0.6·q) can shed enough rows for the split to
-  // beat the dense scan; below that even the bookkeeping is a net loss.
-  if (refine_rows * 5 >= q * 3 && refine_rows > 0 &&
-      q < QueryContext::kSaturated) {
-    // Cheap gate first: a dominant longest row is what makes the split pay,
-    // and the pass below only touches the offsets the scan would read
-    // anyway. The allocation + selection run only for gated queries.
-    uint64_t total_volume = 0;
-    uint64_t max_length = 0;
-    for (size_t i = 0; i < q; ++i) {
-      const uint64_t len = store_.Row(query[i]).size();
-      total_volume += len;
-      max_length = std::max(max_length, len);
-    }
+  // beat a straight scan; below that even the bookkeeping is a net loss.
+  if (kind_ == PostingStoreKind::kFlat && refine_rows * 5 >= q * 3 &&
+      refine_rows > 0 && q < QueryContext::kSaturated) {
+    // Cheap gate first: a dominant longest row is what makes the split pay.
+    // The allocation + selection below run only for gated queries.
     if (max_length > 4 * (total_volume - max_length) / refine_rows) {
       std::vector<uint64_t> by_length(q);  // (length, position) packed
       for (size_t i = 0; i < q; ++i) {
@@ -160,24 +261,49 @@ void InvertedIndex::CountOverlaps(const Record& query, size_t min_overlap,
     }
   }
 
-  if (!split) {
-    // Dense path: one pass in query order (ascending element id = ascending
-    // CSR address, the traversal the prefetcher likes).
-    if (q < QueryContext::kSaturated) {
-      DenseScan(store_, query, ctx);
+  // Dense gate: once the query streams at least one posting per record on
+  // average, a memset + guard-free counters + SIMD threshold emission beat
+  // the epoch bookkeeping (whose first-touch branch mispredicts on nearly
+  // every record at this density). Depends only on query and index, so the
+  // strategy — and therefore every result byte — is identical for any
+  // thread count and dispatch level.
+  const bool dense =
+      !split && total_volume >= num_records_ && q <= 0xffff;
+
+  if (dense) {
+    ctx.BeginDense(num_records_);
+    if (kind_ == PostingStoreKind::kFlat) {
+      DenseAccumulate(store_, query, ctx);
     } else {
-      DenseScanChecked(store_, query, ctx);
+      DenseAccumulateCompressed(compressed_, query, ctx, max_length);
     }
+    ctx.FinalizeDense(static_cast<uint16_t>(min_overlap));
   } else {
-    std::sort(longest.begin(), longest.end());
-    // Generation over every row not among the θ − 1 longest, in query
-    // order; then refinement, which never admits new candidates (a record
-    // absent from every generation row cannot reach θ) and binary-search
-    // probes any row that dwarfs the candidate set — a probe costs log2(L)
-    // scattered reads against ~1 streamed read per posting for a scan,
-    // hence the wide margin inside RefineRows.
-    GenerateScan(store_, query, longest, ctx);
-    RefineRows(store_, query, longest, ctx);
+    ctx.Begin(num_records_);
+    if (!split) {
+      // One pass in query order (ascending element id = ascending CSR
+      // address, the traversal the prefetcher likes).
+      if (kind_ == PostingStoreKind::kFlat) {
+        if (q < QueryContext::kSaturated) {
+          SparseScan(store_, query, ctx);
+        } else {
+          SparseScanChecked(store_, query, ctx);
+        }
+      } else {
+        SparseScanCompressed(compressed_, query, ctx, max_length,
+                             /*checked=*/q >= QueryContext::kSaturated);
+      }
+    } else {
+      std::sort(longest.begin(), longest.end());
+      // Generation over every row not among the θ − 1 longest, in query
+      // order; then refinement, which never admits new candidates (a record
+      // absent from every generation row cannot reach θ) and binary-search
+      // probes any row that dwarfs the candidate set — a probe costs log2(L)
+      // scattered reads against ~1 streamed read per posting for a scan,
+      // hence the wide margin inside RefineRows.
+      GenerateScan(store_, query, longest, ctx);
+      RefineRows(store_, query, longest, ctx);
+    }
   }
 
   if (stats != nullptr) {
@@ -188,9 +314,7 @@ void InvertedIndex::CountOverlaps(const Record& query, size_t min_overlap,
     // full length (a close upper bound on entries actually read; charging
     // full rows would overstate by the exact factor the split saves).
     if (!split) {
-      for (ElementId e : query) {
-        stats->postings_scanned += store_.Row(e).size();
-      }
+      stats->postings_scanned += total_volume;
     } else {
       const uint64_t candidates = ctx.touched().size();
       size_t next = 0;
@@ -204,7 +328,11 @@ void InvertedIndex::CountOverlaps(const Record& query, size_t min_overlap,
         }
       }
     }
-    stats->candidates_generated += ctx.touched().size();
+    // Records with any overlap — what sparse touched() holds; the dense
+    // path recovers the same number with one SIMD pass so the stat is
+    // strategy-independent (sharded sums rely on that).
+    stats->candidates_generated +=
+        dense ? ctx.DenseNonZero() : ctx.touched().size();
   }
 }
 

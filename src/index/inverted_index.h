@@ -1,7 +1,13 @@
-// Inverted index substrate: element id -> sorted posting list of record ids,
-// stored flat (storage/posting_store.h CSR layout). Shared by the exact
-// search methods (FreqSet ScanCount, PPjoin* prefix index) and the fast
-// ground-truth oracle.
+// Inverted index substrate: element id -> sorted posting list of record ids.
+// Shared by the exact search methods (FreqSet ScanCount, PPjoin* prefix
+// index) and the fast ground-truth oracle.
+//
+// Two storage backends, selected at construction and invisible in results:
+//   * kFlat — the CSR layout of storage/posting_store.h; fastest scans.
+//   * kCompressed — delta + bit-packed blocks
+//     (storage/compressed_posting_store.h); a fraction of the resident
+//     footprint, decoded per row into QueryContext scratch by the SIMD
+//     unpack kernels during scans.
 
 #ifndef GBKMV_INDEX_INVERTED_INDEX_H_
 #define GBKMV_INDEX_INVERTED_INDEX_H_
@@ -10,8 +16,10 @@
 #include <span>
 #include <vector>
 
+#include "common/status.h"
 #include "data/dataset.h"
 #include "index/searcher.h"
+#include "storage/compressed_posting_store.h"
 #include "storage/posting_store.h"
 #include "storage/query_context.h"
 
@@ -19,34 +27,74 @@ namespace gbkmv {
 
 class ThreadPool;
 
+enum class PostingStoreKind : uint8_t {
+  kFlat = 0,
+  kCompressed = 1,
+};
+
 class InvertedIndex {
  public:
   // Builds postings for every element of every record in `dataset`. A
   // non-null pool shards the build (per-shard count + scatter, merged in
   // shard order) producing postings byte-identical to the serial build.
-  explicit InvertedIndex(const Dataset& dataset, ThreadPool* pool = nullptr);
+  // With kCompressed the flat postings are compressed and dropped after the
+  // build, keeping only the block-compressed arena resident.
+  explicit InvertedIndex(const Dataset& dataset, ThreadPool* pool = nullptr,
+                         PostingStoreKind kind = PostingStoreKind::kFlat);
+
+  // Rehydrates a compressed-backend index from a loaded store (snapshot
+  // path; skips the flat build + compress). Corruption if the store's shape
+  // disagrees with the dataset.
+  static Result<InvertedIndex> FromCompressed(const Dataset& dataset,
+                                              CompressedPostingStore store);
+
+  PostingStoreKind kind() const { return kind_; }
+
+  // The compressed payload (kCompressed backend only; snapshot writers).
+  const CompressedPostingStore& compressed() const {
+    GBKMV_CHECK(kind_ == PostingStoreKind::kCompressed);
+    return compressed_;
+  }
 
   // Posting list (ascending record ids) of `element`; empty for unseen ids.
+  // Flat backend only — compressed rows exist only as decoded copies in
+  // per-query scratch.
   std::span<const RecordId> Postings(ElementId element) const {
+    GBKMV_CHECK(kind_ == PostingStoreKind::kFlat);
     return store_.Row(element);
   }
 
-  // Σ posting lengths (= total elements), i.e. payload size in entries.
-  uint64_t TotalPostings() const { return store_.size(); }
+  // Posting count of `element`, either backend.
+  uint32_t RowLength(ElementId element) const {
+    return kind_ == PostingStoreKind::kFlat
+               ? static_cast<uint32_t>(store_.Row(element).size())
+               : compressed_.RowLength(element);
+  }
 
-  // Resident storage in 32-bit units: offsets + posting values.
-  uint64_t SpaceUnits() const { return store_.SpaceUnits(); }
+  // Σ posting lengths (= total elements), i.e. payload size in entries.
+  uint64_t TotalPostings() const {
+    return kind_ == PostingStoreKind::kFlat ? store_.size()
+                                            : compressed_.size();
+  }
+
+  // Resident storage in 32-bit units.
+  uint64_t SpaceUnits() const {
+    return kind_ == PostingStoreKind::kFlat ? store_.SpaceUnits()
+                                            : compressed_.SpaceUnits();
+  }
 
   // ScanCount: number of query elements shared with each record. Returns the
   // ids of records whose overlap with `query` is >= min_overlap, by counting
   // occurrences across the query's posting lists in the caller's scratch
   // arena (pass ThreadLocalQueryContext() unless composing with an outer
-  // counting pass). `min_overlap` must be >= 1. After the call, ctx holds
-  // the overlap count of every touched record (CountOf), so callers can
-  // score the returned ids without re-counting. A non-null `stats`
-  // accumulates postings_scanned (posting entries the scan read) and
-  // candidates_generated (records touched) — O(|Q|) extra work, never
-  // per-posting.
+  // counting pass). `min_overlap == 0` is clamped to 1 — "any overlap at
+  // all" — so every record sharing at least one element qualifies (an empty
+  // query still returns nothing). After the call, ctx holds the overlap
+  // count of every touched record (CountOf), so callers can score the
+  // returned ids without re-counting. A non-null `stats` accumulates
+  // postings_scanned (posting entries the scan read) and
+  // candidates_generated (records with any overlap) — O(|Q|) extra work,
+  // never per-posting.
   std::vector<RecordId> ScanCount(const Record& query, size_t min_overlap,
                                   QueryContext& ctx,
                                   QueryStats* stats = nullptr) const;
@@ -54,13 +102,25 @@ class InvertedIndex {
   // The counting phases of ScanCount without the output pass: after the
   // call, ctx holds the overlap of every touched record and callers emit
   // results themselves (one pass instead of materialise-then-copy).
-  // `min_overlap` only gates the prefix-filter split; counts are exact for
-  // every touched record regardless.
+  // `min_overlap` (clamped to >= 1) only gates the execution strategy —
+  // counts are exact for every touched record regardless. Three strategies,
+  // chosen per query from the posting volume alone (deterministic for any
+  // thread count and dispatch level):
+  //   * dense  — volume >= dataset size: plain u16 counters + SIMD
+  //     threshold emission (ctx.touched() comes back ascending);
+  //   * split  — high θ on the flat backend: prefix-filtered two-phase
+  //     generate/refine with prefetching binary probes;
+  //   * sparse — everything else: epoch-stamped counting in first-touch
+  //     order.
   void CountOverlaps(const Record& query, size_t min_overlap,
                      QueryContext& ctx, QueryStats* stats = nullptr) const;
 
  private:
-  PostingStore store_;
+  InvertedIndex() = default;  // FromCompressed fills the members itself.
+
+  PostingStore store_;                 // kFlat payload (empty otherwise)
+  CompressedPostingStore compressed_;  // kCompressed payload
+  PostingStoreKind kind_ = PostingStoreKind::kFlat;
   size_t num_records_ = 0;
 };
 

@@ -6,6 +6,7 @@
 
 #include "common/thread_pool.h"
 #include "storage/query_context.h"
+#include "storage/simd/simd.h"
 
 namespace gbkmv {
 
@@ -24,14 +25,21 @@ PPJoinSearcher::PPJoinSearcher(const Dataset& dataset, ThreadPool* pool)
 
   // Frequency-order every record once into a flat scratch CSR (row starts =
   // element-count prefix sums), then run the deterministic two-pass posting
-  // build over it.
+  // build over it. The same prefix sums double as the element-order flat
+  // record copy the query path scans (record_offsets_/record_elems_).
   const size_t m = dataset.size();
   std::vector<size_t> row(m + 1, 0);
   for (size_t i = 0; i < m; ++i) row[i + 1] = row[i] + dataset.record(i).size();
+  record_offsets_.resize(m + 1);
+  for (size_t i = 0; i <= m; ++i) {
+    record_offsets_[i] = static_cast<uint32_t>(row[i]);
+  }
+  record_elems_.resize(row[m]);
   std::vector<ElementId> reordered(row[m]);
   const auto reorder_range = [&](size_t begin, size_t end, size_t /*chunk*/) {
     for (size_t i = begin; i < end; ++i) {
       const Record& r = dataset.record(i);
+      std::copy(r.begin(), r.end(), record_elems_.begin() + row[i]);
       std::copy(r.begin(), r.end(), reordered.begin() + row[i]);
       std::sort(reordered.begin() + row[i], reordered.begin() + row[i + 1],
                 [this](ElementId a, ElementId b) { return rank_[a] < rank_[b]; });
@@ -66,6 +74,7 @@ QueryResponse PPJoinSearcher::SearchQ(const QueryRequest& request,
       std::ceil(request.threshold * static_cast<double>(q) - 1e-9));
   const double inv_q = 1.0 / static_cast<double>(q);
   HitCollector collector(request, ctx, &response);
+  const auto& kernels = Kernels();
   if (theta == 0) {
     // Every record qualifies (threshold 0); scores need a verification
     // merge per record, which the prefix index cannot shortcut.
@@ -74,7 +83,9 @@ QueryResponse PPJoinSearcher::SearchQ(const QueryRequest& request,
     for (size_t i = 0; i < dataset_.size(); ++i) {
       const double overlap =
           need_scores
-              ? static_cast<double>(IntersectSize(query, dataset_.record(i)))
+              ? static_cast<double>(kernels.intersect_bounded(
+                    query.data(), q, record_elems_.data() + record_offsets_[i],
+                    record_offsets_[i + 1] - record_offsets_[i], 0))
               : 0.0;
       collector.Add(static_cast<RecordId>(i), overlap * inv_q);
     }
@@ -104,7 +115,7 @@ QueryResponse PPJoinSearcher::SearchQ(const QueryRequest& request,
     response.stats.postings_scanned += row.size();
     for (const Posting& p : row) {
       if (ctx.IsMarked(p.id)) continue;
-      const size_t x = dataset_.record(p.id).size();
+      const size_t x = record_offsets_[p.id + 1] - record_offsets_[p.id];
       if (x < theta) continue;                       // size filter
       if (p.position + theta > x) continue;          // record prefix filter
       // Positional filter: best-case overlap from this alignment.
@@ -115,9 +126,17 @@ QueryResponse PPJoinSearcher::SearchQ(const QueryRequest& request,
     }
   }
 
+  // Verification: exact bounded intersection per candidate. The kernel
+  // abandons the merge the moment θ becomes unreachable (returning 0, below
+  // any θ >= 1), so failing candidates — the common case at realistic
+  // thresholds — cost a fraction of a full merge; the exact overlap comes
+  // back whenever it is >= θ, which is all the score needs.
   response.stats.candidates_generated = ctx.touched().size();
+  const uint32_t required = static_cast<uint32_t>(theta);
   for (RecordId id : ctx.touched()) {
-    const size_t overlap = IntersectSize(query, dataset_.record(id));
+    const size_t overlap = kernels.intersect_bounded(
+        query.data(), q, record_elems_.data() + record_offsets_[id],
+        record_offsets_[id + 1] - record_offsets_[id], required);
     if (overlap >= theta) {
       collector.Add(id, static_cast<double>(overlap) * inv_q);
     }
@@ -127,9 +146,11 @@ QueryResponse PPJoinSearcher::SearchQ(const QueryRequest& request,
 }
 
 uint64_t PPJoinSearcher::SpaceUnits() const {
-  // Postings (two 32-bit words per (id, position) entry + offsets) plus the
-  // global token-rank array.
-  return postings_.SpaceUnits() + rank_.size();
+  // Postings (two 32-bit words per (id, position) entry + offsets), the
+  // global token-rank array, and the flat element-order record copy the
+  // verification path scans.
+  return postings_.SpaceUnits() + rank_.size() + record_offsets_.size() +
+         record_elems_.size();
 }
 
 }  // namespace gbkmv

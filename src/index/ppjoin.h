@@ -50,6 +50,13 @@ class PPJoinSearcher : public ContainmentSearcher {
   // frequency (rarest first). Rarer tokens give shorter candidate lists.
   std::vector<uint32_t> rank_;
   CsrStore<Posting> postings_;  // token -> positional postings
+  // Flat element-order copy of the dataset records (CSR: offsets + payload).
+  // Candidates arrive in arbitrary id order, and both the prefix scan's size
+  // filter and the verification merges would otherwise chase each record's
+  // separate heap allocation; the flat copy makes |X| two adjacent offset
+  // loads and hands the SIMD intersection kernels one contiguous span.
+  std::vector<uint32_t> record_offsets_;  // dataset_.size() + 1 row starts
+  std::vector<ElementId> record_elems_;   // concatenated sorted records
 };
 
 }  // namespace gbkmv

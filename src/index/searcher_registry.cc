@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "index/dynamic_index.h"
+#include "index/freqset.h"
 #include "index/gbkmv_index.h"
 #include "index/lsh_ensemble.h"
 #include "io/snapshot.h"
@@ -11,7 +12,7 @@ namespace gbkmv {
 
 std::vector<std::string> RegisteredSnapshotKinds() {
   return {GbKmvIndexSearcher::kSnapshotKind, DynamicGbKmvIndex::kSnapshotKind,
-          LshEnsembleSearcher::kSnapshotKind};
+          LshEnsembleSearcher::kSnapshotKind, FreqSetSearcher::kSnapshotKind};
 }
 
 Result<std::string> ReadSearcherSnapshotKind(const std::string& path) {
@@ -76,6 +77,16 @@ Result<LoadedSearcher> LoadSearcherSnapshot(const std::string& path) {
     loaded.searcher = std::move(searcher.value());
     return loaded;
   }
+  if (meta->kind == FreqSetSearcher::kSnapshotKind) {
+    Result<std::unique_ptr<Dataset>> dataset = LoadEmbeddedDataset(*snapshot);
+    if (!dataset.ok()) return dataset.status();
+    Result<std::unique_ptr<FreqSetSearcher>> searcher =
+        FreqSetSearcher::LoadFrom(*snapshot, **dataset);
+    if (!searcher.ok()) return searcher.status();
+    loaded.dataset = std::move(dataset.value());
+    loaded.searcher = std::move(searcher.value());
+    return loaded;
+  }
   return Status::InvalidArgument("unknown searcher snapshot kind '" +
                                  meta->kind + "'");
 }
@@ -110,6 +121,12 @@ Result<std::unique_ptr<ContainmentSearcher>> LoadSearcherSnapshot(
   if (meta->kind == LshEnsembleSearcher::kSnapshotKind) {
     Result<std::unique_ptr<LshEnsembleSearcher>> searcher =
         LshEnsembleSearcher::LoadFrom(*snapshot, dataset);
+    if (!searcher.ok()) return searcher.status();
+    return std::unique_ptr<ContainmentSearcher>(std::move(searcher.value()));
+  }
+  if (meta->kind == FreqSetSearcher::kSnapshotKind) {
+    Result<std::unique_ptr<FreqSetSearcher>> searcher =
+        FreqSetSearcher::LoadFrom(*snapshot, dataset);
     if (!searcher.ok()) return searcher.status();
     return std::unique_ptr<ContainmentSearcher>(std::move(searcher.value()));
   }

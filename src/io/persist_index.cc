@@ -21,12 +21,14 @@
 
 #include "data/dataset.h"
 #include "index/dynamic_index.h"
+#include "index/freqset.h"
 #include "index/gbkmv_index.h"
 #include "index/lsh_ensemble.h"
 #include "index/minhash_lsh.h"
 #include "io/serializer.h"
 #include "io/snapshot.h"
 #include "sketch/gbkmv.h"
+#include "storage/compressed_posting_store.h"
 
 namespace gbkmv {
 
@@ -312,6 +314,56 @@ Result<std::unique_ptr<DynamicGbKmvIndex>> DynamicGbKmvIndex::Load(
   Result<io::SnapshotReader> snapshot = io::SnapshotReader::Open(path);
   if (!snapshot.ok()) return snapshot.status();
   return LoadFrom(*snapshot);
+}
+
+// --- FreqSetSearcher ------------------------------------------------------
+
+Status FreqSetSearcher::Save(const std::string& path) const {
+  io::SnapshotWriter snapshot;
+  io::WriteSnapshotMeta(&snapshot, kSnapshotKind, dataset_.Fingerprint());
+  dataset_.SaveTo(snapshot.AddSection(io::kSectionDataset));
+  io::Writer* out = snapshot.AddSection(io::kSectionIndex);
+  out->PutU8(static_cast<uint8_t>(index_.kind()));
+  // The flat backend is a pure function of the dataset and rebuilds on load;
+  // the compressed arena travels verbatim so a load skips the flat build +
+  // compress (its layout is deterministic, so the bytes are identical to a
+  // fresh build anyway).
+  if (index_.kind() == PostingStoreKind::kCompressed) {
+    index_.compressed().SaveTo(out);
+  }
+  return snapshot.WriteTo(path);
+}
+
+Result<std::unique_ptr<FreqSetSearcher>> FreqSetSearcher::LoadFrom(
+    const io::SnapshotReader& snapshot, const Dataset& dataset) {
+  GBKMV_RETURN_IF_ERROR(CheckMeta(snapshot, kSnapshotKind, dataset));
+  Result<io::Reader> section = snapshot.Section(io::kSectionIndex);
+  if (!section.ok()) return section.status();
+  io::Reader* in = &section.value();
+
+  uint8_t kind = 0;
+  GBKMV_RETURN_IF_ERROR(in->GetU8(&kind));
+  if (kind == static_cast<uint8_t>(PostingStoreKind::kFlat)) {
+    return std::unique_ptr<FreqSetSearcher>(new FreqSetSearcher(
+        dataset, InvertedIndex(dataset, nullptr, PostingStoreKind::kFlat)));
+  }
+  if (kind != static_cast<uint8_t>(PostingStoreKind::kCompressed)) {
+    return Status::Corruption("freqset snapshot: unknown posting-store kind");
+  }
+  CompressedPostingStore store;
+  GBKMV_RETURN_IF_ERROR(store.LoadFrom(in));
+  Result<InvertedIndex> index =
+      InvertedIndex::FromCompressed(dataset, std::move(store));
+  if (!index.ok()) return index.status();
+  return std::unique_ptr<FreqSetSearcher>(
+      new FreqSetSearcher(dataset, std::move(index.value())));
+}
+
+Result<std::unique_ptr<FreqSetSearcher>> FreqSetSearcher::Load(
+    const std::string& path, const Dataset& dataset) {
+  Result<io::SnapshotReader> snapshot = io::SnapshotReader::Open(path);
+  if (!snapshot.ok()) return snapshot.status();
+  return LoadFrom(*snapshot, dataset);
 }
 
 // --- LshEnsembleSearcher --------------------------------------------------

@@ -1,0 +1,209 @@
+#include "storage/compressed_posting_store.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstring>
+
+#include "io/serializer.h"
+#include "storage/simd/simd.h"
+
+namespace gbkmv {
+
+namespace {
+
+constexpr uint32_t kBlockLen = 128;
+
+// Exact bit width of the largest gap, rounded up to a width the SIMD unpack
+// kernels handle at full speed.
+uint8_t RoundWidth(uint32_t max_delta) {
+  const int bits = std::bit_width(max_delta);
+  if (bits == 0) return 0;
+  if (bits <= 1) return 1;
+  if (bits <= 2) return 2;
+  if (bits <= 4) return 4;
+  if (bits <= 8) return 8;
+  if (bits <= 16) return 16;
+  return 32;
+}
+
+bool ValidWidth(uint8_t w) {
+  return w == 0 || w == 1 || w == 2 || w == 4 || w == 8 || w == 16 || w == 32;
+}
+
+void AppendU32(std::vector<uint8_t>& arena, uint32_t v) {
+  uint8_t raw[4];
+  std::memcpy(raw, &v, sizeof raw);
+  arena.insert(arena.end(), raw, raw + sizeof raw);
+}
+
+}  // namespace
+
+CompressedPostingStore CompressedPostingStore::BuildFrom(
+    const PostingStore& flat) {
+  CompressedPostingStore out;
+  const size_t num_keys = flat.num_keys();
+  out.offsets_.assign(num_keys + 1, 0);
+  out.total_postings_ = flat.size();
+  // Rough reserve: one byte per posting plus headers covers typical
+  // power-law rows without rehashing the arena repeatedly.
+  out.arena_.reserve(static_cast<size_t>(flat.size()) + 9 * num_keys);
+
+  // Bit-packing staging area: one full block at the widest width plus the
+  // 8-byte write window, so the packer never writes into unsized arena
+  // space.
+  std::array<uint8_t, 16 * 32 + 8> block{};
+
+  for (size_t key = 0; key < num_keys; ++key) {
+    out.offsets_[key] = out.arena_.size();
+    const std::span<const uint32_t> row = flat.Row(key);
+    const uint32_t n = static_cast<uint32_t>(row.size());
+    AppendU32(out.arena_, n);
+    if (n == 0) continue;
+    AppendU32(out.arena_, row[0]);
+    uint32_t pos = 1;
+    while (pos < n) {
+      const uint32_t c = std::min(n - pos, kBlockLen);
+      uint32_t max_delta = 0;
+      for (uint32_t k = 0; k < c; ++k) {
+        max_delta |= row[pos + k] - row[pos + k - 1] - 1;
+      }
+      const uint8_t width = RoundWidth(max_delta);
+      out.arena_.push_back(width);
+      if (width != 0) {
+        const size_t payload = size_t{16} * width;
+        std::fill(block.begin(), block.begin() + payload + 8, uint8_t{0});
+        uint64_t bit = 0;
+        for (uint32_t k = 0; k < c; ++k, bit += width) {
+          const uint64_t delta = row[pos + k] - row[pos + k - 1] - 1;
+          uint64_t word;
+          std::memcpy(&word, block.data() + (bit >> 3), sizeof word);
+          word |= delta << (bit & 7);
+          std::memcpy(block.data() + (bit >> 3), &word, sizeof word);
+        }
+        out.arena_.insert(out.arena_.end(), block.data(),
+                          block.data() + payload);
+      }
+      pos += c;
+    }
+  }
+  out.offsets_[num_keys] = out.arena_.size();
+  out.arena_.resize(out.arena_.size() + kArenaSlack, 0);
+  return out;
+}
+
+uint32_t CompressedPostingStore::RowLength(size_t key) const {
+  if (key + 1 >= offsets_.size()) return 0;
+  uint32_t n;
+  std::memcpy(&n, arena_.data() + offsets_[key], sizeof n);
+  return n;
+}
+
+uint32_t CompressedPostingStore::DecodeRow(size_t key, uint32_t* out) const {
+  if (key + 1 >= offsets_.size()) return 0;
+  const uint8_t* p = arena_.data() + offsets_[key];
+  uint32_t n;
+  std::memcpy(&n, p, sizeof n);
+  p += sizeof n;
+  if (n == 0) return 0;
+  uint32_t first;
+  std::memcpy(&first, p, sizeof first);
+  p += sizeof first;
+  out[0] = first;
+  const SimdKernels& kernels = Kernels();
+  uint32_t done = 1;
+  uint32_t base = first;
+  while (done < n) {
+    const uint32_t c = std::min(n - done, kBlockLen);
+    const uint8_t width = *p++;
+    kernels.decode_deltas(p, width, base, c, out + done);
+    p += size_t{16} * width;
+    base = out[done + c - 1];
+    done += c;
+  }
+  return n;
+}
+
+void CompressedPostingStore::SaveTo(io::Writer* writer) const {
+  writer->PutU64(total_postings_);
+  writer->PutVecU64(offsets_);
+  const uint64_t content = offsets_.empty() ? 0 : offsets_.back();
+  writer->PutU64(content);
+  writer->PutBytes(arena_.data(), static_cast<size_t>(content));
+}
+
+Status CompressedPostingStore::LoadFrom(io::Reader* reader) {
+  uint64_t total = 0;
+  std::vector<uint64_t> offsets;
+  uint64_t content = 0;
+  GBKMV_RETURN_IF_ERROR(reader->GetU64(&total));
+  GBKMV_RETURN_IF_ERROR(reader->GetVecU64(&offsets));
+  GBKMV_RETURN_IF_ERROR(reader->GetU64(&content));
+  if (offsets.empty()) {
+    return Status::Corruption("compressed store: empty offsets");
+  }
+  if (offsets.front() != 0 || offsets.back() != content) {
+    return Status::Corruption("compressed store: offset bounds mismatch");
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      return Status::Corruption("compressed store: offsets not monotone");
+    }
+  }
+  std::vector<uint8_t> arena(static_cast<size_t>(content) + kArenaSlack, 0);
+  GBKMV_RETURN_IF_ERROR(
+      reader->GetBytes(arena.data(), static_cast<size_t>(content)));
+
+  // Structural walk: every row header and block must stay inside its
+  // offsets extent, and the posting counts must add up.
+  uint64_t postings = 0;
+  for (size_t key = 0; key + 1 < offsets.size(); ++key) {
+    uint64_t off = offsets[key];
+    const uint64_t end = offsets[key + 1];
+    if (off + 4 > end) {
+      return Status::Corruption("compressed store: truncated row header");
+    }
+    uint32_t n;
+    std::memcpy(&n, arena.data() + off, sizeof n);
+    off += 4;
+    postings += n;
+    if (n == 0) {
+      if (off != end) {
+        return Status::Corruption("compressed store: empty row with payload");
+      }
+      continue;
+    }
+    if (off + 4 > end) {
+      return Status::Corruption("compressed store: truncated first value");
+    }
+    off += 4;
+    uint32_t pos = 1;
+    while (pos < n) {
+      const uint32_t c = std::min(n - pos, kBlockLen);
+      if (off + 1 > end) {
+        return Status::Corruption("compressed store: truncated block header");
+      }
+      const uint8_t width = arena[static_cast<size_t>(off)];
+      if (!ValidWidth(width)) {
+        return Status::Corruption("compressed store: invalid block width");
+      }
+      off += 1 + size_t{16} * width;
+      if (off > end) {
+        return Status::Corruption("compressed store: truncated block payload");
+      }
+      pos += c;
+    }
+    if (off != end) {
+      return Status::Corruption("compressed store: row size mismatch");
+    }
+  }
+  if (postings != total) {
+    return Status::Corruption("compressed store: posting count mismatch");
+  }
+  offsets_ = std::move(offsets);
+  arena_ = std::move(arena);
+  total_postings_ = total;
+  return Status::OK();
+}
+
+}  // namespace gbkmv

@@ -1,0 +1,99 @@
+// Block-compressed posting storage: the footprint-saving alternate backend
+// to the flat CsrStore<RecordId> (selected per searcher via
+// SearcherConfig::posting_store).
+//
+// Layout. One byte arena holds every row back to back; offsets_[key] is the
+// row's byte offset. A row is:
+//
+//   u32 n                       posting count
+//   u32 first                   first record id, uncompressed   (if n > 0)
+//   ceil((n-1)/128) blocks of:
+//     u8  width                 bits per delta: 0,1,2,4,8,16 or 32
+//     16*width bytes            128 bit-packed deltas, LSB-first
+//
+// Each block packs up to 128 gaps as (delta - 1) — posting ids are strictly
+// ascending, so gaps are >= 1 and runs of consecutive ids compress to width
+// 0 with an empty payload. The width is the exact bit width of the block's
+// largest gap rounded up to the next power of two (or 0), which is what the
+// SIMD unpack kernels decode at full width (storage/simd/simd.h
+// decode_deltas); a ragged final block still reserves the full 16*width
+// bytes, zero-padded, so decode never needs a length special case. On the
+// power-law posting distributions this repo targets, hot rows sit at widths
+// 1-4 — 8-32x smaller than the flat u32 layout.
+//
+// Decoding is per row into caller scratch (QueryContext::RowScratch): the
+// scan loops decode each query row once and feed the result to the same
+// count kernels the flat path uses, so compressed vs flat is bit-identical
+// in results and differs only in space/speed.
+
+#ifndef GBKMV_STORAGE_COMPRESSED_POSTING_STORE_H_
+#define GBKMV_STORAGE_COMPRESSED_POSTING_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/posting_store.h"
+
+namespace gbkmv {
+
+namespace io {
+class Reader;
+class Writer;
+}  // namespace io
+
+class CompressedPostingStore {
+ public:
+  CompressedPostingStore() = default;
+
+  // Compresses every row of `flat`. Rows must hold strictly ascending
+  // values (CsrStore posting rows always do). Deterministic: the encoding
+  // depends only on the row contents.
+  static CompressedPostingStore BuildFrom(const PostingStore& flat);
+
+  size_t num_keys() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  uint64_t size() const { return total_postings_; }
+
+  // Posting count of `key` (0 for keys outside the key space).
+  uint32_t RowLength(size_t key) const;
+
+  // Decodes `key`'s postings into `out` and returns the posting count.
+  // `out` must have room for DecodeCapacity(RowLength(key)) entries; the
+  // SIMD decoders write up to 7 entries of padding past the count.
+  uint32_t DecodeRow(size_t key, uint32_t* out) const;
+
+  // Scratch capacity needed to decode a row of `n` postings.
+  static size_t DecodeCapacity(uint32_t n) { return size_t{n} + 8; }
+
+  // Resident storage in 32-bit units (same accounting as CsrStore): the
+  // 64-bit offsets count double, the arena rounds up to whole units.
+  uint64_t SpaceUnits() const {
+    return offsets_.size() * 2 + (arena_.size() + 3) / 4;
+  }
+
+  // Serialization (io/snapshot.md "cpst" section payload). LoadFrom
+  // validates structural invariants (offsets monotone and in bounds, row
+  // headers consistent with the arena extent) before accepting.
+  void SaveTo(io::Writer* writer) const;
+  Status LoadFrom(io::Reader* reader);
+
+  bool operator==(const CompressedPostingStore& other) const {
+    return offsets_ == other.offsets_ && arena_ == other.arena_ &&
+           total_postings_ == other.total_postings_;
+  }
+
+ private:
+  // 8 readable bytes past any block payload for the scalar bit extractor's
+  // unaligned 64-bit window.
+  static constexpr size_t kArenaSlack = 8;
+
+  std::vector<uint64_t> offsets_;  // num_keys + 1 byte offsets into arena_
+  std::vector<uint8_t> arena_;     // rows + kArenaSlack trailing bytes
+  uint64_t total_postings_ = 0;
+};
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_STORAGE_COMPRESSED_POSTING_STORE_H_

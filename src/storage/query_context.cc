@@ -1,6 +1,17 @@
 #include "storage/query_context.h"
 
+#include "storage/simd/simd.h"
+
 namespace gbkmv {
+
+void QueryContext::FinalizeDense(uint16_t theta) {
+  touched_n_ = Kernels().emit_ge_u16(dense_counts_.data(), dense_limit_, theta,
+                                     touched_buf_.data());
+}
+
+size_t QueryContext::DenseNonZero() const {
+  return Kernels().count_nonzero_u16(dense_counts_.data(), dense_limit_);
+}
 
 QueryContext& ThreadLocalQueryContext() {
   thread_local QueryContext context;

@@ -20,13 +20,24 @@
 // construction and a worker thread reuses one allocation across an entire
 // batch.
 //
+// DENSE MODE (BeginDense): when a query's total posting volume reaches the
+// dataset size, the epoch bookkeeping — the first-touch branch and the
+// touched-list append per new record — costs more than it saves. Dense mode
+// swaps the epoch slots for a plain uint16 counter array that is memset per
+// query (one streaming O(dataset) pass, cheaper than millions of mispredicted
+// branches) and bumped with a guard-free `++counts[id]`; qualifiers are then
+// emitted by a SIMD threshold scan (storage/simd/) in ascending-id order into
+// the same touched() list. Counting (CountOf) works identically in both
+// modes; which mode a query used is observable only through touched() order,
+// which the query API deliberately leaves unspecified (index/query.h).
+//
 // Ownership rules (docs/architecture.md):
 //   * searchers never store a QueryContext — they borrow one per query;
-//   * one context serves one query at a time: Begin() invalidates everything
-//     the previous query left behind (any dataset, any searcher);
+//   * one context serves one query at a time: Begin()/BeginDense()
+//     invalidates everything the previous query left behind;
 //   * a query uses either the counting API (Bump/BumpIfTouched/CountOf) or
 //     the marking API (IsMarked/Mark), both of which share the touched()
-//     list.
+//     list; dense mode supports only the counting API.
 
 #ifndef GBKMV_STORAGE_QUERY_CONTEXT_H_
 #define GBKMV_STORAGE_QUERY_CONTEXT_H_
@@ -42,22 +53,53 @@ namespace gbkmv {
 
 class QueryContext {
  public:
-  // Starts a new query over `num_slots` slots (record ids [0, num_slots)).
-  // Invalidates all counts/marks of the previous query in O(1).
+  // Starts a new query over `num_slots` slots (record ids [0, num_slots)) in
+  // sparse (epoch-stamped) mode. Invalidates all counts/marks of the
+  // previous query in O(1).
   void Begin(size_t num_slots) {
     if (slots_.size() < num_slots) slots_.resize(num_slots, 0);
+    if (touched_buf_.size() < num_slots) touched_buf_.resize(num_slots);
     epoch_ = (epoch_ + 1) & 0xffff;
     if (epoch_ == 0) {  // epoch wrapped: old stamps become ambiguous
       std::fill(slots_.begin(), slots_.end(), 0);
       epoch_ = 1;
     }
-    touched_.clear();
+    touched_n_ = 0;
+    dense_ = false;
     if (!overflow_.empty()) overflow_.clear();
   }
 
+  // Starts a new query in dense counting mode: plain uint16 counters,
+  // guard-free bulk increments, threshold emission via FinalizeDense. Only
+  // worth it when the query will bump at least ~num_slots times; every bump
+  // must target a slot < num_slots, and no slot may be bumped more than
+  // 0xffff times (any query with at most 0xffff posting rows qualifies).
+  void BeginDense(size_t num_slots) {
+    if (dense_counts_.size() < num_slots) dense_counts_.resize(num_slots);
+    if (touched_buf_.size() < num_slots) touched_buf_.resize(num_slots);
+    std::fill_n(dense_counts_.data(), num_slots, uint16_t{0});
+    dense_limit_ = num_slots;
+    touched_n_ = 0;
+    dense_ = true;
+  }
+
+  bool dense() const { return dense_; }
+
+  // Dense-mode counter array (valid after BeginDense, length >= the
+  // BeginDense num_slots). The scan kernels bump it directly.
+  uint16_t* dense_counts() { return dense_counts_.data(); }
+
+  // Dense mode: emits every slot with count >= theta (theta >= 1) into
+  // touched(), in ascending slot order, replacing its previous contents.
+  void FinalizeDense(uint16_t theta);
+
+  // Dense mode: number of slots with a non-zero count — the candidate count
+  // reported by stats, matching what sparse touched() would have held.
+  size_t DenseNonZero() const;
+
   // Bulk counting over one posting row: same semantics as Bump per id, with
-  // the slot base pointer and epoch hoisted out of the loop (the per-call
-  // form reloads them around every touched() push).
+  // the slot base pointer and epoch hoisted out of the loop, plus a short
+  // prefetch distance on the scattered slot words.
   void BumpRow(std::span<const uint32_t> row) {
     uint32_t* const slots = slots_.data();
     const uint32_t epoch = epoch_;
@@ -65,7 +107,7 @@ class QueryContext {
       const uint32_t s = slots[id];
       if ((s >> 16) != epoch) {
         slots[id] = (epoch << 16) | 1;
-        touched_.push_back(id);
+        touched_buf_[touched_n_++] = id;
       } else if ((s & 0xffff) != kSaturated) {
         slots[id] = s + 1;
       } else {
@@ -81,11 +123,27 @@ class QueryContext {
   void BumpRowUnchecked(std::span<const uint32_t> row) {
     uint32_t* const slots = slots_.data();
     const uint32_t epoch = epoch_;
-    for (uint32_t id : row) {
+    const uint32_t* const ids = row.data();
+    const size_t n = row.size();
+    size_t k = 0;
+    constexpr size_t kAhead = 16;
+    for (; k + kAhead < n; ++k) {
+      __builtin_prefetch(&slots[ids[k + kAhead]], 1, 3);
+      const uint32_t id = ids[k];
       const uint32_t s = slots[id];
       if ((s >> 16) != epoch) {
         slots[id] = (epoch << 16) | 1;
-        touched_.push_back(id);
+        touched_buf_[touched_n_++] = id;
+      } else {
+        slots[id] = s + 1;
+      }
+    }
+    for (; k < n; ++k) {
+      const uint32_t id = ids[k];
+      const uint32_t s = slots[id];
+      if ((s >> 16) != epoch) {
+        slots[id] = (epoch << 16) | 1;
+        touched_buf_[touched_n_++] = id;
       } else {
         slots[id] = s + 1;
       }
@@ -98,7 +156,7 @@ class QueryContext {
     uint32_t& s = slots_[slot];
     if ((s >> 16) != epoch_) {
       s = (epoch_ << 16) | 1;
-      touched_.push_back(slot);
+      touched_buf_[touched_n_++] = slot;
     } else if ((s & 0xffff) != kSaturated) {
       ++s;
     } else {
@@ -121,7 +179,28 @@ class QueryContext {
     s += ((s >> 16) == epoch_) & ((s & 0xffff) != kSaturated);
   }
 
+  // BumpIfTouched over a whole row with the slot prefetch hoisted, for the
+  // split path's refine scans.
+  void BumpRowIfTouched(std::span<const uint32_t> row) {
+    uint32_t* const slots = slots_.data();
+    const uint32_t epoch = epoch_;
+    const uint32_t* const ids = row.data();
+    const size_t n = row.size();
+    size_t k = 0;
+    constexpr size_t kAhead = 16;
+    for (; k + kAhead < n; ++k) {
+      __builtin_prefetch(&slots[ids[k + kAhead]], 1, 3);
+      uint32_t& s = slots[ids[k]];
+      s += ((s >> 16) == epoch) & ((s & 0xffff) != kSaturated);
+    }
+    for (; k < n; ++k) {
+      uint32_t& s = slots[ids[k]];
+      s += ((s >> 16) == epoch) & ((s & 0xffff) != kSaturated);
+    }
+  }
+
   uint64_t CountOf(uint32_t slot) const {
+    if (dense_) return dense_counts_[slot];
     const uint32_t s = slots_[slot];
     if ((s >> 16) != epoch_) return 0;
     const uint32_t count = s & 0xffff;
@@ -131,18 +210,21 @@ class QueryContext {
   }
 
   // Marking API (candidate dedup): Mark registers the slot in touched() with
-  // a zero counter; IsMarked tests without side effects.
+  // a zero counter; IsMarked tests without side effects. Sparse mode only.
   bool IsMarked(uint32_t slot) const { return (slots_[slot] >> 16) == epoch_; }
   void Mark(uint32_t slot) {
     uint32_t& s = slots_[slot];
     if ((s >> 16) == epoch_) return;
     s = epoch_ << 16;
-    touched_.push_back(slot);
+    touched_buf_[touched_n_++] = slot;
   }
 
-  // Slots touched since Begin(), in first-touch order. BumpIfTouched never
-  // grows this, so the refine phase may hold a reference while bumping.
-  const std::vector<uint32_t>& touched() const { return touched_; }
+  // Slots touched since Begin(): first-touch order in sparse mode, ascending
+  // slot order after FinalizeDense in dense mode. BumpIfTouched never grows
+  // this, so the refine phase may hold the span while bumping.
+  std::span<const uint32_t> touched() const {
+    return std::span<const uint32_t>(touched_buf_.data(), touched_n_);
+  }
 
   // Largest count the inline 16-bit field can hold exactly. Bump spills past
   // it into the overflow table; BumpIfTouched clamps (see above), so callers
@@ -156,11 +238,27 @@ class QueryContext {
   // survive the counting passes in between, which call Begin() themselves.
   std::vector<std::pair<float, uint32_t>>& ScoreHeap() { return score_heap_; }
 
+  // Reusable row-decode scratch (compressed posting store): grown to at
+  // least `capacity` entries and returned raw. Valid until the next
+  // RowScratch call on this context.
+  uint32_t* RowScratch(size_t capacity) {
+    if (row_scratch_.size() < capacity) row_scratch_.resize(capacity);
+    return row_scratch_.data();
+  }
+
  private:
   std::vector<uint32_t> slots_;    // epoch stamp (high 16) | count (low 16)
-  std::vector<uint32_t> touched_;
+  // touched() storage: sized to num_slots by Begin(), indexed by touched_n_
+  // — every slot is appended at most once per query, so no per-append bound
+  // or capacity check is needed in the hot first-touch path.
+  std::vector<uint32_t> touched_buf_;
+  size_t touched_n_ = 0;
+  std::vector<uint16_t> dense_counts_;  // dense-mode counters
+  size_t dense_limit_ = 0;              // BeginDense num_slots
+  bool dense_ = false;
   std::unordered_map<uint32_t, uint64_t> overflow_;  // slot -> count - 0xffff
   std::vector<std::pair<float, uint32_t>> score_heap_;  // ScoreHeap()
+  std::vector<uint32_t> row_scratch_;                   // RowScratch()
   uint32_t epoch_ = 0;             // Begin() pre-increments; 0 = never used
 };
 

@@ -1,0 +1,202 @@
+// AVX2 implementations. This TU is the only place -mavx2 code generation is
+// allowed (CMake sets the flag on this file alone); nothing here may be
+// inlined elsewhere, so the binary stays runnable on non-AVX2 hardware with
+// dispatch simply never selecting this table.
+
+#include "storage/simd/kernels_common.h"
+#include "storage/simd/simd.h"
+
+#if defined(GBKMV_SIMD_X86)
+
+#include <immintrin.h>
+
+namespace gbkmv::simd_internal {
+
+namespace {
+
+// Block-pair intersection (the "all-pairs" scheme): compare 8 elements of a
+// against all 8 of b via 7 cross-lane rotations, OR the equality masks (an
+// element matches at most once between duplicate-free inputs), then advance
+// whichever block has the smaller maximum. Matches against already-advanced
+// blocks are impossible (later values are strictly greater than the advanced
+// block's max, which was <= the other side's max), so the scalar MergeTail
+// can resume exactly where the blocks stop.
+uint32_t Avx2IntersectBounded(const uint32_t* a, size_t na, const uint32_t* b,
+                              size_t nb, uint32_t required) {
+  if (na > nb) {
+    const uint32_t* ts = a;
+    a = b;
+    b = ts;
+    const size_t tn = na;
+    na = nb;
+    nb = tn;
+  }
+  if (required != 0 && na < required) return 0;
+  if (na == 0) return 0;
+  if (nb > kGallopRatio * na) return GallopIntersect(a, na, b, nb, required);
+
+  uint32_t count = 0;
+  size_t i = 0, j = 0;
+  const __m256i rot[7] = {
+      _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0),
+      _mm256_setr_epi32(2, 3, 4, 5, 6, 7, 0, 1),
+      _mm256_setr_epi32(3, 4, 5, 6, 7, 0, 1, 2),
+      _mm256_setr_epi32(4, 5, 6, 7, 0, 1, 2, 3),
+      _mm256_setr_epi32(5, 6, 7, 0, 1, 2, 3, 4),
+      _mm256_setr_epi32(6, 7, 0, 1, 2, 3, 4, 5),
+      _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6),
+  };
+  while (i + 8 <= na && j + 8 <= nb) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    __m256i match = _mm256_cmpeq_epi32(va, vb);
+    for (int r = 0; r < 7; ++r) {
+      match = _mm256_or_si256(
+          match,
+          _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot[r])));
+    }
+    count += static_cast<uint32_t>(__builtin_popcount(
+        _mm256_movemask_ps(_mm256_castsi256_ps(match))));
+    const uint32_t amax = a[i + 7];
+    const uint32_t bmax = b[j + 7];
+    if (bmax <= amax) j += 8;
+    if (amax <= bmax) {
+      i += 8;
+      if (required != 0 && count + (na - i) < required) return 0;
+    }
+  }
+  return MergeTail(a, na, b, nb, required, i, j, count);
+}
+
+size_t Avx2EmitGeU16(const uint16_t* counts, size_t n, uint16_t theta,
+                     uint32_t* out) {
+  size_t m = 0;
+  size_t i = 0;
+  const __m256i vtheta = _mm256_set1_epi16(static_cast<short>(theta));
+  for (; i + 16 <= n; i += 16) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(counts + i));
+    // Unsigned v >= theta  ⇔  max(v, theta) == v.
+    const __m256i ge = _mm256_cmpeq_epi16(_mm256_max_epu16(v, vtheta), v);
+    uint32_t mm = static_cast<uint32_t>(_mm256_movemask_epi8(ge));
+    // Two mask bits per 16-bit lane; the low one indexes the lane.
+    while (mm != 0) {
+      const unsigned bit = static_cast<unsigned>(__builtin_ctz(mm));
+      out[m++] = static_cast<uint32_t>(i + bit / 2);
+      mm &= mm - 1;
+      mm &= mm - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    if (counts[i] >= theta) out[m++] = static_cast<uint32_t>(i);
+  }
+  return m;
+}
+
+size_t Avx2CountNonZeroU16(const uint16_t* counts, size_t n) {
+  size_t m = 0;
+  size_t i = 0;
+  const __m256i zero = _mm256_setzero_si256();
+  for (; i + 16 <= n; i += 16) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(counts + i));
+    const uint32_t zeros = static_cast<uint32_t>(__builtin_popcount(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi16(v, zero))));
+    m += 16 - zeros / 2;
+  }
+  for (; i < n; ++i) m += counts[i] != 0;
+  return m;
+}
+
+// In-register inclusive prefix sum of 8 u32 lanes.
+inline __m256i PrefixSum8(__m256i x) {
+  x = _mm256_add_epi32(x, _mm256_slli_si256(x, 4));
+  x = _mm256_add_epi32(x, _mm256_slli_si256(x, 8));
+  // Add the low half's total to every lane of the high half.
+  __m256i low = _mm256_permute2x128_si256(x, x, 0x08);  // lo = 0, hi = x.lo
+  low = _mm256_shuffle_epi32(low, 0xFF);
+  return _mm256_add_epi32(x, low);
+}
+
+void Avx2DecodeDeltas(const uint8_t* packed, uint32_t width, uint32_t base,
+                      uint32_t count, uint32_t* out) {
+  if (count == 0) return;
+  const __m256i ramp = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 8);
+  const uint32_t groups = (count + 7) / 8;
+  uint32_t running = base;
+  if (width == 0) {
+    for (uint32_t g = 0; g < groups; ++g) {
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(out + g * 8),
+          _mm256_add_epi32(_mm256_set1_epi32(static_cast<int>(running)), ramp));
+      running += 8;
+    }
+    return;
+  }
+  const __m256i lane_shift = _mm256_setr_epi32(
+      0, static_cast<int>(width), static_cast<int>(2 * width),
+      static_cast<int>(3 * width), static_cast<int>(4 * width),
+      static_cast<int>(5 * width), static_cast<int>(6 * width),
+      static_cast<int>(7 * width));
+  const __m256i mask = _mm256_set1_epi32(
+      width == 32 ? -1 : static_cast<int>((uint32_t{1} << width) - 1));
+  for (uint32_t g = 0; g < groups; ++g) {
+    __m256i d;
+    switch (width) {
+      case 1:
+      case 2:
+      case 4: {
+        // 8 deltas of a sub-byte width never span a 32-bit word: broadcast
+        // the word and shift each lane to its field.
+        const uint32_t bit = g * 8 * width;
+        uint32_t word;
+        std::memcpy(&word, packed + (bit / 32) * 4, sizeof word);
+        const __m256i shifts = _mm256_add_epi32(
+            lane_shift, _mm256_set1_epi32(static_cast<int>(bit % 32)));
+        d = _mm256_and_si256(
+            _mm256_srlv_epi32(_mm256_set1_epi32(static_cast<int>(word)),
+                              shifts),
+            mask);
+        break;
+      }
+      case 8:
+        d = _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+            reinterpret_cast<const __m128i*>(packed + g * 8)));
+        break;
+      case 16:
+        d = _mm256_cvtepu16_epi32(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(packed + g * 16)));
+        break;
+      default:  // 32
+        d = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(packed + g * 32));
+        break;
+    }
+    const __m256i res = _mm256_add_epi32(
+        PrefixSum8(d),
+        _mm256_add_epi32(_mm256_set1_epi32(static_cast<int>(running)), ramp));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + g * 8), res);
+    running = static_cast<uint32_t>(_mm256_extract_epi32(res, 7));
+  }
+}
+
+const SimdKernels kAvx2Table = {
+    &Avx2IntersectBounded, &ScalarAccumulateU16, &Avx2EmitGeU16,
+    &Avx2CountNonZeroU16,  &Avx2DecodeDeltas,
+};
+
+}  // namespace
+
+const SimdKernels* Avx2Kernels() { return &kAvx2Table; }
+
+}  // namespace gbkmv::simd_internal
+
+#else  // !GBKMV_SIMD_X86
+
+namespace gbkmv::simd_internal {
+const SimdKernels* Avx2Kernels() { return nullptr; }
+}  // namespace gbkmv::simd_internal
+
+#endif

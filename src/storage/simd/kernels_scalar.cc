@@ -1,0 +1,17 @@
+#include "storage/simd/kernels_common.h"
+#include "storage/simd/simd.h"
+
+namespace gbkmv::simd_internal {
+
+namespace {
+
+const SimdKernels kScalarTable = {
+    &ScalarIntersectBounded, &ScalarAccumulateU16,     &ScalarEmitGeU16,
+    &ScalarCountNonZeroU16,  &ScalarDecodeDeltas,
+};
+
+}  // namespace
+
+const SimdKernels* ScalarKernels() { return &kScalarTable; }
+
+}  // namespace gbkmv::simd_internal

@@ -1,0 +1,156 @@
+// SSE4.2 implementations (compiled with -msse4.2 on this file only). Same
+// algorithms as the AVX2 TU at half width; sub-byte delta widths fall back
+// to the scalar bit extractor (identical output, per the kernel contract).
+
+#include "storage/simd/kernels_common.h"
+#include "storage/simd/simd.h"
+
+#if defined(GBKMV_SIMD_X86)
+
+#include <immintrin.h>
+
+namespace gbkmv::simd_internal {
+
+namespace {
+
+uint32_t Sse42IntersectBounded(const uint32_t* a, size_t na, const uint32_t* b,
+                               size_t nb, uint32_t required) {
+  if (na > nb) {
+    const uint32_t* ts = a;
+    a = b;
+    b = ts;
+    const size_t tn = na;
+    na = nb;
+    nb = tn;
+  }
+  if (required != 0 && na < required) return 0;
+  if (na == 0) return 0;
+  if (nb > kGallopRatio * na) return GallopIntersect(a, na, b, nb, required);
+
+  uint32_t count = 0;
+  size_t i = 0, j = 0;
+  while (i + 4 <= na && j + 4 <= nb) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    __m128i match = _mm_cmpeq_epi32(va, vb);
+    match = _mm_or_si128(
+        match, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0x39)));  // 1,2,3,0
+    match = _mm_or_si128(
+        match, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0x4E)));  // 2,3,0,1
+    match = _mm_or_si128(
+        match, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0x93)));  // 3,0,1,2
+    count += static_cast<uint32_t>(
+        __builtin_popcount(_mm_movemask_ps(_mm_castsi128_ps(match))));
+    const uint32_t amax = a[i + 3];
+    const uint32_t bmax = b[j + 3];
+    if (bmax <= amax) j += 4;
+    if (amax <= bmax) {
+      i += 4;
+      if (required != 0 && count + (na - i) < required) return 0;
+    }
+  }
+  return MergeTail(a, na, b, nb, required, i, j, count);
+}
+
+size_t Sse42EmitGeU16(const uint16_t* counts, size_t n, uint16_t theta,
+                      uint32_t* out) {
+  size_t m = 0;
+  size_t i = 0;
+  const __m128i vtheta = _mm_set1_epi16(static_cast<short>(theta));
+  for (; i + 8 <= n; i += 8) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(counts + i));
+    const __m128i ge = _mm_cmpeq_epi16(_mm_max_epu16(v, vtheta), v);
+    uint32_t mm = static_cast<uint32_t>(_mm_movemask_epi8(ge));
+    while (mm != 0) {
+      const unsigned bit = static_cast<unsigned>(__builtin_ctz(mm));
+      out[m++] = static_cast<uint32_t>(i + bit / 2);
+      mm &= mm - 1;
+      mm &= mm - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    if (counts[i] >= theta) out[m++] = static_cast<uint32_t>(i);
+  }
+  return m;
+}
+
+size_t Sse42CountNonZeroU16(const uint16_t* counts, size_t n) {
+  size_t m = 0;
+  size_t i = 0;
+  const __m128i zero = _mm_setzero_si128();
+  for (; i + 8 <= n; i += 8) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(counts + i));
+    const uint32_t zeros = static_cast<uint32_t>(
+        __builtin_popcount(_mm_movemask_epi8(_mm_cmpeq_epi16(v, zero))));
+    m += 8 - zeros / 2;
+  }
+  for (; i < n; ++i) m += counts[i] != 0;
+  return m;
+}
+
+inline __m128i PrefixSum4(__m128i x) {
+  x = _mm_add_epi32(x, _mm_slli_si128(x, 4));
+  x = _mm_add_epi32(x, _mm_slli_si128(x, 8));
+  return x;
+}
+
+void Sse42DecodeDeltas(const uint8_t* packed, uint32_t width, uint32_t base,
+                       uint32_t count, uint32_t* out) {
+  if (count == 0) return;
+  if (width == 1 || width == 2 || width == 4) {
+    // No per-lane variable shift below AVX2; the scalar extractor is already
+    // fast at these widths.
+    ScalarDecodeDeltas(packed, width, base, count, out);
+    return;
+  }
+  const __m128i ramp = _mm_setr_epi32(1, 2, 3, 4);
+  const uint32_t groups = (count + 3) / 4;
+  uint32_t running = base;
+  for (uint32_t g = 0; g < groups; ++g) {
+    __m128i d;
+    switch (width) {
+      case 0:
+        d = _mm_setzero_si128();
+        break;
+      case 8: {
+        uint32_t word;
+        std::memcpy(&word, packed + g * 4, sizeof word);
+        d = _mm_cvtepu8_epi32(_mm_cvtsi32_si128(static_cast<int>(word)));
+        break;
+      }
+      case 16:
+        d = _mm_cvtepu16_epi32(
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(packed + g * 8)));
+        break;
+      default:  // 32
+        d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(packed + g * 16));
+        break;
+    }
+    const __m128i res = _mm_add_epi32(
+        PrefixSum4(d),
+        _mm_add_epi32(_mm_set1_epi32(static_cast<int>(running)), ramp));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + g * 4), res);
+    running = static_cast<uint32_t>(_mm_extract_epi32(res, 3));
+  }
+}
+
+const SimdKernels kSse42Table = {
+    &Sse42IntersectBounded, &ScalarAccumulateU16, &Sse42EmitGeU16,
+    &Sse42CountNonZeroU16,  &Sse42DecodeDeltas,
+};
+
+}  // namespace
+
+const SimdKernels* Sse42Kernels() { return &kSse42Table; }
+
+}  // namespace gbkmv::simd_internal
+
+#else  // !GBKMV_SIMD_X86
+
+namespace gbkmv::simd_internal {
+const SimdKernels* Sse42Kernels() { return nullptr; }
+}  // namespace gbkmv::simd_internal
+
+#endif

@@ -1,0 +1,119 @@
+#include "storage/simd/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace gbkmv {
+
+namespace {
+
+// cpuid detection once; compile-time availability is folded in by the
+// factories themselves (they return nullptr when their TU was built without
+// the ISA).
+SimdLevel Detect() {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (simd_internal::Avx2Kernels() != nullptr &&
+      __builtin_cpu_supports("avx2")) {
+    return SimdLevel::kAvx2;
+  }
+  if (simd_internal::Sse42Kernels() != nullptr &&
+      __builtin_cpu_supports("sse4.2")) {
+    return SimdLevel::kSse42;
+  }
+#endif
+  return SimdLevel::kScalar;
+}
+
+// Startup override: GBKMV_DISABLE_SIMD=1 forces scalar; GBKMV_SIMD_LEVEL
+// names a level explicitly (scalar|sse42|avx2). Either can only lower the
+// detected level — requesting an unsupported level clamps down.
+SimdLevel EnvLevel(SimdLevel detected) {
+  const char* disable = std::getenv("GBKMV_DISABLE_SIMD");
+  if (disable != nullptr && disable[0] != '\0' &&
+      std::strcmp(disable, "0") != 0) {
+    return SimdLevel::kScalar;
+  }
+  const char* name = std::getenv("GBKMV_SIMD_LEVEL");
+  if (name == nullptr) return detected;
+  SimdLevel wanted = detected;
+  if (std::strcmp(name, "scalar") == 0) {
+    wanted = SimdLevel::kScalar;
+  } else if (std::strcmp(name, "sse42") == 0) {
+    wanted = SimdLevel::kSse42;
+  } else if (std::strcmp(name, "avx2") == 0) {
+    wanted = SimdLevel::kAvx2;
+  }
+  return wanted < detected ? wanted : detected;
+}
+
+const SimdKernels* TableFor(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      if (const SimdKernels* t = simd_internal::Avx2Kernels()) return t;
+      [[fallthrough]];
+    case SimdLevel::kSse42:
+      if (const SimdKernels* t = simd_internal::Sse42Kernels()) return t;
+      [[fallthrough]];
+    case SimdLevel::kScalar:
+    default:
+      return simd_internal::ScalarKernels();
+  }
+}
+
+struct Dispatch {
+  SimdLevel detected;
+  std::atomic<SimdLevel> active;
+  std::atomic<const SimdKernels*> table;
+
+  Dispatch() : detected(Detect()) {
+    const SimdLevel level = EnvLevel(detected);
+    active.store(level, std::memory_order_relaxed);
+    table.store(TableFor(level), std::memory_order_relaxed);
+  }
+};
+
+Dispatch& GetDispatch() {
+  static Dispatch dispatch;
+  return dispatch;
+}
+
+}  // namespace
+
+const SimdKernels& Kernels() {
+  return *GetDispatch().table.load(std::memory_order_relaxed);
+}
+
+const SimdKernels& KernelsFor(SimdLevel level) {
+  const SimdLevel clamped =
+      level < GetDispatch().detected ? level : GetDispatch().detected;
+  return *TableFor(clamped);
+}
+
+SimdLevel DetectedSimdLevel() { return GetDispatch().detected; }
+
+SimdLevel ActiveSimdLevel() {
+  return GetDispatch().active.load(std::memory_order_relaxed);
+}
+
+SimdLevel SetSimdLevel(SimdLevel level) {
+  Dispatch& d = GetDispatch();
+  const SimdLevel clamped = level < d.detected ? level : d.detected;
+  d.active.store(clamped, std::memory_order_relaxed);
+  d.table.store(TableFor(clamped), std::memory_order_relaxed);
+  return clamped;
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse42:
+      return "sse42";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+}  // namespace gbkmv

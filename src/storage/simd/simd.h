@@ -1,0 +1,100 @@
+// Runtime-dispatched SIMD kernels for the hot query loops.
+//
+// Every kernel exists in up to three implementations — scalar (always built,
+// the semantic reference), SSE4.2 and AVX2 (x86-64 only, each compiled in its
+// own translation unit with the matching -m flags so the rest of the binary
+// stays portable). One implementation table is selected at startup from
+// cpuid, reachable through Kernels(); the choice can be forced down (never
+// up) with the GBKMV_DISABLE_SIMD / GBKMV_SIMD_LEVEL environment variables
+// or SetSimdLevel() in tests.
+//
+// Contract: for any input, every implementation of a kernel returns the same
+// value and writes the same bytes to its outputs (within the documented
+// output range). The dispatch level is therefore unobservable from query
+// results — the invariant tests/simd_kernels_test.cc enforces, the same way
+// parallel_equivalence_test pins thread-count independence.
+
+#ifndef GBKMV_STORAGE_SIMD_SIMD_H_
+#define GBKMV_STORAGE_SIMD_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gbkmv {
+
+enum class SimdLevel : int {
+  kScalar = 0,
+  kSse42 = 1,
+  kAvx2 = 2,
+};
+
+// Kernel table. All pointers are always non-null.
+struct SimdKernels {
+  // Exact |a ∩ b| over sorted duplicate-free u32 spans, with early abandon:
+  //   * required == 0: returns |a ∩ b| exactly (no abandon).
+  //   * required >= 1: returns |a ∩ b| if it is >= required, else 0. The
+  //     kernel may stop as soon as the intersection provably cannot reach
+  //     `required`; the collapsed return value 0 keeps the result identical
+  //     across dispatch levels regardless of where each one abandons.
+  uint32_t (*intersect_bounded)(const uint32_t* a, size_t na, const uint32_t* b,
+                                size_t nb, uint32_t required);
+
+  // counts[id] += 1 for each id in ids. Ids need not be distinct, but every
+  // slot must stay below 0xffff across the whole query (callers gate on
+  // query size). This is the dense-mode bulk count increment of
+  // QueryContext.
+  void (*accumulate_u16)(uint16_t* counts, const uint32_t* ids, size_t n);
+
+  // Appends every index i in [0, n) with counts[i] >= theta to out (ascending
+  // order) and returns how many were written. `out` must have room for n
+  // entries; theta must be >= 1.
+  size_t (*emit_ge_u16)(const uint16_t* counts, size_t n, uint16_t theta,
+                        uint32_t* out);
+
+  // Number of non-zero entries in counts[0, n).
+  size_t (*count_nonzero_u16)(const uint16_t* counts, size_t n);
+
+  // Decodes `count` bit-packed deltas of `width` bits (width in
+  // {0,1,2,4,8,16,32}) from `packed` and reconstructs ascending values:
+  //   out[k] = base + (k + 1) + sum(delta[0..k])        for k in [0, count)
+  // (the compressed posting format stores delta-minus-one, see
+  // storage/compressed_posting_store.h). `packed` must have the full
+  // 16*width-byte block payload readable; out must have room for
+  // round-up(count, 8) entries — entries past `count` are unspecified.
+  void (*decode_deltas)(const uint8_t* packed, uint32_t width, uint32_t base,
+                        uint32_t count, uint32_t* out);
+};
+
+// The active kernel table (lazily initialised, then constant unless a test
+// calls SetSimdLevel).
+const SimdKernels& Kernels();
+
+// Table for one specific level, clamped to DetectedSimdLevel(). Lets parity
+// tests exercise every implementation directly without flipping the global.
+const SimdKernels& KernelsFor(SimdLevel level);
+
+// Best level this CPU supports (after compile-time availability).
+SimdLevel DetectedSimdLevel();
+
+// Level currently served by Kernels(): min(detected, env override, any
+// SetSimdLevel call).
+SimdLevel ActiveSimdLevel();
+
+// Forces the active level (clamped to DetectedSimdLevel()); returns the
+// level actually applied. Test-only: not synchronised against concurrent
+// queries — call it before spawning workers.
+SimdLevel SetSimdLevel(SimdLevel level);
+
+const char* SimdLevelName(SimdLevel level);
+
+// Internal: per-ISA table factories, defined in kernels_{scalar,sse42,avx2}.cc.
+// The SSE4.2/AVX2 factories return nullptr when compiled out.
+namespace simd_internal {
+const SimdKernels* ScalarKernels();
+const SimdKernels* Sse42Kernels();
+const SimdKernels* Avx2Kernels();
+}  // namespace simd_internal
+
+}  // namespace gbkmv
+
+#endif  // GBKMV_STORAGE_SIMD_SIMD_H_

@@ -1,0 +1,294 @@
+// Block-compressed posting backend: decode parity against the flat CSR rows
+// it was built from, serializer round-trips, structural corruption
+// rejection, and the FreqSet snapshot path that embeds the compressed arena
+// verbatim.
+
+#include "storage/compressed_posting_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "data/dataset.h"
+#include "index/freqset.h"
+#include "index/searcher_registry.h"
+#include "io/serializer.h"
+#include "storage/posting_store.h"
+#include "storage/query_context.h"
+
+namespace gbkmv {
+namespace {
+
+// CSR store whose row `i` holds rows[i] (values must be strictly ascending).
+PostingStore FlatFrom(const std::vector<std::vector<uint32_t>>& rows) {
+  size_t total = 0;
+  for (const auto& row : rows) total += row.size();
+  return PostingStore::Build(
+      rows.size(), rows.size(),
+      [&rows](size_t i, const auto& fn) {
+        for (uint32_t v : rows[i]) fn(i, v);
+      },
+      nullptr, total);
+}
+
+// Row lengths at the 128-delta block boundaries, widths from consecutive
+// runs (width 0) up to 2^22 gaps (width-32 class).
+std::vector<std::vector<uint32_t>> AdversarialRows() {
+  Rng rng(2024);
+  std::vector<std::vector<uint32_t>> rows;
+  rows.push_back({});          // empty row
+  rows.push_back({42});        // header + first value, no blocks
+  for (const size_t n : {size_t{2}, size_t{127}, size_t{128}, size_t{129},
+                         size_t{256}, size_t{257}, size_t{385}}) {
+    // Consecutive ids: every block packs at width 0 (no payload bytes).
+    std::vector<uint32_t> consecutive(n);
+    for (size_t k = 0; k < n; ++k) {
+      consecutive[k] = 1000 + static_cast<uint32_t>(k);
+    }
+    rows.push_back(std::move(consecutive));
+    // Mixed gaps: widths vary block to block.
+    std::vector<uint32_t> mixed;
+    uint32_t v = static_cast<uint32_t>(rng.NextBounded(50));
+    for (size_t k = 0; k < n; ++k) {
+      mixed.push_back(v);
+      const uint64_t max_gap = k % 3 == 0 ? 2 : (k % 3 == 1 ? 300 : 1 << 22);
+      v += 1 + static_cast<uint32_t>(rng.NextBounded(max_gap));
+    }
+    rows.push_back(std::move(mixed));
+  }
+  return rows;
+}
+
+void ExpectDecodesMatch(const CompressedPostingStore& store,
+                        const PostingStore& flat) {
+  ASSERT_EQ(store.num_keys(), flat.num_keys());
+  ASSERT_EQ(store.size(), flat.size());
+  for (size_t key = 0; key < flat.num_keys(); ++key) {
+    const std::span<const uint32_t> row = flat.Row(key);
+    ASSERT_EQ(store.RowLength(key), row.size()) << "key=" << key;
+    std::vector<uint32_t> out(
+        CompressedPostingStore::DecodeCapacity(
+            static_cast<uint32_t>(row.size())),
+        0xdeadbeef);
+    ASSERT_EQ(store.DecodeRow(key, out.data()), row.size()) << "key=" << key;
+    EXPECT_TRUE(std::equal(row.begin(), row.end(), out.begin()))
+        << "key=" << key;
+  }
+}
+
+TEST(CompressedPostingStoreTest, DecodeMatchesFlatOnAdversarialRows) {
+  const PostingStore flat = FlatFrom(AdversarialRows());
+  const CompressedPostingStore store = CompressedPostingStore::BuildFrom(flat);
+  ExpectDecodesMatch(store, flat);
+  // Out-of-range keys behave like the flat store: empty.
+  EXPECT_EQ(store.RowLength(flat.num_keys()), 0u);
+  uint32_t scratch[8];
+  EXPECT_EQ(store.DecodeRow(flat.num_keys() + 5, scratch), 0u);
+}
+
+TEST(CompressedPostingStoreTest, CompressesPowerLawRows) {
+  // Typical posting shape: many small gaps. The whole point of the backend
+  // is a materially smaller footprint than 32 bits per posting.
+  Rng rng(9);
+  std::vector<std::vector<uint32_t>> rows;
+  for (size_t r = 0; r < 50; ++r) {
+    std::vector<uint32_t> row;
+    uint32_t v = 0;
+    const size_t n = 100 + rng.NextBounded(400);
+    for (size_t k = 0; k < n; ++k) {
+      v += 1 + static_cast<uint32_t>(rng.NextBounded(7));
+      row.push_back(v);
+    }
+    rows.push_back(std::move(row));
+  }
+  const PostingStore flat = FlatFrom(rows);
+  const CompressedPostingStore store = CompressedPostingStore::BuildFrom(flat);
+  ExpectDecodesMatch(store, flat);
+  EXPECT_LT(store.SpaceUnits() * 2, flat.SpaceUnits());
+}
+
+TEST(CompressedPostingStoreTest, EmptyStoreRoundTrips) {
+  const PostingStore flat = FlatFrom({});
+  const CompressedPostingStore store = CompressedPostingStore::BuildFrom(flat);
+  EXPECT_EQ(store.num_keys(), 0u);
+  EXPECT_EQ(store.size(), 0u);
+  io::Writer writer;
+  store.SaveTo(&writer);
+  io::Reader reader(writer.data());
+  CompressedPostingStore loaded;
+  ASSERT_TRUE(loaded.LoadFrom(&reader).ok());
+  EXPECT_TRUE(loaded == store);
+}
+
+TEST(CompressedPostingStoreTest, SerializerRoundTrip) {
+  const PostingStore flat = FlatFrom(AdversarialRows());
+  const CompressedPostingStore store = CompressedPostingStore::BuildFrom(flat);
+  io::Writer writer;
+  store.SaveTo(&writer);
+  io::Reader reader(writer.data());
+  CompressedPostingStore loaded;
+  ASSERT_TRUE(loaded.LoadFrom(&reader).ok());
+  EXPECT_TRUE(loaded == store);
+  ExpectDecodesMatch(loaded, flat);
+}
+
+TEST(CompressedPostingStoreTest, RejectsEveryTruncation) {
+  const PostingStore flat =
+      FlatFrom({{1, 2, 3}, {}, {10, 20, 1000000}});
+  const CompressedPostingStore store = CompressedPostingStore::BuildFrom(flat);
+  io::Writer writer;
+  store.SaveTo(&writer);
+  const std::string& bytes = writer.data();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    io::Reader reader(bytes.data(), len);
+    CompressedPostingStore loaded;
+    EXPECT_FALSE(loaded.LoadFrom(&reader).ok()) << "prefix length " << len;
+  }
+}
+
+TEST(CompressedPostingStoreTest, RejectsStructuralCorruption) {
+  const PostingStore flat = FlatFrom({{5, 6, 7, 9}, {100, 300}});
+  const CompressedPostingStore store = CompressedPostingStore::BuildFrom(flat);
+  io::Writer writer;
+  store.SaveTo(&writer);
+  const std::string good = writer.data();
+  // Serialized layout: u64 total | u64 count | count*u64 offsets |
+  // u64 content | content arena bytes.
+  const size_t kOffsetsBase = 16;
+  const size_t num_offsets = 3;  // 2 keys + 1
+  const size_t kArenaBase = kOffsetsBase + num_offsets * 8 + 8;
+
+  const auto expect_rejected = [](const std::string& bytes,
+                                  const char* what) {
+    io::Reader reader(bytes);
+    CompressedPostingStore loaded;
+    const Status status = loaded.LoadFrom(&reader);
+    EXPECT_FALSE(status.ok()) << what;
+  };
+
+  {  // Wrong total posting count.
+    std::string bad = good;
+    ++bad[0];
+    expect_rejected(bad, "total mismatch");
+  }
+  {  // Non-monotone offsets: push offsets[1] past offsets[2].
+    std::string bad = good;
+    const uint64_t huge = 1 << 20;
+    std::memcpy(bad.data() + kOffsetsBase + 8, &huge, sizeof huge);
+    expect_rejected(bad, "non-monotone offsets");
+  }
+  {  // offsets.front() != 0.
+    std::string bad = good;
+    ++bad[kOffsetsBase];
+    expect_rejected(bad, "nonzero first offset");
+  }
+  {  // offsets.back() != content length.
+    std::string bad = good;
+    ++bad[kOffsetsBase + 2 * 8];
+    expect_rejected(bad, "offset bounds mismatch");
+  }
+  {  // Invalid block width byte in row 0 (n=4: u32 n, u32 first, u8 width).
+    std::string bad = good;
+    bad[kArenaBase + 8] = 3;
+    expect_rejected(bad, "invalid block width");
+  }
+  {  // Row 0 claims more postings than its extent holds.
+    std::string bad = good;
+    bad[kArenaBase] = 50;
+    expect_rejected(bad, "row size mismatch");
+  }
+  // The pristine bytes still load, so the mutations above (not some
+  // pre-existing defect) are what each rejection caught.
+  io::Reader reader(good);
+  CompressedPostingStore loaded;
+  ASSERT_TRUE(loaded.LoadFrom(&reader).ok());
+  EXPECT_TRUE(loaded == store);
+}
+
+// --- FreqSet snapshot round-trip -------------------------------------------
+
+Result<Dataset> SnapshotDataset() {
+  Rng rng(31);
+  std::vector<Record> records;
+  for (size_t i = 0; i < 150; ++i) {
+    std::vector<ElementId> elems;
+    const size_t len = 1 + rng.NextBounded(30);
+    for (size_t k = 0; k < len; ++k) {
+      elems.push_back(static_cast<ElementId>(rng.NextBounded(300)));
+    }
+    records.push_back(MakeRecord(std::move(elems)));
+  }
+  return Dataset::Create(records);
+}
+
+void ExpectSameResponses(const ContainmentSearcher& a,
+                         const ContainmentSearcher& b, const Dataset& ds) {
+  QueryContext& ctx = ThreadLocalQueryContext();
+  for (size_t i = 0; i < 20; ++i) {
+    const Record& q = ds.record((i * 37) % ds.size());
+    for (double t : {0.3, 0.6, 1.0}) {
+      const QueryRequest request(q, t);
+      EXPECT_EQ(a.SearchQ(request, ctx), b.SearchQ(request, ctx))
+          << "query " << i << " t*=" << t;
+    }
+  }
+}
+
+TEST(FreqSetSnapshotTest, RoundTripsBothBackends) {
+  auto ds = SnapshotDataset();
+  ASSERT_TRUE(ds.ok());
+  for (const PostingStoreKind kind :
+       {PostingStoreKind::kFlat, PostingStoreKind::kCompressed}) {
+    const FreqSetSearcher original(*ds, nullptr, kind);
+    const std::string path =
+        ::testing::TempDir() + "freqset_" +
+        (kind == PostingStoreKind::kFlat ? "flat" : "compressed") + ".snap";
+    ASSERT_TRUE(original.Save(path).ok());
+
+    // Dataset-bound load.
+    auto loaded = FreqSetSearcher::Load(path, *ds);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ((*loaded)->SpaceUnits(), original.SpaceUnits());
+    ExpectSameResponses(original, **loaded, *ds);
+
+    // Registry dispatch, dataset-bound.
+    auto via_registry = LoadSearcherSnapshot(path, *ds);
+    ASSERT_TRUE(via_registry.ok()) << via_registry.status().ToString();
+    EXPECT_EQ((*via_registry)->name(), "FreqSet");
+    ExpectSameResponses(original, **via_registry, *ds);
+
+    // Registry dispatch, self-contained (embedded dataset).
+    auto bundle = LoadSearcherSnapshot(path);
+    ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+    ASSERT_NE(bundle->dataset, nullptr);
+    ASSERT_NE(bundle->searcher, nullptr);
+    ExpectSameResponses(original, *bundle->searcher, *ds);
+  }
+}
+
+TEST(FreqSetSnapshotTest, RejectsDatasetFingerprintMismatch) {
+  auto ds = SnapshotDataset();
+  ASSERT_TRUE(ds.ok());
+  const FreqSetSearcher original(*ds, nullptr, PostingStoreKind::kCompressed);
+  const std::string path = ::testing::TempDir() + "freqset_mismatch.snap";
+  ASSERT_TRUE(original.Save(path).ok());
+  auto other =
+      Dataset::Create({MakeRecord({1, 2, 3}), MakeRecord({2, 3, 4})});
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(FreqSetSearcher::Load(path, *other).ok());
+  EXPECT_FALSE(LoadSearcherSnapshot(path, *other).ok());
+}
+
+TEST(FreqSetSnapshotTest, KindIsRegistered) {
+  const std::vector<std::string> kinds = RegisteredSnapshotKinds();
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(),
+                      std::string(FreqSetSearcher::kSnapshotKind)),
+            kinds.end());
+}
+
+}  // namespace
+}  // namespace gbkmv

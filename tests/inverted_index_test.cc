@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+
+#include "common/random.h"
 #include "storage/query_context.h"
 
 namespace gbkmv {
@@ -72,6 +76,127 @@ TEST(InvertedIndexTest, ScanCountUnknownElements) {
   EXPECT_TRUE(index.ScanCount(MakeRecord({500, 600}), 1,
                               ThreadLocalQueryContext())
                   .empty());
+}
+
+// Regression: min_overlap == 0 used to trip the GBKMV_CHECK inside
+// CountOverlaps and abort. It now means "any overlap at all" (clamped to 1
+// at both public entry points).
+TEST(InvertedIndexTest, ScanCountMinOverlapZeroMeansAnyOverlap) {
+  auto ds = Fig1Dataset();
+  ASSERT_TRUE(ds.ok());
+  InvertedIndex index(*ds);
+  QueryContext& ctx = ThreadLocalQueryContext();
+  const Record q = MakeRecord({1, 7});
+  auto r0 = index.ScanCount(q, 0, ctx);
+  auto r1 = index.ScanCount(q, 1, ctx);
+  std::sort(r0.begin(), r0.end());
+  std::sort(r1.begin(), r1.end());
+  EXPECT_EQ(r0, r1);
+  EXPECT_EQ(r0, (std::vector<RecordId>{0, 3}));
+
+  // Same clamp on the counting-only entry point.
+  index.CountOverlaps(q, 0, ctx);
+  EXPECT_EQ(ctx.CountOf(0), 2u);
+
+  // An empty query still returns nothing (no record shares an element with
+  // it, clamp or not).
+  EXPECT_TRUE(index.ScanCount(Record{}, 0, ctx).empty());
+}
+
+// The split-path gate arithmetic must behave at its corners: single-element
+// queries (refine phase owns every row), min_overlap == |Q| (prefix phase
+// empty), and thresholds straddling the refine_rows boundary. Every
+// strategy must agree with a brute-force overlap count.
+TEST(InvertedIndexTest, CountOverlapsSplitGateCorners) {
+  // A workload wide enough to make the dense/split/sparse choice vary with
+  // the query: heavy rows (element 0 in every record) next to sparse tails.
+  std::mt19937_64 rng(20260808);
+  std::vector<Record> records;
+  for (size_t i = 0; i < 300; ++i) {
+    std::vector<ElementId> elems{0};  // element 0: a full posting row
+    const size_t extra = 1 + static_cast<size_t>(rng() % 12);
+    for (size_t k = 0; k < extra; ++k) {
+      elems.push_back(1 + static_cast<ElementId>(rng() % 400));
+    }
+    records.push_back(MakeRecord(std::move(elems)));
+  }
+  auto ds = Dataset::Create(records);
+  ASSERT_TRUE(ds.ok());
+  InvertedIndex index(*ds);
+  QueryContext& ctx = ThreadLocalQueryContext();
+
+  const auto brute_overlap = [&](const Record& q, RecordId id) {
+    size_t n = 0;
+    for (ElementId e : q) {
+      n += std::binary_search(ds->record(id).begin(), ds->record(id).end(), e);
+    }
+    return n;
+  };
+
+  std::vector<Record> queries = {
+      MakeRecord({0}),              // q = 1: min_overlap == q trivially
+      MakeRecord({0, 1, 2}),        // heavy row + sparse tails
+      ds->record(0),                // a full record
+      MakeRecord({1, 2, 3, 4, 5}),  // no heavy row at all
+  };
+  for (const Record& q : queries) {
+    for (size_t min_overlap = 1; min_overlap <= q.size(); ++min_overlap) {
+      auto hits = index.ScanCount(q, min_overlap, ctx);
+      std::sort(hits.begin(), hits.end());
+      std::vector<RecordId> expected;
+      for (size_t id = 0; id < ds->size(); ++id) {
+        const size_t overlap = brute_overlap(q, static_cast<RecordId>(id));
+        if (overlap >= min_overlap) {
+          expected.push_back(static_cast<RecordId>(id));
+          // The counts backing hit scores must be exact. (Non-hits may hold
+          // partial counts: the split path skips heavy-row probes for
+          // records that provably cannot reach min_overlap.)
+          EXPECT_EQ(ctx.CountOf(static_cast<RecordId>(id)), overlap)
+              << "q.size=" << q.size() << " min_overlap=" << min_overlap
+              << " id=" << id;
+        }
+      }
+      EXPECT_EQ(hits, expected)
+          << "q.size=" << q.size() << " min_overlap=" << min_overlap;
+    }
+  }
+}
+
+// Flat and compressed backends must return identical hits and counts for
+// every strategy the query mix can trigger.
+TEST(InvertedIndexTest, CompressedBackendMatchesFlat) {
+  // A small universe keeps the posting rows long (hundreds of entries) —
+  // block compression amortizes its per-block headers there; rows of a
+  // handful of postings pay a full ragged block each and can come out
+  // larger than flat.
+  Rng rng(77);
+  std::vector<Record> records;
+  for (size_t i = 0; i < 300; ++i) {
+    std::vector<ElementId> elems;
+    const size_t len = 1 + rng.NextBounded(30);
+    for (size_t k = 0; k < len; ++k) {
+      elems.push_back(static_cast<ElementId>(rng.NextBounded(60)));
+    }
+    records.push_back(MakeRecord(std::move(elems)));
+  }
+  auto ds = Dataset::Create(records);
+  ASSERT_TRUE(ds.ok());
+  InvertedIndex flat(*ds, nullptr, PostingStoreKind::kFlat);
+  InvertedIndex compressed(*ds, nullptr, PostingStoreKind::kCompressed);
+  EXPECT_EQ(compressed.TotalPostings(), flat.TotalPostings());
+  EXPECT_LT(compressed.SpaceUnits(), flat.SpaceUnits());
+  QueryContext& ctx = ThreadLocalQueryContext();
+  for (size_t trial = 0; trial < 50; ++trial) {
+    const Record q = ds->record(rng.NextBounded(ds->size()));
+    for (size_t min_overlap : {size_t{1}, q.size() / 2, q.size()}) {
+      if (min_overlap == 0) continue;
+      auto a = flat.ScanCount(q, min_overlap, ctx);
+      auto b = compressed.ScanCount(q, min_overlap, ctx);
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      EXPECT_EQ(a, b) << "trial=" << trial << " min_overlap=" << min_overlap;
+    }
+  }
 }
 
 }  // namespace

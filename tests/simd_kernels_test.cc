@@ -1,0 +1,319 @@
+// Parity tier for the runtime-dispatched kernels (storage/simd/): every ISA
+// variant must be bit-identical to its scalar twin on randomized and
+// adversarial inputs, and whole-searcher results must be byte-identical
+// across dispatch levels and thread counts. CI runs this suite under
+// ASan+UBSan and once more with GBKMV_DISABLE_SIMD=1 (scalar-only
+// dispatch), so both sides of every comparison get exercised.
+
+#include "storage/simd/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/containment.h"
+#include "data/dataset.h"
+#include "index/query.h"
+#include "storage/compressed_posting_store.h"
+#include "storage/posting_store.h"
+#include "storage/query_context.h"
+
+namespace gbkmv {
+namespace {
+
+// Every kernel table available on this machine (always includes scalar;
+// SSE4.2/AVX2 when the CPU and build have them).
+std::vector<std::pair<SimdLevel, const SimdKernels*>> AvailableTables() {
+  std::vector<std::pair<SimdLevel, const SimdKernels*>> tables;
+  for (SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kSse42, SimdLevel::kAvx2}) {
+    if (level <= DetectedSimdLevel()) {
+      tables.emplace_back(level, &KernelsFor(level));
+    }
+  }
+  return tables;
+}
+
+std::vector<uint32_t> SortedUnique(Rng& rng, size_t max_len,
+                                   uint32_t universe) {
+  std::set<uint32_t> s;
+  const size_t len = rng.NextBounded(max_len + 1);
+  while (s.size() < len) {
+    s.insert(static_cast<uint32_t>(rng.NextBounded(universe)));
+  }
+  return std::vector<uint32_t>(s.begin(), s.end());
+}
+
+uint32_t ReferenceIntersect(const std::vector<uint32_t>& a,
+                            const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return static_cast<uint32_t>(out.size());
+}
+
+TEST(SimdKernelsTest, DetectedLevelIsOrdered) {
+  EXPECT_GE(DetectedSimdLevel(), SimdLevel::kScalar);
+  EXPECT_LE(ActiveSimdLevel(), DetectedSimdLevel());
+  // SimdLevelName covers every level.
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kSse42), "sse42");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx2), "avx2");
+}
+
+TEST(SimdKernelsTest, IntersectBoundedMatchesReferenceRandomized) {
+  Rng rng(123);
+  for (size_t trial = 0; trial < 3000; ++trial) {
+    // Mixed regimes: comparable sizes (merge), lopsided (galloping), dense
+    // overlap (small universe), sparse overlap (wide universe).
+    const uint32_t universe = trial % 2 == 0 ? 300 : 100000;
+    const size_t max_a = trial % 3 == 0 ? 20 : 200;
+    const std::vector<uint32_t> a = SortedUnique(rng, max_a, universe);
+    const std::vector<uint32_t> b = SortedUnique(rng, 200, universe);
+    const uint32_t exact = ReferenceIntersect(a, b);
+    // required sweeps both sides of the exact count, plus the exact-count
+    // contract at 0.
+    for (uint32_t required :
+         {uint32_t{0}, uint32_t{1}, exact > 0 ? exact : 1, exact + 1,
+          static_cast<uint32_t>(a.size() + 1)}) {
+      const uint32_t expected =
+          (required == 0 || exact >= required) ? exact : 0;
+      for (const auto& [level, kernels] : AvailableTables()) {
+        EXPECT_EQ(kernels->intersect_bounded(a.data(), a.size(), b.data(),
+                                             b.size(), required),
+                  expected)
+            << "trial=" << trial << " level=" << SimdLevelName(level)
+            << " required=" << required << " |a|=" << a.size()
+            << " |b|=" << b.size();
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, IntersectBoundedAdversarialShapes) {
+  // Empty rows, identical rows, disjoint interleavings, and lengths at the
+  // 4/8-lane block boundaries the vector loops advance by.
+  std::vector<std::vector<uint32_t>> shapes;
+  shapes.push_back({});
+  for (size_t n : {1u, 3u, 4u, 5u, 7u, 8u, 9u, 15u, 16u, 17u, 31u, 32u, 33u}) {
+    std::vector<uint32_t> evens, odds, all;
+    for (uint32_t k = 0; k < n; ++k) {
+      evens.push_back(2 * k);
+      odds.push_back(2 * k + 1);
+      all.push_back(k);
+    }
+    shapes.push_back(evens);
+    shapes.push_back(odds);
+    shapes.push_back(all);
+  }
+  for (const auto& a : shapes) {
+    for (const auto& b : shapes) {
+      const uint32_t exact = ReferenceIntersect(a, b);
+      for (uint32_t required = 0; required <= exact + 2; ++required) {
+        const uint32_t expected =
+            (required == 0 || exact >= required) ? exact : 0;
+        for (const auto& [level, kernels] : AvailableTables()) {
+          EXPECT_EQ(kernels->intersect_bounded(a.data(), a.size(), b.data(),
+                                               b.size(), required),
+                    expected)
+              << SimdLevelName(level) << " |a|=" << a.size()
+              << " |b|=" << b.size() << " required=" << required;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, EmitAndCountKernelsMatchScalar) {
+  Rng rng(456);
+  for (size_t trial = 0; trial < 200; ++trial) {
+    // Lengths straddle the 8/16-lane boundaries; values straddle theta,
+    // including the saturation extremes.
+    const size_t n = rng.NextBounded(70);
+    std::vector<uint16_t> counts(n);
+    for (auto& c : counts) {
+      const uint64_t r = rng.NextBounded(100);
+      c = r < 5 ? 0xffff : static_cast<uint16_t>(rng.NextBounded(70));
+    }
+    for (uint16_t theta : {uint16_t{1}, uint16_t{7}, uint16_t{0xffff}}) {
+      std::vector<uint32_t> expected_ids;
+      size_t expected_nonzero = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (counts[i] >= theta) {
+          expected_ids.push_back(static_cast<uint32_t>(i));
+        }
+        expected_nonzero += counts[i] != 0;
+      }
+      for (const auto& [level, kernels] : AvailableTables()) {
+        std::vector<uint32_t> out(n + 1, 0xdeadbeef);
+        const size_t emitted =
+            kernels->emit_ge_u16(counts.data(), n, theta, out.data());
+        ASSERT_EQ(emitted, expected_ids.size())
+            << SimdLevelName(level) << " n=" << n << " theta=" << theta;
+        EXPECT_TRUE(std::equal(expected_ids.begin(), expected_ids.end(),
+                               out.begin()))
+            << SimdLevelName(level) << " n=" << n << " theta=" << theta;
+        EXPECT_EQ(kernels->count_nonzero_u16(counts.data(), n),
+                  expected_nonzero)
+            << SimdLevelName(level) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, AccumulateMatchesScalar) {
+  Rng rng(789);
+  for (size_t trial = 0; trial < 100; ++trial) {
+    const size_t slots = 1 + rng.NextBounded(300);
+    const size_t n = rng.NextBounded(500);
+    std::vector<uint32_t> ids(n);
+    for (auto& id : ids) id = static_cast<uint32_t>(rng.NextBounded(slots));
+    std::vector<uint16_t> expected(slots, 0);
+    for (uint32_t id : ids) ++expected[id];
+    for (const auto& [level, kernels] : AvailableTables()) {
+      std::vector<uint16_t> counts(slots, 0);
+      kernels->accumulate_u16(counts.data(), ids.data(), n);
+      EXPECT_EQ(counts, expected) << SimdLevelName(level);
+    }
+  }
+}
+
+TEST(SimdKernelsTest, DecodeDeltasRoundTripsAllWidthsAndLengths) {
+  // Exercise decode_deltas through the block packer itself: every width
+  // class (0,1,2,4,8,16,32) and row lengths straddling the 128-delta block
+  // boundary, decoded under every available kernel table.
+  Rng rng(321);
+  for (const uint32_t width_bits : {0u, 1u, 2u, 4u, 8u, 16u, 32u}) {
+    for (const size_t n :
+         {size_t{0}, size_t{1}, size_t{2}, size_t{7}, size_t{8}, size_t{9},
+          size_t{127}, size_t{128}, size_t{129}, size_t{257}, size_t{385}}) {
+      // Gaps up to 2^22 still land in the width-32 class (widths above 16
+      // round up to 32) without risking uint32 overflow at 385 values.
+      const uint64_t max_gap =
+          width_bits == 0
+              ? 1
+              : std::min(uint64_t{1} << width_bits, uint64_t{1} << 22);
+      std::vector<uint32_t> row;
+      uint32_t v = static_cast<uint32_t>(rng.NextBounded(100));
+      for (size_t k = 0; k < n; ++k) {
+        row.push_back(v);
+        v += 1 + static_cast<uint32_t>(rng.NextBounded(max_gap));
+      }
+      // One-row posting store -> compressed -> decode under each level.
+      PostingStore flat = PostingStore::Build(
+          1, row.size(),
+          [&row](size_t i, const auto& fn) { fn(0, row[i]); },
+          nullptr, row.size());
+      ASSERT_EQ(flat.Row(0).size(), row.size());
+      const CompressedPostingStore store =
+          CompressedPostingStore::BuildFrom(flat);
+      ASSERT_EQ(store.RowLength(0), row.size());
+      const SimdLevel saved = ActiveSimdLevel();
+      for (const auto& [level, kernels] : AvailableTables()) {
+        (void)kernels;
+        SetSimdLevel(level);
+        std::vector<uint32_t> out(
+            CompressedPostingStore::DecodeCapacity(
+                static_cast<uint32_t>(row.size())),
+            0xdeadbeef);
+        ASSERT_EQ(store.DecodeRow(0, out.data()), row.size());
+        EXPECT_TRUE(std::equal(row.begin(), row.end(), out.begin()))
+            << SimdLevelName(level) << " width=" << width_bits << " n=" << n;
+      }
+      SetSimdLevel(saved);
+    }
+  }
+}
+
+// Whole-searcher parity: FreqSet and PPjoin responses (hits AND scores)
+// must be byte-identical across every dispatch level and thread count.
+TEST(SimdKernelsTest, SearcherResultsIdenticalAcrossLevelsAndThreads) {
+  Rng rng(20260808);
+  std::vector<Record> records;
+  for (size_t i = 0; i < 400; ++i) {
+    std::vector<ElementId> elems;
+    const size_t len = 2 + rng.NextBounded(60);
+    for (size_t k = 0; k < len; ++k) {
+      elems.push_back(static_cast<ElementId>(rng.NextBounded(2000)));
+    }
+    records.push_back(MakeRecord(std::move(elems)));
+  }
+  auto ds = Dataset::Create(records);
+  ASSERT_TRUE(ds.ok());
+
+  std::vector<Record> queries;
+  for (size_t i = 0; i < 25; ++i) {
+    queries.push_back(ds->record(rng.NextBounded(ds->size())));
+  }
+
+  struct Run {
+    std::vector<std::vector<QueryHit>> hits;  // per query, sorted by id
+  };
+  const auto run_all = [&](SearchMethod method, PostingStoreKind store) {
+    SearcherConfig config;
+    config.method = method;
+    config.posting_store = store;
+    auto searcher = BuildSearcher(*ds, config);
+    EXPECT_TRUE(searcher.ok());
+    Run run;
+    for (const Record& q : queries) {
+      QueryRequest request(q, 0.5);
+      request.want_scores = true;
+      QueryResponse response =
+          (*searcher)->SearchQ(request, ThreadLocalQueryContext());
+      std::sort(response.hits.begin(), response.hits.end(),
+                [](const QueryHit& a, const QueryHit& b) {
+                  return a.id < b.id;
+                });
+      run.hits.push_back(std::move(response.hits));
+    }
+    return run;
+  };
+
+  const SimdLevel saved = ActiveSimdLevel();
+  struct Case {
+    SearchMethod method;
+    PostingStoreKind store;
+  };
+  const Case cases[] = {
+      {SearchMethod::kFreqSet, PostingStoreKind::kFlat},
+      {SearchMethod::kFreqSet, PostingStoreKind::kCompressed},
+      {SearchMethod::kPPJoin, PostingStoreKind::kFlat},
+      {SearchMethod::kBruteForce, PostingStoreKind::kFlat},
+  };
+  for (const Case& c : cases) {
+    SetSimdLevel(SimdLevel::kScalar);
+    const Run baseline = run_all(c.method, c.store);
+    ASSERT_FALSE(baseline.hits.empty());
+    for (const auto& [level, kernels] : AvailableTables()) {
+      (void)kernels;
+      SetSimdLevel(level);
+      // Thread pools only affect index builds (byte-deterministic); query
+      // contexts are per-thread. Re-running the whole build+query cycle per
+      // level catches any divergence either way.
+      const Run run = run_all(c.method, c.store);
+      ASSERT_EQ(run.hits.size(), baseline.hits.size());
+      for (size_t qi = 0; qi < run.hits.size(); ++qi) {
+        ASSERT_EQ(run.hits[qi].size(), baseline.hits[qi].size())
+            << SimdLevelName(level) << " query " << qi;
+        for (size_t h = 0; h < run.hits[qi].size(); ++h) {
+          EXPECT_EQ(run.hits[qi][h].id, baseline.hits[qi][h].id);
+          // Bit-identical, not approximately equal.
+          EXPECT_EQ(std::memcmp(&run.hits[qi][h].score,
+                                &baseline.hits[qi][h].score, sizeof(float)),
+                    0)
+              << SimdLevelName(level) << " query " << qi << " hit " << h;
+        }
+      }
+    }
+  }
+  SetSimdLevel(saved);
+}
+
+}  // namespace
+}  // namespace gbkmv

@@ -62,6 +62,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/parse.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/containment.h"
@@ -159,6 +160,7 @@ struct CliOptions {
   std::string command;
   std::string dataset_path;
   std::string method = "gb-kmv";
+  std::string posting_store = "flat";  // freqset backend: flat | compressed
   double threshold = 0.5;
   double space = 0.10;
   size_t min_size = 1;
@@ -188,7 +190,9 @@ int Usage() {
                "       gbkmv_cli serve-query <manifest-dir> <query-file|-> "
                "[--threshold=T] [--top-k=K] [--scores] [--stats]\n"
                "methods: gb-kmv g-kmv kmv lsh-e minhash-lsh a-mh ppjoin "
-               "freqset brute-force (snapshots: gb-kmv g-kmv lsh-e)\n"
+               "freqset brute-force (snapshots: gb-kmv g-kmv lsh-e freqset)\n"
+               "freqset backend: --posting-store=flat|compressed "
+               "(docs/simd.md; bit-identical results)\n"
                "common flags: --threads=N (build/eval parallelism; default "
                "hardware concurrency; results identical for any N)\n"
                "observability (docs/observability.md): --metrics[=prom|json] "
@@ -212,13 +216,15 @@ int ParseQueryFlag(const char* arg, double* threshold,
                    SearchOptions* search) {
   std::string value;
   if (ParseFlag(arg, "--threshold=", &value)) {
-    *threshold = std::atof(value.c_str());
+    const Result<double> t = ParseF64(value);
+    if (!t.ok()) return -1;
+    *threshold = *t;
     return 1;
   }
   if (ParseFlag(arg, "--top-k=", &value)) {
-    const long long k = std::atoll(value.c_str());
-    if (k < 0) return -1;
-    search->top_k = static_cast<size_t>(k);
+    const Result<uint64_t> k = ParseU64(value);
+    if (!k.ok()) return -1;
+    search->top_k = static_cast<size_t>(*k);
     return 1;
   }
   if (std::strcmp(arg, "--scores") == 0) {
@@ -230,9 +236,9 @@ int ParseQueryFlag(const char* arg, double* threshold,
     return 1;
   }
   if (ParseFlag(arg, "--threads=", &value)) {
-    const long long n = std::atoll(value.c_str());
-    if (n < 0) return -1;
-    SetDefaultThreads(static_cast<size_t>(n));
+    const Result<uint64_t> n = ParseU64(value);
+    if (!n.ok()) return -1;
+    SetDefaultThreads(static_cast<size_t>(*n));
     return 1;
   }
   // Observability flags (see ObsOptions above) — shared the same way so
@@ -260,21 +266,43 @@ int ParseQueryFlag(const char* arg, double* threshold,
     return 1;
   }
   if (ParseFlag(arg, "--metrics-interval=", &value)) {
-    g_obs.interval_seconds = std::atof(value.c_str());
-    if (g_obs.interval_seconds <= 0.0) return -1;
+    const Result<double> secs = ParseF64(value);
+    if (!secs.ok() || *secs <= 0.0) return -1;
+    g_obs.interval_seconds = *secs;
     return 1;
   }
   if (ParseFlag(arg, "--trace-sample=", &value)) {
-    const long long n = std::atoll(value.c_str());
-    if (n < 0) return -1;
-    g_obs.trace_sample = static_cast<size_t>(n);
+    const Result<uint64_t> n = ParseU64(value);
+    if (!n.ok()) return -1;
+    g_obs.trace_sample = static_cast<size_t>(*n);
     return 1;
   }
   if (ParseFlag(arg, "--slow-query-ms=", &value)) {
-    g_obs.slow_query_ms = std::atof(value.c_str());
-    if (g_obs.slow_query_ms < 0.0) return -1;
+    const Result<double> ms = ParseF64(value);
+    if (!ms.ok() || *ms < 0.0) return -1;
+    g_obs.slow_query_ms = *ms;
     return 1;
   }
+  return 0;
+}
+
+// Fills the searcher fields every build-shaped command shares (method,
+// space budget, posting-store backend). Returns 0, or 2 after reporting a
+// bad value.
+int FillSearcherConfig(const CliOptions& options, SearcherConfig* config) {
+  Result<SearchMethod> method = ParseSearchMethod(options.method);
+  if (!method.ok()) {
+    std::fprintf(stderr, "%s\n", method.status().ToString().c_str());
+    return 2;
+  }
+  Result<PostingStoreKind> store = ParsePostingStoreKind(options.posting_store);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 2;
+  }
+  config->method = *method;
+  config->space_ratio = options.space;
+  config->posting_store = *store;
   return 0;
 }
 
@@ -357,14 +385,8 @@ int StreamQueries(std::istream& in, const ContainmentSearcher& searcher,
 
 int RunBuild(const Dataset& dataset, const CliOptions& options,
              const std::string& out_path) {
-  Result<SearchMethod> method = ParseSearchMethod(options.method);
-  if (!method.ok()) {
-    std::fprintf(stderr, "%s\n", method.status().ToString().c_str());
-    return 2;
-  }
   SearcherConfig config;
-  config.method = *method;
-  config.space_ratio = options.space;
+  if (const int rc = FillSearcherConfig(options, &config)) return rc;
   WallTimer build_timer;
   Result<std::unique_ptr<ContainmentSearcher>> searcher =
       BuildSearcher(dataset, config);
@@ -418,11 +440,6 @@ int RunQuerySnapshot(const std::string& snapshot_path,
 
 int RunServeBuild(const Dataset& dataset, const CliOptions& options,
                   const std::string& out_dir) {
-  Result<SearchMethod> method = ParseSearchMethod(options.method);
-  if (!method.ok()) {
-    std::fprintf(stderr, "%s\n", method.status().ToString().c_str());
-    return 2;
-  }
   Result<ShardPartitioner> partitioner =
       ParseShardPartitioner(options.partitioner);
   if (!partitioner.ok()) {
@@ -430,8 +447,7 @@ int RunServeBuild(const Dataset& dataset, const CliOptions& options,
     return 2;
   }
   SearcherConfig config;
-  config.method = *method;
-  config.space_ratio = options.space;
+  if (const int rc = FillSearcherConfig(options, &config)) return rc;
   config.sharded.num_shards = options.shards;
   config.sharded.partitioner = *partitioner;
   config.sharded.cache_capacity = options.cache;
@@ -526,14 +542,8 @@ int RunServeQuery(const std::string& manifest_dir,
 }
 
 int RunQuery(const Dataset& dataset, const CliOptions& options) {
-  Result<SearchMethod> method = ParseSearchMethod(options.method);
-  if (!method.ok()) {
-    std::fprintf(stderr, "%s\n", method.status().ToString().c_str());
-    return 2;
-  }
   SearcherConfig config;
-  config.method = *method;
-  config.space_ratio = options.space;
+  if (const int rc = FillSearcherConfig(options, &config)) return rc;
   WallTimer build_timer;
   Result<std::unique_ptr<ContainmentSearcher>> searcher =
       BuildSearcher(dataset, config);
@@ -550,14 +560,8 @@ int RunQuery(const Dataset& dataset, const CliOptions& options) {
 }
 
 int RunEval(const Dataset& dataset, const CliOptions& options) {
-  Result<SearchMethod> method = ParseSearchMethod(options.method);
-  if (!method.ok()) {
-    std::fprintf(stderr, "%s\n", method.status().ToString().c_str());
-    return 2;
-  }
   SearcherConfig config;
-  config.method = *method;
-  config.space_ratio = options.space;
+  if (const int rc = FillSearcherConfig(options, &config)) return rc;
   ExperimentOptions exp;
   exp.num_queries = options.queries;
   exp.threshold = options.threshold;
@@ -609,7 +613,9 @@ int Main(int argc, char** argv) {
       if (consumed < 0) return Usage();
       if (consumed == 1) continue;
       if (argv[i][0] != '-' && !saw_positional_threshold) {
-        threshold = std::atof(argv[i]);
+        const Result<double> t = ParseF64(argv[i]);
+        if (!t.ok()) return Usage();
+        threshold = *t;
         saw_positional_threshold = true;
       } else {
         return Usage();
@@ -648,22 +654,30 @@ int Main(int argc, char** argv) {
     std::string value;
     if (ParseFlag(argv[i], "--method=", &value)) {
       options.method = value;
+    } else if (ParseFlag(argv[i], "--posting-store=", &value)) {
+      options.posting_store = value;
     } else if (ParseFlag(argv[i], "--space=", &value)) {
-      options.space = std::atof(value.c_str());
+      const Result<double> s = ParseF64(value);
+      if (!s.ok()) return Usage();
+      options.space = *s;
     } else if (ParseFlag(argv[i], "--min-size=", &value)) {
-      options.min_size = static_cast<size_t>(std::atoll(value.c_str()));
+      const Result<uint64_t> n = ParseU64(value);
+      if (!n.ok()) return Usage();
+      options.min_size = static_cast<size_t>(*n);
     } else if (ParseFlag(argv[i], "--queries=", &value)) {
-      options.queries = static_cast<size_t>(std::atoll(value.c_str()));
+      const Result<uint64_t> n = ParseU64(value);
+      if (!n.ok()) return Usage();
+      options.queries = static_cast<size_t>(*n);
     } else if (ParseFlag(argv[i], "--shards=", &value)) {
-      const long long n = std::atoll(value.c_str());
-      if (n <= 0) return Usage();
-      options.shards = static_cast<size_t>(n);
+      const Result<uint64_t> n = ParseU64(value);
+      if (!n.ok() || *n == 0) return Usage();
+      options.shards = static_cast<size_t>(*n);
     } else if (ParseFlag(argv[i], "--partitioner=", &value)) {
       options.partitioner = value;
     } else if (ParseFlag(argv[i], "--cache=", &value)) {
-      const long long n = std::atoll(value.c_str());
-      if (n < 0) return Usage();
-      options.cache = static_cast<size_t>(n);
+      const Result<uint64_t> n = ParseU64(value);
+      if (!n.ok()) return Usage();
+      options.cache = static_cast<size_t>(*n);
     } else {
       return Usage();
     }
