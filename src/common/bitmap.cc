@@ -32,12 +32,25 @@ size_t Bitmap::Count() const {
 }
 
 size_t Bitmap::IntersectCount(const Bitmap& a, const Bitmap& b) {
-  const size_t n = std::min(a.words_.size(), b.words_.size());
+  return IntersectCountWords(a.words_, b.words_);
+}
+
+size_t Bitmap::IntersectCountWords(std::span<const uint64_t> a,
+                                   std::span<const uint64_t> b) {
+  const size_t n = std::min(a.size(), b.size());
   size_t total = 0;
   for (size_t i = 0; i < n; ++i) {
-    total += std::popcount(a.words_[i] & b.words_[i]);
+    total += std::popcount(a[i] & b[i]);
   }
   return total;
+}
+
+Bitmap Bitmap::FromWords(size_t num_bits, std::vector<uint64_t> words) {
+  GBKMV_CHECK(words.size() == (num_bits + 63) / 64);
+  Bitmap bitmap;
+  bitmap.num_bits_ = num_bits;
+  bitmap.words_ = std::move(words);
+  return bitmap;
 }
 
 size_t Bitmap::UnionCount(const Bitmap& a, const Bitmap& b) {

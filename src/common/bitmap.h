@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -39,6 +40,19 @@ class Bitmap {
   // Number of bits set in both `a` and `b`. The bitmaps may have different
   // widths; bits beyond the shorter one count as zero.
   static size_t IntersectCount(const Bitmap& a, const Bitmap& b);
+
+  // Same, over raw word arrays (the flat sketch store keeps bitmaps as word
+  // slices of one arena instead of Bitmap objects).
+  static size_t IntersectCountWords(std::span<const uint64_t> a,
+                                    std::span<const uint64_t> b);
+
+  // The backing words, bit i at words()[i/64] >> (i%64).
+  std::span<const uint64_t> words() const { return words_; }
+
+  // Rebuilds a bitmap from its words (the flat sketch store's inverse of
+  // words()). `words` must be exactly (num_bits + 63) / 64 entries and carry
+  // no set bit at position >= num_bits.
+  static Bitmap FromWords(size_t num_bits, std::vector<uint64_t> words);
 
   // Number of bits set in either bitmap.
   static size_t UnionCount(const Bitmap& a, const Bitmap& b);

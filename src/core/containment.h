@@ -104,6 +104,16 @@ struct ShardedOptions {
   // Promote the ingest shard to an immutable shard (in the background) once
   // it holds this many records; 0 = only on explicit PromoteIngest().
   size_t auto_promote_records = 0;
+  // Resident-shard budget for services restored with Load (docs/sharding.md
+  // "Larger than RAM"). When either limit is non-zero, Load defers every
+  // shard: the manifest alone is read up front and each shard's snapshot is
+  // mapped (or loaded) on the first query that needs it, with the
+  // least-recently-used resident shards unmapped once the budget is
+  // exceeded. 0/0 (default) keeps the eager behaviour: all shards load
+  // inside Load. Ignored by Build (built shards have no backing file to
+  // reactivate from).
+  size_t max_resident_shards = 0;
+  uint64_t max_resident_bytes = 0;
 };
 
 struct SearcherConfig {

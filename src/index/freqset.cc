@@ -8,7 +8,9 @@ namespace gbkmv {
 
 FreqSetSearcher::FreqSetSearcher(const Dataset& dataset, ThreadPool* pool,
                                  PostingStoreKind store)
-    : dataset_(dataset), index_(dataset, pool, store) {}
+    : dataset_(&dataset),
+      num_records_(dataset.size()),
+      index_(dataset, pool, store) {}
 
 QueryResponse FreqSetSearcher::SearchQ(const QueryRequest& request,
                                        QueryContext& ctx) const {
@@ -30,8 +32,8 @@ QueryResponse FreqSetSearcher::SearchQ(const QueryRequest& request,
     if (need_scores) {
       index_.CountOverlaps(query, 1, ctx, &response.stats);
     }
-    response.stats.candidates_generated = dataset_.size();
-    for (size_t i = 0; i < dataset_.size(); ++i) {
+    response.stats.candidates_generated = num_records_;
+    for (size_t i = 0; i < num_records_; ++i) {
       const double overlap =
           need_scores
               ? static_cast<double>(ctx.CountOf(static_cast<uint32_t>(i)))

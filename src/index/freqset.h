@@ -48,9 +48,14 @@ class FreqSetSearcher : public ContainmentSearcher {
   }
   bool exact() const override { return true; }
 
-  // Snapshot round-trip (docs/snapshot_format.md "freqset-index"). The flat
-  // backend is rebuilt deterministically on load; the compressed arena is
-  // stored verbatim so a load skips the flat build + compress.
+  // Snapshot round-trip (docs/snapshot_format.md "freqset-index"). v3
+  // stores the posting payload in the aligned-array encoding for either
+  // backend, so no load rebuilds anything; v1/v2 snapshots rebuild the flat
+  // backend from the dataset on read. LoadMapped serves the postings
+  // straight out of a validated v3 view (no dataset, no copies) — the
+  // caller keeps the backing mapping alive for the searcher's lifetime; a
+  // mapped searcher cannot Save (FailedPrecondition) because the dataset
+  // did not travel with it.
   static constexpr char kSnapshotKind[] = "freqset-index";
   Status SaveSnapshot(const std::string& path) const override {
     return Save(path);
@@ -60,12 +65,18 @@ class FreqSetSearcher : public ContainmentSearcher {
       const io::SnapshotReader& snapshot, const Dataset& dataset);
   static Result<std::unique_ptr<FreqSetSearcher>> Load(const std::string& path,
                                                        const Dataset& dataset);
+  static Result<std::unique_ptr<FreqSetSearcher>> LoadMapped(
+      const io::SnapshotReader& snapshot);
 
  private:
-  FreqSetSearcher(const Dataset& dataset, InvertedIndex index)
-      : dataset_(dataset), index_(std::move(index)) {}
+  FreqSetSearcher(const Dataset* dataset, size_t num_records,
+                  InvertedIndex index)
+      : dataset_(dataset),
+        num_records_(num_records),
+        index_(std::move(index)) {}
 
-  const Dataset& dataset_;
+  const Dataset* dataset_;  // null for mapped (dataset-free) loads
+  size_t num_records_;
   InvertedIndex index_;
 };
 

@@ -70,32 +70,66 @@ GbKmvIndexSearcher::CreateWithSketcher(const Dataset& dataset,
   if (dataset.empty()) {
     return Status::InvalidArgument("dataset is empty");
   }
-  std::unique_ptr<GbKmvIndexSearcher> s(new GbKmvIndexSearcher(dataset));
+  std::unique_ptr<GbKmvIndexSearcher> s(new GbKmvIndexSearcher(&dataset));
   const size_t buffer_bits = sketcher.buffer_bits();
   s->chosen_buffer_bits_ = buffer_bits;
   s->sketcher_ = std::make_unique<GbKmvSketcher>(std::move(sketcher));
 
   const std::unique_ptr<ThreadPool> pool =
       MakeBuildPool(num_threads, dataset.size());
-  s->sketches_ = BuildSketchesParallel(dataset, *s->sketcher_, pool.get());
-  s->record_sizes_.reserve(dataset.size());
+  const std::vector<GbKmvSketch> sketches =
+      BuildSketchesParallel(dataset, *s->sketcher_, pool.get());
+  s->owned_record_sizes_.reserve(dataset.size());
   for (size_t i = 0; i < dataset.size(); ++i) {
-    s->space_units_ += s->sketches_[i].SpaceUnits(buffer_bits);
-    s->record_sizes_.push_back(
+    s->space_units_ += sketches[i].SpaceUnits(buffer_bits);
+    s->owned_record_sizes_.push_back(
         static_cast<uint32_t>(dataset.record(i).size()));
   }
+  GBKMV_RETURN_IF_ERROR(s->AdoptSketches(sketches));
   s->BuildQueryStructures();
   return s;
 }
 
+Status GbKmvIndexSearcher::AdoptSketches(
+    const std::vector<GbKmvSketch>& sketches) {
+  const size_t m = sketches.size();
+  words_per_record_ = (chosen_buffer_bits_ + 63) / 64;
+  sketch_threshold_ = sketcher_->global_threshold();
+  owned_buffer_words_.clear();
+  owned_buffer_words_.reserve(m * words_per_record_);
+  owned_hash_offsets_.assign(1, 0);
+  owned_hash_offsets_.reserve(m + 1);
+  owned_hashes_.clear();
+  for (const GbKmvSketch& sketch : sketches) {
+    const std::span<const uint64_t> words = sketch.buffer.words();
+    GBKMV_CHECK(words.size() == words_per_record_);
+    owned_buffer_words_.insert(owned_buffer_words_.end(), words.begin(),
+                               words.end());
+    // The flat store keeps ONE threshold; a stored sketch disagreeing with
+    // the sketcher it travels with could not have been built by it.
+    if (sketch.gkmv.threshold() != sketch_threshold_) {
+      return Status::Corruption(
+          "sketch threshold disagrees with the sketcher");
+    }
+    const std::vector<uint64_t>& values = sketch.gkmv.values();
+    owned_hashes_.insert(owned_hashes_.end(), values.begin(), values.end());
+    owned_hash_offsets_.push_back(owned_hashes_.size());
+  }
+  record_sizes_ = std::span<const uint32_t>(owned_record_sizes_);
+  buffer_words_ = std::span<const uint64_t>(owned_buffer_words_);
+  hash_offsets_ = std::span<const uint64_t>(owned_hash_offsets_);
+  hashes_ = std::span<const uint64_t>(owned_hashes_);
+  return Status::OK();
+}
+
 void GbKmvIndexSearcher::BuildQueryStructures(bool rebuild_postings) {
-  const size_t m = sketches_.size();
+  const size_t m = num_records();
   if (rebuild_postings) {
     // Enumerating in record order makes the flat layout a pure function of
     // the sketches — byte-identical for any build thread count.
     hash_postings_ = FlatHashPostings::Build([this, m](const auto& fn) {
       for (size_t i = 0; i < m; ++i) {
-        for (uint64_t h : sketches_[i].gkmv.values()) {
+        for (uint64_t h : HashesOf(static_cast<RecordId>(i))) {
           fn(h, static_cast<RecordId>(i));
         }
       }
@@ -118,7 +152,11 @@ void GbKmvIndexSearcher::BuildQueryStructures(bool rebuild_postings) {
   buffered_sorted_sizes_.clear();
   for (size_t pos = 0; pos < m; ++pos) {
     const RecordId id = by_size_[pos];
-    if (!sketches_[id].buffer.Empty()) {
+    const std::span<const uint64_t> words = BufferWordsOf(id);
+    const bool empty =
+        std::all_of(words.begin(), words.end(),
+                    [](uint64_t w) { return w == 0; });
+    if (!empty) {
       buffered_by_size_.push_back(id);
       buffered_sorted_sizes_.push_back(sorted_sizes_[pos]);
     }
@@ -152,7 +190,7 @@ QueryResponse GbKmvIndexSearcher::SearchQ(const QueryRequest& request,
   // ScanCount over the sketch-hash inverted index -> exact K∩ per record.
   // K∩ <= |L_Q|, so the guard-free bump applies for any realistic sketch.
   obs::StageTimer scan_timer(obs::Stage::kScan);
-  ctx.Begin(sketches_.size());
+  ctx.Begin(num_records());
   if (q_sketch_size < QueryContext::kSaturated) {
     for (uint64_t h : q_hashes) {
       const std::span<const RecordId> row = hash_postings_.Find(h);
@@ -170,15 +208,16 @@ QueryResponse GbKmvIndexSearcher::SearchQ(const QueryRequest& request,
 
   obs::StageTimer refine_timer(obs::Stage::kRefine);
   const bool query_buffer_empty = query_sketch.buffer.Empty();
+  const std::span<const uint64_t> q_words = query_sketch.buffer.words();
   auto score = [&](RecordId id, size_t k_intersect) -> double {
-    const GbKmvSketch& x = sketches_[id];
-    const size_t o1 = query_buffer_empty
-                          ? 0
-                          : Bitmap::IntersectCount(query_sketch.buffer,
-                                                   x.buffer);
-    const uint64_t x_max = x.gkmv.empty() ? 0 : x.gkmv.values().back();
+    const size_t o1 =
+        query_buffer_empty
+            ? 0
+            : Bitmap::IntersectCountWords(q_words, BufferWordsOf(id));
+    const std::span<const uint64_t> x_hashes = HashesOf(id);
+    const uint64_t x_max = x_hashes.empty() ? 0 : x_hashes.back();
     const double d_hat = GkmvEstimateFromCounts(
-        k_intersect, q_sketch_size, x.gkmv.size(), q_max, x_max);
+        k_intersect, q_sketch_size, x_hashes.size(), q_max, x_max);
     // The true intersection cannot exceed either set size; both are known
     // exactly, so clamp the noisy sketch estimate (cuts false positives at
     // high thresholds without affecting recall).
@@ -220,7 +259,7 @@ QueryResponse GbKmvIndexSearcher::SearchQ(const QueryRequest& request,
         continue;
       }
       const size_t o1 =
-          Bitmap::IntersectCount(query_sketch.buffer, sketches_[id].buffer);
+          Bitmap::IntersectCountWords(q_words, BufferWordsOf(id));
       if (static_cast<double>(o1) >= theta - 1e-9) {
         // K∩ = 0, so the full estimator reduces to the buffer overlap.
         collector.Add(id, static_cast<double>(o1) * inv_q);
@@ -243,8 +282,18 @@ double GbKmvIndexSearcher::EstimateContainment(const Record& query,
                                                RecordId id) const {
   if (query.empty()) return 0.0;
   const GbKmvSketch query_sketch = sketcher_->Sketch(query);
-  const double raw = GbKmvSketcher::EstimatePair(query_sketch, sketches_[id])
-                         .intersection_size;
+  // Cold path (tests / diagnostics): reassemble the record's sketch from
+  // its flat-store slices and run the full pair estimator.
+  const std::span<const uint64_t> words = BufferWordsOf(id);
+  const std::span<const uint64_t> values = HashesOf(id);
+  GbKmvSketch x;
+  x.buffer = Bitmap::FromWords(
+      chosen_buffer_bits_,
+      std::vector<uint64_t>(words.begin(), words.end()));
+  x.gkmv = GkmvSketch::FromParts(
+      std::vector<uint64_t>(values.begin(), values.end()), sketch_threshold_);
+  const double raw =
+      GbKmvSketcher::EstimatePair(query_sketch, x).intersection_size;
   const double cap =
       static_cast<double>(std::min<size_t>(query.size(), record_sizes_[id]));
   return std::min(raw, cap) / static_cast<double>(query.size());

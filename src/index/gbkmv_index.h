@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -36,6 +37,7 @@ namespace gbkmv {
 class ThreadPool;
 
 namespace io {
+class Reader;
 class SnapshotReader;
 }  // namespace io
 
@@ -109,8 +111,13 @@ class GbKmvIndexSearcher : public ContainmentSearcher {
   uint64_t global_threshold() const { return sketcher_->global_threshold(); }
 
   // Snapshot persistence (src/io; defined in io/persist_index.cc). The
-  // snapshot embeds the dataset and all per-record sketches, so a reloaded
+  // snapshot embeds the dataset and the flat sketch payload, so a reloaded
   // searcher returns byte-identical Search() results without re-sketching.
+  // Format version 3 lays the payload out as 64-byte-aligned flat arrays;
+  // LoadMapped serves them straight out of a validated v3 view (no dataset,
+  // no copies) with the caller keeping the backing mapping alive — a mapped
+  // searcher cannot Save (FailedPrecondition; copy the snapshot file
+  // instead).
   static constexpr char kSnapshotKind[] = "gbkmv-index";
   Status Save(const std::string& path) const;
   Status SaveSnapshot(const std::string& path) const override {
@@ -122,23 +129,63 @@ class GbKmvIndexSearcher : public ContainmentSearcher {
       const std::string& path, const Dataset& dataset);
   static Result<std::unique_ptr<GbKmvIndexSearcher>> LoadFrom(
       const io::SnapshotReader& snapshot, const Dataset& dataset);
+  static Result<std::unique_ptr<GbKmvIndexSearcher>> LoadMapped(
+      const io::SnapshotReader& snapshot);
 
  private:
-  GbKmvIndexSearcher(const Dataset& dataset) : dataset_(dataset) {}
+  explicit GbKmvIndexSearcher(const Dataset* dataset) : dataset_(dataset) {}
+
+  // Shared v3 load path (io/persist_index.cc): reads the aligned flat
+  // sketch store; `dataset` is null for mapped (dataset-free) loads and
+  // `borrow` serves the arrays from the reader's buffer in place.
+  static Result<std::unique_ptr<GbKmvIndexSearcher>> LoadAligned(
+      io::Reader* in, const Dataset* dataset, bool borrow);
+
+  size_t num_records() const { return record_sizes_.size(); }
+
+  // Flat sketch store slices: record `id`'s buffer bitmap words and its
+  // ascending G-KMV hash values.
+  std::span<const uint64_t> BufferWordsOf(RecordId id) const {
+    return buffer_words_.subspan(size_t{id} * words_per_record_,
+                                 words_per_record_);
+  }
+  std::span<const uint64_t> HashesOf(RecordId id) const {
+    return hashes_.subspan(hash_offsets_[id],
+                           hash_offsets_[id + 1] - hash_offsets_[id]);
+  }
+
+  // Flattens freshly built / legacy-loaded per-record sketches into the
+  // flat arrays (Corruption when a stored sketch disagrees with the
+  // sketcher's global threshold).
+  Status AdoptSketches(const std::vector<GbKmvSketch>& sketches);
 
   // Builds the derived query structures (size order and, unless
   // `rebuild_postings` is false because a snapshot already supplied them,
-  // the flat hash postings) from sketches_ + record_sizes_; shared by
-  // Create and LoadFrom. Deterministic for any thread count.
+  // the flat hash postings) from the flat sketch store + record_sizes_;
+  // shared by Create and the loaders. Deterministic for any thread count.
   void BuildQueryStructures(bool rebuild_postings = true);
 
-  const Dataset& dataset_;
+  const Dataset* dataset_;  // null for mapped (dataset-free) loads
   std::unique_ptr<GbKmvSketcher> sketcher_;
   size_t chosen_buffer_bits_ = 0;
   uint64_t space_units_ = 0;  // sketch payload (bitmaps + stored hashes)
 
-  std::vector<GbKmvSketch> sketches_;          // per record id
-  std::vector<uint32_t> record_sizes_;         // |X| per record id
+  // Flat sketch store (docs/architecture.md "Borrowed memory"): all
+  // per-record sketch state in four flat arrays read through spans that
+  // either alias the owned vectors or point into a mapped v3 snapshot.
+  // Every bitmap is exactly words_per_record_ words wide; every stored hash
+  // is <= sketch_threshold_ (== sketcher_->global_threshold()).
+  size_t words_per_record_ = 0;
+  uint64_t sketch_threshold_ = 0;
+  std::vector<uint32_t> owned_record_sizes_;
+  std::vector<uint64_t> owned_buffer_words_;
+  std::vector<uint64_t> owned_hash_offsets_;
+  std::vector<uint64_t> owned_hashes_;
+  std::span<const uint32_t> record_sizes_;   // |X| per record id
+  std::span<const uint64_t> buffer_words_;   // m * words_per_record_
+  std::span<const uint64_t> hash_offsets_;   // m + 1 row starts
+  std::span<const uint64_t> hashes_;         // concatenated G-KMV values
+
   // Record ids sorted by ascending size + parallel sizes for binary search.
   std::vector<RecordId> by_size_;
   std::vector<uint32_t> sorted_sizes_;

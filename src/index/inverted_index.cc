@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "io/serializer.h"
 #include "storage/simd/simd.h"
 
 namespace gbkmv {
@@ -168,6 +169,66 @@ Result<InvertedIndex> InvertedIndex::FromCompressed(
   index.kind_ = PostingStoreKind::kCompressed;
   index.num_records_ = dataset.size();
   index.compressed_ = std::move(store);
+  return index;
+}
+
+void InvertedIndex::SaveToAligned(io::Writer* out) const {
+  out->PutU32(static_cast<uint32_t>(kind_));
+  out->PutU64(num_records_);
+  if (kind_ == PostingStoreKind::kFlat) {
+    out->PutU64(store_.num_keys());
+    store_.SaveToAligned(out);
+  } else {
+    out->PutU64(compressed_.num_keys());
+    compressed_.SaveToAligned(out);
+  }
+}
+
+Result<InvertedIndex> InvertedIndex::LoadFromAligned(io::Reader* in,
+                                                     bool borrow) {
+  uint32_t kind = 0;
+  uint64_t num_records = 0;
+  uint64_t num_keys = 0;
+  GBKMV_RETURN_IF_ERROR(in->GetU32(&kind));
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&num_records));
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&num_keys));
+  InvertedIndex index;
+  index.num_records_ = static_cast<size_t>(num_records);
+  if (kind == static_cast<uint32_t>(PostingStoreKind::kFlat)) {
+    index.kind_ = PostingStoreKind::kFlat;
+    GBKMV_RETURN_IF_ERROR(index.store_.LoadFromAligned(
+        in, static_cast<size_t>(num_keys), num_records, borrow));
+    return index;
+  }
+  if (kind != static_cast<uint32_t>(PostingStoreKind::kCompressed)) {
+    return Status::Corruption("inverted index: unknown posting-store kind");
+  }
+  index.kind_ = PostingStoreKind::kCompressed;
+  GBKMV_RETURN_IF_ERROR(index.compressed_.LoadFromAligned(in, borrow));
+  if (index.compressed_.num_keys() != num_keys) {
+    return Status::Corruption(
+        "inverted index: compressed key space disagrees with header");
+  }
+  // The structural walk proved the arena decodable; decode every row once
+  // to bound the ids the count kernels will later index with (the flat
+  // branch gets the same bound from CsrStore's value check).
+  uint32_t max_length = 0;
+  for (size_t key = 0; key < num_keys; ++key) {
+    max_length =
+        std::max(max_length, index.compressed_.RowLength(key));
+  }
+  std::vector<uint32_t> scratch(
+      CompressedPostingStore::DecodeCapacity(max_length));
+  for (size_t key = 0; key < num_keys; ++key) {
+    const uint32_t n = index.compressed_.DecodeRow(key, scratch.data());
+    for (uint32_t k = 0; k < n; ++k) {
+      if (scratch[k] >= num_records ||
+          (k > 0 && scratch[k] <= scratch[k - 1])) {
+        return Status::Corruption(
+            "inverted index: posting id out of range or not ascending");
+      }
+    }
+  }
   return index;
 }
 

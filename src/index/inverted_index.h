@@ -42,13 +42,27 @@ class InvertedIndex {
   explicit InvertedIndex(const Dataset& dataset, ThreadPool* pool = nullptr,
                          PostingStoreKind kind = PostingStoreKind::kFlat);
 
-  // Rehydrates a compressed-backend index from a loaded store (snapshot
-  // path; skips the flat build + compress). Corruption if the store's shape
-  // disagrees with the dataset.
+  // Rehydrates a compressed-backend index from a loaded store (legacy
+  // snapshot path; skips the flat build + compress). Corruption if the
+  // store's shape disagrees with the dataset.
   static Result<InvertedIndex> FromCompressed(const Dataset& dataset,
                                               CompressedPostingStore store);
 
+  // Snapshot v3 aligned serialization: kind + shape scalars + the backend
+  // payload in the 64-byte-aligned array encoding, fully self-contained (no
+  // dataset needed on load). borrow=true serves postings from the reader's
+  // buffer in place (mapped snapshot; the caller keeps the mapping alive);
+  // either mode validates every posting id against the stored record count
+  // before the index is exposed.
+  void SaveToAligned(io::Writer* out) const;
+  static Result<InvertedIndex> LoadFromAligned(io::Reader* in, bool borrow);
+
   PostingStoreKind kind() const { return kind_; }
+  size_t num_records() const { return num_records_; }
+  bool borrowed() const {
+    return kind_ == PostingStoreKind::kFlat ? store_.borrowed()
+                                            : compressed_.borrowed();
+  }
 
   // The compressed payload (kCompressed backend only; snapshot writers).
   const CompressedPostingStore& compressed() const {

@@ -1,11 +1,14 @@
 #include "index/searcher_registry.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "index/dynamic_index.h"
 #include "index/freqset.h"
 #include "index/gbkmv_index.h"
 #include "index/lsh_ensemble.h"
+#include "io/mmap_snapshot.h"
 #include "io/snapshot.h"
 
 namespace gbkmv {
@@ -132,6 +135,54 @@ Result<std::unique_ptr<ContainmentSearcher>> LoadSearcherSnapshot(
   }
   return Status::InvalidArgument("unknown searcher snapshot kind '" +
                                  meta->kind + "'");
+}
+
+bool ForceCopyLoad() {
+  const char* env = std::getenv("GBKMV_FORCE_COPY_LOAD");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+Result<MappedSearcher> LoadSearcherSnapshotAuto(const std::string& path) {
+  if (!ForceCopyLoad()) {
+    Result<io::MmapSnapshot> mapped = io::MmapSnapshot::Open(path);
+    if (mapped.ok()) {
+      const io::SnapshotReader& reader = mapped->reader();
+      Result<io::SnapshotMeta> meta = io::ReadSnapshotMeta(reader);
+      if (!meta.ok()) return meta.status();
+      if (meta->kind == GbKmvIndexSearcher::kSnapshotKind) {
+        Result<std::unique_ptr<GbKmvIndexSearcher>> searcher =
+            GbKmvIndexSearcher::LoadMapped(reader);
+        if (!searcher.ok()) return searcher.status();
+        MappedSearcher out;
+        out.mapping =
+            std::make_shared<io::MmapSnapshot>(std::move(mapped.value()));
+        out.searcher = std::move(searcher.value());
+        return out;
+      }
+      if (meta->kind == FreqSetSearcher::kSnapshotKind) {
+        Result<std::unique_ptr<FreqSetSearcher>> searcher =
+            FreqSetSearcher::LoadMapped(reader);
+        if (!searcher.ok()) return searcher.status();
+        MappedSearcher out;
+        out.mapping =
+            std::make_shared<io::MmapSnapshot>(std::move(mapped.value()));
+        out.searcher = std::move(searcher.value());
+        return out;
+      }
+      // Kind without an in-place serving mode: fall through to the copying
+      // loader (the mapping is dropped here).
+    } else if (mapped.status().code() != StatusCode::kFailedPrecondition) {
+      // Real I/O or validation failure — not the "pre-v3 snapshot" signal
+      // that means "use the copying loader".
+      return mapped.status();
+    }
+  }
+  Result<LoadedSearcher> loaded = LoadSearcherSnapshot(path);
+  if (!loaded.ok()) return loaded.status();
+  MappedSearcher out;
+  out.dataset = std::move(loaded->dataset);
+  out.searcher = std::move(loaded->searcher);
+  return out;
 }
 
 }  // namespace gbkmv

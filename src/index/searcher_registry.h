@@ -7,14 +7,20 @@
 // bench harnesses, services) can reload an index without knowing which
 // method produced the file.
 //
-// Two entry points:
-//   * LoadSearcherSnapshot(path) — self-contained load. Dataset-bound
-//     snapshots embed their dataset; the returned bundle owns both the
-//     dataset and the searcher (searcher references dataset, so the bundle
-//     must stay alive as long as the searcher is used).
+// Three entry points:
+//   * LoadSearcherSnapshot(path) — self-contained copying load.
+//     Dataset-bound snapshots embed their dataset; the returned bundle owns
+//     both the dataset and the searcher (searcher references dataset, so
+//     the bundle must stay alive as long as the searcher is used).
 //   * LoadSearcherSnapshot(path, dataset) — re-binds the snapshot to an
 //     existing in-memory dataset (verified by fingerprint); used by the
 //     bench snapshot cache, which already holds the dataset.
+//   * LoadSearcherSnapshotAuto(path) — zero-copy load when possible: a v3
+//     snapshot of an mmap-capable kind (gbkmv-index, freqset-index) is
+//     mapped and the searcher serves straight out of the mapping (no
+//     embedded dataset is materialized); anything else falls back to the
+//     copying loader. GBKMV_FORCE_COPY_LOAD=1 forces the copying path —
+//     results are bit-identical either way.
 
 #ifndef GBKMV_INDEX_SEARCHER_REGISTRY_H_
 #define GBKMV_INDEX_SEARCHER_REGISTRY_H_
@@ -29,11 +35,34 @@
 
 namespace gbkmv {
 
+namespace io {
+class MmapSnapshot;
+}  // namespace io
+
 struct LoadedSearcher {
   // Null when the snapshot is self-contained (dynamic-gbkmv-index).
   std::unique_ptr<Dataset> dataset;
   std::unique_ptr<ContainmentSearcher> searcher;
 };
+
+// Result of the auto loader. Declaration order is the ownership order: the
+// searcher may borrow from the mapping (and reference the dataset), so it
+// is declared last and destroyed first.
+struct MappedSearcher {
+  // Non-null only on the mapped path; the searcher serves borrowed memory
+  // out of it, so it must stay alive as long as the searcher does.
+  std::shared_ptr<io::MmapSnapshot> mapping;
+  // Null on the mapped path (the dataset stays on disk, unread) and for
+  // self-contained snapshots.
+  std::unique_ptr<Dataset> dataset;
+  std::unique_ptr<ContainmentSearcher> searcher;
+
+  bool mapped() const { return mapping != nullptr; }
+};
+
+// True when GBKMV_FORCE_COPY_LOAD is set to a non-empty value other than
+// "0": the auto loader then behaves exactly like LoadSearcherSnapshot.
+bool ForceCopyLoad();
 
 // Kind strings of every registered searcher snapshot type.
 std::vector<std::string> RegisteredSnapshotKinds();
@@ -46,6 +75,8 @@ Result<LoadedSearcher> LoadSearcherSnapshot(const std::string& path);
 
 Result<std::unique_ptr<ContainmentSearcher>> LoadSearcherSnapshot(
     const std::string& path, const Dataset& dataset);
+
+Result<MappedSearcher> LoadSearcherSnapshotAuto(const std::string& path);
 
 }  // namespace gbkmv
 

@@ -1,0 +1,57 @@
+// Zero-copy snapshot reader: maps a v3 snapshot file read-only and serves
+// section payloads as views into the mapping (docs/snapshot_format.md §v3).
+//
+// Open() validates exactly what SnapshotReader::Open validates — magic,
+// version, section-table bounds, v3 alignment, every section CRC32 — before
+// any payload is handed out, so corrupt, truncated or misaligned files are
+// rejected (Corruption) without crashing. Files written by format v1/v2
+// predate payload alignment and cannot be served in place; Open() returns
+// FailedPrecondition for them so the caller can fall back to the copying
+// SnapshotReader path explicitly.
+//
+// Ownership: sections hand out spans that alias the mapping. Whoever keeps
+// such a span (a borrowed-mode store, a mapped searcher) must keep the
+// MmapSnapshot alive; the loaders thread a shared_ptr<MmapSnapshot> through
+// for exactly this (docs/architecture.md "Borrowed memory").
+
+#ifndef GBKMV_IO_MMAP_SNAPSHOT_H_
+#define GBKMV_IO_MMAP_SNAPSHOT_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+#include "io/snapshot.h"
+
+namespace gbkmv {
+namespace io {
+
+class MmapSnapshot {
+ public:
+  static Result<MmapSnapshot> Open(const std::string& path);
+
+  MmapSnapshot(MmapSnapshot&& other) noexcept { *this = std::move(other); }
+  MmapSnapshot& operator=(MmapSnapshot&& other) noexcept;
+  MmapSnapshot(const MmapSnapshot&) = delete;
+  MmapSnapshot& operator=(const MmapSnapshot&) = delete;
+  ~MmapSnapshot();
+
+  // Fully validated view reader over the mapped bytes. Section payloads
+  // (and any spans borrowed from them) stay valid for the life of this
+  // MmapSnapshot, not just the reader.
+  const SnapshotReader& reader() const { return reader_; }
+
+  size_t file_size() const { return map_size_; }
+
+ private:
+  MmapSnapshot() = default;
+
+  void* map_ = nullptr;
+  size_t map_size_ = 0;
+  SnapshotReader reader_;
+};
+
+}  // namespace io
+}  // namespace gbkmv
+
+#endif  // GBKMV_IO_MMAP_SNAPSHOT_H_

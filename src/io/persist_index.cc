@@ -107,35 +107,170 @@ Result<GbKmvSketcher> GbKmvSketcher::LoadFrom(io::Reader* in,
 // --- GbKmvIndexSearcher ---------------------------------------------------
 
 Status GbKmvIndexSearcher::Save(const std::string& path) const {
+  if (dataset_ == nullptr) {
+    return Status::FailedPrecondition(
+        "mapped gbkmv searcher cannot save (no dataset attached); copy the "
+        "source snapshot file instead");
+  }
   io::SnapshotWriter snapshot;
-  io::WriteSnapshotMeta(&snapshot, kSnapshotKind, dataset_.Fingerprint());
-  dataset_.SaveTo(snapshot.AddSection(io::kSectionDataset));
+  io::WriteSnapshotMeta(&snapshot, kSnapshotKind, dataset_->Fingerprint());
+  dataset_->SaveTo(snapshot.AddSection(io::kSectionDataset));
   io::Writer* out = snapshot.AddSection(io::kSectionIndex);
   sketcher_->SaveTo(out);
   out->PutU64(chosen_buffer_bits_);
   out->PutU64(space_units_);
-  out->PutU64(sketches_.size());
-  for (const GbKmvSketch& sketch : sketches_) sketch.SaveTo(out);
-  // Format version 2: the flat hash-posting store travels with the index,
-  // so a load skips the posting rebuild. The layout is a pure function of
-  // the sketches, so the bytes stay identical for any build thread count.
-  hash_postings_.SaveTo(out);
+  // Format version 3: the flat sketch store (record sizes, bitmap word
+  // arena, hash CSR) and the hash postings travel as 64-byte-aligned flat
+  // arrays, so a mapped load serves all of them in place. Every layout here
+  // is a pure function of the sketches — byte-identical for any build
+  // thread count.
+  out->PutU64(num_records());
+  out->PutU64(words_per_record_);
+  out->PutU64(sketch_threshold_);
+  out->PutU32Array(record_sizes_.data(), record_sizes_.size());
+  out->PutU64Array(buffer_words_.data(), buffer_words_.size());
+  out->PutU64Array(hash_offsets_.data(), hash_offsets_.size());
+  out->PutU64Array(hashes_.data(), hashes_.size());
+  hash_postings_.SaveToAligned(out);
   return snapshot.WriteTo(path);
 }
 
-Result<std::unique_ptr<GbKmvIndexSearcher>> GbKmvIndexSearcher::LoadFrom(
-    const io::SnapshotReader& snapshot, const Dataset& dataset) {
-  GBKMV_RETURN_IF_ERROR(CheckMeta(snapshot, kSnapshotKind, dataset));
-  Result<io::Reader> section = snapshot.Section(io::kSectionIndex);
-  if (!section.ok()) return section.status();
-  io::Reader* in = &section.value();
-
+// Shared v3 load path of the GB-KMV index: `dataset` is the bound dataset
+// for copying loads (null for mapped, dataset-free loads), `borrow` serves
+// the flat arrays from the reader's buffer in place.
+Result<std::unique_ptr<GbKmvIndexSearcher>> GbKmvIndexSearcher::LoadAligned(
+    io::Reader* in, const Dataset* dataset, bool borrow) {
   std::unique_ptr<GbKmvIndexSearcher> s(new GbKmvIndexSearcher(dataset));
   // The sketcher may span a wider universe than this dataset: a shard
   // snapshot of the sharded service (src/serve) stores the GLOBAL sketcher
   // next to its shard-local dataset. The bound is purely an allocation
   // guard, so cap at the self-contained sanity limit instead of the
   // dataset's own width.
+  Result<GbKmvSketcher> sketcher = GbKmvSketcher::LoadFrom(
+      in, dataset == nullptr
+              ? kMaxSelfContainedUniverse
+              : std::max<size_t>(dataset->universe_size(),
+                                 kMaxSelfContainedUniverse));
+  if (!sketcher.ok()) return sketcher.status();
+  s->sketcher_ = std::make_unique<GbKmvSketcher>(std::move(sketcher.value()));
+
+  uint64_t chosen_buffer_bits = 0;
+  uint64_t num_records = 0;
+  uint64_t words_per_record = 0;
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&chosen_buffer_bits));
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&s->space_units_));
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&num_records));
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&words_per_record));
+  GBKMV_RETURN_IF_ERROR(in->GetU64(&s->sketch_threshold_));
+  s->chosen_buffer_bits_ = static_cast<size_t>(chosen_buffer_bits);
+  s->words_per_record_ = static_cast<size_t>(words_per_record);
+  if (dataset != nullptr && num_records != dataset->size()) {
+    return Status::Corruption("sketch count does not match dataset size");
+  }
+  if (s->words_per_record_ != (s->chosen_buffer_bits_ + 63) / 64) {
+    return Status::Corruption("sketch bitmap width does not match r");
+  }
+  if (s->sketch_threshold_ != s->sketcher_->global_threshold()) {
+    return Status::Corruption("sketch threshold disagrees with the sketcher");
+  }
+
+  if (borrow) {
+    GBKMV_RETURN_IF_ERROR(in->GetU32Span(&s->record_sizes_));
+    GBKMV_RETURN_IF_ERROR(in->GetU64Span(&s->buffer_words_));
+    GBKMV_RETURN_IF_ERROR(in->GetU64Span(&s->hash_offsets_));
+    GBKMV_RETURN_IF_ERROR(in->GetU64Span(&s->hashes_));
+  } else {
+    GBKMV_RETURN_IF_ERROR(in->GetU32Array(&s->owned_record_sizes_));
+    GBKMV_RETURN_IF_ERROR(in->GetU64Array(&s->owned_buffer_words_));
+    GBKMV_RETURN_IF_ERROR(in->GetU64Array(&s->owned_hash_offsets_));
+    GBKMV_RETURN_IF_ERROR(in->GetU64Array(&s->owned_hashes_));
+    s->record_sizes_ = std::span<const uint32_t>(s->owned_record_sizes_);
+    s->buffer_words_ = std::span<const uint64_t>(s->owned_buffer_words_);
+    s->hash_offsets_ = std::span<const uint64_t>(s->owned_hash_offsets_);
+    s->hashes_ = std::span<const uint64_t>(s->owned_hashes_);
+  }
+
+  // Shape checks before any slice accessor is trusted.
+  const size_t m = static_cast<size_t>(num_records);
+  if (s->record_sizes_.size() != m) {
+    return Status::Corruption("record size array does not match record count");
+  }
+  if (dataset != nullptr) {
+    for (size_t i = 0; i < m; ++i) {
+      if (s->record_sizes_[i] != dataset->record(i).size()) {
+        return Status::Corruption(
+            "stored record sizes disagree with the dataset");
+      }
+    }
+  }
+  if (s->buffer_words_.size() != m * s->words_per_record_) {
+    return Status::Corruption("bitmap arena does not match record count");
+  }
+  // Bits past r in a record's last word would silently inflate every
+  // popcount; reject them up front.
+  const size_t tail_bits = s->chosen_buffer_bits_ % 64;
+  if (tail_bits != 0 && s->words_per_record_ > 0) {
+    const uint64_t tail_mask = ~uint64_t{0} << tail_bits;
+    for (size_t i = 0; i < m; ++i) {
+      if ((s->BufferWordsOf(static_cast<RecordId>(i)).back() & tail_mask) !=
+          0) {
+        return Status::Corruption("bitmap has bits beyond the buffer width");
+      }
+    }
+  }
+  if (s->hash_offsets_.size() != m + 1 || s->hash_offsets_.front() != 0 ||
+      s->hash_offsets_.back() != s->hashes_.size()) {
+    return Status::Corruption("hash offsets malformed");
+  }
+  for (size_t i = 1; i < s->hash_offsets_.size(); ++i) {
+    if (s->hash_offsets_[i] < s->hash_offsets_[i - 1]) {
+      return Status::Corruption("hash offsets not monotone");
+    }
+  }
+  // Per-record hash rows must be what GkmvSketch::Build produces: strictly
+  // ascending values, all within the global threshold.
+  for (size_t i = 0; i < m; ++i) {
+    const std::span<const uint64_t> row =
+        s->HashesOf(static_cast<RecordId>(i));
+    for (size_t k = 0; k < row.size(); ++k) {
+      if (row[k] > s->sketch_threshold_ ||
+          (k > 0 && row[k] <= row[k - 1])) {
+        return Status::Corruption("stored sketch hashes malformed");
+      }
+    }
+  }
+  const uint64_t space_check =
+      uint64_t{m} * ((s->chosen_buffer_bits_ + 31) / 32) + s->hashes_.size();
+  if (space_check != s->space_units_) {
+    return Status::Corruption("stored space units disagree with sketches");
+  }
+
+  Result<FlatHashPostings> postings =
+      FlatHashPostings::LoadFromAligned(in, m, borrow);
+  if (!postings.ok()) return postings.status();
+  if (postings->num_postings() != s->hashes_.size()) {
+    return Status::Corruption("stored hash postings disagree with the "
+                              "sketches");
+  }
+  s->hash_postings_ = std::move(postings.value());
+  s->BuildQueryStructures(/*rebuild_postings=*/false);
+  return s;
+}
+
+Result<std::unique_ptr<GbKmvIndexSearcher>> GbKmvIndexSearcher::LoadFrom(
+    const io::SnapshotReader& snapshot, const Dataset& dataset) {
+  GBKMV_RETURN_IF_ERROR(CheckMeta(snapshot, kSnapshotKind, dataset));
+  if (snapshot.version() >= 3) {
+    Result<io::Reader> section = snapshot.Section(io::kSectionIndex);
+    if (!section.ok()) return section.status();
+    return LoadAligned(&section.value(), &dataset, /*borrow=*/false);
+  }
+  Result<io::Reader> section = snapshot.Section(io::kSectionIndex);
+  if (!section.ok()) return section.status();
+  io::Reader* in = &section.value();
+
+  std::unique_ptr<GbKmvIndexSearcher> s(new GbKmvIndexSearcher(&dataset));
+  // See LoadAligned for the universe bound rationale.
   Result<GbKmvSketcher> sketcher = GbKmvSketcher::LoadFrom(
       in, std::max<size_t>(dataset.universe_size(),
                            kMaxSelfContainedUniverse));
@@ -151,8 +286,9 @@ Result<std::unique_ptr<GbKmvIndexSearcher>> GbKmvIndexSearcher::LoadFrom(
   if (num_sketches != dataset.size()) {
     return Status::Corruption("sketch count does not match dataset size");
   }
-  s->sketches_.reserve(dataset.size());
-  s->record_sizes_.reserve(dataset.size());
+  std::vector<GbKmvSketch> sketches;
+  sketches.reserve(dataset.size());
+  s->owned_record_sizes_.reserve(dataset.size());
   uint64_t space_check = 0;
   for (size_t i = 0; i < dataset.size(); ++i) {
     Result<GbKmvSketch> sketch = GbKmvSketch::LoadFrom(in);
@@ -161,23 +297,21 @@ Result<std::unique_ptr<GbKmvIndexSearcher>> GbKmvIndexSearcher::LoadFrom(
       return Status::Corruption("sketch bitmap width does not match r");
     }
     space_check += sketch->SpaceUnits(s->chosen_buffer_bits_);
-    s->sketches_.push_back(std::move(sketch.value()));
-    s->record_sizes_.push_back(static_cast<uint32_t>(dataset.record(i).size()));
+    sketches.push_back(std::move(sketch.value()));
+    s->owned_record_sizes_.push_back(
+        static_cast<uint32_t>(dataset.record(i).size()));
   }
   if (space_check != s->space_units_) {
     return Status::Corruption("stored space units disagree with sketches");
   }
+  GBKMV_RETURN_IF_ERROR(s->AdoptSketches(sketches));
   if (snapshot.version() >= 2) {
     // The flat posting store is stored verbatim; validate its structure and
     // that its payload agrees with the sketches it must have come from.
     Result<FlatHashPostings> postings =
         FlatHashPostings::LoadFrom(in, dataset.size());
     if (!postings.ok()) return postings.status();
-    uint64_t total_hashes = 0;
-    for (const GbKmvSketch& sketch : s->sketches_) {
-      total_hashes += sketch.gkmv.size();
-    }
-    if (postings->num_postings() != total_hashes) {
+    if (postings->num_postings() != s->hashes_.size()) {
       return Status::Corruption(
           "stored hash postings disagree with the sketches");
     }
@@ -189,6 +323,26 @@ Result<std::unique_ptr<GbKmvIndexSearcher>> GbKmvIndexSearcher::LoadFrom(
     s->BuildQueryStructures();
   }
   return s;
+}
+
+Result<std::unique_ptr<GbKmvIndexSearcher>> GbKmvIndexSearcher::LoadMapped(
+    const io::SnapshotReader& snapshot) {
+  Result<io::SnapshotMeta> meta = io::ReadSnapshotMeta(snapshot);
+  if (!meta.ok()) return meta.status();
+  if (meta->kind != kSnapshotKind) {
+    return Status::InvalidArgument("snapshot holds a '" + meta->kind +
+                                   "', expected '" +
+                                   std::string(kSnapshotKind) + "'");
+  }
+  if (snapshot.version() < 3) {
+    return Status::FailedPrecondition(
+        "gbkmv snapshot predates v3; use the copying loader");
+  }
+  Result<io::Reader> section = snapshot.Section(io::kSectionIndex);
+  if (!section.ok()) return section.status();
+  // Borrow only when the reader is a view over caller-owned memory (a
+  // mapped snapshot); an owning reader's buffer dies with it, so copy.
+  return LoadAligned(&section.value(), nullptr, snapshot.borrowed());
 }
 
 Result<std::unique_ptr<GbKmvIndexSearcher>> GbKmvIndexSearcher::Load(
@@ -319,18 +473,20 @@ Result<std::unique_ptr<DynamicGbKmvIndex>> DynamicGbKmvIndex::Load(
 // --- FreqSetSearcher ------------------------------------------------------
 
 Status FreqSetSearcher::Save(const std::string& path) const {
-  io::SnapshotWriter snapshot;
-  io::WriteSnapshotMeta(&snapshot, kSnapshotKind, dataset_.Fingerprint());
-  dataset_.SaveTo(snapshot.AddSection(io::kSectionDataset));
-  io::Writer* out = snapshot.AddSection(io::kSectionIndex);
-  out->PutU8(static_cast<uint8_t>(index_.kind()));
-  // The flat backend is a pure function of the dataset and rebuilds on load;
-  // the compressed arena travels verbatim so a load skips the flat build +
-  // compress (its layout is deterministic, so the bytes are identical to a
-  // fresh build anyway).
-  if (index_.kind() == PostingStoreKind::kCompressed) {
-    index_.compressed().SaveTo(out);
+  if (dataset_ == nullptr) {
+    return Status::FailedPrecondition(
+        "mapped freqset searcher cannot save (no dataset attached); copy the "
+        "source snapshot file instead");
   }
+  io::SnapshotWriter snapshot;
+  io::WriteSnapshotMeta(&snapshot, kSnapshotKind, dataset_->Fingerprint());
+  dataset_->SaveTo(snapshot.AddSection(io::kSectionDataset));
+  io::Writer* out = snapshot.AddSection(io::kSectionIndex);
+  // Format version 3: the full posting payload travels in the aligned-array
+  // encoding for either backend, so loads deserialize (or map in place)
+  // instead of rebuilding. The layout is deterministic, so the bytes are
+  // identical to a fresh build anyway.
+  index_.SaveToAligned(out);
   return snapshot.WriteTo(path);
 }
 
@@ -341,11 +497,27 @@ Result<std::unique_ptr<FreqSetSearcher>> FreqSetSearcher::LoadFrom(
   if (!section.ok()) return section.status();
   io::Reader* in = &section.value();
 
+  if (snapshot.version() >= 3) {
+    Result<InvertedIndex> index =
+        InvertedIndex::LoadFromAligned(in, /*borrow=*/false);
+    if (!index.ok()) return index.status();
+    if (index->num_records() != dataset.size()) {
+      return Status::Corruption(
+          "freqset snapshot: record count does not match the dataset");
+    }
+    return std::unique_ptr<FreqSetSearcher>(new FreqSetSearcher(
+        &dataset, dataset.size(), std::move(index.value())));
+  }
+
+  // Version 1/2: only the compressed arena traveled; the flat backend is a
+  // pure function of the dataset and rebuilds on read (what the old writer
+  // expected every load to do).
   uint8_t kind = 0;
   GBKMV_RETURN_IF_ERROR(in->GetU8(&kind));
   if (kind == static_cast<uint8_t>(PostingStoreKind::kFlat)) {
     return std::unique_ptr<FreqSetSearcher>(new FreqSetSearcher(
-        dataset, InvertedIndex(dataset, nullptr, PostingStoreKind::kFlat)));
+        &dataset, dataset.size(),
+        InvertedIndex(dataset, nullptr, PostingStoreKind::kFlat)));
   }
   if (kind != static_cast<uint8_t>(PostingStoreKind::kCompressed)) {
     return Status::Corruption("freqset snapshot: unknown posting-store kind");
@@ -355,8 +527,33 @@ Result<std::unique_ptr<FreqSetSearcher>> FreqSetSearcher::LoadFrom(
   Result<InvertedIndex> index =
       InvertedIndex::FromCompressed(dataset, std::move(store));
   if (!index.ok()) return index.status();
-  return std::unique_ptr<FreqSetSearcher>(
-      new FreqSetSearcher(dataset, std::move(index.value())));
+  return std::unique_ptr<FreqSetSearcher>(new FreqSetSearcher(
+      &dataset, dataset.size(), std::move(index.value())));
+}
+
+Result<std::unique_ptr<FreqSetSearcher>> FreqSetSearcher::LoadMapped(
+    const io::SnapshotReader& snapshot) {
+  Result<io::SnapshotMeta> meta = io::ReadSnapshotMeta(snapshot);
+  if (!meta.ok()) return meta.status();
+  if (meta->kind != kSnapshotKind) {
+    return Status::InvalidArgument("snapshot holds a '" + meta->kind +
+                                   "', expected '" +
+                                   std::string(kSnapshotKind) + "'");
+  }
+  if (snapshot.version() < 3) {
+    return Status::FailedPrecondition(
+        "freqset snapshot predates v3; use the copying loader");
+  }
+  Result<io::Reader> section = snapshot.Section(io::kSectionIndex);
+  if (!section.ok()) return section.status();
+  // Borrow only when the reader itself is a view over caller-owned memory
+  // (a mapped snapshot); an owning reader's buffer dies with it, so copy.
+  Result<InvertedIndex> index = InvertedIndex::LoadFromAligned(
+      &section.value(), /*borrow=*/snapshot.borrowed());
+  if (!index.ok()) return index.status();
+  const size_t num_records = index->num_records();
+  return std::unique_ptr<FreqSetSearcher>(new FreqSetSearcher(
+      nullptr, num_records, std::move(index.value())));
 }
 
 Result<std::unique_ptr<FreqSetSearcher>> FreqSetSearcher::Load(

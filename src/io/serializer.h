@@ -11,12 +11,18 @@
 //   double        IEEE-754 bit pattern as u64
 //   string        u64 byte length + raw bytes
 //   vector<T>     u64 element count + fixed-width elements
+//   array<T>      u64 element count + zero pad to a 64-byte boundary
+//                 (relative to the stream start) + raw little-endian
+//                 elements. Snapshot v3 sections start 64-byte aligned in
+//                 the file, so an array payload is 64-byte aligned in the
+//                 mapped image and directly usable as a typed span.
 
 #ifndef GBKMV_IO_SERIALIZER_H_
 #define GBKMV_IO_SERIALIZER_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -42,6 +48,16 @@ class Writer {
   void PutVecU32(const std::vector<uint32_t>& v);
   void PutVecU64(const std::vector<uint64_t>& v);
 
+  // Zero-pads the buffer to a multiple of `alignment` (a power of two).
+  void AlignTo(size_t alignment);
+  // Aligned-array encoding (see header comment): count, 64-byte pad, raw
+  // elements. Only meaningful inside snapshot v3 sections, whose payloads
+  // start 64-byte aligned in the file.
+  void PutU32Array(const uint32_t* data, size_t count);
+  void PutU64Array(const uint64_t* data, size_t count);
+  // Aligned raw blob: u64 byte length, 64-byte pad, bytes.
+  void PutAlignedBytes(const void* data, size_t size);
+
   const std::string& data() const { return buf_; }
   size_t size() const { return buf_.size(); }
 
@@ -66,8 +82,33 @@ class Reader {
   Status GetVecU32(std::vector<uint32_t>* out);
   Status GetVecU64(std::vector<uint64_t>* out);
 
+  // Skips pad bytes so the cursor sits on a multiple of `alignment`
+  // (relative to the stream start); Corruption if that runs off the end.
+  Status AlignTo(size_t alignment);
+  // Aligned-array decoding into an owned vector (memcpy, no per-element
+  // loop): the copying loaders' counterpart of PutU32Array/PutU64Array.
+  Status GetU32Array(std::vector<uint32_t>* out);
+  Status GetU64Array(std::vector<uint64_t>* out);
+  Status GetAlignedBytes(std::string* out);
+  // Borrow variants: the span aliases the underlying buffer (no copy) and
+  // is valid only while that buffer lives — used by the mmap loaders, where
+  // the buffer is the mapped file. Corruption if the payload pointer is not
+  // naturally aligned for the element type (cannot happen for a well-formed
+  // v3 file mapped at a page boundary).
+  Status GetU32Span(std::span<const uint32_t>* out);
+  Status GetU64Span(std::span<const uint64_t>* out);
+  Status GetByteSpan(std::span<const uint8_t>* out);
+
   size_t remaining() const { return size_ - pos_; }
   bool AtEnd() const { return pos_ == size_; }
+
+  // Low-level pieces of the aligned-array decoders (exposed so the
+  // file-local helpers in serializer.cc can share them): reads the count,
+  // skips the pad, and bounds-checks count*elem_size against the remainder.
+  Status GetArrayHeader(size_t elem_size, size_t* count);
+  // Advances past `n` bytes (caller has already bounds-checked) and returns
+  // a pointer to where they start.
+  const uint8_t* Skip(size_t n);
 
  private:
   // Corruption unless `n` more bytes are available.

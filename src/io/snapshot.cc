@@ -1,5 +1,6 @@
 #include "io/snapshot.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -11,8 +12,13 @@ namespace gbkmv {
 namespace io {
 
 namespace {
-constexpr size_t kHeaderSize = 16;        // magic + version + section count
-constexpr size_t kTableEntrySize = 24;    // tag + offset + length + crc
+constexpr size_t kHeaderSize = 16;      // magic + version + section count
+constexpr size_t kTableEntrySize = 24;  // v1/v2: tag + offset + length + crc
+constexpr size_t kTableEntrySizeV3 = 28;  // + u32 alignment
+
+uint64_t AlignUp(uint64_t v, uint64_t alignment) {
+  return (v + alignment - 1) / alignment * alignment;
+}
 
 // Persistence observability: how often snapshots are written/read, how
 // large they are, and how long the I/O takes (docs/observability.md).
@@ -59,20 +65,30 @@ std::string SnapshotWriter::Serialize() const {
   header.PutU32(static_cast<uint32_t>(sections_.size()));
   out.append(header.data());
 
-  uint64_t offset = kHeaderSize + kTableEntrySize * sections_.size();
+  // v3: every payload starts on a kSectionAlignment boundary, so in-section
+  // aligned arrays land 64-byte aligned in the file (and therefore in a
+  // page-aligned mapping).
+  uint64_t offset = kHeaderSize + kTableEntrySizeV3 * sections_.size();
   Writer table;
   for (const auto& [tag, writer] : sections_) {
+    offset = AlignUp(offset, kSectionAlignment);
     table.PutBytes(tag.data(), 4);
     table.PutU64(offset);
     table.PutU64(writer->size());
+    table.PutU32(kSectionAlignment);
     table.PutU32(Crc32(writer->data().data(), writer->size()));
     offset += writer->size();
   }
   out.append(table.data());
   for (const auto& [tag, writer] : sections_) {
     (void)tag;
+    out.append(AlignUp(out.size(), kSectionAlignment) - out.size(), '\0');
     out.append(writer->data());
   }
+  // Tail pad: borrowed readers (e.g. the compressed posting arena's decode
+  // slack) may touch a few bytes past the last payload; make sure those
+  // bytes exist in the file so a mapping never faults there.
+  out.append(kSectionAlignment, '\0');
   return out;
 }
 
@@ -103,20 +119,18 @@ Status SnapshotWriter::WriteTo(const std::string& path) const {
   return Status::OK();
 }
 
-Result<SnapshotReader> SnapshotReader::FromBytes(std::string bytes) {
-  SnapshotReader reader;
-  reader.data_ = std::move(bytes);
-  const std::string& data = reader.data_;
+Result<SnapshotReader> SnapshotReader::Validate(SnapshotReader reader) {
+  const uint8_t* data = reader.base();
+  const size_t size = reader.base_size();
 
-  if (data.size() < kHeaderSize) {
-    return Status::Corruption("snapshot truncated: " +
-                              std::to_string(data.size()) + " bytes");
+  if (size < kHeaderSize) {
+    return Status::Corruption("snapshot truncated: " + std::to_string(size) +
+                              " bytes");
   }
-  if (std::memcmp(data.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+  if (std::memcmp(data, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
     return Status::Corruption("bad snapshot magic");
   }
-  Reader header(data.data() + sizeof(kSnapshotMagic),
-                data.size() - sizeof(kSnapshotMagic));
+  Reader header(data + sizeof(kSnapshotMagic), size - sizeof(kSnapshotMagic));
   uint32_t version = 0;
   uint32_t section_count = 0;
   GBKMV_RETURN_IF_ERROR(header.GetU32(&version));
@@ -128,38 +142,101 @@ Result<SnapshotReader> SnapshotReader::FromBytes(std::string bytes) {
         std::to_string(kSnapshotVersion) + ")");
   }
   reader.version_ = version;
-  if (section_count > (data.size() - kHeaderSize) / kTableEntrySize) {
+  const size_t entry_size =
+      version >= 3 ? kTableEntrySizeV3 : kTableEntrySize;
+  if (section_count > (size - kHeaderSize) / entry_size) {
     return Status::Corruption("section table exceeds file size");
   }
 
-  Reader table(data.data() + kHeaderSize, kTableEntrySize * section_count);
+  Reader table(data + kHeaderSize, entry_size * section_count);
   for (uint32_t i = 0; i < section_count; ++i) {
     char tag[4];
-    uint64_t offset = 0;
-    uint64_t length = 0;
-    uint32_t crc = 0;
+    SnapshotSectionInfo info;
     GBKMV_RETURN_IF_ERROR(table.GetBytes(tag, 4));
-    GBKMV_RETURN_IF_ERROR(table.GetU64(&offset));
-    GBKMV_RETURN_IF_ERROR(table.GetU64(&length));
-    GBKMV_RETURN_IF_ERROR(table.GetU32(&crc));
-    if (offset > data.size() || length > data.size() - offset) {
-      return Status::Corruption("section '" + std::string(tag, 4) +
+    GBKMV_RETURN_IF_ERROR(table.GetU64(&info.offset));
+    GBKMV_RETURN_IF_ERROR(table.GetU64(&info.length));
+    if (version >= 3) {
+      GBKMV_RETURN_IF_ERROR(table.GetU32(&info.alignment));
+    }
+    GBKMV_RETURN_IF_ERROR(table.GetU32(&info.crc32));
+    info.tag.assign(tag, 4);
+    if (info.offset > size || info.length > size - info.offset) {
+      return Status::Corruption("section '" + info.tag +
                                 "' extends past end of file");
     }
-    if (Crc32(data.data() + offset, length) != crc) {
-      return Status::Corruption("CRC mismatch in section '" +
-                                std::string(tag, 4) + "'");
+    if (version >= 3) {
+      if (info.alignment == 0 || (info.alignment & (info.alignment - 1)) != 0 ||
+          info.alignment > 4096) {
+        return Status::Corruption("section '" + info.tag +
+                                  "' has invalid alignment " +
+                                  std::to_string(info.alignment));
+      }
+      if (info.offset % info.alignment != 0) {
+        return Status::Corruption("section '" + info.tag +
+                                  "' payload offset is misaligned");
+      }
+    }
+    if (Crc32(data + info.offset, info.length) != info.crc32) {
+      return Status::Corruption("CRC mismatch in section '" + info.tag + "'");
     }
     const bool inserted =
-        reader.sections_
-            .emplace(std::string(tag, 4), std::make_pair(offset, length))
-            .second;
+        reader.sections_.emplace(info.tag, reader.table_.size()).second;
     if (!inserted) {
-      return Status::Corruption("duplicate section '" + std::string(tag, 4) +
-                                "'");
+      return Status::Corruption("duplicate section '" + info.tag + "'");
+    }
+    reader.table_.push_back(std::move(info));
+  }
+
+  if (version >= 3) {
+    // v3 files are canonical: payloads sit back to back on their alignment
+    // boundaries with zero gaps and exactly kSectionAlignment zero tail
+    // bytes. Every byte is therefore covered by the header/table, a CRC'd
+    // payload, or this zero check — a flip or truncation anywhere in the
+    // file fails loudly, including inside padding no CRC covers.
+    std::vector<size_t> order(reader.table_.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&reader](size_t a, size_t b) {
+      return reader.table_[a].offset < reader.table_[b].offset;
+    });
+    uint64_t cursor = kHeaderSize + entry_size * section_count;
+    for (size_t idx : order) {
+      const SnapshotSectionInfo& info = reader.table_[idx];
+      if (info.offset < cursor) {
+        return Status::Corruption("section '" + info.tag +
+                                  "' overlaps the preceding section");
+      }
+      for (uint64_t b = cursor; b < info.offset; ++b) {
+        if (data[b] != 0) {
+          return Status::Corruption("nonzero padding before section '" +
+                                    info.tag + "'");
+        }
+      }
+      cursor = info.offset + info.length;
+    }
+    if (size < cursor || size - cursor != kSectionAlignment) {
+      return Status::Corruption("snapshot tail pad missing or truncated");
+    }
+    for (uint64_t b = cursor; b < size; ++b) {
+      if (data[b] != 0) {
+        return Status::Corruption("nonzero tail padding");
+      }
     }
   }
   return reader;
+}
+
+Result<SnapshotReader> SnapshotReader::FromBytes(std::string bytes) {
+  SnapshotReader reader;
+  reader.data_ = std::move(bytes);
+  return Validate(std::move(reader));
+}
+
+Result<SnapshotReader> SnapshotReader::FromView(const void* data,
+                                                size_t size) {
+  SnapshotReader reader;
+  reader.view_ = static_cast<const uint8_t*>(data);
+  reader.view_size_ = size;
+  return Validate(std::move(reader));
 }
 
 Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
@@ -187,7 +264,8 @@ Result<Reader> SnapshotReader::Section(const std::string& tag) const {
   if (it == sections_.end()) {
     return Status::NotFound("snapshot has no '" + tag + "' section");
   }
-  return Reader(data_.data() + it->second.first, it->second.second);
+  const SnapshotSectionInfo& info = table_[it->second];
+  return Reader(base() + info.offset, info.length);
 }
 
 bool LooksLikeSnapshot(const std::string& path) {

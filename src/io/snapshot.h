@@ -9,11 +9,16 @@
 //
 // Layout (all integers little-endian):
 //   [0, 8)    magic "GBKMVSNP"
-//   [8, 12)   u32 format version (currently 1)
+//   [8, 12)   u32 format version
 //   [12, 16)  u32 section count S
-//   16 + 24*i section table entry i: 4-byte tag, u64 offset, u64 length,
-//             u32 crc32(payload)
-//   ...       payloads (anywhere after the table; offsets are absolute)
+//   v1/v2: 16 + 24*i table entry i: 4-byte tag, u64 offset, u64 length,
+//          u32 crc32(payload); payloads packed back to back.
+//   v3:    16 + 28*i table entry i: 4-byte tag, u64 offset, u64 length,
+//          u32 alignment, u32 crc32(payload); every payload offset is a
+//          multiple of its alignment (the writer uses 64), inter-section
+//          gaps are zero, and the file ends with 64 zero tail-pad bytes so
+//          borrowed arenas may read their fixed slack past the last payload
+//          without faulting.
 //
 // Object snapshots follow a convention on top of the container: a "meta"
 // section (kind string + dataset fingerprint) identifies what the snapshot
@@ -43,7 +48,15 @@ inline constexpr char kSnapshotMagic[8] = {'G', 'B', 'K', 'M',
 //   2 — the gbkmv-index section additionally carries the flat hash-posting
 //       store so loads skip the rebuild. Version-1 files stay loadable (the
 //       reader converts by rebuilding the postings from the sketches).
-inline constexpr uint32_t kSnapshotVersion = 2;
+//   3 — section payloads are 64-byte aligned with per-section alignment
+//       metadata and the index sections store their flat arrays in the
+//       aligned-array encoding, so an MmapSnapshot can serve them in place
+//       without deserializing. v1/v2 files stay loadable through the
+//       copying reader (and re-save as v3).
+inline constexpr uint32_t kSnapshotVersion = 3;
+// Alignment the writer gives every v3 section payload (and the size of the
+// zero tail pad after the last payload).
+inline constexpr uint32_t kSectionAlignment = 64;
 
 // Section tags (exactly 4 bytes each).
 inline constexpr char kSectionMeta[] = "meta";     // kind + fingerprint
@@ -75,16 +88,32 @@ class SnapshotWriter {
   std::vector<std::pair<std::string, std::unique_ptr<Writer>>> sections_;
 };
 
+// One validated section-table entry, in file order (exposed for the
+// `snapshot-info` CLI and tests).
+struct SnapshotSectionInfo {
+  std::string tag;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint32_t alignment = 1;  // 1 for v1/v2 entries (no alignment field)
+  uint32_t crc32 = 0;
+};
+
 class SnapshotReader {
  public:
   // Reads and fully validates `path`: magic, version, section table bounds,
-  // and every section's CRC32. Returns Corruption for malformed/corrupt
-  // files, InvalidArgument for snapshots written by a newer format version,
-  // IOError when the file cannot be read.
+  // alignment (v3), and every section's CRC32. Returns Corruption for
+  // malformed/corrupt files, InvalidArgument for snapshots written by a
+  // newer format version, IOError when the file cannot be read.
   static Result<SnapshotReader> Open(const std::string& path);
 
   // Same validation over an in-memory image (exposed for tests).
   static Result<SnapshotReader> FromBytes(std::string bytes);
+
+  // Same validation over externally owned bytes — the reader borrows
+  // (`borrowed()` becomes true) and the caller must keep `data` alive and
+  // unchanged for the reader's lifetime. This is how MmapSnapshot validates
+  // a mapped file without copying it.
+  static Result<SnapshotReader> FromView(const void* data, size_t size);
 
   bool HasSection(const std::string& tag) const {
     return sections_.count(tag) > 0;
@@ -96,12 +125,33 @@ class SnapshotReader {
   // kSnapshotVersion); loaders branch on it to read older section layouts.
   uint32_t version() const { return version_; }
 
- private:
-  SnapshotReader() = default;
+  // True when the underlying bytes are externally owned (FromView): section
+  // Readers may then hand out borrowed spans that outlive this object, as
+  // long as the external buffer (e.g. the mapping) lives.
+  bool borrowed() const { return view_ != nullptr; }
 
-  std::string data_;
+  // Validated section table in file order.
+  const std::vector<SnapshotSectionInfo>& section_table() const {
+    return table_;
+  }
+
+ private:
+  friend class MmapSnapshot;  // holds an empty reader before Open validates
+  SnapshotReader() = default;
+  static Result<SnapshotReader> Validate(SnapshotReader reader);
+
+  const uint8_t* base() const {
+    return view_ != nullptr ? view_
+                            : reinterpret_cast<const uint8_t*>(data_.data());
+  }
+  size_t base_size() const { return view_ != nullptr ? view_size_ : data_.size(); }
+
+  std::string data_;                 // owning storage (unused in view mode)
+  const uint8_t* view_ = nullptr;    // external bytes (FromView)
+  size_t view_size_ = 0;
   uint32_t version_ = kSnapshotVersion;
-  std::map<std::string, std::pair<uint64_t, uint64_t>> sections_;  // off, len
+  std::vector<SnapshotSectionInfo> table_;
+  std::map<std::string, size_t> sections_;  // tag -> index into table_
 };
 
 // True if `path` starts with the snapshot magic (cheap format sniff).

@@ -479,6 +479,7 @@ PeriodicMetricsDumper::~PeriodicMetricsDumper() {
 }
 
 Status PeriodicMetricsDumper::FlushNow() {
+  UpdateProcessGauges(GlobalMetrics());
   Status status =
       WriteFileAtomic(path_, DumpToJson(GlobalMetrics(), GlobalTracer()));
   std::lock_guard<std::mutex> lock(mutex_);

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
 
 namespace gbkmv {
 namespace obs {
@@ -154,6 +159,30 @@ void MetricsRegistry::Reset() {
 MetricsRegistry& GlobalMetrics() {
   static MetricsRegistry registry;
   return registry;
+}
+
+uint64_t ReadProcessRssBytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long vm_pages = 0;
+  unsigned long long rss_pages = 0;
+  const int fields = std::fscanf(f, "%llu %llu", &vm_pages, &rss_pages);
+  std::fclose(f);
+  if (fields != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return rss_pages * static_cast<uint64_t>(page > 0 ? page : 4096);
+#else
+  return 0;
+#endif
+}
+
+void UpdateProcessGauges(MetricsRegistry& registry) {
+  const uint64_t rss = ReadProcessRssBytes();
+  if (rss > 0) {
+    registry.GetGauge("gbkmv_process_rss_bytes")
+        ->Set(static_cast<int64_t>(rss));
+  }
 }
 
 }  // namespace obs

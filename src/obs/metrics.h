@@ -241,6 +241,16 @@ class MetricsRegistry {
 // docs/observability.md); SetEnabled(false) turns the whole layer off.
 MetricsRegistry& GlobalMetrics();
 
+// Current resident set size of this process in bytes (/proc/self/statm);
+// 0 where the platform offers no cheap readout.
+uint64_t ReadProcessRssBytes();
+
+// Refreshes the process-level gauges (gbkmv_process_rss_bytes) in
+// `registry`. Called by the exporters right before they snapshot, so every
+// Prometheus/JSON export carries a current RSS reading; cheap enough
+// (one small proc read) for any export cadence.
+void UpdateProcessGauges(MetricsRegistry& registry);
+
 }  // namespace obs
 }  // namespace gbkmv
 

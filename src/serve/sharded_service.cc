@@ -14,6 +14,7 @@
 #include "index/minhash_lsh.h"
 #include "index/ppjoin.h"
 #include "index/searcher_registry.h"
+#include "io/mmap_snapshot.h"
 #include "io/snapshot.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -40,6 +41,10 @@ struct ServeMetrics {
   obs::Histogram* promotion_ns = nullptr;
   obs::Counter* compactions = nullptr;
   obs::Histogram* compaction_ns = nullptr;
+  obs::Counter* shard_activations = nullptr;
+  obs::Counter* shard_evictions = nullptr;
+  obs::Gauge* resident_shards = nullptr;
+  obs::Gauge* resident_shard_bytes = nullptr;
 };
 
 const ServeMetrics& Metrics() {
@@ -57,6 +62,13 @@ const ServeMetrics& Metrics() {
     m.promotion_ns = registry.GetHistogram("gbkmv_serve_promotion_ns");
     m.compactions = registry.GetCounter("gbkmv_serve_compactions_total");
     m.compaction_ns = registry.GetHistogram("gbkmv_serve_compaction_ns");
+    m.shard_activations =
+        registry.GetCounter("gbkmv_serve_shard_activations_total");
+    m.shard_evictions =
+        registry.GetCounter("gbkmv_serve_shard_evictions_total");
+    m.resident_shards = registry.GetGauge("gbkmv_serve_resident_shards");
+    m.resident_shard_bytes =
+        registry.GetGauge("gbkmv_serve_resident_shard_bytes");
     return m;
   }();
   return metrics;
@@ -103,6 +115,42 @@ std::string ShardFileName(size_t index) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "shard-%03zu.snap", index);
   return buf;
+}
+
+// Persists a shard whose authoritative bytes already live in `from` (an
+// inactive or mapped shard) by copying the snapshot file. Saving a service
+// into the directory it was loaded from degenerates to a no-op.
+Status CopySnapshotFile(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  if (std::filesystem::equivalent(from, to, ec)) return Status::OK();
+  ec.clear();
+  std::filesystem::copy_file(
+      from, to, std::filesystem::copy_options::overwrite_existing, ec);
+  if (ec) {
+    return Status::IOError("cannot copy shard snapshot " + from + " to " +
+                           to + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+// Reads the embedded dataset back out of a shard snapshot (compaction of a
+// mapped or evicted shard; the resident payload has no Dataset to reuse).
+Result<std::unique_ptr<Dataset>> LoadDatasetFromSnapshotFile(
+    const std::string& path) {
+  Result<std::string> kind = ReadSearcherSnapshotKind(path);
+  if (!kind.ok()) return kind.status();
+  if (*kind == "dataset") {
+    Result<Dataset> dataset = Dataset::Load(path);
+    if (!dataset.ok()) return dataset.status();
+    return std::make_unique<Dataset>(std::move(dataset.value()));
+  }
+  Result<io::SnapshotReader> snapshot = io::SnapshotReader::Open(path);
+  if (!snapshot.ok()) return snapshot.status();
+  Result<io::Reader> section = snapshot->Section(io::kSectionDataset);
+  if (!section.ok()) return section.status();
+  Result<Dataset> dataset = Dataset::LoadFrom(&section.value());
+  if (!dataset.ok()) return dataset.status();
+  return std::make_unique<Dataset>(std::move(dataset.value()));
 }
 
 }  // namespace
@@ -176,15 +224,17 @@ ShardedContainmentService::Build(const Dataset& dataset,
       statuses[k] = shard_dataset.status();
       return;
     }
-    shards[k].dataset =
+    auto active = std::make_shared<ActiveShard>();
+    active->dataset =
         std::make_unique<Dataset>(std::move(shard_dataset.value()));
     Result<std::unique_ptr<ContainmentSearcher>> searcher =
-        service->BuildShardSearcher(*shards[k].dataset, inner_threads);
+        service->BuildShardSearcher(*active->dataset, inner_threads);
     if (!searcher.ok()) {
       statuses[k] = searcher.status();
       return;
     }
-    shards[k].searcher = std::move(searcher.value());
+    active->searcher = std::move(searcher.value());
+    shards[k].active = std::move(active);
     shards[k].global_ids = partition[k];
   };
   if (partition.size() > 1 && threads > 1) {
@@ -373,8 +423,20 @@ std::vector<QueryResponse> ShardedContainmentService::BatchServe(
   };
   std::vector<Live> live;
   live.reserve(shards_.size() + 2);
+  // Pin every shard for the whole batch: activation happens here (first
+  // query after Load or after an eviction), and the pins keep each payload
+  // alive even if a later activation in this very loop evicts it from the
+  // resident set. An activation failure means the snapshot file vanished or
+  // was corrupted underneath a live service — fatal, because there is no
+  // per-response error channel and serving without the shard would
+  // silently drop its records.
+  std::vector<std::shared_ptr<ActiveShard>> pins;
+  pins.reserve(shards_.size());
   for (const Shard& shard : shards_) {
-    live.push_back({shard.searcher.get(), shard.global_ids});
+    Result<std::shared_ptr<ActiveShard>> active = PinShard(shard);
+    GBKMV_CHECK(active.ok());
+    live.push_back({active.value()->searcher.get(), shard.global_ids});
+    pins.push_back(std::move(active.value()));
   }
   // Contiguous global ids of the dynamic shards (promoting, then ingest).
   std::vector<RecordId> dynamic_ids;
@@ -677,8 +739,12 @@ Status ShardedContainmentService::DoPromote() {
   // records change representation: dynamic estimate -> method score).
   {
     std::unique_lock<std::shared_mutex> lock(state_mutex_);
-    shards_.push_back(Shard{std::move(shard_dataset),
-                            std::move(searcher.value()), std::move(ids)});
+    Shard promoted;
+    promoted.active = std::make_shared<ActiveShard>();
+    promoted.active->dataset = std::move(shard_dataset);
+    promoted.active->searcher = std::move(searcher.value());
+    promoted.global_ids = std::move(ids);
+    shards_.push_back(std::move(promoted));
     promoting_.reset();
     cache_.Clear();
   }
@@ -730,8 +796,21 @@ Status ShardedContainmentService::CompactPromoted() {
     // order, so the concatenation stays ascending (the merge invariant).
     for (size_t s = base; s < end; ++s) {
       const Shard& shard = shards_[s];
-      for (size_t i = 0; i < shard.dataset->size(); ++i) {
-        records.push_back(shard.dataset->record(i));
+      Result<std::shared_ptr<ActiveShard>> pin = PinShard(shard);
+      if (!pin.ok()) return pin.status();
+      // Mapped payloads keep the dataset on disk; read it back for the
+      // merge (promotion-produced shards always hold theirs in memory).
+      std::unique_ptr<Dataset> reread;
+      const Dataset* dataset = pin.value()->dataset.get();
+      if (dataset == nullptr) {
+        Result<std::unique_ptr<Dataset>> loaded =
+            LoadDatasetFromSnapshotFile(shard.snapshot_path);
+        if (!loaded.ok()) return loaded.status();
+        reread = std::move(loaded.value());
+        dataset = reread.get();
+      }
+      for (size_t i = 0; i < dataset->size(); ++i) {
+        records.push_back(dataset->record(i));
       }
       ids.insert(ids.end(), shard.global_ids.begin(),
                  shard.global_ids.end());
@@ -751,8 +830,9 @@ Status ShardedContainmentService::CompactPromoted() {
     // exactly the range we merged and leave newcomers at the tail.
     shards_.erase(shards_.begin() + base, shards_.begin() + end);
     Shard merged;
-    merged.dataset = std::move(shard_dataset);
-    merged.searcher = std::move(searcher.value());
+    merged.active = std::make_shared<ActiveShard>();
+    merged.active->dataset = std::move(shard_dataset);
+    merged.active->searcher = std::move(searcher.value());
     merged.global_ids = std::move(ids);
     shards_.insert(shards_.begin() + base, std::move(merged));
     cache_.Clear();
@@ -800,20 +880,34 @@ uint64_t ShardedContainmentService::SpaceUnits() const {
   std::shared_lock<std::shared_mutex> lock(state_mutex_);
   uint64_t total = promoting_ ? promoting_->SpaceUnits() : 0;
   if (ingest_) total += ingest_->SpaceUnits();
-  for (const Shard& shard : shards_) total += shard.searcher->SpaceUnits();
+  // Resident storage only: an evicted shard's payload lives on disk, which
+  // is the point of the resident-shard budget.
+  std::lock_guard<std::mutex> resident(resident_mutex_);
+  for (const Shard& shard : shards_) {
+    if (shard.active != nullptr) total += shard.active->searcher->SpaceUnits();
+  }
   return total;
 }
 
 std::string ShardedContainmentService::method_name() const {
   std::shared_lock<std::shared_mutex> lock(state_mutex_);
-  if (!shards_.empty()) return shards_.front().searcher->name();
+  {
+    std::lock_guard<std::mutex> resident(resident_mutex_);
+    for (const Shard& shard : shards_) {
+      if (shard.active != nullptr) return shard.active->searcher->name();
+    }
+  }
   return MethodToken(config_.method);
 }
 
 ShardView ShardedContainmentService::shard(size_t i) const {
   std::shared_lock<std::shared_mutex> lock(state_mutex_);
   GBKMV_CHECK(i < shards_.size());
-  return {shards_[i].searcher.get(), shards_[i].global_ids};
+  // Activates the shard if evicted. The view is NOT pinned: it stays valid
+  // only until the next mutation or eviction (introspection only).
+  Result<std::shared_ptr<ActiveShard>> active = PinShard(shards_[i]);
+  GBKMV_CHECK(active.ok());
+  return {active.value()->searcher.get(), shards_[i].global_ids};
 }
 
 Status ShardedContainmentService::Save(const std::string& dir) const {
@@ -849,13 +943,18 @@ Status ShardedContainmentService::Save(const std::string& dir) const {
   const bool has_sketcher = global_sketcher_ != nullptr;
   out->PutBool(has_sketcher);
   if (has_sketcher) {
-    // Bound for the element->bit table on load.
-    uint64_t universe = 0;
-    for (const Shard& shard : shards_) {
-      universe = std::max<uint64_t>(universe, shard.dataset
-                                                  ? shard.dataset
-                                                        ->universe_size()
-                                                  : 0);
+    // Bound for the element->bit table on load. Shards without a resident
+    // dataset (mapped or evicted) contribute nothing, so floor the bound at
+    // the sketcher's own table width — the value Load must accept.
+    uint64_t universe = global_sketcher_->universe_size();
+    {
+      std::lock_guard<std::mutex> resident(resident_mutex_);
+      for (const Shard& shard : shards_) {
+        const Dataset* dataset =
+            shard.active != nullptr ? shard.active->dataset.get() : nullptr;
+        universe = std::max<uint64_t>(
+            universe, dataset != nullptr ? dataset->universe_size() : 0);
+      }
     }
     out->PutU64(universe);
     global_sketcher_->SaveTo(out);
@@ -867,11 +966,24 @@ Status ShardedContainmentService::Save(const std::string& dir) const {
     out->PutString(filename);
     out->PutVecU32(shards_[s].global_ids);
     const std::string path = dir + "/" + filename;
+    std::shared_ptr<ActiveShard> active;
+    {
+      std::lock_guard<std::mutex> resident(resident_mutex_);
+      active = shards_[s].active;
+    }
     // Methods with snapshot support persist the built index; the rest
     // persist their shard dataset and rebuild (deterministically) on load.
-    Status saved = shards_[s].searcher->SaveSnapshot(path);
+    // Shards whose authoritative bytes already sit in a snapshot file —
+    // evicted, or resident but mapped (a mapped searcher cannot Save) —
+    // are persisted by copying that file.
+    Status saved = active != nullptr ? active->searcher->SaveSnapshot(path)
+                                     : Status::FailedPrecondition("evicted");
     if (saved.code() == StatusCode::kFailedPrecondition) {
-      saved = shards_[s].dataset->Save(path);
+      if (!shards_[s].snapshot_path.empty()) {
+        saved = CopySnapshotFile(shards_[s].snapshot_path, path);
+      } else {
+        saved = active->dataset->Save(path);
+      }
     }
     if (!saved.ok()) return saved;
   }
@@ -890,6 +1002,12 @@ Status ShardedContainmentService::Save(const std::string& dir) const {
 
 Result<std::unique_ptr<ShardedContainmentService>>
 ShardedContainmentService::Load(const std::string& dir) {
+  return Load(dir, LoadOptions{});
+}
+
+Result<std::unique_ptr<ShardedContainmentService>>
+ShardedContainmentService::Load(const std::string& dir,
+                                const LoadOptions& options) {
   Result<io::SnapshotReader> manifest =
       io::SnapshotReader::Open(dir + "/manifest.snap");
   if (!manifest.ok()) return manifest.status();
@@ -949,6 +1067,12 @@ ShardedContainmentService::Load(const std::string& dir) {
   config.sharded.cache_capacity = static_cast<size_t>(cache_capacity);
   config.sharded.auto_promote_records = static_cast<size_t>(auto_promote);
   config.sharded.ingest_budget_units = ingest_budget;
+  // Serve-time knob, not an index parameter: comes from the caller, never
+  // the manifest.
+  config.sharded.max_resident_shards = options.max_resident_shards;
+  config.sharded.max_resident_bytes = options.max_resident_bytes;
+  const bool lazy =
+      options.max_resident_shards > 0 || options.max_resident_bytes > 0;
 
   std::unique_ptr<ShardedContainmentService> service(
       new ShardedContainmentService(config));
@@ -978,28 +1102,28 @@ ShardedContainmentService::Load(const std::string& dir) {
     if (Status s = in->GetString(&filename); !s.ok()) return s;
     if (Status s = in->GetVecU32(&shard.global_ids); !s.ok()) return s;
     const std::string path = dir + "/" + filename;
-    Result<std::string> kind = ReadSearcherSnapshotKind(path);
-    if (!kind.ok()) return kind.status();
-    if (*kind == "dataset") {
-      Result<Dataset> dataset = Dataset::Load(path);
-      if (!dataset.ok()) return dataset.status();
-      shard.dataset = std::make_unique<Dataset>(std::move(dataset.value()));
-      Result<std::unique_ptr<ContainmentSearcher>> searcher =
-          service->BuildShardSearcher(*shard.dataset, 0);
-      if (!searcher.ok()) return searcher.status();
-      shard.searcher = std::move(searcher.value());
+    shard.snapshot_path = path;
+    if (lazy) {
+      // Defer the load to the first query that fans out to this shard; only
+      // prove the file exists so a misassembled directory fails here, not
+      // fatally at serve time.
+      std::error_code ec;
+      if (!std::filesystem::exists(path, ec) || ec) {
+        return Status::NotFound("manifest names missing shard snapshot " +
+                                path);
+      }
     } else {
-      Result<LoadedSearcher> loaded = LoadSearcherSnapshot(path);
-      if (!loaded.ok()) return loaded.status();
-      shard.dataset = std::move(loaded->dataset);
-      shard.searcher = std::move(loaded->searcher);
-    }
-    if (shard.dataset != nullptr &&
-        shard.dataset->size() != shard.global_ids.size()) {
-      return Status::Corruption("shard " + filename + " holds " +
-                                std::to_string(shard.dataset->size()) +
-                                " records but the manifest maps " +
-                                std::to_string(shard.global_ids.size()));
+      Result<ActiveShard> payload = service->LoadShardPayload(path);
+      if (!payload.ok()) return payload.status();
+      shard.active = std::make_shared<ActiveShard>(std::move(payload.value()));
+      const Dataset* dataset = shard.active->dataset.get();
+      if (dataset != nullptr &&
+          dataset->size() != shard.global_ids.size()) {
+        return Status::Corruption("shard " + filename + " holds " +
+                                  std::to_string(dataset->size()) +
+                                  " records but the manifest maps " +
+                                  std::to_string(shard.global_ids.size()));
+      }
     }
     service->shards_.push_back(std::move(shard));
   }
@@ -1024,7 +1148,107 @@ ShardedContainmentService::Load(const std::string& dir) {
     service->ingest_ = std::move(ingest.value());
     service->ingest_base_ = static_cast<RecordId>(ingest_base);
   }
+  {
+    // Eager loads never pass through PinShard, so seed the resident gauges
+    // here; a lazy load starts at zero resident, which is also the truth.
+    std::lock_guard<std::mutex> lock(service->resident_mutex_);
+    service->UpdateResidentGaugesLocked();
+  }
   return service;
+}
+
+Result<ShardedContainmentService::ActiveShard>
+ShardedContainmentService::LoadShardPayload(const std::string& path) const {
+  ActiveShard active;
+  {
+    std::error_code ec;
+    const uintmax_t bytes = std::filesystem::file_size(path, ec);
+    active.resident_bytes = ec ? 0 : static_cast<uint64_t>(bytes);
+  }
+  Result<MappedSearcher> loaded = LoadSearcherSnapshotAuto(path);
+  if (loaded.ok()) {
+    active.mapping = std::move(loaded->mapping);
+    active.dataset = std::move(loaded->dataset);
+    active.searcher = std::move(loaded->searcher);
+    return active;
+  }
+  if (loaded.status().code() != StatusCode::kInvalidArgument) {
+    return loaded.status();
+  }
+  // Not a searcher snapshot: a dataset snapshot for a method without
+  // snapshot support — rebuild the searcher deterministically.
+  Result<Dataset> dataset = Dataset::Load(path);
+  if (!dataset.ok()) return dataset.status();
+  active.dataset = std::make_unique<Dataset>(std::move(dataset.value()));
+  Result<std::unique_ptr<ContainmentSearcher>> searcher =
+      BuildShardSearcher(*active.dataset, 0);
+  if (!searcher.ok()) return searcher.status();
+  active.searcher = std::move(searcher.value());
+  return active;
+}
+
+Result<std::shared_ptr<ShardedContainmentService::ActiveShard>>
+ShardedContainmentService::PinShard(const Shard& shard) const {
+  // Holding resident_mutex_ across the activation I/O serialises
+  // activations (and stamp bumps) against each other — deliberately:
+  // concurrent queries that need the same cold shard must not map it
+  // twice, and a query that needs an already-resident shard gets it with
+  // one uncontended lock.
+  std::lock_guard<std::mutex> lock(resident_mutex_);
+  shard.lru_stamp = ++lru_clock_;
+  if (shard.active == nullptr) {
+    GBKMV_CHECK(!shard.snapshot_path.empty());
+    Result<ActiveShard> payload = LoadShardPayload(shard.snapshot_path);
+    if (!payload.ok()) return payload.status();
+    shard.active = std::make_shared<ActiveShard>(std::move(payload.value()));
+    Metrics().shard_activations->Add(1);
+    EvictOverBudgetLocked(&shard);
+    UpdateResidentGaugesLocked();
+  }
+  return shard.active;
+}
+
+void ShardedContainmentService::EvictOverBudgetLocked(
+    const Shard* keep) const {
+  const size_t max_shards = config_.sharded.max_resident_shards;
+  const uint64_t max_bytes = config_.sharded.max_resident_bytes;
+  if (max_shards == 0 && max_bytes == 0) return;
+  for (;;) {
+    size_t resident = 0;
+    uint64_t bytes = 0;
+    const Shard* victim = nullptr;
+    for (const Shard& shard : shards_) {
+      if (shard.active == nullptr) continue;
+      ++resident;
+      bytes += shard.active->resident_bytes;
+      // Never the shard being pinned, and never a shard with no snapshot
+      // to come back from (built or promoted in memory).
+      if (&shard == keep || shard.snapshot_path.empty()) continue;
+      if (victim == nullptr || shard.lru_stamp < victim->lru_stamp) {
+        victim = &shard;
+      }
+    }
+    const bool over = (max_shards > 0 && resident > max_shards) ||
+                      (max_bytes > 0 && bytes > max_bytes);
+    if (!over || victim == nullptr) return;
+    // Dropping the Shard's reference is the whole eviction: in-flight
+    // batches hold their own pins, and the mapping unmaps when the last
+    // one drains.
+    victim->active.reset();
+    Metrics().shard_evictions->Add(1);
+  }
+}
+
+void ShardedContainmentService::UpdateResidentGaugesLocked() const {
+  int64_t resident = 0;
+  int64_t bytes = 0;
+  for (const Shard& shard : shards_) {
+    if (shard.active == nullptr) continue;
+    ++resident;
+    bytes += static_cast<int64_t>(shard.active->resident_bytes);
+  }
+  Metrics().resident_shards->Set(resident);
+  Metrics().resident_shard_bytes->Set(bytes);
 }
 
 Result<std::unique_ptr<ShardedContainmentService>> BuildShardedService(

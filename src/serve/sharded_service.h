@@ -22,7 +22,15 @@
 //     with the service's own method and global parameters, and compacted
 //     when promoted shards accumulate;
 //   * a versioned shard-manifest snapshot (Save/Load) reusing the src/io
-//     section container, so a whole service round-trips through disk.
+//     section container, so a whole service round-trips through disk;
+//   * lazy shard activation with a resident-shard LRU
+//     (config.sharded.max_resident_shards / max_resident_bytes): a loaded
+//     service reads only the manifest up front, maps each shard's snapshot
+//     on the first query that fans out to it, and unmaps the
+//     least-recently-used residents once the budget is exceeded. Queries
+//     pin the shards they use via shared_ptr, so an eviction never pulls
+//     memory out from under an in-flight batch, and evicted shards
+//     reactivate transparently on their next query.
 //
 // Thread safety: Serve/BatchServe may run concurrently with each other and
 // with background promotion; Ingest/Promote/Compact/Save serialise against
@@ -51,6 +59,11 @@
 #include "sketch/gbkmv.h"
 
 namespace gbkmv {
+
+namespace io {
+class MmapSnapshot;
+}  // namespace io
+
 namespace serve {
 
 // Read-only view of one immutable shard (bench/introspection; do not hold
@@ -123,16 +136,47 @@ class ShardedContainmentService {
   // when the ingest shard is non-empty. Load restores a service that
   // answers bit-identically and resumes Ingest with identical behaviour.
   // The manifest meta kind is io::kShardedManifestKind.
+  //
+  // With options.max_resident_shards / max_resident_bytes non-zero, Load
+  // returns after reading only the manifest (shard files are checked to
+  // exist but not opened); shards activate on first query. An activation
+  // that fails later — the snapshot was deleted or corrupted after Load —
+  // is a fatal check: there is no per-response error channel, and serving
+  // without the shard would silently drop its records.
   static constexpr uint32_t kManifestVersion = 1;
+  struct LoadOptions {
+    size_t max_resident_shards = 0;  // 0 with bytes 0 = eager (see below)
+    uint64_t max_resident_bytes = 0;
+  };
   Status Save(const std::string& dir) const;
   static Result<std::unique_ptr<ShardedContainmentService>> Load(
       const std::string& dir);
+  static Result<std::unique_ptr<ShardedContainmentService>> Load(
+      const std::string& dir, const LoadOptions& options);
 
  private:
-  struct Shard {
-    std::unique_ptr<Dataset> dataset;
+  // The resident payload of one shard. Queries pin it with a shared_ptr
+  // before fanning out, so eviction (which only drops the Shard's
+  // reference) never frees memory an in-flight batch is reading.
+  // Declaration order is ownership order: the searcher may borrow from the
+  // mapping and reference the dataset, so it is destroyed first.
+  struct ActiveShard {
+    std::shared_ptr<io::MmapSnapshot> mapping;  // mapped loads only
+    std::unique_ptr<Dataset> dataset;           // null for mapped loads
     std::unique_ptr<ContainmentSearcher> searcher;
+    uint64_t resident_bytes = 0;  // snapshot file size (activation cost)
+  };
+
+  struct Shard {
+    // Null when evicted. Guarded by resident_mutex_ (mutable so the const
+    // read paths can activate on demand); global_ids and snapshot_path are
+    // immutable after the shard is constructed and need no extra lock.
+    mutable std::shared_ptr<ActiveShard> active;
     std::vector<RecordId> global_ids;  // ascending
+    // Non-empty = the shard can be (re)activated from this snapshot file;
+    // empty (built in memory) = permanently resident, never evicted.
+    std::string snapshot_path;
+    mutable uint64_t lru_stamp = 0;  // guarded by resident_mutex_
   };
 
   explicit ShardedContainmentService(const SearcherConfig& config)
@@ -143,13 +187,27 @@ class ShardedContainmentService {
   Result<std::unique_ptr<ContainmentSearcher>> BuildShardSearcher(
       const Dataset& shard_dataset, size_t num_threads) const;
 
-  Result<Shard> MakeShard(const Dataset& dataset,
-                          std::vector<RecordId> global_ids,
-                          size_t num_threads) const;
-
   void EnsureIngestLocked();
   // The promotion worker body; requires the in-flight token.
   Status DoPromote();
+
+  // Loads one shard's payload from its snapshot file: mapped when the
+  // format and kind allow it (index/searcher_registry.h), copying
+  // otherwise, dataset-snapshot + deterministic rebuild for methods
+  // without searcher snapshots.
+  Result<ActiveShard> LoadShardPayload(const std::string& path) const;
+
+  // Returns the shard's resident payload, activating it from
+  // snapshot_path if evicted; bumps the LRU stamp and, after an
+  // activation, evicts least-recently-used residents beyond the budget
+  // (never `shard` itself). Caller must hold state_mutex_ (either mode).
+  Result<std::shared_ptr<ActiveShard>> PinShard(const Shard& shard) const;
+
+  // Drops LRU residents until the resident-shard budget holds, skipping
+  // `keep` and shards with no snapshot to reactivate from. Requires
+  // resident_mutex_ and state_mutex_ (either mode).
+  void EvictOverBudgetLocked(const Shard* keep) const;
+  void UpdateResidentGaugesLocked() const;
 
   // Persistent fan-out pool, (re)created only when the requested worker
   // count changes — thread spawn/join must not sit on the per-query
@@ -174,6 +232,11 @@ class ShardedContainmentService {
   RecordId next_global_id_ = 0;
 
   QueryResultCache cache_;
+
+  // Resident-shard LRU state: guards every Shard::active / lru_stamp and
+  // the clock. Taken after state_mutex_ (shared or unique), never before.
+  mutable std::mutex resident_mutex_;
+  mutable uint64_t lru_clock_ = 0;
 
   std::mutex serving_pool_mutex_;
   std::shared_ptr<ThreadPool> serving_pool_;

@@ -70,6 +70,8 @@ class GbKmvSketcher {
   const GbKmvOptions& options() const { return options_; }
   uint64_t global_threshold() const { return global_threshold_; }
   size_t buffer_bits() const { return options_.buffer_bits; }
+  // Width of the element->bit table (the bound dataset's universe_size()).
+  size_t universe_size() const { return element_to_bit_.size(); }
 
   // The buffer universe E_H: element id of each buffer bit.
   const std::vector<ElementId>& buffer_elements() const {

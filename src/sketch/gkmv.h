@@ -30,6 +30,17 @@ class GkmvSketch {
   static GkmvSketch Build(const Record& record, uint64_t threshold,
                           uint64_t seed = kDefaultSketchSeed);
 
+  // Reassembles a sketch from stored parts (the flat sketch store's
+  // per-record hash slice). `values` must be what a Build with `threshold`
+  // produced: ascending and all <= threshold.
+  static GkmvSketch FromParts(std::vector<uint64_t> values,
+                              uint64_t threshold) {
+    GkmvSketch sketch;
+    sketch.values_ = std::move(values);
+    sketch.threshold_ = threshold;
+    return sketch;
+  }
+
   const std::vector<uint64_t>& values() const { return values_; }
   size_t size() const { return values_.size(); }
   bool empty() const { return values_.empty(); }

@@ -39,15 +39,75 @@ void AppendU32(std::vector<uint8_t>& arena, uint32_t v) {
 
 }  // namespace
 
+CompressedPostingStore& CompressedPostingStore::operator=(
+    CompressedPostingStore&& other) noexcept {
+  if (this == &other) return *this;
+  const bool borrowed = other.borrowed_;
+  owned_offsets_ = std::move(other.owned_offsets_);
+  owned_arena_ = std::move(other.owned_arena_);
+  total_postings_ = other.total_postings_;
+  if (borrowed) {
+    offsets_ = other.offsets_;
+    arena_ = other.arena_;
+    borrowed_ = true;
+  } else {
+    AdoptOwned();
+  }
+  other.Reset();
+  return *this;
+}
+
+CompressedPostingStore& CompressedPostingStore::operator=(
+    const CompressedPostingStore& other) {
+  if (this == &other) return *this;
+  owned_offsets_ = other.owned_offsets_;
+  owned_arena_ = other.owned_arena_;
+  total_postings_ = other.total_postings_;
+  if (other.borrowed_) {
+    offsets_ = other.offsets_;
+    arena_ = other.arena_;
+    borrowed_ = true;
+  } else {
+    AdoptOwned();
+  }
+  return *this;
+}
+
+void CompressedPostingStore::AdoptOwned() {
+  offsets_ = std::span<const uint64_t>(owned_offsets_);
+  // The span covers content only; the owned vector additionally holds
+  // kArenaSlack zero bytes the decode window may touch.
+  arena_ = std::span<const uint8_t>(
+      owned_arena_.data(),
+      owned_arena_.size() >= kArenaSlack ? owned_arena_.size() - kArenaSlack
+                                         : 0);
+  borrowed_ = false;
+}
+
+void CompressedPostingStore::Reset() {
+  owned_offsets_.clear();
+  owned_arena_.clear();
+  offsets_ = {};
+  arena_ = {};
+  total_postings_ = 0;
+  borrowed_ = false;
+}
+
+bool CompressedPostingStore::ContentEquals(
+    const CompressedPostingStore& other) const {
+  return std::equal(arena_.begin(), arena_.end(), other.arena_.begin(),
+                    other.arena_.end());
+}
+
 CompressedPostingStore CompressedPostingStore::BuildFrom(
     const PostingStore& flat) {
   CompressedPostingStore out;
   const size_t num_keys = flat.num_keys();
-  out.offsets_.assign(num_keys + 1, 0);
+  out.owned_offsets_.assign(num_keys + 1, 0);
   out.total_postings_ = flat.size();
   // Rough reserve: one byte per posting plus headers covers typical
   // power-law rows without rehashing the arena repeatedly.
-  out.arena_.reserve(static_cast<size_t>(flat.size()) + 9 * num_keys);
+  out.owned_arena_.reserve(static_cast<size_t>(flat.size()) + 9 * num_keys);
 
   // Bit-packing staging area: one full block at the widest width plus the
   // 8-byte write window, so the packer never writes into unsized arena
@@ -55,12 +115,12 @@ CompressedPostingStore CompressedPostingStore::BuildFrom(
   std::array<uint8_t, 16 * 32 + 8> block{};
 
   for (size_t key = 0; key < num_keys; ++key) {
-    out.offsets_[key] = out.arena_.size();
+    out.owned_offsets_[key] = out.owned_arena_.size();
     const std::span<const uint32_t> row = flat.Row(key);
     const uint32_t n = static_cast<uint32_t>(row.size());
-    AppendU32(out.arena_, n);
+    AppendU32(out.owned_arena_, n);
     if (n == 0) continue;
-    AppendU32(out.arena_, row[0]);
+    AppendU32(out.owned_arena_, row[0]);
     uint32_t pos = 1;
     while (pos < n) {
       const uint32_t c = std::min(n - pos, kBlockLen);
@@ -69,7 +129,7 @@ CompressedPostingStore CompressedPostingStore::BuildFrom(
         max_delta |= row[pos + k] - row[pos + k - 1] - 1;
       }
       const uint8_t width = RoundWidth(max_delta);
-      out.arena_.push_back(width);
+      out.owned_arena_.push_back(width);
       if (width != 0) {
         const size_t payload = size_t{16} * width;
         std::fill(block.begin(), block.begin() + payload + 8, uint8_t{0});
@@ -81,14 +141,15 @@ CompressedPostingStore CompressedPostingStore::BuildFrom(
           word |= delta << (bit & 7);
           std::memcpy(block.data() + (bit >> 3), &word, sizeof word);
         }
-        out.arena_.insert(out.arena_.end(), block.data(),
-                          block.data() + payload);
+        out.owned_arena_.insert(out.owned_arena_.end(), block.data(),
+                                block.data() + payload);
       }
       pos += c;
     }
   }
-  out.offsets_[num_keys] = out.arena_.size();
-  out.arena_.resize(out.arena_.size() + kArenaSlack, 0);
+  out.owned_offsets_[num_keys] = out.owned_arena_.size();
+  out.owned_arena_.resize(out.owned_arena_.size() + kArenaSlack, 0);
+  out.AdoptOwned();
   return out;
 }
 
@@ -126,23 +187,20 @@ uint32_t CompressedPostingStore::DecodeRow(size_t key, uint32_t* out) const {
 
 void CompressedPostingStore::SaveTo(io::Writer* writer) const {
   writer->PutU64(total_postings_);
-  writer->PutVecU64(offsets_);
+  writer->PutU64(offsets_.size());
+  for (uint64_t off : offsets_) writer->PutU64(off);
   const uint64_t content = offsets_.empty() ? 0 : offsets_.back();
   writer->PutU64(content);
   writer->PutBytes(arena_.data(), static_cast<size_t>(content));
 }
 
-Status CompressedPostingStore::LoadFrom(io::Reader* reader) {
-  uint64_t total = 0;
-  std::vector<uint64_t> offsets;
-  uint64_t content = 0;
-  GBKMV_RETURN_IF_ERROR(reader->GetU64(&total));
-  GBKMV_RETURN_IF_ERROR(reader->GetVecU64(&offsets));
-  GBKMV_RETURN_IF_ERROR(reader->GetU64(&content));
+Status CompressedPostingStore::ValidateStructure(
+    std::span<const uint64_t> offsets, std::span<const uint8_t> arena,
+    uint64_t total) {
   if (offsets.empty()) {
     return Status::Corruption("compressed store: empty offsets");
   }
-  if (offsets.front() != 0 || offsets.back() != content) {
+  if (offsets.front() != 0 || offsets.back() != arena.size()) {
     return Status::Corruption("compressed store: offset bounds mismatch");
   }
   for (size_t i = 1; i < offsets.size(); ++i) {
@@ -150,9 +208,6 @@ Status CompressedPostingStore::LoadFrom(io::Reader* reader) {
       return Status::Corruption("compressed store: offsets not monotone");
     }
   }
-  std::vector<uint8_t> arena(static_cast<size_t>(content) + kArenaSlack, 0);
-  GBKMV_RETURN_IF_ERROR(
-      reader->GetBytes(arena.data(), static_cast<size_t>(content)));
 
   // Structural walk: every row header and block must stay inside its
   // offsets extent, and the posting counts must add up.
@@ -200,9 +255,72 @@ Status CompressedPostingStore::LoadFrom(io::Reader* reader) {
   if (postings != total) {
     return Status::Corruption("compressed store: posting count mismatch");
   }
-  offsets_ = std::move(offsets);
-  arena_ = std::move(arena);
+  return Status::OK();
+}
+
+Status CompressedPostingStore::LoadFrom(io::Reader* reader) {
+  uint64_t total = 0;
+  std::vector<uint64_t> offsets;
+  uint64_t content = 0;
+  GBKMV_RETURN_IF_ERROR(reader->GetU64(&total));
+  GBKMV_RETURN_IF_ERROR(reader->GetVecU64(&offsets));
+  GBKMV_RETURN_IF_ERROR(reader->GetU64(&content));
+  if (offsets.empty()) {
+    return Status::Corruption("compressed store: empty offsets");
+  }
+  if (offsets.back() != content) {
+    return Status::Corruption("compressed store: offset bounds mismatch");
+  }
+  std::vector<uint8_t> arena(static_cast<size_t>(content) + kArenaSlack, 0);
+  GBKMV_RETURN_IF_ERROR(
+      reader->GetBytes(arena.data(), static_cast<size_t>(content)));
+  GBKMV_RETURN_IF_ERROR(ValidateStructure(
+      offsets,
+      std::span<const uint8_t>(arena.data(), static_cast<size_t>(content)),
+      total));
+  owned_offsets_ = std::move(offsets);
+  owned_arena_ = std::move(arena);
   total_postings_ = total;
+  AdoptOwned();
+  return Status::OK();
+}
+
+void CompressedPostingStore::SaveToAligned(io::Writer* writer) const {
+  writer->PutU64(total_postings_);
+  writer->PutU64Array(offsets_.data(), offsets_.size());
+  writer->PutAlignedBytes(arena_.data(), arena_.size());
+}
+
+Status CompressedPostingStore::LoadFromAligned(io::Reader* reader,
+                                               bool borrow) {
+  uint64_t total = 0;
+  GBKMV_RETURN_IF_ERROR(reader->GetU64(&total));
+  if (borrow) {
+    std::span<const uint64_t> offsets;
+    std::span<const uint8_t> arena;
+    GBKMV_RETURN_IF_ERROR(reader->GetU64Span(&offsets));
+    GBKMV_RETURN_IF_ERROR(reader->GetByteSpan(&arena));
+    GBKMV_RETURN_IF_ERROR(ValidateStructure(offsets, arena, total));
+    Reset();
+    offsets_ = offsets;
+    arena_ = arena;
+    total_postings_ = total;
+    borrowed_ = true;
+    return Status::OK();
+  }
+  std::vector<uint64_t> offsets;
+  std::string arena_bytes;
+  GBKMV_RETURN_IF_ERROR(reader->GetU64Array(&offsets));
+  GBKMV_RETURN_IF_ERROR(reader->GetAlignedBytes(&arena_bytes));
+  std::vector<uint8_t> arena(arena_bytes.size() + kArenaSlack, 0);
+  std::memcpy(arena.data(), arena_bytes.data(), arena_bytes.size());
+  GBKMV_RETURN_IF_ERROR(ValidateStructure(
+      offsets, std::span<const uint8_t>(arena.data(), arena_bytes.size()),
+      total));
+  owned_offsets_ = std::move(offsets);
+  owned_arena_ = std::move(arena);
+  total_postings_ = total;
+  AdoptOwned();
   return Status::OK();
 }
 

@@ -30,6 +30,8 @@
 #define GBKMV_STORAGE_COMPRESSED_POSTING_STORE_H_
 
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -45,6 +47,15 @@ class Writer;
 class CompressedPostingStore {
  public:
   CompressedPostingStore() = default;
+
+  CompressedPostingStore(CompressedPostingStore&& other) noexcept {
+    *this = std::move(other);
+  }
+  CompressedPostingStore& operator=(CompressedPostingStore&& other) noexcept;
+  CompressedPostingStore(const CompressedPostingStore& other) {
+    *this = other;
+  }
+  CompressedPostingStore& operator=(const CompressedPostingStore& other);
 
   // Compresses every row of `flat`. Rows must hold strictly ascending
   // values (CsrStore posting rows always do). Deterministic: the encoding
@@ -73,15 +84,29 @@ class CompressedPostingStore {
     return offsets_.size() * 2 + (arena_.size() + 3) / 4;
   }
 
-  // Serialization (io/snapshot.md "cpst" section payload). LoadFrom
-  // validates structural invariants (offsets monotone and in bounds, row
-  // headers consistent with the arena extent) before accepting.
+  // Legacy (v1/v2) serialization. LoadFrom validates structural invariants
+  // (offsets monotone and in bounds, row headers consistent with the arena
+  // extent) before accepting.
   void SaveTo(io::Writer* writer) const;
   Status LoadFrom(io::Reader* reader);
 
+  // Snapshot v3 aligned serialization: offsets and arena in the aligned
+  // array encoding. LoadFromAligned runs the same structural walk; with
+  // borrow=true the offsets and arena are served from the reader's buffer
+  // in place (the caller keeps the mapping alive). A borrowed arena has no
+  // owned zero slack — the scalar bit extractor's 8-byte window may read
+  // past the content, which the v3 container guarantees is in-file (zero
+  // tail pad) and which the decoders mask off.
+  void SaveToAligned(io::Writer* writer) const;
+  Status LoadFromAligned(io::Reader* reader, bool borrow);
+
+  bool borrowed() const { return borrowed_; }
+
   bool operator==(const CompressedPostingStore& other) const {
-    return offsets_ == other.offsets_ && arena_ == other.arena_ &&
-           total_postings_ == other.total_postings_;
+    return total_postings_ == other.total_postings_ &&
+           std::equal(offsets_.begin(), offsets_.end(), other.offsets_.begin(),
+                      other.offsets_.end()) &&
+           ContentEquals(other);
   }
 
  private:
@@ -89,9 +114,22 @@ class CompressedPostingStore {
   // unaligned 64-bit window.
   static constexpr size_t kArenaSlack = 8;
 
-  std::vector<uint64_t> offsets_;  // num_keys + 1 byte offsets into arena_
-  std::vector<uint8_t> arena_;     // rows + kArenaSlack trailing bytes
+  // Validates offsets/arena structure and checks the posting total; shared
+  // by both load paths.
+  static Status ValidateStructure(std::span<const uint64_t> offsets,
+                                  std::span<const uint8_t> arena,
+                                  uint64_t total);
+  // Compares arena content (excluding any owned slack bytes).
+  bool ContentEquals(const CompressedPostingStore& other) const;
+  void AdoptOwned();
+  void Reset();
+
+  std::vector<uint64_t> owned_offsets_;  // backing store when not borrowed
+  std::vector<uint8_t> owned_arena_;     // content + kArenaSlack zero bytes
+  std::span<const uint64_t> offsets_;  // num_keys + 1 byte offsets
+  std::span<const uint8_t> arena_;     // row content (no slack when borrowed)
   uint64_t total_postings_ = 0;
+  bool borrowed_ = false;
 };
 
 }  // namespace gbkmv

@@ -4,88 +4,253 @@
 
 namespace gbkmv {
 
+namespace {
+
+// Probe-table growth schedule shared by InternKey, RebuildTable and the
+// aligned-load validator: the smallest 16·4^j that keeps load factor below
+// 50% (0 for an empty store).
+size_t TableSizeFor(size_t num_keys) {
+  if (num_keys == 0) return 0;
+  size_t size = 16;
+  while (size < 2 * num_keys) size *= 4;
+  return size;
+}
+
+}  // namespace
+
+FlatHashPostings& FlatHashPostings::operator=(
+    FlatHashPostings&& other) noexcept {
+  if (this == &other) return *this;
+  const bool borrowed = other.borrowed_;
+  owned_keys_ = std::move(other.owned_keys_);
+  owned_offsets_ = std::move(other.owned_offsets_);
+  owned_values_ = std::move(other.owned_values_);
+  owned_table_ = std::move(other.owned_table_);
+  if (borrowed) {
+    keys_ = other.keys_;
+    offsets_ = other.offsets_;
+    values_ = other.values_;
+    table_ = other.table_;
+    borrowed_ = true;
+  } else {
+    AdoptOwned();
+  }
+  other.Reset();
+  return *this;
+}
+
+FlatHashPostings& FlatHashPostings::operator=(const FlatHashPostings& other) {
+  if (this == &other) return *this;
+  owned_keys_ = other.owned_keys_;
+  owned_offsets_ = other.owned_offsets_;
+  owned_values_ = other.owned_values_;
+  owned_table_ = other.owned_table_;
+  if (other.borrowed_) {
+    keys_ = other.keys_;
+    offsets_ = other.offsets_;
+    values_ = other.values_;
+    table_ = other.table_;
+    borrowed_ = true;
+  } else {
+    AdoptOwned();
+  }
+  return *this;
+}
+
+void FlatHashPostings::AdoptOwned() {
+  keys_ = std::span<const uint64_t>(owned_keys_);
+  offsets_ = std::span<const uint32_t>(owned_offsets_);
+  values_ = std::span<const uint32_t>(owned_values_);
+  table_ = std::span<const uint32_t>(owned_table_);
+  borrowed_ = false;
+}
+
+void FlatHashPostings::Reset() {
+  owned_keys_.clear();
+  owned_offsets_.clear();
+  owned_values_.clear();
+  owned_table_.clear();
+  keys_ = {};
+  offsets_ = {};
+  values_ = {};
+  table_ = {};
+  borrowed_ = false;
+}
+
 uint32_t FlatHashPostings::InternKey(uint64_t key) {
-  if (2 * (keys_.size() + 1) > table_.size()) {
-    table_.assign(std::max<size_t>(16, 4 * table_.size()), 0);
-    for (uint32_t index = 0; index < keys_.size(); ++index) {
-      const size_t mask = table_.size() - 1;
-      size_t slot = static_cast<size_t>(Mix64(keys_[index])) & mask;
-      while (table_[slot] != 0) slot = (slot + 1) & mask;
-      table_[slot] = index + 1;
+  if (2 * (owned_keys_.size() + 1) > owned_table_.size()) {
+    owned_table_.assign(std::max<size_t>(16, 4 * owned_table_.size()), 0);
+    for (uint32_t index = 0; index < owned_keys_.size(); ++index) {
+      const size_t mask = owned_table_.size() - 1;
+      size_t slot = static_cast<size_t>(Mix64(owned_keys_[index])) & mask;
+      while (owned_table_[slot] != 0) slot = (slot + 1) & mask;
+      owned_table_[slot] = index + 1;
     }
   }
-  const size_t mask = table_.size() - 1;
+  const size_t mask = owned_table_.size() - 1;
   for (size_t slot = static_cast<size_t>(Mix64(key)) & mask;;
        slot = (slot + 1) & mask) {
-    if (table_[slot] == 0) {
-      GBKMV_CHECK(keys_.size() < UINT32_MAX);
-      keys_.push_back(key);
-      table_[slot] = static_cast<uint32_t>(keys_.size());
-      return static_cast<uint32_t>(keys_.size() - 1);
+    if (owned_table_[slot] == 0) {
+      GBKMV_CHECK(owned_keys_.size() < UINT32_MAX);
+      owned_keys_.push_back(key);
+      owned_table_[slot] = static_cast<uint32_t>(owned_keys_.size());
+      return static_cast<uint32_t>(owned_keys_.size() - 1);
     }
-    if (keys_[table_[slot] - 1] == key) return table_[slot] - 1;
+    if (owned_keys_[owned_table_[slot] - 1] == key) {
+      return owned_table_[slot] - 1;
+    }
   }
 }
 
 uint32_t FlatHashPostings::FindKeyIndex(uint64_t key) const {
-  const size_t mask = table_.size() - 1;
+  const size_t mask = owned_table_.size() - 1;
   for (size_t slot = static_cast<size_t>(Mix64(key)) & mask;;
        slot = (slot + 1) & mask) {
-    GBKMV_CHECK(table_[slot] != 0);
-    if (keys_[table_[slot] - 1] == key) return table_[slot] - 1;
+    GBKMV_CHECK(owned_table_[slot] != 0);
+    if (owned_keys_[owned_table_[slot] - 1] == key) {
+      return owned_table_[slot] - 1;
+    }
   }
 }
 
 bool FlatHashPostings::RebuildTable() {
-  if (keys_.empty()) {
-    table_.clear();
-    return true;
-  }
-  // Same growth schedule as InternKey (smallest 16·4^j >= 2·num_keys), so a
-  // loaded store is byte-for-byte the size of the originally built one.
-  size_t size = 16;
-  while (size < 2 * keys_.size()) size *= 4;
-  table_.assign(size, 0);
-  const size_t mask = table_.size() - 1;
-  for (uint32_t index = 0; index < keys_.size(); ++index) {
-    size_t slot = static_cast<size_t>(Mix64(keys_[index])) & mask;
-    while (table_[slot] != 0) {
-      if (keys_[table_[slot] - 1] == keys_[index]) return false;  // duplicate
+  owned_table_.assign(TableSizeFor(owned_keys_.size()), 0);
+  if (owned_keys_.empty()) return true;
+  const size_t mask = owned_table_.size() - 1;
+  for (uint32_t index = 0; index < owned_keys_.size(); ++index) {
+    size_t slot = static_cast<size_t>(Mix64(owned_keys_[index])) & mask;
+    while (owned_table_[slot] != 0) {
+      if (owned_keys_[owned_table_[slot] - 1] == owned_keys_[index]) {
+        return false;  // duplicate
+      }
       slot = (slot + 1) & mask;
     }
-    table_[slot] = index + 1;
+    owned_table_[slot] = index + 1;
   }
   return true;
 }
 
 void FlatHashPostings::SaveTo(io::Writer* out) const {
-  out->PutVecU64(keys_);
-  out->PutVecU32(offsets_);
-  out->PutVecU32(values_);
+  out->PutU64(keys_.size());
+  for (uint64_t k : keys_) out->PutU64(k);
+  out->PutU64(offsets_.size());
+  for (uint32_t v : offsets_) out->PutU32(v);
+  out->PutU64(values_.size());
+  for (uint32_t v : values_) out->PutU32(v);
 }
 
-Result<FlatHashPostings> FlatHashPostings::LoadFrom(io::Reader* in,
-                                                    uint64_t num_records) {
-  FlatHashPostings p;
-  GBKMV_RETURN_IF_ERROR(in->GetVecU64(&p.keys_));
-  GBKMV_RETURN_IF_ERROR(in->GetVecU32(&p.offsets_));
-  GBKMV_RETURN_IF_ERROR(in->GetVecU32(&p.values_));
-  if (p.offsets_.size() != p.keys_.size() + 1 || p.offsets_.front() != 0 ||
-      p.offsets_.back() != p.values_.size()) {
+namespace {
+
+// Shared by both load paths: offsets shape and monotonicity, posting ids
+// inside the dataset.
+Status ValidatePayload(std::span<const uint64_t> keys,
+                       std::span<const uint32_t> offsets,
+                       std::span<const uint32_t> values,
+                       uint64_t num_records) {
+  if (offsets.size() != keys.size() + 1 || offsets.front() != 0 ||
+      offsets.back() != values.size()) {
     return Status::Corruption("flat postings offsets malformed");
   }
-  for (size_t i = 0; i + 1 < p.offsets_.size(); ++i) {
-    if (p.offsets_[i] > p.offsets_[i + 1]) {
+  for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+    if (offsets[i] > offsets[i + 1]) {
       return Status::Corruption("flat postings offsets not monotone");
     }
   }
-  for (uint32_t id : p.values_) {
+  for (uint32_t id : values) {
     if (id >= num_records) {
       return Status::Corruption("flat postings id outside the dataset");
     }
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FlatHashPostings> FlatHashPostings::LoadFrom(io::Reader* in,
+                                                    uint64_t num_records) {
+  FlatHashPostings p;
+  GBKMV_RETURN_IF_ERROR(in->GetVecU64(&p.owned_keys_));
+  GBKMV_RETURN_IF_ERROR(in->GetVecU32(&p.owned_offsets_));
+  GBKMV_RETURN_IF_ERROR(in->GetVecU32(&p.owned_values_));
+  if (p.owned_offsets_.empty()) {
+    return Status::Corruption("flat postings offsets malformed");
+  }
+  GBKMV_RETURN_IF_ERROR(ValidatePayload(p.owned_keys_, p.owned_offsets_,
+                                        p.owned_values_, num_records));
   if (!p.RebuildTable()) {
     return Status::Corruption("flat postings contain a duplicate key");
+  }
+  p.AdoptOwned();
+  return p;
+}
+
+void FlatHashPostings::SaveToAligned(io::Writer* out) const {
+  out->PutU64Array(keys_.data(), keys_.size());
+  out->PutU32Array(offsets_.data(), offsets_.size());
+  out->PutU32Array(values_.data(), values_.size());
+  out->PutU32Array(table_.data(), table_.size());
+}
+
+Result<FlatHashPostings> FlatHashPostings::LoadFromAligned(
+    io::Reader* in, uint64_t num_records, bool borrow) {
+  FlatHashPostings p;
+  if (borrow) {
+    GBKMV_RETURN_IF_ERROR(in->GetU64Span(&p.keys_));
+    GBKMV_RETURN_IF_ERROR(in->GetU32Span(&p.offsets_));
+    GBKMV_RETURN_IF_ERROR(in->GetU32Span(&p.values_));
+    GBKMV_RETURN_IF_ERROR(in->GetU32Span(&p.table_));
+    p.borrowed_ = true;
+  } else {
+    GBKMV_RETURN_IF_ERROR(in->GetU64Array(&p.owned_keys_));
+    GBKMV_RETURN_IF_ERROR(in->GetU32Array(&p.owned_offsets_));
+    GBKMV_RETURN_IF_ERROR(in->GetU32Array(&p.owned_values_));
+    GBKMV_RETURN_IF_ERROR(in->GetU32Array(&p.owned_table_));
+    p.AdoptOwned();
+  }
+  if (p.offsets_.empty()) {
+    return Status::Corruption("flat postings offsets malformed");
+  }
+  GBKMV_RETURN_IF_ERROR(
+      ValidatePayload(p.keys_, p.offsets_, p.values_, num_records));
+
+  // The stored probe table is authoritative in borrowed mode, so prove it
+  // consistent before any lookup trusts it: exact growth-schedule size,
+  // occupancy == num_keys, slot indices in range, and every key reachable
+  // from its own hash before an empty slot (which also proves uniqueness —
+  // a duplicate would collide on the probe path).
+  if (p.table_.size() != TableSizeFor(p.keys_.size())) {
+    return Status::Corruption("flat postings table size off schedule");
+  }
+  size_t occupied = 0;
+  for (uint32_t stored : p.table_) {
+    if (stored == 0) continue;
+    ++occupied;
+    if (stored - 1 >= p.keys_.size()) {
+      return Status::Corruption("flat postings table slot out of range");
+    }
+  }
+  if (occupied != p.keys_.size()) {
+    return Status::Corruption("flat postings table occupancy mismatch");
+  }
+  const size_t mask = p.table_.empty() ? 0 : p.table_.size() - 1;
+  for (uint32_t index = 0; index < p.keys_.size(); ++index) {
+    const uint64_t key = p.keys_[index];
+    bool reached = false;
+    for (size_t slot = static_cast<size_t>(Mix64(key)) & mask, probes = 0;
+         probes < p.table_.size(); slot = (slot + 1) & mask, ++probes) {
+      const uint32_t stored = p.table_[slot];
+      if (stored == 0) break;
+      if (stored - 1 == index) {
+        reached = true;
+        break;
+      }
+      if (p.keys_[stored - 1] == key) {
+        return Status::Corruption("flat postings contain a duplicate key");
+      }
+    }
+    if (!reached) {
+      return Status::Corruption("flat postings table misses a key");
+    }
   }
   return p;
 }

@@ -11,12 +11,19 @@
 // layout — and therefore anything serialized from it — is a pure function of
 // the enumeration sequence, independent of thread count (builders enumerate
 // in record order).
+//
+// Ownership (docs/architecture.md "Borrowed memory"): lookups read through
+// spans that normally alias the store's own vectors; LoadFromAligned with
+// borrow=true points all four arrays (keys, offsets, values, probe table)
+// into a mapped snapshot section instead, and the caller keeps the mapping
+// alive for the store's lifetime.
 
 #ifndef GBKMV_STORAGE_FLAT_HASH_POSTINGS_H_
 #define GBKMV_STORAGE_FLAT_HASH_POSTINGS_H_
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/hash.h"
@@ -33,6 +40,13 @@ class FlatHashPostings {
  public:
   FlatHashPostings() = default;
 
+  FlatHashPostings(FlatHashPostings&& other) noexcept {
+    *this = std::move(other);
+  }
+  FlatHashPostings& operator=(FlatHashPostings&& other) noexcept;
+  FlatHashPostings(const FlatHashPostings& other) { *this = other; }
+  FlatHashPostings& operator=(const FlatHashPostings& other);
+
   // Builds from a deterministic enumeration of (key, record-id) pairs:
   // `enumerate(fn)` must call fn(key, id) for every pair in a fixed order,
   // and is invoked twice (count pass + scatter pass) — it must yield the
@@ -47,21 +61,23 @@ class FlatHashPostings {
       ++counts[index];
     });
 
-    p.offsets_.resize(p.keys_.size() + 1);
+    p.owned_offsets_.resize(p.owned_keys_.size() + 1);
     uint64_t total = 0;
     for (size_t i = 0; i < counts.size(); ++i) {
-      p.offsets_[i] = static_cast<uint32_t>(total);
+      p.owned_offsets_[i] = static_cast<uint32_t>(total);
       total += counts[i];
       GBKMV_CHECK(total <= UINT32_MAX);
     }
-    p.offsets_.back() = static_cast<uint32_t>(total);
-    p.values_.resize(static_cast<size_t>(total));
+    p.owned_offsets_.back() = static_cast<uint32_t>(total);
+    p.owned_values_.resize(static_cast<size_t>(total));
 
-    std::vector<uint32_t> cursor(p.offsets_.begin(), p.offsets_.end() - 1);
+    std::vector<uint32_t> cursor(p.owned_offsets_.begin(),
+                                 p.owned_offsets_.end() - 1);
     enumerate([&p, &cursor](uint64_t key, uint32_t id) {
       const uint32_t index = p.FindKeyIndex(key);
-      p.values_[cursor[index]++] = id;
+      p.owned_values_[cursor[index]++] = id;
     });
+    p.AdoptOwned();
     return p;
   }
 
@@ -93,27 +109,52 @@ class FlatHashPostings {
     return 2 * keys_.size() + offsets_.size() + values_.size() + table_.size();
   }
 
-  // Snapshot serialization (keys, offsets and values verbatim; the probe
-  // table is rebuilt on load). Load validates structure: monotone offsets
-  // bounded by the value count, unique keys, record ids < num_records.
+  // Legacy (v1/v2) snapshot serialization: keys, offsets and values
+  // verbatim; the probe table is rebuilt on load. Load validates structure:
+  // monotone offsets bounded by the value count, unique keys, record ids
+  // < num_records.
   void SaveTo(io::Writer* out) const;
   static Result<FlatHashPostings> LoadFrom(io::Reader* in,
                                            uint64_t num_records);
 
+  // Snapshot v3 aligned serialization: all four arrays — probe table
+  // included — in the 64-byte-aligned array encoding, so a mapped load
+  // serves lookups in place without rebuilding anything. LoadFromAligned
+  // validates everything LoadFrom does plus the stored table itself (growth
+  // schedule size, slot bounds, every key reachable by its own probe
+  // sequence, occupancy count).
+  void SaveToAligned(io::Writer* out) const;
+  static Result<FlatHashPostings> LoadFromAligned(io::Reader* in,
+                                                  uint64_t num_records,
+                                                  bool borrow);
+
+  bool borrowed() const { return borrowed_; }
+
  private:
   // Returns the key's index, interning it (in first-appearance order) when
-  // new. Grows the probe table at 50% load; rehashing re-inserts keys_ in
+  // new. Grows the probe table at 50% load; rehashing re-inserts keys in
   // intern order, so the table layout depends only on the key sequence.
+  // Build-time only: operates on the owned vectors.
   uint32_t InternKey(uint64_t key);
-  // Index of an existing key (must have been interned).
+  // Index of an existing key (must have been interned); build-time only.
   uint32_t FindKeyIndex(uint64_t key) const;
-  // Rebuilds table_ from keys_; false if a duplicate key is found.
+  // Rebuilds owned_table_ from owned_keys_; false on a duplicate key.
   bool RebuildTable();
+  // Points the read spans at the owned vectors.
+  void AdoptOwned();
+  void Reset();
 
-  std::vector<uint64_t> keys_;     // by intern order
-  std::vector<uint32_t> offsets_;  // num_keys + 1 row starts
-  std::vector<uint32_t> values_;   // concatenated posting lists
-  std::vector<uint32_t> table_;    // open addressing: key index + 1, 0 empty
+  // Backing storage when not borrowed (empty in borrowed mode).
+  std::vector<uint64_t> owned_keys_;
+  std::vector<uint32_t> owned_offsets_;
+  std::vector<uint32_t> owned_values_;
+  std::vector<uint32_t> owned_table_;
+  // What lookups actually read (own or mapped view).
+  std::span<const uint64_t> keys_;     // by intern order
+  std::span<const uint32_t> offsets_;  // num_keys + 1 row starts
+  std::span<const uint32_t> values_;   // concatenated posting lists
+  std::span<const uint32_t> table_;    // open addressing: key index + 1
+  bool borrowed_ = false;
 };
 
 }  // namespace gbkmv

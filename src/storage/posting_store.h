@@ -9,6 +9,13 @@
 // a contiguous ascending item range, per-shard counts become shard-ordered
 // write offsets, so the layout is byte-identical to a serial build for ANY
 // thread count — the invariant tests/parallel_equivalence_test.cc enforces.
+//
+// Ownership (docs/architecture.md "Borrowed memory"): the store reads
+// through spans that normally alias its own vectors. LoadFromAligned with
+// borrow=true instead points them into an externally owned buffer (a mapped
+// snapshot section); the caller must then keep that buffer alive for the
+// store's lifetime. Copying a borrowed store copies the spans, not the
+// bytes.
 
 #ifndef GBKMV_STORAGE_POSTING_STORE_H_
 #define GBKMV_STORAGE_POSTING_STORE_H_
@@ -16,10 +23,12 @@
 #include <algorithm>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "io/serializer.h"
 
 namespace gbkmv {
 
@@ -27,6 +36,35 @@ template <typename V>
 class CsrStore {
  public:
   CsrStore() = default;
+
+  // Own-or-view bookkeeping: moves steal the owned vectors (heap buffers —
+  // and therefore the aliasing spans — stay put), copies deep-copy owned
+  // state and re-point the spans, borrowed spans transfer verbatim.
+  CsrStore(CsrStore&& other) noexcept { *this = std::move(other); }
+  CsrStore& operator=(CsrStore&& other) noexcept {
+    if (this == &other) return *this;
+    const bool borrowed = other.borrowed_;
+    owned_offsets_ = std::move(other.owned_offsets_);
+    owned_values_ = std::move(other.owned_values_);
+    offsets_ = borrowed ? other.offsets_
+                        : std::span<const uint32_t>(owned_offsets_);
+    values_ = borrowed ? other.values_ : std::span<const V>(owned_values_);
+    borrowed_ = borrowed;
+    other.Reset();
+    return *this;
+  }
+  CsrStore(const CsrStore& other) { *this = other; }
+  CsrStore& operator=(const CsrStore& other) {
+    if (this == &other) return *this;
+    owned_offsets_ = other.owned_offsets_;
+    owned_values_ = other.owned_values_;
+    offsets_ = other.borrowed_ ? other.offsets_
+                               : std::span<const uint32_t>(owned_offsets_);
+    values_ =
+        other.borrowed_ ? other.values_ : std::span<const V>(owned_values_);
+    borrowed_ = other.borrowed_;
+    return *this;
+  }
 
   // Builds the store from a deterministic enumeration of (key, value) pairs.
   // `emit(item, fn)` must call fn(key, value) for every pair produced by
@@ -39,7 +77,7 @@ class CsrStore {
   static CsrStore Build(size_t num_keys, size_t num_items, const EmitFn& emit,
                         ThreadPool* pool = nullptr, uint64_t total_hint = 0) {
     CsrStore store;
-    store.offsets_.assign(num_keys + 1, 0);
+    store.owned_offsets_.assign(num_keys + 1, 0);
 
     // The per-shard count matrix costs num_chunks * num_keys transient
     // words; fall back to one chunk when the key space dwarfs the data.
@@ -79,19 +117,19 @@ class CsrStore {
         shard_counts[c][key] = total;
         total += count;
       }
-      store.offsets_[key + 1] = total;
+      store.owned_offsets_[key + 1] = total;
     }
     uint64_t total = 0;
     for (size_t key = 0; key < num_keys; ++key) {
-      total += store.offsets_[key + 1];
+      total += store.owned_offsets_[key + 1];
       GBKMV_CHECK(total <= UINT32_MAX);
-      store.offsets_[key + 1] = static_cast<uint32_t>(total);
+      store.owned_offsets_[key + 1] = static_cast<uint32_t>(total);
     }
-    store.values_.resize(static_cast<size_t>(total));
+    store.owned_values_.resize(static_cast<size_t>(total));
 
     // Pass 2: scatter each shard's values into its reserved slices.
-    const uint32_t* offsets = store.offsets_.data();
-    V* values = store.values_.data();
+    const uint32_t* offsets = store.owned_offsets_.data();
+    V* values = store.owned_values_.data();
     const auto scatter_range = [&](size_t begin, size_t end, size_t chunk) {
       std::vector<uint32_t>& cursor = shard_counts[chunk];
       for (size_t i = begin; i < end; ++i) {
@@ -105,6 +143,7 @@ class CsrStore {
     } else {
       pool->ParallelFor(0, num_items, grain, scatter_range);
     }
+    store.AdoptOwned();
     return store;
   }
 
@@ -119,17 +158,95 @@ class CsrStore {
     return offsets_.empty() ? 0 : offsets_.size() - 1;
   }
   uint64_t size() const { return values_.size(); }
+  bool borrowed() const { return borrowed_; }
 
   // Resident storage in 32-bit units: the offsets array plus the payload.
+  // Borrowed rows live in the mapping (shared, evictable clean pages) but
+  // count the same — it is the serving footprint either way.
   uint64_t SpaceUnits() const {
     static_assert(sizeof(V) % sizeof(uint32_t) == 0);
     return offsets_.size() +
            values_.size() * (sizeof(V) / sizeof(uint32_t));
   }
 
+  // Aligned-array serialization (snapshot v3): offsets and values verbatim,
+  // each 64-byte aligned, so a mapped load can serve them in place.
+  void SaveToAligned(io::Writer* out) const {
+    static_assert(sizeof(V) == sizeof(uint32_t));
+    out->PutU32Array(offsets_.data(), offsets_.size());
+    out->PutU32Array(reinterpret_cast<const uint32_t*>(values_.data()),
+                     values_.size());
+  }
+
+  // Counterpart of SaveToAligned. Validates shape (num_keys + 1 offsets,
+  // monotone, final offset == value count) and that every value is
+  // < value_bound. borrow=true keeps spans into the reader's buffer — the
+  // mapped path; borrow=false copies into owned vectors.
+  Status LoadFromAligned(io::Reader* in, size_t num_keys, uint64_t value_bound,
+                         bool borrow) {
+    static_assert(sizeof(V) == sizeof(uint32_t));
+    Reset();
+    if (borrow) {
+      std::span<const uint32_t> offsets;
+      std::span<const uint32_t> values;
+      GBKMV_RETURN_IF_ERROR(in->GetU32Span(&offsets));
+      GBKMV_RETURN_IF_ERROR(in->GetU32Span(&values));
+      offsets_ = offsets;
+      values_ = std::span<const V>(reinterpret_cast<const V*>(values.data()),
+                                   values.size());
+      borrowed_ = true;
+    } else {
+      std::vector<uint32_t> values;
+      GBKMV_RETURN_IF_ERROR(in->GetU32Array(&owned_offsets_));
+      GBKMV_RETURN_IF_ERROR(in->GetU32Array(&values));
+      owned_values_.assign(reinterpret_cast<const V*>(values.data()),
+                           reinterpret_cast<const V*>(values.data()) +
+                               values.size());
+      AdoptOwned();
+    }
+    if (offsets_.size() != num_keys + 1) {
+      Reset();
+      return Status::Corruption("csr store: offsets size mismatch");
+    }
+    if (offsets_.front() != 0 ||
+        offsets_.back() != values_.size()) {
+      Reset();
+      return Status::Corruption("csr store: offset bounds mismatch");
+    }
+    for (size_t i = 1; i < offsets_.size(); ++i) {
+      if (offsets_[i] < offsets_[i - 1]) {
+        Reset();
+        return Status::Corruption("csr store: offsets not monotone");
+      }
+    }
+    for (const V& v : values_) {
+      if (static_cast<uint64_t>(v) >= value_bound) {
+        Reset();
+        return Status::Corruption("csr store: value out of range");
+      }
+    }
+    return Status::OK();
+  }
+
  private:
-  std::vector<uint32_t> offsets_;  // num_keys + 1 row starts
-  std::vector<V> values_;          // concatenated rows
+  void AdoptOwned() {
+    offsets_ = std::span<const uint32_t>(owned_offsets_);
+    values_ = std::span<const V>(owned_values_);
+    borrowed_ = false;
+  }
+  void Reset() {
+    owned_offsets_.clear();
+    owned_values_.clear();
+    offsets_ = {};
+    values_ = {};
+    borrowed_ = false;
+  }
+
+  std::vector<uint32_t> owned_offsets_;  // backing store when not borrowed
+  std::vector<V> owned_values_;
+  std::span<const uint32_t> offsets_;  // num_keys + 1 row starts
+  std::span<const V> values_;          // concatenated rows
+  bool borrowed_ = false;
 };
 
 // Element -> record-id postings, the layout shared by the exact searchers.

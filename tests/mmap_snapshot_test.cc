@@ -1,0 +1,225 @@
+// The bit-identical-serve invariant of the zero-copy loader
+// (docs/architecture.md "Borrowed memory"): for every snapshot-capable
+// searcher, LoadSearcherSnapshotAuto must answer queries — hit ids AND
+// float scores AND stats — exactly like the copying loader, whether the
+// snapshot was served out of the mapping (gbkmv-index, freqset-index) or
+// fell back to the copying path. Also covers the version gate (v1/v2 files
+// are FailedPrecondition for MmapSnapshot::Open, transparent fallback in
+// the auto loader) and the GBKMV_FORCE_COPY_LOAD override.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "eval/ground_truth.h"
+#include "index/dynamic_index.h"
+#include "index/freqset.h"
+#include "index/gbkmv_index.h"
+#include "index/lsh_ensemble.h"
+#include "index/searcher_registry.h"
+#include "io/mmap_snapshot.h"
+#include "io/snapshot.h"
+
+namespace gbkmv {
+namespace {
+
+std::string FixturePath(const std::string& name) {
+  return std::string(GBKMV_TESTDATA_DIR) + "/" + name;
+}
+
+// Sets GBKMV_FORCE_COPY_LOAD for a scope and restores the prior value on
+// exit, so the toggle composes with the CI leg that pre-sets the override
+// for the whole process.
+class ScopedForceCopyLoad {
+ public:
+  ScopedForceCopyLoad() {
+    if (const char* prior = std::getenv("GBKMV_FORCE_COPY_LOAD")) {
+      prior_ = prior;
+    }
+    ::setenv("GBKMV_FORCE_COPY_LOAD", "1", 1);
+  }
+  ~ScopedForceCopyLoad() {
+    if (prior_.has_value()) {
+      ::setenv("GBKMV_FORCE_COPY_LOAD", prior_->c_str(), 1);
+    } else {
+      ::unsetenv("GBKMV_FORCE_COPY_LOAD");
+    }
+  }
+
+ private:
+  std::optional<std::string> prior_;
+};
+
+Dataset TestDataset() {
+  SyntheticConfig config;
+  config.name = "mmap-test";
+  config.num_records = 250;
+  config.universe_size = 1800;
+  config.min_record_size = 6;
+  config.max_record_size = 70;
+  config.alpha_element_freq = 1.1;
+  config.alpha_record_size = 2.0;
+  config.seed = 808;
+  Result<Dataset> dataset = GenerateSynthetic(config);
+  EXPECT_TRUE(dataset.ok());
+  return std::move(dataset.value());
+}
+
+// Every searcher that can write a snapshot, built over `dataset`. The bool
+// says whether the auto loader is expected to take the mapped path.
+std::vector<std::pair<std::unique_ptr<ContainmentSearcher>, bool>>
+BuildSnapshotCapableSearchers(const Dataset& dataset) {
+  std::vector<std::pair<std::unique_ptr<ContainmentSearcher>, bool>> out;
+
+  GbKmvIndexOptions gb_options;
+  gb_options.space_ratio = 0.10;
+  gb_options.buffer_bits = 16;
+  auto gb = GbKmvIndexSearcher::Create(dataset, gb_options);
+  EXPECT_TRUE(gb.ok()) << gb.status().ToString();
+  out.emplace_back(std::move(gb.value()), /*mapped=*/true);
+
+  out.emplace_back(std::make_unique<FreqSetSearcher>(dataset),
+                   /*mapped=*/true);
+
+  DynamicGbKmvOptions dyn_options;
+  dyn_options.budget_units = dataset.total_elements() / 10;
+  dyn_options.buffer_bits = 16;
+  auto dyn = DynamicGbKmvIndex::Create(dataset, dyn_options);
+  EXPECT_TRUE(dyn.ok()) << dyn.status().ToString();
+  out.emplace_back(std::move(dyn.value()), /*mapped=*/false);
+
+  LshEnsembleOptions lshe_options;
+  lshe_options.num_hashes = 32;
+  lshe_options.num_partitions = 4;
+  auto lshe = LshEnsembleSearcher::Create(dataset, lshe_options);
+  EXPECT_TRUE(lshe.ok()) << lshe.status().ToString();
+  out.emplace_back(std::move(lshe.value()), /*mapped=*/false);
+
+  return out;
+}
+
+// Full-response equality (ids, float scores, stats) between `a` and `b`
+// over a fixed query workload: thresholds x {all-hits, top-k} shapes.
+void ExpectBitIdenticalResponses(const ContainmentSearcher& a,
+                                 const ContainmentSearcher& b,
+                                 const Dataset& dataset) {
+  QueryContext& ctx = ThreadLocalQueryContext();
+  for (double threshold : {0.3, 0.5, 0.8}) {
+    for (RecordId id : SampleQueries(dataset, 20, /*seed=*/99)) {
+      const Record query = dataset.record(id);
+      for (size_t top_k : {size_t{0}, size_t{5}}) {
+        QueryRequest request(query, threshold);
+        request.top_k = top_k;
+        request.want_scores = true;
+        EXPECT_EQ(a.SearchQ(request, ctx), b.SearchQ(request, ctx))
+            << a.name() << " t*=" << threshold << " top_k=" << top_k;
+      }
+    }
+  }
+}
+
+TEST(MmapSnapshotTest, MappedAndCopyingLoadersAreBitIdentical) {
+  // Under the CI leg that exports GBKMV_FORCE_COPY_LOAD for the whole
+  // process the "mapped" load is also a copying load — the three-way
+  // comparison below still has to hold.
+  const bool force_copy_env =
+      std::getenv("GBKMV_FORCE_COPY_LOAD") != nullptr;
+  const Dataset dataset = TestDataset();
+  for (auto& [searcher, expect_mapped] :
+       BuildSnapshotCapableSearchers(dataset)) {
+    const std::string path =
+        ::testing::TempDir() + "mmap_bitident_" + searcher->name() + ".snap";
+    ASSERT_TRUE(searcher->SaveSnapshot(path).ok()) << searcher->name();
+
+    Result<MappedSearcher> mapped = LoadSearcherSnapshotAuto(path);
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+    EXPECT_EQ(mapped->mapped(), expect_mapped && !force_copy_env)
+        << searcher->name();
+
+    Result<MappedSearcher> copied = [&] {
+      ScopedForceCopyLoad force;
+      return LoadSearcherSnapshotAuto(path);
+    }();
+    ASSERT_TRUE(copied.ok()) << copied.status().ToString();
+    EXPECT_FALSE(copied->mapped()) << searcher->name();
+
+    // Builder vs mapped vs copying: all three must agree exactly.
+    ExpectBitIdenticalResponses(*searcher, *mapped->searcher, dataset);
+    ExpectBitIdenticalResponses(*mapped->searcher, *copied->searcher,
+                                dataset);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(MmapSnapshotTest, SearcherOutlivesNothingButTheMapping) {
+  // The MappedSearcher bundle keeps the mapping alive via shared_ptr; a
+  // moved-out mapping handle alone must be enough to keep serving.
+  if (std::getenv("GBKMV_FORCE_COPY_LOAD") != nullptr) {
+    GTEST_SKIP() << "mapped path disabled by GBKMV_FORCE_COPY_LOAD";
+  }
+  const Dataset dataset = TestDataset();
+  GbKmvIndexOptions options;
+  options.space_ratio = 0.10;
+  options.buffer_bits = 16;
+  auto built = GbKmvIndexSearcher::Create(dataset, options);
+  ASSERT_TRUE(built.ok());
+  const std::string path = ::testing::TempDir() + "mmap_alive.snap";
+  ASSERT_TRUE((*built)->SaveSnapshot(path).ok());
+
+  Result<MappedSearcher> mapped = LoadSearcherSnapshotAuto(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_TRUE(mapped->mapped());
+  // Deleting the file under an open mapping is fine on POSIX; the pages
+  // stay valid until the mapping is closed.
+  std::remove(path.c_str());
+  ExpectBitIdenticalResponses(**built, *mapped->searcher, dataset);
+}
+
+TEST(MmapSnapshotTest, PreV3SnapshotsAreFailedPreconditionForMmapOpen) {
+  for (const char* name : {"gbkmv_index.snap", "gbkmv_index_v2.snap"}) {
+    Result<io::MmapSnapshot> mapped = io::MmapSnapshot::Open(FixturePath(name));
+    ASSERT_FALSE(mapped.ok()) << name;
+    EXPECT_EQ(mapped.status().code(), StatusCode::kFailedPrecondition)
+        << name << ": " << mapped.status().ToString();
+  }
+}
+
+TEST(MmapSnapshotTest, AutoLoaderFallsBackToCopyingForPreV3Snapshots) {
+  for (const char* name : {"gbkmv_index.snap", "gbkmv_index_v2.snap"}) {
+    Result<MappedSearcher> loaded = LoadSearcherSnapshotAuto(FixturePath(name));
+    ASSERT_TRUE(loaded.ok()) << name << ": " << loaded.status().ToString();
+    EXPECT_FALSE(loaded->mapped()) << name;
+    EXPECT_NE(loaded->searcher, nullptr) << name;
+  }
+}
+
+TEST(MmapSnapshotTest, OpenValidatesAndExposesAlignedSectionTable) {
+  const Dataset dataset = TestDataset();
+  GbKmvIndexOptions options;
+  options.space_ratio = 0.10;
+  options.buffer_bits = 16;
+  auto built = GbKmvIndexSearcher::Create(dataset, options);
+  ASSERT_TRUE(built.ok());
+  const std::string path = ::testing::TempDir() + "mmap_table.snap";
+  ASSERT_TRUE((*built)->SaveSnapshot(path).ok());
+
+  Result<io::MmapSnapshot> mapped = io::MmapSnapshot::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->reader().version(), io::kSnapshotVersion);
+  ASSERT_FALSE(mapped->reader().section_table().empty());
+  for (const io::SnapshotSectionInfo& section :
+       mapped->reader().section_table()) {
+    EXPECT_EQ(section.alignment, io::kSectionAlignment) << section.tag;
+    EXPECT_EQ(section.offset % io::kSectionAlignment, 0u) << section.tag;
+  }
+  EXPECT_GT(mapped->file_size(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gbkmv

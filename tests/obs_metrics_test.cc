@@ -188,6 +188,20 @@ MetricsSnapshot PopulatedSnapshot() {
   return registry.Snapshot();
 }
 
+TEST(MetricsRegistryTest, ProcessRssGaugeReadsCurrentResidentSet) {
+  const uint64_t rss = ReadProcessRssBytes();
+#if defined(__linux__)
+  EXPECT_GT(rss, 0u);  // a running test binary has resident pages
+#endif
+  MetricsRegistry registry;
+  UpdateProcessGauges(registry);
+  if (rss > 0) {
+    const MetricsSnapshot snapshot = registry.Snapshot();
+    ASSERT_TRUE(snapshot.gauges.count("gbkmv_process_rss_bytes"));
+    EXPECT_GT(snapshot.gauges.at("gbkmv_process_rss_bytes"), 0);
+  }
+}
+
 TEST(MetricsJsonTest, RoundTripIsLossFree) {
   const MetricsSnapshot snapshot = PopulatedSnapshot();
   const std::string json = SnapshotToJson(snapshot);

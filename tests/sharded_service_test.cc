@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <set>
 
@@ -16,6 +17,7 @@
 #include "data/synthetic.h"
 #include "eval/ground_truth.h"
 #include "index/searcher_registry.h"
+#include "obs/metrics.h"
 #include "serve/partitioner.h"
 #include "serve/query_cache.h"
 #include "serve/sharded_service.h"
@@ -571,6 +573,196 @@ TEST(ShardedServiceTest, ManifestRoundTripsRebuildOnLoadMethod) {
     EXPECT_EQ(expected[i].hits, actual[i].hits) << "q" << i;
   }
   std::filesystem::remove_all(dir);
+}
+
+// Bit-identical-serve across loaders (docs/architecture.md "Borrowed
+// memory"): a service whose shards were mapped in place answers exactly —
+// hit ids and float scores — like one restored through the copying loader,
+// for every shard and thread count.
+TEST(ShardedServiceTest, MappedAndCopyingServiceLoadsAreBitIdentical) {
+  const Dataset& ds = TestDataset();
+  const std::string dir = ::testing::TempDir() + "sharded_loaders";
+  for (size_t num_shards : {size_t{1}, size_t{3}}) {
+    Result<std::unique_ptr<ShardedContainmentService>> built =
+        serve::BuildShardedService(ds,
+                                   ServiceConfig(SearchMethod::kGbKmv,
+                                                 num_shards));
+    ASSERT_TRUE(built.ok());
+    ASSERT_TRUE((*built)->Save(dir).ok());
+
+    Result<std::unique_ptr<ShardedContainmentService>> mapped =
+        ShardedContainmentService::Load(dir);
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+    // Restore (not unset) the override so the toggle composes with the CI
+    // leg that exports GBKMV_FORCE_COPY_LOAD for the whole process.
+    const char* prior_force = std::getenv("GBKMV_FORCE_COPY_LOAD");
+    const std::string prior_force_value = prior_force ? prior_force : "";
+    ::setenv("GBKMV_FORCE_COPY_LOAD", "1", 1);
+    Result<std::unique_ptr<ShardedContainmentService>> copied =
+        ShardedContainmentService::Load(dir);
+    if (prior_force != nullptr) {
+      ::setenv("GBKMV_FORCE_COPY_LOAD", prior_force_value.c_str(), 1);
+    } else {
+      ::unsetenv("GBKMV_FORCE_COPY_LOAD");
+    }
+    ASSERT_TRUE(copied.ok()) << copied.status().ToString();
+
+    const std::vector<Record> queries = TestQueries(25);
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      for (size_t top_k : {size_t{0}, size_t{5}}) {
+        const auto requests = MakeRequests(queries, 0.5, top_k, true);
+        const auto expected = (*copied)->BatchServe(requests, threads);
+        const auto actual = (*mapped)->BatchServe(requests, threads);
+        for (size_t i = 0; i < requests.size(); ++i) {
+          EXPECT_EQ(expected[i].hits, actual[i].hits)
+              << "S=" << num_shards << " threads=" << threads
+              << " top_k=" << top_k << " q" << i;
+        }
+      }
+    }
+    std::filesystem::remove_all(dir);
+  }
+}
+
+// Lazy activation (docs/sharding.md "Larger than RAM"): a service loaded
+// with max_resident_shards < S answers bit-identically to the eager load —
+// shards activate on first query, the LRU evicts down to the budget, and
+// evicted shards reactivate transparently on their next query.
+TEST(ShardedServiceTest, LazyLoadWithResidentBudgetServesIdentically) {
+  const Dataset& ds = TestDataset();
+  const std::string dir = ::testing::TempDir() + "sharded_lazy";
+  Result<std::unique_ptr<ShardedContainmentService>> service =
+      serve::BuildShardedService(ds, ServiceConfig(SearchMethod::kGbKmv, 4));
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)->Save(dir).ok());
+
+  Result<std::unique_ptr<ShardedContainmentService>> eager =
+      ShardedContainmentService::Load(dir);
+  ASSERT_TRUE(eager.ok()) << eager.status().ToString();
+
+  ShardedContainmentService::LoadOptions options;
+  options.max_resident_shards = 2;
+  const obs::MetricsSnapshot before = obs::GlobalMetrics().Snapshot();
+  Result<std::unique_ptr<ShardedContainmentService>> lazy =
+      ShardedContainmentService::Load(dir, options);
+  ASSERT_TRUE(lazy.ok()) << lazy.status().ToString();
+  // The manifest alone was read: nothing is resident yet.
+  const obs::MetricsSnapshot loaded = obs::GlobalMetrics().Snapshot();
+  EXPECT_EQ(loaded.counters.at("gbkmv_serve_shard_activations_total"),
+            before.counters.count("gbkmv_serve_shard_activations_total")
+                ? before.counters.at("gbkmv_serve_shard_activations_total")
+                : 0u);
+  EXPECT_EQ(4u, (*lazy)->num_shards());
+  EXPECT_EQ((*eager)->size(), (*lazy)->size());
+
+  const std::vector<Record> queries = TestQueries(20);
+  for (size_t round = 0; round < 3; ++round) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      const auto requests = MakeRequests(queries, 0.5, 0, true);
+      const auto expected = (*eager)->BatchServe(requests, threads);
+      const auto actual = (*lazy)->BatchServe(requests, threads);
+      for (size_t i = 0; i < requests.size(); ++i) {
+        EXPECT_EQ(expected[i].hits, actual[i].hits)
+            << "round=" << round << " threads=" << threads << " q" << i;
+      }
+    }
+  }
+
+  const obs::MetricsSnapshot after = obs::GlobalMetrics().Snapshot();
+  const uint64_t activations =
+      after.counters.at("gbkmv_serve_shard_activations_total") -
+      (before.counters.count("gbkmv_serve_shard_activations_total")
+           ? before.counters.at("gbkmv_serve_shard_activations_total")
+           : 0u);
+  const uint64_t evictions =
+      after.counters.at("gbkmv_serve_shard_evictions_total") -
+      (before.counters.count("gbkmv_serve_shard_evictions_total")
+           ? before.counters.at("gbkmv_serve_shard_evictions_total")
+           : 0u);
+  // Every batch pins all 4 shards but only 2 may stay resident, so each
+  // round re-activates evicted shards.
+  EXPECT_GE(activations, 4u);
+  EXPECT_GE(evictions, 2u);
+  EXPECT_LE(after.gauges.at("gbkmv_serve_resident_shards"), 2);
+  EXPECT_GT(after.gauges.at("gbkmv_serve_resident_shard_bytes"), 0);
+  std::filesystem::remove_all(dir);
+}
+
+// Same transparency for a byte budget and for a method whose shards persist
+// as dataset snapshots and rebuild on activation.
+TEST(ShardedServiceTest, LazyLoadByteBudgetAndRebuildMethod) {
+  const Dataset& ds = TestDataset();
+  const std::string dir = ::testing::TempDir() + "sharded_lazy_rebuild";
+  Result<std::unique_ptr<ShardedContainmentService>> service =
+      serve::BuildShardedService(ds, ServiceConfig(SearchMethod::kPPJoin, 3));
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)->Save(dir).ok());
+
+  ShardedContainmentService::LoadOptions options;
+  options.max_resident_bytes = 1;  // at most the pinned shard stays
+  Result<std::unique_ptr<ShardedContainmentService>> lazy =
+      ShardedContainmentService::Load(dir, options);
+  ASSERT_TRUE(lazy.ok()) << lazy.status().ToString();
+
+  const std::vector<Record> queries = TestQueries(10);
+  const auto requests = MakeRequests(queries, 0.5, 0, true);
+  const auto expected = (*service)->BatchServe(requests, 1);
+  for (size_t round = 0; round < 2; ++round) {
+    const auto actual = (*lazy)->BatchServe(requests, 1);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      EXPECT_EQ(expected[i].hits, actual[i].hits)
+          << "round=" << round << " q" << i;
+    }
+  }
+  EXPECT_LE(obs::GlobalMetrics().Snapshot().gauges.at(
+                "gbkmv_serve_resident_shards"),
+            1);
+  std::filesystem::remove_all(dir);
+}
+
+// A lazily loaded service still ingests, promotes, compacts and re-saves:
+// the promoted shard is memory-resident (never evicted), compaction reads
+// evicted shards' datasets back from their snapshots, and Save copies
+// evicted shards' snapshot files verbatim.
+TEST(ShardedServiceTest, LazyLoadMutationsAndResave) {
+  const Dataset& ds = TestDataset();
+  const std::string dir = ::testing::TempDir() + "sharded_lazy_mut";
+  const std::string dir2 = ::testing::TempDir() + "sharded_lazy_mut2";
+  Result<std::unique_ptr<ShardedContainmentService>> service =
+      serve::BuildShardedService(ds, ServiceConfig(SearchMethod::kGbKmv, 3));
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)->Save(dir).ok());
+
+  ShardedContainmentService::LoadOptions options;
+  options.max_resident_shards = 1;
+  Result<std::unique_ptr<ShardedContainmentService>> lazy =
+      ShardedContainmentService::Load(dir, options);
+  ASSERT_TRUE(lazy.ok()) << lazy.status().ToString();
+
+  const RecordId gid = (*lazy)->Ingest(MakeRecord({6000, 6001, 6002}));
+  EXPECT_EQ(ds.size(), static_cast<size_t>(gid));
+  ASSERT_TRUE((*lazy)->PromoteIngest().ok());
+  (*lazy)->Ingest(MakeRecord({6100, 6101}));
+  ASSERT_TRUE((*lazy)->PromoteIngest().ok());
+  EXPECT_EQ(5u, (*lazy)->num_shards());
+  ASSERT_TRUE((*lazy)->CompactPromoted().ok());
+  EXPECT_EQ(4u, (*lazy)->num_shards());
+
+  ASSERT_TRUE((*lazy)->Save(dir2).ok());
+  Result<std::unique_ptr<ShardedContainmentService>> reloaded =
+      ShardedContainmentService::Load(dir2);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ((*lazy)->size(), (*reloaded)->size());
+
+  const std::vector<Record> queries = TestQueries(10);
+  const auto requests = MakeRequests(queries, 0.5, 0, true);
+  const auto expected = (*lazy)->BatchServe(requests, 1);
+  const auto actual = (*reloaded)->BatchServe(requests, 1);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(expected[i].hits, actual[i].hits) << "q" << i;
+  }
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(dir2);
 }
 
 TEST(ShardedServiceTest, ManifestRejectedBySingleSearcherLoader) {

@@ -1,17 +1,21 @@
 // Backward compatibility of the snapshot format: the checked-in
-// tests/testdata/*.snap fixtures were written by the FORMAT VERSION 1 writer
-// (tools/make_snapshot_fixtures.cc, run before the flat-storage refactor
-// bumped the version to 2). The current reader must keep loading them —
-// converting the missing flat posting stores on read — and the loaded
-// searchers must answer queries identically to a freshly built index over
-// the same data and configuration.
+// tests/testdata/*.snap fixtures were written by OLDER writers — the
+// unsuffixed trio by the format-version-1 writer (before the flat-storage
+// refactor bumped the version to 2), the *_v2.snap trio by the version-2
+// writer (before the aligned-payload v3 format). The current reader must
+// keep loading both — converting on read through the copying path — the
+// loaded searchers must answer queries identically to a freshly built
+// index over the same data and configuration, and re-saving writes a
+// byte-stable v3 file (same bytes on every save of the same searcher).
 //
 // The dataset/searcher configuration constants here mirror
-// tools/make_snapshot_fixtures.cc; regenerate fixtures only when
-// introducing a new format version.
+// tools/make_snapshot_fixtures.cc; regenerate fixtures (the tool emits
+// version-suffixed names) only when introducing a new format version.
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <iterator>
 #include <string>
 
 #include "eval/ground_truth.h"
@@ -28,6 +32,12 @@ std::string FixturePath(const std::string& name) {
   return std::string(GBKMV_TESTDATA_DIR) + "/" + name;
 }
 
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
 void ExpectSameResults(const ContainmentSearcher& fixture,
                        const ContainmentSearcher& fresh,
                        const Dataset& dataset) {
@@ -40,12 +50,95 @@ void ExpectSameResults(const ContainmentSearcher& fixture,
   }
 }
 
-TEST(SnapshotCompatTest, FixturesAreFormatVersion1) {
+TEST(SnapshotCompatTest, FixturesCarryTheirFormatVersions) {
   for (const char* name :
        {"gbkmv_index.snap", "dynamic_index.snap", "lsh_ensemble.snap"}) {
     auto snapshot = io::SnapshotReader::Open(FixturePath(name));
     ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
     EXPECT_EQ(snapshot->version(), 1u) << name;
+  }
+  for (const char* name : {"gbkmv_index_v2.snap", "dynamic_index_v2.snap",
+                           "lsh_ensemble_v2.snap"}) {
+    auto snapshot = io::SnapshotReader::Open(FixturePath(name));
+    ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+    EXPECT_EQ(snapshot->version(), 2u) << name;
+    // v1/v2 entries predate the alignment field; the reader reports 1.
+    for (const io::SnapshotSectionInfo& s : snapshot->section_table()) {
+      EXPECT_EQ(s.alignment, 1u) << name << " section " << s.tag;
+    }
+  }
+}
+
+TEST(SnapshotCompatTest, GbKmvV2LoadsAndMatchesFreshBuild) {
+  auto loaded = LoadSearcherSnapshot(FixturePath("gbkmv_index_v2.snap"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_NE(loaded->dataset, nullptr);
+
+  GbKmvIndexOptions options;
+  options.space_ratio = 0.10;
+  options.buffer_bits = 16;
+  auto fresh = GbKmvIndexSearcher::Create(*loaded->dataset, options);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_EQ(loaded->searcher->BudgetSpaceUnits(), (*fresh)->BudgetSpaceUnits());
+  EXPECT_EQ(loaded->searcher->SpaceUnits(), (*fresh)->SpaceUnits());
+  ExpectSameResults(*loaded->searcher, **fresh, *loaded->dataset);
+}
+
+TEST(SnapshotCompatTest, DynamicAndLshV2LoadAndMatchTheirV1Fixtures) {
+  // The v1 and v2 fixture pairs were generated from the identical dataset
+  // and configuration, so their loaded searchers must agree exactly.
+  {
+    auto v1 = DynamicGbKmvIndex::Load(FixturePath("dynamic_index.snap"));
+    auto v2 = DynamicGbKmvIndex::Load(FixturePath("dynamic_index_v2.snap"));
+    ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+    ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+    std::vector<Record> records;
+    for (size_t i = 0; i < (*v1)->size(); ++i) {
+      records.push_back((*v1)->record(static_cast<RecordId>(i)));
+    }
+    auto dataset = Dataset::Create(std::move(records), "compat-fixture");
+    ASSERT_TRUE(dataset.ok());
+    EXPECT_EQ((*v1)->global_threshold(), (*v2)->global_threshold());
+    ExpectSameResults(**v1, **v2, *dataset);
+  }
+  {
+    auto v1 = LoadSearcherSnapshot(FixturePath("lsh_ensemble.snap"));
+    auto v2 = LoadSearcherSnapshot(FixturePath("lsh_ensemble_v2.snap"));
+    ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+    ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+    ExpectSameResults(*v1->searcher, *v2->searcher, *v1->dataset);
+  }
+}
+
+// v1 -> v3 and v2 -> v3 upgrade on re-save: the rewritten file is a valid
+// v3 snapshot, answers identically, and re-saving the reloaded searcher
+// reproduces the exact same bytes (the writer is canonical, so upgrades
+// are deterministic and diffs are meaningful).
+TEST(SnapshotCompatTest, PreV3FixturesResaveAsByteStableV3) {
+  for (const char* name : {"gbkmv_index.snap", "gbkmv_index_v2.snap"}) {
+    auto loaded = LoadSearcherSnapshot(FixturePath(name));
+    ASSERT_TRUE(loaded.ok()) << name << ": " << loaded.status().ToString();
+
+    const std::string first = ::testing::TempDir() + "compat_v3_a.snap";
+    const std::string second = ::testing::TempDir() + "compat_v3_b.snap";
+    ASSERT_TRUE(loaded->searcher->SaveSnapshot(first).ok()) << name;
+    auto reader = io::SnapshotReader::Open(first);
+    ASSERT_TRUE(reader.ok()) << name;
+    EXPECT_EQ(reader->version(), io::kSnapshotVersion) << name;
+    for (const io::SnapshotSectionInfo& s : reader->section_table()) {
+      EXPECT_EQ(s.alignment, io::kSectionAlignment)
+          << name << " section " << s.tag;
+    }
+
+    auto upgraded = LoadSearcherSnapshot(first);
+    ASSERT_TRUE(upgraded.ok()) << name << ": " << upgraded.status().ToString();
+    ExpectSameResults(*upgraded->searcher, *loaded->searcher,
+                      *loaded->dataset);
+    ASSERT_TRUE(upgraded->searcher->SaveSnapshot(second).ok()) << name;
+    EXPECT_EQ(ReadFileBytes(first), ReadFileBytes(second))
+        << name << ": v3 re-save is not byte-stable";
+    std::remove(first.c_str());
+    std::remove(second.c_str());
   }
 }
 
@@ -64,7 +157,7 @@ TEST(SnapshotCompatTest, GbKmvV1LoadsAndMatchesFreshBuild) {
   ExpectSameResults(*loaded->searcher, **fresh, *loaded->dataset);
 }
 
-TEST(SnapshotCompatTest, GbKmvV1ResavesAsV2AndStillMatches) {
+TEST(SnapshotCompatTest, GbKmvV1ResavesAsCurrentVersionAndStillMatches) {
   auto loaded = LoadSearcherSnapshot(FixturePath("gbkmv_index.snap"));
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
 

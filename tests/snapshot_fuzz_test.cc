@@ -17,6 +17,7 @@
 #include "data/synthetic.h"
 #include "index/gbkmv_index.h"
 #include "index/lsh_ensemble.h"
+#include "io/mmap_snapshot.h"
 #include "io/snapshot.h"
 #include "sketch/gbkmv.h"
 #include "sketch/gkmv.h"
@@ -163,6 +164,121 @@ TEST(SnapshotFuzzTest, RandomGbKmvIndexesRoundTripAndRejectByteFlips) {
     });
   }
   std::remove(path.c_str());
+}
+
+// --- v3 structural corruption, under BOTH loaders -------------------------
+// The mapped loader (io/mmap_snapshot.h) and the copying SnapshotReader
+// must agree on rejection: truncation at every section boundary, a
+// misaligned payload offset, and payload byte flips are all kCorruption —
+// and never a crash — whichever loader sees them first.
+
+void ExpectBothLoadersReject(const std::string& path, StatusCode expected,
+                             const std::string& what) {
+  Result<io::SnapshotReader> copying = io::SnapshotReader::Open(path);
+  ASSERT_FALSE(copying.ok()) << what << " accepted by copying loader";
+  EXPECT_EQ(copying.status().code(), expected)
+      << what << ": " << copying.status().ToString();
+  Result<io::MmapSnapshot> mapped = io::MmapSnapshot::Open(path);
+  ASSERT_FALSE(mapped.ok()) << what << " accepted by mapped loader";
+  EXPECT_EQ(mapped.status().code(), expected)
+      << what << ": " << mapped.status().ToString();
+}
+
+// A small v3 gbkmv-index snapshot plus its validated section table.
+struct V3Image {
+  std::string path;
+  std::string bytes;
+  std::vector<io::SnapshotSectionInfo> sections;
+};
+
+V3Image MakeV3Image(Rng& rng, const std::string& name) {
+  V3Image image;
+  image.path = TempPath(name);
+  Result<Dataset> ds = RandomDataset(rng);
+  EXPECT_TRUE(ds.ok());
+  GbKmvIndexOptions options;
+  options.space_ratio = 0.10;
+  options.buffer_bits = 16;
+  auto built = GbKmvIndexSearcher::Create(*ds, options);
+  EXPECT_TRUE(built.ok());
+  EXPECT_TRUE((*built)->Save(image.path).ok());
+  image.bytes = ReadFile(image.path);
+  auto reader = io::SnapshotReader::Open(image.path);
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(reader->version(), io::kSnapshotVersion);
+  image.sections = reader->section_table();
+  return image;
+}
+
+TEST(SnapshotFuzzTest, V3TruncationAtEverySectionBoundaryIsCorruption) {
+  Rng rng(0x7253c471ULL);
+  const V3Image image = MakeV3Image(rng, "v3_trunc.snap");
+  const std::string truncated = image.path + ".trunc";
+
+  // Header/table prefixes plus every payload boundary: each section's
+  // start, unpadded end, and padded end — and the file minus its 64-byte
+  // zero tail. Every one must be Corruption under both loaders.
+  std::vector<size_t> cuts = {0, 4, 8, 12, 15};
+  for (const io::SnapshotSectionInfo& s : image.sections) {
+    cuts.push_back(static_cast<size_t>(s.offset));
+    cuts.push_back(static_cast<size_t>(s.offset + s.length));
+    cuts.push_back(static_cast<size_t>(
+        (s.offset + s.length + io::kSectionAlignment - 1) /
+        io::kSectionAlignment * io::kSectionAlignment));
+  }
+  cuts.push_back(image.bytes.size() - io::kSectionAlignment);
+  cuts.push_back(image.bytes.size() - 1);
+  for (size_t cut : cuts) {
+    ASSERT_LT(cut, image.bytes.size());
+    WriteFile(truncated, image.bytes.substr(0, cut));
+    ExpectBothLoadersReject(truncated, StatusCode::kCorruption,
+                            "truncation at " + std::to_string(cut));
+  }
+  std::remove(truncated.c_str());
+  std::remove(image.path.c_str());
+}
+
+TEST(SnapshotFuzzTest, V3MisalignedPayloadOffsetIsCorruption) {
+  Rng rng(0x9e11a3b7ULL);
+  const V3Image image = MakeV3Image(rng, "v3_misalign.snap");
+  const std::string patched_path = image.path + ".misaligned";
+  // v3 table entries are 28 bytes after the 16-byte header: 4-byte tag,
+  // then the u64 offset we nudge off its 64-byte alignment. The per-entry
+  // alignment field and the canonical-layout walk must both catch it.
+  constexpr size_t kHeaderSize = 16;
+  constexpr size_t kEntrySize = 28;
+  for (size_t entry = 0; entry < image.sections.size(); ++entry) {
+    std::string patched = image.bytes;
+    const size_t offset_pos = kHeaderSize + entry * kEntrySize + 4;
+    ASSERT_LT(offset_pos, patched.size());
+    patched[offset_pos] = static_cast<char>(patched[offset_pos] + 1);
+    WriteFile(patched_path, patched);
+    ExpectBothLoadersReject(
+        patched_path, StatusCode::kCorruption,
+        "misaligned offset of section " + image.sections[entry].tag);
+  }
+  std::remove(patched_path.c_str());
+  std::remove(image.path.c_str());
+}
+
+TEST(SnapshotFuzzTest, V3PayloadByteFlipsAreCorruptionUnderBothLoaders) {
+  Rng rng(0x51a7e9d3ULL);
+  const V3Image image = MakeV3Image(rng, "v3_flip.snap");
+  const std::string flipped_path = image.path + ".flip";
+  const size_t payload_start = static_cast<size_t>(image.sections[0].offset);
+  for (int iter = 0; iter < 40; ++iter) {
+    std::string flipped = image.bytes;
+    const size_t offset =
+        payload_start +
+        rng.NextBounded(flipped.size() - payload_start);
+    flipped[offset] =
+        static_cast<char>(flipped[offset] ^ (1 + rng.NextBounded(255)));
+    WriteFile(flipped_path, flipped);
+    ExpectBothLoadersReject(flipped_path, StatusCode::kCorruption,
+                            "payload flip at " + std::to_string(offset));
+  }
+  std::remove(flipped_path.c_str());
+  std::remove(image.path.c_str());
 }
 
 TEST(SnapshotFuzzTest, RandomLshEnsemblesRoundTripAndRejectByteFlips) {

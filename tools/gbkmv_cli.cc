@@ -123,6 +123,9 @@ class CliObsSession {
   }
 
   ~CliObsSession() {
+    // Process-level gauges (RSS) read at export time, so every output mode
+    // below carries a current value.
+    obs::UpdateProcessGauges(obs::GlobalMetrics());
     dumper_.reset();  // final periodic flush covers json_out
     if (!g_obs.json_out.empty() && dumper_ == nullptr &&
         g_obs.interval_seconds <= 0.0) {
@@ -189,6 +192,8 @@ int Usage() {
                "[--cache=N] [--space=S]\n"
                "       gbkmv_cli serve-query <manifest-dir> <query-file|-> "
                "[--threshold=T] [--top-k=K] [--scores] [--stats]\n"
+               "       gbkmv_cli snapshot-info <file.snap>   (any v1/v2/v3 "
+               "snapshot: magic, version, section table)\n"
                "methods: gb-kmv g-kmv kmv lsh-e minhash-lsh a-mh ppjoin "
                "freqset brute-force (snapshots: gb-kmv g-kmv lsh-e freqset)\n"
                "freqset backend: --posting-store=flat|compressed "
@@ -584,11 +589,42 @@ int RunEval(const Dataset& dataset, const CliOptions& options) {
   return 0;
 }
 
+// snapshot-info: container-level introspection of any snapshot file (v1,
+// v2 or v3), independent of the kind that wrote it — magic, format
+// version, meta kind, and the validated section table.
+int RunSnapshotInfo(const char* path) {
+  Result<io::SnapshotReader> snapshot = io::SnapshotReader::Open(path);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "cannot read snapshot: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  std::string magic(io::kSnapshotMagic, sizeof(io::kSnapshotMagic));
+  std::printf("magic:   %s\n", magic.c_str());
+  std::printf("version: %u\n", snapshot->version());
+  Result<io::SnapshotMeta> meta = io::ReadSnapshotMeta(*snapshot);
+  if (meta.ok()) {
+    std::printf("kind:    %s\n", meta->kind.c_str());
+  }
+  Table table({"section", "offset", "length", "alignment", "crc32"});
+  for (const io::SnapshotSectionInfo& section : snapshot->section_table()) {
+    char crc[16];
+    std::snprintf(crc, sizeof(crc), "%08x", section.crc32);
+    table.AddRow({section.tag, std::to_string(section.offset),
+                  std::to_string(section.length),
+                  std::to_string(section.alignment), crc});
+  }
+  table.Print();
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 3) return Usage();
   CliOptions options;
   options.command = argv[1];
   options.dataset_path = argv[2];
+
+  if (options.command == "snapshot-info") return RunSnapshotInfo(argv[2]);
 
   // Snapshot-based query: gbkmv_cli query <in.snap> <query-file|-> [t*].
   // Dispatch on the positional query-file argument (the legacy dataset form

@@ -7,19 +7,45 @@
 // format version — the whole point of the checked-in files is that they were
 // produced by the previous writer.
 //
+// Each fixture is written twice: under its plain name (the v1-era files in
+// tests/testdata keep those) and under a _v<N> suffix carrying the format
+// version this binary writes (io::kSnapshotVersion). When bumping the
+// format, commit the suffixed outputs of the *pre-bump* build — that is how
+// the checked-in *_v2.snap trio was produced — and leave earlier fixtures
+// untouched.
+//
 // The dataset / searcher configuration here must stay in sync with the
 // constants in tests/snapshot_compat_test.cc.
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "data/synthetic.h"
 #include "index/dynamic_index.h"
 #include "index/gbkmv_index.h"
 #include "index/lsh_ensemble.h"
+#include "io/snapshot.h"
 
 namespace gbkmv {
 namespace {
+
+// Duplicates <dir>/<name>.snap as <dir>/<name>_v<version>.snap, the
+// version-suffixed form the compat tests read.
+bool CopyVersioned(const std::string& dir, const std::string& name) {
+  const std::string from = dir + "/" + name + ".snap";
+  const std::string to = dir + "/" + name + "_v" +
+                         std::to_string(io::kSnapshotVersion) + ".snap";
+  std::error_code ec;
+  std::filesystem::copy_file(
+      from, to, std::filesystem::copy_options::overwrite_existing, ec);
+  if (ec) {
+    std::fprintf(stderr, "copy %s -> %s: %s\n", from.c_str(), to.c_str(),
+                 ec.message().c_str());
+    return false;
+  }
+  return true;
+}
 
 int Main(int argc, char** argv) {
   if (argc != 2) {
@@ -57,6 +83,7 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "gbkmv-index save: %s\n", s.ToString().c_str());
     return 1;
   }
+  if (!CopyVersioned(dir, "gbkmv_index")) return 1;
 
   DynamicGbKmvOptions dyn_options;
   dyn_options.budget_units = dataset->total_elements() / 10;
@@ -67,6 +94,7 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "dynamic-index fixture failed\n");
     return 1;
   }
+  if (!CopyVersioned(dir, "dynamic_index")) return 1;
 
   LshEnsembleOptions lshe_options;
   lshe_options.num_hashes = 64;
@@ -77,6 +105,7 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "lsh-ensemble fixture failed\n");
     return 1;
   }
+  if (!CopyVersioned(dir, "lsh_ensemble")) return 1;
 
   std::printf("fixtures written to %s\n", dir.c_str());
   return 0;
