@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Guard for BENCH_serve_latency.json (schema v1, bench/serve_latency).
+
+Checks, in order:
+  1. schema: the saturation / latency / overload / reload sections exist
+     with positive QPS and sane counts (run with --schema-only for just
+     this — what the CI smoke job does, where absolute numbers on a loaded
+     runner are meaningless).
+  2. acceptance (--check, the nightly gate — the three claims the serving
+     front end exists to make):
+       a. micro-batching: batching-on saturation QPS >= batching-off QPS *
+          --batching-margin. The batcher's adaptive window must never cost
+          throughput at >= 4 connections; it usually wins by amortising
+          the per-call shard fan-out.
+       b. admission control: at 2x saturation the server shed requests
+          (429s observed), failed none, and the p99 of the requests it did
+          serve stays bounded: served_p99_us <= max(--overload-p99-floor-us,
+          --overload-p99-factor * the uncontended open-loop p99). Without
+          the admission bound this p99 would grow with test duration as the
+          queue stretches.
+       c. reload: traffic observed both epochs, zero failed responses,
+          zero responses whose payload mismatched the epoch they reported
+          (version mixing).
+  3. regression (only with --baseline): open-loop p99 must not exceed
+     baseline p99 * (1 + --tolerance), and saturation QPS must not fall
+     below baseline * (1 - --tolerance). Self-relative, so the nightly job
+     compares against its own previous artifact, not absolute numbers.
+
+Usage:
+  python3 bench/check_latency.py BENCH_serve_latency.json \
+      [--schema-only] [--check] [--baseline PREVIOUS.json] \
+      [--tolerance 0.25] [--batching-margin 1.0] \
+      [--overload-p99-factor 20] [--overload-p99-floor-us 50000]
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "gbkmv_serve_latency_v1"
+
+
+class CheckError(Exception):
+    """A check failed in a way the caller can act on (clear message, no
+    traceback): missing file, malformed JSON, stale schema, failed gate."""
+
+
+def load(path, role="report"):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        raise CheckError(
+            f"{role} file not found: {path}"
+            + ("\n  (refresh it with: bench/serve_latency --out=...)"
+               if role == "baseline" else ""))
+    except json.JSONDecodeError as e:
+        raise CheckError(f"{role} file {path} is not valid JSON: {e}")
+
+
+def require_schema(report, path, role):
+    schema = report.get("schema")
+    if schema != SCHEMA:
+        raise CheckError(
+            f"{role} file {path} has schema {schema!r}, expected "
+            f"{SCHEMA!r}; the file predates the current bench format — "
+            f"regenerate it with bench/serve_latency")
+
+
+def check_schema(report):
+    for section in ("config", "saturation", "latency", "overload", "reload"):
+        assert section in report, f"missing section '{section}'"
+    sat = report["saturation"]
+    assert sat["connections"] >= 4, "saturation ran with < 4 connections"
+    assert sat["batching_off_qps"] > 0, "non-positive batching-off qps"
+    assert sat["batching_on_qps"] > 0, "non-positive batching-on qps"
+    lat = report["latency"]
+    assert lat["served"] > 0, "latency phase served nothing"
+    for p in ("p50_us", "p99_us", "p999_us"):
+        assert lat[p] > 0, f"latency phase has non-positive {p}"
+    assert lat["p50_us"] <= lat["p99_us"] <= lat["p999_us"], (
+        "latency percentiles are not monotone")
+    over = report["overload"]
+    assert over["served"] + over["shed"] + over["failed"] > 0, (
+        "overload phase sent nothing")
+    rel = report["reload"]
+    for key in ("epoch1", "epoch2", "failed", "mismatched"):
+        assert key in rel, f"reload section missing '{key}'"
+    print(f"schema ok: saturation {sat['saturation_qps']:.0f} qps, "
+          f"open-loop p99 {lat['p99_us']:.0f}us")
+
+
+def check_acceptance(report, batching_margin, p99_factor, p99_floor_us):
+    sat = report["saturation"]
+    off, on = sat["batching_off_qps"], sat["batching_on_qps"]
+    floor = off * batching_margin
+    status = "batching ok" if on >= floor else "BATCHING"
+    print(f"{status}: on {on:.1f} qps vs off {off:.1f} qps "
+          f"({on / off:.2f}x, floor {floor:.1f})")
+    assert on >= floor, (
+        f"micro-batching lost throughput: on {on:.1f} qps < "
+        f"off {off:.1f} qps * {batching_margin}")
+
+    over = report["overload"]
+    lat = report["latency"]
+    assert over["shed"] > 0, (
+        "overload at 2x saturation shed nothing — admission control "
+        "did not engage")
+    assert over["served"] > 0, "overload phase served nothing"
+    assert over["failed"] == 0, (
+        f"overload phase had {over['failed']} failed (non-200/429) responses")
+    p99_bound = max(p99_floor_us, p99_factor * lat["p99_us"])
+    status = "overload ok" if over["served_p99_us"] <= p99_bound else "OVERLOAD"
+    print(f"{status}: {over['shed']} shed, {over['served']} served, "
+          f"served p99 {over['served_p99_us']:.0f}us (bound {p99_bound:.0f}us)")
+    assert over["served_p99_us"] <= p99_bound, (
+        f"served p99 under overload {over['served_p99_us']:.0f}us exceeds "
+        f"bound {p99_bound:.0f}us — admission control is not keeping the "
+        f"served tail flat")
+
+    rel = report["reload"]
+    assert rel["epoch1"] > 0 and rel["epoch2"] > 0, (
+        f"reload phase did not observe both epochs "
+        f"(epoch1={rel['epoch1']}, epoch2={rel['epoch2']}) — the swap "
+        f"happened outside the traffic window")
+    assert rel["failed"] == 0, (
+        f"reload phase had {rel['failed']} failed responses")
+    assert rel["mismatched"] == 0, (
+        f"reload phase had {rel['mismatched']} version-mixed responses — "
+        f"a payload did not match the epoch it reported")
+    print(f"reload ok: {rel['epoch1']} epoch-1 + {rel['epoch2']} epoch-2 "
+          f"responses, 0 failed, 0 mismatched")
+
+
+def check_regression(report, baseline, tolerance):
+    new_p99 = report["latency"]["p99_us"]
+    old_p99 = baseline["latency"]["p99_us"]
+    ceiling = old_p99 * (1.0 + tolerance)
+    status = "p99 ok" if new_p99 <= ceiling else "REGRESSION"
+    print(f"{status}: open-loop p99 {new_p99:.0f}us vs baseline "
+          f"{old_p99:.0f}us (ceiling {ceiling:.0f}us)")
+    assert new_p99 <= ceiling, (
+        f"open-loop p99 regressed: {new_p99:.0f}us > baseline "
+        f"{old_p99:.0f}us * (1 + {tolerance})")
+
+    new_qps = report["saturation"]["saturation_qps"]
+    old_qps = baseline["saturation"]["saturation_qps"]
+    floor = old_qps * (1.0 - tolerance)
+    status = "qps ok" if new_qps >= floor else "REGRESSION"
+    print(f"{status}: saturation {new_qps:.1f} qps vs baseline "
+          f"{old_qps:.1f} (floor {floor:.1f})")
+    assert new_qps >= floor, (
+        f"saturation QPS regressed: {new_qps:.1f} < baseline "
+        f"{old_qps:.1f} * (1 - {tolerance})")
+
+
+def main():
+    p = argparse.ArgumentParser()
+    p.add_argument("report")
+    p.add_argument("--schema-only", action="store_true")
+    p.add_argument("--check", action="store_true")
+    p.add_argument("--baseline")
+    p.add_argument("--tolerance", type=float, default=0.25)
+    p.add_argument("--batching-margin", type=float, default=1.0)
+    p.add_argument("--overload-p99-factor", type=float, default=20.0)
+    p.add_argument("--overload-p99-floor-us", type=float, default=50000.0)
+    args = p.parse_args()
+
+    report = load(args.report, role="report")
+    require_schema(report, args.report, "report")
+    check_schema(report)
+    if args.schema_only:
+        return
+    if args.check:
+        check_acceptance(report, args.batching_margin,
+                         args.overload_p99_factor, args.overload_p99_floor_us)
+    if args.baseline:
+        baseline = load(args.baseline, role="baseline")
+        require_schema(baseline, args.baseline, "baseline")
+        check_regression(report, baseline, args.tolerance)
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except (AssertionError, CheckError) as e:
+        print(f"FAIL: {e}", file=sys.stderr)
+        sys.exit(1)

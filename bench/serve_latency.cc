@@ -1,0 +1,576 @@
+// Open-loop latency harness for the serving front end (src/server,
+// docs/serving.md), emitted as BENCH_serve_latency.json so the nightly job
+// can gate on it with bench/check_latency.py --check.
+//
+// Four phases, each against a real Server on an ephemeral port, measured
+// over real sockets with the keep-alive client from server/http.h:
+//   * saturation — closed-loop: C connections issue queries back-to-back
+//                  against two server configs, micro-batching disabled
+//                  (max_batch=1, window=0) and enabled. The batched config
+//                  must not lose throughput; under concurrency it wins by
+//                  amortising the per-call shard fan-out.
+//   * latency    — open-loop: Poisson arrivals at half the saturated QPS.
+//                  Latency is completion minus *scheduled* arrival (not
+//                  send time), so coordinated omission cannot hide queueing:
+//                  a stalled server inflates the tail exactly as a real
+//                  client would experience it. Reports p50/p99/p999.
+//   * overload   — open-loop at 2x the saturated QPS against a server with
+//                  a deliberately tight admission bound. The server must
+//                  shed (429 + Retry-After) rather than queue without
+//                  bound, and the p99 of the requests it *does* serve must
+//                  stay in the same regime as the uncontended tail.
+//   * reload     — sustained traffic while /admin/reload swaps to a second
+//                  manifest built from a different dataset. Every response
+//                  must bit-match the direct Serve() answer of exactly the
+//                  epoch it reports: zero failures, zero version mixing.
+//
+// Flags: --records=N --universe=N --connections=N --duration=SECONDS
+//        --queries=N --threshold=T --topk=K --seed=N --out=PATH --smoke
+// Arrival schedules use a seeded mt19937_64: identical flags replay the
+// identical offered load.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "core/containment.h"
+#include "data/synthetic.h"
+#include "eval/ground_truth.h"
+#include "serve/sharded_service.h"
+#include "server/http.h"
+#include "server/server.h"
+#include "server/wire.h"
+
+namespace gbkmv {
+namespace {
+
+using serve::ShardedContainmentService;
+using server::HttpBlockingClient;
+using server::HttpClientResponse;
+using server::Server;
+using server::ServerOptions;
+
+struct Options {
+  size_t num_records = 4000;
+  size_t universe_size = 10000;
+  size_t num_connections = 8;
+  double duration_seconds = 2.0;
+  size_t num_queries = 64;
+  double threshold = 0.5;
+  size_t top_k = 10;
+  uint64_t seed = 20260808;
+  std::string out_path = "BENCH_serve_latency.json";
+  bool smoke = false;
+};
+
+Options ParseOptions(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--records=")) {
+      opt.num_records =
+          static_cast<size_t>(bench::ParseFlagU64("--records", v));
+    } else if (const char* v = value("--universe=")) {
+      opt.universe_size =
+          static_cast<size_t>(bench::ParseFlagU64("--universe", v));
+    } else if (const char* v = value("--connections=")) {
+      opt.num_connections =
+          static_cast<size_t>(bench::ParseFlagU64("--connections", v));
+    } else if (const char* v = value("--duration=")) {
+      opt.duration_seconds = bench::ParseFlagF64("--duration", v);
+    } else if (const char* v = value("--queries=")) {
+      opt.num_queries =
+          static_cast<size_t>(bench::ParseFlagU64("--queries", v));
+    } else if (const char* v = value("--threshold=")) {
+      opt.threshold = bench::ParseFlagF64("--threshold", v);
+    } else if (const char* v = value("--topk=")) {
+      opt.top_k = static_cast<size_t>(bench::ParseFlagU64("--topk", v));
+    } else if (const char* v = value("--seed=")) {
+      opt.seed = bench::ParseFlagU64("--seed", v);
+    } else if (const char* v = value("--out=")) {
+      opt.out_path = v;
+    } else if (arg == "--smoke") {
+      opt.smoke = true;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag '%s'\nusage: serve_latency [--records=N] "
+                   "[--universe=N] [--connections=N] [--duration=SECONDS] "
+                   "[--queries=N] [--threshold=T] [--topk=K] [--seed=N] "
+                   "[--out=PATH] [--smoke]\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+  if (opt.smoke) {
+    opt.num_records = 600;
+    opt.universe_size = 3000;
+    opt.num_connections = 4;
+    opt.duration_seconds = 0.4;
+    opt.num_queries = 32;
+  }
+  if (opt.num_connections < 4) {
+    // The batching claim is only meaningful with concurrent clients.
+    opt.num_connections = 4;
+  }
+  return opt;
+}
+
+void Die(const char* what, const Status& status) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  std::exit(1);
+}
+
+// Connect with a message that names the endpoint — a refused socket must
+// read as "the server is not there", not as a stack trace.
+void ConnectOrDie(HttpBlockingClient& client, uint16_t port) {
+  Status s = client.Connect("127.0.0.1", port);
+  if (!s.ok()) {
+    std::fprintf(stderr,
+                 "cannot connect to 127.0.0.1:%u: %s\n"
+                 "  (the in-process server failed to accept; see above "
+                 "for startup errors)\n",
+                 static_cast<unsigned>(port), s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+double Percentile(std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const size_t index = std::min(
+      sorted_us.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted_us.size())));
+  return sorted_us[index];
+}
+
+struct LatencySummary {
+  size_t count = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+};
+
+LatencySummary Summarize(std::vector<double> latencies_us) {
+  LatencySummary s;
+  s.count = latencies_us.size();
+  if (latencies_us.empty()) return s;
+  double sum = 0.0;
+  for (double v : latencies_us) sum += v;
+  s.mean_us = sum / static_cast<double>(latencies_us.size());
+  std::sort(latencies_us.begin(), latencies_us.end());
+  s.p50_us = Percentile(latencies_us, 0.50);
+  s.p99_us = Percentile(latencies_us, 0.99);
+  s.p999_us = Percentile(latencies_us, 0.999);
+  return s;
+}
+
+std::string QueryJson(const Record& record, double threshold, size_t top_k) {
+  std::string json = "{\"elements\":[";
+  for (size_t i = 0; i < record.size(); ++i) {
+    if (i > 0) json += ",";
+    json += std::to_string(record[i]);
+  }
+  char tail[64];
+  std::snprintf(tail, sizeof(tail), "],\"threshold\":%.6f,\"top_k\":%zu}",
+                threshold, top_k);
+  return json + tail;
+}
+
+// --- closed-loop saturation ------------------------------------------------
+
+// C connections, each querying back-to-back for `seconds`; returns QPS.
+double MeasureSaturation(uint16_t port, const std::vector<std::string>& bodies,
+                         size_t connections, double seconds) {
+  std::atomic<size_t> completed{0};
+  std::atomic<size_t> failed{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < connections; ++c) {
+    clients.emplace_back([&, c] {
+      HttpBlockingClient client;
+      ConnectOrDie(client, port);
+      size_t i = c;
+      while (!stop.load(std::memory_order_relaxed)) {
+        Result<HttpClientResponse> r =
+            client.RoundTrip("POST", "/v1/query", bodies[i % bodies.size()]);
+        if (r.ok() && r->status == 200) {
+          completed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++i;
+      }
+    });
+  }
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+  const double elapsed = timer.ElapsedSeconds();
+  if (failed.load() != 0) {
+    std::fprintf(stderr, "saturation phase: %zu failed requests\n",
+                 failed.load());
+    std::exit(1);
+  }
+  return static_cast<double>(completed.load()) / elapsed;
+}
+
+// --- open-loop driver ------------------------------------------------------
+
+struct OpenLoopResult {
+  std::vector<double> served_us;  // latency of 200 responses
+  size_t served = 0;
+  size_t shed = 0;    // 429
+  size_t failed = 0;  // anything else
+  double elapsed_seconds = 0.0;
+};
+
+// Poisson arrivals at `target_qps` for `seconds`. Each arrival has a
+// scheduled absolute time; a pool of worker connections claims arrivals in
+// order, sleeps until the schedule says so, sends, and by default records
+// completion minus the *scheduled* time — workers all being busy shows up
+// as latency, never as a silently stretched schedule. `latency_from_send`
+// switches the reference point to the actual send, for phases driven past
+// client capacity on purpose (overload): there the scheduled-time metric
+// measures the client pool's own backlog, while send-relative latency is
+// what an admitted request experiences against the server.
+OpenLoopResult RunOpenLoop(uint16_t port, const std::vector<std::string>& bodies,
+                           double target_qps, double seconds, size_t workers,
+                           uint64_t seed, bool latency_from_send = false) {
+  std::vector<double> arrivals;  // offsets in seconds
+  std::mt19937_64 rng(seed);
+  std::exponential_distribution<double> gap(target_qps);
+  for (double t = gap(rng); t < seconds; t += gap(rng)) {
+    arrivals.push_back(t);
+  }
+
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  OpenLoopResult result;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  for (size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      HttpBlockingClient client;
+      ConnectOrDie(client, port);
+      std::vector<double> local_us;
+      size_t local_served = 0, local_shed = 0, local_failed = 0;
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= arrivals.size()) break;
+        const auto scheduled =
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(arrivals[i]));
+        std::this_thread::sleep_until(scheduled);
+        const auto sent = std::chrono::steady_clock::now();
+        Result<HttpClientResponse> r =
+            client.RoundTrip("POST", "/v1/query", bodies[i % bodies.size()]);
+        const auto done = std::chrono::steady_clock::now();
+        if (r.ok() && r->status == 200) {
+          ++local_served;
+          local_us.push_back(std::chrono::duration<double, std::micro>(
+                                 done - (latency_from_send ? sent : scheduled))
+                                 .count());
+        } else if (r.ok() && r->status == 429) {
+          ++local_shed;
+        } else {
+          ++local_failed;
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      result.served += local_served;
+      result.shed += local_shed;
+      result.failed += local_failed;
+      result.served_us.insert(result.served_us.end(), local_us.begin(),
+                              local_us.end());
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+// --- main ------------------------------------------------------------------
+
+Dataset MakeDataset(const Options& opt, uint64_t seed, const char* name) {
+  SyntheticConfig config;
+  config.name = name;
+  config.num_records = opt.num_records;
+  config.universe_size = opt.universe_size;
+  config.min_record_size = 8;
+  config.max_record_size = opt.smoke ? 80 : 200;
+  config.alpha_element_freq = 1.1;
+  config.alpha_record_size = 2.0;
+  config.seed = seed;
+  Result<Dataset> dataset = GenerateSynthetic(config);
+  if (!dataset.ok()) Die("dataset generation", dataset.status());
+  return std::move(dataset.value());
+}
+
+std::shared_ptr<ShardedContainmentService> BuildService(
+    const Dataset& dataset) {
+  SearcherConfig config;
+  config.method = SearchMethod::kGbKmv;
+  config.sharded.num_shards = 2;
+  Result<std::unique_ptr<ShardedContainmentService>> service =
+      serve::BuildShardedService(dataset, config);
+  if (!service.ok()) Die("service build", service.status());
+  return std::shared_ptr<ShardedContainmentService>(
+      std::move(service.value()));
+}
+
+std::unique_ptr<Server> StartOrDie(
+    std::shared_ptr<ShardedContainmentService> service,
+    const ServerOptions& options) {
+  Result<std::unique_ptr<Server>> server =
+      Server::Start(std::move(service), options);
+  if (!server.ok()) Die("server start", server.status());
+  return std::move(server.value());
+}
+
+int Main(int argc, char** argv) {
+  const Options opt = ParseOptions(argc, argv);
+
+  const Dataset dataset = MakeDataset(opt, opt.seed, "serve-latency-bench");
+  std::shared_ptr<ShardedContainmentService> service = BuildService(dataset);
+
+  std::vector<Record> queries;
+  std::vector<std::string> bodies;
+  for (RecordId id :
+       SampleQueries(dataset, opt.num_queries, /*seed=*/opt.seed + 1)) {
+    queries.push_back(dataset.record(id));
+    bodies.push_back(QueryJson(dataset.record(id), opt.threshold, opt.top_k));
+  }
+
+  // --- saturation: batching off vs on -----------------------------------
+  ServerOptions off_options;
+  off_options.port = 0;
+  off_options.num_reactors = 2;
+  off_options.max_batch = 1;
+  off_options.max_batch_window_us = 0;
+  std::unique_ptr<Server> off_server = StartOrDie(service, off_options);
+  const double off_qps =
+      MeasureSaturation(off_server->port(), bodies, opt.num_connections,
+                        opt.duration_seconds);
+  off_server->Shutdown();
+  off_server.reset();
+
+  ServerOptions on_options;
+  on_options.port = 0;
+  on_options.num_reactors = 2;
+  on_options.max_batch = 32;
+  on_options.max_batch_window_us = 200;
+  std::unique_ptr<Server> on_server = StartOrDie(service, on_options);
+  const double on_qps =
+      MeasureSaturation(on_server->port(), bodies, opt.num_connections,
+                        opt.duration_seconds);
+  std::printf("saturation (%zu connections): batching off %.1f qps, "
+              "on %.1f qps (%.2fx)\n",
+              opt.num_connections, off_qps, on_qps,
+              off_qps > 0 ? on_qps / off_qps : 0.0);
+
+  // --- open-loop latency at half saturation ------------------------------
+  const double saturation_qps = std::max(off_qps, on_qps);
+  const double latency_qps = std::max(1.0, 0.5 * saturation_qps);
+  OpenLoopResult latency = RunOpenLoop(
+      on_server->port(), bodies, latency_qps, opt.duration_seconds,
+      /*workers=*/opt.num_connections * 2, opt.seed + 2);
+  if (latency.failed != 0 || latency.served == 0) {
+    std::fprintf(stderr, "latency phase: %zu served, %zu failed\n",
+                 latency.served, latency.failed);
+    std::exit(1);
+  }
+  const LatencySummary lat = Summarize(std::move(latency.served_us));
+  const double achieved_qps =
+      static_cast<double>(latency.served) / latency.elapsed_seconds;
+  std::printf("latency @ %.1f qps (achieved %.1f): p50 %.0fus  p99 %.0fus  "
+              "p999 %.0fus  (%zu served, %zu shed)\n",
+              latency_qps, achieved_qps, lat.p50_us, lat.p99_us, lat.p999_us,
+              latency.served, latency.shed);
+  on_server->Shutdown();
+  on_server.reset();
+
+  // --- overload at 2x saturation against a tight admission bound ---------
+  // The queue bound is what keeps served-p99 flat: with at most 16 queries
+  // ever waiting, queue delay is bounded by 16/saturation_qps regardless
+  // of how far offered load exceeds capacity. The worker pool must be
+  // deep enough to actually present more concurrency than the admission
+  // bound, or the phase degenerates into a closed loop that never sheds.
+  ServerOptions overload_options = on_options;
+  overload_options.max_queue_depth = 16;
+  overload_options.max_inflight = 32;
+  std::unique_ptr<Server> overload_server =
+      StartOrDie(service, overload_options);
+  const double overload_qps = 2.0 * saturation_qps;
+  OpenLoopResult overload = RunOpenLoop(
+      overload_server->port(), bodies, overload_qps, opt.duration_seconds,
+      /*workers=*/std::max<size_t>(96, opt.num_connections * 8),
+      opt.seed + 3, /*latency_from_send=*/true);
+  const LatencySummary served = Summarize(std::move(overload.served_us));
+  std::printf("overload @ %.1f qps: %zu served, %zu shed (429), %zu failed; "
+              "served p99 %.0fus\n",
+              overload_qps, overload.served, overload.shed, overload.failed,
+              served.p99_us);
+  overload_server->Shutdown();
+  overload_server.reset();
+
+  // --- reload under sustained traffic ------------------------------------
+  // A second manifest from a different dataset answers the same queries
+  // differently, so any version mixing is visible in the payload, not just
+  // the epoch field.
+  const Dataset dataset_b =
+      MakeDataset(opt, opt.seed + 100, "serve-latency-bench-b");
+  std::shared_ptr<ShardedContainmentService> service_b =
+      BuildService(dataset_b);
+  const std::string dir_b =
+      (std::filesystem::temp_directory_path() / "gbkmv_serve_latency_b")
+          .string();
+  std::filesystem::remove_all(dir_b);
+  if (Status s = service_b->Save(dir_b); !s.ok()) Die("manifest save", s);
+
+  std::vector<QueryResponse> expected_a;
+  std::vector<QueryResponse> expected_b;
+  for (const Record& q : queries) {
+    QueryRequest request(q, opt.threshold);
+    request.top_k = opt.top_k;
+    expected_a.push_back(service->Serve(request));
+    expected_b.push_back(service_b->Serve(request));
+  }
+
+  std::unique_ptr<Server> reload_server = StartOrDie(service, on_options);
+  std::atomic<bool> reload_stop{false};
+  std::atomic<size_t> reload_epoch1{0};
+  std::atomic<size_t> reload_epoch2{0};
+  std::atomic<size_t> reload_failed{0};
+  std::atomic<size_t> reload_mismatched{0};
+  std::vector<std::thread> reload_clients;
+  for (size_t c = 0; c < opt.num_connections; ++c) {
+    reload_clients.emplace_back([&, c] {
+      HttpBlockingClient client;
+      ConnectOrDie(client, reload_server->port());
+      size_t i = c;
+      while (!reload_stop.load(std::memory_order_relaxed)) {
+        const size_t qi = i % bodies.size();
+        Result<HttpClientResponse> r =
+            client.RoundTrip("POST", "/v1/query", bodies[qi]);
+        if (!r.ok() || r->status != 200) {
+          reload_failed.fetch_add(1, std::memory_order_relaxed);
+          ++i;
+          continue;
+        }
+        Result<server::WireQueryResult> wire =
+            server::ParseQueryResult(r->body);
+        if (!wire.ok() || (wire->epoch != 1 && wire->epoch != 2)) {
+          reload_failed.fetch_add(1, std::memory_order_relaxed);
+          ++i;
+          continue;
+        }
+        const QueryResponse& want =
+            wire->epoch == 1 ? expected_a[qi] : expected_b[qi];
+        bool match = wire->hits.size() == want.hits.size();
+        for (size_t h = 0; match && h < want.hits.size(); ++h) {
+          match = wire->hits[h].id == want.hits[h].id &&
+                  wire->hits[h].score == want.hits[h].score;
+        }
+        if (match) {
+          (wire->epoch == 1 ? reload_epoch1 : reload_epoch2)
+              .fetch_add(1, std::memory_order_relaxed);
+        } else {
+          reload_mismatched.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++i;
+      }
+    });
+  }
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(opt.duration_seconds / 3));
+  {
+    HttpBlockingClient admin;
+    ConnectOrDie(admin, reload_server->port());
+    Result<HttpClientResponse> r = admin.RoundTrip(
+        "POST", "/admin/reload", "{\"dir\": \"" + dir_b + "\"}");
+    if (!r.ok() || r->status != 200) {
+      std::fprintf(stderr, "reload request failed: %s\n",
+                   r.ok() ? r->body.c_str() : r.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(opt.duration_seconds / 3));
+  reload_stop.store(true);
+  for (std::thread& t : reload_clients) t.join();
+  reload_server->Shutdown();
+  std::printf("reload: %zu epoch-1 + %zu epoch-2 responses, %zu failed, "
+              "%zu mismatched\n",
+              reload_epoch1.load(), reload_epoch2.load(),
+              reload_failed.load(), reload_mismatched.load());
+  std::filesystem::remove_all(dir_b);
+
+  // --- report -------------------------------------------------------------
+  std::FILE* f = std::fopen(opt.out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n",
+                 opt.out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"gbkmv_serve_latency_v1\",\n");
+  std::fprintf(f,
+               "  \"config\": {\"records\": %zu, \"universe\": %zu, "
+               "\"connections\": %zu, \"duration_seconds\": %.2f, "
+               "\"queries\": %zu, \"threshold\": %.3f, \"topk\": %zu, "
+               "\"seed\": %llu, \"smoke\": %s},\n",
+               opt.num_records, opt.universe_size, opt.num_connections,
+               opt.duration_seconds, opt.num_queries, opt.threshold,
+               opt.top_k, static_cast<unsigned long long>(opt.seed),
+               opt.smoke ? "true" : "false");
+  std::fprintf(f,
+               "  \"saturation\": {\"connections\": %zu, "
+               "\"batching_off_qps\": %.1f, \"batching_on_qps\": %.1f, "
+               "\"saturation_qps\": %.1f},\n",
+               opt.num_connections, off_qps, on_qps, saturation_qps);
+  std::fprintf(f,
+               "  \"latency\": {\"target_qps\": %.1f, \"achieved_qps\": "
+               "%.1f, \"served\": %zu, \"shed\": %zu, \"mean_us\": %.1f, "
+               "\"p50_us\": %.1f, \"p99_us\": %.1f, \"p999_us\": %.1f},\n",
+               latency_qps, achieved_qps, latency.served, latency.shed,
+               lat.mean_us, lat.p50_us, lat.p99_us, lat.p999_us);
+  std::fprintf(f,
+               "  \"overload\": {\"target_qps\": %.1f, \"served\": %zu, "
+               "\"shed\": %zu, \"failed\": %zu, \"served_p50_us\": %.1f, "
+               "\"served_p99_us\": %.1f},\n",
+               overload_qps, overload.served, overload.shed, overload.failed,
+               served.p50_us, served.p99_us);
+  std::fprintf(f,
+               "  \"reload\": {\"epoch1\": %zu, \"epoch2\": %zu, "
+               "\"failed\": %zu, \"mismatched\": %zu}\n}\n",
+               reload_epoch1.load(), reload_epoch2.load(),
+               reload_failed.load(), reload_mismatched.load());
+  std::fclose(f);
+  std::printf("wrote %s\n", opt.out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace gbkmv
+
+int main(int argc, char** argv) { return gbkmv::Main(argc, argv); }

@@ -11,6 +11,7 @@ namespace obs {
 namespace {
 
 thread_local SpanSink* t_span_sink = nullptr;
+thread_local const BatchSpanSource* t_batch_span_source = nullptr;
 
 // Slow-query visibility in the metrics plane too: a spike shows up on a
 // dashboard counter even when nobody is reading the ring.
@@ -38,6 +39,8 @@ const char* StageName(Stage stage) {
     case Stage::kSketch: return "sketch";
     case Stage::kScan: return "scan";
     case Stage::kRefine: return "refine";
+    case Stage::kServerParse: return "server_parse";
+    case Stage::kServerQueue: return "server_queue";
   }
   return "unknown";
 }
@@ -146,6 +149,19 @@ ScopedSpanSink::ScopedSpanSink(SpanSink* sink) : previous_(t_span_sink) {
 }
 
 ScopedSpanSink::~ScopedSpanSink() { t_span_sink = previous_; }
+
+const BatchSpanSource* CurrentBatchSpanSource() {
+  return t_batch_span_source;
+}
+
+ScopedBatchSpanSource::ScopedBatchSpanSource(const BatchSpanSource* source)
+    : previous_(t_batch_span_source) {
+  t_batch_span_source = source;
+}
+
+ScopedBatchSpanSource::~ScopedBatchSpanSource() {
+  t_batch_span_source = previous_;
+}
 
 }  // namespace obs
 }  // namespace gbkmv

@@ -43,9 +43,11 @@ enum class Stage : uint8_t {
   kSketch = 5,       // searcher: query sketch construction
   kScan = 6,         // searcher: candidate generation (posting scans)
   kRefine = 7,       // searcher: candidate scoring / verification
+  kServerParse = 8,  // server: HTTP + JSON request decode on the reactor
+  kServerQueue = 9,  // server: admission-queue wait until batch formation
 };
 
-inline constexpr size_t kNumStages = 8;
+inline constexpr size_t kNumStages = 10;
 
 const char* StageName(Stage stage);
 
@@ -212,6 +214,61 @@ class StageTimer {
   SpanSink* sink_;
   Stage stage_;
   uint64_t start_ns_ = 0;
+};
+
+// --- network-server stage capture ------------------------------------------
+
+// The network front end (src/server) measures per-request work that happens
+// BEFORE ShardedContainmentService::BatchServe ever sees the batch: HTTP +
+// JSON decode on the reactor thread, and the admission-queue wait until the
+// micro-batcher formed the batch. Those spans carry absolute monotonic
+// timestamps; the serve layer's trace assembly re-bases each trace onto the
+// earliest server span so queue time shows up in total_ns and the span
+// offsets stay consistent.
+struct ServerSpan {
+  Stage stage = Stage::kServerQueue;
+  uint64_t start_ns = 0;  // absolute MonotonicNanos
+  uint64_t end_ns = 0;
+
+  friend bool operator==(const ServerSpan&, const ServerSpan&) = default;
+};
+
+// Per-request server spans for one BatchServe call, keyed by the request's
+// index in the batch. Immutable once built; the batch executor installs it
+// (ScopedBatchSpanSource) on the thread that calls BatchServe, and the serve
+// layer reads it while assembling sampled/slow traces on that same thread.
+// Like all tracing this is passive — responses never depend on it.
+class BatchSpanSource {
+ public:
+  explicit BatchSpanSource(std::vector<std::vector<ServerSpan>> spans)
+      : spans_(std::move(spans)) {}
+
+  // Spans of the batch's request_index-th request; nullptr when none.
+  const std::vector<ServerSpan>* SpansFor(size_t request_index) const {
+    if (request_index >= spans_.size() || spans_[request_index].empty()) {
+      return nullptr;
+    }
+    return &spans_[request_index];
+  }
+
+ private:
+  std::vector<std::vector<ServerSpan>> spans_;
+};
+
+// The source installed on this thread, or nullptr (every non-server batch).
+const BatchSpanSource* CurrentBatchSpanSource();
+
+// Installs `source` as the current thread's batch span source for the
+// enclosing scope (the server's BatchServe call).
+class ScopedBatchSpanSource {
+ public:
+  explicit ScopedBatchSpanSource(const BatchSpanSource* source);
+  ~ScopedBatchSpanSource();
+  ScopedBatchSpanSource(const ScopedBatchSpanSource&) = delete;
+  ScopedBatchSpanSource& operator=(const ScopedBatchSpanSource&) = delete;
+
+ private:
+  const BatchSpanSource* previous_;
 };
 
 }  // namespace obs

@@ -345,24 +345,38 @@ void RecordServeObservations(
   const ServeMetrics& metrics = Metrics();
   obs::Tracer& tracer = obs::GlobalTracer();
   const uint64_t slow_ns = tracer.slow_query_ns();
+  // The network server hands down per-request parse/queue spans through a
+  // thread-local source (obs/trace.h); nullptr everywhere else.
+  const obs::BatchSpanSource* batch_source = obs::CurrentBatchSpanSource();
   const size_t S = num_live;
   for (size_t i = 0; i < requests.size(); ++i) {
-    const uint64_t total_ns =
+    const std::vector<obs::ServerSpan>* server_spans =
+        batch_source != nullptr ? batch_source->SpansFor(i) : nullptr;
+    // Traces (but not the serve latency metric) re-base onto the earliest
+    // server span, so queue wait is part of the recorded total and the
+    // slow-query threshold sees what the client saw.
+    uint64_t base = serve_start[i];
+    if (server_spans != nullptr) {
+      for (const obs::ServerSpan& span : *server_spans) {
+        base = std::min(base, span.start_ns);
+      }
+    }
+    const uint64_t serve_ns =
         finish_ns[i] > serve_start[i] ? finish_ns[i] - serve_start[i] : 0;
-    if (metrics_on) metrics.latency_ns->Record(total_ns);
+    if (metrics_on) metrics.latency_ns->Record(serve_ns);
     if (!tracing) continue;
+    const uint64_t total_ns = finish_ns[i] > base ? finish_ns[i] - base : 0;
     const bool is_sampled = sampled[i] != 0;
     if (!is_sampled && !(slow_ns > 0 && total_ns >= slow_ns)) continue;
 
     obs::QueryTrace trace;
-    trace.start_ns = serve_start[i];
+    trace.start_ns = base;
     trace.total_ns = total_ns;
     trace.threshold = requests[i].threshold;
     trace.num_hits = static_cast<uint32_t>(results[i].hits.size());
     trace.shards_queried = results[i].stats.shards_queried;
     trace.cache_hit = origin[i] != kComputed;
     trace.sampled = is_sampled;
-    const uint64_t base = serve_start[i];
     const auto relative = [base](uint64_t ts) {
       return ts > base ? ts - base : 0;
     };
@@ -371,7 +385,14 @@ void RecordServeObservations(
         trace.spans.push_back(span);
       }
     };
-    push({obs::Stage::kCacheLookup, -1, 0,
+    if (server_spans != nullptr) {
+      for (const obs::ServerSpan& span : *server_spans) {
+        push({span.stage, -1, relative(span.start_ns),
+              span.end_ns > span.start_ns ? span.end_ns - span.start_ns
+                                          : 0});
+      }
+    }
+    push({obs::Stage::kCacheLookup, -1, relative(serve_start[i]),
           lookup_end[i] - serve_start[i]});
     if (origin[i] == kComputed && S > 0) {
       const size_t qi = pending_pos.at(i);

@@ -1,0 +1,330 @@
+#include "server/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+namespace gbkmv {
+namespace server {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string_view StripWs(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Strict non-negative decimal; returns false on empty/overflow/junk.
+bool ParseDecimal(std::string_view s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    if (value > (UINT64_MAX - 9) / 10) return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+const std::string* FindIn(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    std::string_view name) {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  return FindIn(headers, name);
+}
+
+const std::string* HttpClientResponse::FindHeader(
+    std::string_view name) const {
+  return FindIn(headers, name);
+}
+
+HttpParser::Outcome HttpParser::Next(HttpRequest* request) {
+  if (error_http_status_ != 0) return Outcome::kError;
+  // Head terminator: CRLFCRLF, tolerating bare-LF clients.
+  size_t head_end = buffer_.find("\r\n\r\n");
+  size_t body_begin = head_end == std::string::npos ? 0 : head_end + 4;
+  const size_t lf_end = buffer_.find("\n\n");
+  if (lf_end != std::string::npos &&
+      (head_end == std::string::npos || lf_end < head_end)) {
+    head_end = lf_end;
+    body_begin = lf_end + 2;
+  }
+  if (head_end == std::string::npos) {
+    if (buffer_.size() > limits_.max_head_bytes) {
+      return Fail(431, "request head exceeds " +
+                           std::to_string(limits_.max_head_bytes) +
+                           " bytes");
+    }
+    return Outcome::kNeedMore;
+  }
+  if (head_end > limits_.max_head_bytes) {
+    return Fail(431, "request head exceeds " +
+                         std::to_string(limits_.max_head_bytes) + " bytes");
+  }
+
+  HttpRequest parsed;
+  const std::string_view head(buffer_.data(), head_end);
+  size_t line_start = 0;
+  bool first_line = true;
+  while (line_start <= head.size()) {
+    size_t line_end = head.find('\n', line_start);
+    if (line_end == std::string_view::npos) line_end = head.size();
+    std::string_view line = StripWs(head.substr(line_start,
+                                                line_end - line_start));
+    line_start = line_end + 1;
+    if (first_line) {
+      first_line = false;
+      const size_t sp1 = line.find(' ');
+      const size_t sp2 = line.rfind(' ');
+      if (sp1 == std::string_view::npos || sp2 == sp1) {
+        return Fail(400, "malformed request line");
+      }
+      parsed.method = std::string(line.substr(0, sp1));
+      parsed.target =
+          std::string(StripWs(line.substr(sp1 + 1, sp2 - sp1 - 1)));
+      parsed.version = std::string(line.substr(sp2 + 1));
+      if (parsed.method.empty() || parsed.target.empty() ||
+          parsed.target[0] != '/' ||
+          !parsed.version.starts_with("HTTP/1.")) {
+        return Fail(400, "malformed request line");
+      }
+      continue;
+    }
+    if (line.empty()) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Fail(400, "malformed header line");
+    }
+    parsed.headers.emplace_back(
+        ToLower(StripWs(line.substr(0, colon))),
+        std::string(StripWs(line.substr(colon + 1))));
+  }
+
+  if (parsed.FindHeader("transfer-encoding") != nullptr) {
+    return Fail(501, "transfer-encoding is not supported");
+  }
+  uint64_t body_len = 0;
+  if (const std::string* cl = parsed.FindHeader("content-length")) {
+    if (!ParseDecimal(*cl, &body_len)) {
+      return Fail(400, "malformed content-length");
+    }
+    if (body_len > limits_.max_body_bytes) {
+      return Fail(413, "body exceeds " +
+                           std::to_string(limits_.max_body_bytes) +
+                           " bytes");
+    }
+  }
+  if (buffer_.size() - body_begin < body_len) return Outcome::kNeedMore;
+
+  parsed.keep_alive = parsed.version != "HTTP/1.0";
+  if (const std::string* conn = parsed.FindHeader("connection")) {
+    const std::string value = ToLower(*conn);
+    if (value == "close") parsed.keep_alive = false;
+    if (value == "keep-alive") parsed.keep_alive = true;
+  }
+  parsed.body = buffer_.substr(body_begin, body_len);
+  buffer_.erase(0, body_begin + body_len);
+  *request = std::move(parsed);
+  return Outcome::kRequest;
+}
+
+std::string_view HttpStatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string BuildHttpResponse(int status, std::string_view body,
+                              const HttpResponseOptions& options) {
+  std::string out;
+  out.reserve(128 + body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += HttpStatusReason(status);
+  out += "\r\nContent-Type: ";
+  out += options.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: ";
+  out += options.keep_alive ? "keep-alive" : "close";
+  for (const auto& [name, value] : options.extra_headers) {
+    out += "\r\n";
+    out += name;
+    out += ": ";
+    out += value;
+  }
+  out += "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+Status HttpBlockingClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("connect to " + resolved + ":" +
+                           std::to_string(port) + ": " + std::strerror(err));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  inbox_.clear();
+  return Status::OK();
+}
+
+void HttpBlockingClient::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  inbox_.clear();
+}
+
+Status HttpBlockingClient::WriteRaw(std::string_view data) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<HttpClientResponse> HttpBlockingClient::ReadResponse() {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  char buf[8192];
+  for (;;) {
+    // Try to complete a response from what is buffered.
+    const size_t head_end = inbox_.find("\r\n\r\n");
+    if (head_end != std::string::npos) {
+      HttpClientResponse response;
+      const std::string_view head(inbox_.data(), head_end);
+      const size_t line_end = head.find('\n');
+      const std::string_view status_line =
+          StripWs(head.substr(0, line_end == std::string_view::npos
+                                     ? head.size()
+                                     : line_end));
+      const size_t sp1 = status_line.find(' ');
+      uint64_t status = 0;
+      if (sp1 == std::string_view::npos ||
+          !ParseDecimal(status_line.substr(sp1 + 1, 3), &status)) {
+        return Status::Corruption("malformed HTTP status line");
+      }
+      response.status = static_cast<int>(status);
+      size_t pos = line_end == std::string_view::npos ? head.size()
+                                                      : line_end + 1;
+      while (pos < head.size()) {
+        size_t eol = head.find('\n', pos);
+        if (eol == std::string_view::npos) eol = head.size();
+        const std::string_view line = StripWs(head.substr(pos, eol - pos));
+        pos = eol + 1;
+        const size_t colon = line.find(':');
+        if (colon == std::string_view::npos) continue;
+        response.headers.emplace_back(
+            ToLower(StripWs(line.substr(0, colon))),
+            std::string(StripWs(line.substr(colon + 1))));
+      }
+      uint64_t body_len = 0;
+      const std::string* cl = response.FindHeader("content-length");
+      if (cl == nullptr || !ParseDecimal(*cl, &body_len)) {
+        return Status::Corruption("response without content-length");
+      }
+      const size_t body_begin = head_end + 4;
+      if (inbox_.size() - body_begin >= body_len) {
+        response.body = inbox_.substr(body_begin, body_len);
+        inbox_.erase(0, body_begin + body_len);
+        return response;
+      }
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IOError("connection closed before a full response");
+    }
+    inbox_.append(buf, static_cast<size_t>(n));
+  }
+}
+
+Result<HttpClientResponse> HttpBlockingClient::RoundTrip(
+    std::string_view method, std::string_view target,
+    std::string_view body) {
+  std::string request;
+  request.reserve(128 + body.size());
+  request += method;
+  request += ' ';
+  request += target;
+  request += " HTTP/1.1\r\nHost: gbkmv\r\n";
+  if (!body.empty() || method == "POST") {
+    request += "Content-Length: ";
+    request += std::to_string(body.size());
+    request += "\r\n";
+  }
+  request += "\r\n";
+  request += body;
+  GBKMV_RETURN_IF_ERROR(WriteRaw(request));
+  return ReadResponse();
+}
+
+}  // namespace server
+}  // namespace gbkmv

@@ -1,0 +1,140 @@
+// Minimal HTTP/1.1 subset for the network serving front end
+// (docs/serving.md).
+//
+// The server speaks exactly what its three endpoints need: request line +
+// headers + Content-Length body, keep-alive by default, no chunked
+// encoding, no multipart, no TLS. HttpParser consumes a connection's byte
+// stream incrementally (non-blocking sockets deliver arbitrary fragments)
+// and yields complete requests in order, so pipelined requests on one
+// connection parse without any buffering tricks at the call site.
+//
+// HttpBlockingClient at the bottom is the matching client used by tests and
+// bench/serve_latency.cc: a plain blocking socket with keep-alive reuse.
+// It lives here so client and server agree on the wire subset by
+// construction.
+
+#ifndef GBKMV_SERVER_HTTP_H_
+#define GBKMV_SERVER_HTTP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gbkmv {
+namespace server {
+
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ... (verbatim)
+  std::string target;   // origin-form target, e.g. "/v1/query"
+  std::string version;  // "HTTP/1.1" or "HTTP/1.0"
+  // Lower-cased names, values with surrounding whitespace stripped.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  // HTTP/1.1 default, or explicit Connection: keep-alive / close.
+  bool keep_alive = true;
+
+  // Value of the first header named `name` (lower-case), or nullptr.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+struct HttpLimits {
+  size_t max_head_bytes = 16 * 1024;   // request line + headers
+  size_t max_body_bytes = 1 << 20;     // Content-Length cap
+};
+
+// Incremental request parser. Feed() appends received bytes; Next() then
+// yields complete requests until the buffer runs dry. A parse error is
+// terminal for the connection (the server answers with error_http_status()
+// and closes).
+class HttpParser {
+ public:
+  explicit HttpParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  enum class Outcome {
+    kNeedMore,  // incomplete request buffered; feed more bytes
+    kRequest,   // *request filled, its bytes consumed; call Next() again
+    kError,     // malformed input; see error_http_status()/error_message()
+  };
+
+  void Feed(std::string_view data) { buffer_.append(data); }
+  Outcome Next(HttpRequest* request);
+
+  // Valid after Next() returned kError.
+  int error_http_status() const { return error_http_status_; }
+  const std::string& error_message() const { return error_message_; }
+
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  Outcome Fail(int http_status, std::string message) {
+    error_http_status_ = http_status;
+    error_message_ = std::move(message);
+    return Outcome::kError;
+  }
+
+  HttpLimits limits_;
+  std::string buffer_;
+  int error_http_status_ = 0;
+  std::string error_message_;
+};
+
+// Reason phrase for the handful of statuses the server emits.
+std::string_view HttpStatusReason(int status);
+
+struct HttpResponseOptions {
+  std::string_view content_type = "application/json";
+  bool keep_alive = true;
+  // Extra headers, e.g. {"Retry-After", "1"}. Names verbatim.
+  std::vector<std::pair<std::string_view, std::string_view>> extra_headers;
+};
+
+// Serializes one complete response (status line, Content-Length, body).
+std::string BuildHttpResponse(int status, std::string_view body,
+                              const HttpResponseOptions& options = {});
+
+// --- blocking client (tests, bench) ----------------------------------------
+
+struct HttpClientResponse {
+  int status = 0;
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> headers;  // lower-cased
+
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+// One keep-alive connection to a server. Not thread-safe; one per client
+// thread. RoundTrip writes a request and blocks until the full response
+// arrived (pipelining is the server's problem, not this client's).
+class HttpBlockingClient {
+ public:
+  HttpBlockingClient() = default;
+  ~HttpBlockingClient() { Close(); }
+  HttpBlockingClient(const HttpBlockingClient&) = delete;
+  HttpBlockingClient& operator=(const HttpBlockingClient&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  Result<HttpClientResponse> RoundTrip(std::string_view method,
+                                       std::string_view target,
+                                       std::string_view body = {});
+
+  // Writes raw bytes (for pipelining tests); pair with ReadResponse().
+  Status WriteRaw(std::string_view data);
+  Result<HttpClientResponse> ReadResponse();
+
+ private:
+  int fd_ = -1;
+  std::string inbox_;  // bytes read past the previous response
+};
+
+}  // namespace server
+}  // namespace gbkmv
+
+#endif  // GBKMV_SERVER_HTTP_H_

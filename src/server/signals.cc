@@ -1,0 +1,54 @@
+#include "server/signals.h"
+
+#include <pthread.h>
+#include <signal.h>
+
+#include <utility>
+
+namespace gbkmv {
+namespace server {
+
+namespace {
+
+// SIGUSR2 wakes the watcher out of sigwait for shutdown; it is blocked
+// alongside the real signals and never escapes this file.
+constexpr int kWakeSignal = SIGUSR2;
+
+sigset_t WatchedSignals() {
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  sigaddset(&set, SIGHUP);
+  sigaddset(&set, kWakeSignal);
+  return set;
+}
+
+}  // namespace
+
+void BlockShutdownSignals() {
+  sigset_t set = WatchedSignals();
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+}
+
+SignalWatcher::SignalWatcher(Handler handler)
+    : thread_([this, handler = std::move(handler)] {
+        sigset_t set = WatchedSignals();
+        for (;;) {
+          int signo = 0;
+          if (sigwait(&set, &signo) != 0) continue;
+          if (stop_.load(std::memory_order_acquire)) return;
+          if (signo == kWakeSignal) continue;
+          handler(signo);
+        }
+      }) {}
+
+SignalWatcher::~SignalWatcher() {
+  stop_.store(true, std::memory_order_release);
+  pthread_kill(thread_.native_handle(), kWakeSignal);
+  thread_.join();
+}
+
+}  // namespace server
+}  // namespace gbkmv

@@ -1,0 +1,46 @@
+// Clean signal handling for long-running front ends (docs/serving.md).
+//
+// Async signal handlers cannot safely flush metrics files or drain a
+// server, so the CLI uses the sigwait pattern instead: the main thread
+// blocks SIGINT/SIGTERM/SIGHUP before spawning anything (every later
+// thread inherits the mask), and a dedicated watcher thread sigwait()s and
+// invokes an ordinary callback in normal thread context — free to take
+// locks, write files, or stop the server.
+
+#ifndef GBKMV_SERVER_SIGNALS_H_
+#define GBKMV_SERVER_SIGNALS_H_
+
+#include <atomic>
+#include <functional>
+#include <thread>
+
+namespace gbkmv {
+namespace server {
+
+// Blocks SIGINT/SIGTERM/SIGHUP (and the watcher's internal wake signal)
+// on the calling thread. Call once, on the main thread, before any other
+// thread exists. Also ignores SIGPIPE: a peer closing mid-write must be
+// an EPIPE errno, not process death.
+void BlockShutdownSignals();
+
+// Runs `handler(signo)` from a dedicated thread for each delivered
+// SIGINT/SIGTERM/SIGHUP. Requires BlockShutdownSignals() first; the
+// destructor stops the thread.
+class SignalWatcher {
+ public:
+  using Handler = std::function<void(int signo)>;
+
+  explicit SignalWatcher(Handler handler);
+  ~SignalWatcher();
+  SignalWatcher(const SignalWatcher&) = delete;
+  SignalWatcher& operator=(const SignalWatcher&) = delete;
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace server
+}  // namespace gbkmv
+
+#endif  // GBKMV_SERVER_SIGNALS_H_

@@ -1,0 +1,409 @@
+#include "server/wire.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+
+namespace gbkmv {
+namespace server {
+
+namespace {
+
+// Recursive-descent scanner over the JSON subset in the header comment.
+// Depth-bounded so hostile nesting cannot blow the stack.
+class JsonScanner {
+ public:
+  explicit JsonScanner(std::string_view input) : s_(input) {}
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return pos_ < s_.size() && s_[pos_] == c;
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          default: return false;  // \uXXXX is outside the subset
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      out->push_back(c);
+    }
+    return false;
+  }
+
+  bool ParseNumber(double* out) {
+    SkipWs();
+    const char* begin = s_.data() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) return false;
+    const size_t consumed = static_cast<size_t>(end - begin);
+    if (pos_ + consumed > s_.size()) return false;
+    pos_ += consumed;
+    if (!std::isfinite(value)) return false;
+    *out = value;
+    return true;
+  }
+
+  bool ParseBool(bool* out) {
+    SkipWs();
+    if (s_.substr(pos_).starts_with("true")) {
+      pos_ += 4;
+      *out = true;
+      return true;
+    }
+    if (s_.substr(pos_).starts_with("false")) {
+      pos_ += 5;
+      *out = false;
+      return true;
+    }
+    return false;
+  }
+
+  // Skips any value of the subset (for unknown keys).
+  bool SkipValue(int depth = 0) {
+    if (depth > 16) return false;
+    SkipWs();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '"') {
+      std::string ignored;
+      return ParseString(&ignored);
+    }
+    if (c == '{' || c == '[') {
+      const char close = c == '{' ? '}' : ']';
+      ++pos_;
+      if (Consume(close)) return true;
+      for (;;) {
+        if (c == '{') {
+          std::string key;
+          if (!ParseString(&key) || !Consume(':')) return false;
+        }
+        if (!SkipValue(depth + 1)) return false;
+        if (Consume(close)) return true;
+        if (!Consume(',')) return false;
+      }
+    }
+    if (s_.substr(pos_).starts_with("null")) {
+      pos_ += 4;
+      return true;
+    }
+    bool b = false;
+    if (ParseBool(&b)) return true;
+    double d = 0.0;
+    return ParseNumber(&d);
+  }
+
+ private:
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+bool ParseUintArray(JsonScanner& scanner, std::vector<uint32_t>* out) {
+  if (!scanner.Consume('[')) return false;
+  out->clear();
+  if (scanner.Consume(']')) return true;
+  for (;;) {
+    double value = 0.0;
+    if (!scanner.ParseNumber(&value)) return false;
+    if (value < 0 || value > std::numeric_limits<uint32_t>::max() ||
+        value != std::floor(value)) {
+      return false;
+    }
+    out->push_back(static_cast<uint32_t>(value));
+    if (scanner.Consume(']')) return true;
+    if (!scanner.Consume(',')) return false;
+  }
+}
+
+bool ParseSizeT(JsonScanner& scanner, size_t* out) {
+  double value = 0.0;
+  if (!scanner.ParseNumber(&value)) return false;
+  if (value < 0 || value != std::floor(value) || value > 1e15) return false;
+  *out = static_cast<size_t>(value);
+  return true;
+}
+
+void AppendEscaped(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+// Shortest float spelling that parses back bit-identically: %.9g on the
+// widened double (float -> double is exact, 9 significant digits
+// round-trip any float).
+void AppendScore(float score, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(score));
+  *out += buf;
+}
+
+}  // namespace
+
+Result<QueryBody> ParseQueryBody(std::string_view json) {
+  JsonScanner scanner(json);
+  QueryBody body;
+  bool saw_elements = false;
+  if (!scanner.Consume('{')) {
+    return Status::InvalidArgument("query body must be a JSON object");
+  }
+  if (!scanner.Consume('}')) {
+    for (;;) {
+      std::string key;
+      if (!scanner.ParseString(&key) || !scanner.Consume(':')) {
+        return Status::InvalidArgument("malformed query body");
+      }
+      bool ok = true;
+      if (key == "elements") {
+        std::vector<uint32_t> elements;
+        ok = ParseUintArray(scanner, &elements);
+        if (ok) {
+          body.elements = MakeRecord(std::move(elements));
+          saw_elements = true;
+        }
+      } else if (key == "threshold") {
+        ok = scanner.ParseNumber(&body.threshold);
+        if (ok && (body.threshold < 0.0 || body.threshold > 1.0)) {
+          return Status::InvalidArgument("threshold must be in [0, 1]");
+        }
+        body.has_threshold = ok;
+      } else if (key == "top_k") {
+        ok = ParseSizeT(scanner, &body.top_k);
+      } else if (key == "scores") {
+        ok = scanner.ParseBool(&body.want_scores);
+      } else if (key == "stats") {
+        ok = scanner.ParseBool(&body.want_stats);
+      } else {
+        ok = scanner.SkipValue();
+      }
+      if (!ok) {
+        return Status::InvalidArgument("malformed value for \"" + key +
+                                       "\"");
+      }
+      if (scanner.Consume('}')) break;
+      if (!scanner.Consume(',')) {
+        return Status::InvalidArgument("malformed query body");
+      }
+    }
+  }
+  if (!scanner.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after query body");
+  }
+  if (!saw_elements) {
+    return Status::InvalidArgument("query body is missing \"elements\"");
+  }
+  if (body.elements.empty()) {
+    return Status::InvalidArgument("\"elements\" must be non-empty");
+  }
+  return body;
+}
+
+Result<ReloadBody> ParseReloadBody(std::string_view json) {
+  JsonScanner scanner(json);
+  ReloadBody body;
+  bool saw_dir = false;
+  if (!scanner.Consume('{')) {
+    return Status::InvalidArgument("reload body must be a JSON object");
+  }
+  if (!scanner.Consume('}')) {
+    for (;;) {
+      std::string key;
+      if (!scanner.ParseString(&key) || !scanner.Consume(':')) {
+        return Status::InvalidArgument("malformed reload body");
+      }
+      bool ok = true;
+      if (key == "dir") {
+        ok = scanner.ParseString(&body.dir);
+        saw_dir = ok;
+      } else {
+        ok = scanner.SkipValue();
+      }
+      if (!ok) {
+        return Status::InvalidArgument("malformed value for \"" + key +
+                                       "\"");
+      }
+      if (scanner.Consume('}')) break;
+      if (!scanner.Consume(',')) {
+        return Status::InvalidArgument("malformed reload body");
+      }
+    }
+  }
+  if (!scanner.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after reload body");
+  }
+  if (!saw_dir || body.dir.empty()) {
+    return Status::InvalidArgument("reload body is missing \"dir\"");
+  }
+  return body;
+}
+
+std::string SerializeQueryResponse(const QueryResponse& response,
+                                   uint64_t epoch, bool want_scores,
+                                   bool want_stats) {
+  std::string out;
+  out.reserve(32 + response.hits.size() * (want_scores ? 32 : 12));
+  out += "{\"epoch\":";
+  out += std::to_string(epoch);
+  out += ",\"hits\":[";
+  bool first = true;
+  for (const QueryHit& hit : response.hits) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"id\":";
+    out += std::to_string(hit.id);
+    if (want_scores) {
+      out += ",\"score\":";
+      AppendScore(hit.score, &out);
+    }
+    out += '}';
+  }
+  out += ']';
+  if (want_stats) {
+    const QueryStats& s = response.stats;
+    out += ",\"stats\":{\"candidates_generated\":";
+    out += std::to_string(s.candidates_generated);
+    out += ",\"candidates_refined\":";
+    out += std::to_string(s.candidates_refined);
+    out += ",\"postings_scanned\":";
+    out += std::to_string(s.postings_scanned);
+    out += ",\"heap_evictions\":";
+    out += std::to_string(s.heap_evictions);
+    out += ",\"shards_queried\":";
+    out += std::to_string(s.shards_queried);
+    out += ",\"cache_hits\":";
+    out += std::to_string(s.cache_hits);
+    out += '}';
+  }
+  out += '}';
+  return out;
+}
+
+std::string SerializeError(std::string_view message) {
+  std::string out = "{\"error\":\"";
+  AppendEscaped(message, &out);
+  out += "\"}";
+  return out;
+}
+
+Result<WireQueryResult> ParseQueryResult(std::string_view json) {
+  JsonScanner scanner(json);
+  WireQueryResult result;
+  if (!scanner.Consume('{')) {
+    return Status::Corruption("query result must be a JSON object");
+  }
+  if (!scanner.Consume('}')) {
+    for (;;) {
+      std::string key;
+      if (!scanner.ParseString(&key) || !scanner.Consume(':')) {
+        return Status::Corruption("malformed query result");
+      }
+      bool ok = true;
+      if (key == "epoch") {
+        size_t epoch = 0;
+        ok = ParseSizeT(scanner, &epoch);
+        result.epoch = epoch;
+      } else if (key == "hits") {
+        ok = scanner.Consume('[');
+        if (ok && !scanner.Consume(']')) {
+          for (;;) {
+            QueryHit hit;
+            if (!scanner.Consume('{')) return Status::Corruption("bad hit");
+            for (;;) {
+              std::string field;
+              if (!scanner.ParseString(&field) || !scanner.Consume(':')) {
+                return Status::Corruption("bad hit");
+              }
+              double value = 0.0;
+              if (!scanner.ParseNumber(&value)) {
+                return Status::Corruption("bad hit value");
+              }
+              if (field == "id") {
+                hit.id = static_cast<RecordId>(value);
+              } else if (field == "score") {
+                hit.score = static_cast<float>(value);
+              }
+              if (scanner.Consume('}')) break;
+              if (!scanner.Consume(',')) {
+                return Status::Corruption("bad hit");
+              }
+            }
+            result.hits.push_back(hit);
+            if (scanner.Consume(']')) break;
+            if (!scanner.Consume(',')) return Status::Corruption("bad hits");
+          }
+        }
+      } else {
+        ok = scanner.SkipValue();
+      }
+      if (!ok) return Status::Corruption("malformed query result");
+      if (scanner.Consume('}')) break;
+      if (!scanner.Consume(',')) {
+        return Status::Corruption("malformed query result");
+      }
+    }
+  }
+  if (!scanner.AtEnd()) {
+    return Status::Corruption("trailing bytes after query result");
+  }
+  return result;
+}
+
+}  // namespace server
+}  // namespace gbkmv

@@ -1,0 +1,417 @@
+// The serving front end, bottom-up: HttpParser over adversarial and
+// fragmented byte streams, wire-body parse/serialize round-trips
+// (including bit-exact float scores), then socket end-to-end against a
+// real Server on an ephemeral port — served query responses bit-identical
+// to direct Serve() calls, admission control answering 429 + Retry-After,
+// reload bumping the epoch under a live connection, and graceful
+// Shutdown() leaving nothing listening.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/containment.h"
+#include "data/synthetic.h"
+#include "eval/ground_truth.h"
+#include "index/query.h"
+#include "serve/sharded_service.h"
+#include "server/http.h"
+#include "server/server.h"
+#include "server/wire.h"
+
+namespace gbkmv {
+namespace server {
+namespace {
+
+using serve::BuildShardedService;
+using serve::ShardedContainmentService;
+
+// --- HttpParser ------------------------------------------------------------
+
+TEST(HttpParserTest, ParsesRequestFedByteByByte) {
+  const std::string raw =
+      "POST /v1/query HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: 5\r\n"
+      "\r\n"
+      "hello";
+  HttpParser parser;
+  HttpRequest request;
+  for (size_t i = 0; i + 1 < raw.size(); ++i) {
+    parser.Feed(std::string_view(&raw[i], 1));
+    ASSERT_EQ(HttpParser::Outcome::kNeedMore, parser.Next(&request))
+        << "byte " << i;
+  }
+  parser.Feed(std::string_view(&raw[raw.size() - 1], 1));
+  ASSERT_EQ(HttpParser::Outcome::kRequest, parser.Next(&request));
+  EXPECT_EQ("POST", request.method);
+  EXPECT_EQ("/v1/query", request.target);
+  EXPECT_EQ("HTTP/1.1", request.version);
+  EXPECT_EQ("hello", request.body);
+  EXPECT_TRUE(request.keep_alive);
+  ASSERT_NE(nullptr, request.FindHeader("content-type"));
+  EXPECT_EQ("application/json", *request.FindHeader("content-type"));
+  EXPECT_EQ(HttpParser::Outcome::kNeedMore, parser.Next(&request));
+  EXPECT_EQ(0u, parser.buffered_bytes());
+}
+
+TEST(HttpParserTest, YieldsPipelinedRequestsInOrder) {
+  HttpParser parser;
+  parser.Feed(
+      "GET /healthz HTTP/1.1\r\n\r\n"
+      "POST /v1/query HTTP/1.1\r\nContent-Length: 2\r\n\r\nok"
+      "GET /metricsz HTTP/1.1\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(HttpParser::Outcome::kRequest, parser.Next(&request));
+  EXPECT_EQ("/healthz", request.target);
+  ASSERT_EQ(HttpParser::Outcome::kRequest, parser.Next(&request));
+  EXPECT_EQ("/v1/query", request.target);
+  EXPECT_EQ("ok", request.body);
+  ASSERT_EQ(HttpParser::Outcome::kRequest, parser.Next(&request));
+  EXPECT_EQ("/metricsz", request.target);
+  EXPECT_EQ(HttpParser::Outcome::kNeedMore, parser.Next(&request));
+}
+
+TEST(HttpParserTest, RejectsMalformedRequestLine) {
+  HttpParser parser;
+  parser.Feed("NOT A REQUEST LINE AT ALL\r\n\r\n");
+  HttpRequest request;
+  EXPECT_EQ(HttpParser::Outcome::kError, parser.Next(&request));
+  EXPECT_EQ(400, parser.error_http_status());
+}
+
+TEST(HttpParserTest, RejectsChunkedTransferEncoding) {
+  HttpParser parser;
+  parser.Feed(
+      "POST /v1/query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  HttpRequest request;
+  EXPECT_EQ(HttpParser::Outcome::kError, parser.Next(&request));
+  EXPECT_EQ(501, parser.error_http_status());
+}
+
+TEST(HttpParserTest, RejectsBodyBeyondLimit) {
+  HttpLimits limits;
+  limits.max_body_bytes = 10;
+  HttpParser parser(limits);
+  parser.Feed("POST /v1/query HTTP/1.1\r\nContent-Length: 11\r\n\r\n");
+  HttpRequest request;
+  EXPECT_EQ(HttpParser::Outcome::kError, parser.Next(&request));
+  EXPECT_EQ(413, parser.error_http_status());
+}
+
+TEST(HttpParserTest, RejectsNonNumericContentLength) {
+  HttpParser parser;
+  parser.Feed("POST /v1/query HTTP/1.1\r\nContent-Length: lots\r\n\r\n");
+  HttpRequest request;
+  EXPECT_EQ(HttpParser::Outcome::kError, parser.Next(&request));
+  EXPECT_EQ(400, parser.error_http_status());
+}
+
+TEST(HttpParserTest, RejectsOversizedHead) {
+  HttpLimits limits;
+  limits.max_head_bytes = 64;
+  HttpParser parser(limits);
+  std::string head = "GET /healthz HTTP/1.1\r\nX-Pad: ";
+  head.append(100, 'x');
+  parser.Feed(head);
+  HttpRequest request;
+  EXPECT_EQ(HttpParser::Outcome::kError, parser.Next(&request));
+  EXPECT_EQ(431, parser.error_http_status());
+}
+
+TEST(HttpParserTest, KeepAliveFollowsVersionAndConnectionHeader) {
+  struct Case {
+    const char* raw;
+    bool keep_alive;
+  } cases[] = {
+      {"GET / HTTP/1.1\r\n\r\n", true},
+      {"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false},
+      {"GET / HTTP/1.0\r\n\r\n", false},
+      {"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.raw);
+    HttpParser parser;
+    parser.Feed(c.raw);
+    HttpRequest request;
+    ASSERT_EQ(HttpParser::Outcome::kRequest, parser.Next(&request));
+    EXPECT_EQ(c.keep_alive, request.keep_alive);
+  }
+}
+
+// --- wire bodies -----------------------------------------------------------
+
+TEST(WireTest, ParsesFullQueryBody) {
+  Result<QueryBody> body = ParseQueryBody(
+      "{\"elements\": [42, 7, 7, 1], \"threshold\": 0.6, \"top_k\": 5, "
+      "\"scores\": false, \"stats\": true, \"future_knob\": 3}");
+  ASSERT_TRUE(body.ok()) << body.status().ToString();
+  EXPECT_EQ(MakeRecord({1, 7, 42}), body->elements);  // sorted, deduped
+  EXPECT_TRUE(body->has_threshold);
+  EXPECT_DOUBLE_EQ(0.6, body->threshold);
+  EXPECT_EQ(5u, body->top_k);
+  EXPECT_FALSE(body->want_scores);
+  EXPECT_TRUE(body->want_stats);
+}
+
+TEST(WireTest, QueryBodyDefaultsAndErrors) {
+  Result<QueryBody> minimal = ParseQueryBody("{\"elements\":[3]}");
+  ASSERT_TRUE(minimal.ok());
+  EXPECT_FALSE(minimal->has_threshold);
+  EXPECT_EQ(0u, minimal->top_k);
+  EXPECT_TRUE(minimal->want_scores);
+  EXPECT_FALSE(minimal->want_stats);
+
+  EXPECT_FALSE(ParseQueryBody("").ok());
+  EXPECT_FALSE(ParseQueryBody("{}").ok());                   // no elements
+  EXPECT_FALSE(ParseQueryBody("{\"elements\":[]}").ok());    // empty
+  EXPECT_FALSE(ParseQueryBody("{\"elements\":[1],\"threshold\":1.5}").ok());
+  EXPECT_FALSE(ParseQueryBody("{\"elements\":[1]} trailing").ok());
+  EXPECT_FALSE(ParseQueryBody("[1, 2]").ok());               // not an object
+}
+
+TEST(WireTest, QueryResponseScoresRoundTripBitExactly) {
+  QueryResponse response;
+  response.hits.push_back({3, 0.1f});
+  response.hits.push_back({7, 1.0f / 3.0f});
+  response.hits.push_back({11, 0.9999999f});
+  response.hits.push_back({0, 1.0f});
+  const std::string json = SerializeQueryResponse(
+      response, /*epoch=*/42, /*want_scores=*/true, /*want_stats=*/false);
+  Result<WireQueryResult> parsed = ParseQueryResult(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(42u, parsed->epoch);
+  ASSERT_EQ(response.hits.size(), parsed->hits.size());
+  for (size_t i = 0; i < response.hits.size(); ++i) {
+    EXPECT_EQ(response.hits[i].id, parsed->hits[i].id);
+    EXPECT_EQ(response.hits[i].score, parsed->hits[i].score);
+  }
+}
+
+TEST(WireTest, ReloadBodyAndErrorSerialization) {
+  Result<ReloadBody> reload = ParseReloadBody("{\"dir\": \"/tmp/x\"}");
+  ASSERT_TRUE(reload.ok());
+  EXPECT_EQ("/tmp/x", reload->dir);
+  EXPECT_FALSE(ParseReloadBody("{}").ok());
+
+  EXPECT_EQ("{\"error\":\"bad \\\"quote\\\"\"}",
+            SerializeError("bad \"quote\""));
+}
+
+// --- socket end-to-end -----------------------------------------------------
+
+class ServerEndToEndTest : public ::testing::Test {
+ protected:
+  static Dataset MakeTestDataset(uint64_t seed) {
+    SyntheticConfig c;
+    c.num_records = 250;
+    c.universe_size = 2000;
+    c.min_record_size = 8;
+    c.max_record_size = 80;
+    c.alpha_element_freq = 1.1;
+    c.alpha_record_size = 2.0;
+    c.seed = seed;
+    return std::move(GenerateSynthetic(c).value());
+  }
+
+  static std::shared_ptr<ShardedContainmentService> MakeService(
+      const Dataset& dataset) {
+    SearcherConfig config;
+    config.method = SearchMethod::kFreqSet;
+    config.sharded.num_shards = 2;
+    Result<std::unique_ptr<ShardedContainmentService>> service =
+        BuildShardedService(dataset, config);
+    EXPECT_TRUE(service.ok()) << service.status().ToString();
+    return std::shared_ptr<ShardedContainmentService>(std::move(*service));
+  }
+
+  static std::string QueryJson(const Record& record, double threshold,
+                               size_t top_k) {
+    std::string json = "{\"elements\":[";
+    for (size_t i = 0; i < record.size(); ++i) {
+      if (i > 0) json += ",";
+      json += std::to_string(record[i]);
+    }
+    json += "],\"threshold\":" + std::to_string(threshold);
+    json += ",\"top_k\":" + std::to_string(top_k) + "}";
+    return json;
+  }
+};
+
+TEST_F(ServerEndToEndTest, ServesHealthQueriesMetricsAndErrors) {
+  const Dataset dataset = MakeTestDataset(20260805);
+  std::shared_ptr<ShardedContainmentService> service = MakeService(dataset);
+
+  ServerOptions options;
+  options.port = 0;
+  options.num_reactors = 2;
+  Result<std::unique_ptr<Server>> server = Server::Start(service, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  ASSERT_GT((*server)->port(), 0);
+
+  HttpBlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", (*server)->port()).ok());
+
+  // Liveness.
+  Result<HttpClientResponse> health = client.RoundTrip("GET", "/healthz");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(200, health->status);
+  EXPECT_EQ("ok\n", health->body);
+
+  // Served queries are bit-identical to direct Serve() calls — same ids,
+  // same float scores after the JSON round-trip.
+  constexpr double kThreshold = 0.4;
+  constexpr size_t kTopK = 10;
+  for (RecordId id : SampleQueries(dataset, 8, 5)) {
+    const Record& query = dataset.record(id);
+    QueryRequest request(query, kThreshold);
+    request.top_k = kTopK;
+    const QueryResponse direct = service->Serve(request);
+
+    Result<HttpClientResponse> http = client.RoundTrip(
+        "POST", "/v1/query", QueryJson(query, kThreshold, kTopK));
+    ASSERT_TRUE(http.ok()) << http.status().ToString();
+    ASSERT_EQ(200, http->status) << http->body;
+    Result<WireQueryResult> wire = ParseQueryResult(http->body);
+    ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+    EXPECT_EQ(1u, wire->epoch);
+    ASSERT_EQ(direct.hits.size(), wire->hits.size());
+    for (size_t i = 0; i < direct.hits.size(); ++i) {
+      EXPECT_EQ(direct.hits[i].id, wire->hits[i].id);
+      EXPECT_EQ(direct.hits[i].score, wire->hits[i].score);
+    }
+  }
+
+  // Errors: malformed JSON, unknown path, wrong method.
+  Result<HttpClientResponse> bad =
+      client.RoundTrip("POST", "/v1/query", "{\"elements\": oops");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(400, bad->status);
+  EXPECT_NE(std::string::npos, bad->body.find("\"error\""));
+
+  Result<HttpClientResponse> missing = client.RoundTrip("GET", "/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(404, missing->status);
+
+  Result<HttpClientResponse> wrong = client.RoundTrip("GET", "/v1/query");
+  ASSERT_TRUE(wrong.ok());
+  EXPECT_EQ(405, wrong->status);
+
+  // Metrics exposition includes the server families.
+  Result<HttpClientResponse> metrics = client.RoundTrip("GET", "/metricsz");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(200, metrics->status);
+  EXPECT_NE(std::string::npos,
+            metrics->body.find("gbkmv_server_requests_total"));
+  EXPECT_NE(std::string::npos,
+            metrics->body.find("gbkmv_server_batch_size"));
+
+  // All of the above reused one keep-alive connection.
+  EXPECT_TRUE(client.connected());
+
+  // Pipelining: two requests written back-to-back answer in order.
+  ASSERT_TRUE(client
+                  .WriteRaw(
+                      "GET /healthz HTTP/1.1\r\n\r\n"
+                      "GET /nope HTTP/1.1\r\n\r\n")
+                  .ok());
+  Result<HttpClientResponse> first = client.ReadResponse();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(200, first->status);
+  EXPECT_EQ("ok\n", first->body);
+  Result<HttpClientResponse> second = client.ReadResponse();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(404, second->status);
+
+  const Server::Stats stats = (*server)->stats();
+  EXPECT_GE(stats.requests, 14u);
+  EXPECT_EQ(8u, stats.queries_served);
+  EXPECT_GE(stats.http_errors, 3u);
+  EXPECT_EQ(0u, stats.shed);
+
+  (*server)->Shutdown();
+  // Nothing is listening afterwards.
+  HttpBlockingClient late;
+  EXPECT_FALSE(late.Connect("127.0.0.1", (*server)->port()).ok());
+}
+
+TEST_F(ServerEndToEndTest, ShedsWithRetryAfterWhenAdmissionBoundIsZero) {
+  const Dataset dataset = MakeTestDataset(20260806);
+  std::shared_ptr<ShardedContainmentService> service = MakeService(dataset);
+
+  ServerOptions options;
+  options.port = 0;
+  options.num_reactors = 1;
+  options.max_inflight = 0;  // admission control rejects every query
+  options.retry_after_seconds = 7;
+  Result<std::unique_ptr<Server>> server = Server::Start(service, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  HttpBlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", (*server)->port()).ok());
+
+  Result<HttpClientResponse> shed = client.RoundTrip(
+      "POST", "/v1/query", QueryJson(dataset.record(0), 0.5, 4));
+  ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+  EXPECT_EQ(429, shed->status);
+  ASSERT_NE(nullptr, shed->FindHeader("retry-after"));
+  EXPECT_EQ("7", *shed->FindHeader("retry-after"));
+
+  // Health stays green while queries shed.
+  Result<HttpClientResponse> health = client.RoundTrip("GET", "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(200, health->status);
+
+  EXPECT_EQ(1u, (*server)->stats().shed);
+  (*server)->Shutdown();
+}
+
+TEST_F(ServerEndToEndTest, ReloadSwapsEpochUnderLiveConnection) {
+  const Dataset dataset = MakeTestDataset(20260807);
+  std::shared_ptr<ShardedContainmentService> service = MakeService(dataset);
+  const std::string dir = ::testing::TempDir() + "server_reload_manifest";
+  ASSERT_TRUE(service->Save(dir).ok());
+
+  ServerOptions options;
+  options.port = 0;
+  Result<std::unique_ptr<Server>> server = Server::Start(service, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  EXPECT_EQ(1u, (*server)->epoch());
+
+  HttpBlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", (*server)->port()).ok());
+
+  Result<HttpClientResponse> reload = client.RoundTrip(
+      "POST", "/admin/reload", "{\"dir\": \"" + dir + "\"}");
+  ASSERT_TRUE(reload.ok()) << reload.status().ToString();
+  ASSERT_EQ(200, reload->status) << reload->body;
+  EXPECT_NE(std::string::npos, reload->body.find("\"epoch\":2"));
+  EXPECT_EQ(2u, (*server)->epoch());
+
+  // The same connection's next query is served by the new manifest.
+  Result<HttpClientResponse> http = client.RoundTrip(
+      "POST", "/v1/query", QueryJson(dataset.record(3), 0.4, 5));
+  ASSERT_TRUE(http.ok());
+  ASSERT_EQ(200, http->status) << http->body;
+  Result<WireQueryResult> wire = ParseQueryResult(http->body);
+  ASSERT_TRUE(wire.ok());
+  EXPECT_EQ(2u, wire->epoch);
+
+  // A bad directory fails with 500 and leaves the old epoch serving.
+  Result<HttpClientResponse> bad = client.RoundTrip(
+      "POST", "/admin/reload", "{\"dir\": \"/nonexistent/manifest\"}");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(500, bad->status);
+  EXPECT_EQ(2u, (*server)->epoch());
+
+  EXPECT_EQ(1u, (*server)->stats().reloads);
+  (*server)->Shutdown();
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace gbkmv

@@ -44,6 +44,14 @@
 //       parallelism via --threads). Prints an end-of-run cache and fan-out
 //       summary on stderr.
 //
+//   gbkmv_cli serve <manifest-dir> [--port=8080] [--bind=127.0.0.1]
+//                    [--reactors=2] [--max-inflight=2048]
+//                    [--queue-depth=1024] [--max-batch=64]
+//                    [--batch-window-us=500] [--batch-workers=1]
+//       Serve the manifest over TCP/HTTP (docs/serving.md): POST /v1/query,
+//       GET /healthz, GET /metricsz, POST /admin/reload. SIGHUP reloads the
+//       manifest directory in place; SIGINT/SIGTERM drain gracefully.
+//
 // Every command additionally accepts the observability flags
 // (docs/observability.md): --metrics[=prom|json] prints a metrics snapshot
 // to stderr at exit, --metrics-out / --metrics-prom-out write the JSON dump
@@ -52,6 +60,9 @@
 // --slow-query-ms=T arm the per-query flight recorder, and --no-metrics
 // turns recording off.
 
+#include <signal.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -75,6 +86,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/sharded_service.h"
+#include "server/server.h"
+#include "server/signals.h"
 
 namespace gbkmv {
 namespace {
@@ -120,9 +133,31 @@ class CliObsSession {
       dumper_ = std::make_unique<obs::PeriodicMetricsDumper>(
           g_obs.json_out, g_obs.interval_seconds);
     }
+    active_.store(this, std::memory_order_release);
+  }
+
+  // Best-effort final exports, callable from the signal-watcher thread
+  // right before _Exit: a SIGTERM mid-run must leave a complete dump on
+  // disk, not a half-written interval file (docs/serving.md).
+  static void FlushActive() {
+    obs::UpdateProcessGauges(obs::GlobalMetrics());
+    CliObsSession* session = active_.load(std::memory_order_acquire);
+    if (session != nullptr && session->dumper_ != nullptr) {
+      session->dumper_->FlushNow();
+    } else if (!g_obs.json_out.empty()) {
+      obs::WriteFileAtomic(
+          g_obs.json_out,
+          obs::DumpToJson(obs::GlobalMetrics(), obs::GlobalTracer()));
+    }
+    if (!g_obs.prom_out.empty()) {
+      obs::WriteFileAtomic(
+          g_obs.prom_out,
+          obs::SnapshotToPrometheus(obs::GlobalMetrics().Snapshot()));
+    }
   }
 
   ~CliObsSession() {
+    active_.store(nullptr, std::memory_order_release);
     // Process-level gauges (RSS) read at export time, so every output mode
     // below carries a current value.
     obs::UpdateProcessGauges(obs::GlobalMetrics());
@@ -156,8 +191,21 @@ class CliObsSession {
   }
 
  private:
+  inline static std::atomic<CliObsSession*> active_{nullptr};
   std::unique_ptr<obs::PeriodicMetricsDumper> dumper_;
 };
+
+// Signal dispatch for `serve` (set once serving starts): the watcher
+// thread reloads on SIGHUP and wakes RunServe for a graceful drain on
+// SIGINT/SIGTERM; every other command flushes metrics and exits.
+struct ServeSignalState {
+  std::atomic<bool> serving{false};
+  std::atomic<server::Server*> server{nullptr};
+  std::string reload_dir;
+  std::atomic<int> shutdown_signal{0};
+};
+
+ServeSignalState g_serve;
 
 struct CliOptions {
   std::string command;
@@ -192,6 +240,10 @@ int Usage() {
                "[--cache=N] [--space=S]\n"
                "       gbkmv_cli serve-query <manifest-dir> <query-file|-> "
                "[--threshold=T] [--top-k=K] [--scores] [--stats]\n"
+               "       gbkmv_cli serve <manifest-dir> [--port=8080] "
+               "[--bind=A] [--reactors=N] [--max-inflight=N] "
+               "[--queue-depth=N] [--max-batch=N] [--batch-window-us=U] "
+               "[--batch-workers=N]\n"
                "       gbkmv_cli snapshot-info <file.snap>   (any v1/v2/v3 "
                "snapshot: magic, version, section table)\n"
                "methods: gb-kmv g-kmv kmv lsh-e minhash-lsh a-mh ppjoin "
@@ -546,6 +598,66 @@ int RunServeQuery(const std::string& manifest_dir,
   return summarise(StreamQueriesWith(in, threshold, options, answer));
 }
 
+// Long-running network front end (docs/serving.md). Blocks until
+// SIGINT/SIGTERM, then drains: in-flight queries finish, responses flush,
+// and the normal return path lets CliObsSession write its final exports.
+int RunServe(const std::string& manifest_dir,
+             const server::ServerOptions& options) {
+  WallTimer load_timer;
+  Result<std::unique_ptr<serve::ShardedContainmentService>> service =
+      serve::ShardedContainmentService::Load(manifest_dir);
+  if (!service.ok()) {
+    std::fprintf(stderr, "cannot load sharded service: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<serve::ShardedContainmentService> shared(
+      std::move(service.value()));
+  std::fprintf(stderr,
+               "%s service loaded from %s/ in %.2fs "
+               "(%zu shards, %zu records)\n",
+               shared->method_name().c_str(), manifest_dir.c_str(),
+               load_timer.ElapsedSeconds(), shared->num_shards(),
+               shared->size());
+  Result<std::unique_ptr<server::Server>> started =
+      server::Server::Start(shared, options);
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n",
+                 started.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<server::Server> srv = std::move(started.value());
+  g_serve.reload_dir = manifest_dir;
+  g_serve.server.store(srv.get(), std::memory_order_release);
+  // Readiness line (stderr, flushed): CI and the bench poll for it before
+  // opening connections.
+  std::fprintf(stderr,
+               "gbkmv_server listening on %s:%u "
+               "(%zu reactors, max batch %zu, window %llu us, "
+               "queue %zu, in-flight %zu)\n",
+               options.bind_address.c_str(), srv->port(),
+               options.num_reactors, options.max_batch,
+               static_cast<unsigned long long>(options.max_batch_window_us),
+               options.max_queue_depth, options.max_inflight);
+  std::fflush(stderr);
+
+  g_serve.shutdown_signal.wait(0);  // SIGINT/SIGTERM wakes this
+  const int signo = g_serve.shutdown_signal.load(std::memory_order_acquire);
+  g_serve.server.store(nullptr, std::memory_order_release);
+  std::fprintf(stderr, "signal %d: draining\n", signo);
+  srv->Shutdown();
+  const server::Server::Stats stats = srv->stats();
+  std::fprintf(stderr,
+               "drained: %llu connections, %llu requests, %llu queries "
+               "served, %llu shed, %llu reloads\n",
+               static_cast<unsigned long long>(stats.connections_accepted),
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.queries_served),
+               static_cast<unsigned long long>(stats.shed),
+               static_cast<unsigned long long>(stats.reloads));
+  return 0;
+}
+
 int RunQuery(const Dataset& dataset, const CliOptions& options) {
   SearcherConfig config;
   if (const int rc = FillSearcherConfig(options, &config)) return rc;
@@ -619,6 +731,37 @@ int RunSnapshotInfo(const char* path) {
 }
 
 int Main(int argc, char** argv) {
+  // Signals are blocked (main, pre-thread) and handled by a watcher
+  // thread: `serve` gets graceful drain (SIGINT/SIGTERM) and in-place
+  // manifest reload (SIGHUP); every other command flushes its metrics
+  // exports before exiting with the conventional 128+signo.
+  server::SignalWatcher watcher([](int signo) {
+    if (g_serve.serving.load(std::memory_order_acquire)) {
+      if (signo == SIGHUP) {
+        server::Server* srv =
+            g_serve.server.load(std::memory_order_acquire);
+        if (srv == nullptr) return;  // still loading; nothing to swap
+        const Result<uint64_t> epoch = srv->Reload(g_serve.reload_dir);
+        if (epoch.ok()) {
+          std::fprintf(stderr, "SIGHUP: reloaded %s (epoch %llu)\n",
+                       g_serve.reload_dir.c_str(),
+                       static_cast<unsigned long long>(epoch.value()));
+        } else {
+          std::fprintf(stderr, "SIGHUP: reload failed: %s\n",
+                       epoch.status().ToString().c_str());
+        }
+        return;
+      }
+      int expected = 0;
+      g_serve.shutdown_signal.compare_exchange_strong(expected, signo);
+      g_serve.shutdown_signal.notify_all();
+      return;
+    }
+    if (signo == SIGHUP) return;  // nothing to reload outside serve
+    CliObsSession::FlushActive();
+    std::_Exit(128 + signo);
+  });
+
   if (argc < 3) return Usage();
   CliOptions options;
   options.command = argv[1];
@@ -672,6 +815,58 @@ int Main(int argc, char** argv) {
     }
     CliObsSession obs_session;
     return RunServeQuery(argv[2], argv[3], threshold, search);
+  }
+
+  // Network serving: gbkmv_cli serve <manifest-dir> [flags].
+  if (options.command == "serve") {
+    server::ServerOptions srv_options;
+    srv_options.port = 8080;
+    double threshold = 0.5;
+    SearchOptions search{.top_k = 0, .want_scores = false,
+                         .want_stats = false};
+    for (int i = 3; i < argc; ++i) {
+      const int consumed = ParseQueryFlag(argv[i], &threshold, &search);
+      if (consumed < 0) return Usage();
+      if (consumed == 1) continue;
+      std::string value;
+      if (ParseFlag(argv[i], "--port=", &value)) {
+        const Result<uint64_t> n = ParseU64(value);
+        if (!n.ok() || *n > 65535) return Usage();
+        srv_options.port = static_cast<uint16_t>(*n);
+      } else if (ParseFlag(argv[i], "--bind=", &value)) {
+        srv_options.bind_address = value;
+      } else if (ParseFlag(argv[i], "--reactors=", &value)) {
+        const Result<uint64_t> n = ParseU64(value);
+        if (!n.ok() || *n == 0) return Usage();
+        srv_options.num_reactors = static_cast<size_t>(*n);
+      } else if (ParseFlag(argv[i], "--max-inflight=", &value)) {
+        const Result<uint64_t> n = ParseU64(value);
+        if (!n.ok()) return Usage();
+        srv_options.max_inflight = static_cast<size_t>(*n);
+      } else if (ParseFlag(argv[i], "--queue-depth=", &value)) {
+        const Result<uint64_t> n = ParseU64(value);
+        if (!n.ok()) return Usage();
+        srv_options.max_queue_depth = static_cast<size_t>(*n);
+      } else if (ParseFlag(argv[i], "--max-batch=", &value)) {
+        const Result<uint64_t> n = ParseU64(value);
+        if (!n.ok() || *n == 0) return Usage();
+        srv_options.max_batch = static_cast<size_t>(*n);
+      } else if (ParseFlag(argv[i], "--batch-window-us=", &value)) {
+        const Result<uint64_t> n = ParseU64(value);
+        if (!n.ok()) return Usage();
+        srv_options.max_batch_window_us = *n;
+      } else if (ParseFlag(argv[i], "--batch-workers=", &value)) {
+        const Result<uint64_t> n = ParseU64(value);
+        if (!n.ok() || *n == 0) return Usage();
+        srv_options.batch_workers = static_cast<size_t>(*n);
+      } else {
+        return Usage();
+      }
+    }
+    srv_options.default_threshold = threshold;
+    g_serve.serving.store(true, std::memory_order_release);
+    CliObsSession obs_session;
+    return RunServe(options.dataset_path, srv_options);
   }
 
   std::string snapshot_out;
@@ -743,4 +938,9 @@ int Main(int argc, char** argv) {
 }  // namespace
 }  // namespace gbkmv
 
-int main(int argc, char** argv) { return gbkmv::Main(argc, argv); }
+int main(int argc, char** argv) {
+  // Before any thread exists: every thread inherits the mask, so the
+  // watcher's sigwait is the only consumer of these signals.
+  gbkmv::server::BlockShutdownSignals();
+  return gbkmv::Main(argc, argv);
+}
