@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Guard for BENCH_compaction.json (schema gbkmv_compaction_v1).
+
+Checks, in order:
+  1. schema: the merge / rebuild / purge / serving sections exist with
+     positive timings (run with --schema-only for just this — what the CI
+     release smoke job does, where absolute timings are meaningless).
+  2. merge gate (--check): the index-level shard merge must be at least
+     --min-speedup (default 2.0) times faster than the from-scratch rebuild
+     over the identical union of records. The merge copies sketch rows and
+     rebuilds postings; the rebuild re-sketches every record — the true
+     ratio is well above 2 at any realistic shard size.
+  3. serving gate (--check): sequential Serve() QPS while a background
+     tiered compaction runs must stay within --min-serving-ratio (default
+     0.9) of the quiescent QPS on the merged service. Compaction runs
+     freeze -> build-unlocked -> swap, so queries never block on it.
+  4. purge sanity (--check): the purge rewrite must have physically removed
+     every tombstoned row it was asked to.
+
+Usage:
+  python3 bench/check_compaction.py BENCH_compaction.json \
+      [--schema-only] [--check] [--min-speedup 2.0] \
+      [--min-serving-ratio 0.9]
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "gbkmv_compaction_v1"
+
+
+class CheckError(Exception):
+    """A check failed in a way the caller can act on (clear message, no
+    traceback): missing file, malformed JSON, stale schema, failed gate."""
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        raise CheckError(f"report file not found: {path}")
+    except json.JSONDecodeError as e:
+        raise CheckError(f"report file {path} is not valid JSON: {e}")
+
+
+def require_schema(report, path):
+    schema = report.get("schema")
+    if schema != SCHEMA:
+        raise CheckError(
+            f"report file {path} has schema {schema!r}, expected "
+            f"{SCHEMA!r}; regenerate it with bench/compaction")
+
+
+def check_schema(report):
+    for section in ("config", "merge", "rebuild", "purge", "serving"):
+        if section not in report:
+            raise CheckError(f"missing section '{section}'")
+    merge = report["merge"]
+    rebuild = report["rebuild"]
+    serving = report["serving"]
+    if merge.get("seconds", 0) <= 0 or rebuild.get("seconds", 0) <= 0:
+        raise CheckError("merge/rebuild timings must be positive")
+    if merge.get("rows", 0) <= 0 or merge.get("shards", 0) < 2:
+        raise CheckError("merge must cover >= 2 shards with rows")
+    if report.get("merge_speedup_vs_rebuild", 0) <= 0:
+        raise CheckError("merge_speedup_vs_rebuild missing or non-positive")
+    for key in ("compacting_qps", "quiescent_qps", "ratio"):
+        if serving.get(key, 0) <= 0:
+            raise CheckError(f"serving.{key} must be positive")
+    print(f"schema ok: merge {merge['shards']} shards / {merge['rows']} "
+          f"rows in {merge['seconds']:.6f}s, rebuild "
+          f"{rebuild['seconds']:.6f}s")
+
+
+def check_gates(report, min_speedup, min_serving_ratio):
+    speedup = report["merge_speedup_vs_rebuild"]
+    if speedup < min_speedup:
+        raise CheckError(
+            f"merge gate failed: index-level merge is only {speedup:.2f}x "
+            f"faster than the dataset rebuild (gate: >= {min_speedup}x)")
+    print(f"merge gate ok: {speedup:.2f}x >= {min_speedup}x")
+
+    ratio = report["serving"]["ratio"]
+    if ratio < min_serving_ratio:
+        raise CheckError(
+            f"serving gate failed: QPS under background compaction is "
+            f"{ratio:.3f} of quiescent (gate: >= {min_serving_ratio})")
+    print(f"serving gate ok: {ratio:.3f} >= {min_serving_ratio}")
+
+    purge = report["purge"]
+    if purge["purged"] != purge["deleted"]:
+        raise CheckError(
+            f"purge gate failed: {purge['deleted']} rows tombstoned but "
+            f"{purge['purged']} physically purged")
+    print(f"purge gate ok: {purge['purged']}/{purge['deleted']} rows purged "
+          f"in {purge['seconds']:.6f}s")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Check BENCH_compaction.json")
+    parser.add_argument("report")
+    parser.add_argument("--schema-only", action="store_true",
+                        help="validate the schema and stop (CI smoke)")
+    parser.add_argument("--check", action="store_true",
+                        help="enforce the merge/serving/purge gates")
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument("--min-serving-ratio", type=float, default=0.9)
+    args = parser.parse_args()
+
+    report = load(args.report)
+    require_schema(report, args.report)
+    check_schema(report)
+    if args.schema_only:
+        return
+    if args.check:
+        check_gates(report, args.min_speedup, args.min_serving_ratio)
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except CheckError as e:
+        print(f"check_compaction: {e}", file=sys.stderr)
+        sys.exit(1)

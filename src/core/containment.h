@@ -89,10 +89,12 @@ enum class ShardPartitioner {
 // "size" | "size-stratified" -> kSizeStratified.
 Result<ShardPartitioner> ParseShardPartitioner(const std::string& name);
 
-// Sharded-serving knobs (consumed by BuildShardedService in
-// serve/sharded_service.h; ignored by plain BuildSearcher). Semantics in
-// docs/sharding.md.
-struct ShardedOptions {
+// Every knob of the sharded service in one documented struct (consumed by
+// BuildShardedService / ShardedContainmentService::{Build,Load}; ignored by
+// plain BuildSearcher). Semantics in docs/sharding.md; the lifecycle knobs
+// (compaction_*, tombstone_purge_threshold) are covered by the "Shard
+// lifecycle" section there.
+struct ServiceOptions {
   // Number of index shards; clamped to the record count. 0 behaves as 1.
   size_t num_shards = 1;
   ShardPartitioner partitioner = ShardPartitioner::kHash;
@@ -102,7 +104,7 @@ struct ShardedOptions {
   // 0 = space_ratio * total_elements / num_shards (min 1024).
   uint64_t ingest_budget_units = 0;
   // Promote the ingest shard to an immutable shard (in the background) once
-  // it holds this many records; 0 = only on explicit PromoteIngest().
+  // it holds this many records; 0 = only on explicit Promote().
   size_t auto_promote_records = 0;
   // Resident-shard budget for services restored with Load (docs/sharding.md
   // "Larger than RAM"). When either limit is non-zero, Load defers every
@@ -114,7 +116,24 @@ struct ShardedOptions {
   // reactivate from).
   size_t max_resident_shards = 0;
   uint64_t max_resident_bytes = 0;
+  // Tiered compaction (docs/sharding.md "Shard lifecycle"). After every
+  // promotion the service scans the promoted shards newest-to-oldest and
+  // accumulates a "run": shard j-1 joins while size(j-1) <=
+  // compaction_tier_ratio * (run size so far). A run of at least
+  // compaction_min_shards triggers a background merge-compaction of exactly
+  // those shards. 0 disables automatic compaction (explicit Compact() still
+  // works).
+  double compaction_tier_ratio = 0.0;
+  size_t compaction_min_shards = 2;
+  // Rewrite (purge) a promoted shard in the background once its tombstone
+  // fraction num_deleted / num_rows reaches this threshold; 0 disables
+  // automatic purging (tombstones still purge on every merge).
+  double tombstone_purge_threshold = 0.0;
 };
+
+// Deprecated alias (one PR): the knobs used to be named after sharding
+// alone; the lifecycle work folded every service knob into ServiceOptions.
+using ShardedOptions = ServiceOptions;
 
 struct SearcherConfig {
   SearchMethod method = SearchMethod::kGbKmv;
@@ -135,7 +154,7 @@ struct SearcherConfig {
   // byte-identical for any value). 0 = DefaultThreads(), 1 = serial.
   size_t num_threads = 0;
   // Sharded-serving layer (BuildShardedService only).
-  ShardedOptions sharded;
+  ServiceOptions sharded;
 };
 
 // Builds the configured searcher. The dataset must outlive the searcher.

@@ -10,52 +10,63 @@
 namespace gbkmv {
 
 Result<Dataset> Dataset::Create(std::vector<Record> records, std::string name) {
-  Dataset ds;
-  ds.name_ = std::move(name);
-
-  ElementId max_id = 0;
-  bool any = false;
   for (size_t i = 0; i < records.size(); ++i) {
     if (!IsNormalized(records[i])) {
       return Status::InvalidArgument("record " + std::to_string(i) +
                                      " is not sorted/unique");
     }
-    if (!records[i].empty()) {
-      max_id = std::max(max_id, records[i].back());
+  }
+  return CreateFromNormalized(std::move(records), std::move(name));
+}
+
+Result<Dataset> Dataset::CreateFromNormalized(std::vector<Record> records,
+                                              std::string name) {
+  Dataset ds;
+  ds.name_ = std::move(name);
+  ds.records_ = std::move(records);
+  for (const Record& r : ds.records_) ds.total_elements_ += r.size();
+  return ds;
+}
+
+void Dataset::EnsureFrequencyTables() const {
+  if (freq_ready_) return;
+
+  ElementId max_id = 0;
+  bool any = false;
+  for (const Record& r : records_) {
+    if (!r.empty()) {
+      max_id = std::max(max_id, r.back());
       any = true;
     }
   }
-
-  ds.records_ = std::move(records);
-  ds.frequency_.assign(any ? static_cast<size_t>(max_id) + 1 : 0, 0);
-  for (const Record& r : ds.records_) {
-    ds.total_elements_ += r.size();
-    for (ElementId e : r) ++ds.frequency_[e];
+  frequency_.assign(any ? static_cast<size_t>(max_id) + 1 : 0, 0);
+  for (const Record& r : records_) {
+    for (ElementId e : r) ++frequency_[e];
   }
-  ds.num_distinct_ = static_cast<size_t>(
-      std::count_if(ds.frequency_.begin(), ds.frequency_.end(),
+  num_distinct_ = static_cast<size_t>(
+      std::count_if(frequency_.begin(), frequency_.end(),
                     [](uint64_t f) { return f > 0; }));
 
-  ds.by_frequency_.resize(ds.frequency_.size());
-  std::iota(ds.by_frequency_.begin(), ds.by_frequency_.end(), 0);
-  std::stable_sort(ds.by_frequency_.begin(), ds.by_frequency_.end(),
-                   [&ds](ElementId a, ElementId b) {
-                     return ds.frequency_[a] > ds.frequency_[b];
+  by_frequency_.resize(frequency_.size());
+  std::iota(by_frequency_.begin(), by_frequency_.end(), 0);
+  std::stable_sort(by_frequency_.begin(), by_frequency_.end(),
+                   [this](ElementId a, ElementId b) {
+                     return frequency_[a] > frequency_[b];
                    });
   // Drop zero-frequency tail so the buffer never wastes bits on unseen ids.
-  while (!ds.by_frequency_.empty() &&
-         ds.frequency_[ds.by_frequency_.back()] == 0) {
-    ds.by_frequency_.pop_back();
+  while (!by_frequency_.empty() &&
+         frequency_[by_frequency_.back()] == 0) {
+    by_frequency_.pop_back();
   }
 
-  ds.prefix_freq_.resize(ds.by_frequency_.size() + 1, 0);
-  ds.prefix_freq_sq_.resize(ds.by_frequency_.size() + 1, 0.0);
-  for (size_t i = 0; i < ds.by_frequency_.size(); ++i) {
-    const double f = static_cast<double>(ds.frequency_[ds.by_frequency_[i]]);
-    ds.prefix_freq_[i + 1] = ds.prefix_freq_[i] + ds.frequency_[ds.by_frequency_[i]];
-    ds.prefix_freq_sq_[i + 1] = ds.prefix_freq_sq_[i] + f * f;
+  prefix_freq_.resize(by_frequency_.size() + 1, 0);
+  prefix_freq_sq_.resize(by_frequency_.size() + 1, 0.0);
+  for (size_t i = 0; i < by_frequency_.size(); ++i) {
+    const double f = static_cast<double>(frequency_[by_frequency_[i]]);
+    prefix_freq_[i + 1] = prefix_freq_[i] + frequency_[by_frequency_[i]];
+    prefix_freq_sq_[i + 1] = prefix_freq_sq_[i] + f * f;
   }
-  return ds;
+  freq_ready_ = true;
 }
 
 uint64_t FingerprintRecords(const std::vector<Record>& records) {
@@ -79,12 +90,14 @@ uint64_t Dataset::Fingerprint() const {
 }
 
 uint64_t Dataset::TopFrequencySum(size_t r) const {
+  EnsureFrequencyTables();
   r = std::min(r, by_frequency_.size());
   return prefix_freq_[r];
 }
 
 double Dataset::FrequencySecondMoment() const {
   if (total_elements_ == 0) return 0.0;
+  EnsureFrequencyTables();
   const double n2 = static_cast<double>(total_elements_) *
                     static_cast<double>(total_elements_);
   return prefix_freq_sq_.back() / n2;
@@ -92,6 +105,7 @@ double Dataset::FrequencySecondMoment() const {
 
 double Dataset::TopFrequencySecondMoment(size_t r) const {
   if (total_elements_ == 0) return 0.0;
+  EnsureFrequencyTables();
   r = std::min(r, by_frequency_.size());
   const double n2 = static_cast<double>(total_elements_) *
                     static_cast<double>(total_elements_);
@@ -100,6 +114,7 @@ double Dataset::TopFrequencySecondMoment(size_t r) const {
 
 const DatasetStats& Dataset::stats() const {
   if (stats_ready_) return stats_;
+  EnsureFrequencyTables();
   DatasetStats s;
   s.num_records = records_.size();
   s.num_distinct = num_distinct_;

@@ -36,9 +36,19 @@ class Dataset {
   Dataset() = default;
 
   // Takes ownership of `records`; every record must be normalised
-  // (sorted unique). Computes frequency statistics eagerly.
+  // (sorted unique) — validated here, `InvalidArgument` otherwise. The
+  // frequency statistics are derived lazily on first use (see below).
   static Result<Dataset> Create(std::vector<Record> records,
                                 std::string name = "dataset");
+
+  // Like Create but skips the per-record normalisation check: for callers
+  // that assemble records from sources that are themselves normalised
+  // datasets (e.g. the compaction path gathering a union of shard
+  // datasets), where re-validating every element is pure overhead. Feeding
+  // it an unnormalised record is undefined behaviour downstream — when in
+  // doubt, use Create.
+  static Result<Dataset> CreateFromNormalized(std::vector<Record> records,
+                                              std::string name = "dataset");
 
   const std::string& name() const { return name_; }
   size_t size() const { return records_.size(); }
@@ -49,21 +59,39 @@ class Dataset {
   // Total number of element occurrences, N = Σ|X_i|.
   uint64_t total_elements() const { return total_elements_; }
 
+  // The frequency accessors below derive their tables on first use (the
+  // element-frequency count plus the by-frequency sort are the dominant
+  // cost of dataset construction, and index builds that reuse a pinned
+  // sketcher — promotion, compaction merges — never need them). Like
+  // stats() and Fingerprint(), the first access is not thread-safe:
+  // builders derive before an index is published to query threads.
+
   // Largest element id + 1 (ids are dense but may have gaps with freq 0).
-  size_t universe_size() const { return frequency_.size(); }
+  size_t universe_size() const {
+    EnsureFrequencyTables();
+    return frequency_.size();
+  }
 
   // Number of elements with frequency > 0.
-  size_t num_distinct() const { return num_distinct_; }
+  size_t num_distinct() const {
+    EnsureFrequencyTables();
+    return num_distinct_;
+  }
 
   // Frequency of element `e` (0 for unseen ids).
   uint64_t frequency(ElementId e) const {
+    EnsureFrequencyTables();
     return e < frequency_.size() ? frequency_[e] : 0;
   }
-  const std::vector<uint64_t>& frequencies() const { return frequency_; }
+  const std::vector<uint64_t>& frequencies() const {
+    EnsureFrequencyTables();
+    return frequency_;
+  }
 
   // Element ids sorted by decreasing frequency (ties by id); the first r
   // entries are the GB-KMV buffer universe E_H.
   const std::vector<ElementId>& elements_by_frequency() const {
+    EnsureFrequencyTables();
     return by_frequency_;
   }
 
@@ -95,14 +123,20 @@ class Dataset {
   static Result<Dataset> Load(const std::string& path);
 
  private:
+  // Counts elements and sorts the universe by frequency; no-op once done.
+  void EnsureFrequencyTables() const;
+
   std::string name_;
   std::vector<Record> records_;
-  std::vector<uint64_t> frequency_;
-  std::vector<ElementId> by_frequency_;
-  std::vector<uint64_t> prefix_freq_;     // prefix sums over by_frequency_.
-  std::vector<double> prefix_freq_sq_;    // prefix sums of f².
+  // Lazily derived (EnsureFrequencyTables); mutable for the same
+  // compute-once caching reason as stats_ and fingerprint_.
+  mutable std::vector<uint64_t> frequency_;
+  mutable std::vector<ElementId> by_frequency_;
+  mutable std::vector<uint64_t> prefix_freq_;   // prefix sums over by_frequency_.
+  mutable std::vector<double> prefix_freq_sq_;  // prefix sums of f².
+  mutable size_t num_distinct_ = 0;
+  mutable bool freq_ready_ = false;
   uint64_t total_elements_ = 0;
-  size_t num_distinct_ = 0;
   mutable DatasetStats stats_;
   mutable bool stats_ready_ = false;
   mutable uint64_t fingerprint_ = 0;

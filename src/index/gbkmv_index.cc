@@ -90,6 +90,97 @@ GbKmvIndexSearcher::CreateWithSketcher(const Dataset& dataset,
   return s;
 }
 
+Result<std::unique_ptr<GbKmvIndexSearcher>> GbKmvIndexSearcher::Merge(
+    std::span<const MergeSource> sources, const Dataset& dataset) {
+  if (sources.empty()) {
+    return Status::InvalidArgument("merge needs at least one source");
+  }
+  for (const MergeSource& src : sources) {
+    if (src.searcher == nullptr) {
+      return Status::InvalidArgument("null merge source");
+    }
+    // An empty mask means "no tombstones" (callers size masks lazily).
+    if (src.deleted != nullptr && !src.deleted->empty() &&
+        src.deleted->size() != src.searcher->num_records()) {
+      return Status::InvalidArgument(
+          "tombstone mask size disagrees with its shard");
+    }
+  }
+  const GbKmvIndexSearcher& first = *sources[0].searcher;
+  size_t survivors = 0;
+  size_t total_hashes = 0;
+  for (const MergeSource& src : sources) {
+    const GbKmvIndexSearcher& s = *src.searcher;
+    if (s.chosen_buffer_bits_ != first.chosen_buffer_bits_ ||
+        s.words_per_record_ != first.words_per_record_ ||
+        s.sketch_threshold_ != first.sketch_threshold_) {
+      return Status::InvalidArgument(
+          "merge sources disagree on sketcher parameters");
+    }
+    for (size_t i = 0; i < s.num_records(); ++i) {
+      if (src.deleted != nullptr && i < src.deleted->size() &&
+          (*src.deleted)[i] != 0) {
+        continue;
+      }
+      ++survivors;
+      total_hashes += s.HashesOf(static_cast<RecordId>(i)).size();
+    }
+  }
+  if (survivors == 0) {
+    return Status::InvalidArgument("every merge row is tombstoned");
+  }
+  if (dataset.size() != survivors) {
+    return Status::InvalidArgument(
+        "survivor dataset size disagrees with the merge sources");
+  }
+
+  std::unique_ptr<GbKmvIndexSearcher> merged(
+      new GbKmvIndexSearcher(&dataset));
+  merged->chosen_buffer_bits_ = first.chosen_buffer_bits_;
+  merged->sketcher_ = std::make_unique<GbKmvSketcher>(*first.sketcher_);
+  merged->words_per_record_ = first.words_per_record_;
+  merged->sketch_threshold_ = first.sketch_threshold_;
+  merged->owned_record_sizes_.reserve(survivors);
+  merged->owned_buffer_words_.reserve(survivors * first.words_per_record_);
+  merged->owned_hash_offsets_.reserve(survivors + 1);
+  merged->owned_hash_offsets_.push_back(0);
+  merged->owned_hashes_.reserve(total_hashes);
+  const uint64_t buffer_units = (first.chosen_buffer_bits_ + 31) / 32;
+  for (const MergeSource& src : sources) {
+    const GbKmvIndexSearcher& s = *src.searcher;
+    for (size_t i = 0; i < s.num_records(); ++i) {
+      if (src.deleted != nullptr && i < src.deleted->size() &&
+          (*src.deleted)[i] != 0) {
+        continue;
+      }
+      const RecordId id = static_cast<RecordId>(i);
+      const size_t row = merged->owned_record_sizes_.size();
+      if (dataset.record(row).size() != s.record_sizes_[id]) {
+        return Status::InvalidArgument(
+            "survivor dataset rows disagree with the merge sources");
+      }
+      merged->owned_record_sizes_.push_back(s.record_sizes_[id]);
+      const std::span<const uint64_t> words = s.BufferWordsOf(id);
+      merged->owned_buffer_words_.insert(merged->owned_buffer_words_.end(),
+                                         words.begin(), words.end());
+      const std::span<const uint64_t> values = s.HashesOf(id);
+      merged->owned_hashes_.insert(merged->owned_hashes_.end(),
+                                   values.begin(), values.end());
+      merged->owned_hash_offsets_.push_back(merged->owned_hashes_.size());
+      merged->space_units_ += buffer_units + values.size();
+    }
+  }
+  merged->record_sizes_ =
+      std::span<const uint32_t>(merged->owned_record_sizes_);
+  merged->buffer_words_ =
+      std::span<const uint64_t>(merged->owned_buffer_words_);
+  merged->hash_offsets_ =
+      std::span<const uint64_t>(merged->owned_hash_offsets_);
+  merged->hashes_ = std::span<const uint64_t>(merged->owned_hashes_);
+  merged->BuildQueryStructures();
+  return merged;
+}
+
 Status GbKmvIndexSearcher::AdoptSketches(
     const std::vector<GbKmvSketch>& sketches) {
   const size_t m = sketches.size();

@@ -88,6 +88,31 @@ class GbKmvIndexSearcher : public ContainmentSearcher {
   static Result<std::unique_ptr<GbKmvIndexSearcher>> CreateWithSketcher(
       const Dataset& dataset, GbKmvSketcher sketcher, size_t num_threads = 0);
 
+  // One immutable source of an index-level merge: a searcher plus an
+  // optional tombstone mask (deleted != null and (*deleted)[i] != 0 drops
+  // local row i).
+  struct MergeSource {
+    const GbKmvIndexSearcher* searcher = nullptr;
+    const std::vector<uint8_t>* deleted = nullptr;
+  };
+
+  // Index-level shard merge (docs/sharding.md "Shard lifecycle"):
+  // concatenates the sources' flat sketch stores in order, skipping
+  // tombstoned rows, and rebuilds only the derived query structures (size
+  // order + hash postings, a deterministic two-pass count/scatter over the
+  // concatenated rows) — no record is ever re-sketched. `dataset` must
+  // hold exactly the surviving records in merge order (source order,
+  // ascending local id within a source) and must outlive the searcher.
+  // Because a record's flat row is a pure function of (record, sketcher),
+  // the merged searcher answers bit-identically — hits, scores, stats —
+  // to CreateWithSketcher over `dataset` with the shared sketcher. All
+  // sources must share the first source's sketcher parameters (buffer
+  // width, global threshold); InvalidArgument otherwise, and
+  // InvalidArgument when every row is tombstoned (an index cannot be
+  // empty — the caller drops the shard instead).
+  static Result<std::unique_ptr<GbKmvIndexSearcher>> Merge(
+      std::span<const MergeSource> sources, const Dataset& dataset);
+
   // Safe for concurrent callers with distinct QueryContext arenas. Hit
   // scores are the Eq. 27 estimate (buffer overlap + G-KMV term, clamped by
   // min(|Q|, |X|)) divided by |Q| — the very value the threshold test uses.

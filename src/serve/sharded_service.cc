@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <limits>
 #include <mutex>
 #include <numeric>
 #include <unordered_map>
@@ -37,6 +38,8 @@ struct ServeMetrics {
   obs::Histogram* shard_search_ns = nullptr;
   obs::Histogram* fanout_width = nullptr;
   obs::Counter* ingests = nullptr;
+  obs::Counter* deletes = nullptr;
+  obs::Counter* tombstones_purged = nullptr;
   obs::Counter* promotions = nullptr;
   obs::Histogram* promotion_ns = nullptr;
   obs::Counter* compactions = nullptr;
@@ -58,6 +61,9 @@ const ServeMetrics& Metrics() {
         registry.GetHistogram("gbkmv_serve_shard_search_ns");
     m.fanout_width = registry.GetHistogram("gbkmv_serve_fanout_width");
     m.ingests = registry.GetCounter("gbkmv_serve_ingests_total");
+    m.deletes = registry.GetCounter("gbkmv_serve_deletes_total");
+    m.tombstones_purged =
+        registry.GetCounter("gbkmv_serve_tombstones_purged_total");
     m.promotions = registry.GetCounter("gbkmv_serve_promotions_total");
     m.promotion_ns = registry.GetHistogram("gbkmv_serve_promotion_ns");
     m.compactions = registry.GetCounter("gbkmv_serve_compactions_total");
@@ -218,7 +224,8 @@ ShardedContainmentService::Build(const Dataset& dataset,
     std::vector<Record> records;
     records.reserve(partition[k].size());
     for (RecordId id : partition[k]) records.push_back(dataset.record(id));
-    Result<Dataset> shard_dataset = Dataset::Create(
+    // Rows come from an already-validated Dataset; skip re-validation.
+    Result<Dataset> shard_dataset = Dataset::CreateFromNormalized(
         std::move(records), dataset.name() + "/shard-" + std::to_string(k));
     if (!shard_dataset.ok()) {
       statuses[k] = shard_dataset.status();
@@ -424,6 +431,33 @@ void RecordServeObservations(
   }
 }
 
+// Drops hits whose local row is tombstoned (mask may be shorter than the
+// shard; rows past the end are live). Every dropped hit was a qualifying
+// candidate of the unpurged index, so candidates_refined goes down with it
+// — the qualifying count a purged index would report. The surviving hits
+// and scores are exactly the purged index's: a row's score depends only on
+// its own sketch and the query.
+void FilterTombstonedHits(const std::vector<uint8_t>& deleted,
+                          QueryResponse* response) {
+  size_t kept = 0;
+  for (const QueryHit& hit : response->hits) {
+    if (hit.id < deleted.size() && deleted[hit.id] != 0) continue;
+    response->hits[kept++] = hit;
+  }
+  response->stats.candidates_refined -= response->hits.size() - kept;
+  response->hits.resize(kept);
+}
+
+// Tombstone mask -> ascending deleted local ids (the manifest v2 wire
+// encoding; empty mask -> empty vector).
+std::vector<uint32_t> DeletedLocalIds(const std::vector<uint8_t>& mask) {
+  std::vector<uint32_t> ids;
+  for (size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i] != 0) ids.push_back(static_cast<uint32_t>(i));
+  }
+  return ids;
+}
+
 }  // namespace
 
 std::vector<QueryResponse> ShardedContainmentService::BatchServe(
@@ -441,6 +475,9 @@ std::vector<QueryResponse> ShardedContainmentService::BatchServe(
   struct Live {
     const ContainmentSearcher* searcher;
     std::span<const RecordId> ids;
+    // Tombstone mask of the shard; null when it has none. Stable for the
+    // whole batch: Delete writes masks under the unique lock only.
+    const std::vector<uint8_t>* deleted = nullptr;
   };
   std::vector<Live> live;
   live.reserve(shards_.size() + 2);
@@ -456,7 +493,8 @@ std::vector<QueryResponse> ShardedContainmentService::BatchServe(
   for (const Shard& shard : shards_) {
     Result<std::shared_ptr<ActiveShard>> active = PinShard(shard);
     GBKMV_CHECK(active.ok());
-    live.push_back({active.value()->searcher.get(), shard.global_ids});
+    live.push_back({active.value()->searcher.get(), shard.global_ids,
+                    shard.num_deleted > 0 ? &shard.deleted : nullptr});
     pins.push_back(std::move(active.value()));
   }
   // Contiguous global ids of the dynamic shards (promoting, then ingest).
@@ -470,7 +508,9 @@ std::vector<QueryResponse> ShardedContainmentService::BatchServe(
     }
     live.push_back({promoting_.get(),
                     std::span<const RecordId>(dynamic_ids.data(),
-                                              promoting_count)});
+                                              promoting_count),
+                    promoting_num_deleted_ > 0 ? &promoting_deleted_
+                                               : nullptr});
   }
   if (ingest_count > 0) {
     for (size_t i = 0; i < ingest_count; ++i) {
@@ -478,7 +518,8 @@ std::vector<QueryResponse> ShardedContainmentService::BatchServe(
     }
     live.push_back({ingest_.get(),
                     std::span<const RecordId>(
-                        dynamic_ids.data() + promoting_count, ingest_count)});
+                        dynamic_ids.data() + promoting_count, ingest_count),
+                    ingest_num_deleted_ > 0 ? &ingest_deleted_ : nullptr});
   }
 
   // Observability (docs/observability.md). Everything below is passive:
@@ -554,6 +595,26 @@ std::vector<QueryResponse> ShardedContainmentService::BatchServe(
   std::vector<std::vector<obs::TraceSpan>> task_spans;
   if (!pending.empty() && S > 0) {
     std::vector<QueryResponse> partial(pending.size() * S);
+    // A shard with live tombstones is searched without per-shard top-k
+    // truncation (a tombstoned hit must not consume a top-k slot) and with
+    // scores on, so the global merge can still rank; its tombstoned hits
+    // are dropped right after the search. Clean shards keep the original
+    // request — their per-shard truncation stays globally safe because
+    // tombstones elsewhere only remove competitors.
+    bool any_tombstones = false;
+    for (const Live& l : live) any_tombstones |= l.deleted != nullptr;
+    std::vector<QueryRequest> untruncated;
+    if (any_tombstones) {
+      untruncated.reserve(pending.size());
+      for (size_t qi = 0; qi < pending.size(); ++qi) {
+        QueryRequest modified = requests[pending[qi]];
+        if (modified.top_k > 0) {
+          modified.top_k = 0;
+          modified.want_scores = true;
+        }
+        untruncated.push_back(modified);
+      }
+    }
     if (timing) {
       task_start.resize(pending.size() * S, 0);
       task_end.resize(pending.size() * S, 0);
@@ -569,9 +630,15 @@ std::vector<QueryResponse> ShardedContainmentService::BatchServe(
     const auto run_task = [&](size_t task) {
       const size_t qi = task / S;
       const size_t s = task % S;
+      const std::vector<uint8_t>* deleted = live[s].deleted;
+      const QueryRequest& request =
+          deleted != nullptr ? untruncated[qi] : requests[pending[qi]];
       if (!timing) {
-        partial[task] = live[s].searcher->SearchQ(requests[pending[qi]],
-                                                  ThreadLocalQueryContext());
+        partial[task] =
+            live[s].searcher->SearchQ(request, ThreadLocalQueryContext());
+        if (deleted != nullptr) {
+          FilterTombstonedHits(*deleted, &partial[task]);
+        }
         return;
       }
       task_start[task] = MonotonicNanos();
@@ -580,12 +647,15 @@ std::vector<QueryResponse> ShardedContainmentService::BatchServe(
         obs::SpanSink sink(serve_start[pending[qi]],
                            static_cast<int32_t>(s));
         obs::ScopedSpanSink install(&sink);
-        partial[task] = live[s].searcher->SearchQ(requests[pending[qi]],
-                                                  ThreadLocalQueryContext());
+        partial[task] =
+            live[s].searcher->SearchQ(request, ThreadLocalQueryContext());
         task_spans[task] = sink.Take();
       } else {
-        partial[task] = live[s].searcher->SearchQ(requests[pending[qi]],
-                                                  ThreadLocalQueryContext());
+        partial[task] =
+            live[s].searcher->SearchQ(request, ThreadLocalQueryContext());
+      }
+      if (deleted != nullptr) {
+        FilterTombstonedHits(*deleted, &partial[task]);
       }
       task_end[task] = MonotonicNanos();
       if (metrics_on) {
@@ -696,8 +766,11 @@ void ShardedContainmentService::EnsureIngestLocked() {
   ingest_ = std::move(index.value());
 }
 
-RecordId ShardedContainmentService::Ingest(Record record) {
+Result<RecordId> ShardedContainmentService::Ingest(Record record) {
   Record normalised = MakeRecord(std::move(record));
+  if (normalised.empty()) {
+    return Status::InvalidArgument("cannot ingest an empty record");
+  }
   std::unique_lock<std::shared_mutex> lock(state_mutex_);
   EnsureIngestLocked();
   ingest_->Insert(std::move(normalised));
@@ -714,16 +787,81 @@ RecordId ShardedContainmentService::Ingest(Record record) {
     }
     // Submitting under the lock is safe: Submit only enqueues, and the
     // task's own unique_lock (DoPromote phase 1) waits for us to release.
-    background_promotion_ = background_pool_->Submit([this] {
+    background_task_ = background_pool_->Submit([this] {
       const Status status = DoPromote();
       {
         std::unique_lock<std::shared_mutex> inner(state_mutex_);
-        background_status_ = status;
+        if (!status.ok() && background_status_.ok()) {
+          background_status_ = status;
+        }
       }
       promotion_in_flight_.store(false);
     });
   }
   return global_id;
+}
+
+Result<MutationResult> ShardedContainmentService::Delete(RecordId id) {
+  std::unique_lock<std::shared_mutex> lock(state_mutex_);
+  MutationResult result;
+  result.kind = MutationKind::kDelete;
+  result.id = id;
+  if (id >= next_global_id_) {
+    return Status::NotFound("record " + std::to_string(id) +
+                            " was never ingested");
+  }
+  // Marks local row `local` in a lazily sized mask; reports a double
+  // delete as a no-op.
+  const auto mark = [&result](std::vector<uint8_t>* mask, size_t* count,
+                              size_t local, size_t rows) {
+    if (mask->size() < rows) mask->resize(rows, 0);
+    if ((*mask)[local] != 0) {
+      result.noop = true;
+      return;
+    }
+    (*mask)[local] = 1;
+    ++*count;
+  };
+  if (id >= ingest_base_) {
+    const size_t local = static_cast<size_t>(id - ingest_base_);
+    if (ingest_ == nullptr || local >= ingest_->size()) {
+      return Status::NotFound("record " + std::to_string(id) +
+                              " is not in the ingest shard");
+    }
+    mark(&ingest_deleted_, &ingest_num_deleted_, local, ingest_->size());
+  } else if (promoting_ != nullptr && id >= promoting_base_ &&
+             static_cast<size_t>(id - promoting_base_) < promoting_->size()) {
+    mark(&promoting_deleted_, &promoting_num_deleted_,
+         static_cast<size_t>(id - promoting_base_), promoting_->size());
+  } else {
+    // Immutable shards: each holds ascending global ids, so one binary
+    // search per shard locates the local row.
+    bool found = false;
+    for (Shard& shard : shards_) {
+      const auto it = std::lower_bound(shard.global_ids.begin(),
+                                       shard.global_ids.end(), id);
+      if (it == shard.global_ids.end() || *it != id) continue;
+      mark(&shard.deleted, &shard.num_deleted,
+           static_cast<size_t>(it - shard.global_ids.begin()),
+           shard.global_ids.size());
+      found = true;
+      break;
+    }
+    if (!found) {
+      // A valid id that no live row carries was purged by an earlier merge
+      // (double delete across a compaction).
+      return Status::NotFound("record " + std::to_string(id) +
+                              " was already purged");
+    }
+  }
+  if (!result.noop) {
+    Metrics().deletes->Add(1);
+    // A tombstone narrows answers everywhere: full invalidation, exactly
+    // like Ingest.
+    cache_.Clear();
+    MaybeScheduleCompactionLocked();
+  }
+  return result;
 }
 
 Status ShardedContainmentService::DoPromote() {
@@ -736,6 +874,13 @@ Status ShardedContainmentService::DoPromote() {
       if (ingest_ == nullptr || ingest_->size() == 0) return Status::OK();
       promoting_ = std::move(ingest_);
       promoting_base_ = ingest_base_;
+      // Tombstones travel with their rows; nothing is purged here, so the
+      // promoted shard keeps the contiguous global-id range the merge
+      // invariant relies on.
+      promoting_deleted_ = std::move(ingest_deleted_);
+      promoting_num_deleted_ = ingest_num_deleted_;
+      ingest_deleted_.clear();
+      ingest_num_deleted_ = 0;
       ingest_base_ = next_global_id_;
     }
   }
@@ -747,7 +892,10 @@ Status ShardedContainmentService::DoPromote() {
   for (size_t i = 0; i < promoting_->size(); ++i) {
     records.push_back(promoting_->record(static_cast<RecordId>(i)));
   }
-  Result<Dataset> dataset = Dataset::Create(std::move(records), "promoted");
+  // Ingest normalised every record on the way in (MakeRecord), so the
+  // gathered rows need no re-validation.
+  Result<Dataset> dataset =
+      Dataset::CreateFromNormalized(std::move(records), "promoted");
   if (!dataset.ok()) return dataset.status();
   auto shard_dataset = std::make_unique<Dataset>(std::move(dataset.value()));
   Result<std::unique_ptr<ContainmentSearcher>> searcher =
@@ -765,24 +913,35 @@ Status ShardedContainmentService::DoPromote() {
     promoted.active->dataset = std::move(shard_dataset);
     promoted.active->searcher = std::move(searcher.value());
     promoted.global_ids = std::move(ids);
+    // The mask's CURRENT value under this lock — it may have grown since
+    // phase 1 (Delete on the promoting range interleaves with the build);
+    // local rows are iota either way, so indices line up.
+    promoted.deleted = std::move(promoting_deleted_);
+    if (!promoted.deleted.empty()) {
+      promoted.deleted.resize(promoted.global_ids.size(), 0);
+    }
+    promoted.num_deleted = promoting_num_deleted_;
+    promoting_deleted_.clear();
+    promoting_num_deleted_ = 0;
     shards_.push_back(std::move(promoted));
     promoting_.reset();
     cache_.Clear();
+    MaybeScheduleCompactionLocked();
   }
   Metrics().promotions->Add(1);
   Metrics().promotion_ns->Record(timer.ElapsedNanos());
   return Status::OK();
 }
 
-Status ShardedContainmentService::PromoteIngest() {
-  // Join (and swallow) any background promotion: if it failed, DoPromote
-  // below retries the frozen shard — that is what the promoting_-non-null
-  // branch exists for. The background status stays readable through
-  // WaitForBackgroundWork until consumed.
+Status ShardedContainmentService::Promote() {
+  // Join (and swallow) any background work: if a promotion failed,
+  // DoPromote below retries the frozen shard — that is what the
+  // promoting_-non-null branch exists for. The background status stays
+  // readable through WaitForBackgroundWork until consumed.
   std::future<void> pending;
   {
     std::unique_lock<std::shared_mutex> lock(state_mutex_);
-    pending = std::move(background_promotion_);
+    pending = std::move(background_task_);
   }
   if (pending.valid()) pending.get();
   if (promotion_in_flight_.exchange(true)) {
@@ -793,29 +952,91 @@ Status ShardedContainmentService::PromoteIngest() {
   return status;
 }
 
-Status ShardedContainmentService::CompactPromoted() {
-  const WallTimer timer;
-  // Join background work but do not let an old failure veto compaction of
-  // the shards that did promote.
-  std::future<void> pending;
-  {
-    std::unique_lock<std::shared_mutex> lock(state_mutex_);
-    pending = std::move(background_promotion_);
+std::pair<size_t, size_t>
+ShardedContainmentService::PickCompactionRangeLocked() const {
+  // Tiered trigger first: the maximal newest-first suffix run of promoted
+  // shards where each older shard is at most tier_ratio times the rows
+  // accumulated so far — the LSM "merge shards of similar size" rule, with
+  // newly promoted (small) shards absorbing into their elders.
+  const double ratio = config_.sharded.compaction_tier_ratio;
+  const size_t min_run =
+      std::max<size_t>(2, config_.sharded.compaction_min_shards);
+  if (ratio > 0.0 && shards_.size() >= base_shard_count_ + min_run) {
+    size_t lo = shards_.size() - 1;
+    double run = static_cast<double>(shards_[lo].global_ids.size());
+    while (lo > base_shard_count_ &&
+           static_cast<double>(shards_[lo - 1].global_ids.size()) <=
+               ratio * run) {
+      --lo;
+      run += static_cast<double>(shards_[lo].global_ids.size());
+    }
+    if (shards_.size() - lo >= min_run) return {lo, shards_.size()};
   }
-  if (pending.valid()) pending.get();
+  // Purge trigger: rewrite the shard with the highest tombstone fraction
+  // once it crosses the threshold (single-shard "merge", any shard).
+  const double purge = config_.sharded.tombstone_purge_threshold;
+  if (purge > 0.0) {
+    size_t best = shards_.size();
+    double best_fraction = 0.0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const size_t rows = shards_[s].global_ids.size();
+      if (rows == 0 || shards_[s].num_deleted == 0) continue;
+      const double fraction = static_cast<double>(shards_[s].num_deleted) /
+                              static_cast<double>(rows);
+      if (fraction + 1e-12 >= purge && fraction > best_fraction) {
+        best = s;
+        best_fraction = fraction;
+      }
+    }
+    if (best < shards_.size()) return {best, best + 1};
+  }
+  return {0, 0};
+}
 
+void ShardedContainmentService::MaybeScheduleCompactionLocked() {
+  if (compaction_in_flight_.load(std::memory_order_relaxed)) return;
+  const auto [lo, hi] = PickCompactionRangeLocked();
+  if (hi <= lo) return;
+  if (compaction_in_flight_.exchange(true)) return;
+  if (background_pool_ == nullptr) {
+    background_pool_ = std::make_unique<ThreadPool>(1);
+  }
+  // The captured range stays valid until the task runs: promotions only
+  // append, concurrent compactions are excluded by the token, and every
+  // synchronous mutation joins background_task_ first.
+  background_task_ = background_pool_->Submit([this, lo = lo, hi = hi] {
+    size_t purged = 0;
+    const Status status = DoCompactRange(lo, hi, &purged);
+    {
+      std::unique_lock<std::shared_mutex> inner(state_mutex_);
+      if (!status.ok() && background_status_.ok()) {
+        background_status_ = status;
+      }
+    }
+    compaction_in_flight_.store(false);
+  });
+}
+
+Status ShardedContainmentService::DoCompactRange(size_t lo, size_t hi,
+                                                 size_t* purged_out) {
+  if (hi <= lo) return Status::OK();
+  const WallTimer timer;
+
+  // Phase A (shared lock): pin the sources, capture their tombstone masks,
+  // and collect the surviving records + global ids in source order.
+  // Promoted global-id ranges are contiguous and appended in increasing
+  // order — and a single-shard purge keeps its own order — so the
+  // surviving concatenation stays ascending (the merge invariant).
+  std::vector<std::shared_ptr<ActiveShard>> pins;
+  std::vector<std::vector<uint8_t>> captured;  // masks at capture time
+  std::vector<std::vector<uint32_t>> remap;    // local -> merged row
   std::vector<Record> records;
   std::vector<RecordId> ids;
-  size_t base = 0;
-  size_t end = 0;
+  size_t purged = 0;
   {
     std::shared_lock<std::shared_mutex> lock(state_mutex_);
-    base = base_shard_count_;
-    end = shards_.size();
-    if (end - base <= 1) return Status::OK();
-    // Promoted global-id ranges are contiguous and appended in increasing
-    // order, so the concatenation stays ascending (the merge invariant).
-    for (size_t s = base; s < end; ++s) {
+    GBKMV_CHECK(hi <= shards_.size());
+    for (size_t s = lo; s < hi; ++s) {
       const Shard& shard = shards_[s];
       Result<std::shared_ptr<ActiveShard>> pin = PinShard(shard);
       if (!pin.ok()) return pin.status();
@@ -830,51 +1051,209 @@ Status ShardedContainmentService::CompactPromoted() {
         reread = std::move(loaded.value());
         dataset = reread.get();
       }
-      for (size_t i = 0; i < dataset->size(); ++i) {
-        records.push_back(dataset->record(i));
+      if (dataset->size() != shard.global_ids.size()) {
+        return Status::Corruption("shard dataset size disagrees with its "
+                                  "global-id map");
       }
-      ids.insert(ids.end(), shard.global_ids.begin(),
-                 shard.global_ids.end());
+      captured.push_back(shard.deleted);
+      std::vector<uint32_t>& map = remap.emplace_back(
+          shard.global_ids.size(), std::numeric_limits<uint32_t>::max());
+      for (size_t i = 0; i < shard.global_ids.size(); ++i) {
+        if (i < shard.deleted.size() && shard.deleted[i] != 0) {
+          ++purged;
+          continue;
+        }
+        map[i] = static_cast<uint32_t>(records.size());
+        records.push_back(dataset->record(i));
+        ids.push_back(shard.global_ids[i]);
+      }
+      pins.push_back(std::move(pin.value()));
     }
   }
 
-  Result<Dataset> dataset = Dataset::Create(std::move(records), "compacted");
-  if (!dataset.ok()) return dataset.status();
-  auto shard_dataset = std::make_unique<Dataset>(std::move(dataset.value()));
-  Result<std::unique_ptr<ContainmentSearcher>> searcher =
-      BuildShardSearcher(*shard_dataset, config_.num_threads);
-  if (!searcher.ok()) return searcher.status();
+  // Phase B (unlocked — queries proceed throughout): build the merged
+  // payload. GB-KMV/G-KMV shards merge at the index level — flat sketch
+  // rows concatenated minus tombstones, postings rebuilt by the
+  // deterministic two-pass count/scatter — with no record re-sketched;
+  // the pins keep every source searcher alive for the copy. Other methods
+  // rebuild deterministically over the surviving records.
+  std::unique_ptr<Dataset> shard_dataset;
+  std::unique_ptr<ContainmentSearcher> merged_searcher;
+  if (!records.empty()) {
+    // The union gathers rows from shard datasets that were validated when
+    // they were created; CreateFromNormalized skips the per-element
+    // re-check, and the merged searcher reuses the pinned sketcher so the
+    // union's frequency tables are never derived either.
+    Result<Dataset> dataset =
+        Dataset::CreateFromNormalized(std::move(records), "compacted");
+    if (!dataset.ok()) return dataset.status();
+    shard_dataset = std::make_unique<Dataset>(std::move(dataset.value()));
+    if (config_.method == SearchMethod::kGbKmv ||
+        config_.method == SearchMethod::kGKmv) {
+      std::vector<GbKmvIndexSearcher::MergeSource> sources;
+      sources.reserve(pins.size());
+      for (size_t k = 0; k < pins.size(); ++k) {
+        const auto* flat =
+            dynamic_cast<const GbKmvIndexSearcher*>(pins[k]->searcher.get());
+        if (flat == nullptr) {
+          sources.clear();
+          break;
+        }
+        sources.push_back({flat, &captured[k]});
+      }
+      if (!sources.empty()) {
+        Result<std::unique_ptr<GbKmvIndexSearcher>> merged =
+            GbKmvIndexSearcher::Merge(sources, *shard_dataset);
+        if (!merged.ok()) return merged.status();
+        merged_searcher = std::move(merged.value());
+      }
+    }
+    if (merged_searcher == nullptr) {
+      Result<std::unique_ptr<ContainmentSearcher>> searcher =
+          BuildShardSearcher(*shard_dataset, config_.num_threads);
+      if (!searcher.ok()) return searcher.status();
+      merged_searcher = std::move(searcher.value());
+    }
+  }
 
+  // Phase C (unique lock): swap the range for the merged shard. A
+  // promotion may have appended shards past `hi` meanwhile — newcomers
+  // stay at the tail untouched — and deletes may have tombstoned source
+  // rows after the capture: those rows survived the purge, so their
+  // tombstones remap onto the merged shard.
   {
     std::unique_lock<std::shared_mutex> lock(state_mutex_);
-    // A promotion may have appended shards past `end` meanwhile; replace
-    // exactly the range we merged and leave newcomers at the tail.
-    shards_.erase(shards_.begin() + base, shards_.begin() + end);
     Shard merged;
-    merged.active = std::make_shared<ActiveShard>();
-    merged.active->dataset = std::move(shard_dataset);
-    merged.active->searcher = std::move(searcher.value());
     merged.global_ids = std::move(ids);
-    shards_.insert(shards_.begin() + base, std::move(merged));
+    if (shard_dataset != nullptr) {
+      merged.active = std::make_shared<ActiveShard>();
+      merged.active->dataset = std::move(shard_dataset);
+      merged.active->searcher = std::move(merged_searcher);
+    }
+    for (size_t k = 0; k < remap.size(); ++k) {
+      const Shard& source = shards_[lo + k];
+      for (size_t i = 0; i < source.deleted.size(); ++i) {
+        if (source.deleted[i] == 0) continue;
+        if (i < captured[k].size() && captured[k][i] != 0) continue;
+        const uint32_t row = remap[k][i];
+        GBKMV_CHECK(row != std::numeric_limits<uint32_t>::max());
+        if (merged.deleted.empty()) {
+          merged.deleted.assign(merged.global_ids.size(), 0);
+        }
+        merged.deleted[row] = 1;
+        ++merged.num_deleted;
+      }
+    }
+    const bool in_base = hi <= base_shard_count_;
+    shards_.erase(shards_.begin() + lo, shards_.begin() + hi);
+    if (merged.active != nullptr) {
+      shards_.insert(shards_.begin() + lo, std::move(merged));
+    } else if (in_base) {
+      // A fully tombstoned base shard vanishes outright.
+      --base_shard_count_;
+    }
     cache_.Clear();
   }
   Metrics().compactions->Add(1);
   Metrics().compaction_ns->Record(timer.ElapsedNanos());
+  Metrics().tombstones_purged->Add(purged);
+  if (purged_out != nullptr) *purged_out = purged;
   return Status::OK();
+}
+
+Status ShardedContainmentService::Compact(const CompactOptions& options) {
+  MutationResult result;
+  return CompactInternal(options, &result);
+}
+
+Status ShardedContainmentService::CompactInternal(
+    const CompactOptions& options, MutationResult* result) {
+  result->kind = MutationKind::kCompact;
+  result->noop = true;
+  // Join background work but do not let an old failure veto this
+  // compaction (the stored status stays readable via
+  // WaitForBackgroundWork).
+  std::future<void> pending;
+  {
+    std::unique_lock<std::shared_mutex> lock(state_mutex_);
+    pending = std::move(background_task_);
+  }
+  if (pending.valid()) pending.get();
+  if (compaction_in_flight_.exchange(true)) {
+    return Status::FailedPrecondition("a compaction is already in flight");
+  }
+  size_t lo = 0;
+  size_t hi = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(state_mutex_);
+    if (options.all) {
+      lo = base_shard_count_;
+      hi = shards_.size();
+      // One promoted shard is only worth rewriting when it has tombstones
+      // to purge; zero promoted shards is always a no-op.
+      if (hi - lo < 2 && (hi == lo || shards_[lo].num_deleted == 0)) {
+        hi = lo;
+      }
+    } else {
+      std::tie(lo, hi) = PickCompactionRangeLocked();
+    }
+  }
+  Status status = Status::OK();
+  if (hi > lo) {
+    result->noop = false;
+    result->shards_merged = hi - lo;
+    status = DoCompactRange(lo, hi, &result->tombstones_purged);
+  }
+  compaction_in_flight_.store(false);
+  return status;
+}
+
+Result<MutationResult> ShardedContainmentService::Apply(
+    const MutationRequest& request) {
+  switch (request.kind) {
+    case MutationKind::kIngest: {
+      Result<RecordId> id = Ingest(request.record);
+      if (!id.ok()) return id.status();
+      MutationResult result;
+      result.kind = MutationKind::kIngest;
+      result.id = *id;
+      return result;
+    }
+    case MutationKind::kDelete:
+      return Delete(request.id);
+    case MutationKind::kPromote: {
+      MutationResult result;
+      result.kind = MutationKind::kPromote;
+      {
+        std::shared_lock<std::shared_mutex> lock(state_mutex_);
+        result.noop = ingest_ == nullptr || ingest_->size() == 0;
+      }
+      if (Status status = Promote(); !status.ok()) return status;
+      return result;
+    }
+    case MutationKind::kCompact: {
+      MutationResult result;
+      if (Status status = CompactInternal(request.compact, &result);
+          !status.ok()) {
+        return status;
+      }
+      return result;
+    }
+  }
+  return Status::InvalidArgument("unknown mutation kind");
 }
 
 Status ShardedContainmentService::WaitForBackgroundWork() {
   std::future<void> pending;
   {
     std::unique_lock<std::shared_mutex> lock(state_mutex_);
-    pending = std::move(background_promotion_);
+    pending = std::move(background_task_);
   }
-  // get() outside the lock: the promotion task needs the lock to finish.
+  // get() outside the lock: background tasks need the lock to finish.
   if (pending.valid()) pending.get();
   // Consume-once: report the stored status and reset it, so one failed
-  // background promotion is surfaced exactly once instead of failing every
-  // later wait (the frozen shard itself stays retryable via
-  // PromoteIngest).
+  // background task is surfaced exactly once instead of failing every
+  // later wait (a frozen shard itself stays retryable via Promote).
   std::unique_lock<std::shared_mutex> lock(state_mutex_);
   return std::exchange(background_status_, Status::OK());
 }
@@ -889,6 +1268,13 @@ size_t ShardedContainmentService::size() const {
   size_t total = promoting_ ? promoting_->size() : 0;
   if (ingest_) total += ingest_->size();
   for (const Shard& shard : shards_) total += shard.global_ids.size();
+  return total;
+}
+
+size_t ShardedContainmentService::num_tombstones() const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  size_t total = ingest_num_deleted_ + promoting_num_deleted_;
+  for (const Shard& shard : shards_) total += shard.num_deleted;
   return total;
 }
 
@@ -961,6 +1347,12 @@ Status ShardedContainmentService::Save(const std::string& dir) const {
   out->PutU64(minhash_size_hint_);
   out->PutU64(next_global_id_);
   out->PutU64(base_shard_count_);
+  // Manifest v2: lifecycle policy knobs, so a reloaded service keeps
+  // compacting the way it was configured to (caller overrides win on
+  // Load; see Load's knob resolution).
+  out->PutDouble(config_.sharded.compaction_tier_ratio);
+  out->PutU64(config_.sharded.compaction_min_shards);
+  out->PutDouble(config_.sharded.tombstone_purge_threshold);
   const bool has_sketcher = global_sketcher_ != nullptr;
   out->PutBool(has_sketcher);
   if (has_sketcher) {
@@ -986,6 +1378,10 @@ Status ShardedContainmentService::Save(const std::string& dir) const {
     const std::string filename = ShardFileName(s);
     out->PutString(filename);
     out->PutVecU32(shards_[s].global_ids);
+    // Manifest v2: live tombstones as sorted deleted LOCAL ids, so a
+    // reload keeps serving the un-deleted view (the snapshot payload
+    // still holds every row; the purge happens at merge time, not here).
+    out->PutVecU32(DeletedLocalIds(shards_[s].deleted));
     const std::string path = dir + "/" + filename;
     std::shared_ptr<ActiveShard> active;
     {
@@ -1014,6 +1410,8 @@ Status ShardedContainmentService::Save(const std::string& dir) const {
   if (has_ingest) {
     out->PutString("ingest.snap");
     out->PutU64(ingest_base_);
+    // Manifest v2: ingest-shard tombstones (deleted local ids).
+    out->PutVecU32(DeletedLocalIds(ingest_deleted_));
     const Status saved = ingest_->Save(dir + "/ingest.snap");
     if (!saved.ok()) return saved;
   }
@@ -1078,6 +1476,14 @@ ShardedContainmentService::Load(const std::string& dir,
   if (Status s = in->GetU64(&minhash_hint); !s.ok()) return s;
   if (Status s = in->GetU64(&next_global_id); !s.ok()) return s;
   if (Status s = in->GetU64(&base_shard_count); !s.ok()) return s;
+  double manifest_tier_ratio = 0.0;
+  uint64_t manifest_min_shards = 0;
+  double manifest_purge = 0.0;
+  if (version >= 2) {
+    if (Status s = in->GetDouble(&manifest_tier_ratio); !s.ok()) return s;
+    if (Status s = in->GetU64(&manifest_min_shards); !s.ok()) return s;
+    if (Status s = in->GetDouble(&manifest_purge); !s.ok()) return s;
+  }
   if (partitioner > static_cast<uint8_t>(ShardPartitioner::kSizeStratified)) {
     return Status::Corruption("manifest has an unknown partitioner id");
   }
@@ -1088,10 +1494,25 @@ ShardedContainmentService::Load(const std::string& dir,
   config.sharded.cache_capacity = static_cast<size_t>(cache_capacity);
   config.sharded.auto_promote_records = static_cast<size_t>(auto_promote);
   config.sharded.ingest_budget_units = ingest_budget;
-  // Serve-time knob, not an index parameter: comes from the caller, never
-  // the manifest.
+  // Serve-time knobs, not index parameters: resident budgets come from the
+  // caller, never the manifest. Lifecycle policy knobs: a non-zero caller
+  // value wins, otherwise the manifest's (v1 manifests carry none, so the
+  // caller's — including the all-zero "policy off" default — stands).
   config.sharded.max_resident_shards = options.max_resident_shards;
   config.sharded.max_resident_bytes = options.max_resident_bytes;
+  config.sharded.compaction_tier_ratio = options.compaction_tier_ratio > 0.0
+                                             ? options.compaction_tier_ratio
+                                             : manifest_tier_ratio;
+  config.sharded.tombstone_purge_threshold =
+      options.tombstone_purge_threshold > 0.0
+          ? options.tombstone_purge_threshold
+          : manifest_purge;
+  // min_shards travels with the tier ratio: the caller configuring the
+  // policy owns it, otherwise the manifest's value (when it has one).
+  config.sharded.compaction_min_shards =
+      options.compaction_tier_ratio > 0.0 || manifest_min_shards == 0
+          ? options.compaction_min_shards
+          : static_cast<size_t>(manifest_min_shards);
   const bool lazy =
       options.max_resident_shards > 0 || options.max_resident_bytes > 0;
 
@@ -1122,6 +1543,24 @@ ShardedContainmentService::Load(const std::string& dir,
     Shard shard;
     if (Status s = in->GetString(&filename); !s.ok()) return s;
     if (Status s = in->GetVecU32(&shard.global_ids); !s.ok()) return s;
+    if (version >= 2) {
+      std::vector<uint32_t> deleted_ids;
+      if (Status s = in->GetVecU32(&deleted_ids); !s.ok()) return s;
+      if (!deleted_ids.empty()) {
+        shard.deleted.assign(shard.global_ids.size(), 0);
+        for (const uint32_t local : deleted_ids) {
+          if (local >= shard.global_ids.size()) {
+            return Status::Corruption("manifest tombstones a local id past "
+                                      "shard " +
+                                      filename + "'s row count");
+          }
+          if (shard.deleted[local] == 0) {
+            shard.deleted[local] = 1;
+            ++shard.num_deleted;
+          }
+        }
+      }
+    }
     const std::string path = dir + "/" + filename;
     shard.snapshot_path = path;
     if (lazy) {
@@ -1163,11 +1602,29 @@ ShardedContainmentService::Load(const std::string& dir,
     uint64_t ingest_base = 0;
     if (Status s = in->GetString(&filename); !s.ok()) return s;
     if (Status s = in->GetU64(&ingest_base); !s.ok()) return s;
+    std::vector<uint32_t> deleted_ids;
+    if (version >= 2) {
+      if (Status s = in->GetVecU32(&deleted_ids); !s.ok()) return s;
+    }
     Result<std::unique_ptr<DynamicGbKmvIndex>> ingest =
         DynamicGbKmvIndex::Load(dir + "/" + filename);
     if (!ingest.ok()) return ingest.status();
     service->ingest_ = std::move(ingest.value());
     service->ingest_base_ = static_cast<RecordId>(ingest_base);
+    if (!deleted_ids.empty()) {
+      service->ingest_deleted_.assign(service->ingest_->size(), 0);
+      for (const uint32_t local : deleted_ids) {
+        if (local >= service->ingest_->size()) {
+          return Status::Corruption(
+              "manifest tombstones a local id past the ingest shard's "
+              "row count");
+        }
+        if (service->ingest_deleted_[local] == 0) {
+          service->ingest_deleted_[local] = 1;
+          ++service->ingest_num_deleted_;
+        }
+      }
+    }
   }
   {
     // Eager loads never pass through PinShard, so seed the resident gauges

@@ -14,15 +14,28 @@
 // Theorem-1 allocation, LSH-E's partition boundaries, A-MH's padding
 // width) are rejected at Build.
 //
-// On top of the immutable shards:
+// On top of the immutable shards, the LSM-style lifecycle
+// (docs/sharding.md "Shard lifecycle"), driven through the typed mutation
+// API in serve/mutation.h:
 //   * an LRU query-result cache (serve/query_cache.h), invalidated in full
 //     on every mutation;
 //   * a mutable ingest shard (DynamicGbKmvIndex) for live inserts, promoted
 //     — synchronously or in the background — into an immutable shard built
-//     with the service's own method and global parameters, and compacted
-//     when promoted shards accumulate;
+//     with the service's own method and global parameters;
+//   * tombstone deletes: Delete(id) marks the record in a per-shard
+//     deleted-id mask; serving filters tombstoned hits (hits and scores
+//     stay bit-identical to an index without the record), and the rows are
+//     physically purged at the next merge touching their shard;
+//   * merge compaction: promoted GB-KMV shards merge at the index level
+//     (GbKmvIndexSearcher::Merge — flat sketch rows concatenated minus
+//     tombstones, postings rebuilt by a deterministic two-pass
+//     count/scatter; no record is re-sketched), with a size-ratio tiered
+//     policy (ServiceOptions::compaction_tier_ratio) running the merges on
+//     the background pool under the same freeze -> build-unlocked -> swap
+//     discipline as promotion, so queries never block;
 //   * a versioned shard-manifest snapshot (Save/Load) reusing the src/io
-//     section container, so a whole service round-trips through disk;
+//     section container — tombstones included — so a whole service
+//     round-trips through disk;
 //   * lazy shard activation with a resident-shard LRU
 //     (config.sharded.max_resident_shards / max_resident_bytes): a loaded
 //     service reads only the manifest up front, maps each shard's snapshot
@@ -55,6 +68,7 @@
 #include "data/dataset.h"
 #include "index/dynamic_index.h"
 #include "index/searcher.h"
+#include "serve/mutation.h"
 #include "serve/query_cache.h"
 #include "sketch/gbkmv.h"
 
@@ -99,29 +113,59 @@ class ShardedContainmentService {
   std::vector<QueryResponse> BatchServe(std::span<const QueryRequest> requests,
                                         size_t num_threads = 0);
 
-  // Appends a record to the mutable ingest shard and returns its global id.
-  // Invalidates the query cache. May trigger background promotion
-  // (config.sharded.auto_promote_records).
-  RecordId Ingest(Record record);
+  // --- mutation API (serve/mutation.h; one error taxonomy) ---------------
 
-  // Rebuilds the current ingest shard as an immutable shard (service
-  // method + global parameters) and appends it; queries keep seeing the
-  // ingested records throughout. No-op when the ingest shard is empty.
-  Status PromoteIngest();
+  // Appends a record to the mutable ingest shard and returns its global id
+  // (InvalidArgument for an empty record). Invalidates the query cache.
+  // May trigger background promotion (config.sharded.auto_promote_records).
+  Result<RecordId> Ingest(Record record);
 
-  // Merges all promoted shards into one (counters the shard-count creep of
-  // repeated promotions). The original partition is left untouched.
-  Status CompactPromoted();
+  // Tombstones the record with global id `id`: it stops appearing in query
+  // responses immediately (hits and scores bit-identical to a service that
+  // never held it) and its row is physically purged at the next merge
+  // touching its shard. NotFound for an id that never existed or was
+  // already purged; `noop` in the result for an id already tombstoned.
+  // Invalidates the query cache and may trigger a background purge rewrite
+  // (ServiceOptions::tombstone_purge_threshold).
+  Result<MutationResult> Delete(RecordId id);
 
-  // Blocks until any in-flight background promotion finishes and returns
-  // its status (OK when none ran).
+  // Freezes the current ingest shard and rebuilds it as an immutable shard
+  // (service method + global parameters); queries keep seeing the ingested
+  // records throughout, and live tombstones carry over unpurged. No-op
+  // when the ingest shard is empty. May trigger a background tiered
+  // compaction (ServiceOptions::compaction_tier_ratio).
+  Status Promote();
+
+  // Merge-compacts promoted shards into one — at the index level for
+  // GB-KMV/G-KMV (GbKmvIndexSearcher::Merge, no re-sketching), by a
+  // deterministic rebuild over the surviving records for the other
+  // methods — purging every tombstone in the merged range. options.all
+  // merges all promoted shards (also a single tombstoned one, as a purge
+  // rewrite); otherwise only the tiered policy's pick, which may be
+  // nothing. The original partition is left untouched. FailedPrecondition
+  // when a background compaction is already in flight.
+  Status Compact(const CompactOptions& options = {});
+
+  // Uniform dispatch of the typed mutation vocabulary.
+  Result<MutationResult> Apply(const MutationRequest& request);
+
+  // Deprecated shims, kept for one PR: the pre-lifecycle spellings of
+  // Promote() and Compact({.all = true}).
+  Status PromoteIngest() { return Promote(); }
+  Status CompactPromoted() { return Compact(CompactOptions{.all = true}); }
+
+  // Blocks until any in-flight background promotion or compaction finishes
+  // and returns its status (OK when none ran).
   Status WaitForBackgroundWork();
 
   // Immutable shards currently live (original partition + promotions).
   size_t num_shards() const;
-  // Records across immutable shards + ingest.
+  // Records across immutable shards + ingest (tombstoned rows included
+  // until their physical purge).
   size_t size() const;
   size_t ingest_size() const;
+  // Live tombstones across every shard (marked, not yet purged).
+  size_t num_tombstones() const;
   uint64_t SpaceUnits() const;
   std::string method_name() const;
   const SearcherConfig& config() const { return config_; }
@@ -143,16 +187,24 @@ class ShardedContainmentService {
   // that fails later — the snapshot was deleted or corrupted after Load —
   // is a fatal check: there is no per-response error channel, and serving
   // without the shard would silently drop its records.
-  static constexpr uint32_t kManifestVersion = 1;
-  struct LoadOptions {
-    size_t max_resident_shards = 0;  // 0 with bytes 0 = eager (see below)
-    uint64_t max_resident_bytes = 0;
-  };
+  // Version 2 appends the lifecycle state: the compaction/purge knobs and
+  // one deleted-local-id list per shard (and for the ingest shard).
+  // Version-1 manifests still load (no tombstones, default knobs).
+  static constexpr uint32_t kManifestVersion = 2;
+  // Deprecated alias, kept for one PR: Load used to take a resident-budget
+  // struct of its own; every serve-time knob now lives in ServiceOptions
+  // (core/containment.h).
+  using LoadOptions = ServiceOptions;
   Status Save(const std::string& dir) const;
   static Result<std::unique_ptr<ShardedContainmentService>> Load(
       const std::string& dir);
+  // Serve-time knobs come from `options`: the resident budgets always, and
+  // the lifecycle knobs (compaction_tier_ratio with compaction_min_shards,
+  // tombstone_purge_threshold) whenever the caller sets them non-zero —
+  // zero keeps the values the manifest recorded at Save. The partitioning
+  // and index knobs always come from the manifest.
   static Result<std::unique_ptr<ShardedContainmentService>> Load(
-      const std::string& dir, const LoadOptions& options);
+      const std::string& dir, const ServiceOptions& options);
 
  private:
   // The resident payload of one shard. Queries pin it with a shared_ptr
@@ -173,6 +225,12 @@ class ShardedContainmentService {
     // immutable after the shard is constructed and need no extra lock.
     mutable std::shared_ptr<ActiveShard> active;
     std::vector<RecordId> global_ids;  // ascending
+    // Tombstone mask over local rows (empty until the first Delete, then
+    // global_ids.size() wide; nonzero = deleted). Written under the unique
+    // state lock, read under the shared one — never touched by
+    // resident_mutex_, so eviction and reactivation preserve it.
+    std::vector<uint8_t> deleted;
+    size_t num_deleted = 0;
     // Non-empty = the shard can be (re)activated from this snapshot file;
     // empty (built in memory) = permanently resident, never evicted.
     std::string snapshot_path;
@@ -188,8 +246,37 @@ class ShardedContainmentService {
       const Dataset& shard_dataset, size_t num_threads) const;
 
   void EnsureIngestLocked();
-  // The promotion worker body; requires the in-flight token.
+  // The promotion worker body; requires the promotion in-flight token.
   Status DoPromote();
+
+  // The compaction worker body; requires the compaction in-flight token.
+  // Merges shards [lo, hi) — a single-shard range is a purge rewrite —
+  // into one shard holding the surviving rows in the same order, with the
+  // same freeze -> build-unlocked -> swap discipline as promotion.
+  // Tombstones set while the merge builds are re-applied to the merged
+  // shard at swap time. `lo == hi` is a no-op. `purged_out` (optional)
+  // receives the number of rows physically purged.
+  Status DoCompactRange(size_t lo, size_t hi, size_t* purged_out = nullptr);
+
+  // Compact() / Apply(kCompact) body: joins background work, takes the
+  // in-flight token (FailedPrecondition when already held), resolves the
+  // range (all promoted shards vs the policy's pick) and runs it, filling
+  // `result` with shards_merged / tombstones_purged / noop.
+  Status CompactInternal(const CompactOptions& options,
+                         MutationResult* result);
+
+  // The tiered policy (docs/sharding.md "Shard lifecycle"): the maximal
+  // newest-first suffix run of promoted shards where each older shard is
+  // at most compaction_tier_ratio times the run accumulated so far; {0,0}
+  // when shorter than compaction_min_shards. Falls back to the single
+  // most-tombstoned shard past tombstone_purge_threshold. Requires
+  // state_mutex_ (either mode).
+  std::pair<size_t, size_t> PickCompactionRangeLocked() const;
+
+  // Schedules DoCompactRange on the background pool when the policy picks
+  // a range and no compaction is in flight. Requires state_mutex_
+  // (unique); Submit only enqueues, so scheduling under the lock is safe.
+  void MaybeScheduleCompactionLocked();
 
   // Loads one shard's payload from its snapshot file: mapped when the
   // format and kind allow it (index/searcher_registry.h), copying
@@ -230,6 +317,14 @@ class ShardedContainmentService {
   std::unique_ptr<DynamicGbKmvIndex> ingest_;
   RecordId ingest_base_ = 0;
   RecordId next_global_id_ = 0;
+  // Tombstone masks of the dynamic shards, indexed by local row like
+  // Shard::deleted (possibly shorter than the shard — rows past the end
+  // are live). Promotion moves the ingest mask to the promoting slot in
+  // phase 1 and into the new Shard in phase 3.
+  std::vector<uint8_t> ingest_deleted_;
+  size_t ingest_num_deleted_ = 0;
+  std::vector<uint8_t> promoting_deleted_;
+  size_t promoting_num_deleted_ = 0;
 
   QueryResultCache cache_;
 
@@ -243,8 +338,12 @@ class ShardedContainmentService {
   size_t serving_pool_threads_ = 0;
 
   std::atomic<bool> promotion_in_flight_{false};
+  std::atomic<bool> compaction_in_flight_{false};
+  // One background thread runs promotions and compactions in FIFO order;
+  // background_task_ holds the latest submission's future, and joining it
+  // implies every earlier task finished.
   std::unique_ptr<ThreadPool> background_pool_;
-  std::future<void> background_promotion_;
+  std::future<void> background_task_;
   Status background_status_;  // guarded by state_mutex_
 };
 

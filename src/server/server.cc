@@ -69,6 +69,21 @@ constexpr uint64_t kListenTag = 0;
 constexpr uint64_t kWakeTag = 1;
 constexpr uint64_t kFirstConnId = 2;
 
+// One error taxonomy for the mutation endpoints (serve/mutation.h):
+// the service's Status code decides the HTTP status.
+int HttpStatusFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kInvalidArgument:
+      return 400;
+    case StatusCode::kFailedPrecondition:
+      return 409;
+    default:
+      return 500;
+  }
+}
+
 }  // namespace
 
 class Server::Impl {
@@ -79,7 +94,7 @@ class Server::Impl {
 
   ~Impl() {
     Shutdown();
-    if (reload_thread_.joinable()) reload_thread_.join();
+    if (admin_thread_.joinable()) admin_thread_.join();
     for (Reactor& reactor : reactors_) {
       for (auto& [id, conn] : reactor.conns) ::close(conn->fd);
       reactor.conns.clear();
@@ -554,6 +569,149 @@ class Server::Impl {
       return;
     }
 
+    if (request.target == "/v1/ingest") {
+      if (request.method != "POST") {
+        RespondNow(reactor, conn, 405, SerializeError("use POST"), http);
+        return;
+      }
+      if (draining) {
+        RespondNow(reactor, conn, 503, SerializeError("draining"), http);
+        return;
+      }
+      Result<IngestBody> body = ParseIngestBody(request.body);
+      if (!body.ok()) {
+        RespondNow(reactor, conn, 400,
+                   SerializeError(body.status().message()), http);
+        return;
+      }
+      // Inline on the reactor: an ingest is an O(|record|) append to the
+      // mutable shard (promotion work happens on the service's own
+      // background thread).
+      const ServiceSnapshot snapshot = Snapshot();
+      serve::MutationRequest mutation;
+      mutation.kind = serve::MutationKind::kIngest;
+      mutation.record = std::move(body.value().elements);
+      Result<serve::MutationResult> applied =
+          snapshot.service->Apply(mutation);
+      if (!applied.ok()) {
+        RespondNow(reactor, conn, HttpStatusFor(applied.status()),
+                   SerializeError(applied.status().message()), http);
+        return;
+      }
+      RespondNow(reactor, conn, 200,
+                 SerializeIngestResult(snapshot.epoch, applied.value().id),
+                 http);
+      return;
+    }
+
+    if (request.target == "/v1/delete") {
+      if (request.method != "POST") {
+        RespondNow(reactor, conn, 405, SerializeError("use POST"), http);
+        return;
+      }
+      if (draining) {
+        RespondNow(reactor, conn, 503, SerializeError("draining"), http);
+        return;
+      }
+      Result<DeleteBody> body = ParseDeleteBody(request.body);
+      if (!body.ok()) {
+        RespondNow(reactor, conn, 400,
+                   SerializeError(body.status().message()), http);
+        return;
+      }
+      // Inline on the reactor: a delete is a tombstone bit flip.
+      const ServiceSnapshot snapshot = Snapshot();
+      serve::MutationRequest mutation;
+      mutation.kind = serve::MutationKind::kDelete;
+      mutation.id = body.value().id;
+      Result<serve::MutationResult> applied =
+          snapshot.service->Apply(mutation);
+      if (!applied.ok()) {
+        RespondNow(reactor, conn, HttpStatusFor(applied.status()),
+                   SerializeError(applied.status().message()), http);
+        return;
+      }
+      RespondNow(reactor, conn, 200,
+                 SerializeDeleteResult(snapshot.epoch, applied.value().id,
+                                       !applied.value().noop),
+                 http);
+      return;
+    }
+
+    if (request.target == "/admin/promote" ||
+        request.target == "/admin/compact") {
+      if (request.method != "POST") {
+        RespondNow(reactor, conn, 405, SerializeError("use POST"), http);
+        return;
+      }
+      const bool is_promote = request.target == "/admin/promote";
+      serve::MutationRequest mutation;
+      if (is_promote) {
+        mutation.kind = serve::MutationKind::kPromote;
+      } else {
+        Result<CompactBody> body = ParseCompactBody(request.body);
+        if (!body.ok()) {
+          RespondNow(reactor, conn, 400,
+                     SerializeError(body.status().message()), http);
+          return;
+        }
+        mutation.kind = serve::MutationKind::kCompact;
+        mutation.compact.all = body.value().all;
+      }
+      if (admin_running_.exchange(true)) {
+        RespondNow(reactor, conn, 409,
+                   SerializeError("an admin operation is already running"),
+                   http);
+        return;
+      }
+      const uint64_t seq = conn.next_seq++;
+      conn.slots.push_back({seq, false, false, {}});
+      const uint64_t conn_id = conn.id;
+      const bool keep_alive = request.keep_alive;
+      if (admin_thread_.joinable()) admin_thread_.join();
+      // Off the reactor: promotion joins in-flight background work and
+      // compaction builds the merged shard; queries keep flowing on the
+      // reactors meanwhile (the service swaps under its own lock).
+      admin_thread_ = std::thread([this, reactor_index, conn_id, seq,
+                                   keep_alive, mutation] {
+        const ServiceSnapshot snapshot = Snapshot();
+        Result<serve::MutationResult> applied =
+            snapshot.service->Apply(mutation);
+        HttpResponseOptions done_http;
+        done_http.keep_alive = keep_alive;
+        std::string payload;
+        if (applied.ok()) {
+          const serve::MutationResult& r = applied.value();
+          payload = BuildHttpResponse(
+              200,
+              r.kind == serve::MutationKind::kPromote
+                  ? SerializePromoteResult(snapshot.epoch, !r.noop)
+                  : SerializeCompactResult(snapshot.epoch, r.shards_merged,
+                                           r.tombstones_purged, r.noop),
+              done_http);
+        } else {
+          payload = BuildHttpResponse(
+              HttpStatusFor(applied.status()),
+              SerializeError(applied.status().message()), done_http);
+          stats_http_errors_.fetch_add(1, std::memory_order_relaxed);
+          if (obs::GlobalMetrics().enabled()) {
+            Metrics().http_errors->Add(1);
+          }
+        }
+        admin_running_.store(false);
+        Post(reactor_index,
+             [this, reactor_index, conn_id, seq,
+              payload = std::move(payload), keep_alive]() mutable {
+               Reactor& r = reactors_[reactor_index];
+               auto it = r.conns.find(conn_id);
+               if (it == r.conns.end()) return;
+               FillSlot(r, *it->second, seq, std::move(payload),
+                        !keep_alive);
+             });
+      });
+      return;
+    }
+
     if (request.target == "/admin/reload") {
       if (request.method != "POST") {
         RespondNow(reactor, conn, 405, SerializeError("use POST"), http);
@@ -565,21 +723,22 @@ class Server::Impl {
                    SerializeError(body.status().message()), http);
         return;
       }
-      if (reload_running_.exchange(true)) {
+      if (admin_running_.exchange(true)) {
         RespondNow(reactor, conn, 409,
-                   SerializeError("a reload is already running"), http);
+                   SerializeError("an admin operation is already running"),
+                   http);
         return;
       }
       const uint64_t seq = conn.next_seq++;
       conn.slots.push_back({seq, false, false, {}});
       const uint64_t conn_id = conn.id;
       const bool keep_alive = request.keep_alive;
-      if (reload_thread_.joinable()) reload_thread_.join();
+      if (admin_thread_.joinable()) admin_thread_.join();
       // Load runs off the reactor: a multi-GB manifest must not stall
       // the event loop that is still serving queries.
-      reload_thread_ = std::thread([this, reactor_index, conn_id, seq,
-                                    keep_alive,
-                                    dir = std::move(body.value().dir)] {
+      admin_thread_ = std::thread([this, reactor_index, conn_id, seq,
+                                   keep_alive,
+                                   dir = std::move(body.value().dir)] {
         Result<uint64_t> swapped = Reload(dir);
         HttpResponseOptions done_http;
         done_http.keep_alive = keep_alive;
@@ -599,7 +758,7 @@ class Server::Impl {
             Metrics().http_errors->Add(1);
           }
         }
-        reload_running_.store(false);
+        admin_running_.store(false);
         Post(reactor_index,
              [this, reactor_index, conn_id, seq,
               payload = std::move(payload), keep_alive]() mutable {
@@ -713,8 +872,10 @@ class Server::Impl {
   mutable std::mutex state_mutex_;
   ServiceSnapshot state_;  // {service, epoch}; swapped whole on reload
   std::mutex reload_mutex_;
-  std::atomic<bool> reload_running_{false};
-  std::thread reload_thread_;
+  // One admin operation at a time — reload, promote or compact; a second
+  // request while one runs gets 409. The thread is joined before reuse.
+  std::atomic<bool> admin_running_{false};
+  std::thread admin_thread_;
 
   std::unique_ptr<MicroBatcher> batcher_;
   std::vector<Reactor> reactors_;

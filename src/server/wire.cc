@@ -294,6 +294,133 @@ Result<ReloadBody> ParseReloadBody(std::string_view json) {
   return body;
 }
 
+Result<IngestBody> ParseIngestBody(std::string_view json) {
+  JsonScanner scanner(json);
+  IngestBody body;
+  bool saw_elements = false;
+  if (!scanner.Consume('{')) {
+    return Status::InvalidArgument("ingest body must be a JSON object");
+  }
+  if (!scanner.Consume('}')) {
+    for (;;) {
+      std::string key;
+      if (!scanner.ParseString(&key) || !scanner.Consume(':')) {
+        return Status::InvalidArgument("malformed ingest body");
+      }
+      bool ok = true;
+      if (key == "elements") {
+        std::vector<uint32_t> elements;
+        ok = ParseUintArray(scanner, &elements);
+        if (ok) {
+          body.elements = MakeRecord(std::move(elements));
+          saw_elements = true;
+        }
+      } else {
+        ok = scanner.SkipValue();
+      }
+      if (!ok) {
+        return Status::InvalidArgument("malformed value for \"" + key +
+                                       "\"");
+      }
+      if (scanner.Consume('}')) break;
+      if (!scanner.Consume(',')) {
+        return Status::InvalidArgument("malformed ingest body");
+      }
+    }
+  }
+  if (!scanner.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after ingest body");
+  }
+  if (!saw_elements) {
+    return Status::InvalidArgument("ingest body is missing \"elements\"");
+  }
+  if (body.elements.empty()) {
+    return Status::InvalidArgument("\"elements\" must be non-empty");
+  }
+  return body;
+}
+
+Result<DeleteBody> ParseDeleteBody(std::string_view json) {
+  JsonScanner scanner(json);
+  DeleteBody body;
+  bool saw_id = false;
+  if (!scanner.Consume('{')) {
+    return Status::InvalidArgument("delete body must be a JSON object");
+  }
+  if (!scanner.Consume('}')) {
+    for (;;) {
+      std::string key;
+      if (!scanner.ParseString(&key) || !scanner.Consume(':')) {
+        return Status::InvalidArgument("malformed delete body");
+      }
+      bool ok = true;
+      if (key == "id") {
+        size_t id = 0;
+        ok = ParseSizeT(scanner, &id) &&
+             id <= std::numeric_limits<RecordId>::max();
+        if (ok) {
+          body.id = static_cast<RecordId>(id);
+          saw_id = true;
+        }
+      } else {
+        ok = scanner.SkipValue();
+      }
+      if (!ok) {
+        return Status::InvalidArgument("malformed value for \"" + key +
+                                       "\"");
+      }
+      if (scanner.Consume('}')) break;
+      if (!scanner.Consume(',')) {
+        return Status::InvalidArgument("malformed delete body");
+      }
+    }
+  }
+  if (!scanner.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after delete body");
+  }
+  if (!saw_id) {
+    return Status::InvalidArgument("delete body is missing \"id\"");
+  }
+  return body;
+}
+
+Result<CompactBody> ParseCompactBody(std::string_view json) {
+  CompactBody body;
+  // Empty body -> defaults (merge all promoted shards).
+  JsonScanner probe(json);
+  if (probe.AtEnd()) return body;
+  JsonScanner scanner(json);
+  if (!scanner.Consume('{')) {
+    return Status::InvalidArgument("compact body must be a JSON object");
+  }
+  if (!scanner.Consume('}')) {
+    for (;;) {
+      std::string key;
+      if (!scanner.ParseString(&key) || !scanner.Consume(':')) {
+        return Status::InvalidArgument("malformed compact body");
+      }
+      bool ok = true;
+      if (key == "all") {
+        ok = scanner.ParseBool(&body.all);
+      } else {
+        ok = scanner.SkipValue();
+      }
+      if (!ok) {
+        return Status::InvalidArgument("malformed value for \"" + key +
+                                       "\"");
+      }
+      if (scanner.Consume('}')) break;
+      if (!scanner.Consume(',')) {
+        return Status::InvalidArgument("malformed compact body");
+      }
+    }
+  }
+  if (!scanner.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after compact body");
+  }
+  return body;
+}
+
 std::string SerializeQueryResponse(const QueryResponse& response,
                                    uint64_t epoch, bool want_scores,
                                    bool want_stats) {
@@ -331,6 +458,50 @@ std::string SerializeQueryResponse(const QueryResponse& response,
     out += std::to_string(s.cache_hits);
     out += '}';
   }
+  out += '}';
+  return out;
+}
+
+std::string SerializeIngestResult(uint64_t epoch, RecordId id) {
+  std::string out = "{\"epoch\":";
+  out += std::to_string(epoch);
+  out += ",\"id\":";
+  out += std::to_string(id);
+  out += '}';
+  return out;
+}
+
+std::string SerializeDeleteResult(uint64_t epoch, RecordId id,
+                                  bool deleted) {
+  std::string out = "{\"epoch\":";
+  out += std::to_string(epoch);
+  out += ",\"id\":";
+  out += std::to_string(id);
+  out += ",\"deleted\":";
+  out += deleted ? "true" : "false";
+  out += '}';
+  return out;
+}
+
+std::string SerializePromoteResult(uint64_t epoch, bool promoted) {
+  std::string out = "{\"epoch\":";
+  out += std::to_string(epoch);
+  out += ",\"promoted\":";
+  out += promoted ? "true" : "false";
+  out += '}';
+  return out;
+}
+
+std::string SerializeCompactResult(uint64_t epoch, size_t shards_merged,
+                                   size_t tombstones_purged, bool noop) {
+  std::string out = "{\"epoch\":";
+  out += std::to_string(epoch);
+  out += ",\"shards_merged\":";
+  out += std::to_string(shards_merged);
+  out += ",\"tombstones_purged\":";
+  out += std::to_string(tombstones_purged);
+  out += ",\"noop\":";
+  out += noop ? "true" : "false";
   out += '}';
   return out;
 }

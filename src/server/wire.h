@@ -47,6 +47,28 @@ struct ReloadBody {
 
 Result<ReloadBody> ParseReloadBody(std::string_view json);
 
+// POST /v1/ingest body: {"elements": [1, 7, 42]} — required, non-empty.
+struct IngestBody {
+  Record elements;  // normalised (MakeRecord) — sorted unique
+};
+
+Result<IngestBody> ParseIngestBody(std::string_view json);
+
+// POST /v1/delete body: {"id": 123} — the global record id to tombstone.
+struct DeleteBody {
+  RecordId id = 0;
+};
+
+Result<DeleteBody> ParseDeleteBody(std::string_view json);
+
+// POST /admin/compact body: {"all": false}. An empty body (or {}) means
+// the default: merge all promoted shards.
+struct CompactBody {
+  bool all = true;
+};
+
+Result<CompactBody> ParseCompactBody(std::string_view json);
+
 // 200 body for /v1/query:
 //   {"epoch": 2, "hits": [{"id": 3, "score": 0.75}, ...],
 //    "stats": {...}}            (stats only when want_stats)
@@ -57,6 +79,21 @@ std::string SerializeQueryResponse(const QueryResponse& response,
 
 // Error body: {"error": "message"} (message JSON-escaped).
 std::string SerializeError(std::string_view message);
+
+// Mutation 200 bodies (docs/serving.md). Every response carries the
+// serving epoch the mutation applied to, mirroring /v1/query.
+//   /v1/ingest:     {"epoch": 3, "id": 412}
+//   /v1/delete:     {"epoch": 3, "id": 17, "deleted": true}
+//                   (deleted=false -> the id was already tombstoned)
+//   /admin/promote: {"epoch": 3, "promoted": true}
+//                   (promoted=false -> ingest shard was empty)
+//   /admin/compact: {"epoch": 3, "shards_merged": 4,
+//                    "tombstones_purged": 9, "noop": false}
+std::string SerializeIngestResult(uint64_t epoch, RecordId id);
+std::string SerializeDeleteResult(uint64_t epoch, RecordId id, bool deleted);
+std::string SerializePromoteResult(uint64_t epoch, bool promoted);
+std::string SerializeCompactResult(uint64_t epoch, size_t shards_merged,
+                                   size_t tombstones_purged, bool noop);
 
 // Parsed /v1/query response — the client half, used by tests and
 // bench/serve_latency.cc to check served results against direct Serve().

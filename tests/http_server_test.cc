@@ -202,6 +202,41 @@ TEST(WireTest, ReloadBodyAndErrorSerialization) {
             SerializeError("bad \"quote\""));
 }
 
+TEST(WireTest, MutationBodiesParseAndValidate) {
+  Result<IngestBody> ingest = ParseIngestBody("{\"elements\":[7, 3, 3, 1]}");
+  ASSERT_TRUE(ingest.ok()) << ingest.status().ToString();
+  EXPECT_EQ(MakeRecord({1, 3, 7}), ingest->elements);  // normalised
+  EXPECT_FALSE(ParseIngestBody("{}").ok());
+  EXPECT_FALSE(ParseIngestBody("{\"elements\":[]}").ok());
+
+  Result<DeleteBody> del = ParseDeleteBody("{\"id\": 17}");
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  EXPECT_EQ(17u, del->id);
+  EXPECT_FALSE(ParseDeleteBody("{}").ok());
+  EXPECT_FALSE(ParseDeleteBody("{\"id\": -1}").ok());
+
+  // An empty compact body means the default: merge everything promoted.
+  Result<CompactBody> compact = ParseCompactBody("");
+  ASSERT_TRUE(compact.ok());
+  EXPECT_TRUE(compact->all);
+  compact = ParseCompactBody("{\"all\": false}");
+  ASSERT_TRUE(compact.ok());
+  EXPECT_FALSE(compact->all);
+  EXPECT_FALSE(ParseCompactBody("nope").ok());
+}
+
+TEST(WireTest, MutationResultSerialization) {
+  EXPECT_EQ("{\"epoch\":3,\"id\":412}", SerializeIngestResult(3, 412));
+  EXPECT_EQ("{\"epoch\":3,\"id\":17,\"deleted\":true}",
+            SerializeDeleteResult(3, 17, true));
+  EXPECT_EQ("{\"epoch\":3,\"promoted\":false}",
+            SerializePromoteResult(3, false));
+  EXPECT_EQ(
+      "{\"epoch\":3,\"shards_merged\":4,\"tombstones_purged\":9,"
+      "\"noop\":false}",
+      SerializeCompactResult(3, 4, 9, false));
+}
+
 // --- socket end-to-end -----------------------------------------------------
 
 class ServerEndToEndTest : public ::testing::Test {
@@ -409,6 +444,99 @@ TEST_F(ServerEndToEndTest, ReloadSwapsEpochUnderLiveConnection) {
   EXPECT_EQ(2u, (*server)->epoch());
 
   EXPECT_EQ(1u, (*server)->stats().reloads);
+  (*server)->Shutdown();
+}
+
+// The full mutation lifecycle over one keep-alive connection: ingest a
+// record and query it back, tombstone it and watch it disappear without a
+// reload, promote + compact through the admin endpoints, with the error
+// taxonomy mapped onto 400/404/405.
+TEST_F(ServerEndToEndTest, MutationEndpointsDriveShardLifecycle) {
+  const Dataset dataset = MakeTestDataset(20260808);
+  std::shared_ptr<ShardedContainmentService> service = MakeService(dataset);
+
+  ServerOptions options;
+  options.port = 0;
+  Result<std::unique_ptr<Server>> server = Server::Start(service, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  HttpBlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", (*server)->port()).ok());
+
+  // Ingest: the new record is assigned the next global id...
+  const Record probe = MakeRecord({9001, 9002, 9003, 9004});
+  Result<HttpClientResponse> ingest = client.RoundTrip(
+      "POST", "/v1/ingest", "{\"elements\":[9001,9002,9003,9004]}");
+  ASSERT_TRUE(ingest.ok()) << ingest.status().ToString();
+  ASSERT_EQ(200, ingest->status) << ingest->body;
+  const std::string want_id =
+      "\"id\":" + std::to_string(dataset.size());
+  EXPECT_NE(std::string::npos, ingest->body.find(want_id));
+
+  // ...and the very next query on the same connection serves it.
+  auto query_hits_probe = [&]() -> bool {
+    Result<HttpClientResponse> http =
+        client.RoundTrip("POST", "/v1/query", QueryJson(probe, 0.9, 0));
+    EXPECT_TRUE(http.ok() && http->status == 200);
+    Result<WireQueryResult> wire = ParseQueryResult(http->body);
+    EXPECT_TRUE(wire.ok());
+    for (const QueryHit& hit : wire->hits) {
+      if (hit.id == dataset.size()) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(query_hits_probe());
+
+  // Promote it into an immutable shard through the admin endpoint.
+  Result<HttpClientResponse> promote =
+      client.RoundTrip("POST", "/admin/promote");
+  ASSERT_TRUE(promote.ok()) << promote.status().ToString();
+  ASSERT_EQ(200, promote->status) << promote->body;
+  EXPECT_NE(std::string::npos, promote->body.find("\"promoted\":true"));
+  EXPECT_TRUE(query_hits_probe());
+
+  // Delete: the record stops appearing immediately, no reload involved.
+  Result<HttpClientResponse> del = client.RoundTrip(
+      "POST", "/v1/delete",
+      "{\"id\":" + std::to_string(dataset.size()) + "}");
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  ASSERT_EQ(200, del->status) << del->body;
+  EXPECT_NE(std::string::npos, del->body.find("\"deleted\":true"));
+  EXPECT_FALSE(query_hits_probe());
+
+  // Compact purges the tombstone (the single promoted shard is rewritten);
+  // the record is gone for good, so a re-delete is now 404.
+  Result<HttpClientResponse> compact =
+      client.RoundTrip("POST", "/admin/compact", "{\"all\":true}");
+  ASSERT_TRUE(compact.ok()) << compact.status().ToString();
+  ASSERT_EQ(200, compact->status) << compact->body;
+  EXPECT_NE(std::string::npos,
+            compact->body.find("\"tombstones_purged\":1"));
+  EXPECT_FALSE(query_hits_probe());
+
+  // Error taxonomy on the wire: NotFound -> 404, malformed body -> 400,
+  // wrong method -> 405.
+  Result<HttpClientResponse> missing = client.RoundTrip(
+      "POST", "/v1/delete",
+      "{\"id\":" + std::to_string(dataset.size()) + "}");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(404, missing->status);
+  EXPECT_NE(std::string::npos, missing->body.find("\"error\""));
+
+  Result<HttpClientResponse> bad =
+      client.RoundTrip("POST", "/v1/ingest", "{\"elements\":[]}");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(400, bad->status);
+
+  Result<HttpClientResponse> wrong = client.RoundTrip("GET", "/v1/ingest");
+  ASSERT_TRUE(wrong.ok());
+  EXPECT_EQ(405, wrong->status);
+
+  Result<HttpClientResponse> wrong_admin =
+      client.RoundTrip("GET", "/admin/compact");
+  ASSERT_TRUE(wrong_admin.ok());
+  EXPECT_EQ(405, wrong_admin->status);
+
   (*server)->Shutdown();
 }
 

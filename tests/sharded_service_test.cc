@@ -11,6 +11,8 @@
 #include <algorithm>
 #include <cstdlib>
 #include <filesystem>
+#include <map>
+#include <random>
 #include <set>
 
 #include "core/containment.h"
@@ -438,7 +440,7 @@ TEST(ShardedServiceTest, IngestInvalidatesCacheAndServesNewRecord) {
 
   // An identical record must qualify (containment 1), but a stale cache
   // entry would keep answering "nothing".
-  const RecordId gid = (*service)->Ingest(probe);
+  const RecordId gid = (*service)->Ingest(probe).value();
   EXPECT_EQ(ds.size(), gid);
   const QueryResponse after = (*service)->Serve(request, 1);
   EXPECT_EQ(0u, after.stats.cache_hits);
@@ -460,7 +462,7 @@ TEST(ShardedServiceTest, PromotionKeepsGlobalIdsAndExactScores) {
   std::vector<Record> extra;
   for (uint32_t i = 0; i < 5; ++i) {
     extra.push_back(MakeRecord({8000 + i, 8100 + i, 8200 + i, 8300 + i}));
-    gids.push_back((*service)->Ingest(extra.back()));
+    gids.push_back((*service)->Ingest(extra.back()).value());
   }
   EXPECT_EQ(5u, (*service)->ingest_size());
 
@@ -512,6 +514,399 @@ TEST(ShardedServiceTest, AutoPromotionRunsInBackground) {
   EXPECT_EQ(ds.size() + 4, (*service)->size());
 }
 
+// --- shard lifecycle: tombstones + merge compaction -----------------------
+
+// Extras for the lifecycle tests: perturbed copies of base records (one
+// fresh element appended), so the shared query workload reaches them.
+std::vector<Record> ExtraRecords(size_t count, uint64_t seed = 991) {
+  const Dataset& ds = TestDataset();
+  std::mt19937_64 rng(seed);
+  std::vector<Record> extras;
+  for (size_t i = 0; i < count; ++i) {
+    Record elements = ds.record(rng() % ds.size());
+    elements.push_back(static_cast<ElementId>(5000 + i));
+    extras.push_back(MakeRecord(std::move(elements)));
+  }
+  return extras;
+}
+
+// The tentpole invariant: merging promoted shards at the index level
+// (GbKmvIndexSearcher::Merge — no re-sketching) answers bit-identically —
+// hit ids, float scores, AND the per-query index counters — to a shard
+// freshly built over the union of the same records, for every shard count
+// and worker thread count.
+TEST(ShardLifecycleTest, MergeCompactionMatchesFreshUnionBuildAcrossGrid) {
+  const Dataset& ds = TestDataset();
+  const std::vector<Record> extras = ExtraRecords(12);
+  std::vector<Record> queries = TestQueries(20);
+  queries.insert(queries.end(), extras.begin(), extras.end());
+
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    SearcherConfig config = ServiceConfig(SearchMethod::kGbKmv, shards);
+    Result<std::unique_ptr<ShardedContainmentService>> merged =
+        serve::BuildShardedService(ds, config);
+    Result<std::unique_ptr<ShardedContainmentService>> reference =
+        serve::BuildShardedService(ds, config);
+    ASSERT_TRUE(merged.ok() && reference.ok());
+    const size_t base_shards = (*merged)->num_shards();
+
+    // `merged` promotes in two waves (-> two promoted shards, then one
+    // merge); `reference` promotes once — its single promoted shard IS the
+    // fresh build over the union.
+    for (size_t i = 0; i < extras.size(); ++i) {
+      EXPECT_EQ((*merged)->Ingest(extras[i]).value(),
+                (*reference)->Ingest(extras[i]).value());
+      if (i == 5) ASSERT_TRUE((*merged)->Promote().ok());
+    }
+    ASSERT_TRUE((*merged)->Promote().ok());
+    ASSERT_TRUE((*reference)->Promote().ok());
+    ASSERT_EQ(base_shards + 2, (*merged)->num_shards());
+    ASSERT_EQ(base_shards + 1, (*reference)->num_shards());
+
+    ASSERT_TRUE((*merged)->Compact().ok());
+    EXPECT_EQ(base_shards + 1, (*merged)->num_shards());
+    EXPECT_EQ((*reference)->size(), (*merged)->size());
+    EXPECT_EQ((*reference)->SpaceUnits(), (*merged)->SpaceUnits());
+
+    for (size_t threads : kThreadCounts) {
+      for (size_t top_k : {size_t{0}, size_t{5}}) {
+        const auto requests = MakeRequests(queries, 0.4, top_k, true);
+        const auto expected = (*reference)->BatchServe(requests, threads);
+        const auto actual = (*merged)->BatchServe(requests, threads);
+        for (size_t i = 0; i < requests.size(); ++i) {
+          EXPECT_EQ(expected[i].hits, actual[i].hits)
+              << "S=" << shards << " T=" << threads << " k=" << top_k
+              << " q" << i;
+          EXPECT_EQ(expected[i].stats, actual[i].stats)
+              << "S=" << shards << " T=" << threads << " k=" << top_k
+              << " q" << i;
+        }
+      }
+    }
+  }
+}
+
+// Physically purging tombstones at merge time serves the same hits (ids
+// and float scores) as filtering them at query time, across the grid.
+TEST(ShardLifecycleTest, PurgedAndFilteredTombstonesServeIdenticalHits) {
+  const Dataset& ds = TestDataset();
+  const std::vector<Record> extras = ExtraRecords(10, 992);
+  std::vector<Record> queries = TestQueries(20);
+  queries.insert(queries.end(), extras.begin(), extras.end());
+  // Two base records plus two promoted extras die.
+  const RecordId base0 = 3, base1 = 157;
+  const RecordId extra0 = ds.size() + 1, extra1 = ds.size() + 7;
+
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    SearcherConfig config = ServiceConfig(SearchMethod::kGbKmv, shards);
+    Result<std::unique_ptr<ShardedContainmentService>> purged =
+        serve::BuildShardedService(ds, config);
+    Result<std::unique_ptr<ShardedContainmentService>> filtered =
+        serve::BuildShardedService(ds, config);
+    ASSERT_TRUE(purged.ok() && filtered.ok());
+
+    for (ShardedContainmentService* service :
+         {purged->get(), filtered->get()}) {
+      for (size_t i = 0; i < extras.size(); ++i) {
+        service->Ingest(extras[i]);
+        if (i == 4) ASSERT_TRUE(service->Promote().ok());
+      }
+      ASSERT_TRUE(service->Promote().ok());
+      for (RecordId id : {base0, base1, extra0, extra1}) {
+        const Result<serve::MutationResult> result = service->Delete(id);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        EXPECT_FALSE(result->noop);
+        EXPECT_EQ(id, result->id);
+      }
+    }
+    ASSERT_EQ(4u, (*filtered)->num_tombstones());
+
+    // Compact merges the two promoted shards and purges their tombstones;
+    // the base-shard tombstones stay masks.
+    ASSERT_TRUE((*purged)->Compact().ok());
+    EXPECT_EQ(2u, (*purged)->num_tombstones());
+    EXPECT_EQ((*filtered)->size() - 2, (*purged)->size());
+
+    for (size_t threads : kThreadCounts) {
+      const auto requests = MakeRequests(queries, 0.4, 0, true);
+      const auto expected = (*filtered)->BatchServe(requests, threads);
+      const auto actual = (*purged)->BatchServe(requests, threads);
+      for (size_t i = 0; i < requests.size(); ++i) {
+        EXPECT_EQ(expected[i].hits, actual[i].hits)
+            << "S=" << shards << " T=" << threads << " q" << i;
+        for (const QueryHit& hit : actual[i].hits) {
+          EXPECT_TRUE(hit.id != base0 && hit.id != base1 &&
+                      hit.id != extra0 && hit.id != extra1)
+              << "tombstoned id " << hit.id << " served";
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardLifecycleTest, MutationErrorTaxonomyAndApplyDispatch) {
+  const Dataset& ds = TestDataset();
+  Result<std::unique_ptr<ShardedContainmentService>> service =
+      serve::BuildShardedService(ds, ServiceConfig(SearchMethod::kFreqSet, 2));
+  ASSERT_TRUE(service.ok());
+
+  // Apply(kIngest) assigns the next global id; an empty record is
+  // InvalidArgument.
+  serve::MutationRequest ingest;
+  ingest.kind = serve::MutationKind::kIngest;
+  ingest.record = MakeRecord({9100, 9101, 9102});
+  Result<serve::MutationResult> applied = (*service)->Apply(ingest);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(ds.size(), applied->id);
+  ingest.record.clear();
+  EXPECT_EQ(StatusCode::kInvalidArgument,
+            (*service)->Apply(ingest).status().code());
+
+  // Delete: NotFound for an id that never existed; noop (not an error) for
+  // an id already tombstoned.
+  EXPECT_EQ(StatusCode::kNotFound,
+            (*service)->Delete(ds.size() + 50).status().code());
+  Result<serve::MutationResult> first = (*service)->Delete(ds.size());
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->noop);
+  Result<serve::MutationResult> second = (*service)->Delete(ds.size());
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->noop);
+  EXPECT_EQ(1u, (*service)->num_tombstones());
+
+  // Apply(kPromote): real work, then a noop once the ingest shard is empty.
+  serve::MutationRequest promote;
+  promote.kind = serve::MutationKind::kPromote;
+  Result<serve::MutationResult> promoted = (*service)->Apply(promote);
+  ASSERT_TRUE(promoted.ok());
+  EXPECT_FALSE(promoted->noop);
+  promoted = (*service)->Apply(promote);
+  ASSERT_TRUE(promoted.ok());
+  EXPECT_TRUE(promoted->noop);
+
+  // Apply(kCompact): the single promoted shard carries a tombstone, so the
+  // compact is a purge rewrite, not a noop — and the purged id is NotFound
+  // afterwards (vs noop while it was merely tombstoned).
+  serve::MutationRequest compact;
+  compact.kind = serve::MutationKind::kCompact;
+  Result<serve::MutationResult> compacted = (*service)->Apply(compact);
+  ASSERT_TRUE(compacted.ok()) << compacted.status().ToString();
+  EXPECT_FALSE(compacted->noop);
+  EXPECT_EQ(1u, compacted->tombstones_purged);
+  EXPECT_EQ(0u, (*service)->num_tombstones());
+  EXPECT_EQ(StatusCode::kNotFound,
+            (*service)->Delete(ds.size()).status().code());
+
+  // A second compact of the single clean shard is a noop.
+  compacted = (*service)->Apply(compact);
+  ASSERT_TRUE(compacted.ok());
+  EXPECT_TRUE(compacted->noop);
+}
+
+// The size-ratio tiered policy merges the promoted suffix run in the
+// background after a promotion; the merged service answers exactly like an
+// untriggered copy that went through the same mutations.
+TEST(ShardLifecycleTest, TieredPolicyCompactsInBackground) {
+  const Dataset& ds = TestDataset();
+  const std::vector<Record> extras = ExtraRecords(6, 993);
+  SearcherConfig config = ServiceConfig(SearchMethod::kGbKmv, 2);
+  config.sharded.compaction_tier_ratio = 4.0;
+  config.sharded.compaction_min_shards = 2;
+  Result<std::unique_ptr<ShardedContainmentService>> tiered =
+      serve::BuildShardedService(ds, config);
+  Result<std::unique_ptr<ShardedContainmentService>> mirror =
+      serve::BuildShardedService(ds, ServiceConfig(SearchMethod::kGbKmv, 2));
+  ASSERT_TRUE(tiered.ok() && mirror.ok());
+  const size_t base_shards = (*tiered)->num_shards();
+
+  for (size_t i = 0; i < extras.size(); ++i) {
+    (*tiered)->Ingest(extras[i]);
+    (*mirror)->Ingest(extras[i]);
+    if (i == 2) {
+      // One promoted shard: run length 1 < min_shards, no compaction.
+      ASSERT_TRUE((*tiered)->Promote().ok());
+      ASSERT_TRUE((*mirror)->Promote().ok());
+      ASSERT_TRUE((*tiered)->WaitForBackgroundWork().ok());
+      EXPECT_EQ(base_shards + 1, (*tiered)->num_shards());
+    }
+  }
+  // Second promotion: 3 rows next to 3 rows within ratio 4 -> merge.
+  ASSERT_TRUE((*tiered)->Promote().ok());
+  ASSERT_TRUE((*mirror)->Promote().ok());
+  ASSERT_TRUE((*tiered)->WaitForBackgroundWork().ok());
+  EXPECT_EQ(base_shards + 1, (*tiered)->num_shards());
+  EXPECT_EQ(base_shards + 2, (*mirror)->num_shards());
+  EXPECT_EQ((*mirror)->size(), (*tiered)->size());
+
+  std::vector<Record> queries = TestQueries(15);
+  queries.insert(queries.end(), extras.begin(), extras.end());
+  const auto requests = MakeRequests(queries, 0.4, 0, true);
+  const auto expected = (*mirror)->BatchServe(requests, 2);
+  const auto actual = (*tiered)->BatchServe(requests, 2);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(expected[i].hits, actual[i].hits) << "q" << i;
+    // Index counters match exactly; only the fan-out width differs — the
+    // merged service reaches one fewer shard.
+    EXPECT_EQ(expected[i].stats.candidates_generated,
+              actual[i].stats.candidates_generated) << "q" << i;
+    EXPECT_EQ(expected[i].stats.candidates_refined,
+              actual[i].stats.candidates_refined) << "q" << i;
+    EXPECT_EQ(expected[i].stats.postings_scanned,
+              actual[i].stats.postings_scanned) << "q" << i;
+    EXPECT_EQ(expected[i].stats.heap_evictions,
+              actual[i].stats.heap_evictions) << "q" << i;
+    EXPECT_EQ(expected[i].stats.shards_queried,
+              actual[i].stats.shards_queried + 1) << "q" << i;
+  }
+}
+
+// Crossing tombstone_purge_threshold triggers a background purge rewrite
+// of the most-tombstoned shard.
+TEST(ShardLifecycleTest, PurgeThresholdRewritesShardInBackground) {
+  const Dataset& ds = TestDataset();
+  const std::vector<Record> extras = ExtraRecords(4, 994);
+  SearcherConfig config = ServiceConfig(SearchMethod::kGbKmv, 2);
+  config.sharded.tombstone_purge_threshold = 0.5;
+  Result<std::unique_ptr<ShardedContainmentService>> service =
+      serve::BuildShardedService(ds, config);
+  // The mirror goes through the same mutations with no purge policy: its
+  // tombstones stay query-time masks, the reference behaviour.
+  Result<std::unique_ptr<ShardedContainmentService>> mirror =
+      serve::BuildShardedService(ds, ServiceConfig(SearchMethod::kGbKmv, 2));
+  ASSERT_TRUE(service.ok() && mirror.ok());
+  const size_t base_shards = (*service)->num_shards();
+
+  std::vector<RecordId> gids;
+  for (const Record& extra : extras) {
+    gids.push_back((*service)->Ingest(extra).value());
+    (*mirror)->Ingest(extra);
+  }
+  ASSERT_TRUE((*service)->Promote().ok());
+  ASSERT_TRUE((*mirror)->Promote().ok());
+  ASSERT_TRUE((*service)->WaitForBackgroundWork().ok());
+
+  // 1/4 deleted: below threshold, the tombstone stays a mask.
+  ASSERT_TRUE((*service)->Delete(gids[0]).ok());
+  ASSERT_TRUE((*mirror)->Delete(gids[0]).ok());
+  ASSERT_TRUE((*service)->WaitForBackgroundWork().ok());
+  EXPECT_EQ(1u, (*service)->num_tombstones());
+
+  // 2/4 deleted: at threshold, the shard is rewritten without the rows.
+  ASSERT_TRUE((*service)->Delete(gids[2]).ok());
+  ASSERT_TRUE((*mirror)->Delete(gids[2]).ok());
+  ASSERT_TRUE((*service)->WaitForBackgroundWork().ok());
+  EXPECT_EQ(0u, (*service)->num_tombstones());
+  EXPECT_EQ(base_shards + 1, (*service)->num_shards());
+  EXPECT_EQ(ds.size() + 2, (*service)->size());
+  EXPECT_EQ(StatusCode::kNotFound,
+            (*service)->Delete(gids[0]).status().code());
+
+  // The rewritten shard serves the survivors — original global ids, exact
+  // float scores — bit-identically to the tombstone-filtering mirror.
+  std::vector<Record> queries = TestQueries(10);
+  queries.insert(queries.end(), extras.begin(), extras.end());
+  const auto requests = MakeRequests(queries, 0.4, 0, true);
+  const auto expected = (*mirror)->BatchServe(requests, 1);
+  const auto actual = (*service)->BatchServe(requests, 1);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(expected[i].hits, actual[i].hits) << "q" << i;
+  }
+}
+
+// Randomized lifecycle soak: interleaved ingest/delete/promote/compact with
+// bookkeeping invariants checked throughout, then an exact-oracle
+// comparison (FreqSet is exact) over the surviving records.
+TEST(ShardLifecycleTest, RandomizedLifecycleSoakMatchesExactOracle) {
+  const Dataset& ds = TestDataset();
+  SearcherConfig config = ServiceConfig(SearchMethod::kFreqSet, 2);
+  config.sharded.cache_capacity = 16;  // exercise invalidation too
+  Result<std::unique_ptr<ShardedContainmentService>> service =
+      serve::BuildShardedService(ds, config);
+  ASSERT_TRUE(service.ok());
+
+  std::mt19937_64 rng(20260808);
+  std::map<RecordId, Record> live;
+  for (RecordId id = 0; id < ds.size(); ++id) live[id] = ds.record(id);
+  std::vector<RecordId> dead;
+  RecordId next_gid = ds.size();
+  size_t deleted_total = 0, purged_total = 0;
+
+  for (int step = 0; step < 200; ++step) {
+    const uint64_t roll = rng() % 100;
+    if (roll < 55) {
+      std::vector<ElementId> elements;
+      const size_t size = 5 + rng() % 26;
+      for (size_t i = 0; i < size; ++i) {
+        elements.push_back(static_cast<ElementId>(rng() % 3000));
+      }
+      Record record = MakeRecord(std::move(elements));
+      const Result<RecordId> gid = (*service)->Ingest(record);
+      ASSERT_TRUE(gid.ok());
+      ASSERT_EQ(next_gid, *gid);
+      live[next_gid++] = std::move(record);
+    } else if (roll < 72 && !live.empty()) {
+      auto victim = live.begin();
+      std::advance(victim, rng() % live.size());
+      const Result<serve::MutationResult> result =
+          (*service)->Delete(victim->first);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ASSERT_FALSE(result->noop);
+      ++deleted_total;
+      dead.push_back(victim->first);
+      live.erase(victim);
+    } else if (roll < 78 && !dead.empty()) {
+      // A dead id is either still tombstoned (ok + noop) or already purged
+      // (NotFound) — never served, never double-counted.
+      const RecordId id = dead[rng() % dead.size()];
+      const Result<serve::MutationResult> result = (*service)->Delete(id);
+      if (result.ok()) {
+        EXPECT_TRUE(result->noop);
+      } else {
+        EXPECT_EQ(StatusCode::kNotFound, result.status().code());
+      }
+    } else if (roll < 88) {
+      ASSERT_TRUE((*service)->Promote().ok());
+    } else {
+      serve::MutationRequest compact;
+      compact.kind = serve::MutationKind::kCompact;
+      compact.compact.all = (rng() % 2) == 0;
+      const Result<serve::MutationResult> result =
+          (*service)->Apply(compact);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      purged_total += result->tombstones_purged;
+    }
+    ASSERT_EQ(ds.size() + (next_gid - ds.size()) - purged_total,
+              (*service)->size());
+    ASSERT_EQ(deleted_total - purged_total, (*service)->num_tombstones());
+  }
+
+  // Promote the tail so every survivor sits in an exact immutable shard,
+  // then compare against the ScanCount oracle over the survivors.
+  ASSERT_TRUE((*service)->Promote().ok());
+  ASSERT_TRUE((*service)->WaitForBackgroundWork().ok());
+
+  std::vector<RecordId> gids;
+  std::vector<Record> records;
+  for (const auto& [gid, record] : live) {
+    gids.push_back(gid);
+    records.push_back(record);
+  }
+  Result<Dataset> oracle_ds = Dataset::Create(std::move(records));
+  ASSERT_TRUE(oracle_ds.ok());
+  constexpr double kThreshold = 0.5;
+  const std::vector<RecordId> query_ids = SampleQueries(*oracle_ds, 30, 123);
+  const std::vector<std::vector<RecordId>> truth =
+      ComputeGroundTruth(*oracle_ds, query_ids, kThreshold, 1);
+  for (size_t q = 0; q < query_ids.size(); ++q) {
+    QueryRequest request(oracle_ds->record(query_ids[q]), kThreshold);
+    const QueryResponse response = (*service)->Serve(request, 2);
+    std::vector<RecordId> expected;
+    for (RecordId pos : truth[q]) expected.push_back(gids[pos]);
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(expected, SortedIds(response.hits)) << "q" << q;
+  }
+}
+
 // --- shard manifest -------------------------------------------------------
 
 TEST(ShardedServiceTest, ManifestRoundTripsSnapshotCapableMethod) {
@@ -524,7 +919,7 @@ TEST(ShardedServiceTest, ManifestRoundTripsSnapshotCapableMethod) {
   ASSERT_TRUE(service.ok());
   // Pending ingest state must round-trip too.
   const Record extra = MakeRecord({6000, 6001, 6002, 6003});
-  const RecordId gid = (*service)->Ingest(extra);
+  const RecordId gid = (*service)->Ingest(extra).value();
 
   ASSERT_TRUE((*service)->Save(dir).ok());
   Result<std::unique_ptr<ShardedContainmentService>> loaded =
@@ -546,10 +941,91 @@ TEST(ShardedServiceTest, ManifestRoundTripsSnapshotCapableMethod) {
   }
   // Ingest resumes with the identical id sequence, and the reloaded config
   // describes the service it actually holds.
-  EXPECT_EQ(gid + 1, (*loaded)->Ingest(MakeRecord({6100, 6101, 6102})));
+  EXPECT_EQ(gid + 1, (*loaded)->Ingest(MakeRecord({6100, 6101, 6102})).value());
   EXPECT_EQ(3u, (*loaded)->config().sharded.num_shards);
   EXPECT_EQ(config.sharded.cache_capacity,
             (*loaded)->config().sharded.cache_capacity);
+  std::filesystem::remove_all(dir);
+}
+
+// Live tombstones — in immutable shards and in the ingest shard — survive
+// Save/Load (manifest v2), for both the eager and the lazy loader, and the
+// persisted lifecycle knobs resolve caller-wins-when-nonzero.
+TEST(ShardedServiceTest, TombstonesAndPolicyRoundTripThroughManifest) {
+  const Dataset& ds = TestDataset();
+  const std::string dir = ::testing::TempDir() + "sharded_tombstones";
+  SearcherConfig config = ServiceConfig(SearchMethod::kGbKmv, 3);
+  // Policy present but quiet: one promoted shard is below min_shards, and
+  // a single tombstone in the 4-row promoted shard (fraction 0.25) stays
+  // below the purge threshold — nothing compacts behind the test's back.
+  config.sharded.compaction_tier_ratio = 3.5;
+  config.sharded.compaction_min_shards = 4;
+  config.sharded.tombstone_purge_threshold = 0.9;
+  Result<std::unique_ptr<ShardedContainmentService>> service =
+      serve::BuildShardedService(ds, config);
+  ASSERT_TRUE(service.ok());
+
+  std::vector<Record> extras;
+  for (uint32_t i = 0; i < 6; ++i) {
+    extras.push_back(MakeRecord({4000 + i, 4100 + i, 4200 + i, 4300 + i}));
+    (*service)->Ingest(extras.back());
+    if (i == 3) ASSERT_TRUE((*service)->Promote().ok());
+  }
+  ASSERT_TRUE((*service)->WaitForBackgroundWork().ok());
+  // One tombstone per region: base shard, promoted shard, ingest shard.
+  for (RecordId id : {RecordId{17}, static_cast<RecordId>(ds.size() + 1),
+                      static_cast<RecordId>(ds.size() + 4)}) {
+    const Result<serve::MutationResult> result = (*service)->Delete(id);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_FALSE(result->noop);
+  }
+  ASSERT_EQ(3u, (*service)->num_tombstones());
+  ASSERT_TRUE((*service)->Save(dir).ok());
+
+  std::vector<Record> queries = TestQueries(15);
+  queries.insert(queries.end(), extras.begin(), extras.end());
+  const auto requests = MakeRequests(queries, 0.4, 0, true);
+  const auto expected = (*service)->BatchServe(requests, 1);
+
+  for (const bool lazy : {false, true}) {
+    ServiceOptions options;
+    if (lazy) options.max_resident_shards = 1;
+    Result<std::unique_ptr<ShardedContainmentService>> loaded =
+        ShardedContainmentService::Load(dir, options);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(3u, (*loaded)->num_tombstones());
+    EXPECT_EQ((*service)->size(), (*loaded)->size());
+    // The manifest's lifecycle knobs win while the caller leaves them 0.
+    EXPECT_EQ(3.5, (*loaded)->config().sharded.compaction_tier_ratio);
+    EXPECT_EQ(4u, (*loaded)->config().sharded.compaction_min_shards);
+    EXPECT_EQ(0.9, (*loaded)->config().sharded.tombstone_purge_threshold);
+
+    const auto actual = (*loaded)->BatchServe(requests, 1);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      EXPECT_EQ(expected[i].hits, actual[i].hits)
+          << (lazy ? "lazy" : "eager") << " q" << i;
+    }
+    // Deleted stays deleted (noop, not resurrection), and ingest resumes
+    // the id sequence past the persisted tombstone bookkeeping.
+    const Result<serve::MutationResult> again =
+        (*loaded)->Delete(ds.size() + 4);
+    ASSERT_TRUE(again.ok());
+    EXPECT_TRUE(again->noop);
+    EXPECT_EQ(ds.size() + 6,
+              (*loaded)->Ingest(MakeRecord({4500, 4501, 4502})).value());
+  }
+
+  // A caller-set tier ratio overrides the manifest (and brings its own
+  // min_shards with it).
+  ServiceOptions override_options;
+  override_options.compaction_tier_ratio = 9.0;
+  Result<std::unique_ptr<ShardedContainmentService>> overridden =
+      ShardedContainmentService::Load(dir, override_options);
+  ASSERT_TRUE(overridden.ok());
+  EXPECT_EQ(9.0, (*overridden)->config().sharded.compaction_tier_ratio);
+  EXPECT_EQ(2u, (*overridden)->config().sharded.compaction_min_shards);
+  EXPECT_EQ(0.9,
+            (*overridden)->config().sharded.tombstone_purge_threshold);
   std::filesystem::remove_all(dir);
 }
 
@@ -739,7 +1215,7 @@ TEST(ShardedServiceTest, LazyLoadMutationsAndResave) {
       ShardedContainmentService::Load(dir, options);
   ASSERT_TRUE(lazy.ok()) << lazy.status().ToString();
 
-  const RecordId gid = (*lazy)->Ingest(MakeRecord({6000, 6001, 6002}));
+  const RecordId gid = (*lazy)->Ingest(MakeRecord({6000, 6001, 6002})).value();
   EXPECT_EQ(ds.size(), static_cast<size_t>(gid));
   ASSERT_TRUE((*lazy)->PromoteIngest().ok());
   (*lazy)->Ingest(MakeRecord({6100, 6101}));

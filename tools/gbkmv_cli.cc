@@ -32,13 +32,16 @@
 //
 //   gbkmv_cli serve-build <dataset> <out-dir> [--method=gb-kmv]
 //                    [--shards=4] [--partitioner=hash|size] [--cache=N]
-//                    [--space=0.1] [--min-size=1]
+//                    [--space=0.1] [--min-size=1] [--tier-ratio=R]
+//                    [--compact-min-shards=K] [--purge-threshold=F]
 //       Build a sharded containment service (docs/sharding.md) and persist
 //       it as a shard-manifest directory: manifest.snap + one snapshot per
-//       shard.
+//       shard. The compaction-policy flags are written into the manifest
+//       (v2) so a later `serve` keeps the same lifecycle behaviour.
 //
 //   gbkmv_cli serve-query <manifest-dir> <query-file|-> [--threshold=0.5]
 //                    [--top-k=K] [--scores] [--stats]
+//                    [--resident-shards=N] [--resident-bytes=B]
 //       Reload a sharded service from its manifest directory and stream
 //       queries through the fan-out/fan-in path (per-query shard
 //       parallelism via --threads). Prints an end-of-run cache and fan-out
@@ -48,9 +51,16 @@
 //                    [--reactors=2] [--max-inflight=2048]
 //                    [--queue-depth=1024] [--max-batch=64]
 //                    [--batch-window-us=500] [--batch-workers=1]
+//                    [--resident-shards=N] [--resident-bytes=B]
+//                    [--tier-ratio=R] [--compact-min-shards=K]
+//                    [--purge-threshold=F]
 //       Serve the manifest over TCP/HTTP (docs/serving.md): POST /v1/query,
-//       GET /healthz, GET /metricsz, POST /admin/reload. SIGHUP reloads the
-//       manifest directory in place; SIGINT/SIGTERM drain gracefully.
+//       POST /v1/ingest, POST /v1/delete, POST /admin/promote,
+//       POST /admin/compact, GET /healthz, GET /metricsz,
+//       POST /admin/reload. SIGHUP reloads the manifest directory in place;
+//       SIGINT/SIGTERM drain gracefully. The lifecycle flags override the
+//       manifest's persisted policy when nonzero (ServiceOptions,
+//       core/containment.h).
 //
 // Every command additionally accepts the observability flags
 // (docs/observability.md): --metrics[=prom|json] prints a metrics snapshot
@@ -222,6 +232,10 @@ struct CliOptions {
   size_t shards = 4;
   std::string partitioner = "hash";
   size_t cache = 0;
+  // Resident budgets + compaction policy (--resident-shards,
+  // --resident-bytes, --tier-ratio, --compact-min-shards,
+  // --purge-threshold); serve-build persists the policy in the manifest.
+  ServiceOptions service;
 };
 
 int Usage() {
@@ -237,13 +251,17 @@ int Usage() {
                "[--top-k=K] [--scores] [--stats]\n"
                "       gbkmv_cli serve-build <dataset> <out-dir> "
                "[--method=M] [--shards=N] [--partitioner=hash|size] "
-               "[--cache=N] [--space=S]\n"
+               "[--cache=N] [--space=S] [--tier-ratio=R] "
+               "[--compact-min-shards=K] [--purge-threshold=F]\n"
                "       gbkmv_cli serve-query <manifest-dir> <query-file|-> "
-               "[--threshold=T] [--top-k=K] [--scores] [--stats]\n"
+               "[--threshold=T] [--top-k=K] [--scores] [--stats] "
+               "[--resident-shards=N] [--resident-bytes=B]\n"
                "       gbkmv_cli serve <manifest-dir> [--port=8080] "
                "[--bind=A] [--reactors=N] [--max-inflight=N] "
                "[--queue-depth=N] [--max-batch=N] [--batch-window-us=U] "
-               "[--batch-workers=N]\n"
+               "[--batch-workers=N] [--resident-shards=N] "
+               "[--resident-bytes=B] [--tier-ratio=R] "
+               "[--compact-min-shards=K] [--purge-threshold=F]\n"
                "       gbkmv_cli snapshot-info <file.snap>   (any v1/v2/v3 "
                "snapshot: magic, version, section table)\n"
                "methods: gb-kmv g-kmv kmv lsh-e minhash-lsh a-mh ppjoin "
@@ -338,6 +356,45 @@ int ParseQueryFlag(const char* arg, double* threshold,
     const Result<double> ms = ParseF64(value);
     if (!ms.ok() || *ms < 0.0) return -1;
     g_obs.slow_query_ms = *ms;
+    return 1;
+  }
+  return 0;
+}
+
+// Lifecycle/serving knobs shared by serve-build / serve-query / serve —
+// the documented ServiceOptions surface (core/containment.h): resident
+// budgets plus the compaction policy. Returns 1 when consumed, 0 when not
+// one of these flags, -1 on a bad value.
+int ParseServiceFlag(const char* arg, ServiceOptions* sharded) {
+  std::string value;
+  if (ParseFlag(arg, "--resident-shards=", &value)) {
+    const Result<uint64_t> n = ParseU64(value);
+    if (!n.ok()) return -1;
+    sharded->max_resident_shards = static_cast<size_t>(*n);
+    return 1;
+  }
+  if (ParseFlag(arg, "--resident-bytes=", &value)) {
+    const Result<uint64_t> n = ParseU64(value);
+    if (!n.ok()) return -1;
+    sharded->max_resident_bytes = *n;
+    return 1;
+  }
+  if (ParseFlag(arg, "--tier-ratio=", &value)) {
+    const Result<double> r = ParseF64(value);
+    if (!r.ok() || *r < 0.0) return -1;
+    sharded->compaction_tier_ratio = *r;
+    return 1;
+  }
+  if (ParseFlag(arg, "--compact-min-shards=", &value)) {
+    const Result<uint64_t> n = ParseU64(value);
+    if (!n.ok() || *n < 2) return -1;
+    sharded->compaction_min_shards = static_cast<size_t>(*n);
+    return 1;
+  }
+  if (ParseFlag(arg, "--purge-threshold=", &value)) {
+    const Result<double> t = ParseF64(value);
+    if (!t.ok() || *t < 0.0 || *t > 1.0) return -1;
+    sharded->tombstone_purge_threshold = *t;
     return 1;
   }
   return 0;
@@ -508,6 +565,14 @@ int RunServeBuild(const Dataset& dataset, const CliOptions& options,
   config.sharded.num_shards = options.shards;
   config.sharded.partitioner = *partitioner;
   config.sharded.cache_capacity = options.cache;
+  // The lifecycle policy is part of the built service: Save writes it into
+  // the manifest (v2) so a later `serve` keeps compacting the same way.
+  config.sharded.compaction_tier_ratio =
+      options.service.compaction_tier_ratio;
+  config.sharded.compaction_min_shards =
+      options.service.compaction_min_shards;
+  config.sharded.tombstone_purge_threshold =
+      options.service.tombstone_purge_threshold;
   WallTimer build_timer;
   Result<std::unique_ptr<serve::ShardedContainmentService>> service =
       serve::BuildShardedService(dataset, config);
@@ -536,10 +601,11 @@ int RunServeBuild(const Dataset& dataset, const CliOptions& options,
 
 int RunServeQuery(const std::string& manifest_dir,
                   const std::string& query_path, double threshold,
-                  const SearchOptions& options) {
+                  const SearchOptions& options,
+                  const ServiceOptions& service_options) {
   WallTimer load_timer;
   Result<std::unique_ptr<serve::ShardedContainmentService>> service =
-      serve::ShardedContainmentService::Load(manifest_dir);
+      serve::ShardedContainmentService::Load(manifest_dir, service_options);
   if (!service.ok()) {
     std::fprintf(stderr, "cannot load sharded service: %s\n",
                  service.status().ToString().c_str());
@@ -602,10 +668,11 @@ int RunServeQuery(const std::string& manifest_dir,
 // SIGINT/SIGTERM, then drains: in-flight queries finish, responses flush,
 // and the normal return path lets CliObsSession write its final exports.
 int RunServe(const std::string& manifest_dir,
-             const server::ServerOptions& options) {
+             const server::ServerOptions& options,
+             const ServiceOptions& service_options) {
   WallTimer load_timer;
   Result<std::unique_ptr<serve::ShardedContainmentService>> service =
-      serve::ShardedContainmentService::Load(manifest_dir);
+      serve::ShardedContainmentService::Load(manifest_dir, service_options);
   if (!service.ok()) {
     std::fprintf(stderr, "cannot load sharded service: %s\n",
                  service.status().ToString().c_str());
@@ -810,11 +877,14 @@ int Main(int argc, char** argv) {
     double threshold = 0.5;
     SearchOptions search{.top_k = 0, .want_scores = false,
                          .want_stats = false};
+    ServiceOptions svc;
     for (int i = 4; i < argc; ++i) {
-      if (ParseQueryFlag(argv[i], &threshold, &search) != 1) return Usage();
+      int consumed = ParseQueryFlag(argv[i], &threshold, &search);
+      if (consumed == 0) consumed = ParseServiceFlag(argv[i], &svc);
+      if (consumed != 1) return Usage();
     }
     CliObsSession obs_session;
-    return RunServeQuery(argv[2], argv[3], threshold, search);
+    return RunServeQuery(argv[2], argv[3], threshold, search, svc);
   }
 
   // Network serving: gbkmv_cli serve <manifest-dir> [flags].
@@ -824,8 +894,10 @@ int Main(int argc, char** argv) {
     double threshold = 0.5;
     SearchOptions search{.top_k = 0, .want_scores = false,
                          .want_stats = false};
+    ServiceOptions svc;
     for (int i = 3; i < argc; ++i) {
-      const int consumed = ParseQueryFlag(argv[i], &threshold, &search);
+      int consumed = ParseQueryFlag(argv[i], &threshold, &search);
+      if (consumed == 0) consumed = ParseServiceFlag(argv[i], &svc);
       if (consumed < 0) return Usage();
       if (consumed == 1) continue;
       std::string value;
@@ -866,7 +938,7 @@ int Main(int argc, char** argv) {
     srv_options.default_threshold = threshold;
     g_serve.serving.store(true, std::memory_order_release);
     CliObsSession obs_session;
-    return RunServe(options.dataset_path, srv_options);
+    return RunServe(options.dataset_path, srv_options, svc);
   }
 
   std::string snapshot_out;
@@ -878,8 +950,9 @@ int Main(int argc, char** argv) {
     // Shared query flags first (--threshold/--top-k/--scores/--stats;
     // --threads covers build/ground-truth parallelism too, results
     // identical for any value per docs/parallelism.md).
-    const int consumed =
+    int consumed =
         ParseQueryFlag(argv[i], &options.threshold, &options.search);
+    if (consumed == 0) consumed = ParseServiceFlag(argv[i], &options.service);
     if (consumed < 0) return Usage();
     if (consumed == 1) continue;
     std::string value;
